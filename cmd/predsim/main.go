@@ -1,0 +1,95 @@
+// Command predsim compares branch predictor configurations over a
+// workload or a recorded trace.
+//
+// Usage:
+//
+//	predsim -bench gcc -input ref
+//	predsim -kernel lzchain -input level1 -predictors gshare-4KB,perceptron-16KB,loop
+//	predsim -trace run.btr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/progs"
+	"twodprof/internal/spec"
+	"twodprof/internal/textplot"
+	"twodprof/internal/trace"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "synthetic benchmark name")
+		kernel    = flag.String("kernel", "", "VM kernel name")
+		input     = flag.String("input", "train", "input set name")
+		traceFile = flag.String("trace", "", "BTR1 trace file")
+		preds     = flag.String("predictors", strings.Join(bpred.Names(), ","), "comma-separated predictor configurations")
+	)
+	flag.Parse()
+
+	var rec trace.Recorder
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		r, err := trace.OpenReader(f)
+		if err != nil {
+			f.Close()
+			fail(err)
+		}
+		if _, err := r.Replay(&rec); err != nil {
+			f.Close()
+			fail(err)
+		}
+		f.Close()
+	case *benchName != "":
+		b, err := spec.Get(*benchName)
+		if err != nil {
+			fail(err)
+		}
+		w, err := b.Workload(*input)
+		if err != nil {
+			fail(err)
+		}
+		w.Run(&rec)
+	case *kernel != "":
+		inst, err := progs.StandardInput(*kernel, *input)
+		if err != nil {
+			fail(err)
+		}
+		inst.Run(&rec)
+	default:
+		fmt.Fprintln(os.Stderr, "predsim: need -bench, -kernel or -trace")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	t := textplot.NewTable("predictor", "accuracy %", "mispredicts", "events")
+	for _, name := range strings.Split(*preds, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, err := bpred.New(name)
+		if err != nil {
+			fail(err)
+		}
+		acct := bpred.Measure(&rec, p)
+		t.AddRowf(p.Name(),
+			fmt.Sprintf("%.2f", acct.Total.Accuracy()),
+			acct.Total.Exec-acct.Total.Correct,
+			acct.Total.Exec)
+	}
+	fmt.Print(t.String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "predsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,197 @@
+// Command tracegen records, inspects and replays binary branch traces
+// (BTR1 format).
+//
+// Usage:
+//
+//	tracegen gen  -bench gap -input train -o gap-train.btr
+//	tracegen gen  -kernel lzchain -input level9 -o lz9.btr
+//	tracegen info -i gap-train.btr
+//	tracegen replay -i gap-train.btr -predictor gshare-4KB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/progs"
+	"twodprof/internal/spec"
+	"twodprof/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `tracegen <command> [flags]
+
+commands:
+  gen     record a workload's branch stream to a trace file
+  info    summarise a trace file
+  replay  replay a trace through a branch predictor`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+// source resolves the workload selection flags shared by gen.
+func source(benchName, kernel, input string) (trace.Source, error) {
+	switch {
+	case benchName != "":
+		b, err := spec.Get(benchName)
+		if err != nil {
+			return nil, err
+		}
+		return b.Workload(input)
+	case kernel != "":
+		return progs.StandardInput(kernel, input)
+	default:
+		return nil, fmt.Errorf("need -bench or -kernel")
+	}
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	benchName := fs.String("bench", "", "synthetic benchmark name")
+	kernel := fs.String("kernel", "", "VM kernel name (typesum, lzchain, bsearch, inssort, fsm)")
+	input := fs.String("input", "train", "input set name")
+	out := fs.String("o", "", "output trace file")
+	compress := fs.Bool("z", false, "gzip-compress the trace")
+	fs.Parse(args)
+	if *out == "" {
+		fail(fmt.Errorf("gen: need -o output file"))
+	}
+	src, err := source(*benchName, *kernel, *input)
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	var sink interface {
+		trace.Sink
+		Close() error
+	}
+	if *compress {
+		w, err := trace.NewCompressedWriter(f)
+		if err != nil {
+			fail(err)
+		}
+		sink = w
+	} else {
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			fail(err)
+		}
+		sink = w
+	}
+	n := src.Run(sink)
+	if err := sink.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d branch events to %s\n", n, *out)
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	fs.Parse(args)
+	if *in == "" {
+		fail(fmt.Errorf("info: need -i input file"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	r, err := trace.OpenReader(f)
+	if err != nil {
+		fail(err)
+	}
+	var c trace.Counter
+	var taken int64
+	sink := trace.Tee{&c, trace.SinkFunc(func(pc trace.PC, t bool) {
+		if t {
+			taken++
+		}
+	})}
+	n, err := r.Replay(sink)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("events        : %d\n", n)
+	fmt.Printf("static sites  : %d\n", c.Static())
+	if n > 0 {
+		fmt.Printf("taken rate    : %.2f%%\n", 100*float64(taken)/float64(n))
+	}
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	predName := fs.String("predictor", bpred.NameGshare4KB, "branch predictor configuration")
+	top := fs.Int("top", 10, "show the N most mispredicted branches")
+	fs.Parse(args)
+	if *in == "" {
+		fail(fmt.Errorf("replay: need -i input file"))
+	}
+	p, err := bpred.New(*predName)
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	r, err := trace.OpenReader(f)
+	if err != nil {
+		fail(err)
+	}
+	acct := bpred.NewAccounting(p)
+	if _, err := r.Replay(acct); err != nil {
+		fail(err)
+	}
+	fmt.Printf("predictor     : %s\n", p.Name())
+	fmt.Printf("events        : %d\n", acct.Total.Exec)
+	fmt.Printf("accuracy      : %.2f%%\n", acct.Total.Accuracy())
+
+	pcs := acct.PCs()
+	// Sort by misprediction count, descending.
+	for i := 0; i < len(pcs); i++ {
+		for j := i + 1; j < len(pcs); j++ {
+			si, sj := acct.Site(pcs[i]), acct.Site(pcs[j])
+			if sj.Exec-sj.Correct > si.Exec-si.Correct {
+				pcs[i], pcs[j] = pcs[j], pcs[i]
+			}
+		}
+	}
+	if len(pcs) > *top {
+		pcs = pcs[:*top]
+	}
+	fmt.Printf("top mispredicted branches:\n")
+	for _, pc := range pcs {
+		s := acct.Site(pc)
+		fmt.Printf("  %#8x exec=%-9d acc=%.2f%% misses=%d\n",
+			uint64(pc), s.Exec, s.Accuracy(), s.Exec-s.Correct)
+	}
+}

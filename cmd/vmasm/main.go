@@ -1,0 +1,160 @@
+// Command vmasm assembles, disassembles and runs programs for the
+// repository's instrumented virtual machine.
+//
+// Usage:
+//
+//	vmasm run -f prog.s -mem 4096 [-trace out.btr]
+//	vmasm dis -f prog.s
+//	vmasm check -f prog.s
+//	vmasm kernels                 (disassemble a bundled kernel: -kernel lzchain)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twodprof/internal/cfg"
+	"twodprof/internal/progs"
+	"twodprof/internal/trace"
+	"twodprof/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "dis":
+		cmdDis(os.Args[2:])
+	case "check":
+		cmdCheck(os.Args[2:])
+	case "kernels":
+		cmdKernels(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `vmasm <command> [flags]
+
+commands:
+  run      assemble and execute a program, printing its output
+  dis      assemble then disassemble (normalised listing)
+  check    assemble only; exit non-zero on errors
+  kernels  list or disassemble the bundled benchmark kernels`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vmasm:", err)
+	os.Exit(1)
+}
+
+func load(file string) *vm.Program {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := vm.Assemble(file, string(src))
+	if err != nil {
+		fail(err)
+	}
+	return prog
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	file := fs.String("f", "", "assembly source file")
+	memWords := fs.Int("mem", 4096, "data memory size in words")
+	maxSteps := fs.Int64("maxsteps", 0, "step limit (0 = default)")
+	traceOut := fs.String("trace", "", "write the branch trace to this BTR1 file")
+	fs.Parse(args)
+	if *file == "" {
+		fail(fmt.Errorf("run: need -f source file"))
+	}
+	prog := load(*file)
+	m := vm.NewMachine(*memWords)
+	m.SetLimits(vm.Limits{MaxSteps: *maxSteps})
+
+	var hooks vm.Hooks
+	var tw *trace.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tw, err = trace.NewWriter(f)
+		if err != nil {
+			fail(err)
+		}
+		hooks.OnBranch = func(pc uint64, taken bool) { tw.Branch(trace.PC(pc), taken) }
+	}
+
+	res, err := m.Run(prog, hooks)
+	if err != nil {
+		fail(err)
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("steps    : %d\n", res.Steps)
+	fmt.Printf("branches : %d\n", res.Branches)
+	for i, v := range res.Output {
+		fmt.Printf("out[%d]   : %d\n", i, v)
+	}
+}
+
+func cmdDis(args []string) {
+	fs := flag.NewFlagSet("dis", flag.ExitOnError)
+	file := fs.String("f", "", "assembly source file")
+	fs.Parse(args)
+	if *file == "" {
+		fail(fmt.Errorf("dis: need -f source file"))
+	}
+	fmt.Print(vm.Disassemble(load(*file)))
+}
+
+func cmdCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	file := fs.String("f", "", "assembly source file")
+	fs.Parse(args)
+	if *file == "" {
+		fail(fmt.Errorf("check: need -f source file"))
+	}
+	prog := load(*file)
+	fmt.Printf("%s: %d instructions, %d labels, %d conditional branches\n",
+		*file, len(prog.Insts), len(prog.Labels), len(vm.StaticBranches(prog)))
+	g := cfg.Build(prog)
+	loops := g.NaturalLoops()
+	fmt.Printf("blocks: %d, natural loops: %d\n", g.NumBlocks(), len(loops))
+	for _, l := range loops {
+		fmt.Printf("  loop header B%d latch B%d (%d blocks), exit branches at %v\n",
+			l.Header, l.Latch, len(l.Blocks), g.LoopExitBranches(l))
+	}
+}
+
+func cmdKernels(args []string) {
+	fs := flag.NewFlagSet("kernels", flag.ExitOnError)
+	kernel := fs.String("kernel", "", "kernel to disassemble (empty = list)")
+	fs.Parse(args)
+	if *kernel == "" {
+		for _, name := range progs.KernelNames() {
+			k, _ := progs.KernelByName(name)
+			fmt.Printf("%-8s %3d instructions, %d conditional branches\n",
+				name, len(k.Prog.Insts), len(vm.StaticBranches(k.Prog)))
+		}
+		return
+	}
+	k, ok := progs.KernelByName(*kernel)
+	if !ok {
+		fail(fmt.Errorf("unknown kernel %q", *kernel))
+	}
+	fmt.Print(vm.Disassemble(k.Prog))
+}

@@ -1,0 +1,62 @@
+package twodprof_test
+
+import (
+	"fmt"
+
+	"twodprof"
+)
+
+// ExampleProfile shows the whole loop: profile a workload with
+// 2D-profiling, then check the verdict for a specific branch against
+// measured ground truth.
+func ExampleProfile() {
+	// The lzchain kernel reproduces gzip's hash-chain walk (the
+	// paper's Figure 7); its train input mixes window regions of
+	// different redundancy.
+	inst, err := twodprof.Kernel("lzchain", "train")
+	if err != nil {
+		panic(err)
+	}
+	cfg := twodprof.DefaultConfig()
+	cfg.SliceSize = 8000
+	cfg.ExecThreshold = 20
+
+	rep, err := twodprof.Profile(inst, cfg, "gshare-4KB")
+	if err != nil {
+		panic(err)
+	}
+	chainExit := inst.BranchPC("chain_exit")
+	fmt.Println("chain_exit flagged:", rep.IsInputDependent(chainExit))
+	// Output:
+	// chain_exit flagged: true
+}
+
+// ExampleDefineTruth labels input-dependent branches the way the paper
+// does: run two input sets under the target predictor and apply the 5 %
+// accuracy-delta rule.
+func ExampleDefineTruth() {
+	train, _ := twodprof.Kernel("typesum", "train")
+	ref, _ := twodprof.Kernel("typesum", "ref")
+	truth, err := twodprof.DefineTruth(train, ref, "gshare-4KB", 5.0, 500)
+	if err != nil {
+		panic(err)
+	}
+	// The type-check branch (the paper's Figure 6 example from gap)
+	// flips from easy to hard between the two inputs.
+	fmt.Println("typecheck input-dependent:", truth.Labels[train.BranchPC("typecheck")])
+	// Output:
+	// typecheck input-dependent: true
+}
+
+// ExampleCostModel evaluates the paper's equation (3): whether to
+// if-convert a branch given its profile.
+func ExampleCostModel() {
+	m := twodprof.PaperCostModel()
+	fmt.Printf("break-even misprediction rate: %.3f\n", m.BreakEvenMisp(0.5))
+	fmt.Println("predicate at 9% misses:", m.ShouldPredicate(0.5, 0.09))
+	fmt.Println("predicate at 4% misses:", m.ShouldPredicate(0.5, 0.04))
+	// Output:
+	// break-even misprediction rate: 0.067
+	// predicate at 9% misses: true
+	// predicate at 4% misses: false
+}

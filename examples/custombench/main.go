@@ -1,0 +1,86 @@
+// Custombench: define your own synthetic benchmark, profile it in the
+// paper's hardware-counter mode (§3.2.2 — the target machine's real
+// predictor reports hit/miss and the profiler only keeps statistics),
+// and validate the verdicts against measured ground truth.
+//
+//	go run ./examples/custombench
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twodprof"
+)
+
+func main() {
+	// A custom benchmark: 120 branch sites, a third of them
+	// input-sensitive, ~600k dynamic branches per run.
+	bench, err := twodprof.NewSynthetic(twodprof.SyntheticConfig{
+		Name:            "mydb-queryplan",
+		Sites:           120,
+		DynamicBranches: 600000,
+		DepFraction:     0.33,
+		HotBias:         0.7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Record the "production" run once; in hardware-counter mode the
+	// machine's own predictor produces the hit/miss stream.
+	train := bench.Workload("train")
+	var rec twodprof.Recorder
+	train.Run(&rec)
+
+	cfg := twodprof.DefaultConfig()
+	cfg.SliceSize = 20000
+	hw, err := twodprof.NewHardwareProfiler(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machinePred, err := twodprof.NewPredictor("perceptron-16KB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range rec.Events {
+		correct := machinePred.Predict(e.PC) == e.Taken
+		machinePred.Update(e.PC, e.Taken)
+		hw.BranchOutcome(e.PC, e.Taken, correct)
+	}
+	rep := hw.Finish()
+	fmt.Print(rep.Summary())
+
+	// Ground truth: compare against two other input data sets under
+	// the same machine predictor and union the verdicts (§5.2).
+	var truths []*twodprof.Truth
+	for _, other := range []string{"ref", "q4-heavy"} {
+		truth, err := twodprof.DefineTruth(train, bench.Workload(other), "perceptron-16KB", 5.0, 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truths = append(truths, truth)
+	}
+	union := unionTruths(truths)
+	fmt.Printf("\nunion truth: %d of %d branches input-dependent\n",
+		union.NumDependent(), union.Eligible())
+	fmt.Println("2D (hardware counters):", twodprof.EvaluateReport(rep, union))
+}
+
+// unionTruths merges pairwise truths: dependent anywhere = dependent.
+func unionTruths(ts []*twodprof.Truth) *twodprof.Truth {
+	out := &twodprof.Truth{
+		DeltaTh: ts[0].DeltaTh,
+		Labels:  map[twodprof.PC]bool{},
+		Delta:   map[twodprof.PC]float64{},
+	}
+	for _, t := range ts {
+		for pc, dep := range t.Labels {
+			out.Labels[pc] = out.Labels[pc] || dep
+			if d := t.Delta[pc]; d > out.Delta[pc] {
+				out.Delta[pc] = d
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Predication: use 2D-profiling verdicts to gate if-conversion (the
+// paper's §2.1 motivation) and compare three compilers across input
+// sets:
+//
+//   - profile-trusting: predicates purely on equation (3) with the
+//     train profile,
+//   - conservative: leaves input-dependent branches as branches,
+//   - wish-branch: emits wish branches for input-dependent branches so
+//     the hardware decides at run time.
+//
+// The run-time cost of each compiler's decisions is then evaluated
+// under every input set's *actual* behaviour.
+//
+//	go run ./examples/predication
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twodprof"
+)
+
+func main() {
+	const bench = "gzip"
+	inputs, err := twodprof.BenchmarkInputs(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile the train input once: per-branch taken rates and
+	// misprediction rates plus the 2D input-dependence verdicts.
+	train := twodprof.MustBenchmark(bench, "train")
+	rep, err := twodprof.Profile(train, twodprof.DefaultConfig(), "gshare-4KB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, trainAcc, err := twodprof.MeasureAccuracy(train, "gshare-4KB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainBias := takenRates(train)
+
+	model := twodprof.PaperCostModel()
+	compilers := map[string]twodprof.PredicationPolicy{
+		"trust-profile": {Model: model, TrustProfile: true},
+		"conservative":  {Model: model},
+		"wish-branch":   {Model: model, UseWishBranches: true},
+	}
+
+	// Per compiler, decide once per branch from the train profile.
+	decisions := map[string]map[twodprof.PC]twodprof.Decision{}
+	counts := map[string]map[twodprof.Decision]int{}
+	for name, pol := range compilers {
+		decisions[name] = map[twodprof.PC]twodprof.Decision{}
+		counts[name] = map[twodprof.Decision]int{}
+		for pc, acc := range trainAcc {
+			pr := twodprof.BranchProfile{
+				PTaken:         trainBias[pc],
+				PMisp:          1 - acc/100,
+				InputDependent: rep.IsInputDependent(pc),
+			}
+			d := pol.Decide(pr)
+			decisions[name][pc] = d
+			counts[name][d]++
+		}
+	}
+	for name, c := range counts {
+		fmt.Printf("%-14s branch=%d predicate=%d wish=%d\n",
+			name, c[twodprof.KeepBranch], c[twodprof.Predicate], c[twodprof.WishBranch])
+	}
+
+	// Evaluate each compiler's decisions under each input's actual
+	// behaviour (execution-weighted cycles per branch region).
+	fmt.Printf("\nmean cycles per branch-region instance (lower is better):\n")
+	fmt.Printf("%-8s", "input")
+	order := []string{"trust-profile", "conservative", "wish-branch"}
+	for _, name := range order {
+		fmt.Printf("  %-14s", name)
+	}
+	fmt.Println()
+	for _, in := range inputs {
+		w := twodprof.MustBenchmark(bench, in)
+		_, acc, err := twodprof.MeasureAccuracy(w, "gshare-4KB")
+		if err != nil {
+			log.Fatal(err)
+		}
+		bias := takenRates(w)
+		execs := execCounts(w)
+		fmt.Printf("%-8s", in)
+		for _, name := range order {
+			pol := compilers[name]
+			var cycles, n float64
+			for pc, a := range acc {
+				d, ok := decisions[name][pc]
+				if !ok {
+					d = twodprof.KeepBranch // unseen at profile time
+				}
+				e := float64(execs[pc])
+				cycles += e * pol.RuntimeCost(d, bias[pc], 1-a/100)
+				n += e
+			}
+			fmt.Printf("  %-14.4f", cycles/n)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(trust-profile wins on train but loses on inputs where its predication")
+	fmt.Println(" choices were made from untrustworthy, input-dependent profiles;")
+	fmt.Println(" wish branches recover most of the predication benefit safely)")
+}
+
+// takenRates measures per-branch taken rates of a workload.
+func takenRates(src twodprof.Source) map[twodprof.PC]float64 {
+	taken := map[twodprof.PC]int64{}
+	total := map[twodprof.PC]int64{}
+	var rec sinkFunc = func(pc twodprof.PC, t bool) {
+		total[pc]++
+		if t {
+			taken[pc]++
+		}
+	}
+	src.Run(rec)
+	out := make(map[twodprof.PC]float64, len(total))
+	for pc, n := range total {
+		out[pc] = float64(taken[pc]) / float64(n)
+	}
+	return out
+}
+
+// execCounts measures per-branch dynamic execution counts.
+func execCounts(src twodprof.Source) map[twodprof.PC]int64 {
+	total := map[twodprof.PC]int64{}
+	var rec sinkFunc = func(pc twodprof.PC, t bool) { total[pc]++ }
+	src.Run(rec)
+	return total
+}
+
+// sinkFunc adapts a func to twodprof.Sink.
+type sinkFunc func(twodprof.PC, bool)
+
+func (f sinkFunc) Branch(pc twodprof.PC, taken bool) { f(pc, taken) }

@@ -1,0 +1,51 @@
+// Quickstart: profile one benchmark input with 2D-profiling and print
+// the branches predicted to be input-dependent.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twodprof"
+)
+
+func main() {
+	// A synthetic model of SPEC gap running its train input. Any
+	// twodprof.Source works here — the models, a VM kernel, or a
+	// recorded trace.
+	workload := twodprof.MustBenchmark("gap", "train")
+
+	// Profile with the paper's defaults: a 4 KB gshare software
+	// predictor, 50 000-branch slices, MEAN/STD/PAM tests.
+	cfg := twodprof.DefaultConfig()
+	rep, err := twodprof.Profile(workload, cfg, "gshare-4KB")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(rep.Summary())
+	fmt.Println()
+
+	flagged := rep.InputDependent()
+	fmt.Printf("branches predicted input-dependent (%d):\n", len(flagged))
+	for i, pc := range flagged {
+		if i >= 15 {
+			fmt.Printf("  ... and %d more\n", len(flagged)-i)
+			break
+		}
+		fmt.Println(" ", rep.FormatBranch(pc))
+	}
+
+	// How good was the prediction? Define ground truth the way the
+	// paper does: re-measure per-branch accuracy on a second input set
+	// and label branches whose accuracy moves more than 5 points.
+	ref := twodprof.MustBenchmark("gap", "ref")
+	truth, err := twodprof.DefineTruth(workload, ref, "gshare-4KB", 5.0, 2500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := twodprof.EvaluateReport(rep, truth)
+	fmt.Printf("\nagainst (train, ref) ground truth: %s\n", ev)
+}

@@ -1,0 +1,3 @@
+module twodprof
+
+go 1.22

@@ -1,0 +1,89 @@
+package bpred
+
+import (
+	"sort"
+
+	"twodprof/internal/trace"
+)
+
+// SiteStats holds per-static-branch prediction accounting.
+type SiteStats struct {
+	Exec    int64 // dynamic executions
+	Correct int64 // correct predictions
+}
+
+// Accuracy returns the prediction accuracy in percent (0-100), or 0 when
+// the site never executed.
+func (s SiteStats) Accuracy() float64 {
+	if s.Exec == 0 {
+		return 0
+	}
+	return 100 * float64(s.Correct) / float64(s.Exec)
+}
+
+// MispredictRate returns 100 - Accuracy for executed sites, 0 otherwise.
+func (s SiteStats) MispredictRate() float64 {
+	if s.Exec == 0 {
+		return 0
+	}
+	return 100 - s.Accuracy()
+}
+
+// Accounting drives a predictor over a branch stream (as a trace.Sink)
+// and accumulates global and per-site accuracy. This is the measurement
+// substrate both for ground-truth input-dependence classification and
+// for the aggregate-profiling baseline.
+type Accounting struct {
+	Pred  Predictor
+	Sites map[trace.PC]*SiteStats
+	Total SiteStats
+}
+
+// NewAccounting wraps p in a fresh accounting sink.
+func NewAccounting(p Predictor) *Accounting {
+	return &Accounting{Pred: p, Sites: make(map[trace.PC]*SiteStats)}
+}
+
+// Branch implements trace.Sink: predict, score, train.
+func (a *Accounting) Branch(pc trace.PC, taken bool) {
+	pred := a.Pred.Predict(pc)
+	a.Pred.Update(pc, taken)
+	s := a.Sites[pc]
+	if s == nil {
+		s = &SiteStats{}
+		a.Sites[pc] = s
+	}
+	s.Exec++
+	a.Total.Exec++
+	if pred == taken {
+		s.Correct++
+		a.Total.Correct++
+	}
+}
+
+// Site returns the stats for one site (zero value if never seen).
+func (a *Accounting) Site(pc trace.PC) SiteStats {
+	if s := a.Sites[pc]; s != nil {
+		return *s
+	}
+	return SiteStats{}
+}
+
+// PCs returns all observed sites sorted by PC.
+func (a *Accounting) PCs() []trace.PC {
+	out := make([]trace.PC, 0, len(a.Sites))
+	for pc := range a.Sites {
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Measure runs src through a fresh accounting of p and returns the
+// accounting. The predictor is reset first.
+func Measure(src trace.Source, p Predictor) *Accounting {
+	p.Reset()
+	acc := NewAccounting(p)
+	src.Run(acc)
+	return acc
+}

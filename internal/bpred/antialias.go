@@ -1,0 +1,156 @@
+package bpred
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// Agree is the agree predictor (Sprangle et al., ISCA 1997): each
+// branch carries a biasing bit (set to its first observed outcome) and
+// the gshare-indexed pattern table predicts whether the outcome will
+// *agree* with that bias. Destructive aliasing becomes constructive
+// because most branches agree with their bias most of the time.
+type Agree struct {
+	indexBits int
+	table     []Counter2 // counter taken-state means "agrees with bias"
+	hist      History
+	bias      map[trace.PC]bool
+}
+
+// NewAgree builds an agree predictor with 2^indexBits counters and
+// historyBits of global history.
+func NewAgree(indexBits, historyBits int) *Agree {
+	if indexBits <= 0 || indexBits > 30 {
+		panic(fmt.Sprintf("bpred: invalid agree index bits %d", indexBits))
+	}
+	a := &Agree{
+		indexBits: indexBits,
+		table:     make([]Counter2, 1<<uint(indexBits)),
+		hist:      NewHistory(historyBits),
+		bias:      make(map[trace.PC]bool),
+	}
+	a.Reset()
+	return a
+}
+
+func (a *Agree) index(pc trace.PC) uint64 {
+	mask := uint64(1)<<uint(a.indexBits) - 1
+	return (uint64(pc) ^ a.hist.Bits()) & mask
+}
+
+// biasOf returns the branch's biasing bit, defaulting to taken for
+// never-seen branches (backward-taken heuristic territory; a fixed
+// default keeps Predict pure).
+func (a *Agree) biasOf(pc trace.PC) bool {
+	if b, ok := a.bias[pc]; ok {
+		return b
+	}
+	return true
+}
+
+// Predict implements Predictor.
+func (a *Agree) Predict(pc trace.PC) bool {
+	agree := a.table[a.index(pc)].Taken()
+	return agree == a.biasOf(pc)
+}
+
+// Update implements Predictor. The first execution latches the biasing
+// bit (modelling the bias bit stored in the BTB/instruction).
+func (a *Agree) Update(pc trace.PC, taken bool) {
+	if _, ok := a.bias[pc]; !ok {
+		a.bias[pc] = taken
+	}
+	i := a.index(pc)
+	a.table[i] = a.table[i].Update(taken == a.biasOf(pc))
+	a.hist.Push(taken)
+}
+
+// Name implements Predictor.
+func (a *Agree) Name() string { return fmt.Sprintf("agree-%d", a.indexBits) }
+
+// Reset implements Predictor.
+func (a *Agree) Reset() {
+	for i := range a.table {
+		// Power-on: weakly agree.
+		a.table[i] = 2
+	}
+	a.hist.Reset()
+	a.bias = make(map[trace.PC]bool)
+}
+
+// Gskew is the 2bc-gskew-style predictor (Michaud, Seznec, Uhlig,
+// ISCA 1997, simplified): three counter banks indexed by different
+// skewing hashes of (pc, history) vote by majority, so an alias in one
+// bank is usually outvoted by the other two.
+type Gskew struct {
+	bankBits int
+	banks    [3][]Counter2
+	hist     History
+}
+
+// NewGskew builds a gskew with three 2^bankBits banks and historyBits
+// of history.
+func NewGskew(bankBits, historyBits int) *Gskew {
+	if bankBits <= 0 || bankBits > 28 {
+		panic(fmt.Sprintf("bpred: invalid gskew bank bits %d", bankBits))
+	}
+	g := &Gskew{bankBits: bankBits, hist: NewHistory(historyBits)}
+	for b := range g.banks {
+		g.banks[b] = make([]Counter2, 1<<uint(bankBits))
+	}
+	g.Reset()
+	return g
+}
+
+// skew mixes pc and history differently per bank. The rotations keep
+// the three indices decorrelated, which is the entire point of the
+// scheme.
+func (g *Gskew) skew(bank int, pc trace.PC) uint64 {
+	h := g.hist.Bits()
+	p := uint64(pc)
+	var v uint64
+	switch bank {
+	case 0:
+		v = p ^ h
+	case 1:
+		v = p ^ (h<<3 | h>>13) ^ p>>5
+	default:
+		v = (p<<2 | p>>11) ^ h ^ h>>7
+	}
+	return v & (uint64(1)<<uint(g.bankBits) - 1)
+}
+
+// Predict implements Predictor: majority vote of the three banks.
+func (g *Gskew) Predict(pc trace.PC) bool {
+	votes := 0
+	for b := range g.banks {
+		if g.banks[b][g.skew(b, pc)].Taken() {
+			votes++
+		}
+	}
+	return votes >= 2
+}
+
+// Update implements Predictor. All banks train (the partial-update
+// policy of the full design is omitted for clarity).
+func (g *Gskew) Update(pc trace.PC, taken bool) {
+	for b := range g.banks {
+		i := g.skew(b, pc)
+		g.banks[b][i] = g.banks[b][i].Update(taken)
+	}
+	g.hist.Push(taken)
+}
+
+// Name implements Predictor.
+func (g *Gskew) Name() string { return fmt.Sprintf("gskew-%d", g.bankBits) }
+
+// Reset implements Predictor.
+func (g *Gskew) Reset() {
+	for b := range g.banks {
+		for i := range g.banks[b] {
+			g.banks[b][i] = WeakNT
+		}
+	}
+	g.hist.Reset()
+}

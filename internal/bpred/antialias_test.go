@@ -1,0 +1,177 @@
+package bpred
+
+import (
+	"testing"
+
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+func TestAgreeLearnsBias(t *testing.T) {
+	// Agree must handle both taken-biased and not-taken-biased
+	// branches; the bias bit latches the first outcome.
+	for _, bias := range []float64{0.95, 0.05} {
+		a := NewAgree(14, 14)
+		if acc := measureBiased(a, bias, 20000); acc < 0.90 {
+			t.Errorf("agree accuracy %.3f on bias %.2f", acc, bias)
+		}
+	}
+}
+
+func TestAgreeAliasingResistance(t *testing.T) {
+	// Two branches with opposite strong biases that share gshare
+	// counter indices interfere destructively under gshare but agree
+	// predictors convert both to "agree" — aliasing is harmless.
+	// 512 branches with pseudo-random bias directions share a 64-entry
+	// table: every counter serves ~8 branches with mixed directions.
+	const nBranches = 512
+	dirs := make([]bool, nBranches)
+	rd := rng.New(17)
+	for i := range dirs {
+		dirs[i] = rd.Bool(0.5)
+	}
+	run := func(p Predictor) float64 {
+		r := rng.New(3)
+		correct, total := 0, 0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			j := i % nBranches
+			pc := trace.PC(j)
+			taken := r.Bool(0.97) == dirs[j]
+			pred := p.Predict(pc)
+			p.Update(pc, taken)
+			if i > n/5 {
+				total++
+				if pred == taken {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	// A tiny 64-entry table with minimal history guarantees that
+	// opposite-biased branches share counters.
+	agreeAcc := run(NewAgree(6, 1))
+	gshareAcc := run(NewGshare(6, 1))
+	if agreeAcc <= gshareAcc {
+		t.Fatalf("agree (%.3f) should beat small gshare (%.3f) under opposing-bias aliasing",
+			agreeAcc, gshareAcc)
+	}
+	if agreeAcc < 0.9 {
+		t.Fatalf("agree accuracy %.3f too low under aliasing", agreeAcc)
+	}
+}
+
+func TestGskewLearnsBiasAndPattern(t *testing.T) {
+	g := NewGskew(12, 12)
+	if acc := measureBiased(g, 0.95, 20000); acc < 0.90 {
+		t.Fatalf("gskew biased accuracy %.3f", acc)
+	}
+	g2 := NewGskew(12, 12)
+	pattern := []bool{true, true, false, true, false, false}
+	if acc := measurePattern(g2, pattern, 20000); acc < 0.98 {
+		t.Fatalf("gskew pattern accuracy %.3f", acc)
+	}
+}
+
+func TestGskewMajorityOutvotesOneBank(t *testing.T) {
+	g := NewGskew(10, 10)
+	// Corrupt bank 0 completely; majority must still predict right
+	// after training banks 1 and 2.
+	pc := trace.PC(0x123)
+	for i := 0; i < 1000; i++ {
+		g.Update(pc, true)
+	}
+	for i := range g.banks[0] {
+		g.banks[0][i] = 0 // strongly not-taken everywhere
+	}
+	if !g.Predict(pc) {
+		t.Fatal("majority vote lost to a single corrupted bank")
+	}
+}
+
+func TestAntialiasReset(t *testing.T) {
+	for _, name := range []string{NameAgree, NameGskew} {
+		p := MustNew(name)
+		r := rng.New(9)
+		for i := 0; i < 2000; i++ {
+			pc := trace.PC(r.Intn(64))
+			p.Predict(pc)
+			p.Update(pc, r.Bool(0.5))
+		}
+		p.Reset()
+		fresh := MustNew(name)
+		for i := 0; i < 100; i++ {
+			if p.Predict(trace.PC(i)) != fresh.Predict(trace.PC(i)) {
+				t.Errorf("%s not fully reset", name)
+				break
+			}
+		}
+	}
+}
+
+func TestAntialiasNames(t *testing.T) {
+	if NewAgree(14, 14).Name() != "agree-14" {
+		t.Fatal("agree name")
+	}
+	if NewGskew(12, 12).Name() != "gskew-12" {
+		t.Fatal("gskew name")
+	}
+}
+
+func TestTageLearnsBiasAndPattern(t *testing.T) {
+	tg := NewTageDefault()
+	if acc := measureBiased(tg, 0.95, 20000); acc < 0.90 {
+		t.Fatalf("tage biased accuracy %.3f", acc)
+	}
+	tg2 := NewTageDefault()
+	pattern := []bool{true, true, false, true, false, false}
+	if acc := measurePattern(tg2, pattern, 30000); acc < 0.98 {
+		t.Fatalf("tage pattern accuracy %.3f", acc)
+	}
+}
+
+func TestTageLongHistoryBeatsGshare(t *testing.T) {
+	// Construct a period-60 pattern whose 14-bit windows are
+	// genuinely ambiguous but whose 32-bit windows are not: two
+	// copies of a random 30-bit block with the last bit of the second
+	// copy flipped. The 14 outcomes before positions 29 and 59 are
+	// identical, yet the continuations differ, so any 14-bit-history
+	// predictor is stuck guessing there; TAGE's 32-bit table reaches
+	// back past the previous flip and disambiguates.
+	r := rng.New(5)
+	block := make([]bool, 30)
+	for i := range block {
+		block[i] = r.Bool(0.5)
+	}
+	pattern := append(append([]bool{}, block...), block...)
+	pattern[59] = !pattern[59]
+
+	tage := measurePattern(NewTageDefault(), pattern, 120000)
+	gshare := measurePattern(NewGshare4KB(), pattern, 120000)
+	if tage < 0.98 {
+		t.Fatalf("tage ambiguous-pattern accuracy %.3f", tage)
+	}
+	if tage <= gshare+0.005 {
+		t.Fatalf("tage (%.4f) should clearly beat gshare (%.4f) on the ambiguous pattern", tage, gshare)
+	}
+}
+
+func TestTageConfigValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewTage(0, []int{4}) },
+		func() { NewTage(10, nil) },
+		func() { NewTage(10, []int{8, 4}) },
+		func() { NewTage(10, []int{0}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,92 @@
+// Package bpred implements the branch predictors used by the paper — a
+// 4 KB gshare profiler predictor and a 16 KB perceptron target predictor
+// — plus the classic predictors (bimodal, GAg, PAg local, tournament,
+// loop, static) used for ablations and the predictor-mismatch study.
+//
+// All predictors are deterministic software models with a uniform
+// Predict/Update interface; sizes follow the hardware-budget convention
+// of the papers they come from (a "4 KB gshare" is 16 K two-bit
+// counters).
+package bpred
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// Predictor is a dynamic branch direction predictor. Predict must not
+// mutate state; Update is called with the true outcome after every
+// prediction, in program order.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc trace.PC) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(pc trace.PC, taken bool)
+	// Name identifies the configuration, e.g. "gshare-4KB".
+	Name() string
+	// Reset restores the power-on state.
+	Reset()
+}
+
+// Counter2 is a 2-bit saturating counter. States 0-1 predict not-taken,
+// 2-3 predict taken. The power-on state is weakly not-taken (1).
+type Counter2 uint8
+
+// WeakNT is the conventional power-on state of a 2-bit counter.
+const WeakNT Counter2 = 1
+
+// Taken reports the direction the counter currently predicts.
+func (c Counter2) Taken() bool { return c >= 2 }
+
+// Update returns the counter after training with one outcome.
+func (c Counter2) Update(taken bool) Counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// History is a bounded global branch history register.
+type History struct {
+	bits uint64
+	mask uint64
+}
+
+// NewHistory creates an n-bit history register (1 <= n <= 64).
+func NewHistory(n int) History {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("bpred: invalid history length %d", n))
+	}
+	var mask uint64
+	if n == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1 << uint(n)) - 1
+	}
+	return History{mask: mask}
+}
+
+// Push shifts one outcome into the register.
+func (h *History) Push(taken bool) {
+	h.bits <<= 1
+	if taken {
+		h.bits |= 1
+	}
+	h.bits &= h.mask
+}
+
+// Bits returns the current history pattern.
+func (h *History) Bits() uint64 { return h.bits }
+
+// Reset clears the register.
+func (h *History) Reset() { h.bits = 0 }
+
+// Bit reports the i-th most recent outcome (i = 0 is the latest).
+func (h *History) Bit(i int) bool { return h.bits>>uint(i)&1 == 1 }

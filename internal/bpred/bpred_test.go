@@ -1,0 +1,341 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+func TestCounter2(t *testing.T) {
+	c := WeakNT
+	if c.Taken() {
+		t.Fatal("weak-NT predicts taken")
+	}
+	c = c.Update(true) // 2
+	if !c.Taken() {
+		t.Fatal("counter did not move to taken")
+	}
+	c = c.Update(true).Update(true).Update(true) // saturate at 3
+	if c != 3 {
+		t.Fatalf("counter = %d, want saturated 3", c)
+	}
+	c = c.Update(false).Update(false).Update(false).Update(false)
+	if c != 0 {
+		t.Fatalf("counter = %d, want saturated 0", c)
+	}
+	if c.Update(false) != 0 {
+		t.Fatal("counter went below 0")
+	}
+}
+
+func TestHistory(t *testing.T) {
+	h := NewHistory(4)
+	for _, b := range []bool{true, false, true, true} {
+		h.Push(b)
+	}
+	if h.Bits() != 0b1011 {
+		t.Fatalf("Bits = %b", h.Bits())
+	}
+	if !h.Bit(0) || !h.Bit(1) || h.Bit(2) || !h.Bit(3) {
+		t.Fatal("Bit accessor wrong")
+	}
+	h.Push(true) // oldest bit falls off the 4-bit register
+	if h.Bits() != 0b0111 {
+		t.Fatalf("after overflow Bits = %b", h.Bits())
+	}
+	h.Reset()
+	if h.Bits() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestHistoryPanics(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistory(%d) did not panic", n)
+				}
+			}()
+			NewHistory(n)
+		}()
+	}
+	NewHistory(64) // must be accepted
+}
+
+// measureBiased trains p on a Bernoulli(taken=bias) branch and returns
+// accuracy over the post-warmup window.
+func measureBiased(p Predictor, bias float64, n int) float64 {
+	r := rng.New(99)
+	pc := trace.PC(0x1234)
+	correct, total := 0, 0
+	for i := 0; i < n; i++ {
+		taken := r.Bool(bias)
+		pred := p.Predict(pc)
+		p.Update(pc, taken)
+		if i >= n/10 { // skip warmup
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestPredictorsLearnBias(t *testing.T) {
+	for _, name := range []string{NameGshare4KB, NameBimodal, NamePerceptron16KB, NamePAg, NameGAg, NameTournamentSmall} {
+		p := MustNew(name)
+		if acc := measureBiased(p, 0.95, 20000); acc < 0.90 {
+			t.Errorf("%s accuracy %.3f on 95%%-biased branch, want >= 0.90", name, acc)
+		}
+	}
+}
+
+// measurePattern runs a strict repeating pattern through p.
+func measurePattern(p Predictor, pattern []bool, n int) float64 {
+	pc := trace.PC(0x4444)
+	correct, total := 0, 0
+	for i := 0; i < n; i++ {
+		taken := pattern[i%len(pattern)]
+		pred := p.Predict(pc)
+		p.Update(pc, taken)
+		if i >= n/10 {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	// A deterministic period-6 pattern is fully visible in a 14-bit
+	// history; gshare should approach 100%.
+	pattern := []bool{true, true, false, true, false, false}
+	if acc := measurePattern(NewGshare4KB(), pattern, 20000); acc < 0.99 {
+		t.Fatalf("gshare pattern accuracy %.3f, want >= 0.99", acc)
+	}
+	// Bimodal cannot: it converges to the majority direction.
+	if acc := measurePattern(NewBimodal(14), pattern, 20000); acc > 0.80 {
+		t.Fatalf("bimodal pattern accuracy %.3f, expected below 0.80", acc)
+	}
+}
+
+func TestPerceptronLearnsLinearCorrelation(t *testing.T) {
+	// Outcome equals the outcome 20 branches ago XOR 8 % noise. The
+	// noise keeps the stream aperiodic, so gshare's 14-bit contexts
+	// are effectively random and untrainable, while the perceptron
+	// only needs one strong weight on history bit 20 (within its
+	// 36-bit reach).
+	p := NewPerceptron16KB()
+	g := NewGshare4KB()
+	var hist []bool
+	r := rng.New(7)
+	pc := trace.PC(0x999)
+	accP, accG, total := 0, 0, 0
+	const n = 60000
+	for i := 0; i < n; i++ {
+		var taken bool
+		if len(hist) >= 20 {
+			taken = hist[len(hist)-20] != r.Bool(0.08)
+		} else {
+			taken = r.Bool(0.5)
+		}
+		if p.Predict(pc) == taken && i > n/5 {
+			accP++
+		}
+		if g.Predict(pc) == taken && i > n/5 {
+			accG++
+		}
+		if i > n/5 {
+			total++
+		}
+		p.Update(pc, taken)
+		g.Update(pc, taken)
+		hist = append(hist, taken)
+	}
+	pAcc := float64(accP) / float64(total)
+	gAcc := float64(accG) / float64(total)
+	if pAcc < 0.85 {
+		t.Fatalf("perceptron accuracy %.3f on noisy 20-back correlation, want >= 0.85", pAcc)
+	}
+	if pAcc <= gAcc+0.1 {
+		t.Fatalf("perceptron (%.3f) should clearly beat gshare (%.3f) on long correlation", pAcc, gAcc)
+	}
+}
+
+func TestLoopPredictorLearnsTripCount(t *testing.T) {
+	l := NewLoop(10)
+	pc := trace.PC(0x77)
+	const trips = 37 // far beyond any history register
+	correct, total := 0, 0
+	for visit := 0; visit < 300; visit++ {
+		for i := 0; i < trips; i++ {
+			taken := i < trips-1
+			pred := l.Predict(pc)
+			l.Update(pc, taken)
+			if visit >= 10 {
+				total++
+				if pred == taken {
+					correct++
+				}
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.999 {
+		t.Fatalf("loop predictor accuracy %.4f on fixed trip count, want ~1", acc)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	at := &Static{Dir: true}
+	if !at.Predict(1) || at.Name() != "always-taken" {
+		t.Fatal("always-taken wrong")
+	}
+	ant := &Static{Dir: false}
+	if ant.Predict(1) || ant.Name() != "always-not-taken" {
+		t.Fatal("always-not-taken wrong")
+	}
+	at.Update(1, false) // no-op
+	at.Reset()
+}
+
+func TestTournamentPicksBetterComponent(t *testing.T) {
+	// On a pattern branch, gshare is right and bimodal is wrong; the
+	// tournament should track gshare closely.
+	tour := NewTournament(NewBimodal(12), NewGshare(12, 12), 12)
+	pattern := []bool{true, false, true, true, false, false}
+	if acc := measurePattern(tour, pattern, 30000); acc < 0.95 {
+		t.Fatalf("tournament accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestReset(t *testing.T) {
+	for _, name := range Names() {
+		p := MustNew(name)
+		// Train, reset, and check the first predictions match a fresh
+		// instance (state fully cleared).
+		r := rng.New(5)
+		for i := 0; i < 5000; i++ {
+			pc := trace.PC(r.Intn(64))
+			taken := r.Bool(0.7)
+			p.Predict(pc)
+			p.Update(pc, taken)
+		}
+		p.Reset()
+		fresh := MustNew(name)
+		for i := 0; i < 200; i++ {
+			pc := trace.PC(i)
+			if p.Predict(pc) != fresh.Predict(pc) {
+				t.Errorf("%s: state not fully reset at pc %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("New(%q) returned nil", name)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("New(bogus) did not error")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(bogus) did not panic")
+		}
+	}()
+	MustNew("bogus")
+}
+
+func TestSatAdd8(t *testing.T) {
+	cases := []struct{ a, b, want int8 }{
+		{127, 1, 127},
+		{-128, -1, -128},
+		{100, 27, 127},
+		{-100, -28, -128},
+		{10, -20, -10},
+	}
+	for _, c := range cases {
+		if got := satAdd8(c.a, c.b); got != c.want {
+			t.Errorf("satAdd8(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	f := func(a, b int8) bool {
+		got := int16(satAdd8(a, b))
+		sum := int16(a) + int16(b)
+		if sum > 127 {
+			sum = 127
+		}
+		if sum < -128 {
+			sum = -128
+		}
+		return got == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	acct := NewAccounting(&Static{Dir: true})
+	acct.Branch(1, true)
+	acct.Branch(1, false)
+	acct.Branch(2, true)
+	if acct.Total.Exec != 3 || acct.Total.Correct != 2 {
+		t.Fatalf("total %+v", acct.Total)
+	}
+	s := acct.Site(1)
+	if s.Exec != 2 || s.Correct != 1 || s.Accuracy() != 50 {
+		t.Fatalf("site 1 %+v", s)
+	}
+	if acct.Site(99).Exec != 0 {
+		t.Fatal("unknown site not zero")
+	}
+	pcs := acct.PCs()
+	if len(pcs) != 2 || pcs[0] != 1 || pcs[1] != 2 {
+		t.Fatalf("PCs = %v", pcs)
+	}
+	if s := acct.Site(2); s.MispredictRate() != 0 {
+		t.Fatalf("mispredict rate %v", s.MispredictRate())
+	}
+	if (SiteStats{}).Accuracy() != 0 {
+		t.Fatal("empty site accuracy not 0")
+	}
+}
+
+func TestMeasureResetsPredictor(t *testing.T) {
+	var rec trace.Recorder
+	for i := 0; i < 100; i++ {
+		rec.Branch(5, true)
+	}
+	p := NewBimodal(10)
+	a1 := Measure(&rec, p)
+	a2 := Measure(&rec, p) // must reset: identical result
+	if a1.Total.Correct != a2.Total.Correct {
+		t.Fatalf("Measure not reproducible: %d vs %d", a1.Total.Correct, a2.Total.Correct)
+	}
+}
+
+func TestGshareName(t *testing.T) {
+	if got := NewGshare4KB().Name(); got != "gshare-4KB" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := NewPerceptron16KB().Name(); got != "perceptron-16KB" {
+		t.Fatalf("Name = %q", got)
+	}
+}

@@ -1,0 +1,71 @@
+package bpred
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// Confidence is a JRS-style branch confidence estimator (Jacobsen,
+// Rotenberg, Smith — MICRO 1996): a table of resetting counters indexed
+// like gshare. A counter increments on every correct prediction and resets
+// on a misprediction; a branch is "confident" when its counter has
+// reached the threshold. Wish-branch hardware consults exactly this
+// kind of estimator to decide between branch and predicate mode.
+type Confidence struct {
+	indexBits int
+	threshold uint8
+	table     []uint8
+	hist      History
+}
+
+// NewConfidence builds an estimator with 2^indexBits resetting counters
+// saturating at max and reporting confident at threshold.
+func NewConfidence(indexBits int, threshold uint8) *Confidence {
+	if indexBits <= 0 || indexBits > 24 {
+		panic(fmt.Sprintf("bpred: invalid confidence index bits %d", indexBits))
+	}
+	if threshold == 0 {
+		panic("bpred: confidence threshold must be positive")
+	}
+	c := &Confidence{
+		indexBits: indexBits,
+		threshold: threshold,
+		table:     make([]uint8, 1<<uint(indexBits)),
+		hist:      NewHistory(indexBits),
+	}
+	return c
+}
+
+func (c *Confidence) index(pc trace.PC) uint64 {
+	mask := uint64(1)<<uint(c.indexBits) - 1
+	return (uint64(pc) ^ c.hist.Bits()) & mask
+}
+
+// Confident reports whether the estimator currently trusts the
+// predictor for the branch at pc.
+func (c *Confidence) Confident(pc trace.PC) bool {
+	return c.table[c.index(pc)] >= c.threshold
+}
+
+// Update trains the estimator with whether the prediction was correct
+// and the resolved direction (for its internal history).
+func (c *Confidence) Update(pc trace.PC, correct, taken bool) {
+	i := c.index(pc)
+	if correct {
+		if c.table[i] < 255 {
+			c.table[i]++
+		}
+	} else {
+		c.table[i] = 0
+	}
+	c.hist.Push(taken)
+}
+
+// Reset restores the power-on (unconfident) state.
+func (c *Confidence) Reset() {
+	for i := range c.table {
+		c.table[i] = 0
+	}
+	c.hist.Reset()
+}

@@ -1,0 +1,87 @@
+package bpred
+
+import (
+	"testing"
+
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+func TestConfidenceSeparatesEasyFromHard(t *testing.T) {
+	g := NewGshare4KB()
+	c := NewConfidence(12, 8)
+	r := rng.New(3)
+	easy, hard := trace.PC(0x100), trace.PC(0x204)
+
+	confidentEasy, confidentHard, samples := 0, 0, 0
+	const n = 60000
+	for i := 0; i < n; i++ {
+		for _, pc := range []trace.PC{easy, hard} {
+			var taken bool
+			if pc == easy {
+				taken = r.Bool(0.99)
+			} else {
+				taken = r.Bool(0.5)
+			}
+			pred := g.Predict(pc)
+			g.Update(pc, taken)
+			conf := c.Confident(pc)
+			c.Update(pc, pred == taken, taken)
+			if i > n/5 {
+				if pc == easy {
+					samples++
+					if conf {
+						confidentEasy++
+					}
+				} else if conf {
+					confidentHard++
+				}
+			}
+		}
+	}
+	easyRate := float64(confidentEasy) / float64(samples)
+	hardRate := float64(confidentHard) / float64(samples)
+	if easyRate < 0.85 {
+		t.Fatalf("easy branch confident only %.3f of the time", easyRate)
+	}
+	if hardRate > 0.5*easyRate {
+		t.Fatalf("hard branch confidence %.3f too close to easy %.3f", hardRate, easyRate)
+	}
+}
+
+func TestConfidenceResets(t *testing.T) {
+	c := NewConfidence(8, 4)
+	pc := trace.PC(5)
+	// All-not-taken outcomes keep the internal history (and hence the
+	// table index) stable, making the counter's lifecycle observable.
+	for i := 0; i < 10; i++ {
+		c.Update(pc, true, false)
+	}
+	if !c.Confident(pc) {
+		t.Fatal("not confident after a correct streak")
+	}
+	c.Update(pc, false, false)
+	if c.Confident(pc) {
+		t.Fatal("still confident right after a misprediction")
+	}
+	c.Reset()
+	if c.Confident(pc) {
+		t.Fatal("confident after Reset")
+	}
+}
+
+func TestConfidenceValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewConfidence(0, 4) },
+		func() { NewConfidence(8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,80 @@
+package bpred
+
+import "fmt"
+
+// Known configuration names accepted by New. The two starred entries are
+// the configurations the paper evaluates.
+const (
+	NameGshare4KB       = "gshare-4KB"      // * profiler baseline
+	NamePerceptron16KB  = "perceptron-16KB" // * target machine
+	NameBimodal         = "bimodal"
+	NameGAg             = "gag"
+	NamePAg             = "pag"
+	NameLoop            = "loop"
+	NameAlwaysTaken     = "always-taken"
+	NameAlwaysNotTaken  = "always-not-taken"
+	NameTournamentSmall = "tournament"
+	NameGshareSmall     = "gshare-1KB"
+	NameGshareLarge     = "gshare-16KB"
+	NameAgree           = "agree"
+	NameGskew           = "gskew"
+	NameTage            = "tage"
+)
+
+// New constructs a predictor by configuration name. It returns an error
+// for unknown names so command-line tools can report bad -predictor
+// flags cleanly.
+func New(name string) (Predictor, error) {
+	switch name {
+	case NameGshare4KB:
+		return NewGshare4KB(), nil
+	case NameGshareSmall:
+		return NewGshare(12, 12), nil
+	case NameGshareLarge:
+		return NewGshare(16, 16), nil
+	case NamePerceptron16KB:
+		return NewPerceptron16KB(), nil
+	case NameBimodal:
+		return NewBimodal(14), nil
+	case NameGAg:
+		return NewGAg(14), nil
+	case NamePAg:
+		return NewPAg(10, 10), nil
+	case NameLoop:
+		return NewLoop(10), nil
+	case NameAlwaysTaken:
+		return &Static{Dir: true}, nil
+	case NameAlwaysNotTaken:
+		return &Static{Dir: false}, nil
+	case NameTournamentSmall:
+		return NewTournament(NewBimodal(12), NewGshare(12, 12), 12), nil
+	case NameAgree:
+		return NewAgree(14, 14), nil
+	case NameGskew:
+		return NewGskew(12, 12), nil
+	case NameTage:
+		return NewTageDefault(), nil
+	default:
+		return nil, fmt.Errorf("bpred: unknown predictor %q", name)
+	}
+}
+
+// Names lists every configuration name accepted by New, in a stable
+// order suitable for help text.
+func Names() []string {
+	return []string{
+		NameGshare4KB, NamePerceptron16KB, NameBimodal, NameGAg, NamePAg,
+		NameLoop, NameAlwaysTaken, NameAlwaysNotTaken, NameTournamentSmall,
+		NameGshareSmall, NameGshareLarge, NameAgree, NameGskew, NameTage,
+	}
+}
+
+// MustNew is New but panics on error; for use with compile-time-constant
+// names in experiments and tests.
+func MustNew(name string) Predictor {
+	p, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

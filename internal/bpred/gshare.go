@@ -1,0 +1,207 @@
+package bpred
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// Gshare is McFarling's gshare predictor: a table of 2-bit counters
+// indexed by the XOR of the global history and the branch PC. The
+// paper's baseline profiler predictor is the 4 KB configuration:
+// 14 index bits (16 K counters) and a 14-bit history.
+type Gshare struct {
+	indexBits int
+	table     []Counter2
+	hist      History
+	name      string
+}
+
+// NewGshare builds a gshare with 2^indexBits counters and historyBits of
+// global history (historyBits <= indexBits is typical; larger is
+// allowed, the excess history simply folds away under the index mask).
+func NewGshare(indexBits, historyBits int) *Gshare {
+	if indexBits <= 0 || indexBits > 30 {
+		panic(fmt.Sprintf("bpred: invalid gshare index bits %d", indexBits))
+	}
+	g := &Gshare{
+		indexBits: indexBits,
+		table:     make([]Counter2, 1<<uint(indexBits)),
+		hist:      NewHistory(historyBits),
+		name:      fmt.Sprintf("gshare-%dKB", (1<<uint(indexBits))*2/8/1024),
+	}
+	g.Reset()
+	return g
+}
+
+// NewGshare4KB returns the paper's baseline 4 KB gshare (14-bit index,
+// 14-bit history).
+func NewGshare4KB() *Gshare { return NewGshare(14, 14) }
+
+func (g *Gshare) index(pc trace.PC) uint64 {
+	mask := uint64(1)<<uint(g.indexBits) - 1
+	return (uint64(pc) ^ g.hist.Bits()) & mask
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc trace.PC) bool {
+	return g.table[g.index(pc)].Taken()
+}
+
+// Update implements Predictor.
+func (g *Gshare) Update(pc trace.PC, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].Update(taken)
+	g.hist.Push(taken)
+}
+
+// Name implements Predictor.
+func (g *Gshare) Name() string { return g.name }
+
+// Reset implements Predictor.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = WeakNT
+	}
+	g.hist.Reset()
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters with no history.
+type Bimodal struct {
+	indexBits int
+	table     []Counter2
+}
+
+// NewBimodal builds a bimodal predictor with 2^indexBits counters.
+func NewBimodal(indexBits int) *Bimodal {
+	if indexBits <= 0 || indexBits > 30 {
+		panic(fmt.Sprintf("bpred: invalid bimodal index bits %d", indexBits))
+	}
+	b := &Bimodal{indexBits: indexBits, table: make([]Counter2, 1<<uint(indexBits))}
+	b.Reset()
+	return b
+}
+
+func (b *Bimodal) index(pc trace.PC) uint64 {
+	return uint64(pc) & (uint64(1)<<uint(b.indexBits) - 1)
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc trace.PC) bool { return b.table[b.index(pc)].Taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc trace.PC, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].Update(taken)
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", b.indexBits) }
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = WeakNT
+	}
+}
+
+// GAg is a two-level predictor whose single global history register
+// indexes the pattern table directly (no PC mixing).
+type GAg struct {
+	table []Counter2
+	hist  History
+	bits  int
+}
+
+// NewGAg builds a GAg with historyBits of history and 2^historyBits
+// counters.
+func NewGAg(historyBits int) *GAg {
+	if historyBits <= 0 || historyBits > 30 {
+		panic(fmt.Sprintf("bpred: invalid GAg history bits %d", historyBits))
+	}
+	g := &GAg{table: make([]Counter2, 1<<uint(historyBits)), hist: NewHistory(historyBits), bits: historyBits}
+	g.Reset()
+	return g
+}
+
+// Predict implements Predictor.
+func (g *GAg) Predict(pc trace.PC) bool { return g.table[g.hist.Bits()].Taken() }
+
+// Update implements Predictor.
+func (g *GAg) Update(pc trace.PC, taken bool) {
+	i := g.hist.Bits()
+	g.table[i] = g.table[i].Update(taken)
+	g.hist.Push(taken)
+}
+
+// Name implements Predictor.
+func (g *GAg) Name() string { return fmt.Sprintf("gag-%d", g.bits) }
+
+// Reset implements Predictor.
+func (g *GAg) Reset() {
+	for i := range g.table {
+		g.table[i] = WeakNT
+	}
+	g.hist.Reset()
+}
+
+// PAg is a two-level local-history predictor: a PC-indexed table of
+// per-branch history registers selects a counter in a shared pattern
+// table.
+type PAg struct {
+	bhtBits  int
+	histBits int
+	bht      []uint64
+	pht      []Counter2
+}
+
+// NewPAg builds a PAg with 2^bhtBits local history registers of
+// histBits each and a 2^histBits-entry pattern table.
+func NewPAg(bhtBits, histBits int) *PAg {
+	if bhtBits <= 0 || bhtBits > 24 || histBits <= 0 || histBits > 24 {
+		panic(fmt.Sprintf("bpred: invalid PAg config %d/%d", bhtBits, histBits))
+	}
+	p := &PAg{
+		bhtBits:  bhtBits,
+		histBits: histBits,
+		bht:      make([]uint64, 1<<uint(bhtBits)),
+		pht:      make([]Counter2, 1<<uint(histBits)),
+	}
+	p.Reset()
+	return p
+}
+
+func (p *PAg) bhtIndex(pc trace.PC) uint64 {
+	return uint64(pc) & (uint64(1)<<uint(p.bhtBits) - 1)
+}
+
+// Predict implements Predictor.
+func (p *PAg) Predict(pc trace.PC) bool {
+	h := p.bht[p.bhtIndex(pc)]
+	return p.pht[h].Taken()
+}
+
+// Update implements Predictor.
+func (p *PAg) Update(pc trace.PC, taken bool) {
+	bi := p.bhtIndex(pc)
+	h := p.bht[bi]
+	p.pht[h] = p.pht[h].Update(taken)
+	h <<= 1
+	if taken {
+		h |= 1
+	}
+	p.bht[bi] = h & (uint64(1)<<uint(p.histBits) - 1)
+}
+
+// Name implements Predictor.
+func (p *PAg) Name() string { return fmt.Sprintf("pag-%d.%d", p.bhtBits, p.histBits) }
+
+// Reset implements Predictor.
+func (p *PAg) Reset() {
+	for i := range p.bht {
+		p.bht[i] = 0
+	}
+	for i := range p.pht {
+		p.pht[i] = WeakNT
+	}
+}

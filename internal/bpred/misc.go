@@ -1,0 +1,156 @@
+package bpred
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// Static predicts a fixed direction for every branch.
+type Static struct {
+	Dir bool
+}
+
+// Predict implements Predictor.
+func (s *Static) Predict(pc trace.PC) bool { return s.Dir }
+
+// Update implements Predictor (no state).
+func (s *Static) Update(pc trace.PC, taken bool) {}
+
+// Name implements Predictor.
+func (s *Static) Name() string {
+	if s.Dir {
+		return "always-taken"
+	}
+	return "always-not-taken"
+}
+
+// Reset implements Predictor (no state).
+func (s *Static) Reset() {}
+
+// Tournament selects between two component predictors with a PC-indexed
+// table of 2-bit chooser counters (Alpha 21264 style selection).
+type Tournament struct {
+	A, B      Predictor
+	indexBits int
+	choice    []Counter2 // taken state means "use B"
+}
+
+// NewTournament builds a tournament predictor over a and b with
+// 2^indexBits chooser counters.
+func NewTournament(a, b Predictor, indexBits int) *Tournament {
+	if indexBits <= 0 || indexBits > 24 {
+		panic(fmt.Sprintf("bpred: invalid tournament index bits %d", indexBits))
+	}
+	t := &Tournament{A: a, B: b, indexBits: indexBits, choice: make([]Counter2, 1<<uint(indexBits))}
+	for i := range t.choice {
+		t.choice[i] = WeakNT
+	}
+	return t
+}
+
+func (t *Tournament) index(pc trace.PC) uint64 {
+	return uint64(pc) & (uint64(1)<<uint(t.indexBits) - 1)
+}
+
+// Predict implements Predictor.
+func (t *Tournament) Predict(pc trace.PC) bool {
+	if t.choice[t.index(pc)].Taken() {
+		return t.B.Predict(pc)
+	}
+	return t.A.Predict(pc)
+}
+
+// Update implements Predictor. The chooser trains toward whichever
+// component was correct when they disagree.
+func (t *Tournament) Update(pc trace.PC, taken bool) {
+	pa := t.A.Predict(pc)
+	pb := t.B.Predict(pc)
+	if pa != pb {
+		i := t.index(pc)
+		t.choice[i] = t.choice[i].Update(pb == taken)
+	}
+	t.A.Update(pc, taken)
+	t.B.Update(pc, taken)
+}
+
+// Name implements Predictor.
+func (t *Tournament) Name() string {
+	return fmt.Sprintf("tournament(%s,%s)", t.A.Name(), t.B.Name())
+}
+
+// Reset implements Predictor.
+func (t *Tournament) Reset() {
+	t.A.Reset()
+	t.B.Reset()
+	for i := range t.choice {
+		t.choice[i] = WeakNT
+	}
+}
+
+// Loop is a specialised loop-exit predictor: it learns the iteration
+// count of loop branches and predicts the exit on the final iteration.
+// Used as an ablation component (the paper notes gzip's loop branch
+// would be easy for "a specialized loop predictor").
+type Loop struct {
+	indexBits int
+	entries   []loopEntry
+}
+
+type loopEntry struct {
+	trip    uint32 // learned iteration count (taken run length + 1)
+	current uint32 // takens seen in the current visit
+	conf    uint8  // confidence that trip is stable
+}
+
+// NewLoop builds a loop predictor with 2^indexBits entries.
+func NewLoop(indexBits int) *Loop {
+	if indexBits <= 0 || indexBits > 24 {
+		panic(fmt.Sprintf("bpred: invalid loop index bits %d", indexBits))
+	}
+	return &Loop{indexBits: indexBits, entries: make([]loopEntry, 1<<uint(indexBits))}
+}
+
+func (l *Loop) entry(pc trace.PC) *loopEntry {
+	return &l.entries[uint64(pc)&(uint64(1)<<uint(l.indexBits)-1)]
+}
+
+// Predict implements Predictor: taken while inside the learned trip
+// count, not-taken on the predicted final iteration. With no confidence
+// it predicts taken (loop back-edges are overwhelmingly taken).
+func (l *Loop) Predict(pc trace.PC) bool {
+	e := l.entry(pc)
+	if e.conf >= 2 && e.trip > 0 && e.current+1 >= e.trip {
+		return false
+	}
+	return true
+}
+
+// Update implements Predictor.
+func (l *Loop) Update(pc trace.PC, taken bool) {
+	e := l.entry(pc)
+	if taken {
+		e.current++
+		return
+	}
+	observed := e.current + 1
+	if observed == e.trip {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.trip = observed
+		e.conf = 0
+	}
+	e.current = 0
+}
+
+// Name implements Predictor.
+func (l *Loop) Name() string { return fmt.Sprintf("loop-%d", l.indexBits) }
+
+// Reset implements Predictor.
+func (l *Loop) Reset() {
+	for i := range l.entries {
+		l.entries[i] = loopEntry{}
+	}
+}

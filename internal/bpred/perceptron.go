@@ -1,0 +1,123 @@
+package bpred
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// Perceptron is Jiménez and Lin's perceptron predictor. The paper's
+// target-machine predictor is the 16 KB configuration: 457 entries and a
+// 36-bit global history (457 entries × 37 signed 8-bit weights ≈ 16 KB).
+type Perceptron struct {
+	entries  int
+	histBits int
+	weights  [][]int8 // [entry][histBits+1]; index 0 is the bias weight
+	hist     History
+	theta    int32
+	name     string
+}
+
+// NewPerceptron builds a perceptron predictor with the given table size
+// and history length. The training threshold follows the original paper:
+// theta = floor(1.93*h + 14).
+func NewPerceptron(entries, histBits int) *Perceptron {
+	if entries <= 0 || histBits <= 0 || histBits > 63 {
+		panic(fmt.Sprintf("bpred: invalid perceptron config %d/%d", entries, histBits))
+	}
+	p := &Perceptron{
+		entries:  entries,
+		histBits: histBits,
+		hist:     NewHistory(histBits),
+		theta:    int32(1.93*float64(histBits) + 14),
+		name:     fmt.Sprintf("perceptron-%dKB", entries*(histBits+1)/1024),
+	}
+	p.weights = make([][]int8, entries)
+	for i := range p.weights {
+		p.weights[i] = make([]int8, histBits+1)
+	}
+	return p
+}
+
+// NewPerceptron16KB returns the paper's 16 KB target predictor
+// (457 entries, 36-bit history).
+func NewPerceptron16KB() *Perceptron { return NewPerceptron(457, 36) }
+
+func (p *Perceptron) row(pc trace.PC) []int8 {
+	return p.weights[uint64(pc)%uint64(p.entries)]
+}
+
+// output computes the perceptron dot product for pc under the current
+// history.
+func (p *Perceptron) output(pc trace.PC) int32 {
+	w := p.row(pc)
+	y := int32(w[0])
+	for i := 0; i < p.histBits; i++ {
+		if p.hist.Bit(i) {
+			y += int32(w[i+1])
+		} else {
+			y -= int32(w[i+1])
+		}
+	}
+	return y
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc trace.PC) bool { return p.output(pc) >= 0 }
+
+// Update implements Predictor. Training follows the original rule: adjust
+// weights when the prediction was wrong or |y| <= theta.
+func (p *Perceptron) Update(pc trace.PC, taken bool) {
+	y := p.output(pc)
+	pred := y >= 0
+	if pred != taken || abs32(y) <= p.theta {
+		w := p.row(pc)
+		var t int8 = -1
+		if taken {
+			t = 1
+		}
+		w[0] = satAdd8(w[0], t)
+		for i := 0; i < p.histBits; i++ {
+			var x int8 = -1
+			if p.hist.Bit(i) {
+				x = 1
+			}
+			w[i+1] = satAdd8(w[i+1], t*x)
+		}
+	}
+	p.hist.Push(taken)
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string { return p.name }
+
+// Reset implements Predictor.
+func (p *Perceptron) Reset() {
+	for _, row := range p.weights {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	p.hist.Reset()
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// satAdd8 adds two int8 values with saturation at the int8 range, which
+// models the hardware's saturating weight counters.
+func satAdd8(a, b int8) int8 {
+	s := int16(a) + int16(b)
+	switch {
+	case s > 127:
+		return 127
+	case s < -128:
+		return -128
+	default:
+		return int8(s)
+	}
+}

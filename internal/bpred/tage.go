@@ -1,0 +1,177 @@
+package bpred
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// Tage is a simplified TAGE predictor (Seznec & Michaud, JILP 2006):
+// a bimodal base predictor plus tagged tables indexed with
+// geometrically increasing history lengths. The longest-history tagged
+// hit provides the prediction; entries are allocated on mispredictions
+// and protected by useful counters. This is the post-paper predictor
+// generation, included to show 2D-profiling's ground truth is
+// predictor-relative (§5.3) even for modern predictors.
+type Tage struct {
+	base     *Bimodal
+	tables   []tageTable
+	hist     History
+	name     string
+	histBits int
+}
+
+type tageTable struct {
+	histLen   int
+	indexBits int
+	entries   []tageEntry
+}
+
+type tageEntry struct {
+	tag    uint16
+	ctr    Counter2
+	useful uint8
+}
+
+// NewTage builds a TAGE with the given tagged-table history lengths
+// (ascending) and 2^indexBits entries per table.
+func NewTage(indexBits int, histLens []int) *Tage {
+	if indexBits <= 0 || indexBits > 20 {
+		panic(fmt.Sprintf("bpred: invalid tage index bits %d", indexBits))
+	}
+	if len(histLens) == 0 {
+		panic("bpred: tage needs at least one tagged table")
+	}
+	maxHist := 0
+	for i, h := range histLens {
+		if h <= 0 || h > 64 {
+			panic(fmt.Sprintf("bpred: invalid tage history length %d", h))
+		}
+		if i > 0 && h <= histLens[i-1] {
+			panic("bpred: tage history lengths must ascend")
+		}
+		if h > maxHist {
+			maxHist = h
+		}
+	}
+	t := &Tage{
+		base:     NewBimodal(indexBits),
+		hist:     NewHistory(maxHist),
+		histBits: maxHist,
+		name:     fmt.Sprintf("tage-%dx%d", len(histLens), indexBits),
+	}
+	for _, h := range histLens {
+		t.tables = append(t.tables, tageTable{
+			histLen:   h,
+			indexBits: indexBits,
+			entries:   make([]tageEntry, 1<<uint(indexBits)),
+		})
+	}
+	t.Reset()
+	return t
+}
+
+// NewTageDefault returns a 4-table TAGE with history lengths 4/8/16/32
+// and 1K entries per table.
+func NewTageDefault() *Tage { return NewTage(10, []int{4, 8, 16, 32}) }
+
+// fold compresses h's low n bits into width bits by xor-folding.
+func fold(h uint64, n, width int) uint64 {
+	if n < 64 {
+		h &= (1 << uint(n)) - 1
+	}
+	var out uint64
+	for n > 0 {
+		out ^= h & ((1 << uint(width)) - 1)
+		h >>= uint(width)
+		n -= width
+	}
+	return out
+}
+
+func (t *Tage) index(ti int, pc trace.PC) uint64 {
+	tb := &t.tables[ti]
+	mask := uint64(1)<<uint(tb.indexBits) - 1
+	return (uint64(pc) ^ fold(t.hist.Bits(), tb.histLen, tb.indexBits) ^ uint64(ti)*0x9e37) & mask
+}
+
+func (t *Tage) tag(ti int, pc trace.PC) uint16 {
+	tb := &t.tables[ti]
+	return uint16((uint64(pc)>>uint(tb.indexBits) ^ fold(t.hist.Bits(), tb.histLen, 9) ^ uint64(ti)*31) & 0x1ff)
+}
+
+// lookup returns the provider table index (-1 = base) and prediction.
+func (t *Tage) lookup(pc trace.PC) (int, bool) {
+	for ti := len(t.tables) - 1; ti >= 0; ti-- {
+		e := &t.tables[ti].entries[t.index(ti, pc)]
+		if e.tag == t.tag(ti, pc) {
+			return ti, e.ctr.Taken()
+		}
+	}
+	return -1, t.base.Predict(pc)
+}
+
+// Predict implements Predictor.
+func (t *Tage) Predict(pc trace.PC) bool {
+	_, pred := t.lookup(pc)
+	return pred
+}
+
+// Update implements Predictor.
+func (t *Tage) Update(pc trace.PC, taken bool) {
+	provider, pred := t.lookup(pc)
+
+	// Train the provider.
+	if provider >= 0 {
+		e := &t.tables[provider].entries[t.index(provider, pc)]
+		e.ctr = e.ctr.Update(taken)
+		if pred == taken {
+			if e.useful < 3 {
+				e.useful++
+			}
+		} else if e.useful > 0 {
+			e.useful--
+		}
+	} else {
+		t.base.Update(pc, taken)
+	}
+
+	// On a misprediction, allocate in a longer-history table.
+	if pred != taken {
+		for ti := provider + 1; ti < len(t.tables); ti++ {
+			e := &t.tables[ti].entries[t.index(ti, pc)]
+			if e.useful == 0 {
+				e.tag = t.tag(ti, pc)
+				if taken {
+					e.ctr = 2
+				} else {
+					e.ctr = 1
+				}
+				break
+			}
+			// Entry protected: age it so allocation eventually
+			// succeeds.
+			e.useful--
+		}
+	}
+
+	if provider >= 0 {
+		// The base predictor keeps learning as a fallback.
+		t.base.Update(pc, taken)
+	}
+	t.hist.Push(taken)
+}
+
+// Name implements Predictor.
+func (t *Tage) Name() string { return t.name }
+
+// Reset implements Predictor.
+func (t *Tage) Reset() {
+	t.base.Reset()
+	for ti := range t.tables {
+		for i := range t.tables[ti].entries {
+			t.tables[ti].entries[i] = tageEntry{ctr: WeakNT}
+		}
+	}
+	t.hist.Reset()
+}

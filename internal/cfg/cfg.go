@@ -1,0 +1,251 @@
+// Package cfg builds control-flow graphs over VM programs, collects
+// edge profiles, and grows hot paths (traces). It grounds the paper's
+// §2.2 argument: trace/superblock and code-layout optimisations rely on
+// the same path staying hot across input sets, so a hot path that
+// crosses an input-dependent branch is a risky optimisation target.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"twodprof/internal/vm"
+)
+
+// Block is a basic block: a maximal straight-line instruction range.
+type Block struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction
+}
+
+// Terminator returns the block's last instruction.
+func (b Block) Terminator(p *vm.Program) vm.Inst { return p.Insts[b.End-1] }
+
+// Graph is the static block structure of a program. Edges are collected
+// dynamically (EdgeProfile), since ret successors are not static.
+type Graph struct {
+	Prog    *vm.Program
+	Blocks  []Block
+	blockOf []int // instruction index -> block id
+	isStart []bool
+}
+
+// Build partitions the program into basic blocks. Leaders are:
+// instruction 0, every branch/jump/call target, and every instruction
+// following a conditional branch, jump, ret or halt.
+func Build(p *vm.Program) *Graph {
+	n := len(p.Insts)
+	if n == 0 {
+		return &Graph{Prog: p}
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, in := range p.Insts {
+		switch in.Op {
+		case vm.OpBr:
+			mark(leader, in.Target)
+			mark(leader, i+1)
+		case vm.OpJmp, vm.OpCall:
+			mark(leader, in.Target)
+			mark(leader, i+1)
+		case vm.OpRet, vm.OpHalt:
+			mark(leader, i+1)
+		}
+	}
+	g := &Graph{Prog: p, blockOf: make([]int, n), isStart: leader}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			id := len(g.Blocks)
+			g.Blocks = append(g.Blocks, Block{ID: id, Start: start, End: i})
+			for j := start; j < i; j++ {
+				g.blockOf[j] = id
+			}
+			start = i
+		}
+	}
+	return g
+}
+
+func mark(leader []bool, i int) {
+	if i >= 0 && i < len(leader) {
+		leader[i] = true
+	}
+}
+
+// BlockOf returns the block containing instruction index pc.
+func (g *Graph) BlockOf(pc int) (Block, bool) {
+	if pc < 0 || pc >= len(g.blockOf) {
+		return Block{}, false
+	}
+	return g.Blocks[g.blockOf[pc]], true
+}
+
+// NumBlocks returns the block count.
+func (g *Graph) NumBlocks() int { return len(g.Blocks) }
+
+// Edge identifies a dynamic control transfer between two blocks.
+type Edge struct {
+	From, To int
+}
+
+// EdgeProfile accumulates dynamic block and edge execution counts.
+type EdgeProfile struct {
+	G      *Graph
+	Count  []int64 // per-block entry counts
+	Edges  map[Edge]int64
+	prev   int
+	inited bool
+}
+
+// NewEdgeProfile creates an empty profile for g.
+func NewEdgeProfile(g *Graph) *EdgeProfile {
+	return &EdgeProfile{G: g, Count: make([]int64, len(g.Blocks)), Edges: make(map[Edge]int64)}
+}
+
+// OnInst is the vm.Hooks instruction callback: it detects block entries
+// and records (previous block -> entered block) edges.
+func (ep *EdgeProfile) OnInst(pc uint64) {
+	i := int(pc)
+	if i >= len(ep.G.isStart) || !ep.G.isStart[i] {
+		return
+	}
+	cur := ep.G.blockOf[i]
+	ep.Count[cur]++
+	if ep.inited {
+		ep.Edges[Edge{ep.prev, cur}]++
+	}
+	ep.prev = cur
+	ep.inited = true
+}
+
+// Hooks returns vm.Hooks wired to this profile.
+func (ep *EdgeProfile) Hooks() vm.Hooks { return vm.Hooks{OnInst: ep.OnInst} }
+
+// HottestBlock returns the most frequently entered block id, or -1 for
+// an empty profile.
+func (ep *EdgeProfile) HottestBlock() int {
+	best, bestCount := -1, int64(0)
+	for id, c := range ep.Count {
+		if c > bestCount {
+			best, bestCount = id, c
+		}
+	}
+	return best
+}
+
+// Successors returns the observed outgoing edges of a block, sorted by
+// descending count (ties by target id for determinism).
+func (ep *EdgeProfile) Successors(block int) []Edge {
+	var out []Edge
+	for e := range ep.Edges {
+		if e.From == block {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := ep.Edges[out[i]], ep.Edges[out[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// HotPath grows a trace from the hottest block, repeatedly following
+// the heaviest outgoing edge while it carries at least minRatio of its
+// source block's executions, stopping at maxLen blocks or when the path
+// would revisit a block (traces are acyclic).
+func (ep *EdgeProfile) HotPath(maxLen int, minRatio float64) []int {
+	start := ep.HottestBlock()
+	if start < 0 {
+		return nil
+	}
+	path := []int{start}
+	seen := map[int]bool{start: true}
+	cur := start
+	for len(path) < maxLen {
+		succs := ep.Successors(cur)
+		if len(succs) == 0 {
+			break
+		}
+		next := succs[0]
+		if ep.Count[cur] > 0 &&
+			float64(ep.Edges[next])/float64(ep.Count[cur]) < minRatio {
+			break
+		}
+		if seen[next.To] {
+			break
+		}
+		path = append(path, next.To)
+		seen[next.To] = true
+		cur = next.To
+	}
+	return path
+}
+
+// PathSimilarity returns the Jaccard similarity of the block sets of
+// two paths (1 = identical sets, 0 = disjoint).
+func PathSimilarity(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	sa := map[int]bool{}
+	for _, x := range a {
+		sa[x] = true
+	}
+	inter, union := 0, 0
+	sb := map[int]bool{}
+	for _, x := range b {
+		if sb[x] {
+			continue
+		}
+		sb[x] = true
+		union++
+		if sa[x] {
+			inter++
+		}
+	}
+	union += len(sa) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// DivergenceBranch returns the instruction index of the conditional
+// branch where two hot paths first part ways: the terminator of the
+// last common-prefix block, if it is a conditional branch. ok is false
+// when the paths never diverge or the divergence point is not a
+// conditional branch.
+func (g *Graph) DivergenceBranch(a, b []int) (int, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	if i == 0 || (i == len(a) && i == len(b)) {
+		return 0, false
+	}
+	blk := g.Blocks[a[i-1]]
+	if t := blk.Terminator(g.Prog); t.Op == vm.OpBr {
+		return blk.End - 1, true
+	}
+	return 0, false
+}
+
+// FormatPath renders a path with block instruction ranges.
+func (g *Graph) FormatPath(path []int) string {
+	parts := make([]string, len(path))
+	for i, id := range path {
+		b := g.Blocks[id]
+		parts[i] = fmt.Sprintf("B%d[%d..%d)", id, b.Start, b.End)
+	}
+	return strings.Join(parts, " -> ")
+}

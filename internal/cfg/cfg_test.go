@@ -1,0 +1,218 @@
+package cfg
+
+import (
+	"testing"
+
+	"twodprof/internal/progs"
+	"twodprof/internal/vm"
+)
+
+const testProg = `
+main:
+    li  r1, 0
+    li  r2, 10
+loop:
+    addi r1, r1, 1
+    blt  r1, r2, loop
+    beq  r1, r2, even
+    li   r3, 1
+    jmp  done
+even:
+    li   r3, 2
+done:
+    out  r3
+    halt
+`
+
+func build(t *testing.T) (*Graph, *vm.Program) {
+	t.Helper()
+	p, err := vm.Assemble("t", testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(p), p
+}
+
+func TestBuildBlocks(t *testing.T) {
+	g, p := build(t)
+	// Expected leaders: 0 (entry), loop target, after blt, after beq,
+	// even target, jmp target/after jmp.
+	if g.NumBlocks() < 5 {
+		t.Fatalf("only %d blocks", g.NumBlocks())
+	}
+	// Every instruction belongs to exactly one block and blocks tile
+	// the program.
+	end := 0
+	for i, b := range g.Blocks {
+		if b.ID != i {
+			t.Fatalf("block %d has ID %d", i, b.ID)
+		}
+		if b.Start != end {
+			t.Fatalf("block %d starts at %d, want %d", i, b.Start, end)
+		}
+		if b.End <= b.Start {
+			t.Fatalf("empty block %d", i)
+		}
+		end = b.End
+	}
+	if end != len(p.Insts) {
+		t.Fatalf("blocks cover %d of %d instructions", end, len(p.Insts))
+	}
+	// The loop header is a leader.
+	loopIdx := p.MustLabel("loop")
+	blk, ok := g.BlockOf(loopIdx)
+	if !ok || blk.Start != loopIdx {
+		t.Fatalf("loop target not a block start: %+v", blk)
+	}
+	if _, ok := g.BlockOf(-1); ok {
+		t.Fatal("BlockOf(-1) succeeded")
+	}
+	if _, ok := g.BlockOf(9999); ok {
+		t.Fatal("BlockOf(out of range) succeeded")
+	}
+}
+
+func TestEdgeProfileCounts(t *testing.T) {
+	g, p := build(t)
+	ep := NewEdgeProfile(g)
+	m := vm.NewMachine(16)
+	if _, err := m.Run(p, ep.Hooks()); err != nil {
+		t.Fatal(err)
+	}
+	// The loop body block is entered 10 times.
+	loopBlk, _ := g.BlockOf(p.MustLabel("loop"))
+	if ep.Count[loopBlk.ID] != 10 {
+		t.Fatalf("loop block count %d, want 10", ep.Count[loopBlk.ID])
+	}
+	// The loop back edge fired 9 times.
+	if got := ep.Edges[Edge{loopBlk.ID, loopBlk.ID}]; got != 9 {
+		t.Fatalf("back edge count %d, want 9", got)
+	}
+	// Hottest block is the loop.
+	if ep.HottestBlock() != loopBlk.ID {
+		t.Fatalf("hottest block %d, want %d", ep.HottestBlock(), loopBlk.ID)
+	}
+	// r1 == 10 -> the "even" block executed, the other arm did not.
+	evenBlk, _ := g.BlockOf(p.MustLabel("even"))
+	if ep.Count[evenBlk.ID] != 1 {
+		t.Fatalf("even block count %d", ep.Count[evenBlk.ID])
+	}
+}
+
+func TestHotPath(t *testing.T) {
+	g, p := build(t)
+	ep := NewEdgeProfile(g)
+	m := vm.NewMachine(16)
+	if _, err := m.Run(p, ep.Hooks()); err != nil {
+		t.Fatal(err)
+	}
+	path := ep.HotPath(8, 0.1)
+	if len(path) == 0 {
+		t.Fatal("empty hot path")
+	}
+	loopBlk, _ := g.BlockOf(p.MustLabel("loop"))
+	if path[0] != loopBlk.ID {
+		t.Fatalf("hot path starts at %d, want loop %d", path[0], loopBlk.ID)
+	}
+	// Acyclic: no repeated blocks.
+	seen := map[int]bool{}
+	for _, b := range path {
+		if seen[b] {
+			t.Fatalf("cycle in hot path %v", path)
+		}
+		seen[b] = true
+	}
+	if g.FormatPath(path) == "" {
+		t.Fatal("empty path rendering")
+	}
+}
+
+func TestHotPathEmptyProfile(t *testing.T) {
+	g, _ := build(t)
+	ep := NewEdgeProfile(g)
+	if got := ep.HotPath(8, 0.1); got != nil {
+		t.Fatalf("hot path on empty profile: %v", got)
+	}
+}
+
+func TestPathSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 1},
+		{[]int{1, 2}, []int{3, 4}, 0},
+		{[]int{1, 2, 3}, []int{1, 2, 4}, 0.5}, // 2 common of 4 total
+		{nil, nil, 1},
+		{[]int{1}, nil, 0},
+		{[]int{1, 1, 2}, []int{1, 2}, 1}, // duplicate-insensitive
+	}
+	for _, c := range cases {
+		if got := PathSimilarity(c.a, c.b); got != c.want {
+			t.Errorf("PathSimilarity(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivergenceBranch(t *testing.T) {
+	g, p := build(t)
+	loopBlk, _ := g.BlockOf(p.MustLabel("loop"))
+	evenBlk, _ := g.BlockOf(p.MustLabel("even"))
+	// The block after the loop ends with the beq; paths diverging
+	// after it point at that branch.
+	beqBlk, _ := g.BlockOf(p.MustLabel("loop") + 2) // beq instruction
+	a := []int{loopBlk.ID, beqBlk.ID, evenBlk.ID}
+	bOther := []int{loopBlk.ID, beqBlk.ID, evenBlk.ID + 1}
+	pc, ok := g.DivergenceBranch(a, bOther)
+	if !ok {
+		t.Fatal("divergence not found")
+	}
+	if p.Insts[pc].Op != vm.OpBr {
+		t.Fatalf("divergence at non-branch %d", pc)
+	}
+	// Identical paths do not diverge.
+	if _, ok := g.DivergenceBranch(a, a); ok {
+		t.Fatal("identical paths diverged")
+	}
+	// Divergence at position 0 is not attributable to a branch.
+	if _, ok := g.DivergenceBranch([]int{1}, []int{2}); ok {
+		t.Fatal("position-0 divergence attributed")
+	}
+}
+
+func TestBuildEmptyProgram(t *testing.T) {
+	g := Build(&vm.Program{Name: "empty"})
+	if g.NumBlocks() != 0 {
+		t.Fatal("blocks in empty program")
+	}
+}
+
+func TestKernelGraphs(t *testing.T) {
+	// Every bundled kernel must yield a well-formed graph whose edge
+	// profile is consistent: total edge count == total block entries-1.
+	for _, name := range progs.KernelNames() {
+		k, _ := progs.KernelByName(name)
+		g := Build(k.Prog)
+		inst, err := progs.StandardInput(name, "train")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := NewEdgeProfile(g)
+		if _, err := inst.RunHooks(ep.Hooks()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var entries, edges int64
+		for _, c := range ep.Count {
+			entries += c
+		}
+		for _, c := range ep.Edges {
+			edges += c
+		}
+		if edges != entries-1 {
+			t.Fatalf("%s: %d edges for %d entries", name, edges, entries)
+		}
+		if len(ep.HotPath(10, 0.3)) == 0 {
+			t.Fatalf("%s: no hot path", name)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package cfg
+
+import (
+	"sort"
+
+	"twodprof/internal/vm"
+)
+
+// Static control-flow analysis over the block graph: successor edges,
+// dominators (Cooper-Harvey-Kennedy) and natural loops. Calls are
+// treated as straight-line instructions (intraprocedural view); ret and
+// halt terminate their path.
+
+// StaticSuccs returns each block's statically known successor block
+// ids, in ascending order. Blocks ending in ret/halt have none.
+func (g *Graph) StaticSuccs() [][]int {
+	succs := make([][]int, len(g.Blocks))
+	addTo := func(set map[int]bool, instIdx int) {
+		if instIdx >= 0 && instIdx < len(g.blockOf) {
+			set[g.blockOf[instIdx]] = true
+		}
+	}
+	for bi, b := range g.Blocks {
+		set := map[int]bool{}
+		term := b.Terminator(g.Prog)
+		switch term.Op {
+		case vm.OpBr:
+			addTo(set, term.Target)
+			addTo(set, b.End)
+		case vm.OpJmp:
+			addTo(set, term.Target)
+		case vm.OpRet, vm.OpHalt:
+			// no static successors
+		default:
+			// Includes OpCall: the callee eventually returns here, so
+			// the intraprocedural successor is the fallthrough.
+			addTo(set, b.End)
+		}
+		for s := range set {
+			succs[bi] = append(succs[bi], s)
+		}
+		sort.Ints(succs[bi])
+	}
+	return succs
+}
+
+// Dominators returns each block's immediate dominator (idom[0] == 0 for
+// the entry; unreachable blocks get -1), using the Cooper-Harvey-
+// Kennedy iterative algorithm over a reverse-postorder.
+func (g *Graph) Dominators() []int {
+	n := len(g.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		return idom
+	}
+	succs := g.StaticSuccs()
+	preds := make([][]int, n)
+	for b, ss := range succs {
+		for _, s := range ss {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	// Reverse postorder from the entry block.
+	order := make([]int, 0, n)
+	state := make([]int, n) // 0 unvisited, 1 in stack, 2 done
+	var dfs func(int)
+	dfs = func(b int) {
+		state[b] = 1
+		for _, s := range succs[b] {
+			if state[s] == 0 {
+				dfs(s)
+			}
+		}
+		state[b] = 2
+		order = append(order, b)
+	}
+	dfs(0)
+	rpo := make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if rpoNum[p] < 0 || idom[p] < 0 {
+					continue // unreachable or unprocessed predecessor
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b under idom (as
+// returned by Dominators).
+func Dominates(idom []int, a, b int) bool {
+	if a == 0 {
+		return idom[b] >= 0 || b == 0
+	}
+	for b >= 0 {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = idom[b]
+	}
+	return false
+}
+
+// Loop is a natural loop: a back edge (Latch -> Header) where the
+// header dominates the latch, plus the set of blocks in the loop body.
+type Loop struct {
+	Header int
+	Latch  int
+	Blocks []int // sorted block ids, header included
+}
+
+// NaturalLoops finds the natural loops of the static CFG. Loops sharing
+// a header are reported separately per back edge.
+func (g *Graph) NaturalLoops() []Loop {
+	idom := g.Dominators()
+	succs := g.StaticSuccs()
+	preds := make([][]int, len(g.Blocks))
+	for b, ss := range succs {
+		for _, s := range ss {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	var loops []Loop
+	for latch, ss := range succs {
+		if idom[latch] < 0 {
+			continue // unreachable
+		}
+		for _, header := range ss {
+			if !Dominates(idom, header, latch) {
+				continue
+			}
+			// Collect the loop body: header plus everything that
+			// reaches the latch without passing through the header.
+			// The header is seeded as visited so the walk never
+			// expands through it (or out of it, for self-loops).
+			inLoop := map[int]bool{header: true}
+			var stack []int
+			if latch != header {
+				inLoop[latch] = true
+				stack = append(stack, latch)
+			}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range preds[b] {
+					if !inLoop[p] {
+						inLoop[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+			blocks := make([]int, 0, len(inLoop))
+			for b := range inLoop {
+				blocks = append(blocks, b)
+			}
+			sort.Ints(blocks)
+			loops = append(loops, Loop{Header: header, Latch: latch, Blocks: blocks})
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Header != loops[j].Header {
+			return loops[i].Header < loops[j].Header
+		}
+		return loops[i].Latch < loops[j].Latch
+	})
+	return loops
+}
+
+// LoopExitBranches returns the instruction indices of conditional
+// branches in the loop whose two outcomes land inside and outside the
+// loop body — the branch archetype whose trip count drives the paper's
+// gzip example.
+func (g *Graph) LoopExitBranches(l Loop) []int {
+	inLoop := map[int]bool{}
+	for _, b := range l.Blocks {
+		inLoop[b] = true
+	}
+	var out []int
+	for _, bi := range l.Blocks {
+		blk := g.Blocks[bi]
+		term := blk.Terminator(g.Prog)
+		if term.Op != vm.OpBr {
+			continue
+		}
+		tBlk := g.blockOf[term.Target]
+		fallBlk := -1
+		if blk.End < len(g.blockOf) {
+			fallBlk = g.blockOf[blk.End]
+		}
+		tIn := inLoop[tBlk]
+		fIn := fallBlk >= 0 && inLoop[fallBlk]
+		if tIn != fIn {
+			out = append(out, blk.End-1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package cfg
+
+import (
+	"testing"
+
+	"twodprof/internal/progs"
+	"twodprof/internal/vm"
+)
+
+func TestStaticSuccs(t *testing.T) {
+	g, p := build(t)
+	succs := g.StaticSuccs()
+	// The loop block (addi; blt loop) has two successors: itself and
+	// the next block.
+	loopBlk, _ := g.BlockOf(p.MustLabel("loop"))
+	ss := succs[loopBlk.ID]
+	if len(ss) != 2 {
+		t.Fatalf("loop successors %v", ss)
+	}
+	self := false
+	for _, s := range ss {
+		if s == loopBlk.ID {
+			self = true
+		}
+	}
+	if !self {
+		t.Fatal("loop back edge missing from static successors")
+	}
+	// The halt block has none.
+	last := g.Blocks[g.NumBlocks()-1]
+	if term := last.Terminator(p); term.Op == vm.OpHalt && len(succs[last.ID]) != 0 {
+		t.Fatalf("halt block has successors %v", succs[last.ID])
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g, p := build(t)
+	idom := g.Dominators()
+	if idom[0] != 0 {
+		t.Fatalf("entry idom %d", idom[0])
+	}
+	// Every reachable block is dominated by the entry.
+	for b := range g.Blocks {
+		if idom[b] < 0 {
+			continue
+		}
+		if !Dominates(idom, 0, b) {
+			t.Errorf("entry does not dominate block %d", b)
+		}
+	}
+	// The loop header dominates the blocks after the loop.
+	loopBlk, _ := g.BlockOf(p.MustLabel("loop"))
+	evenBlk, _ := g.BlockOf(p.MustLabel("even"))
+	if !Dominates(idom, loopBlk.ID, evenBlk.ID) {
+		t.Error("loop header should dominate the even block")
+	}
+	// The even block does not dominate the done block (the other arm
+	// also reaches it).
+	doneBlk, _ := g.BlockOf(p.MustLabel("done"))
+	if Dominates(idom, evenBlk.ID, doneBlk.ID) {
+		t.Error("one arm of the diamond should not dominate the join")
+	}
+}
+
+func TestNaturalLoops(t *testing.T) {
+	g, p := build(t)
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1: %+v", len(loops), loops)
+	}
+	l := loops[0]
+	loopBlk, _ := g.BlockOf(p.MustLabel("loop"))
+	if l.Header != loopBlk.ID || l.Latch != loopBlk.ID {
+		t.Fatalf("loop %+v, want self-loop at block %d", l, loopBlk.ID)
+	}
+	exits := g.LoopExitBranches(l)
+	if len(exits) != 1 || p.Insts[exits[0]].Op != vm.OpBr {
+		t.Fatalf("loop exits %v", exits)
+	}
+}
+
+func TestKernelLoops(t *testing.T) {
+	// Every kernel has loops, and every kernel's loop-exit branches
+	// include its labelled loop-exit sites.
+	wantExit := map[string]string{
+		"typesum": "loop_exit",
+		"lzchain": "chain_exit",
+		"bsearch": "qloop_exit",
+		"inssort": "iloop_exit",
+		"fsm":     "tloop_exit",
+		"bellman": "edge_exit",
+	}
+	for _, name := range progs.KernelNames() {
+		k, _ := progs.KernelByName(name)
+		g := Build(k.Prog)
+		loops := g.NaturalLoops()
+		if len(loops) == 0 {
+			t.Fatalf("%s: no natural loops", name)
+		}
+		wanted := k.Prog.MustLabel(wantExit[name])
+		found := false
+		for _, l := range loops {
+			for _, e := range g.LoopExitBranches(l) {
+				if e == wanted {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: labelled exit %s (pc %d) not identified as a loop exit",
+				name, wantExit[name], wanted)
+		}
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	p, err := vm.Assemble("t", `
+		jmp end
+	dead:
+		li r1, 1
+	end:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	idom := g.Dominators()
+	deadBlk, _ := g.BlockOf(p.MustLabel("dead"))
+	if idom[deadBlk.ID] != -1 {
+		t.Fatalf("unreachable block has idom %d", idom[deadBlk.ID])
+	}
+	if Dominates(idom, deadBlk.ID, 0) {
+		t.Fatal("unreachable block dominates entry")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sort"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/trace"
+)
+
+// AggregateBaseline is the strawman the paper argues against: a
+// conventional profiler that records only whole-run averages and flags a
+// branch as "probably input-dependent" when it is hard to predict
+// (lifetime accuracy below a threshold). Figures 4 and 5 of the paper
+// show why this is insufficient: many input-dependent branches are easy
+// to predict and many hard-to-predict branches are input-independent.
+type AggregateBaseline struct {
+	// AccuracyTh flags branches whose lifetime accuracy is below this
+	// many percent.
+	AccuracyTh float64
+	acct       *bpred.Accounting
+}
+
+// NewAggregateBaseline wraps pred (reset) in an aggregate profiler with
+// the given hard-to-predict threshold in percent.
+func NewAggregateBaseline(pred bpred.Predictor, accuracyTh float64) *AggregateBaseline {
+	pred.Reset()
+	return &AggregateBaseline{AccuracyTh: accuracyTh, acct: bpred.NewAccounting(pred)}
+}
+
+// Branch implements trace.Sink.
+func (b *AggregateBaseline) Branch(pc trace.PC, taken bool) { b.acct.Branch(pc, taken) }
+
+// Flagged returns the branches classified as hard-to-predict, sorted by
+// PC.
+func (b *AggregateBaseline) Flagged() []trace.PC {
+	var out []trace.PC
+	for pc, s := range b.acct.Sites {
+		if s.Accuracy() < b.AccuracyTh {
+			out = append(out, pc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsFlagged reports the verdict for one branch.
+func (b *AggregateBaseline) IsFlagged(pc trace.PC) bool {
+	s := b.acct.Site(pc)
+	return s.Exec > 0 && s.Accuracy() < b.AccuracyTh
+}
+
+// IsInputDependent makes the baseline usable wherever a 2D report is
+// (metrics.Classifier): its "input-dependent" prediction is simply
+// "hard to predict".
+func (b *AggregateBaseline) IsInputDependent(pc trace.PC) bool { return b.IsFlagged(pc) }
+
+// Accuracy returns the lifetime accuracy of one branch in percent.
+func (b *AggregateBaseline) Accuracy(pc trace.PC) float64 { return b.acct.Site(pc).Accuracy() }
+
+// Overall returns whole-program accuracy in percent.
+func (b *AggregateBaseline) Overall() float64 { return b.acct.Total.Accuracy() }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+func TestHardwareProfilerMatchesSoftware(t *testing.T) {
+	// Feeding the hardware profiler the same predictor's outcomes
+	// externally must reproduce the software profiler's report
+	// exactly.
+	cfg := testConfig()
+	sw := MustNewProfiler(cfg, bpred.NewGshare4KB())
+	hw, err := NewHardwareProfiler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwPred := bpred.NewGshare4KB() // the "target machine's" predictor
+
+	r := rng.New(31)
+	emit := func(pc trace.PC, taken bool) {
+		sw.Branch(pc, taken)
+		p := hwPred.Predict(pc)
+		hwPred.Update(pc, taken)
+		hw.BranchOutcome(pc, taken, p == taken)
+	}
+	for phase := 0; phase < 4; phase++ {
+		p := 0.9
+		if phase%2 == 1 {
+			p = 0.6
+		}
+		for i := 0; i < 5000; i++ {
+			emit(0xA, r.Bool(p))
+			emit(0xF1, r.Bool(0.995))
+			emit(0xF2, r.Bool(0.7))
+		}
+	}
+	repSW := sw.Finish()
+	repHW := hw.Finish()
+	if repSW.Overall != repHW.Overall || repSW.Slices != repHW.Slices {
+		t.Fatalf("headers differ: %v/%v vs %v/%v",
+			repSW.Overall, repSW.Slices, repHW.Overall, repHW.Slices)
+	}
+	for pc, br := range repSW.Branches {
+		if repHW.Branches[pc] != br {
+			t.Fatalf("branch %v differs:\nsw %+v\nhw %+v", pc, br, repHW.Branches[pc])
+		}
+	}
+}
+
+func TestHardwareProfilerRejectsBranch(t *testing.T) {
+	hw, err := NewHardwareProfiler(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Branch on hardware profiler did not panic")
+		}
+	}()
+	hw.Branch(1, true)
+}
+
+func TestHardwareProfilerRequiresAccuracy(t *testing.T) {
+	cfg := testConfig()
+	cfg.Metric = MetricBias
+	if _, err := NewHardwareProfiler(cfg); err == nil {
+		t.Fatal("bias-metric hardware profiler accepted")
+	}
+	if _, err := NewHardwareProfiler(Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestBranchOutcomeBiasIgnoresCorrect(t *testing.T) {
+	cfg := testConfig()
+	cfg.Metric = MetricBias
+	p := MustNewProfiler(cfg, nil)
+	r := rng.New(5)
+	for i := 0; i < 30000; i++ {
+		// correct bit is garbage; bias metric must ignore it.
+		p.BranchOutcome(0xC, r.Bool(0.9), r.Bool(0.5))
+	}
+	rep := p.Finish()
+	if got := rep.Branches[0xC].Lifetime; got < 85 || got > 95 {
+		t.Fatalf("biasedness %v, want ~90", got)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+// TestProfilerInvariantsQuick drives the profiler with random streams
+// and checks structural invariants of the report.
+func TestProfilerInvariantsQuick(t *testing.T) {
+	f := func(seed uint64, nSites uint8, events uint16) bool {
+		sites := int(nSites%20) + 1
+		n := int(events) + 500
+		cfg := DefaultConfig()
+		cfg.SliceSize = 200
+		cfg.ExecThreshold = 5
+		prof := MustNewProfiler(cfg, bpred.NewBimodal(10))
+		r := rng.New(seed)
+		for i := 0; i < n; i++ {
+			pc := trace.PC(r.Intn(sites))
+			prof.Branch(pc, r.Bool(0.5+0.4*float64(pc%2)))
+		}
+		rep := prof.Finish()
+
+		var total int64
+		for _, br := range rep.Branches {
+			total += br.Exec
+			if br.SliceN < 0 || br.SliceN > rep.Slices {
+				return false
+			}
+			if br.PAMFrac < 0 || br.PAMFrac > 1 {
+				return false
+			}
+			if br.Mean < 0 || br.Mean > 100 || br.Std < 0 {
+				return false
+			}
+			if br.Lifetime < 0 || br.Lifetime > 100 {
+				return false
+			}
+			// Verdict consistency with the three test bits.
+			want := (br.PassMean || br.PassStd) && br.PassPAM
+			if br.InputDependent != want {
+				return false
+			}
+			// Untested branches are never flagged.
+			if br.SliceN == 0 && br.InputDependent {
+				return false
+			}
+		}
+		return total == rep.TotalExec && total == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceStrideSamplesSubset(t *testing.T) {
+	mk := func(stride int) *Report {
+		cfg := testConfig()
+		cfg.SliceStride = stride
+		prof := MustNewProfiler(cfg, bpred.NewGshare4KB())
+		sb := &streamBuilder{prof: prof, r: rng.New(21)}
+		sb.emit(0xA, 0.8, 30000)
+		return prof.Finish()
+	}
+	full := mk(1)
+	half := mk(2)
+	quarter := mk(4)
+	fn := full.Branches[0xA].SliceN
+	hn := half.Branches[0xA].SliceN
+	qn := quarter.Branches[0xA].SliceN
+	if hn >= fn || qn >= hn {
+		t.Fatalf("stride did not reduce samples: %d / %d / %d", fn, hn, qn)
+	}
+	// Roughly proportional.
+	if hn < fn/3 || qn < fn/8 {
+		t.Fatalf("stride over-reduced: %d / %d / %d", fn, hn, qn)
+	}
+	// Slice accounting (global) unaffected.
+	if full.Slices != half.Slices {
+		t.Fatalf("global slice count changed: %d vs %d", full.Slices, half.Slices)
+	}
+	// Means stay comparable (same underlying behaviour).
+	if d := full.Branches[0xA].Mean - half.Branches[0xA].Mean; d > 3 || d < -3 {
+		t.Fatalf("stride shifted the mean: %v vs %v", full.Branches[0xA].Mean, half.Branches[0xA].Mean)
+	}
+}
+
+func TestSliceStrideValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SliceStride = -1
+	if cfg.Validate() == nil {
+		t.Fatal("negative stride accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// branchJSON is the wire form of one branch's result.
+type branchJSON struct {
+	PC uint64 `json:"pc"`
+	BranchResult
+}
+
+// reportJSON is the wire form of a Report; branch maps become a
+// PC-sorted array so the encoding is stable and diff-friendly.
+type reportJSON struct {
+	Config        Config       `json:"config"`
+	Predictor     string       `json:"predictor,omitempty"`
+	MeanThApplied float64      `json:"meanThApplied"`
+	Slices        int64        `json:"slices"`
+	Overall       float64      `json:"overall"`
+	TotalExec     int64        `json:"totalExec"`
+	Branches      []branchJSON `json:"branches"`
+}
+
+// MarshalJSON implements json.Marshaler with deterministic branch
+// ordering.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Config:        r.Config,
+		Predictor:     r.Predictor,
+		MeanThApplied: r.MeanThApplied,
+		Slices:        r.Slices,
+		Overall:       r.Overall,
+		TotalExec:     r.TotalExec,
+		Branches:      make([]branchJSON, 0, len(r.Branches)),
+	}
+	for _, pc := range r.Observed() {
+		out.Branches = append(out.Branches, branchJSON{PC: uint64(pc), BranchResult: r.Branches[pc]})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var in reportJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: decoding report: %w", err)
+	}
+	r.Config = in.Config
+	r.Predictor = in.Predictor
+	r.MeanThApplied = in.MeanThApplied
+	r.Slices = in.Slices
+	r.Overall = in.Overall
+	r.TotalExec = in.TotalExec
+	r.Branches = make(map[trace.PC]BranchResult, len(in.Branches))
+	for _, b := range in.Branches {
+		r.Branches[trace.PC(b.PC)] = b.BranchResult
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/rng"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	prof := MustNewProfiler(testConfig(), bpred.NewGshare4KB())
+	sb := &streamBuilder{prof: prof, r: rng.New(77)}
+	for phase := 0; phase < 4; phase++ {
+		p := 0.9
+		if phase%2 == 1 {
+			p = 0.6
+		}
+		sb.emit(0xAB, p, 4000)
+	}
+	rep := prof.Finish()
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Overall != rep.Overall || back.Slices != rep.Slices ||
+		back.TotalExec != rep.TotalExec || back.Predictor != rep.Predictor ||
+		back.MeanThApplied != rep.MeanThApplied || back.Config != rep.Config {
+		t.Fatalf("header fields lost: %+v vs %+v", back, rep)
+	}
+	if len(back.Branches) != len(rep.Branches) {
+		t.Fatalf("branch count %d vs %d", len(back.Branches), len(rep.Branches))
+	}
+	for pc, br := range rep.Branches {
+		if back.Branches[pc] != br {
+			t.Fatalf("branch %v changed: %+v vs %+v", pc, back.Branches[pc], br)
+		}
+	}
+	// Verdicts survive, so downstream consumers see the same set.
+	a, b := rep.InputDependent(), back.InputDependent()
+	if len(a) != len(b) {
+		t.Fatalf("dependent sets differ: %v vs %v", a, b)
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	prof := MustNewProfiler(testConfig(), bpred.NewGshare4KB())
+	sb := &streamBuilder{prof: prof, r: rng.New(78)}
+	sb.emit(0xAA, 0.8, 4000)
+	sb.emit(0xBB, 0.8, 4000)
+	rep := prof.Finish()
+	d1, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := json.Marshal(rep)
+	if string(d1) != string(d2) {
+		t.Fatal("JSON encoding not deterministic")
+	}
+}
+
+func TestReportJSONBadInput(t *testing.T) {
+	var r Report
+	if err := json.Unmarshal([]byte(`{"branches": "nope"}`), &r); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

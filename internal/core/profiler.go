@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/trace"
+)
+
+// record holds the seven per-branch variables of Figure 9a. Everything
+// the three input-dependence tests need is maintained incrementally; the
+// profiler never stores per-slice histories (except for explicitly
+// watched branches).
+type record struct {
+	n       int64   // N:    number of contributing slices
+	spa     float64 // SPA:  sum of (filtered) slice accuracies
+	sspa    float64 // SSPA: sum of squares of slice accuracies
+	npam    int64   // NPAM: slices whose accuracy exceeded the running mean
+	exec    int64   // exec_counter within the current slice
+	hit     int64   // predict_counter within the current slice
+	lpa     float64 // LPA: previous slice's filtered accuracy
+	hasLPA  bool    // whether lpa holds a real previous sample
+	totExec int64   // lifetime executions (for reporting)
+	totHit  int64   // lifetime hits (for reporting)
+}
+
+// SlicePoint is one sample of a watched branch's per-slice metric,
+// used to render the paper's Figure 8 time-series.
+type SlicePoint struct {
+	Slice    int64   // global slice index (0-based)
+	Value    float64 // filtered metric for the branch in this slice (percent)
+	Raw      float64 // unfiltered metric
+	Overall  float64 // whole-program metric in this slice (percent)
+	ExecInSl int64   // executions of the branch within the slice
+}
+
+// Profiler is the 2D-profiling engine. It implements trace.Sink; feed it
+// a branch stream, then call Finish to run the input-dependence tests.
+type Profiler struct {
+	cfg  Config
+	pred bpred.Predictor // nil when cfg.Metric == MetricBias
+	// external marks a hardware-counter profiler: prediction outcomes
+	// arrive via BranchOutcome instead of an internal predictor.
+	external bool
+
+	recs map[trace.PC]*record
+
+	sliceExec int64 // retired branches in the current slice
+	sliceHit  int64 // metric numerator for the whole program in the slice
+	slices    int64 // completed slices
+
+	totalExec int64
+	totalHit  int64
+
+	watch map[trace.PC][]SlicePoint
+}
+
+// NewProfiler creates a 2D-profiler. pred is the profiler's software
+// branch predictor and is required for MetricAccuracy; it is ignored
+// (and may be nil) for MetricBias. The predictor is reset.
+func NewProfiler(cfg Config, pred bpred.Predictor) (*Profiler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Metric == MetricAccuracy && pred == nil {
+		return nil, errConfig("MetricAccuracy requires a predictor")
+	}
+	if pred != nil {
+		pred.Reset()
+	}
+	return &Profiler{
+		cfg:   cfg,
+		pred:  pred,
+		recs:  make(map[trace.PC]*record),
+		watch: make(map[trace.PC][]SlicePoint),
+	}, nil
+}
+
+// MustNewProfiler is NewProfiler but panics on error, for use with known
+// good configurations in experiments and tests.
+func MustNewProfiler(cfg Config, pred bpred.Predictor) *Profiler {
+	p, err := NewProfiler(cfg, pred)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Watch records the per-slice series for pc (costs memory proportional
+// to the number of slices; used for Figure 8-style plots). Must be
+// called before feeding events.
+func (p *Profiler) Watch(pcs ...trace.PC) {
+	for _, pc := range pcs {
+		if _, ok := p.watch[pc]; !ok {
+			p.watch[pc] = nil
+		}
+	}
+}
+
+// NewHardwareProfiler creates an accuracy-metric 2D-profiler whose
+// prediction outcomes are supplied externally, modelling the paper's
+// §3.2.2 hardware-support mode: the target machine's real predictor
+// reports per-branch hit/miss through performance counters and the
+// profiler only maintains the Figure 9 statistics. Feed it through
+// BranchOutcome; Branch panics on a hardware profiler.
+func NewHardwareProfiler(cfg Config) (*Profiler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Metric != MetricAccuracy {
+		return nil, errConfig("hardware profiler requires MetricAccuracy")
+	}
+	return &Profiler{
+		cfg:      cfg,
+		external: true,
+		recs:     make(map[trace.PC]*record),
+		watch:    make(map[trace.PC][]SlicePoint),
+	}, nil
+}
+
+// Branch implements trace.Sink. For every dynamic branch the profiler
+// updates the per-slice counters; at slice boundaries it folds the slice
+// into the running statistics (Figure 9b).
+func (p *Profiler) Branch(pc trace.PC, taken bool) {
+	if p.external {
+		panic("core: Branch on a hardware profiler; use BranchOutcome")
+	}
+	var hit bool
+	switch p.cfg.Metric {
+	case MetricAccuracy:
+		pred := p.pred.Predict(pc)
+		p.pred.Update(pc, taken)
+		hit = pred == taken
+	case MetricBias:
+		hit = taken
+	}
+	p.record(pc, taken, hit)
+}
+
+// BranchOutcome records one dynamic branch whose prediction correctness
+// was observed externally (hardware performance counters). For
+// MetricBias profilers `correct` is ignored.
+func (p *Profiler) BranchOutcome(pc trace.PC, taken, correct bool) {
+	hit := correct
+	if p.cfg.Metric == MetricBias {
+		hit = taken
+	}
+	p.record(pc, taken, hit)
+}
+
+func (p *Profiler) record(pc trace.PC, taken, hit bool) {
+	r := p.recs[pc]
+	if r == nil {
+		r = &record{}
+		p.recs[pc] = r
+	}
+
+	r.exec++
+	r.totExec++
+	p.sliceExec++
+	p.totalExec++
+	if hit {
+		r.hit++
+		r.totHit++
+		p.sliceHit++
+		p.totalHit++
+	}
+
+	if p.sliceExec >= p.cfg.SliceSize {
+		p.endSlice()
+	}
+}
+
+// metricOf converts raw slice counters into the configured metric, in
+// percent.
+func (p *Profiler) metricOf(hit, exec int64) float64 {
+	v := 100 * float64(hit) / float64(exec)
+	if p.cfg.Metric == MetricBias && v < 50 {
+		v = 100 - v // biasedness: distance from a fully unbiased branch
+	}
+	return v
+}
+
+// endSlice executes Figure 9b for every branch with enough executions in
+// the slice, then resets the slice counters. With SliceStride > 1 only
+// every Nth slice contributes statistics (the counters still reset, so
+// a sampled slice measures exactly one slice's worth of behaviour).
+func (p *Profiler) endSlice() {
+	sampled := p.cfg.SliceStride <= 1 || p.slices%int64(p.cfg.SliceStride) == 0
+	overall := 0.0
+	if p.sliceExec > 0 {
+		overall = p.metricOf(p.sliceHit, p.sliceExec)
+	}
+	for pc, r := range p.recs {
+		if sampled && r.exec > p.cfg.ExecThreshold {
+			raw := p.metricOf(r.hit, r.exec)
+			v := raw
+			if p.cfg.UseFIR {
+				// The paper's FIR averages with LPA, which is
+				// zero-initialised. We skip the filter for a branch's
+				// first-ever sample instead of halving it: with
+				// hundreds (not thousands) of slices per run the
+				// artificial 0 sample would dominate small-N branch
+				// statistics.
+				if r.hasLPA {
+					v = (raw + r.lpa) / 2
+				}
+			}
+			r.n++
+			r.spa += v
+			r.sspa += v * v
+			runningMean := r.spa / float64(r.n)
+			if v > runningMean {
+				r.npam++
+			}
+			r.lpa = v
+			r.hasLPA = true
+			if series, ok := p.watch[pc]; ok {
+				p.watch[pc] = append(series, SlicePoint{
+					Slice:    p.slices,
+					Value:    v,
+					Raw:      raw,
+					Overall:  overall,
+					ExecInSl: r.exec,
+				})
+			}
+		}
+		r.exec = 0
+		r.hit = 0
+	}
+	p.slices++
+	p.sliceExec = 0
+	p.sliceHit = 0
+}
+
+// OverallMetric returns the whole-run program metric in percent (overall
+// prediction accuracy for MetricAccuracy), which is the default MEAN-test
+// threshold.
+func (p *Profiler) OverallMetric() float64 {
+	if p.totalExec == 0 {
+		return 0
+	}
+	return p.metricOf(p.totalHit, p.totalExec)
+}
+
+// Slices returns the number of completed slices so far.
+func (p *Profiler) Slices() int64 { return p.slices }
+
+// Series returns the recorded per-slice series for a watched branch.
+func (p *Profiler) Series(pc trace.PC) []SlicePoint { return p.watch[pc] }
+
+// Finish flushes a sufficiently large trailing partial slice, runs the
+// three input-dependence tests for every branch (Figure 9c), and returns
+// the report. The profiler can keep receiving events after Finish only
+// if FlushPartialSlice is off; calling Finish twice with a flushed
+// partial slice would double-count it, so treat Finish as terminal.
+func (p *Profiler) Finish() *Report {
+	if p.cfg.FlushPartialSlice && p.sliceExec >= p.cfg.SliceSize/2 {
+		p.endSlice()
+	}
+
+	meanTh := p.cfg.MeanTh
+	if meanTh < 0 {
+		meanTh = p.OverallMetric()
+	}
+
+	rep := &Report{
+		Config:        p.cfg,
+		MeanThApplied: meanTh,
+		Slices:        p.slices,
+		Overall:       p.OverallMetric(),
+		TotalExec:     p.totalExec,
+		Branches:      make(map[trace.PC]BranchResult, len(p.recs)),
+	}
+	if p.pred != nil {
+		rep.Predictor = p.pred.Name()
+	}
+
+	for pc, r := range p.recs {
+		res := BranchResult{
+			Exec:     r.totExec,
+			SliceN:   r.n,
+			Lifetime: lifetimeMetric(p, r),
+		}
+		if r.n > 0 {
+			mean := r.spa / float64(r.n)
+			variance := r.sspa/float64(r.n) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			res.Mean = mean
+			res.Std = math.Sqrt(variance)
+			res.PAMFrac = float64(r.npam) / float64(r.n)
+
+			res.PassMean = !p.cfg.DisableMean && mean < meanTh
+			res.PassStd = !p.cfg.DisableStd && res.Std > p.cfg.StdTh
+			if p.cfg.DisablePAM {
+				res.PassPAM = true
+			} else {
+				res.PassPAM = res.PAMFrac > p.cfg.PAMTh && res.PAMFrac < 1-p.cfg.PAMTh
+			}
+			res.InputDependent = (res.PassMean || res.PassStd) && res.PassPAM
+		}
+		rep.Branches[pc] = res
+	}
+	return rep
+}
+
+func lifetimeMetric(p *Profiler, r *record) float64 {
+	if r.totExec == 0 {
+		return 0
+	}
+	return p.metricOf(r.totHit, r.totExec)
+}

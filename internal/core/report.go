@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"twodprof/internal/trace"
+)
+
+// BranchResult is the per-branch outcome of the three input-dependence
+// tests plus the statistics they were computed from.
+type BranchResult struct {
+	Exec     int64   // lifetime dynamic executions
+	SliceN   int64   // slices that contributed a sample (N)
+	Lifetime float64 // whole-run metric for the branch, percent
+	Mean     float64 // mean of slice metrics (percent)
+	Std      float64 // standard deviation of slice metrics (points)
+	PAMFrac  float64 // fraction of slices above the running mean
+
+	PassMean bool
+	PassStd  bool
+	PassPAM  bool
+	// InputDependent is the paper's final verdict:
+	// (MEAN-test ∨ STD-test) ∧ PAM-test.
+	InputDependent bool
+}
+
+// Report is the result of one 2D-profiling run.
+type Report struct {
+	Config        Config
+	Predictor     string  // profiler predictor name ("" for edge profiling)
+	MeanThApplied float64 // the resolved MEAN-test threshold
+	Slices        int64
+	Overall       float64 // whole-program metric, percent
+	TotalExec     int64
+	Branches      map[trace.PC]BranchResult
+}
+
+// InputDependent returns the set of branches flagged input-dependent,
+// sorted by PC.
+func (r *Report) InputDependent() []trace.PC {
+	var out []trace.PC
+	for pc, br := range r.Branches {
+		if br.InputDependent {
+			out = append(out, pc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsInputDependent reports the verdict for one branch (false for
+// branches never observed).
+func (r *Report) IsInputDependent(pc trace.PC) bool {
+	return r.Branches[pc].InputDependent
+}
+
+// Observed returns every profiled branch sorted by PC.
+func (r *Report) Observed() []trace.PC {
+	out := make([]trace.PC, 0, len(r.Branches))
+	for pc := range r.Branches {
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Tested returns the branches that produced at least one slice sample
+// (SliceN > 0) and therefore actually went through the tests, sorted by
+// PC.
+func (r *Report) Tested() []trace.PC {
+	var out []trace.PC
+	for pc, br := range r.Branches {
+		if br.SliceN > 0 {
+			out = append(out, pc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Summary renders a short human-readable report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	dep := r.InputDependent()
+	fmt.Fprintf(&b, "2D-profiling report (%s metric", r.Config.Metric)
+	if r.Predictor != "" {
+		fmt.Fprintf(&b, ", predictor %s", r.Predictor)
+	}
+	fmt.Fprintf(&b, ")\n")
+	fmt.Fprintf(&b, "  dynamic branches : %d\n", r.TotalExec)
+	fmt.Fprintf(&b, "  static branches  : %d observed, %d tested\n",
+		len(r.Branches), len(r.Tested()))
+	fmt.Fprintf(&b, "  slices           : %d of %d branches each\n",
+		r.Slices, r.Config.SliceSize)
+	fmt.Fprintf(&b, "  overall metric   : %.2f%% (MEAN_th %.2f, STD_th %.2f, PAM_th %.2f)\n",
+		r.Overall, r.MeanThApplied, r.Config.StdTh, r.Config.PAMTh)
+	fmt.Fprintf(&b, "  input-dependent  : %d branches\n", len(dep))
+	return b.String()
+}
+
+// FormatBranch renders one branch's statistics and verdict.
+func (r *Report) FormatBranch(pc trace.PC) string {
+	br, ok := r.Branches[pc]
+	if !ok {
+		return fmt.Sprintf("branch %#x: not observed", uint64(pc))
+	}
+	verdict := "input-independent"
+	if br.InputDependent {
+		verdict = "INPUT-DEPENDENT"
+	}
+	return fmt.Sprintf(
+		"branch %#x: exec=%d slices=%d metric=%.2f%% mean=%.2f std=%.2f pam=%.3f [mean:%v std:%v pam:%v] => %s",
+		uint64(pc), br.Exec, br.SliceN, br.Lifetime, br.Mean, br.Std,
+		br.PAMFrac, br.PassMean, br.PassStd, br.PassPAM, verdict)
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllExperimentsDeterministic runs every registered experiment
+// end to end, checks every render, and re-runs a sample with a fresh
+// context to confirm determinism. This is the repository's reproduction
+// self-check; it is the slowest test and is skipped in -short mode.
+func TestRunAllExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment matrix in -short mode")
+	}
+	ctx := NewContext()
+	renders := map[string]string{}
+	err := RunAll(ctx, func(res Result) {
+		id := res.ID()
+		s := res.String()
+		if s == "" {
+			t.Errorf("%s: empty render", id)
+		}
+		if !strings.Contains(s, "\n") {
+			t.Errorf("%s: suspiciously short render %q", id, s)
+		}
+		renders[id] = s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(renders) != len(IDs()) {
+		t.Fatalf("ran %d of %d experiments", len(renders), len(IDs()))
+	}
+
+	// Determinism across fresh contexts for a representative sample
+	// (fig16 and ext-pipe measure wall-clock and are excluded; the
+	// fig8/ext-* kernel experiments are deterministic).
+	fresh := NewContext()
+	for _, id := range []string{"fig2", "fig3", "fig10", "fig12", "tab4", "ext-corr", "ext-ifconv"} {
+		res, err := Run(fresh, id)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", id, err)
+		}
+		if got := res.String(); got != renders[id] {
+			t.Errorf("%s: render differs across fresh contexts", id)
+		}
+	}
+}
+
+// TestVerifyClaims runs the artifact-evaluation pass: every
+// reproduction claim the repository makes must hold.
+func TestVerifyClaims(t *testing.T) {
+	ctx := shapeCtx(t)
+	claims, err := VerifyClaims(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 8 {
+		t.Fatalf("only %d claims", len(claims))
+	}
+	for _, c := range claims {
+		if !c.OK {
+			t.Errorf("claim failed: %s (%s)", c.Name, c.Detail)
+		}
+	}
+	if out := FormatClaims(claims); !strings.Contains(out, "reproduction claims verified") {
+		t.Error("summary line missing")
+	}
+}

@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/metrics"
+	"twodprof/internal/spec"
+	"twodprof/internal/textplot"
+)
+
+func init() {
+	register("fig3", "dynamic and static fraction of input-dependent branches (train vs ref)", runFig3)
+	register("fig4", "distribution of input-dependent branches over accuracy categories", runFig4)
+	register("fig5", "fraction of input-dependent branches within each accuracy category", runFig5)
+	register("tab1", "average branch misprediction rates per benchmark and input set", runTable1)
+	register("tab2", "benchmark and input characteristics", runTable2)
+}
+
+// Fig3 reports the static and dynamic fractions of input-dependent
+// branches per benchmark (paper Figure 3).
+type Fig3 struct {
+	Benchmarks []string
+	Static     []float64
+	Dynamic    []float64
+}
+
+func runFig3(ctx *Context) (Result, error) {
+	f := &Fig3{}
+	for _, b := range spec.Names() {
+		truth, err := ctx.Runner.PairTruth(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+		f.Static = append(f.Static, truth.StaticFraction())
+		f.Dynamic = append(f.Dynamic, truth.DynamicFraction(ref))
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig3) ID() string { return "fig3" }
+
+// String implements Result.
+func (f *Fig3) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: fraction of input-dependent branches (train vs ref)\n\n")
+	t := textplot.NewTable("benchmark", "dynamic", "static")
+	for i, name := range f.Benchmarks {
+		t.AddRowf(name, f.Dynamic[i], f.Static[i])
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Fig4 is the accuracy-category distribution of input-dependent
+// branches (paper Figure 4).
+type Fig4 struct {
+	Benchmarks []string
+	Dist       [][metrics.NumBuckets]float64
+}
+
+func runFig4(ctx *Context) (Result, error) {
+	f := &Fig4{}
+	for _, b := range spec.Names() {
+		truth, err := ctx.Runner.PairTruth(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+		f.Dist = append(f.Dist, metrics.DependentDistribution(truth, ref))
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig4) ID() string { return "fig4" }
+
+// String implements Result.
+func (f *Fig4) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: distribution of input-dependent branches by prediction accuracy (ref input)\n\n")
+	t := textplot.NewTable(append([]string{"benchmark"}, metrics.BucketLabels...)...)
+	for i, name := range f.Benchmarks {
+		row := []interface{}{name}
+		for _, v := range f.Dist[i] {
+			row = append(row, v)
+		}
+		t.AddRowf(row...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n(each row sums to 1; mass in the high-accuracy buckets shows that\n many input-dependent branches are easy to predict)\n")
+	return b.String()
+}
+
+// Fig5 is the fraction of input-dependent branches within each accuracy
+// category (paper Figure 5).
+type Fig5 struct {
+	Benchmarks []string
+	Frac       [][metrics.NumBuckets]float64
+}
+
+func runFig5(ctx *Context) (Result, error) {
+	f := &Fig5{}
+	for _, b := range spec.Names() {
+		truth, err := ctx.Runner.PairTruth(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+		f.Frac = append(f.Frac, metrics.DependentFractionPerBucket(truth, ref))
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig5) ID() string { return "fig5" }
+
+// String implements Result.
+func (f *Fig5) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: fraction of input-dependent branches per accuracy category (ref input)\n\n")
+	t := textplot.NewTable(append([]string{"benchmark"}, metrics.BucketLabels...)...)
+	for i, name := range f.Benchmarks {
+		row := []interface{}{name}
+		for _, v := range f.Frac[i] {
+			row = append(row, v)
+		}
+		t.AddRowf(row...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n(low-accuracy branches are more likely input-dependent, but not all are)\n")
+	return b.String()
+}
+
+// Table1 reports average misprediction rates (paper Table 1).
+type Table1 struct {
+	Benchmarks []string
+	Train      []float64
+	Ref        []float64
+}
+
+func runTable1(ctx *Context) (Result, error) {
+	t := &Table1{}
+	for _, b := range spec.Names() {
+		at, err := ctx.Runner.Accounting(b, "train", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		ar, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		t.Benchmarks = append(t.Benchmarks, b)
+		t.Train = append(t.Train, at.Total.MispredictRate())
+		t.Ref = append(t.Ref, ar.Total.MispredictRate())
+	}
+	return t, nil
+}
+
+// ID implements Result.
+func (t *Table1) ID() string { return "tab1" }
+
+// String implements Result.
+func (t *Table1) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: average branch misprediction rates (%) under gshare-4KB\n\n")
+	tab := textplot.NewTable(append([]string{"input"}, t.Benchmarks...)...)
+	row := []interface{}{"train"}
+	for _, v := range t.Train {
+		row = append(row, fmt.Sprintf("%.1f", v))
+	}
+	tab.AddRowf(row...)
+	row = []interface{}{"ref"}
+	for _, v := range t.Ref {
+		row = append(row, fmt.Sprintf("%.1f", v))
+	}
+	tab.AddRowf(row...)
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// Table2 reports the benchmark/input characteristics (paper Table 2).
+type Table2 struct {
+	Rows []Table2Row
+}
+
+// Table2Row is one benchmark's characteristics.
+type Table2Row struct {
+	Benchmark   string
+	RefBranches int64
+	TrainBr     int64
+	InputDep    int
+	TotalStatic int
+	ExtraInputs int
+}
+
+func runTable2(ctx *Context) (Result, error) {
+	t := &Table2{}
+	for _, b := range spec.Names() {
+		bench, err := spec.Get(b)
+		if err != nil {
+			return nil, err
+		}
+		at, err := ctx.Runner.Accounting(b, "train", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		ar, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := ctx.Runner.PairTruth(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Table2Row{
+			Benchmark:   b,
+			RefBranches: ar.Total.Exec,
+			TrainBr:     at.Total.Exec,
+			InputDep:    truth.NumDependent(),
+			TotalStatic: truth.Eligible(),
+			ExtraInputs: len(bench.ExtInputs()),
+		})
+	}
+	return t, nil
+}
+
+// ID implements Result.
+func (t *Table2) ID() string { return "tab2" }
+
+// String implements Result.
+func (t *Table2) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2: evaluated benchmarks and input sets\n\n")
+	tab := textplot.NewTable("benchmark", "ref br.count", "train br.count",
+		"input-dep", "eligible static", "extra inputs")
+	for _, r := range t.Rows {
+		tab.AddRowf(r.Benchmark, r.RefBranches, r.TrainBr, r.InputDep, r.TotalStatic, r.ExtraInputs)
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}

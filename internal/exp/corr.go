@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"strings"
+
+	"twodprof/internal/spec"
+	"twodprof/internal/stats"
+	"twodprof/internal/textplot"
+)
+
+func init() {
+	register("ext-corr", "extension: correlation between within-run accuracy variation and cross-input accuracy change", runExtCorr)
+}
+
+// ExtCorr measures the paper's core empirical premise directly: per
+// branch, how strongly does the within-run slice-accuracy standard
+// deviation (what 2D-profiling sees from one input) correlate with the
+// cross-input accuracy delta (what it tries to predict)?
+type ExtCorr struct {
+	Benchmarks []string
+	// CorrStd is Pearson(std over slices, |delta accuracy train->ref|).
+	CorrStd []float64
+	// CorrMean is Pearson(100 - mean slice accuracy, delta) — the
+	// hardness channel the MEAN-test exploits (Figure 5's trend).
+	CorrMean []float64
+	// N is the number of branches entering each correlation.
+	N []int
+}
+
+func runExtCorr(ctx *Context) (Result, error) {
+	f := &ExtCorr{}
+	for _, b := range spec.Names() {
+		truth, err := ctx.Runner.PairTruth(b, "ref", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := ctx.Runner.Profile2D(b, "train", ctx.ProfPred, ctx.Config)
+		if err != nil {
+			return nil, err
+		}
+		var stds, hards, deltas []float64
+		for pc := range truth.Labels {
+			br := rep.Branches[pc]
+			if br.SliceN < 5 {
+				continue
+			}
+			stds = append(stds, br.Std)
+			hards = append(hards, 100-br.Mean)
+			deltas = append(deltas, truth.Delta[pc])
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+		f.CorrStd = append(f.CorrStd, stats.Pearson(stds, deltas))
+		f.CorrMean = append(f.CorrMean, stats.Pearson(hards, deltas))
+		f.N = append(f.N, len(stds))
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *ExtCorr) ID() string { return "ext-corr" }
+
+// String implements Result.
+func (f *ExtCorr) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: the paper's core premise, measured\n")
+	b.WriteString("(per branch: does within-run variation predict cross-input change?)\n\n")
+	t := textplot.NewTable("benchmark", "corr(slice std, delta)", "corr(hardness, delta)", "branches")
+	for i, name := range f.Benchmarks {
+		t.AddRowf(name, f.CorrStd[i], f.CorrMean[i], f.N[i])
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n(positive correlations are the reason 2D-profiling works at all:\n the STD-test exploits the first column, the MEAN-test the second)\n")
+	return b.String()
+}

@@ -1,0 +1,353 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/metrics"
+	"twodprof/internal/spec"
+	"twodprof/internal/textplot"
+)
+
+func init() {
+	register("fig10", "2D-profiling coverage and accuracy with two input sets", runFig10)
+	register("fig11", "input-dependent fraction growth with more input sets (gshare)", runFig11)
+	register("fig12", "mean coverage/accuracy vs number of input sets", runFig12)
+	register("fig13", "per-benchmark coverage/accuracy with maximum input sets", runFig13)
+	register("tab4", "extra input sets: counts, misprediction rates, input-dependent branches", runTable4)
+	register("fig14", "input-dependent fraction growth with perceptron target predictor", runFig14)
+	register("fig15", "coverage/accuracy with mismatched profiler and target predictors", runFig15)
+}
+
+// unionLevels returns the cumulative comparison-input lists for a deep
+// benchmark: {ref}, {ref,ext-1}, ..., matching the paper's base,
+// base-ext1, ... series.
+func unionLevels(b *spec.Benchmark) [][]string {
+	others := append([]string{"ref"}, b.ExtInputs()...)
+	var out [][]string
+	for k := 1; k <= len(others); k++ {
+		out = append(out, others[:k])
+	}
+	return out
+}
+
+// levelName renders a union level index the way the paper labels it.
+func levelName(k int) string {
+	if k == 1 {
+		return "base"
+	}
+	return fmt.Sprintf("base-ext1-%d", k-1)
+}
+
+// EvalSet is a per-benchmark metrics snapshot.
+type EvalSet struct {
+	Benchmarks []string
+	Evals      []metrics.Eval
+}
+
+func (e *EvalSet) table(title string) string {
+	var b strings.Builder
+	b.WriteString(title + "\n\n")
+	t := textplot.NewTable("benchmark", "COV-dep", "ACC-dep", "COV-indep", "ACC-indep", "TP", "FP", "FN", "TN")
+	for i, name := range e.Benchmarks {
+		ev := e.Evals[i]
+		t.AddRowf(name, ev.CovDep, ev.AccDep, ev.CovIndep, ev.AccIndep, ev.TP, ev.FP, ev.FN, ev.TN)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Fig10 evaluates 2D-profiling against the two-input (train, ref)
+// ground truth for all twelve benchmarks.
+type Fig10 struct{ EvalSet }
+
+func runFig10(ctx *Context) (Result, error) {
+	f := &Fig10{}
+	for _, b := range spec.Names() {
+		ev, err := ctx.Runner.Evaluate2D(b, ctx.Config, ctx.ProfPred, ctx.TargetPred, []string{"ref"})
+		if err != nil {
+			return nil, err
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+		f.Evals = append(f.Evals, ev)
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig10) ID() string { return "fig10" }
+
+// String implements Result.
+func (f *Fig10) String() string {
+	return f.table("Figure 10: 2D-profiling coverage and accuracy with two input sets (train, ref)")
+}
+
+// GrowthResult holds per-benchmark input-dependent fraction growth over
+// cumulative input-set unions (Figures 11 and 14).
+type GrowthResult struct {
+	id         string
+	Title      string
+	Pred       string
+	Benchmarks []string
+	Levels     []string    // level names, padded to the longest benchmark
+	Frac       [][]float64 // [benchmark][level]
+}
+
+func runGrowth(ctx *Context, id, title, pred string) (Result, error) {
+	g := &GrowthResult{id: id, Title: title, Pred: pred}
+	maxLevels := 0
+	for _, name := range spec.DeepNames() {
+		b, err := spec.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		levels := unionLevels(b)
+		if len(levels) > maxLevels {
+			maxLevels = len(levels)
+		}
+		var fr []float64
+		for _, lvl := range levels {
+			truth, err := ctx.Runner.UnionTruth(name, pred, lvl)
+			if err != nil {
+				return nil, err
+			}
+			fr = append(fr, truth.StaticFraction())
+		}
+		g.Benchmarks = append(g.Benchmarks, name)
+		g.Frac = append(g.Frac, fr)
+	}
+	for k := 1; k <= maxLevels; k++ {
+		g.Levels = append(g.Levels, levelName(k))
+	}
+	return g, nil
+}
+
+func runFig11(ctx *Context) (Result, error) {
+	return runGrowth(ctx, "fig11",
+		"Figure 11: fraction of input-dependent branches with more input sets (gshare-4KB)",
+		ctx.TargetPred)
+}
+
+func runFig14(ctx *Context) (Result, error) {
+	return runGrowth(ctx, "fig14",
+		"Figure 14: fraction of input-dependent branches (perceptron-16KB target)",
+		bpred.NamePerceptron16KB)
+}
+
+// ID implements Result.
+func (g *GrowthResult) ID() string { return g.id }
+
+// String implements Result.
+func (g *GrowthResult) String() string {
+	var b strings.Builder
+	b.WriteString(g.Title + "\n\n")
+	t := textplot.NewTable(append([]string{"benchmark"}, g.Levels...)...)
+	for i, name := range g.Benchmarks {
+		row := []interface{}{name}
+		for _, v := range g.Frac[i] {
+			row = append(row, v)
+		}
+		for len(row) < len(g.Levels)+1 {
+			row = append(row, "-")
+		}
+		t.AddRowf(row...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n(the fraction grows monotonically as more input sets are considered)\n")
+	return b.String()
+}
+
+// Fig12 averages the four metrics over the six deep benchmarks at each
+// union level.
+type Fig12 struct {
+	Levels []string
+	Means  []metrics.Eval
+}
+
+func runFig12(ctx *Context) (Result, error) {
+	f := &Fig12{}
+	// Align levels across benchmarks: level k exists for a benchmark
+	// only if it has that many comparison inputs; average over those
+	// that do (the paper averages over the six benchmarks).
+	maxLevels := 0
+	perBench := map[string][]metrics.Eval{}
+	for _, name := range spec.DeepNames() {
+		b, err := spec.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, lvl := range unionLevels(b) {
+			ev, err := ctx.Runner.Evaluate2D(name, ctx.Config, ctx.ProfPred, ctx.TargetPred, lvl)
+			if err != nil {
+				return nil, err
+			}
+			perBench[name] = append(perBench[name], ev)
+		}
+		if n := len(perBench[name]); n > maxLevels {
+			maxLevels = n
+		}
+	}
+	for k := 0; k < maxLevels; k++ {
+		var evs []metrics.Eval
+		for _, name := range spec.DeepNames() {
+			if k < len(perBench[name]) {
+				evs = append(evs, perBench[name][k])
+			}
+		}
+		f.Levels = append(f.Levels, levelName(k+1))
+		f.Means = append(f.Means, metrics.MeanEval(evs))
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig12) ID() string { return "fig12" }
+
+// String implements Result.
+func (f *Fig12) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 12: 2D-profiling coverage and accuracy vs number of input sets\n")
+	b.WriteString("(mean over bzip2, gzip, twolf, gap, crafty, gcc)\n\n")
+	t := textplot.NewTable("level", "COV-dep", "ACC-dep", "COV-indep", "ACC-indep")
+	for i, lvl := range f.Levels {
+		ev := f.Means[i]
+		t.AddRowf(lvl, ev.CovDep, ev.AccDep, ev.CovIndep, ev.AccIndep)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n(ACC-dep rises as more input sets define the target; COV-dep dips slightly)\n")
+	return b.String()
+}
+
+// Fig13 evaluates at the maximum union per deep benchmark.
+type Fig13 struct{ EvalSet }
+
+func runFig13(ctx *Context) (Result, error) {
+	f := &Fig13{}
+	for _, name := range spec.DeepNames() {
+		b, err := spec.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		levels := unionLevels(b)
+		ev, err := ctx.Runner.Evaluate2D(name, ctx.Config, ctx.ProfPred, ctx.TargetPred, levels[len(levels)-1])
+		if err != nil {
+			return nil, err
+		}
+		f.Benchmarks = append(f.Benchmarks, name)
+		f.Evals = append(f.Evals, ev)
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig13) ID() string { return "fig13" }
+
+// String implements Result.
+func (f *Fig13) String() string {
+	return f.table("Figure 13: coverage and accuracy with the maximum number of input sets")
+}
+
+// Table4 reports the extra input sets' characteristics under both
+// predictors.
+type Table4 struct {
+	Rows []Table4Row
+}
+
+// Table4Row is one (benchmark, input) row of paper Table 4.
+type Table4Row struct {
+	Benchmark     string
+	Input         string
+	BranchCount   int64
+	MispGshare    float64
+	MispPercep    float64
+	DepGshare     int
+	DepPerceptron int
+}
+
+func runTable4(ctx *Context) (Result, error) {
+	t := &Table4{}
+	for _, name := range spec.DeepNames() {
+		b, err := spec.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, in := range b.ExtInputs() {
+			ag, err := ctx.Runner.Accounting(name, in, bpred.NameGshare4KB)
+			if err != nil {
+				return nil, err
+			}
+			ap, err := ctx.Runner.Accounting(name, in, bpred.NamePerceptron16KB)
+			if err != nil {
+				return nil, err
+			}
+			tg, err := ctx.Runner.PairTruth(name, in, bpred.NameGshare4KB)
+			if err != nil {
+				return nil, err
+			}
+			tp, err := ctx.Runner.PairTruth(name, in, bpred.NamePerceptron16KB)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, Table4Row{
+				Benchmark:     name,
+				Input:         in,
+				BranchCount:   ag.Total.Exec,
+				MispGshare:    ag.Total.MispredictRate(),
+				MispPercep:    ap.Total.MispredictRate(),
+				DepGshare:     tg.NumDependent(),
+				DepPerceptron: tp.NumDependent(),
+			})
+		}
+	}
+	return t, nil
+}
+
+// ID implements Result.
+func (t *Table4) ID() string { return "tab4" }
+
+// String implements Result.
+func (t *Table4) String() string {
+	var b strings.Builder
+	b.WriteString("Table 4: extra input sets (input-dependent counts are w.r.t. train)\n\n")
+	tab := textplot.NewTable("benchmark", "input", "branches",
+		"misp% gshare", "misp% percep", "dep gshare", "dep percep")
+	for _, r := range t.Rows {
+		tab.AddRowf(r.Benchmark, r.Input, r.BranchCount,
+			fmt.Sprintf("%.1f", r.MispGshare), fmt.Sprintf("%.1f", r.MispPercep),
+			r.DepGshare, r.DepPerceptron)
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// Fig15 evaluates 2D-profiling (gshare profiler) against perceptron
+// ground truth at the maximum union per deep benchmark.
+type Fig15 struct{ EvalSet }
+
+func runFig15(ctx *Context) (Result, error) {
+	f := &Fig15{}
+	for _, name := range spec.DeepNames() {
+		b, err := spec.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		levels := unionLevels(b)
+		ev, err := ctx.Runner.Evaluate2D(name, ctx.Config, ctx.ProfPred,
+			bpred.NamePerceptron16KB, levels[len(levels)-1])
+		if err != nil {
+			return nil, err
+		}
+		f.Benchmarks = append(f.Benchmarks, name)
+		f.Evals = append(f.Evals, ev)
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig15) ID() string { return "fig15" }
+
+// String implements Result.
+func (f *Fig15) String() string {
+	return f.table("Figure 15: profiler gshare-4KB vs target perceptron-16KB (max input sets)")
+}

@@ -1,0 +1,130 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation. Each driver computes a typed result and renders it as
+// text; cmd/experiments exposes them on the command line and
+// bench_test.go regenerates them as Go benchmarks.
+//
+// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured outcomes.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+	"twodprof/internal/oracle"
+)
+
+// Context carries the shared configuration and the memoising runner all
+// experiments draw from.
+type Context struct {
+	Runner *oracle.Runner
+	// ProfPred is the 2D-profiler's predictor (paper: gshare-4KB).
+	ProfPred string
+	// TargetPred defines ground truth (paper: gshare-4KB in §5.1-5.2,
+	// perceptron-16KB in §5.3).
+	TargetPred string
+	// Config is the 2D-profiling configuration.
+	Config core.Config
+}
+
+// NewContext returns the paper's baseline setup.
+func NewContext() *Context {
+	return &Context{
+		Runner:     oracle.NewRunner(),
+		ProfPred:   bpred.NameGshare4KB,
+		TargetPred: bpred.NameGshare4KB,
+		Config:     core.DefaultConfig(),
+	}
+}
+
+// Result is a computed experiment artifact: typed data plus a text
+// rendering.
+type Result interface {
+	// ID returns the experiment identifier ("fig3", "tab1", ...).
+	ID() string
+	// String renders the artifact for the terminal.
+	String() string
+}
+
+// Driver computes one experiment.
+type Driver func(*Context) (Result, error)
+
+var registry = map[string]struct {
+	drv  Driver
+	desc string
+}{}
+
+// canonical is the paper's presentation order.
+var canonical = []string{
+	"fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "fig8",
+	"fig10", "fig11", "fig12", "fig13", "tab4", "fig14", "fig15", "fig16",
+}
+
+func register(id, desc string, drv Driver) {
+	if _, dup := registry[id]; dup {
+		panic("exp: duplicate experiment id " + id)
+	}
+	registry[id] = struct {
+		drv  Driver
+		desc string
+	}{drv, desc}
+}
+
+// IDs returns all experiment ids in the paper's presentation order;
+// experiments registered outside the canonical list follow
+// alphabetically.
+func IDs() []string {
+	rank := make(map[string]int, len(canonical))
+	for i, id := range canonical {
+		rank[id] = i
+	}
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, iok := rank[out[i]]
+		rj, jok := rank[out[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return out[i] < out[j]
+		}
+	})
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.desc, ok
+}
+
+// Run executes one experiment by id.
+func Run(ctx *Context, id string) (Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e.drv(ctx)
+}
+
+// RunAll executes every registered experiment in order, invoking fn
+// with each result as it completes.
+func RunAll(ctx *Context, fn func(Result)) error {
+	for _, id := range IDs() {
+		res, err := Run(ctx, id)
+		if err != nil {
+			return fmt.Errorf("exp: %s: %w", id, err)
+		}
+		fn(res)
+	}
+	return nil
+}

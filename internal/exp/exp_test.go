@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	// Paper presentation order first, extensions after.
+	want := []string{"fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "fig8",
+		"fig10", "fig11", "fig12", "fig13", "tab4", "fig14", "fig15", "fig16"}
+	if len(ids) < len(want) {
+		t.Fatalf("experiment count %d: %v", len(ids), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("order[%d] = %s, want %s (%v)", i, ids[i], id, ids)
+		}
+	}
+	for i := len(want) + 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			t.Fatalf("extensions not sorted: %v", ids[len(want):])
+		}
+	}
+	for _, id := range ids {
+		if desc, ok := Describe(id); !ok || desc == "" {
+			t.Errorf("no description for %s", id)
+		}
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Fatal("unknown id described")
+	}
+	if _, err := Run(NewContext(), "nope"); err == nil {
+		t.Fatal("unknown id ran")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res, err := Run(NewContext(), "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := res.(*Fig2)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	if f.ID() != "fig2" {
+		t.Fatal("wrong id")
+	}
+	// Equation 3 crossover at 2/30 with the paper's parameters.
+	if f.BreakEven < 0.066 || f.BreakEven > 0.068 {
+		t.Fatalf("break-even %v", f.BreakEven)
+	}
+	// Branch cost strictly increasing, predicated flat.
+	for i := 1; i < len(f.Rates); i++ {
+		if f.BranchC[i] <= f.BranchC[i-1] {
+			t.Fatal("branch cost not increasing")
+		}
+		if f.PredC[i] != f.PredC[0] {
+			t.Fatal("predicated cost not flat")
+		}
+	}
+	if !strings.Contains(f.String(), "break-even") {
+		t.Fatal("render missing break-even")
+	}
+}
+
+// TestFig16 exercises the overhead harness on the VM kernels (the other
+// experiment drivers walk the full 12-benchmark matrix and are covered
+// by the benchmarks and cmd/experiments; they are too slow for unit
+// tests).
+func TestFig16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead measurement in -short mode")
+	}
+	res, err := Run(NewContext(), "fig16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*Fig16)
+	if len(f.Kernels) != 5 {
+		t.Fatalf("kernels %v", f.Kernels)
+	}
+	for i, k := range f.Kernels {
+		if len(f.Normalized[i]) != len(OverheadLevels) {
+			t.Fatalf("%s: level count", k)
+		}
+		if f.Normalized[i][0] != 1 {
+			t.Fatalf("%s: binary not normalised to 1", k)
+		}
+		// The full 2D+gshare instrumentation must cost more than the
+		// uninstrumented run (allowing generous timer noise).
+		if f.Normalized[i][4] < 0.9 {
+			t.Fatalf("%s: 2d+gshare %.2fx < binary", k, f.Normalized[i][4])
+		}
+	}
+	if !strings.Contains(f.String(), "2d+gshare") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestMeasureLevelUnknown(t *testing.T) {
+	if _, err := measureLevel(nil, "bogus", NewContext().Config); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestLevelName(t *testing.T) {
+	if levelName(1) != "base" || levelName(3) != "base-ext1-2" {
+		t.Fatalf("levelName wrong: %s %s", levelName(1), levelName(3))
+	}
+}

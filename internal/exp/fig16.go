@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+	"twodprof/internal/progs"
+	"twodprof/internal/textplot"
+	"twodprof/internal/trace"
+	"twodprof/internal/vm"
+)
+
+func init() {
+	register("fig16", "profiling overhead: binary / hook-base / edge / gshare / 2D+gshare", runFig16)
+}
+
+// OverheadLevels are the five instrumentation levels of the paper's
+// Figure 16. "binary" is the uninstrumented VM run standing in for
+// native execution; "pin-base" is an empty branch hook (the
+// instrumentation framework's dispatch cost).
+var OverheadLevels = []string{"binary", "pin-base", "edge", "gshare", "2d+gshare"}
+
+// Fig16 reports normalised execution times per kernel per level.
+type Fig16 struct {
+	Kernels    []string
+	Times      [][]time.Duration // [kernel][level]
+	Normalized [][]float64       // normalised to the binary run
+}
+
+// measureLevel runs one kernel instance under one instrumentation level
+// and returns the best-of-three wall time.
+func measureLevel(inst *progs.Instance, level string, cfg core.Config) (time.Duration, error) {
+	var hooks vm.Hooks
+	switch level {
+	case "binary":
+		// no hooks
+	case "pin-base":
+		hooks.OnBranch = func(pc uint64, taken bool) {}
+	case "edge":
+		taken := make(map[uint64]int64)
+		notTaken := make(map[uint64]int64)
+		hooks.OnBranch = func(pc uint64, t bool) {
+			if t {
+				taken[pc]++
+			} else {
+				notTaken[pc]++
+			}
+		}
+	case "gshare":
+		g := bpred.NewGshare4KB()
+		acct := bpred.NewAccounting(g)
+		hooks.OnBranch = func(pc uint64, t bool) {
+			acct.Branch(trace.PC(pc), t)
+		}
+	case "2d+gshare":
+		prof, err := core.NewProfiler(cfg, bpred.NewGshare4KB())
+		if err != nil {
+			return 0, err
+		}
+		hooks.OnBranch = func(pc uint64, t bool) {
+			prof.Branch(trace.PC(pc), t)
+		}
+	default:
+		return 0, fmt.Errorf("exp: unknown overhead level %q", level)
+	}
+
+	best := time.Duration(0)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		if _, err := inst.RunHooks(hooks); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func runFig16(ctx *Context) (Result, error) {
+	cfg := ctx.Config
+	// Kernel runs are much shorter than the synthetic benchmarks, so
+	// scale the slice size down to keep a meaningful number of slices.
+	cfg.SliceSize = 10000
+	cfg.ExecThreshold = 20
+
+	f := &Fig16{}
+	for _, k := range []string{"typesum", "lzchain", "bsearch", "inssort", "fsm"} {
+		inst, err := progs.StandardInput(k, "train")
+		if err != nil {
+			return nil, err
+		}
+		var times []time.Duration
+		var norm []float64
+		for _, level := range OverheadLevels {
+			d, err := measureLevel(inst, level, cfg)
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, d)
+		}
+		for _, d := range times {
+			norm = append(norm, float64(d)/float64(times[0]))
+		}
+		f.Kernels = append(f.Kernels, k)
+		f.Times = append(f.Times, times)
+		f.Normalized = append(f.Normalized, norm)
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig16) ID() string { return "fig16" }
+
+// String implements Result.
+func (f *Fig16) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 16: normalised execution time per instrumentation level\n")
+	b.WriteString("(VM kernels; 'binary' = uninstrumented VM run)\n\n")
+	t := textplot.NewTable(append([]string{"kernel"}, OverheadLevels...)...)
+	for i, k := range f.Kernels {
+		row := []interface{}{k}
+		for j := range OverheadLevels {
+			row = append(row, fmt.Sprintf("%.2fx (%s)", f.Normalized[i][j], f.Times[i][j].Round(time.Millisecond)))
+		}
+		t.AddRowf(row...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n(expected ordering: binary <= pin-base <= edge <= gshare <= 2d+gshare;\n 2D-profiling adds little on top of modelling the predictor itself)\n")
+	return b.String()
+}

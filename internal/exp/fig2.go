@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/predication"
+	"twodprof/internal/textplot"
+)
+
+func init() {
+	register("fig2", "execution time of predicated vs branch code over misprediction rate", runFig2)
+}
+
+// Fig2 is the analytic cost-model curve of the paper's Figure 2.
+type Fig2 struct {
+	Model     predication.CostModel
+	Rates     []float64 // misprediction rates
+	BranchC   []float64 // equation (1)
+	PredC     []float64 // equation (2)
+	BreakEven float64   // misprediction rate where the curves cross
+}
+
+func runFig2(ctx *Context) (Result, error) {
+	m := predication.PaperExample()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fig2{Model: m, BreakEven: m.BreakEvenMisp(0.5)}
+	for r := 0.0; r <= 0.201; r += 0.01 {
+		f.Rates = append(f.Rates, r)
+		f.BranchC = append(f.BranchC, m.BranchCost(0.5, r))
+		f.PredC = append(f.PredC, m.PredicatedCost())
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig2) ID() string { return "fig2" }
+
+// String implements Result.
+func (f *Fig2) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: execution time vs branch misprediction rate\n")
+	fmt.Fprintf(&b, "(exec_T=%.0f exec_N=%.0f exec_pred=%.0f penalty=%.0f)\n\n",
+		f.Model.ExecTaken, f.Model.ExecNotTaken, f.Model.ExecPred, f.Model.MispPenalty)
+	b.WriteString(textplot.Series(f.Rates, map[string][]float64{
+		"branch code (eq 1)":     f.BranchC,
+		"predicated code (eq 2)": f.PredC,
+	}, 64, 14))
+	fmt.Fprintf(&b, "\nbreak-even misprediction rate: %.3f (paper: 0.07)\n", f.BreakEven)
+	return b.String()
+}

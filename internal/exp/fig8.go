@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+	"twodprof/internal/spec"
+	"twodprof/internal/textplot"
+	"twodprof/internal/trace"
+)
+
+func init() {
+	register("fig8", "time-varying accuracy of an input-dependent vs an input-independent branch (gap)", runFig8)
+}
+
+// Fig8 holds the two per-slice accuracy series of the paper's Figure 8,
+// both taken from the gap benchmark's train run: a branch 2D-profiling
+// flags as input-dependent (left graph) and a hard but stable
+// input-independent branch (right graph).
+type Fig8 struct {
+	Benchmark   string
+	DepPC       trace.PC
+	IndepPC     trace.PC
+	DepSeries   []core.SlicePoint
+	IndepSeries []core.SlicePoint
+	DepStats    core.BranchResult
+	IndepStats  core.BranchResult
+}
+
+func runFig8(ctx *Context) (Result, error) {
+	const benchName = "gap"
+	bench, err := spec.Get(benchName)
+	if err != nil {
+		return nil, err
+	}
+	w, err := bench.Workload("train")
+	if err != nil {
+		return nil, err
+	}
+	pred, err := bpred.New(ctx.ProfPred)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := core.NewProfiler(ctx.Config, pred)
+	if err != nil {
+		return nil, err
+	}
+	prof.Watch(w.SitePCs()...)
+	w.Run(prof)
+	rep := prof.Finish()
+
+	truth, err := ctx.Runner.PairTruth(benchName, "ref", ctx.TargetPred)
+	if err != nil {
+		return nil, err
+	}
+
+	// Left graph: the flagged input-dependent branch with the largest
+	// accuracy variation among well-sampled branches.
+	// Right graph: the hard (low accuracy) but stable branch with the
+	// smallest variation.
+	f := &Fig8{Benchmark: benchName}
+	foundDep, foundIndep := false, false
+	for pc, br := range rep.Branches {
+		if br.SliceN < 20 {
+			continue
+		}
+		dep, eligible := truth.Labels[pc]
+		if !eligible {
+			continue
+		}
+		if br.InputDependent && dep {
+			if !foundDep || br.Std > f.DepStats.Std {
+				foundDep = true
+				f.DepPC = pc
+				f.DepStats = br
+			}
+		}
+		if !dep && !br.InputDependent {
+			// The paper's right graph is a hard-but-stable branch:
+			// prefer the lowest mean accuracy, break ties toward
+			// stability.
+			better := !foundIndep ||
+				br.Mean < f.IndepStats.Mean-1 ||
+				(br.Mean < f.IndepStats.Mean+1 && br.Std < f.IndepStats.Std)
+			if better {
+				foundIndep = true
+				f.IndepPC = pc
+				f.IndepStats = br
+			}
+		}
+	}
+	if !foundDep || !foundIndep {
+		return nil, fmt.Errorf("exp: fig8: could not locate exemplar branches in %s", benchName)
+	}
+	f.DepSeries = prof.Series(f.DepPC)
+	f.IndepSeries = prof.Series(f.IndepPC)
+	return f, nil
+}
+
+// ID implements Result.
+func (f *Fig8) ID() string { return "fig8" }
+
+func renderSeries(title string, pts []core.SlicePoint) string {
+	xs := make([]float64, len(pts))
+	branch := make([]float64, len(pts))
+	overall := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.Slice)
+		branch[i] = p.Value
+		overall[i] = p.Overall
+	}
+	return title + "\n" + textplot.Series(xs, map[string][]float64{
+		"branch accuracy":  branch,
+		"overall accuracy": overall,
+	}, 64, 12)
+}
+
+// String implements Result.
+func (f *Fig8) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: per-slice prediction accuracy over time (%s, train input)\n\n", f.Benchmark)
+	b.WriteString(renderSeries(
+		fmt.Sprintf("input-DEPENDENT branch %#x (mean=%.1f std=%.1f pam=%.2f)",
+			uint64(f.DepPC), f.DepStats.Mean, f.DepStats.Std, f.DepStats.PAMFrac),
+		f.DepSeries))
+	b.WriteString("\n")
+	b.WriteString(renderSeries(
+		fmt.Sprintf("input-INDEPENDENT branch %#x (mean=%.1f std=%.1f pam=%.2f)",
+			uint64(f.IndepPC), f.IndepStats.Mean, f.IndepStats.Std, f.IndepStats.PAMFrac),
+		f.IndepSeries))
+	return b.String()
+}

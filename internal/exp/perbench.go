@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/metrics"
+	"twodprof/internal/spec"
+	"twodprof/internal/textplot"
+)
+
+func init() {
+	register("ext-perbench", "extension: per-benchmark coverage/accuracy at every input-set union level", runExtPerbench)
+}
+
+// ExtPerbench is the per-benchmark detail behind Figure 12 (the paper
+// defers individual results to its extended version [11]): the four
+// metrics at every union level for each deep benchmark.
+type ExtPerbench struct {
+	Benchmarks []string
+	Levels     [][]string       // per benchmark: level names
+	Evals      [][]metrics.Eval // per benchmark: eval per level
+}
+
+func runExtPerbench(ctx *Context) (Result, error) {
+	f := &ExtPerbench{}
+	for _, name := range spec.DeepNames() {
+		b, err := spec.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		var levels []string
+		var evals []metrics.Eval
+		for k, lvl := range unionLevels(b) {
+			ev, err := ctx.Runner.Evaluate2D(name, ctx.Config, ctx.ProfPred, ctx.TargetPred, lvl)
+			if err != nil {
+				return nil, err
+			}
+			levels = append(levels, levelName(k+1))
+			evals = append(evals, ev)
+		}
+		f.Benchmarks = append(f.Benchmarks, name)
+		f.Levels = append(f.Levels, levels)
+		f.Evals = append(f.Evals, evals)
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *ExtPerbench) ID() string { return "ext-perbench" }
+
+// String implements Result.
+func (f *ExtPerbench) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: per-benchmark detail of Figure 12 (the paper's [11])\n\n")
+	for i, name := range f.Benchmarks {
+		fmt.Fprintf(&b, "%s:\n", name)
+		t := textplot.NewTable("level", "COV-dep", "ACC-dep", "COV-indep", "ACC-indep", "TP", "FP", "FN", "TN")
+		for j, lvl := range f.Levels[i] {
+			e := f.Evals[i][j]
+			t.AddRowf(lvl, e.CovDep, e.AccDep, e.CovIndep, e.AccIndep, e.TP, e.FP, e.FN, e.TN)
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

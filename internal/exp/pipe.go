@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/pipeline"
+	"twodprof/internal/progs"
+	"twodprof/internal/textplot"
+	"twodprof/internal/vm"
+)
+
+func init() {
+	register("ext-pipe", "extension: cycle cost of mispredictions per kernel and predictor (timing model)", runExtPipe)
+}
+
+// ExtPipeCell is one (kernel, predictor) timing measurement.
+type ExtPipeCell struct {
+	Cycles      int64
+	MispRate    float64
+	SlowdownPct float64 // vs a perfect front end
+}
+
+// ExtPipe quantifies the misprediction penalty the analytic model of
+// Figure 2 assumes, by timing the VM kernels under real predictors.
+type ExtPipe struct {
+	Kernels    []string
+	Predictors []string
+	Cells      [][]ExtPipeCell // [kernel][predictor]
+	Perfect    []int64         // perfect-front-end cycles per kernel
+}
+
+func runExtPipe(ctx *Context) (Result, error) {
+	preds := []string{bpred.NameAlwaysNotTaken, bpred.NameBimodal, bpred.NameGshare4KB, bpred.NamePerceptron16KB}
+	f := &ExtPipe{Predictors: preds}
+	cfg := pipeline.DefaultConfig()
+	for _, kernel := range progs.KernelNames() {
+		inst, err := progs.StandardInput(kernel, "train")
+		if err != nil {
+			return nil, err
+		}
+		perfect, err := pipeline.Run(inst.Kernel.Prog, inst.Mem, nil, cfg, vm.Limits{})
+		if err != nil {
+			return nil, err
+		}
+		var row []ExtPipeCell
+		for _, pn := range preds {
+			p, err := bpred.New(pn)
+			if err != nil {
+				return nil, err
+			}
+			res, err := pipeline.Run(inst.Kernel.Prog, inst.Mem, p, cfg, vm.Limits{})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ExtPipeCell{
+				Cycles:      res.Cycles,
+				MispRate:    res.MispRate(),
+				SlowdownPct: 100 * (float64(res.Cycles)/float64(perfect.Cycles) - 1),
+			})
+		}
+		f.Kernels = append(f.Kernels, kernel)
+		f.Cells = append(f.Cells, row)
+		f.Perfect = append(f.Perfect, perfect.Cycles)
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *ExtPipe) ID() string { return "ext-pipe" }
+
+// String implements Result.
+func (f *ExtPipe) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: timing-model cost of branch mispredictions\n")
+	b.WriteString("(in-order pipeline, 30-cycle flush; slowdown vs a perfect front end)\n\n")
+	header := []string{"kernel", "perfect cycles"}
+	header = append(header, f.Predictors...)
+	t := textplot.NewTable(header...)
+	for i, k := range f.Kernels {
+		row := []interface{}{k, f.Perfect[i]}
+		for _, c := range f.Cells[i] {
+			row = append(row, fmt.Sprintf("+%.1f%% (misp %.1f%%)", c.SlowdownPct, c.MispRate))
+		}
+		t.AddRowf(row...)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n(the large gap between predictors is the cycle budget the paper's\n predication decisions — and hence 2D-profiling's verdicts — play for)\n")
+	return b.String()
+}

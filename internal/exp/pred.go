@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"strings"
+
+	"twodprof/internal/predication"
+	"twodprof/internal/spec"
+	"twodprof/internal/textplot"
+	"twodprof/internal/trace"
+)
+
+func init() {
+	register("ext-pred", "extension: cross-input predication outcomes with and without 2D verdicts", runExtPred)
+}
+
+// ExtPredRow summarises one benchmark's predication study: the
+// execution-weighted cycles per branch-region instance, averaged over
+// every non-train input, for four compilers.
+type ExtPredRow struct {
+	Benchmark string
+	// TrustProfile predicates on the train profile alone (eq. 3).
+	TrustProfile float64
+	// Conservative keeps 2D-flagged branches as branches.
+	Conservative float64
+	// Wish emits wish branches for 2D-flagged branches.
+	Wish float64
+	// Oracle picks the per-input best static choice per branch — a
+	// lower bound no compiler can reach.
+	Oracle float64
+	// NeverPredicate is the no-predication baseline.
+	NeverPredicate float64
+	// TrustWorst and WishWorst are each compiler's cost on its *worst*
+	// input — the regression-risk the paper's §2.1 argument is about.
+	TrustWorst float64
+	WishWorst  float64
+}
+
+// ExtPred grounds §2.1 quantitatively across all benchmarks.
+type ExtPred struct {
+	Rows []ExtPredRow
+}
+
+func runExtPred(ctx *Context) (Result, error) {
+	model := predication.PaperExample()
+	policies := map[string]predication.Policy{
+		"trust": {Model: model, TrustProfile: true},
+		"cons":  {Model: model},
+		"wish":  {Model: model, UseWishBranches: true},
+	}
+
+	f := &ExtPred{}
+	for _, name := range spec.Names() {
+		b, err := spec.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		// Profile-time data (train): misprediction rates from the
+		// target predictor, taken rates from the edge profile, and 2D
+		// verdicts.
+		accT, err := ctx.Runner.Accounting(name, "train", ctx.TargetPred)
+		if err != nil {
+			return nil, err
+		}
+		biasT, err := ctx.Runner.BiasProfile(name, "train")
+		if err != nil {
+			return nil, err
+		}
+		rep, err := ctx.Runner.Profile2D(name, "train", ctx.ProfPred, ctx.Config)
+		if err != nil {
+			return nil, err
+		}
+
+		decisions := map[string]map[trace.PC]predication.Decision{}
+		for pname, pol := range policies {
+			decisions[pname] = map[trace.PC]predication.Decision{}
+			for pc, s := range accT.Sites {
+				pr := predication.Profile{
+					PTaken:         biasT.Site(pc).Rate() / 100,
+					PMisp:          s.MispredictRate() / 100,
+					InputDependent: rep.IsInputDependent(pc),
+				}
+				decisions[pname][pc] = pol.Decide(pr)
+			}
+		}
+
+		// Evaluate across every non-train input's actual behaviour.
+		row := ExtPredRow{Benchmark: name}
+		var inputs []string
+		for _, in := range b.Inputs {
+			if in != "train" {
+				inputs = append(inputs, in)
+			}
+		}
+		basePol := policies["cons"]
+		var nInputs float64
+		for _, in := range inputs {
+			acc, err := ctx.Runner.Accounting(name, in, ctx.TargetPred)
+			if err != nil {
+				return nil, err
+			}
+			bias, err := ctx.Runner.BiasProfile(name, in)
+			if err != nil {
+				return nil, err
+			}
+			var cyc = map[string]float64{}
+			var oracleCyc, neverCyc, weight float64
+			for pc, s := range acc.Sites {
+				pTaken := bias.Site(pc).Rate() / 100
+				pMisp := s.MispredictRate() / 100
+				e := float64(s.Exec)
+				weight += e
+				for pname := range policies {
+					d, ok := decisions[pname][pc]
+					if !ok {
+						d = predication.KeepBranch
+					}
+					cyc[pname] += e * policies[pname].RuntimeCost(d, pTaken, pMisp)
+				}
+				bc := basePol.RuntimeCost(predication.KeepBranch, pTaken, pMisp)
+				pcCost := basePol.RuntimeCost(predication.Predicate, pTaken, pMisp)
+				neverCyc += e * bc
+				if pcCost < bc {
+					oracleCyc += e * pcCost
+				} else {
+					oracleCyc += e * bc
+				}
+			}
+			trustIn := cyc["trust"] / weight
+			wishIn := cyc["wish"] / weight
+			row.TrustProfile += trustIn
+			row.Conservative += cyc["cons"] / weight
+			row.Wish += wishIn
+			row.Oracle += oracleCyc / weight
+			row.NeverPredicate += neverCyc / weight
+			if trustIn > row.TrustWorst {
+				row.TrustWorst = trustIn
+			}
+			if wishIn > row.WishWorst {
+				row.WishWorst = wishIn
+			}
+			nInputs++
+		}
+		row.TrustProfile /= nInputs
+		row.Conservative /= nInputs
+		row.Wish /= nInputs
+		row.Oracle /= nInputs
+		row.NeverPredicate /= nInputs
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *ExtPred) ID() string { return "ext-pred" }
+
+// String implements Result.
+func (f *ExtPred) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: cross-input predication outcomes (paper §2.1 at scale)\n")
+	b.WriteString("(mean cycles per branch-region instance over all non-train inputs;\n lower is better; oracle = per-input best static choice)\n\n")
+	t := textplot.NewTable("benchmark", "never-pred", "trust-profile", "2D-conservative", "2D-wish", "oracle", "trust worst", "wish worst")
+	for _, r := range f.Rows {
+		t.AddRowf(r.Benchmark, r.NeverPredicate, r.TrustProfile, r.Conservative, r.Wish, r.Oracle,
+			r.TrustWorst, r.WishWorst)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n(wish branches guided by 2D verdicts approach the oracle;\n trusting the train profile risks cross-input regressions)\n")
+	return b.String()
+}

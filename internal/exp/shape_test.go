@@ -1,0 +1,309 @@
+package exp
+
+// Shape tests: assert the reproduction claims of EXPERIMENTS.md
+// programmatically. These run full experiment drivers, so they are
+// skipped in -short mode.
+
+import (
+	"testing"
+
+	"twodprof/internal/metrics"
+	"twodprof/internal/spec"
+)
+
+func shapeCtx(t *testing.T) *Context {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full experiment drivers in -short mode")
+	}
+	return NewContext()
+}
+
+func TestFig3Shape(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*Fig3)
+	if len(f.Benchmarks) != 12 {
+		t.Fatalf("%d benchmarks", len(f.Benchmarks))
+	}
+	byName := map[string]int{}
+	for i, n := range f.Benchmarks {
+		byName[n] = i
+	}
+	// The six deep benchmarks all exceed 10 % static input-dependent
+	// branches (the paper's selection criterion for §5.2).
+	for _, n := range spec.DeepNames() {
+		if f.Static[byName[n]] <= 0.10 {
+			t.Errorf("%s static fraction %.3f <= 0.10", n, f.Static[byName[n]])
+		}
+	}
+	// The bottom group sits clearly lower than the deep group's mean.
+	var deepMean float64
+	for _, n := range spec.DeepNames() {
+		deepMean += f.Static[byName[n]]
+	}
+	deepMean /= 6
+	for _, n := range []string{"mcf", "perlbmk", "eon"} {
+		if f.Static[byName[n]] >= deepMean {
+			t.Errorf("%s static fraction %.3f not below deep mean %.3f",
+				n, f.Static[byName[n]], deepMean)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*Fig5)
+	// Low-accuracy branches are more likely input-dependent than
+	// high-accuracy ones (compare the 0-70 bucket against 95-99),
+	// but the 0-70 bucket is not all-dependent everywhere. Benchmarks
+	// with tiny dependent sets (mcf, eon, ...) have too few branches
+	// per bucket for the trend to be meaningful, so check only the
+	// six deep benchmarks, as the paper's discussion does.
+	deep := map[string]bool{}
+	for _, n := range spec.DeepNames() {
+		deep[n] = true
+	}
+	allDependent, checked := 0, 0
+	for i, name := range f.Benchmarks {
+		if !deep[name] {
+			continue
+		}
+		checked++
+		lo, hi := f.Frac[i][0], f.Frac[i][4]
+		if lo < hi {
+			t.Errorf("%s: 0-70%% bucket fraction %.2f below 95-99%% bucket %.2f", name, lo, hi)
+		}
+		if lo >= 0.999 {
+			allDependent++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no deep benchmarks checked")
+	}
+	if allDependent == checked {
+		t.Error("every deep benchmark's hard bucket is all-dependent; paper says otherwise")
+	}
+}
+
+func TestTab1Shape(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*Table1)
+	for i, name := range f.Benchmarks {
+		if f.Train[i] < 3 || f.Train[i] > 16 || f.Ref[i] < 3 || f.Ref[i] > 16 {
+			t.Errorf("%s misprediction rates out of the SPEC-like band: %.1f/%.1f",
+				name, f.Train[i], f.Ref[i])
+		}
+		// Aggregate rates are similar across inputs even where many
+		// branches are input-dependent (the paper's Table 1 point).
+		d := f.Train[i] - f.Ref[i]
+		if d < -3 || d > 3 {
+			t.Errorf("%s train/ref aggregate rates diverge: %.1f vs %.1f", name, f.Train[i], f.Ref[i])
+		}
+	}
+}
+
+func TestFig11MonotoneGrowth(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*GrowthResult)
+	for i, name := range f.Benchmarks {
+		for k := 1; k < len(f.Frac[i]); k++ {
+			if f.Frac[i][k] < f.Frac[i][k-1]-1e-9 {
+				t.Errorf("%s: fraction shrank at level %d: %.3f -> %.3f",
+					name, k, f.Frac[i][k-1], f.Frac[i][k])
+			}
+		}
+		last := f.Frac[i][len(f.Frac[i])-1]
+		if last < f.Frac[i][0]*1.3 {
+			t.Errorf("%s: union growth too small: %.3f -> %.3f", name, f.Frac[i][0], last)
+		}
+	}
+}
+
+func TestFig12AccDepRises(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*Fig12)
+	first, last := f.Means[0], f.Means[len(f.Means)-1]
+	if last.AccDep < first.AccDep+0.15 {
+		t.Errorf("ACC-dep did not rise substantially: %.3f -> %.3f", first.AccDep, last.AccDep)
+	}
+	// COV-dep drops only modestly.
+	if last.CovDep < first.CovDep-0.2 {
+		t.Errorf("COV-dep collapsed: %.3f -> %.3f", first.CovDep, last.CovDep)
+	}
+	// ACC-indep stays high throughout.
+	for i, m := range f.Means {
+		if m.AccIndep < 0.7 {
+			t.Errorf("ACC-indep %.3f at level %d", m.AccIndep, i)
+		}
+	}
+}
+
+func TestFig10IndependentAccuracyHigh(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*Fig10)
+	var evs []metrics.Eval
+	for i, name := range f.Benchmarks {
+		ev := f.Evals[i]
+		if ev.AccIndep < 0.8 {
+			t.Errorf("%s ACC-indep %.3f < 0.8", name, ev.AccIndep)
+		}
+		if ev.CovDep < 0.5 {
+			t.Errorf("%s COV-dep %.3f < 0.5", name, ev.CovDep)
+		}
+		evs = append(evs, ev)
+	}
+	m := metrics.MeanEval(evs)
+	if m.AccDep < 0.2 || m.AccDep > 0.6 {
+		t.Errorf("mean two-input ACC-dep %.3f outside the paper band", m.AccDep)
+	}
+}
+
+func TestExtPipeShape(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "ext-pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*ExtPipe)
+	if len(f.Kernels) != 6 {
+		t.Fatalf("%d kernels", len(f.Kernels))
+	}
+	for i, k := range f.Kernels {
+		// always-not-taken (column 0) must be the slowest or tied;
+		// the perceptron (last column) must beat it.
+		ant := f.Cells[i][0].Cycles
+		per := f.Cells[i][len(f.Cells[i])-1].Cycles
+		if per > ant {
+			t.Errorf("%s: perceptron (%d cycles) slower than always-NT (%d)", k, per, ant)
+		}
+		if f.Perfect[i] <= 0 {
+			t.Errorf("%s: non-positive perfect cycles", k)
+		}
+		for _, c := range f.Cells[i] {
+			if c.SlowdownPct < 0 {
+				t.Errorf("%s: negative slowdown vs perfect front end", k)
+			}
+		}
+	}
+}
+
+func TestExtTraceShape(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "ext-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*ExtTrace)
+	if len(f.Rows) != 6 {
+		t.Fatalf("%d rows", len(f.Rows))
+	}
+	unstable := 0
+	for _, r := range f.Rows {
+		if r.Similarity < 0 || r.Similarity > 1 {
+			t.Errorf("%s: similarity %v", r.Kernel, r.Similarity)
+		}
+		if r.Similarity < 0.99 {
+			unstable++
+		}
+	}
+	if unstable == 0 {
+		t.Error("no kernel's hot path changed across inputs; the §2.2 point needs at least one")
+	}
+}
+
+func TestExtPhaseShape(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "ext-phase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*ExtPhase)
+	flaggedSeen := false
+	for _, r := range f.Rows {
+		if r.Intervals <= 0 || r.Phases <= 0 {
+			t.Errorf("%s: empty analysis", r.Kernel)
+		}
+		if r.HasFlagged {
+			flaggedSeen = true
+			if r.FlaggedR2 < 0.5 {
+				t.Errorf("%s: flagged branch R² %.3f — phases should explain its variance", r.Kernel, r.FlaggedR2)
+			}
+		}
+	}
+	if !flaggedSeen {
+		t.Error("no kernel produced a flagged branch with a full series")
+	}
+}
+
+func TestExtIfconvShape(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "ext-ifconv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*ExtIfconv)
+	if len(f.Rows) == 0 {
+		t.Fatal("no convertible kernels")
+	}
+	bigWin := false
+	for _, r := range f.Rows {
+		never, all := r.Cycles[CompNever], r.Cycles[CompAll]
+		oracle := r.Cycles[CompOracle]
+		if never <= 0 || all <= 0 || oracle <= 0 {
+			t.Fatalf("%s/%s: missing cycles %v", r.Kernel, r.Input, r.Cycles)
+		}
+		// The per-input oracle tracks the better static extreme up to
+		// the analytic model's approximation error.
+		best := never
+		if all < best {
+			best = all
+		}
+		if float64(oracle) > 1.05*float64(best) {
+			t.Errorf("%s/%s: oracle %d far above best static %d", r.Kernel, r.Input, oracle, best)
+		}
+		if float64(all) < 0.8*float64(never) {
+			bigWin = true
+		}
+	}
+	if !bigWin {
+		t.Error("no kernel showed a substantial predication win (expected bsearch)")
+	}
+}
+
+func TestExtCorrPositive(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "ext-corr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*ExtCorr)
+	for i, name := range f.Benchmarks {
+		if f.CorrStd[i] <= 0.1 {
+			t.Errorf("%s: corr(std, delta) = %.3f, premise broken", name, f.CorrStd[i])
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/cfg"
+	"twodprof/internal/core"
+	"twodprof/internal/progs"
+	"twodprof/internal/textplot"
+	"twodprof/internal/trace"
+)
+
+func init() {
+	register("ext-trace", "extension: hot-path stability across inputs and 2D verdicts at divergence branches", runExtTrace)
+}
+
+// ExtTraceRow is one kernel's hot-path stability summary.
+type ExtTraceRow struct {
+	Kernel     string
+	TrainPath  string
+	RefPath    string
+	Similarity float64
+	// DivergePC is the conditional branch where the paths part ways
+	// (-1 when the paths do not diverge at a branch).
+	DivergePC int
+	// Flagged2D reports whether 2D-profiling on the train input alone
+	// flags the divergence branch as input-dependent.
+	Flagged2D bool
+	// FlagDefined is false when there is no divergence branch.
+	FlagDefined bool
+}
+
+// ExtTrace grounds §2.2: hot paths identified on the profiling input
+// may not be hot on other inputs, and the unstable ones cross branches
+// 2D-profiling can flag in advance.
+type ExtTrace struct {
+	Rows []ExtTraceRow
+}
+
+func runExtTrace(ctx *Context) (Result, error) {
+	f := &ExtTrace{}
+	for _, kernel := range progs.KernelNames() {
+		k, _ := progs.KernelByName(kernel)
+		g := cfg.Build(k.Prog)
+
+		hotPath := func(input string) ([]int, *progs.Instance, error) {
+			inst, err := progs.StandardInput(kernel, input)
+			if err != nil {
+				return nil, nil, err
+			}
+			ep := cfg.NewEdgeProfile(g)
+			if _, err := inst.RunHooks(ep.Hooks()); err != nil {
+				return nil, nil, err
+			}
+			return ep.HotPath(12, 0.25), inst, nil
+		}
+		trainPath, trainInst, err := hotPath("train")
+		if err != nil {
+			return nil, err
+		}
+		refPath, _, err := hotPath("ref")
+		if err != nil {
+			return nil, err
+		}
+
+		row := ExtTraceRow{
+			Kernel:     kernel,
+			TrainPath:  g.FormatPath(trainPath),
+			RefPath:    g.FormatPath(refPath),
+			Similarity: cfg.PathSimilarity(trainPath, refPath),
+			DivergePC:  -1,
+		}
+		if pc, ok := g.DivergenceBranch(trainPath, refPath); ok {
+			row.DivergePC = pc
+			row.FlagDefined = true
+			// 2D-profile the train run and look the branch up.
+			cfg2d := ctx.Config
+			cfg2d.SliceSize = 8000
+			cfg2d.ExecThreshold = 20
+			pred, err := bpred.New(ctx.ProfPred)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := core.NewProfiler(cfg2d, pred)
+			if err != nil {
+				return nil, err
+			}
+			trainInst.Run(prof)
+			row.Flagged2D = prof.Finish().IsInputDependent(trace.PC(pc))
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *ExtTrace) ID() string { return "ext-trace" }
+
+// String implements Result.
+func (f *ExtTrace) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: hot-path stability across inputs (paper §2.2)\n\n")
+	t := textplot.NewTable("kernel", "path similarity", "diverges at", "2D flags it")
+	for _, r := range f.Rows {
+		div, flag := "-", "-"
+		if r.FlagDefined {
+			div = fmt.Sprintf("pc %d", r.DivergePC)
+			flag = fmt.Sprintf("%v", r.Flagged2D)
+		}
+		t.AddRowf(r.Kernel, r.Similarity, div, flag)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nhot paths:\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-8s train: %s\n", r.Kernel, r.TrainPath)
+		fmt.Fprintf(&b, "  %-8s ref  : %s\n", "", r.RefPath)
+	}
+	b.WriteString("\n(paths that change across inputs diverge at branches 2D-profiling\n can flag from the train run alone — §2.2's hot-path caveat)\n")
+	return b.String()
+}

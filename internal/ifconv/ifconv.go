@@ -1,0 +1,330 @@
+// Package ifconv implements if-conversion — the paper's motivating
+// compiler optimisation — as a real program transformation over VM
+// code: convertible hammocks (triangles and diamonds) are rewritten
+// into branch-free predicated sequences using the ISA's set<cond> and
+// cmov instructions. Converted programs compute identical results; the
+// conditional branch disappears from the dynamic stream, trading its
+// misprediction cost for the cost of executing both arms.
+package ifconv
+
+import (
+	"fmt"
+
+	"twodprof/internal/vm"
+)
+
+// Reserved scratch registers. Code containing them is not convertible.
+const (
+	// RegPred holds the branch predicate (1 = branch would be taken).
+	RegPred = 13
+	// RegInv holds the inverted predicate.
+	RegInv = 14
+	// RegScratch receives each converted instruction's result before
+	// the guarded move.
+	RegScratch = 15
+)
+
+// Kind distinguishes hammock shapes.
+type Kind int
+
+// Hammock shapes.
+const (
+	// Triangle: the branch skips a fallthrough block.
+	//   b<cond> rs1, rs2, join ; FT... ; join:
+	Triangle Kind = iota
+	// Diamond: two arms that both jump to the same join.
+	//   b<cond> rs1, rs2, TB ; FT... ; jmp J ; TB... ; jmp J
+	Diamond
+)
+
+// String returns the shape name.
+func (k Kind) String() string {
+	if k == Triangle {
+		return "triangle"
+	}
+	return "diamond"
+}
+
+// Candidate is one convertible hammock.
+type Candidate struct {
+	Kind Kind
+	// BranchIdx is the conditional branch's instruction index — the
+	// trace.PC experiments use to look up its profile.
+	BranchIdx int
+	// FTStart/FTEnd bound the fallthrough arm's body (excluding the
+	// trailing jmp of a diamond).
+	FTStart, FTEnd int
+	// TBStart/TBEnd bound the taken arm's body (diamond only).
+	TBStart, TBEnd int
+	// Join is the join point's instruction index.
+	Join int
+	// End is one past the last instruction of the whole region.
+	End int
+}
+
+// convertible reports whether one instruction may be predicated: pure
+// register computation, no faults, no side effects, and no use of the
+// reserved scratch registers.
+func convertible(in vm.Inst) bool {
+	switch in.Op {
+	case vm.OpLi, vm.OpMov, vm.OpAdd, vm.OpSub, vm.OpMul,
+		vm.OpAddi, vm.OpAnd, vm.OpOr, vm.OpXor, vm.OpAndi,
+		vm.OpShl, vm.OpShr, vm.OpShli, vm.OpShri, vm.OpSet:
+	default:
+		return false
+	}
+	for _, r := range []uint8{in.Rd, in.Rs1, in.Rs2} {
+		if r >= RegPred {
+			return false
+		}
+	}
+	return true
+}
+
+// branchUses reports whether the branch's source registers include a
+// reserved register (which would be clobbered by the predicate setup).
+func branchUsable(in vm.Inst) bool {
+	return in.Rs1 < RegPred && in.Rs2 < RegPred
+}
+
+// FindCandidates scans a program for convertible hammocks. Candidates
+// never overlap (the scan resumes past each accepted region), and a
+// region is rejected when any *other* instruction branches into it.
+func FindCandidates(p *vm.Program) []Candidate {
+	// Precompute every jump/branch/call target with its source.
+	type src struct{ from, to int }
+	var targets []src
+	for i, in := range p.Insts {
+		switch in.Op {
+		case vm.OpBr, vm.OpJmp, vm.OpCall:
+			targets = append(targets, src{i, in.Target})
+		}
+	}
+	// externalEntry reports whether any instruction outside [lo, hi]
+	// other than exempt targets into (lo, hi].
+	externalEntry := func(lo, hi, exempt int) bool {
+		for _, t := range targets {
+			if t.from == exempt {
+				continue
+			}
+			if t.from >= lo && t.from <= hi {
+				continue // internal control flow (none for straight-line bodies)
+			}
+			if t.to > lo && t.to <= hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Candidate
+	for i := 0; i < len(p.Insts); i++ {
+		in := p.Insts[i]
+		if in.Op != vm.OpBr || !branchUsable(in) {
+			continue
+		}
+		t := in.Target
+		if t <= i+1 || t > len(p.Insts) {
+			continue // backward branch or degenerate
+		}
+
+		// Diamond: FT body then `jmp J`, taken arm starts at t
+		// immediately after, ends with `jmp J`.
+		if cand, ok := matchDiamond(p, i); ok {
+			if !externalEntry(i, cand.End-1, i) {
+				out = append(out, cand)
+				i = cand.End - 1
+				continue
+			}
+		}
+		// Triangle: branch over straight-line body to the join.
+		if cand, ok := matchTriangle(p, i); ok {
+			if !externalEntry(i, cand.End-1, i) {
+				out = append(out, cand)
+				i = cand.End - 1
+			}
+		}
+	}
+	return out
+}
+
+const maxArm = 8 // largest arm body worth predicating
+
+func matchTriangle(p *vm.Program, i int) (Candidate, bool) {
+	br := p.Insts[i]
+	t := br.Target
+	if t-i-1 < 1 || t-i-1 > maxArm {
+		return Candidate{}, false
+	}
+	for j := i + 1; j < t; j++ {
+		if !convertible(p.Insts[j]) {
+			return Candidate{}, false
+		}
+	}
+	return Candidate{
+		Kind: Triangle, BranchIdx: i,
+		FTStart: i + 1, FTEnd: t,
+		Join: t, End: t,
+	}, true
+}
+
+func matchDiamond(p *vm.Program, i int) (Candidate, bool) {
+	br := p.Insts[i]
+	t := br.Target
+	// FT body: i+1 .. j-1, with insts[j] = jmp J and t == j+1.
+	j := t - 1
+	if j <= i || j >= len(p.Insts) || p.Insts[j].Op != vm.OpJmp {
+		return Candidate{}, false
+	}
+	joinTarget := p.Insts[j].Target
+	if t != j+1 {
+		return Candidate{}, false
+	}
+	// Taken body: t .. k-1, with insts[k] = jmp J.
+	k := -1
+	for m := t; m < len(p.Insts) && m <= t+maxArm; m++ {
+		if p.Insts[m].Op == vm.OpJmp {
+			k = m
+			break
+		}
+		if !convertible(p.Insts[m]) {
+			return Candidate{}, false
+		}
+	}
+	if k < 0 || p.Insts[k].Target != joinTarget {
+		return Candidate{}, false
+	}
+	ftLen, tbLen := j-(i+1), k-t
+	if ftLen < 1 || ftLen > maxArm || tbLen < 1 || tbLen > maxArm {
+		return Candidate{}, false
+	}
+	if joinTarget > i && joinTarget <= k {
+		return Candidate{}, false // join must lie outside the region (loop-back joins are fine)
+	}
+	for m := i + 1; m < j; m++ {
+		if !convertible(p.Insts[m]) {
+			return Candidate{}, false
+		}
+	}
+	return Candidate{
+		Kind: Diamond, BranchIdx: i,
+		FTStart: i + 1, FTEnd: j,
+		TBStart: t, TBEnd: k,
+		Join: joinTarget, End: k + 1,
+	}, true
+}
+
+// guarded emits the predicated form of one convertible instruction:
+// compute into the scratch register, then conditionally move into the
+// real destination under guard.
+func guarded(in vm.Inst, guard uint8) []vm.Inst {
+	if in.Rd == 0 {
+		// Writes to r0 are dropped anyway; keep the computation only
+		// if it could fault — convertible ops never fault.
+		return nil
+	}
+	computed := in
+	computed.Rd = RegScratch
+	return []vm.Inst{
+		computed,
+		{Op: vm.OpCmov, Rd: in.Rd, Rs1: guard, Rs2: RegScratch},
+	}
+}
+
+// emit produces the predicated replacement for one candidate.
+func emit(p *vm.Program, c Candidate) []vm.Inst {
+	br := p.Insts[c.BranchIdx]
+	seq := []vm.Inst{
+		// RegPred = 1 iff the branch would be taken.
+		{Op: vm.OpSet, Cond: br.Cond, Rd: RegPred, Rs1: br.Rs1, Rs2: br.Rs2},
+		// RegInv = !RegPred.
+		{Op: vm.OpSet, Cond: vm.CondEQ, Rd: RegInv, Rs1: RegPred, Rs2: 0},
+	}
+	// Fallthrough arm executes when the branch is NOT taken.
+	for m := c.FTStart; m < c.FTEnd; m++ {
+		seq = append(seq, guarded(p.Insts[m], RegInv)...)
+	}
+	if c.Kind == Diamond {
+		for m := c.TBStart; m < c.TBEnd; m++ {
+			seq = append(seq, guarded(p.Insts[m], RegPred)...)
+		}
+		seq = append(seq, vm.Inst{Op: vm.OpJmp, Target: c.Join})
+	}
+	return seq
+}
+
+// PredicatedCost returns the instruction count of the emitted sequence
+// (used by selection policies as exec_pred).
+func PredicatedCost(p *vm.Program, c Candidate) int {
+	return len(emit(p, c))
+}
+
+// ArmCosts returns the instruction counts of the not-taken and taken
+// paths of the original hammock (exec_N and exec_T of equation 1),
+// including the branch itself.
+func ArmCosts(p *vm.Program, c Candidate) (notTaken, taken int) {
+	switch c.Kind {
+	case Triangle:
+		return 1 + (c.FTEnd - c.FTStart), 1
+	default:
+		return 1 + (c.FTEnd - c.FTStart) + 1, 1 + (c.TBEnd - c.TBStart) + 1
+	}
+}
+
+// Convert rewrites the program with the selected candidates predicated.
+// Candidates must come from FindCandidates on the same program (they
+// are assumed non-overlapping and validated against it). The returned
+// map gives each old instruction index's new index (instructions inside
+// a converted region map to the region's start).
+func Convert(p *vm.Program, selected []Candidate) (*vm.Program, []int, error) {
+	chosen := map[int]Candidate{}
+	for _, c := range selected {
+		if c.BranchIdx < 0 || c.BranchIdx >= len(p.Insts) || p.Insts[c.BranchIdx].Op != vm.OpBr {
+			return nil, nil, fmt.Errorf("ifconv: candidate branch %d is not a conditional branch", c.BranchIdx)
+		}
+		if _, dup := chosen[c.BranchIdx]; dup {
+			return nil, nil, fmt.Errorf("ifconv: duplicate candidate at %d", c.BranchIdx)
+		}
+		chosen[c.BranchIdx] = c
+	}
+
+	// First pass: lay out new instructions, recording old->new index.
+	newIdx := make([]int, len(p.Insts)+1)
+	var out []vm.Inst
+	for i := 0; i < len(p.Insts); {
+		if c, ok := chosen[i]; ok {
+			start := len(out)
+			seq := emit(p, c)
+			out = append(out, seq...)
+			for m := i; m < c.End; m++ {
+				newIdx[m] = start
+			}
+			i = c.End
+			continue
+		}
+		newIdx[i] = len(out)
+		out = append(out, p.Insts[i])
+		i++
+	}
+	newIdx[len(p.Insts)] = len(out)
+
+	// Second pass: retarget control flow. Emitted jmps inside
+	// converted regions already carry *old* join targets; translate
+	// everything uniformly.
+	for i := range out {
+		switch out[i].Op {
+		case vm.OpBr, vm.OpJmp, vm.OpCall:
+			t := out[i].Target
+			if t < 0 || t > len(p.Insts) {
+				return nil, nil, fmt.Errorf("ifconv: target %d out of range", t)
+			}
+			out[i].Target = newIdx[t]
+		}
+	}
+
+	labels := make(map[string]int, len(p.Labels))
+	for name, idx := range p.Labels {
+		labels[name] = newIdx[idx]
+	}
+	return &vm.Program{Name: p.Name + "+ifconv", Insts: out, Labels: labels}, newIdx, nil
+}

@@ -1,0 +1,321 @@
+package ifconv
+
+import (
+	"testing"
+
+	"twodprof/internal/progs"
+	"twodprof/internal/rng"
+	"twodprof/internal/vm"
+)
+
+const triangleProg = `
+; abs-sum: sum |a[i]| over n values — classic triangle hammock
+main:
+    ld   r1, [0]      ; n
+    li   r2, 0        ; i
+    li   r3, 0        ; sum
+loop:
+    bge  r2, r1, done
+    addi r4, r2, 1
+    ld   r5, [r4]
+tri:
+    bge  r5, r0, pos  ; skip negation when already positive
+    sub  r5, r0, r5   ; triangle body
+pos:
+    add  r3, r3, r5
+    addi r2, r2, 1
+    jmp  loop
+done:
+    out  r3
+    halt
+`
+
+const diamondProg = `
+; clamp-sum: sum min(a[i], 10) via a diamond
+main:
+    ld   r1, [0]
+    li   r2, 0
+    li   r3, 0
+    li   r6, 10
+loop:
+    bge  r2, r1, done
+    addi r4, r2, 1
+    ld   r5, [r4]
+dia:
+    bgt  r5, r6, big
+    mov  r7, r5       ; fallthrough arm
+    jmp  join
+big:
+    mov  r7, r6       ; taken arm
+    jmp  join
+join:
+    add  r3, r3, r7
+    addi r2, r2, 1
+    jmp  loop
+done:
+    out  r3
+    halt
+`
+
+func assemble(t *testing.T, src string) *vm.Program {
+	t.Helper()
+	p, err := vm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runProg(t *testing.T, p *vm.Program, mem []int64) (vm.Result, map[uint64]int64) {
+	t.Helper()
+	m := vm.NewMachine(256)
+	copy(m.Mem, mem)
+	branchExecs := map[uint64]int64{}
+	res, err := m.Run(p, vm.Hooks{OnBranch: func(pc uint64, taken bool) { branchExecs[pc]++ }})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, branchExecs
+}
+
+func testMem(seed uint64, n int) []int64 {
+	r := rng.New(seed)
+	mem := make([]int64, 256)
+	mem[0] = int64(n)
+	for i := 1; i <= n; i++ {
+		mem[i] = int64(r.IntRange(-50, 50))
+	}
+	return mem
+}
+
+func TestFindTriangle(t *testing.T) {
+	p := assemble(t, triangleProg)
+	cands := FindCandidates(p)
+	if len(cands) != 1 {
+		t.Fatalf("found %d candidates, want 1 (the abs triangle)", len(cands))
+	}
+	c := cands[0]
+	if c.Kind != Triangle {
+		t.Fatalf("kind %v", c.Kind)
+	}
+	if c.BranchIdx != p.MustLabel("tri") {
+		t.Fatalf("branch at %d, want %d", c.BranchIdx, p.MustLabel("tri"))
+	}
+	nt, tk := ArmCosts(p, c)
+	if nt != 2 || tk != 1 {
+		t.Fatalf("arm costs %d/%d", nt, tk)
+	}
+	if PredicatedCost(p, c) != 4 { // set, set, sub', cmov
+		t.Fatalf("pred cost %d", PredicatedCost(p, c))
+	}
+}
+
+func TestFindDiamond(t *testing.T) {
+	p := assemble(t, diamondProg)
+	cands := FindCandidates(p)
+	if len(cands) != 1 {
+		t.Fatalf("found %d candidates, want 1 (the clamp diamond)", len(cands))
+	}
+	c := cands[0]
+	if c.Kind != Diamond {
+		t.Fatalf("kind %v", c.Kind)
+	}
+	if c.BranchIdx != p.MustLabel("dia") {
+		t.Fatalf("branch at %d", c.BranchIdx)
+	}
+}
+
+func testEquivalence(t *testing.T, src string) {
+	p := assemble(t, src)
+	cands := FindCandidates(p)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	conv, _, err := Convert(p, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		mem := testMem(seed, 40)
+		orig, origBr := runProg(t, p, mem)
+		pred, predBr := runProg(t, conv, mem)
+		if len(orig.Output) != len(pred.Output) {
+			t.Fatalf("seed %d: output lengths differ", seed)
+		}
+		for i := range orig.Output {
+			if orig.Output[i] != pred.Output[i] {
+				t.Fatalf("seed %d: output[%d] %d != %d", seed, i, orig.Output[i], pred.Output[i])
+			}
+		}
+		// The converted branch no longer executes.
+		for _, c := range cands {
+			if origBr[uint64(c.BranchIdx)] == 0 {
+				t.Fatalf("seed %d: original never executed the hammock", seed)
+			}
+		}
+		if len(predBr) >= len(origBr) {
+			t.Fatalf("seed %d: conversion did not remove branch executions (%d vs %d sites)",
+				seed, len(predBr), len(origBr))
+		}
+	}
+}
+
+func TestTriangleEquivalence(t *testing.T) { testEquivalence(t, triangleProg) }
+func TestDiamondEquivalence(t *testing.T)  { testEquivalence(t, diamondProg) }
+
+func TestRejectsNonConvertible(t *testing.T) {
+	// Bodies with stores, calls, scratch registers or faulting ops
+	// must not be candidates.
+	cases := map[string]string{
+		"store": `
+			beq r1, r0, j
+			st [r2], r1
+		j:  halt`,
+		"call": `
+			beq r1, r0, j
+			call f
+		j:  halt
+		f:  ret`,
+		"div": `
+			beq r1, r0, j
+			div r2, r3, r4
+		j:  halt`,
+		"scratch": `
+			beq r1, r0, j
+			add r13, r1, r2
+		j:  halt`,
+		"scratch-branch": `
+			beq r13, r0, j
+			add r2, r1, r1
+		j:  halt`,
+		"load": `
+			beq r1, r0, j
+			ld r2, [r3]
+		j:  halt`,
+		"backward": `
+		j:  add r2, r1, r1
+			beq r1, r0, j
+			halt`,
+	}
+	for name, src := range cases {
+		p := assemble(t, src)
+		if cands := FindCandidates(p); len(cands) != 0 {
+			t.Errorf("%s: found %d candidates, want 0", name, len(cands))
+		}
+	}
+}
+
+func TestRejectsExternalEntry(t *testing.T) {
+	// A jump into the middle of the hammock body disqualifies it.
+	p := assemble(t, `
+		beq r1, r0, j
+		add r2, r1, r1
+	mid:
+		add r3, r1, r1
+	j:  bge r4, r0, done
+		jmp mid
+	done:
+		halt`)
+	for _, c := range FindCandidates(p) {
+		if c.BranchIdx == 0 {
+			t.Fatal("hammock with external entry accepted")
+		}
+	}
+}
+
+func TestConvertValidation(t *testing.T) {
+	p := assemble(t, triangleProg)
+	if _, _, err := Convert(p, []Candidate{{BranchIdx: 0}}); err == nil {
+		t.Fatal("non-branch candidate accepted")
+	}
+	good := FindCandidates(p)
+	if _, _, err := Convert(p, append(good, good...)); err == nil {
+		t.Fatal("duplicate candidates accepted")
+	}
+}
+
+func TestBsearchKernelConversion(t *testing.T) {
+	// The bsearch kernel's direction branch is a real diamond; convert
+	// it and verify identical results on a real input.
+	k, _ := progs.KernelByName("bsearch")
+	cands := FindCandidates(k.Prog)
+	if len(cands) == 0 {
+		t.Fatal("no candidates in bsearch (expected the cmp_dir diamond)")
+	}
+	dirPC := k.Prog.MustLabel("cmp_dir")
+	found := false
+	for _, c := range cands {
+		if c.BranchIdx == dirPC {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cmp_dir (%d) not among candidates %+v", dirPC, cands)
+	}
+	conv, _, err := Convert(k.Prog, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := progs.StandardInput("bsearch", "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := vm.NewMachine(len(inst.Mem))
+	copy(m1.Mem, inst.Mem)
+	orig, err := m1.Run(k.Prog, vm.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := vm.NewMachine(len(inst.Mem))
+	copy(m2.Mem, inst.Mem)
+	pred, err := m2.Run(conv, vm.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Output[0] != pred.Output[0] {
+		t.Fatalf("hit counts differ: %d vs %d", orig.Output[0], pred.Output[0])
+	}
+	if pred.Branches >= orig.Branches {
+		t.Fatalf("dynamic branches did not drop: %d vs %d", pred.Branches, orig.Branches)
+	}
+}
+
+func TestKernelsSurviveConversion(t *testing.T) {
+	// Converting every candidate in every kernel must preserve
+	// results on the train inputs.
+	for _, name := range progs.KernelNames() {
+		k, _ := progs.KernelByName(name)
+		cands := FindCandidates(k.Prog)
+		if len(cands) == 0 {
+			continue
+		}
+		conv, _, err := Convert(k.Prog, cands)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		inst, err := progs.StandardInput(name, "train")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := vm.NewMachine(len(inst.Mem))
+		copy(m1.Mem, inst.Mem)
+		orig, err := m1.Run(k.Prog, vm.Hooks{})
+		if err != nil {
+			t.Fatalf("%s original: %v", name, err)
+		}
+		m2 := vm.NewMachine(len(inst.Mem))
+		copy(m2.Mem, inst.Mem)
+		pred, err := m2.Run(conv, vm.Hooks{})
+		if err != nil {
+			t.Fatalf("%s converted: %v", name, err)
+		}
+		if len(orig.Output) != len(pred.Output) {
+			t.Fatalf("%s: output lengths differ", name)
+		}
+		for i := range orig.Output {
+			if orig.Output[i] != pred.Output[i] {
+				t.Fatalf("%s: output[%d] %d != %d", name, i, orig.Output[i], pred.Output[i])
+			}
+		}
+	}
+}

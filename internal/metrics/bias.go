@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+
+	"twodprof/internal/trace"
+)
+
+// BiasStats accumulates a branch's taken statistics (edge profile).
+type BiasStats struct {
+	Exec  int64
+	Taken int64
+}
+
+// Rate returns the taken rate in percent.
+func (b BiasStats) Rate() float64 {
+	if b.Exec == 0 {
+		return 0
+	}
+	return 100 * float64(b.Taken) / float64(b.Exec)
+}
+
+// BiasProfile is a per-branch edge profile. It implements trace.Sink.
+type BiasProfile struct {
+	Sites map[trace.PC]*BiasStats
+	Total BiasStats
+}
+
+// NewBiasProfile returns an empty profile.
+func NewBiasProfile() *BiasProfile {
+	return &BiasProfile{Sites: make(map[trace.PC]*BiasStats)}
+}
+
+// Branch implements trace.Sink.
+func (p *BiasProfile) Branch(pc trace.PC, taken bool) {
+	s := p.Sites[pc]
+	if s == nil {
+		s = &BiasStats{}
+		p.Sites[pc] = s
+	}
+	s.Exec++
+	p.Total.Exec++
+	if taken {
+		s.Taken++
+		p.Total.Taken++
+	}
+}
+
+// Site returns one branch's stats (zero value if unseen).
+func (p *BiasProfile) Site(pc trace.PC) BiasStats {
+	if s := p.Sites[pc]; s != nil {
+		return *s
+	}
+	return BiasStats{}
+}
+
+// MeasureBias edge-profiles one run of src.
+func MeasureBias(src trace.Source) *BiasProfile {
+	p := NewBiasProfile()
+	src.Run(p)
+	return p
+}
+
+// DefineBias labels input dependence of branch *bias* (taken rate): a
+// branch is bias-input-dependent when its taken rate changes by more
+// than deltaTh percentage points between the two runs. This is the
+// ground truth for the paper's edge-profiling variant of 2D-profiling
+// (§3.1): trace/superblock and code-layout optimisations care about
+// direction bias rather than predictability.
+func DefineBias(a, b *BiasProfile, deltaTh float64, minExec int64) *Truth {
+	t := &Truth{
+		DeltaTh: deltaTh,
+		Labels:  make(map[trace.PC]bool),
+		Delta:   make(map[trace.PC]float64),
+	}
+	for pc, sa := range a.Sites {
+		sb, ok := b.Sites[pc]
+		if !ok {
+			continue
+		}
+		if sa.Exec < minExec || sb.Exec < minExec {
+			continue
+		}
+		d := math.Abs(sa.Rate() - sb.Rate())
+		t.Labels[pc] = d > deltaTh
+		t.Delta[pc] = d
+	}
+	return t
+}

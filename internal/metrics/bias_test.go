@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+
+	"twodprof/internal/trace"
+)
+
+func TestBiasProfile(t *testing.T) {
+	p := NewBiasProfile()
+	for i := 0; i < 10; i++ {
+		p.Branch(1, i < 7) // 70% taken
+		p.Branch(2, false)
+	}
+	if got := p.Site(1).Rate(); got != 70 {
+		t.Fatalf("rate = %v", got)
+	}
+	if got := p.Site(2).Rate(); got != 0 {
+		t.Fatalf("rate = %v", got)
+	}
+	if p.Site(99).Exec != 0 {
+		t.Fatal("unknown site non-zero")
+	}
+	if p.Total.Exec != 20 || p.Total.Taken != 7 {
+		t.Fatalf("totals %+v", p.Total)
+	}
+	if (BiasStats{}).Rate() != 0 {
+		t.Fatal("empty rate not 0")
+	}
+}
+
+func TestMeasureBias(t *testing.T) {
+	var rec trace.Recorder
+	for i := 0; i < 100; i++ {
+		rec.Branch(5, i%4 != 0) // 75% taken
+	}
+	p := MeasureBias(&rec)
+	if got := p.Site(5).Rate(); got != 75 {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestDefineBias(t *testing.T) {
+	a := NewBiasProfile()
+	b := NewBiasProfile()
+	fill := func(p *BiasProfile, pc trace.PC, n int, rate float64) {
+		for i := 0; i < n; i++ {
+			p.Branch(pc, float64(i%100) < rate*100)
+		}
+	}
+	fill(a, 1, 1000, 0.90)
+	fill(b, 1, 1000, 0.80) // delta 10 -> dependent
+	fill(a, 2, 1000, 0.50)
+	fill(b, 2, 1000, 0.52) // delta 2 -> independent
+	fill(a, 3, 50, 0.5)
+	fill(b, 3, 1000, 0.9) // below floor in a -> ineligible
+	fill(a, 4, 1000, 0.5) // only in a -> ineligible
+
+	truth := DefineBias(a, b, 5, 100)
+	if truth.Eligible() != 2 {
+		t.Fatalf("eligible %d", truth.Eligible())
+	}
+	if !truth.Labels[1] || truth.Labels[2] {
+		t.Fatalf("labels %v", truth.Labels)
+	}
+	if d := truth.Delta[1]; d < 9.9 || d > 10.1 {
+		t.Fatalf("delta %v", d)
+	}
+}

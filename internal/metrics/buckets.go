@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"twodprof/internal/bpred"
+)
+
+// AccuracyBuckets are the paper's six prediction-accuracy categories
+// (Figures 4 and 5): 0-70, 70-80, 80-90, 90-95, 95-99, 99-100 percent.
+var AccuracyBuckets = []float64{70, 80, 90, 95, 99}
+
+// BucketLabels renders the standard category names in order.
+var BucketLabels = []string{"0-70%", "70-80%", "80-90%", "90-95%", "95-99%", "99-100%"}
+
+// NumBuckets is len(BucketLabels).
+const NumBuckets = 6
+
+// BucketOf returns the category index (0..5) for an accuracy in percent.
+func BucketOf(acc float64) int {
+	for i, hi := range AccuracyBuckets {
+		if acc < hi {
+			return i
+		}
+	}
+	return NumBuckets - 1
+}
+
+// DependentDistribution computes Figure 4: among the input-dependent
+// branches, the fraction falling into each accuracy category, where the
+// accuracy is measured on run (the reference input in the paper).
+func DependentDistribution(t *Truth, run *bpred.Accounting) [NumBuckets]float64 {
+	var counts [NumBuckets]int
+	total := 0
+	for pc, dep := range t.Labels {
+		if !dep {
+			continue
+		}
+		counts[BucketOf(run.Site(pc).Accuracy())]++
+		total++
+	}
+	var out [NumBuckets]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// DependentFractionPerBucket computes Figure 5: within each accuracy
+// category, the fraction of branches that are input-dependent. Buckets
+// with no branches report 0.
+func DependentFractionPerBucket(t *Truth, run *bpred.Accounting) [NumBuckets]float64 {
+	var dep, all [NumBuckets]int
+	for pc, isDep := range t.Labels {
+		b := BucketOf(run.Site(pc).Accuracy())
+		all[b]++
+		if isDep {
+			dep[b]++
+		}
+	}
+	var out [NumBuckets]float64
+	for i := range out {
+		if all[i] > 0 {
+			out[i] = float64(dep[i]) / float64(all[i])
+		}
+	}
+	return out
+}

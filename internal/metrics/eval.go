@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// Confusion is the 2x2 confusion matrix of a classifier against ground
+// truth, restricted to eligible branches.
+type Confusion struct {
+	TP int // predicted dependent, actually dependent
+	FP int // predicted dependent, actually independent
+	FN int // predicted independent, actually dependent
+	TN int // predicted independent, actually independent
+}
+
+// Eval holds the paper's four metrics (Table 3). A metric whose
+// denominator is zero is reported as NaN-free 0 together with ok=false
+// via the Defined* helpers; the raw confusion matrix is always valid.
+type Eval struct {
+	Confusion
+	CovDep   float64 // TP / (TP+FN): coverage of input-dependent branches
+	AccDep   float64 // TP / (TP+FP): accuracy for input-dependent branches
+	CovIndep float64 // TN / (TN+FP)
+	AccIndep float64 // TN / (TN+FN)
+}
+
+// Classifier is anything that predicts input-dependence per branch
+// (2D-profiling reports, the aggregate baseline, ...).
+type Classifier interface {
+	IsInputDependent(pc trace.PC) bool
+}
+
+// ClassifierFunc adapts a function to Classifier.
+type ClassifierFunc func(trace.PC) bool
+
+// IsInputDependent implements Classifier.
+func (f ClassifierFunc) IsInputDependent(pc trace.PC) bool { return f(pc) }
+
+// Evaluate scores a classifier against ground truth over the truth's
+// eligible branches.
+func Evaluate(c Classifier, t *Truth) Eval {
+	var e Eval
+	for pc, dep := range t.Labels {
+		pred := c.IsInputDependent(pc)
+		switch {
+		case pred && dep:
+			e.TP++
+		case pred && !dep:
+			e.FP++
+		case !pred && dep:
+			e.FN++
+		default:
+			e.TN++
+		}
+	}
+	e.CovDep = ratio(e.TP, e.TP+e.FN)
+	e.AccDep = ratio(e.TP, e.TP+e.FP)
+	e.CovIndep = ratio(e.TN, e.TN+e.FP)
+	e.AccIndep = ratio(e.TN, e.TN+e.FN)
+	return e
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// DependentDefined reports whether COV-dep/ACC-dep are meaningful (there
+// is at least one actually-dependent branch and at least one predicted-
+// dependent branch). The paper cautions (§5.1 fn. 6) that these metrics
+// are unreliable when the dependent set is tiny.
+func (e Eval) DependentDefined() bool { return e.TP+e.FN > 0 && e.TP+e.FP > 0 }
+
+// String renders the four metrics.
+func (e Eval) String() string {
+	return fmt.Sprintf(
+		"COV-dep=%.3f ACC-dep=%.3f COV-indep=%.3f ACC-indep=%.3f (TP=%d FP=%d FN=%d TN=%d)",
+		e.CovDep, e.AccDep, e.CovIndep, e.AccIndep, e.TP, e.FP, e.FN, e.TN)
+}
+
+// MeanEval averages a list of evaluations metric-wise (used for the
+// paper's Figure 12 cross-benchmark averages).
+func MeanEval(evals []Eval) Eval {
+	var out Eval
+	if len(evals) == 0 {
+		return out
+	}
+	for _, e := range evals {
+		out.CovDep += e.CovDep
+		out.AccDep += e.AccDep
+		out.CovIndep += e.CovIndep
+		out.AccIndep += e.AccIndep
+		out.TP += e.TP
+		out.FP += e.FP
+		out.FN += e.FN
+		out.TN += e.TN
+	}
+	n := float64(len(evals))
+	out.CovDep /= n
+	out.AccDep /= n
+	out.CovIndep /= n
+	out.AccIndep /= n
+	return out
+}

@@ -1,0 +1,139 @@
+// Package metrics defines input-dependence ground truth and the four
+// evaluation metrics of the paper (Table 3): COV-dep, ACC-dep,
+// COV-indep, ACC-indep.
+//
+// Ground truth follows §2 of the paper: a branch is input-dependent with
+// respect to a pair of input sets if its prediction accuracy under the
+// target predictor changes by more than a threshold (5 % absolute)
+// between the two runs. Truth sets over more than two inputs are the
+// union of per-pair truth sets (§5.2).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/trace"
+)
+
+// DefaultDeltaTh is the paper's input-dependence threshold: a 5 %
+// absolute change in prediction accuracy.
+const DefaultDeltaTh = 5.0
+
+// Truth labels each eligible static branch as input-dependent or not.
+type Truth struct {
+	// DeltaTh is the accuracy-change threshold in percent.
+	DeltaTh float64
+	// Labels maps every eligible branch to its ground-truth label.
+	Labels map[trace.PC]bool
+	// Delta records the maximum observed accuracy change for each
+	// eligible branch (useful for diagnostics and threshold sweeps).
+	Delta map[trace.PC]float64
+}
+
+// Define computes ground truth from two measured runs of the same
+// program under the target predictor. A branch is eligible when it
+// executed at least minExec times in both runs; eligible branches whose
+// accuracy differs by more than deltaTh percentage points are labelled
+// input-dependent.
+func Define(a, b *bpred.Accounting, deltaTh float64, minExec int64) *Truth {
+	t := &Truth{
+		DeltaTh: deltaTh,
+		Labels:  make(map[trace.PC]bool),
+		Delta:   make(map[trace.PC]float64),
+	}
+	for pc, sa := range a.Sites {
+		sb, ok := b.Sites[pc]
+		if !ok {
+			continue
+		}
+		if sa.Exec < minExec || sb.Exec < minExec {
+			continue
+		}
+		d := math.Abs(sa.Accuracy() - sb.Accuracy())
+		t.Labels[pc] = d > deltaTh
+		t.Delta[pc] = d
+	}
+	return t
+}
+
+// Union merges truth sets: a branch is input-dependent if any component
+// labels it so; eligibility is the union of component eligibilities. The
+// per-branch Delta becomes the maximum across components. Union of zero
+// truths returns an empty truth with the default threshold.
+func Union(truths ...*Truth) *Truth {
+	out := &Truth{
+		DeltaTh: DefaultDeltaTh,
+		Labels:  make(map[trace.PC]bool),
+		Delta:   make(map[trace.PC]float64),
+	}
+	if len(truths) > 0 {
+		out.DeltaTh = truths[0].DeltaTh
+	}
+	for _, t := range truths {
+		for pc, dep := range t.Labels {
+			out.Labels[pc] = out.Labels[pc] || dep
+			if d := t.Delta[pc]; d > out.Delta[pc] {
+				out.Delta[pc] = d
+			}
+		}
+	}
+	return out
+}
+
+// Dependent returns the input-dependent branches, sorted by PC.
+func (t *Truth) Dependent() []trace.PC { return t.filter(true) }
+
+// Independent returns the input-independent branches, sorted by PC.
+func (t *Truth) Independent() []trace.PC { return t.filter(false) }
+
+func (t *Truth) filter(want bool) []trace.PC {
+	var out []trace.PC
+	for pc, dep := range t.Labels {
+		if dep == want {
+			out = append(out, pc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Eligible returns the number of labelled branches.
+func (t *Truth) Eligible() int { return len(t.Labels) }
+
+// NumDependent returns the number of input-dependent branches.
+func (t *Truth) NumDependent() int {
+	n := 0
+	for _, dep := range t.Labels {
+		if dep {
+			n++
+		}
+	}
+	return n
+}
+
+// StaticFraction returns the fraction of eligible static branches that
+// are input-dependent (the paper's "static fraction", Figure 3).
+func (t *Truth) StaticFraction() float64 {
+	if len(t.Labels) == 0 {
+		return 0
+	}
+	return float64(t.NumDependent()) / float64(len(t.Labels))
+}
+
+// DynamicFraction returns the fraction of dynamic branch instances (as
+// executed in the provided run, conventionally the reference input) that
+// belong to input-dependent static branches (Figure 3).
+func (t *Truth) DynamicFraction(run *bpred.Accounting) float64 {
+	if run.Total.Exec == 0 {
+		return 0
+	}
+	var dep int64
+	for pc, isDep := range t.Labels {
+		if isDep {
+			dep += run.Site(pc).Exec
+		}
+	}
+	return float64(dep) / float64(run.Total.Exec)
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/trace"
+)
+
+// acct builds an accounting with explicit per-site (exec, correct).
+func acct(sites map[trace.PC][2]int64) *bpred.Accounting {
+	a := bpred.NewAccounting(&bpred.Static{Dir: true})
+	a.Sites = make(map[trace.PC]*bpred.SiteStats)
+	for pc, ec := range sites {
+		a.Sites[pc] = &bpred.SiteStats{Exec: ec[0], Correct: ec[1]}
+		a.Total.Exec += ec[0]
+		a.Total.Correct += ec[1]
+	}
+	return a
+}
+
+func TestDefine(t *testing.T) {
+	a := acct(map[trace.PC][2]int64{
+		1: {1000, 900}, // 90%
+		2: {1000, 950}, // 95%
+		3: {1000, 800}, // 80%
+		4: {50, 40},    // below minExec
+		5: {1000, 700}, // only in a
+	})
+	b := acct(map[trace.PC][2]int64{
+		1: {1000, 820}, // 82%: delta 8 > 5 -> dependent
+		2: {1000, 930}, // 93%: delta 2 -> independent
+		3: {1000, 860}, // 86%: delta 6 -> dependent
+		4: {2000, 1900},
+		6: {1000, 990}, // only in b
+	})
+	truth := Define(a, b, 5, 100)
+	if truth.Eligible() != 3 {
+		t.Fatalf("Eligible = %d, want 3", truth.Eligible())
+	}
+	if !truth.Labels[1] || truth.Labels[2] || !truth.Labels[3] {
+		t.Fatalf("labels wrong: %v", truth.Labels)
+	}
+	if _, ok := truth.Labels[4]; ok {
+		t.Fatal("below-floor branch labelled")
+	}
+	if _, ok := truth.Labels[5]; ok {
+		t.Fatal("one-sided branch labelled")
+	}
+	if truth.NumDependent() != 2 {
+		t.Fatalf("NumDependent = %d", truth.NumDependent())
+	}
+	if got := truth.StaticFraction(); got != 2.0/3 {
+		t.Fatalf("StaticFraction = %v", got)
+	}
+	if d := truth.Delta[1]; d != 8 {
+		t.Fatalf("Delta[1] = %v", d)
+	}
+	dep := truth.Dependent()
+	if len(dep) != 2 || dep[0] != 1 || dep[1] != 3 {
+		t.Fatalf("Dependent = %v", dep)
+	}
+	ind := truth.Independent()
+	if len(ind) != 1 || ind[0] != 2 {
+		t.Fatalf("Independent = %v", ind)
+	}
+}
+
+func TestExactThresholdNotDependent(t *testing.T) {
+	// The paper says "changes by more than 5%": exactly 5.0 is NOT
+	// dependent.
+	a := acct(map[trace.PC][2]int64{1: {1000, 900}})
+	b := acct(map[trace.PC][2]int64{1: {1000, 850}})
+	truth := Define(a, b, 5, 100)
+	if truth.Labels[1] {
+		t.Fatal("exactly-5%% delta labelled dependent")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := &Truth{DeltaTh: 5,
+		Labels: map[trace.PC]bool{1: true, 2: false, 3: false},
+		Delta:  map[trace.PC]float64{1: 8, 2: 1, 3: 2}}
+	b := &Truth{DeltaTh: 5,
+		Labels: map[trace.PC]bool{2: true, 3: false, 4: false},
+		Delta:  map[trace.PC]float64{2: 9, 3: 4, 4: 0}}
+	u := Union(a, b)
+	if !u.Labels[1] || !u.Labels[2] || u.Labels[3] || u.Labels[4] {
+		t.Fatalf("union labels wrong: %v", u.Labels)
+	}
+	if u.Eligible() != 4 {
+		t.Fatalf("union eligible = %d", u.Eligible())
+	}
+	if u.Delta[3] != 4 {
+		t.Fatalf("union delta max wrong: %v", u.Delta[3])
+	}
+	// Union is monotone: dependent set only grows.
+	if u.NumDependent() < a.NumDependent() || u.NumDependent() < b.NumDependent() {
+		t.Fatal("union not monotone")
+	}
+	empty := Union()
+	if empty.Eligible() != 0 || empty.DeltaTh != DefaultDeltaTh {
+		t.Fatal("empty union wrong")
+	}
+}
+
+func TestDynamicFraction(t *testing.T) {
+	truth := &Truth{Labels: map[trace.PC]bool{1: true, 2: false}}
+	run := acct(map[trace.PC][2]int64{1: {3000, 0}, 2: {7000, 0}})
+	if got := truth.DynamicFraction(run); got != 0.3 {
+		t.Fatalf("DynamicFraction = %v", got)
+	}
+	emptyRun := bpred.NewAccounting(&bpred.Static{})
+	if got := truth.DynamicFraction(emptyRun); got != 0 {
+		t.Fatalf("empty-run DynamicFraction = %v", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	truth := &Truth{Labels: map[trace.PC]bool{
+		1: true, 2: true, 3: false, 4: false, 5: false,
+	}}
+	pred := ClassifierFunc(func(pc trace.PC) bool { return pc == 1 || pc == 3 })
+	e := Evaluate(pred, truth)
+	if e.TP != 1 || e.FP != 1 || e.FN != 1 || e.TN != 2 {
+		t.Fatalf("confusion %+v", e.Confusion)
+	}
+	if e.CovDep != 0.5 || e.AccDep != 0.5 {
+		t.Fatalf("dep metrics %v %v", e.CovDep, e.AccDep)
+	}
+	if e.CovIndep != 2.0/3 || e.AccIndep != 2.0/3 {
+		t.Fatalf("indep metrics %v %v", e.CovIndep, e.AccIndep)
+	}
+	if !e.DependentDefined() {
+		t.Fatal("DependentDefined = false")
+	}
+	if e.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestEvaluateDegenerate(t *testing.T) {
+	truth := &Truth{Labels: map[trace.PC]bool{1: false}}
+	pred := ClassifierFunc(func(trace.PC) bool { return false })
+	e := Evaluate(pred, truth)
+	if e.CovDep != 0 || e.AccDep != 0 {
+		t.Fatalf("degenerate metrics not zero: %+v", e)
+	}
+	if e.DependentDefined() {
+		t.Fatal("DependentDefined on empty dep set")
+	}
+}
+
+func TestMeanEval(t *testing.T) {
+	evs := []Eval{
+		{CovDep: 1, AccDep: 0.5, CovIndep: 0.8, AccIndep: 0.9},
+		{CovDep: 0, AccDep: 0.5, CovIndep: 0.6, AccIndep: 0.7},
+	}
+	m := MeanEval(evs)
+	if m.CovDep != 0.5 || m.AccDep != 0.5 || m.CovIndep != 0.7 || m.AccIndep != 0.8 {
+		t.Fatalf("mean %+v", m)
+	}
+	if z := MeanEval(nil); z.CovDep != 0 {
+		t.Fatal("empty mean not zero")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		acc  float64
+		want int
+	}{
+		{0, 0}, {69.9, 0}, {70, 1}, {79.9, 1}, {80, 2}, {89.9, 2},
+		{90, 3}, {94.9, 3}, {95, 4}, {98.9, 4}, {99, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.acc); got != c.want {
+			t.Errorf("BucketOf(%v) = %d, want %d", c.acc, got, c.want)
+		}
+	}
+	if len(BucketLabels) != NumBuckets {
+		t.Fatal("label count mismatch")
+	}
+}
+
+func TestDependentDistribution(t *testing.T) {
+	truth := &Truth{Labels: map[trace.PC]bool{
+		1: true,  // 60% -> bucket 0
+		2: true,  // 99.5% -> bucket 5
+		3: false, // ignored
+	}}
+	run := acct(map[trace.PC][2]int64{
+		1: {1000, 600},
+		2: {1000, 995},
+		3: {1000, 500},
+	})
+	d := DependentDistribution(truth, run)
+	if d[0] != 0.5 || d[5] != 0.5 {
+		t.Fatalf("distribution %v", d)
+	}
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if sum != 1 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+	// Empty dependent set -> all zeros.
+	empty := &Truth{Labels: map[trace.PC]bool{3: false}}
+	if d := DependentDistribution(empty, run); d != [NumBuckets]float64{} {
+		t.Fatalf("empty distribution %v", d)
+	}
+}
+
+func TestDependentFractionPerBucket(t *testing.T) {
+	truth := &Truth{Labels: map[trace.PC]bool{
+		1: true,  // 60% -> bucket 0
+		2: false, // 65% -> bucket 0
+		3: true,  // 99.9% -> bucket 5
+	}}
+	run := acct(map[trace.PC][2]int64{
+		1: {1000, 600},
+		2: {1000, 650},
+		3: {1000, 999},
+	})
+	f := DependentFractionPerBucket(truth, run)
+	if f[0] != 0.5 {
+		t.Fatalf("bucket 0 fraction %v", f[0])
+	}
+	if f[5] != 1 {
+		t.Fatalf("bucket 5 fraction %v", f[5])
+	}
+	if f[2] != 0 {
+		t.Fatalf("empty bucket fraction %v", f[2])
+	}
+}

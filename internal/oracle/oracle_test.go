@@ -1,0 +1,171 @@
+package oracle
+
+import (
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+)
+
+// Oracle tests use the two smallest benchmarks (gzip, bzip2) to keep
+// go test fast; full-scale runs happen in cmd/experiments and the
+// benchmarks.
+
+func TestAccountingCached(t *testing.T) {
+	r := NewRunner()
+	a1, err := r.Accounting("gzip", "train", bpred.NameGshare4KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := r.Accounting("gzip", "train", bpred.NameGshare4KB)
+	if a1 != a2 {
+		t.Fatal("accounting not cached")
+	}
+	if a1.Total.Exec == 0 {
+		t.Fatal("empty accounting")
+	}
+	// Different predictor -> different accounting.
+	a3, err := r.Accounting("gzip", "train", bpred.NameBimodal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 == a1 {
+		t.Fatal("cache key ignores predictor")
+	}
+}
+
+func TestAccountingErrors(t *testing.T) {
+	r := NewRunner()
+	if _, err := r.Accounting("nope", "train", bpred.NameGshare4KB); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := r.Accounting("gzip", "nope", bpred.NameGshare4KB); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if _, err := r.Accounting("gzip", "train", "nope"); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+}
+
+func TestPairTruthAndUnionMonotone(t *testing.T) {
+	r := NewRunner()
+	base, err := r.PairTruth("gzip", "ref", bpred.NameGshare4KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Eligible() == 0 {
+		t.Fatal("no eligible branches")
+	}
+	u1, err := r.UnionTruth("gzip", bpred.NameGshare4KB, []string{"ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.NumDependent() != base.NumDependent() {
+		t.Fatal("single-input union differs from pair truth")
+	}
+	u2, err := r.UnionTruth("gzip", bpred.NameGshare4KB, []string{"ref", "ext-1", "ext-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.NumDependent() < u1.NumDependent() {
+		t.Fatalf("union shrank: %d -> %d", u1.NumDependent(), u2.NumDependent())
+	}
+	// Every base-dependent branch stays dependent in the union.
+	for _, pc := range u1.Dependent() {
+		if !u2.Labels[pc] {
+			t.Fatalf("branch %v lost dependence in union", pc)
+		}
+	}
+	if _, err := r.UnionTruth("gzip", bpred.NameGshare4KB, nil); err == nil {
+		t.Fatal("empty union accepted")
+	}
+}
+
+func TestProfile2DCachedAndEvaluate(t *testing.T) {
+	r := NewRunner()
+	cfg := core.DefaultConfig()
+	rep1, err := r.Profile2D("gzip", "train", bpred.NameGshare4KB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, _ := r.Profile2D("gzip", "train", bpred.NameGshare4KB, cfg)
+	if rep1 != rep2 {
+		t.Fatal("report not cached")
+	}
+	// A different config is a different cache entry.
+	cfg2 := cfg
+	cfg2.StdTh = 2
+	rep3, err := r.Profile2D("gzip", "train", bpred.NameGshare4KB, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3 == rep1 {
+		t.Fatal("cache key ignores config")
+	}
+
+	ev, err := r.Evaluate2D("gzip", cfg, bpred.NameGshare4KB, bpred.NameGshare4KB, []string{"ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.TP+ev.FP+ev.FN+ev.TN == 0 {
+		t.Fatal("empty evaluation")
+	}
+	// The mechanism must beat coin-flipping on this benchmark: it
+	// should find most dependent branches while keeping independent
+	// accuracy high.
+	if ev.CovDep < 0.5 {
+		t.Fatalf("COV-dep %.3f too low", ev.CovDep)
+	}
+	if ev.AccIndep < 0.7 {
+		t.Fatalf("ACC-indep %.3f too low", ev.AccIndep)
+	}
+}
+
+func TestBiasProfileAndTruth(t *testing.T) {
+	r := NewRunner()
+	p1, err := r.BiasProfile("gzip", "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := r.BiasProfile("gzip", "train")
+	if p1 != p2 {
+		t.Fatal("bias profile not cached")
+	}
+	if p1.Total.Exec == 0 {
+		t.Fatal("empty bias profile")
+	}
+	truth, err := r.BiasPairTruth("gzip", "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.Eligible() == 0 {
+		t.Fatal("no eligible branches in bias truth")
+	}
+	// Some branches' bias must shift across inputs in a benchmark
+	// with many sensitive Bernoulli sites.
+	if truth.NumDependent() == 0 {
+		t.Fatal("no bias-dependent branches found")
+	}
+	if _, err := r.BiasProfile("nope", "train"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestPrefetch(t *testing.T) {
+	r := NewRunner()
+	err := r.Prefetch([][3]string{
+		{"gzip", "train", bpred.NameGshare4KB},
+		{"gzip", "ref", bpred.NameGshare4KB},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached now; PairTruth should not need new runs (just checks it
+	// works after prefetch).
+	if _, err := r.PairTruth("gzip", "ref", bpred.NameGshare4KB); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Prefetch([][3]string{{"nope", "train", bpred.NameGshare4KB}}, 0); err == nil {
+		t.Fatal("prefetch of unknown benchmark succeeded")
+	}
+}

@@ -1,0 +1,268 @@
+// Package phase detects program phases from basic-block vectors
+// (SimPoint-style), with intervals aligned to the 2D-profiler's branch
+// slices. The paper's whole mechanism rests on time-varying phase
+// behaviour; this package makes the phases themselves first-class so
+// experiments can ask how much of a branch's slice-accuracy variation
+// the program's phase structure explains.
+package phase
+
+import (
+	"fmt"
+	"math"
+
+	"twodprof/internal/cfg"
+	"twodprof/internal/rng"
+	"twodprof/internal/vm"
+)
+
+// Collector gathers one basic-block vector per slice of SliceSize
+// retired conditional branches, so vector k describes the same window
+// as the 2D-profiler's slice k.
+type Collector struct {
+	G         *cfg.Graph
+	SliceSize int64
+
+	vectors  [][]float64
+	cur      []int64
+	curTotal int64
+	branches int64
+}
+
+// NewCollector creates a collector over g with the given slice size in
+// branches.
+func NewCollector(g *cfg.Graph, sliceSize int64) (*Collector, error) {
+	if sliceSize <= 0 {
+		return nil, fmt.Errorf("phase: non-positive slice size %d", sliceSize)
+	}
+	if g.NumBlocks() == 0 {
+		return nil, fmt.Errorf("phase: empty graph")
+	}
+	return &Collector{
+		G:         g,
+		SliceSize: sliceSize,
+		cur:       make([]int64, g.NumBlocks()),
+	}, nil
+}
+
+// OnInst is the vm.Hooks instruction callback: it counts block entries.
+func (c *Collector) OnInst(pc uint64) {
+	if blk, ok := c.G.BlockOf(int(pc)); ok && blk.Start == int(pc) {
+		c.cur[blk.ID]++
+		c.curTotal++
+	}
+}
+
+// OnBranch is the vm.Hooks branch callback: it advances the slice
+// clock.
+func (c *Collector) OnBranch(pc uint64, taken bool) {
+	c.branches++
+	if c.branches >= c.SliceSize {
+		c.flush()
+		c.branches = 0
+	}
+}
+
+// Hooks returns vm.Hooks wired to this collector.
+func (c *Collector) Hooks() vm.Hooks {
+	return vm.Hooks{OnInst: c.OnInst, OnBranch: c.OnBranch}
+}
+
+func (c *Collector) flush() {
+	if c.curTotal == 0 {
+		return
+	}
+	v := make([]float64, len(c.cur))
+	for i, n := range c.cur {
+		v[i] = float64(n) / float64(c.curTotal)
+		c.cur[i] = 0
+	}
+	c.curTotal = 0
+	c.vectors = append(c.vectors, v)
+}
+
+// Vectors returns the per-slice normalised basic-block vectors
+// collected so far (a trailing partial slice of at least half a slice
+// is flushed on first call, mirroring the profiler's partial-slice
+// rule).
+func (c *Collector) Vectors() [][]float64 {
+	if c.branches >= c.SliceSize/2 {
+		c.flush()
+		c.branches = 0
+	}
+	return c.vectors
+}
+
+// dist is squared Euclidean distance.
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Analysis is the result of clustering interval vectors into phases.
+type Analysis struct {
+	K         int
+	Labels    []int       // phase id per interval
+	Centroids [][]float64 // phase centroid vectors
+}
+
+// Cluster groups the vectors into at most k phases with deterministic
+// k-means (farthest-first seeding, fixed iteration order; seed breaks
+// exact ties). Fewer than k distinct vectors yield fewer phases.
+func Cluster(vectors [][]float64, k int, seed uint64) (Analysis, error) {
+	n := len(vectors)
+	if n == 0 {
+		return Analysis{}, fmt.Errorf("phase: no vectors to cluster")
+	}
+	if k <= 0 {
+		return Analysis{}, fmt.Errorf("phase: non-positive k %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(vectors[0])
+	for _, v := range vectors {
+		if len(v) != dim {
+			return Analysis{}, fmt.Errorf("phase: ragged vectors")
+		}
+	}
+
+	// Farthest-first seeding from the first vector (deterministic).
+	centroids := [][]float64{append([]float64(nil), vectors[0]...)}
+	for len(centroids) < k {
+		bestIdx, bestD := -1, -1.0
+		for i, v := range vectors {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := dist(v, c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD {
+				bestD, bestIdx = d, i
+			}
+		}
+		if bestD <= 1e-18 {
+			break // fewer distinct vectors than k
+		}
+		centroids = append(centroids, append([]float64(nil), vectors[bestIdx]...))
+	}
+	k = len(centroids)
+
+	labels := make([]int, n)
+	r := rng.New(seed)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := dist(v, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for ci := range next {
+			next[ci] = make([]float64, dim)
+		}
+		for i, v := range vectors {
+			counts[labels[i]]++
+			for j := range v {
+				next[labels[i]][j] += v[j]
+			}
+		}
+		for ci := range next {
+			if counts[ci] == 0 {
+				// Re-seed an empty cluster on a random vector.
+				copy(next[ci], vectors[r.Intn(n)])
+				continue
+			}
+			for j := range next[ci] {
+				next[ci][j] /= float64(counts[ci])
+			}
+		}
+		centroids = next
+	}
+	return Analysis{K: k, Labels: labels, Centroids: centroids}, nil
+}
+
+// Transitions counts label changes between consecutive intervals.
+func (a Analysis) Transitions() int {
+	n := 0
+	for i := 1; i < len(a.Labels); i++ {
+		if a.Labels[i] != a.Labels[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// Dominant returns the most common phase and its fraction of intervals.
+func (a Analysis) Dominant() (int, float64) {
+	if len(a.Labels) == 0 {
+		return -1, 0
+	}
+	counts := make([]int, a.K)
+	for _, l := range a.Labels {
+		counts[l]++
+	}
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+	return best, float64(counts[best]) / float64(len(a.Labels))
+}
+
+// ExplainedVariance returns the fraction of the per-interval sample
+// variance explained by the phase labels (the ANOVA R²): 1 -
+// SS_within/SS_total. samples[i] is a scalar observed in interval i
+// (e.g. a branch's slice accuracy); len(samples) must equal
+// len(Labels). Constant samples yield 0.
+func (a Analysis) ExplainedVariance(samples []float64) (float64, error) {
+	if len(samples) != len(a.Labels) {
+		return 0, fmt.Errorf("phase: %d samples for %d intervals", len(samples), len(a.Labels))
+	}
+	if len(samples) == 0 {
+		return 0, nil
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	ssTotal := 0.0
+	for _, s := range samples {
+		d := s - mean
+		ssTotal += d * d
+	}
+	if ssTotal == 0 {
+		return 0, nil
+	}
+	groupSum := make([]float64, a.K)
+	groupN := make([]float64, a.K)
+	for i, s := range samples {
+		groupSum[a.Labels[i]] += s
+		groupN[a.Labels[i]]++
+	}
+	ssWithin := 0.0
+	for i, s := range samples {
+		gm := groupSum[a.Labels[i]] / groupN[a.Labels[i]]
+		d := s - gm
+		ssWithin += d * d
+	}
+	return 1 - ssWithin/ssTotal, nil
+}

@@ -1,0 +1,171 @@
+package phase
+
+import (
+	"math"
+	"testing"
+
+	"twodprof/internal/cfg"
+	"twodprof/internal/progs"
+	"twodprof/internal/vm"
+)
+
+func TestClusterSeparatesObviousGroups(t *testing.T) {
+	// Two well-separated groups in 2D.
+	var vectors [][]float64
+	for i := 0; i < 10; i++ {
+		vectors = append(vectors, []float64{0.9, 0.1})
+	}
+	for i := 0; i < 10; i++ {
+		vectors = append(vectors, []float64{0.1, 0.9})
+	}
+	a, err := Cluster(vectors, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 2 {
+		t.Fatalf("K = %d", a.K)
+	}
+	// All of the first group shares a label, all of the second shares
+	// the other.
+	for i := 1; i < 10; i++ {
+		if a.Labels[i] != a.Labels[0] {
+			t.Fatalf("group 1 split: %v", a.Labels)
+		}
+	}
+	for i := 11; i < 20; i++ {
+		if a.Labels[i] != a.Labels[10] {
+			t.Fatalf("group 2 split: %v", a.Labels)
+		}
+	}
+	if a.Labels[0] == a.Labels[10] {
+		t.Fatal("groups merged")
+	}
+	if a.Transitions() != 1 {
+		t.Fatalf("transitions = %d", a.Transitions())
+	}
+	if _, frac := a.Dominant(); frac != 0.5 {
+		t.Fatalf("dominant fraction %v", frac)
+	}
+}
+
+func TestClusterFewerDistinctThanK(t *testing.T) {
+	vectors := [][]float64{{1, 0}, {1, 0}, {1, 0}}
+	a, err := Cluster(vectors, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 1 {
+		t.Fatalf("K = %d for identical vectors", a.K)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(nil, 2, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Cluster([][]float64{{1}}, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Cluster([][]float64{{1}, {1, 2}}, 2, 1); err == nil {
+		t.Fatal("ragged vectors accepted")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	var vectors [][]float64
+	for i := 0; i < 30; i++ {
+		vectors = append(vectors, []float64{float64(i % 3), float64((i + 1) % 4)})
+	}
+	a, _ := Cluster(vectors, 3, 42)
+	b, _ := Cluster(vectors, 3, 42)
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}
+
+func TestExplainedVariance(t *testing.T) {
+	a := Analysis{K: 2, Labels: []int{0, 0, 1, 1}}
+	// Samples perfectly separated by phase: R^2 = 1.
+	r2, err := a.ExplainedVariance([]float64{10, 10, 20, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("R2 = %v, want 1", r2)
+	}
+	// Samples independent of phase: R^2 = 0.
+	r2, _ = a.ExplainedVariance([]float64{10, 20, 10, 20})
+	if math.Abs(r2) > 1e-12 {
+		t.Fatalf("R2 = %v, want 0", r2)
+	}
+	// Constant samples: defined as 0.
+	if r2, _ := a.ExplainedVariance([]float64{5, 5, 5, 5}); r2 != 0 {
+		t.Fatalf("constant R2 = %v", r2)
+	}
+	if _, err := a.ExplainedVariance([]float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCollectorOnKernel(t *testing.T) {
+	k, _ := progs.KernelByName("fsm")
+	g := cfg.Build(k.Prog)
+	c, err := NewCollector(g, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := progs.StandardInput("fsm", "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.RunHooks(c.Hooks()); err != nil {
+		t.Fatal(err)
+	}
+	vectors := c.Vectors()
+	if len(vectors) < 10 {
+		t.Fatalf("only %d vectors", len(vectors))
+	}
+	for i, v := range vectors {
+		if len(v) != g.NumBlocks() {
+			t.Fatalf("vector %d has %d dims", i, len(v))
+		}
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 {
+				t.Fatalf("negative BBV component in vector %d", i)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("vector %d not normalised: sum %v", i, sum)
+		}
+	}
+	// The ref input has four token-mix segments: clustering should
+	// find phase structure (more than one phase, few transitions
+	// relative to intervals).
+	a, err := Cluster(vectors, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K < 2 {
+		t.Fatalf("found %d phases in a 4-segment input", a.K)
+	}
+	if a.Transitions() >= len(vectors)/2 {
+		t.Fatalf("phases look like noise: %d transitions over %d intervals",
+			a.Transitions(), len(vectors))
+	}
+}
+
+func TestCollectorErrors(t *testing.T) {
+	k, _ := progs.KernelByName("fsm")
+	g := cfg.Build(k.Prog)
+	if _, err := NewCollector(g, 0); err == nil {
+		t.Fatal("zero slice size accepted")
+	}
+	empty := cfg.Build(&vm.Program{})
+	if _, err := NewCollector(empty, 100); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}

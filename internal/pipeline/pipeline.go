@@ -1,0 +1,173 @@
+// Package pipeline is a simple in-order timing model for VM programs
+// with a pluggable branch predictor. It is the machine behind the
+// paper's equation (1): every instruction has a base cost, taken
+// control transfers insert a fetch bubble, and mispredicted conditional
+// branches pay the pipeline-flush penalty. The model quantifies, in
+// cycles, what the analytic cost model of internal/predication assumes.
+package pipeline
+
+import (
+	"fmt"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/trace"
+	"twodprof/internal/vm"
+)
+
+// Config holds the timing parameters in cycles.
+type Config struct {
+	// ALUCycles is the base cost of simple operations.
+	ALUCycles int64
+	// LoadCycles / StoreCycles are memory access costs.
+	LoadCycles  int64
+	StoreCycles int64
+	// MulCycles / DivCycles are long-latency arithmetic costs.
+	MulCycles int64
+	DivCycles int64
+	// TakenBubble is the fetch-redirect cost of any taken control
+	// transfer (including unconditional jumps and calls).
+	TakenBubble int64
+	// MispPenalty is the flush cost of a mispredicted conditional
+	// branch (the paper's Figure 2 uses 30).
+	MispPenalty int64
+	// Wish marks branches compiled as wish branches (Kim et al. [10]):
+	// their hammock arms exist as predicated code, so a misprediction
+	// recovers by completing the predicated path instead of flushing.
+	Wish map[uint64]WishCost
+}
+
+// WishCost models a wish branch's cycle profile.
+type WishCost struct {
+	// Extra is paid on every execution: the predicated arms carry
+	// guard computation the plain hammock does not.
+	Extra int64
+	// Recovery replaces the misprediction flush penalty: the cost of
+	// completing the predicated other arm.
+	Recovery int64
+}
+
+// DefaultConfig returns the paper-flavoured parameters: single-cycle
+// ALU, 2-cycle loads, 30-cycle misprediction penalty.
+func DefaultConfig() Config {
+	return Config{
+		ALUCycles:   1,
+		LoadCycles:  2,
+		StoreCycles: 1,
+		MulCycles:   3,
+		DivCycles:   12,
+		TakenBubble: 1,
+		MispPenalty: 30,
+	}
+}
+
+// Validate reports a non-nil error for unusable parameters.
+func (c Config) Validate() error {
+	if c.ALUCycles <= 0 || c.LoadCycles <= 0 || c.StoreCycles <= 0 ||
+		c.MulCycles <= 0 || c.DivCycles <= 0 {
+		return fmt.Errorf("pipeline: instruction costs must be positive: %+v", c)
+	}
+	if c.TakenBubble < 0 || c.MispPenalty < 0 {
+		return fmt.Errorf("pipeline: negative control-flow costs: %+v", c)
+	}
+	return nil
+}
+
+// cost returns the base cost of one opcode.
+func (c Config) cost(op vm.Op) int64 {
+	switch op {
+	case vm.OpLd:
+		return c.LoadCycles
+	case vm.OpSt:
+		return c.StoreCycles
+	case vm.OpMul:
+		return c.MulCycles
+	case vm.OpDiv, vm.OpMod:
+		return c.DivCycles
+	case vm.OpJmp, vm.OpCall, vm.OpRet:
+		return c.ALUCycles + c.TakenBubble
+	default:
+		return c.ALUCycles
+	}
+}
+
+// Result summarises one timed execution.
+type Result struct {
+	Cycles      int64
+	Insts       int64
+	Branches    int64
+	Mispredicts int64
+	TakenBr     int64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// MispRate returns the conditional-branch misprediction rate in percent.
+func (r Result) MispRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return 100 * float64(r.Mispredicts) / float64(r.Branches)
+}
+
+// Run executes prog on a machine with memWords of memory initialised
+// from mem, timing it under cfg with the given predictor (which is
+// reset first). A nil predictor models a perfect front end (no
+// misprediction cost, taken bubbles only).
+func Run(prog *vm.Program, mem []int64, pred bpred.Predictor, cfg Config, limits vm.Limits) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if pred != nil {
+		pred.Reset()
+	}
+
+	// Precompute static per-instruction costs.
+	costs := make([]int64, len(prog.Insts))
+	for i, in := range prog.Insts {
+		costs[i] = cfg.cost(in.Op)
+	}
+
+	m := vm.NewMachine(len(mem))
+	copy(m.Mem, mem)
+	m.SetLimits(limits)
+
+	var res Result
+	hooks := vm.Hooks{
+		OnInst: func(pc uint64) {
+			res.Cycles += costs[pc]
+		},
+		OnBranch: func(pc uint64, taken bool) {
+			res.Branches++
+			wish, isWish := cfg.Wish[pc]
+			if isWish {
+				res.Cycles += wish.Extra
+			}
+			if taken {
+				res.TakenBr++
+				res.Cycles += cfg.TakenBubble
+			}
+			if pred == nil {
+				return
+			}
+			p := pred.Predict(trace.PC(pc))
+			pred.Update(trace.PC(pc), taken)
+			if p != taken {
+				res.Mispredicts++
+				if isWish {
+					res.Cycles += wish.Recovery
+				} else {
+					res.Cycles += cfg.MispPenalty
+				}
+			}
+		},
+	}
+	vmres, err := m.Run(prog, hooks)
+	res.Insts = vmres.Steps
+	return res, err
+}

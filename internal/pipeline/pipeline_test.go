@@ -1,0 +1,192 @@
+package pipeline
+
+import (
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/progs"
+	"twodprof/internal/vm"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.ALUCycles = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero ALU cost accepted")
+	}
+	bad = DefaultConfig()
+	bad.MispPenalty = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative penalty accepted")
+	}
+}
+
+func TestStraightLineCycles(t *testing.T) {
+	prog, err := vm.Assemble("t", `
+		li  r1, 1      ; 1 cycle
+		ld  r2, [0]    ; 2 cycles
+		st  [1], r2    ; 1 cycle
+		mul r3, r1, r1 ; 3 cycles
+		div r3, r1, r1 ; 12 cycles
+		halt           ; 1 cycle
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, make([]int64, 8), nil, DefaultConfig(), vm.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 1+2+1+3+12+1 {
+		t.Fatalf("cycles = %d, want 20", res.Cycles)
+	}
+	if res.Insts != 6 || res.Branches != 0 {
+		t.Fatalf("insts=%d branches=%d", res.Insts, res.Branches)
+	}
+}
+
+func TestBranchCosts(t *testing.T) {
+	// One taken branch (loop back 4 times) + one final not-taken.
+	prog, err := vm.Assemble("t", `
+		li r1, 0
+		li r2, 5
+	loop:
+		addi r1, r1, 1
+		blt  r1, r2, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	perfect, err := Run(prog, make([]int64, 4), nil, cfg, vm.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instructions: 2 li + 5*(addi+blt) + halt = 13. Base cost 13,
+	// taken bubbles: 4 taken branches.
+	if perfect.Cycles != 13+4 {
+		t.Fatalf("perfect cycles = %d, want 17", perfect.Cycles)
+	}
+	if perfect.Branches != 5 || perfect.TakenBr != 4 || perfect.Mispredicts != 0 {
+		t.Fatalf("perfect %+v", perfect)
+	}
+
+	// Always-not-taken predictor mispredicts the 4 taken branches.
+	ant := &bpred.Static{Dir: false}
+	mis, err := Run(prog, make([]int64, 4), ant, cfg, vm.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis.Mispredicts != 4 {
+		t.Fatalf("mispredicts = %d, want 4", mis.Mispredicts)
+	}
+	if mis.Cycles != perfect.Cycles+4*cfg.MispPenalty {
+		t.Fatalf("cycles = %d, want %d", mis.Cycles, perfect.Cycles+4*cfg.MispPenalty)
+	}
+	if mis.MispRate() != 80 {
+		t.Fatalf("misp rate %v", mis.MispRate())
+	}
+}
+
+func TestIPCAndZeroDivision(t *testing.T) {
+	var r Result
+	if r.IPC() != 0 || r.MispRate() != 0 {
+		t.Fatal("zero-value result not safe")
+	}
+	r = Result{Cycles: 10, Insts: 5, Branches: 0}
+	if r.IPC() != 0.5 {
+		t.Fatalf("IPC %v", r.IPC())
+	}
+}
+
+func TestBetterPredictorFasterKernel(t *testing.T) {
+	// On the bsearch kernel a real predictor must beat
+	// always-not-taken, and the perceptron must not lose to it badly.
+	inst, err := progs.StandardInput("bsearch", "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cyc := func(p bpred.Predictor) int64 {
+		res, err := Run(inst.Kernel.Prog, inst.Mem, p, cfg, vm.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	staticNT := cyc(&bpred.Static{Dir: false})
+	staticT := cyc(&bpred.Static{Dir: true})
+	worst := staticNT
+	if staticT > worst {
+		worst = staticT
+	}
+	gshare := cyc(bpred.NewGshare4KB())
+	perceptron := cyc(bpred.NewPerceptron16KB())
+	perfect := cyc(nil)
+	if gshare >= worst {
+		t.Fatalf("gshare (%d cycles) not faster than the worse static predictor (%d)", gshare, worst)
+	}
+	if perfect >= gshare || perfect >= perceptron {
+		t.Fatalf("perfect front end (%d) not fastest (gshare %d, perceptron %d)",
+			perfect, gshare, perceptron)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	prog, _ := vm.Assemble("t", "halt")
+	if _, err := Run(prog, nil, nil, Config{}, vm.Limits{}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	inst, _ := progs.StandardInput("fsm", "train")
+	cfg := DefaultConfig()
+	a, err := Run(inst.Kernel.Prog, inst.Mem, bpred.NewGshare4KB(), cfg, vm.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(inst.Kernel.Prog, inst.Mem, bpred.NewGshare4KB(), cfg, vm.Limits{})
+	if a != b {
+		t.Fatalf("non-deterministic timing: %+v vs %+v", a, b)
+	}
+}
+
+func TestWishBranchCosts(t *testing.T) {
+	prog, err := vm.Assemble("t", `
+		li r1, 0
+		li r2, 5
+	loop:
+		addi r1, r1, 1
+		blt  r1, r2, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	ant := &bpred.Static{Dir: false} // mispredicts all 4 taken branches
+	plain, err := Run(prog, make([]int64, 4), ant, cfg, vm.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mark the loop branch (instruction index 3) as a wish branch.
+	cfg.Wish = map[uint64]WishCost{3: {Extra: 1, Recovery: 3}}
+	wish, err := Run(prog, make([]int64, 4), &bpred.Static{Dir: false}, cfg, vm.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// plain pays 4*30 for mispredicts; wish pays 5*1 extra + 4*3
+	// recovery instead.
+	want := plain.Cycles - 4*30 + 5*1 + 4*3
+	if wish.Cycles != want {
+		t.Fatalf("wish cycles %d, want %d (plain %d)", wish.Cycles, want, plain.Cycles)
+	}
+	if wish.Mispredicts != plain.Mispredicts {
+		t.Fatalf("mispredict accounting changed: %d vs %d", wish.Mispredicts, plain.Mispredicts)
+	}
+}

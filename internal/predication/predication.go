@@ -1,0 +1,162 @@
+// Package predication implements the paper's motivating compiler
+// optimisation: if-conversion guided by branch misprediction rates
+// (§2.1, equations 1-3), the resulting decision procedure, and the
+// wish-branch fallback for branches whose profile cannot be trusted
+// because they are input-dependent.
+package predication
+
+import "fmt"
+
+// CostModel carries the machine and region parameters of equations
+// (1) and (2).
+type CostModel struct {
+	ExecTaken    float64 // exec_T: cycles when the branch is taken
+	ExecNotTaken float64 // exec_N: cycles when the branch is not taken
+	ExecPred     float64 // exec_pred: cycles of the if-converted region
+	MispPenalty  float64 // machine misprediction penalty, cycles
+}
+
+// PaperExample returns the parameters the paper uses for Figure 2:
+// exec_T = exec_N = 3, exec_pred = 5, penalty = 30.
+func PaperExample() CostModel {
+	return CostModel{ExecTaken: 3, ExecNotTaken: 3, ExecPred: 5, MispPenalty: 30}
+}
+
+// Validate reports a non-nil error for unusable parameters.
+func (m CostModel) Validate() error {
+	if m.ExecTaken < 0 || m.ExecNotTaken < 0 || m.ExecPred < 0 || m.MispPenalty < 0 {
+		return fmt.Errorf("predication: negative cost parameter in %+v", m)
+	}
+	return nil
+}
+
+// BranchCost evaluates equation (1): the expected cycles of normal
+// branch code given the branch's taken probability and misprediction
+// probability (both in [0,1]).
+func (m CostModel) BranchCost(pTaken, pMisp float64) float64 {
+	return m.ExecTaken*pTaken + m.ExecNotTaken*(1-pTaken) + m.MispPenalty*pMisp
+}
+
+// PredicatedCost evaluates equation (2): predicated code always costs
+// exec_pred.
+func (m CostModel) PredicatedCost() float64 { return m.ExecPred }
+
+// ShouldPredicate evaluates equation (3): convert when branch code is
+// more expensive than predicated code.
+func (m CostModel) ShouldPredicate(pTaken, pMisp float64) bool {
+	return m.BranchCost(pTaken, pMisp) > m.PredicatedCost()
+}
+
+// BreakEvenMisp returns the misprediction rate at which branch code and
+// predicated code cost the same, for a given taken probability. For the
+// paper's Figure 2 parameters this is 7 % at any taken rate (exec_T ==
+// exec_N). Returns 0 when predication is always cheaper and +Inf-free 1
+// when it never is.
+func (m CostModel) BreakEvenMisp(pTaken float64) float64 {
+	if m.MispPenalty == 0 {
+		if m.BranchCost(pTaken, 0) > m.PredicatedCost() {
+			return 0
+		}
+		return 1
+	}
+	base := m.ExecTaken*pTaken + m.ExecNotTaken*(1-pTaken)
+	be := (m.PredicatedCost() - base) / m.MispPenalty
+	switch {
+	case be < 0:
+		return 0
+	case be > 1:
+		return 1
+	default:
+		return be
+	}
+}
+
+// Decision is the compiler's choice for one branch.
+type Decision int
+
+const (
+	// KeepBranch leaves the conditional branch as-is.
+	KeepBranch Decision = iota
+	// Predicate if-converts the hammock.
+	Predicate
+	// WishBranch emits predicated code guarded by a wish branch so the
+	// hardware chooses at run time (the paper's recommendation for
+	// input-dependent branches, citing Kim et al. [10]).
+	WishBranch
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case KeepBranch:
+		return "branch"
+	case Predicate:
+		return "predicate"
+	case WishBranch:
+		return "wish-branch"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile is the per-branch profile the compiler consults.
+type Profile struct {
+	PTaken float64 // profile-time taken probability, [0,1]
+	PMisp  float64 // profile-time misprediction probability, [0,1]
+	// InputDependent is 2D-profiling's verdict for the branch.
+	InputDependent bool
+}
+
+// Policy decides per-branch code generation.
+type Policy struct {
+	Model CostModel
+	// UseWishBranches controls what happens to input-dependent
+	// branches: with wish branches available they become WishBranch;
+	// otherwise the compiler conservatively keeps the branch.
+	UseWishBranches bool
+	// TrustProfile disables the input-dependence guard (the baseline
+	// compiler that predicates on profile numbers alone).
+	TrustProfile bool
+}
+
+// Decide implements the paper's §2.1 guidance: apply equation (3), but
+// route input-dependent branches to a dynamic mechanism (or keep them)
+// because their profiled misprediction rate cannot be trusted across
+// inputs.
+func (p Policy) Decide(pr Profile) Decision {
+	wantPredicate := p.Model.ShouldPredicate(pr.PTaken, pr.PMisp)
+	if !p.TrustProfile && pr.InputDependent {
+		if p.UseWishBranches {
+			return WishBranch
+		}
+		return KeepBranch
+	}
+	if wantPredicate {
+		return Predicate
+	}
+	return KeepBranch
+}
+
+// RuntimeCost evaluates the cycles-per-instance cost of a decision under
+// the *actual* run-time behaviour (which may differ from the profile for
+// input-dependent branches). Wish branches are modelled as the paper
+// describes: the hardware predicts confidence and uses predicated
+// execution when the branch is hard to predict, branch prediction when
+// it is easy, approximated here as min(branch cost, predicated cost)
+// plus a small fixed overhead for the wish-branch instruction itself.
+func (p Policy) RuntimeCost(d Decision, actualPTaken, actualPMisp float64) float64 {
+	switch d {
+	case Predicate:
+		return p.Model.PredicatedCost()
+	case WishBranch:
+		const wishOverhead = 0.2 // extra fetch/decode cost of the wish branch
+		bc := p.Model.BranchCost(actualPTaken, actualPMisp)
+		pc := p.Model.PredicatedCost()
+		if bc < pc {
+			return bc + wishOverhead
+		}
+		return pc + wishOverhead
+	default:
+		return p.Model.BranchCost(actualPTaken, actualPMisp)
+	}
+}

@@ -1,0 +1,139 @@
+package predication
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExampleBreakEven(t *testing.T) {
+	m := PaperExample()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With exec_T = exec_N = 3, exec_pred = 5, penalty = 30 the paper
+	// reports a ~7% break-even misprediction rate.
+	be := m.BreakEvenMisp(0.5)
+	if math.Abs(be-2.0/30) > 1e-12 {
+		t.Fatalf("break-even = %v, want %v", be, 2.0/30)
+	}
+	// Below break-even the branch is cheaper; above, predication.
+	if m.ShouldPredicate(0.5, 0.04) {
+		t.Fatal("predicated at 4% misprediction")
+	}
+	if !m.ShouldPredicate(0.5, 0.09) {
+		t.Fatal("not predicated at 9% misprediction")
+	}
+}
+
+func TestBranchCostEquation(t *testing.T) {
+	m := CostModel{ExecTaken: 2, ExecNotTaken: 4, ExecPred: 5, MispPenalty: 10}
+	// eq(1): 2*0.25 + 4*0.75 + 10*0.1 = 4.5
+	if got := m.BranchCost(0.25, 0.1); got != 4.5 {
+		t.Fatalf("BranchCost = %v", got)
+	}
+	if got := m.PredicatedCost(); got != 5 {
+		t.Fatalf("PredicatedCost = %v", got)
+	}
+}
+
+func TestBreakEvenClamps(t *testing.T) {
+	// Predication always cheaper: break-even 0.
+	m := CostModel{ExecTaken: 10, ExecNotTaken: 10, ExecPred: 5, MispPenalty: 30}
+	if got := m.BreakEvenMisp(0.5); got != 0 {
+		t.Fatalf("clamp low = %v", got)
+	}
+	// Predication never cheaper within [0,1].
+	m = CostModel{ExecTaken: 1, ExecNotTaken: 1, ExecPred: 100, MispPenalty: 30}
+	if got := m.BreakEvenMisp(0.5); got != 1 {
+		t.Fatalf("clamp high = %v", got)
+	}
+	// Zero penalty degenerate cases.
+	m = CostModel{ExecTaken: 1, ExecNotTaken: 1, ExecPred: 5, MispPenalty: 0}
+	if got := m.BreakEvenMisp(0.5); got != 1 {
+		t.Fatalf("zero-penalty, cheap branch: %v", got)
+	}
+	m = CostModel{ExecTaken: 9, ExecNotTaken: 9, ExecPred: 5, MispPenalty: 0}
+	if got := m.BreakEvenMisp(0.5); got != 0 {
+		t.Fatalf("zero-penalty, expensive branch: %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := CostModel{ExecTaken: -1}
+	if bad.Validate() == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestDecide(t *testing.T) {
+	m := PaperExample()
+	hard := Profile{PTaken: 0.5, PMisp: 0.12}
+	easy := Profile{PTaken: 0.9, PMisp: 0.02}
+	hardDep := Profile{PTaken: 0.5, PMisp: 0.12, InputDependent: true}
+
+	plain := Policy{Model: m}
+	if got := plain.Decide(hard); got != Predicate {
+		t.Fatalf("hard branch: %v", got)
+	}
+	if got := plain.Decide(easy); got != KeepBranch {
+		t.Fatalf("easy branch: %v", got)
+	}
+	// Conservative policy keeps input-dependent branches.
+	if got := plain.Decide(hardDep); got != KeepBranch {
+		t.Fatalf("dependent branch (conservative): %v", got)
+	}
+	// Wish-branch policy converts them to wish branches.
+	wish := Policy{Model: m, UseWishBranches: true}
+	if got := wish.Decide(hardDep); got != WishBranch {
+		t.Fatalf("dependent branch (wish): %v", got)
+	}
+	// Profile-trusting policy ignores the verdict.
+	trust := Policy{Model: m, TrustProfile: true}
+	if got := trust.Decide(hardDep); got != Predicate {
+		t.Fatalf("dependent branch (trusting): %v", got)
+	}
+	// Easy input-dependent branch under wish policy still becomes a
+	// wish branch (hardware decides).
+	easyDep := Profile{PTaken: 0.9, PMisp: 0.02, InputDependent: true}
+	if got := wish.Decide(easyDep); got != WishBranch {
+		t.Fatalf("easy dependent branch (wish): %v", got)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if KeepBranch.String() != "branch" || Predicate.String() != "predicate" ||
+		WishBranch.String() != "wish-branch" || Decision(9).String() != "unknown" {
+		t.Fatal("decision names wrong")
+	}
+}
+
+func TestRuntimeCost(t *testing.T) {
+	p := Policy{Model: PaperExample()}
+	// Predicated code cost is flat.
+	if got := p.RuntimeCost(Predicate, 0.5, 0.5); got != 5 {
+		t.Fatalf("predicate cost %v", got)
+	}
+	// Branch cost follows equation (1).
+	want := p.Model.BranchCost(0.3, 0.1)
+	if got := p.RuntimeCost(KeepBranch, 0.3, 0.1); got != want {
+		t.Fatalf("branch cost %v, want %v", got, want)
+	}
+}
+
+func TestWishBranchNearOptimal(t *testing.T) {
+	p := Policy{Model: PaperExample(), UseWishBranches: true}
+	f := func(a, b uint8) bool {
+		pTaken := float64(a) / 255
+		pMisp := float64(b) / 255
+		wish := p.RuntimeCost(WishBranch, pTaken, pMisp)
+		best := math.Min(p.RuntimeCost(KeepBranch, pTaken, pMisp),
+			p.RuntimeCost(Predicate, pTaken, pMisp))
+		// Wish branch pays at most its fixed overhead over the better
+		// of the two static choices and is never worse than 0.
+		return wish >= best && wish <= best+0.2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

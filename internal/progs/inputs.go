@@ -1,0 +1,326 @@
+package progs
+
+import (
+	"fmt"
+
+	"twodprof/internal/rng"
+)
+
+// NewInstance binds a kernel to a prepared memory image.
+func NewInstance(k *Kernel, mem []int64) *Instance {
+	return &Instance{Kernel: k, Mem: mem}
+}
+
+// TypesumInstance builds a typesum input of n elements. The element
+// stream is divided into len(segBigFrac) equal segments; within segment
+// s each element is a "big number" (slow path) with probability
+// segBigFrac[s]. Varying fractions across segments produce the
+// within-run phase behaviour 2D-profiling detects; varying them across
+// input sets produces input-dependence of the type-check branch.
+func TypesumInstance(n int, segBigFrac []float64, seed uint64) *Instance {
+	if n <= 0 || len(segBigFrac) == 0 {
+		panic("progs: TypesumInstance needs n > 0 and at least one segment")
+	}
+	r := rng.New(seed)
+	mem := make([]int64, 16+2*n)
+	mem[0] = int64(n)
+	segLen := (n + len(segBigFrac) - 1) / len(segBigFrac)
+	for i := 0; i < n; i++ {
+		frac := segBigFrac[i/segLen]
+		if r.Bool(frac) {
+			mem[16+i] = 1 // big tag
+			mem[16+n+i] = int64(1<<31) + int64(r.Intn(1<<20))
+		} else {
+			mem[16+i] = 0 // int tag
+			mem[16+n+i] = int64(r.Intn(1 << 20))
+		}
+	}
+	return NewInstance(KernelTypesum, mem)
+}
+
+// GzipConfig mirrors gzip's config_table (Figure 7): max_chain per
+// compression level 1..9.
+var GzipConfig = map[int]int64{
+	1: 4, 2: 8, 3: 32, 4: 16, 5: 32, 6: 128, 7: 256, 8: 1024, 9: 4096,
+}
+
+// LZChainInstance builds an lzchain input: positions hash-chain walks at
+// the given gzip compression level (1..9). regionEndProb gives, per
+// window region, the probability that a chain link terminates (falls to
+// the limit zone); start positions are drawn segment-by-segment from
+// single regions, so runs whose regions differ in redundancy show phase
+// behaviour.
+func LZChainInstance(positions, level int, regionEndProb []float64, seed uint64) *Instance {
+	maxChain, ok := GzipConfig[level]
+	if !ok {
+		panic(fmt.Sprintf("progs: invalid compression level %d", level))
+	}
+	if len(regionEndProb) == 0 {
+		regionEndProb = []float64{0.05}
+	}
+	const window = 1 << 12 // 4096, gzip's WMASK+1
+	const limit = 15
+	r := rng.New(seed)
+
+	mem := make([]int64, 16+window+positions)
+	mem[0] = int64(positions)
+	mem[1] = maxChain
+	mem[2] = limit
+	mem[3] = window - 1
+
+	// prev table: regions of equal size with region-specific
+	// termination probability. A non-terminating link points one step
+	// down the chain (staying above the limit zone and inside the same
+	// region when possible); a terminating link points into [0, limit].
+	regionSize := window / len(regionEndProb)
+	for i := 0; i < window; i++ {
+		region := i / regionSize
+		if region >= len(regionEndProb) {
+			region = len(regionEndProb) - 1
+		}
+		if r.Bool(regionEndProb[region]) || i <= limit+1 {
+			mem[16+i] = int64(r.Intn(limit + 1))
+		} else {
+			mem[16+i] = int64(i - 1)
+		}
+	}
+
+	// Start positions: each segment of the position stream samples one
+	// region.
+	numSegs := len(regionEndProb)
+	segLen := (positions + numSegs - 1) / numSegs
+	for p := 0; p < positions; p++ {
+		region := p / segLen
+		if region >= numSegs {
+			region = numSegs - 1
+		}
+		lo := region * regionSize
+		hi := lo + regionSize - 1
+		if lo <= limit+1 {
+			lo = limit + 2
+		}
+		start := r.IntRange(lo, hi)
+		mem[16+window+p] = int64(start)
+	}
+	return NewInstance(KernelLZChain, mem)
+}
+
+// BsearchInstance builds a bsearch input: a sorted table of tableSize
+// keys and numQueries queries. Per segment, segLowFrac[s] is the
+// probability a query targets the lower half of the key space, and
+// hitFrac the probability it is an existing key.
+func BsearchInstance(tableSize, numQueries int, segLowFrac []float64, hitFrac float64, seed uint64) *Instance {
+	if tableSize <= 0 || numQueries <= 0 || len(segLowFrac) == 0 {
+		panic("progs: BsearchInstance needs positive sizes and segments")
+	}
+	r := rng.New(seed)
+	mem := make([]int64, 16+tableSize+numQueries)
+	mem[0] = int64(tableSize)
+	mem[1] = int64(numQueries)
+	// Sorted table with stride-2 keys so misses exist between keys.
+	for i := 0; i < tableSize; i++ {
+		mem[16+i] = int64(2 * i)
+	}
+	maxKey := int64(2 * tableSize)
+	segLen := (numQueries + len(segLowFrac) - 1) / len(segLowFrac)
+	for q := 0; q < numQueries; q++ {
+		low := r.Bool(segLowFrac[q/segLen])
+		var key int64
+		if low {
+			key = int64(r.Intn(tableSize)) // lower half of key space
+		} else {
+			key = int64(tableSize) + int64(r.Intn(tableSize))
+		}
+		if r.Bool(hitFrac) {
+			key &^= 1 // even keys are in the table
+		} else {
+			key |= 1 // odd keys always miss
+		}
+		if key >= maxKey {
+			key = maxKey - 1
+		}
+		mem[16+tableSize+q] = key
+	}
+	return NewInstance(KernelBsearch, mem)
+}
+
+// InssortInstance builds an inssort input of numBlocks blocks of
+// blockSize elements. Per segment of consecutive blocks, segDisorder[s]
+// in [0,1] controls how shuffled the blocks are: 0 yields already-sorted
+// blocks (inner branch nearly always falls through), 1 yields fully
+// random blocks.
+func InssortInstance(numBlocks, blockSize int, segDisorder []float64, seed uint64) *Instance {
+	if numBlocks <= 0 || blockSize <= 1 || len(segDisorder) == 0 {
+		panic("progs: InssortInstance needs positive sizes and segments")
+	}
+	r := rng.New(seed)
+	mem := make([]int64, 16+numBlocks*blockSize)
+	mem[0] = int64(numBlocks)
+	mem[1] = int64(blockSize)
+	segLen := (numBlocks + len(segDisorder) - 1) / len(segDisorder)
+	for b := 0; b < numBlocks; b++ {
+		base := 16 + b*blockSize
+		for i := 0; i < blockSize; i++ {
+			mem[base+i] = int64(i)
+		}
+		disorder := segDisorder[b/segLen]
+		swaps := int(disorder * float64(blockSize))
+		for s := 0; s < swaps; s++ {
+			i := r.Intn(blockSize)
+			j := r.Intn(blockSize)
+			mem[base+i], mem[base+j] = mem[base+j], mem[base+i]
+		}
+	}
+	return NewInstance(KernelInssort, mem)
+}
+
+// FSMInstance builds an fsm input of n tokens drawn per segment from the
+// categorical distribution segTokenWeights[s] over token classes 0..3.
+func FSMInstance(n int, segTokenWeights [][]float64, seed uint64) *Instance {
+	if n <= 0 || len(segTokenWeights) == 0 {
+		panic("progs: FSMInstance needs n > 0 and at least one segment")
+	}
+	r := rng.New(seed)
+	mem := make([]int64, 16+n)
+	mem[0] = int64(n)
+	cats := make([]*rng.Categorical, len(segTokenWeights))
+	for i, w := range segTokenWeights {
+		if len(w) != 4 {
+			panic("progs: FSMInstance token weights must have 4 classes")
+		}
+		cats[i] = rng.NewCategorical(w)
+	}
+	segLen := (n + len(segTokenWeights) - 1) / len(segTokenWeights)
+	for i := 0; i < n; i++ {
+		seg := i / segLen
+		if seg >= len(cats) {
+			seg = len(cats) - 1
+		}
+		mem[16+i] = int64(cats[seg].Draw(r))
+	}
+	return NewInstance(KernelFSM, mem)
+}
+
+// BellmanInstance builds a bellman input: a random directed graph of
+// numNodes nodes and numEdges edges. A spanning chain guarantees
+// reachability from the source; the remaining edges are random with
+// weights in [1, maxWeight]. heavyFrac of the random edges get weights
+// scaled 10x (a heavy-tailed weight mix changes how many sweeps the
+// relaxation needs and how its bias decays).
+func BellmanInstance(numNodes, numEdges int, maxWeight int64, heavyFrac float64, seed uint64) *Instance {
+	if numNodes < 2 || numEdges < numNodes || maxWeight < 1 {
+		panic("progs: BellmanInstance needs numEdges >= numNodes >= 2 and positive weights")
+	}
+	r := rng.New(seed)
+	mem := make([]int64, 16+3*numEdges+numNodes)
+	mem[0] = int64(numNodes)
+	mem[1] = int64(numEdges)
+	mem[2] = int64(numNodes) // maxIters: Bellman-Ford bound
+	uBase, vBase, wBase := 16, 16+numEdges, 16+2*numEdges
+
+	weight := func() int64 {
+		w := 1 + int64(r.Intn(int(maxWeight)))
+		if r.Bool(heavyFrac) {
+			w *= 10
+		}
+		return w
+	}
+	// Spanning chain 0 -> 1 -> ... -> N-1 keeps every node reachable.
+	for i := 0; i < numNodes-1; i++ {
+		mem[uBase+i] = int64(i)
+		mem[vBase+i] = int64(i + 1)
+		mem[wBase+i] = weight()
+	}
+	for e := numNodes - 1; e < numEdges; e++ {
+		mem[uBase+e] = int64(r.Intn(numNodes))
+		mem[vBase+e] = int64(r.Intn(numNodes))
+		mem[wBase+e] = weight()
+	}
+	return NewInstance(KernelBellman, mem)
+}
+
+// StandardInput returns the named canonical input for a kernel. Each
+// kernel offers "train" and "ref" (mirroring SPEC's input sets);
+// lzchain additionally offers "level1".."level9".
+func StandardInput(kernel, input string) (*Instance, error) {
+	const seedTrain, seedRef = 11, 23
+	switch kernel {
+	case "typesum":
+		switch input {
+		case "train":
+			// Almost entirely integers throughout: easy, stable.
+			return TypesumInstance(240000, []float64{0.05, 0.04, 0.06, 0.05}, seedTrain), nil
+		case "ref":
+			// Mixed big-number phases: the paper's 42 % mispredicting
+			// type check.
+			return TypesumInstance(240000, []float64{0.1, 0.55, 0.8, 0.25, 0.6, 0.45}, seedRef), nil
+		}
+	case "lzchain":
+		// Low termination probabilities keep the prev[] chains long,
+		// so --chain_length (i.e. the compression level) is the
+		// binding exit condition, as in gzip (Figure 7). Mixed-region
+		// inputs add the within-run phase behaviour 2D-profiling needs.
+		regionsTrain := []float64{0.02, 0.25, 0.04, 0.35}
+		regionsRef := []float64{0.01, 0.30, 0.03, 0.20, 0.05, 0.40}
+		switch input {
+		case "train":
+			return LZChainInstance(30000, 2, regionsTrain, seedTrain), nil
+		case "ref":
+			return LZChainInstance(30000, 9, regionsRef, seedRef), nil
+		}
+		var level int
+		if n, err := fmt.Sscanf(input, "level%d", &level); err == nil && n == 1 {
+			if _, ok := GzipConfig[level]; !ok {
+				return nil, fmt.Errorf("progs: invalid lzchain input %q", input)
+			}
+			// The level sweep uses uniformly redundant data so the
+			// only difference between inputs is the level parameter.
+			// The mild termination probability jitters walk lengths,
+			// so short chains are not perfectly learnable — the
+			// paper's "75 % at level 1 without a loop predictor".
+			return LZChainInstance(8000, level, []float64{0.04}, seedTrain), nil
+		}
+	case "bsearch":
+		switch input {
+		case "train":
+			return BsearchInstance(4096, 200000, []float64{0.5, 0.5, 0.5, 0.5}, 0.5, seedTrain), nil
+		case "ref":
+			return BsearchInstance(4096, 200000, []float64{0.9, 0.2, 0.85, 0.1, 0.95}, 0.8, seedRef), nil
+		}
+	case "inssort":
+		switch input {
+		case "train":
+			return InssortInstance(3000, 64, []float64{0.1, 0.12, 0.08}, seedTrain), nil
+		case "ref":
+			return InssortInstance(3000, 64, []float64{0.05, 0.9, 0.3, 0.95}, seedRef), nil
+		}
+	case "fsm":
+		switch input {
+		case "train":
+			return FSMInstance(300000, [][]float64{
+				{0.5, 0.2, 0.2, 0.1},
+				{0.5, 0.2, 0.2, 0.1},
+			}, seedTrain), nil
+		case "ref":
+			return FSMInstance(300000, [][]float64{
+				{0.8, 0.1, 0.05, 0.05},
+				{0.2, 0.3, 0.4, 0.1},
+				{0.6, 0.2, 0.1, 0.1},
+				{0.1, 0.2, 0.2, 0.5},
+			}, seedRef), nil
+		}
+	case "bellman":
+		switch input {
+		case "train":
+			// Sparse graph, uniform weights: few sweeps, fast decay.
+			return BellmanInstance(1024, 8192, 100, 0.02, seedTrain), nil
+		case "ref":
+			// Denser graph with heavy-tailed weights: more sweeps and
+			// a different relaxation-bias decay curve.
+			return BellmanInstance(1024, 16384, 40, 0.35, seedRef), nil
+		}
+	default:
+		return nil, fmt.Errorf("progs: unknown kernel %q", kernel)
+	}
+	return nil, fmt.Errorf("progs: kernel %q has no input %q", kernel, input)
+}

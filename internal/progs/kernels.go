@@ -1,0 +1,374 @@
+package progs
+
+import "twodprof/internal/vm"
+
+// Memory layout conventions shared by all kernels: parameters in low
+// memory (mem[0..15]), data from word 16 up.
+
+// typesumSrc is the gap benchmark's Figure 6 archetype: a summation
+// routine that dispatches on the dynamic type tag of each element. The
+// branch at label "typecheck" is easy to predict when the input is
+// almost entirely integers and hard when the type mix is balanced —
+// exactly the paper's example (10 % vs 42 % misprediction between train
+// and ref).
+//
+// Layout: mem[0]=n, tags at mem[16..16+n), values at mem[16+n..16+2n).
+const typesumSrc = `
+; typesum: sum n tagged values; tag 0 = small int, tag != 0 = big number
+main:
+    ld   r1, [0]          ; n
+    li   r2, 0            ; i
+    li   r3, 0            ; sum
+    li   r9, 16           ; tag base
+    add  r10, r9, r1      ; value base = 16 + n
+loop:
+loop_exit:
+    bge  r2, r1, done     ; loop exit branch
+    add  r4, r9, r2
+    ld   r5, [r4]         ; tag[i]
+    add  r6, r10, r2
+    ld   r7, [r6]         ; value[i]
+typecheck:
+    bne  r5, r0, big      ; the input-dependent type-check branch
+    add  r3, r3, r7       ; integer fast path
+    jmp  next
+big:
+    call bigsum           ; slow path for big numbers
+next:
+    addi r2, r2, 1
+    jmp  loop
+done:
+    out  r3
+    halt
+
+; bigsum: emulate multi-word addition with a short fixed loop
+bigsum:
+    li   r8, 4
+bs_loop:
+    add  r3, r3, r7
+    addi r8, r8, -1
+bs_exit:
+    bgt  r8, r0, bs_loop
+    ret
+`
+
+// lzchainSrc is the gzip benchmark's Figure 7 archetype: the
+// longest-match hash-chain walk whose exit condition couples a data-
+// dependent chain test with a --chain_length counter derived from the
+// compression level. At level 1 (max_chain=4) the branch at
+// "chain_exit" mispredicts every ~4th execution; at level 9
+// (max_chain=4096) it is almost perfectly predictable.
+//
+// Layout: mem[0]=numPositions, mem[1]=maxChain, mem[2]=limit,
+// mem[3]=windowMask (power of two minus one), prev table at
+// mem[16..16+windowSize), start positions at mem[16+windowSize..).
+const lzchainSrc = `
+; lzchain: for each position, walk the prev[] chain up to max_chain links.
+; Like gzip, the chain budget is quartered (chain_length >>= 2) when the
+; previous match was good; here "good" is carried in the start position's
+; low bit, so the budget selection leaves no trace in branch history.
+main:
+    ld   r1, [0]          ; numPositions
+    ld   r2, [1]          ; maxChain
+    ld   r3, [2]          ; limit
+    ld   r4, [3]          ; windowMask
+    li   r5, 0            ; p
+    li   r9, 16           ; prev base
+    add  r10, r4, r9
+    addi r10, r10, 1      ; start base = 16 + windowSize
+outer:
+outer_exit:
+    bge  r5, r1, done
+    add  r6, r10, r5
+    ld   r7, [r6]         ; cur = start[p]
+    andi r12, r7, 1       ; good-match flag from data
+    shli r12, r12, 1      ; 0 or 2
+    shr  r8, r2, r12      ; chain = maxChain >> {0,2}
+walk:
+    and  r11, r7, r4      ; cur & mask
+    add  r11, r11, r9
+    ld   r7, [r11]        ; cur = prev[cur & mask]
+limit_test:
+    ble  r7, r3, next     ; data-dependent exit: cur <= limit
+    addi r8, r8, -1
+chain_exit:
+    bne  r8, r0, walk     ; the input-dependent loop-exit branch
+next:
+    addi r5, r5, 1
+    jmp  outer
+done:
+    out  r5
+    halt
+`
+
+// bsearchSrc performs binary searches for a query stream over a sorted
+// table. Comparison branches depend on the query distribution: queries
+// skewed to one side of the table make the direction branches biased;
+// uniform queries make them ~50/50.
+//
+// Layout: mem[0]=tableSize, mem[1]=numQueries, table at mem[16..16+T),
+// queries at mem[16+T..16+T+Q).
+const bsearchSrc = `
+; bsearch: count how many queries hit the table
+main:
+    ld   r1, [0]          ; T
+    ld   r2, [1]          ; Q
+    li   r3, 0            ; q index
+    li   r4, 0            ; hits
+    li   r9, 16           ; table base
+    add  r10, r9, r1      ; query base
+qloop:
+qloop_exit:
+    bge  r3, r2, done
+    add  r5, r10, r3
+    ld   r5, [r5]         ; key
+    li   r6, 0            ; lo
+    mov  r7, r1           ; hi (exclusive)
+search:
+search_exit:
+    bge  r6, r7, miss     ; lo >= hi -> not found
+    add  r8, r6, r7
+    shri r8, r8, 1        ; mid
+    add  r11, r9, r8
+    ld   r11, [r11]       ; table[mid]
+cmp_eq:
+    beq  r11, r5, hit
+cmp_dir:
+    blt  r11, r5, go_right ; the direction branch (query-distribution dependent)
+    mov  r7, r8           ; hi = mid
+    jmp  search
+go_right:
+    addi r6, r8, 1        ; lo = mid+1
+    jmp  search
+hit:
+    addi r4, r4, 1
+miss:
+    addi r3, r3, 1
+    jmp  qloop
+done:
+    out  r4
+    halt
+`
+
+// inssortSrc insertion-sorts consecutive blocks. The inner-while branch
+// ("shift_test") executes once per comparison: nearly-sorted input makes
+// it highly biased, random input makes it mispredict often — a classic
+// input-dependent branch.
+//
+// Layout: mem[0]=numBlocks, mem[1]=blockSize, data at mem[16..).
+const inssortSrc = `
+; inssort: insertion sort each block in place, then checksum
+main:
+    ld   r1, [0]          ; numBlocks
+    ld   r2, [1]          ; blockSize
+    li   r3, 0            ; block index
+blocks:
+blocks_exit:
+    bge  r3, r1, check
+    mul  r4, r3, r2
+    addi r4, r4, 16       ; base of this block
+    li   r5, 1            ; i
+iloop:
+iloop_exit:
+    bge  r5, r2, nextblock
+    add  r6, r4, r5
+    ld   r7, [r6]         ; key = a[i]
+    mov  r8, r5           ; j
+shift:
+shift_zero:
+    ble  r8, r0, place    ; j <= 0
+    add  r9, r4, r8
+    ld   r10, [r9-1]      ; a[j-1]
+shift_test:
+    ble  r10, r7, place   ; a[j-1] <= key -> stop shifting (input-dependent)
+    st   [r9], r10        ; a[j] = a[j-1]
+    addi r8, r8, -1
+    jmp  shift
+place:
+    add  r9, r4, r8
+    st   [r9], r7
+    addi r5, r5, 1
+    jmp  iloop
+nextblock:
+    addi r3, r3, 1
+    jmp  blocks
+check:
+    ; checksum of the whole array to keep the work observable
+    mul  r11, r1, r2
+    li   r5, 0
+    li   r6, 0
+sum:
+sum_exit:
+    bge  r5, r11, done
+    addi r7, r5, 16
+    ld   r7, [r7]
+    add  r6, r6, r7
+    addi r5, r5, 1
+    jmp  sum
+done:
+    out  r6
+    halt
+`
+
+// fsmSrc runs a five-state token automaton over an input token stream —
+// a parser-like workload. The per-state dispatch branches depend on the
+// token mix of the input.
+//
+// Layout: mem[0]=numTokens, tokens (0..3) at mem[16..).
+const fsmSrc = `
+; fsm: token-driven state machine; counts accepts
+main:
+    ld   r1, [0]          ; n
+    li   r2, 0            ; i
+    li   r3, 0            ; state
+    li   r4, 0            ; accepts
+tloop:
+tloop_exit:
+    bge  r2, r1, done
+    addi r5, r2, 16
+    ld   r5, [r5]         ; token
+    ; dispatch on token class
+d0: beq  r5, r0, tok0
+    li   r6, 1
+d1: beq  r5, r6, tok1
+    li   r6, 2
+d2: beq  r5, r6, tok2
+    ; token 3: reset
+    li   r3, 0
+    jmp  next
+tok0:
+    addi r3, r3, 1        ; advance state
+    jmp  clamp
+tok1:
+    addi r3, r3, 2
+    jmp  clamp
+tok2:
+s_dec:
+    ble  r3, r0, next     ; state already 0
+    addi r3, r3, -1
+    jmp  next
+clamp:
+    li   r6, 5
+s_acc:
+    blt  r3, r6, next     ; state reached 5 -> accept
+    addi r4, r4, 1
+    li   r3, 0
+next:
+    addi r2, r2, 1
+    jmp  tloop
+done:
+    out  r4
+    halt
+`
+
+// bellmanSrc runs Bellman-Ford shortest-path relaxation sweeps until
+// convergence (bounded by maxIters). The relaxation branch ("relax") is
+// doubly interesting for 2D-profiling: its bias decays *within* a run
+// as distances converge (inherent phase behaviour), and the decay curve
+// depends on the input graph's topology and weights (input dependence).
+//
+// Layout: mem[0]=numNodes, mem[1]=numEdges, mem[2]=maxIters; edge
+// sources at mem[16..16+E), destinations at mem[16+E..16+2E), weights
+// at mem[16+2E..16+3E), distance array at mem[16+3E..16+3E+N).
+const bellmanSrc = `
+; bellman: relaxation sweeps to convergence, then distance checksum
+main:
+    ld   r1, [0]          ; N
+    ld   r2, [1]          ; E
+    ld   r3, [2]          ; maxIters
+    li   r4, 16           ; u base
+    add  r5, r4, r2       ; v base
+    add  r6, r5, r2       ; w base
+    add  r7, r6, r2       ; dist base
+    li   r8, 0
+init:
+init_exit:
+    bge  r8, r1, initdone
+    add  r9, r7, r8
+    li   r10, 1099511627776
+    st   [r9], r10        ; dist[i] = "infinity"
+    addi r8, r8, 1
+    jmp  init
+initdone:
+    st   [r7], r0         ; dist[source] = 0
+    li   r11, 0           ; iteration
+outer:
+outer_exit:
+    bge  r11, r3, done
+    li   r12, 0           ; changed
+    li   r8, 0            ; edge index
+edge:
+edge_exit:
+    bge  r8, r2, edone
+    add  r9, r4, r8
+    ld   r9, [r9]         ; u
+    add  r9, r7, r9
+    ld   r9, [r9]         ; dist[u]
+    add  r10, r6, r8
+    ld   r10, [r10]       ; w
+    add  r10, r9, r10     ; t = dist[u] + w
+    add  r9, r5, r8
+    ld   r9, [r9]         ; v
+    add  r9, r7, r9       ; &dist[v]
+    ld   r13, [r9]        ; dist[v]
+relax:
+    ble  r13, r10, norelax ; the convergence-phase branch
+    st   [r9], r10
+    li   r12, 1
+norelax:
+    addi r8, r8, 1
+    jmp  edge
+edone:
+conv_check:
+    bne  r12, r0, cont    ; another sweep while anything changed
+    jmp  done
+cont:
+    addi r11, r11, 1
+    jmp  outer
+done:
+    li   r8, 0
+    li   r14, 0
+sum:
+sum_exit:
+    bge  r8, r1, fin
+    add  r9, r7, r8
+    ld   r9, [r9]
+    add  r14, r14, r9
+    addi r8, r8, 1
+    jmp  sum
+fin:
+    out  r14              ; distance checksum
+    out  r11              ; sweeps executed
+    halt
+`
+
+// Assembled kernels, indexed by name. Memory sizes cover the largest
+// inputs the generators in inputs.go produce.
+var kernels = map[string]*Kernel{}
+
+func register(name, src string, memWords int) *Kernel {
+	k := &Kernel{Name: name, Prog: vm.MustAssemble(name, src), MemWords: memWords}
+	kernels[name] = k
+	return k
+}
+
+// The kernel registry.
+var (
+	KernelTypesum = register("typesum", typesumSrc, 1<<18)
+	KernelLZChain = register("lzchain", lzchainSrc, 1<<18)
+	KernelBsearch = register("bsearch", bsearchSrc, 1<<18)
+	KernelInssort = register("inssort", inssortSrc, 1<<18)
+	KernelFSM     = register("fsm", fsmSrc, 1<<18)
+	KernelBellman = register("bellman", bellmanSrc, 1<<18)
+)
+
+// KernelByName returns a registered kernel.
+func KernelByName(name string) (*Kernel, bool) {
+	k, ok := kernels[name]
+	return k, ok
+}
+
+// KernelNames returns the registered kernel names in a stable order.
+func KernelNames() []string {
+	return []string{"typesum", "lzchain", "bsearch", "inssort", "fsm", "bellman"}
+}

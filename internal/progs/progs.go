@@ -1,0 +1,62 @@
+// Package progs contains benchmark kernels written in the VM's assembly
+// together with input-data generators. These are the end-to-end
+// workloads of the repository: real control flow over real (generated)
+// data, including the paper's two motivating input-dependent branch
+// archetypes — the gap type-check branch (Figure 6, kernel "typesum")
+// and the gzip hash-chain loop-exit branch (Figure 7, kernel "lzchain").
+package progs
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+	"twodprof/internal/vm"
+)
+
+// Kernel is an assembled benchmark program plus its memory requirements.
+type Kernel struct {
+	Name     string
+	Prog     *vm.Program
+	MemWords int
+}
+
+// Instance binds a kernel to a concrete prepared memory image (an input
+// data set). It implements trace.Source: each Run executes the program
+// on a fresh copy of the image and streams its conditional branches.
+type Instance struct {
+	Kernel *Kernel
+	Mem    []int64
+	Limits vm.Limits
+
+	// LastResult holds the vm.Result of the most recent Run, for
+	// output verification.
+	LastResult vm.Result
+}
+
+// Run implements trace.Source.
+func (in *Instance) Run(sink trace.Sink) int64 {
+	res, err := in.RunHooks(vm.Hooks{OnBranch: func(pc uint64, taken bool) {
+		sink.Branch(trace.PC(pc), taken)
+	}})
+	if err != nil {
+		panic(fmt.Sprintf("progs: kernel %s failed: %v", in.Kernel.Name, err))
+	}
+	return res.Branches
+}
+
+// RunHooks executes the instance with arbitrary hooks on a fresh copy of
+// the memory image and records the result.
+func (in *Instance) RunHooks(hooks vm.Hooks) (vm.Result, error) {
+	m := vm.NewMachine(len(in.Mem))
+	copy(m.Mem, in.Mem)
+	m.SetLimits(in.Limits)
+	res, err := m.Run(in.Kernel.Prog, hooks)
+	in.LastResult = res
+	return res, err
+}
+
+// BranchPC returns the trace.PC of the conditional branch at the given
+// kernel label (the label must sit immediately before the branch).
+func (in *Instance) BranchPC(label string) trace.PC {
+	return trace.PC(in.Kernel.Prog.MustLabel(label))
+}

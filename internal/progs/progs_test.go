@@ -1,0 +1,382 @@
+package progs
+
+import (
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/trace"
+	"twodprof/internal/vm"
+)
+
+func TestKernelRegistry(t *testing.T) {
+	names := KernelNames()
+	if len(names) != 6 {
+		t.Fatalf("kernel count %d", len(names))
+	}
+	for _, n := range names {
+		k, ok := KernelByName(n)
+		if !ok || k.Name != n || k.Prog == nil || k.MemWords <= 0 {
+			t.Fatalf("kernel %q malformed", n)
+		}
+	}
+	if _, ok := KernelByName("nope"); ok {
+		t.Fatal("unknown kernel found")
+	}
+}
+
+func TestStandardInputsRun(t *testing.T) {
+	for _, k := range KernelNames() {
+		for _, in := range []string{"train", "ref"} {
+			inst, err := StandardInput(k, in)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k, in, err)
+			}
+			var c trace.Counter
+			n := inst.Run(&c)
+			if n == 0 || n != c.Dynamic {
+				t.Fatalf("%s/%s: %d events, counter %d", k, in, n, c.Dynamic)
+			}
+			if c.Static() < 3 {
+				t.Fatalf("%s/%s: only %d static sites", k, in, c.Static())
+			}
+		}
+	}
+}
+
+func TestStandardInputErrors(t *testing.T) {
+	if _, err := StandardInput("nope", "train"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if _, err := StandardInput("typesum", "nope"); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if _, err := StandardInput("lzchain", "level42"); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := StandardInput("fsm", "train")
+	b, _ := StandardInput("fsm", "train")
+	var ra, rb trace.Recorder
+	a.Run(&ra)
+	b.Run(&rb)
+	if len(ra.Events) != len(rb.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(ra.Events), len(rb.Events))
+	}
+	for i := range ra.Events {
+		if ra.Events[i] != rb.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	// Re-running the same instance must also be identical (memory is
+	// copied per run).
+	var ra2 trace.Recorder
+	a.Run(&ra2)
+	if len(ra2.Events) != len(ra.Events) {
+		t.Fatal("instance rerun differs")
+	}
+}
+
+// TestTypesumMatchesReference validates the VM kernel against a direct
+// Go implementation of the same computation over the same memory image.
+func TestTypesumMatchesReference(t *testing.T) {
+	inst := TypesumInstance(5000, []float64{0.3, 0.7}, 99)
+	res, err := inst.RunHooks(vm.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(inst.Mem[0])
+	var want int64
+	for i := 0; i < n; i++ {
+		tag := inst.Mem[16+i]
+		val := inst.Mem[16+n+i]
+		if tag == 0 {
+			want += val
+		} else {
+			want += 4 * val // bigsum adds the value four times
+		}
+	}
+	if len(res.Output) != 1 || res.Output[0] != want {
+		t.Fatalf("typesum output %v, want %d", res.Output, want)
+	}
+}
+
+// TestBsearchMatchesReference cross-checks the hit count with Go's own
+// binary search over the same table.
+func TestBsearchMatchesReference(t *testing.T) {
+	inst := BsearchInstance(512, 3000, []float64{0.2, 0.8}, 0.5, 7)
+	res, err := inst.RunHooks(vm.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsize := int(inst.Mem[0])
+	q := int(inst.Mem[1])
+	table := inst.Mem[16 : 16+tsize]
+	var want int64
+	for i := 0; i < q; i++ {
+		key := inst.Mem[16+tsize+i]
+		lo, hi := 0, tsize
+		found := false
+		for lo < hi {
+			mid := (lo + hi) / 2
+			switch {
+			case table[mid] == key:
+				found = true
+				lo = hi
+			case table[mid] < key:
+				lo = mid + 1
+			default:
+				hi = mid
+			}
+		}
+		if found {
+			want++
+		}
+	}
+	if len(res.Output) != 1 || res.Output[0] != want {
+		t.Fatalf("bsearch hits %v, want %d", res.Output, want)
+	}
+}
+
+// TestInssortChecksum verifies the sort leaves a permutation: the
+// checksum equals the sum of the original values.
+func TestInssortChecksum(t *testing.T) {
+	inst := InssortInstance(50, 32, []float64{0.5}, 3)
+	var want int64
+	for _, v := range inst.Mem[16 : 16+50*32] {
+		want += v
+	}
+	res, err := inst.RunHooks(vm.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != want {
+		t.Fatalf("inssort checksum %v, want %d", res.Output, want)
+	}
+}
+
+// TestFSMMatchesReference reimplements the token automaton in Go.
+func TestFSMMatchesReference(t *testing.T) {
+	inst := FSMInstance(20000, [][]float64{
+		{0.4, 0.3, 0.2, 0.1},
+		{0.1, 0.2, 0.3, 0.4},
+	}, 21)
+	res, err := inst.RunHooks(vm.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(inst.Mem[0])
+	state, accepts := int64(0), int64(0)
+	for i := 0; i < n; i++ {
+		switch inst.Mem[16+i] {
+		case 0:
+			state++
+		case 1:
+			state += 2
+		case 2:
+			if state > 0 {
+				state--
+			}
+			continue
+		default: // 3
+			state = 0
+			continue
+		}
+		if state >= 5 {
+			accepts++
+			state = 0
+		}
+	}
+	if len(res.Output) != 1 || res.Output[0] != accepts {
+		t.Fatalf("fsm accepts %v, want %d", res.Output, accepts)
+	}
+}
+
+// TestLZChainMatchesReference walks the chains in Go and compares the
+// number of chain_exit not-taken events (budget exhaustions).
+func TestLZChainMatchesReference(t *testing.T) {
+	inst := LZChainInstance(2000, 2, []float64{0.05, 0.3}, 13)
+	exitPC := inst.BranchPC("chain_exit")
+	var vmExhausts int64
+	_, err := inst.RunHooks(vm.Hooks{OnBranch: func(pc uint64, taken bool) {
+		if trace.PC(pc) == exitPC && !taken {
+			vmExhausts++
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	positions := int(inst.Mem[0])
+	maxChain := inst.Mem[1]
+	limit := inst.Mem[2]
+	mask := inst.Mem[3]
+	var want int64
+	for p := 0; p < positions; p++ {
+		cur := inst.Mem[16+int(mask)+1+p]
+		chain := maxChain >> (2 * (cur & 1))
+		for {
+			cur = inst.Mem[16+(cur&mask)]
+			if cur <= limit {
+				break
+			}
+			chain--
+			if chain == 0 {
+				want++
+				break
+			}
+		}
+	}
+	if vmExhausts != want {
+		t.Fatalf("chain exhaustions: vm %d, reference %d", vmExhausts, want)
+	}
+}
+
+func TestLZChainLevelMonotonicity(t *testing.T) {
+	// The paper's Figure 7 behaviour: the chain-exit branch gets much
+	// easier to predict at high compression levels.
+	acc := func(level string) float64 {
+		inst, err := StandardInput("lzchain", level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := bpred.Measure(inst, bpred.NewGshare4KB())
+		return a.Site(inst.BranchPC("chain_exit")).Accuracy()
+	}
+	lo, hi := acc("level1"), acc("level9")
+	if hi-lo < 10 {
+		t.Fatalf("level1 %.2f vs level9 %.2f: want a much easier branch at level 9", lo, hi)
+	}
+	if hi < 99 {
+		t.Fatalf("level9 accuracy %.2f, want ~100%%", hi)
+	}
+}
+
+func TestTypesumTrainRefContrast(t *testing.T) {
+	// The Figure 6 archetype: the type-check branch must be much
+	// harder on ref than on train.
+	accOf := func(input string) float64 {
+		inst, err := StandardInput("typesum", input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := bpred.Measure(inst, bpred.NewGshare4KB())
+		return a.Site(inst.BranchPC("typecheck")).Accuracy()
+	}
+	train, ref := accOf("train"), accOf("ref")
+	if train-ref < 10 {
+		t.Fatalf("typecheck train %.2f vs ref %.2f: want a big accuracy drop", train, ref)
+	}
+}
+
+func TestBranchPC(t *testing.T) {
+	inst, _ := StandardInput("typesum", "train")
+	pc := inst.BranchPC("typecheck")
+	if inst.Kernel.Prog.Insts[pc].Op != vm.OpBr {
+		t.Fatalf("typecheck label does not point at a branch")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { TypesumInstance(0, []float64{0.5}, 1) },
+		func() { TypesumInstance(10, nil, 1) },
+		func() { LZChainInstance(10, 42, nil, 1) },
+		func() { BsearchInstance(0, 10, []float64{0.5}, 0.5, 1) },
+		func() { InssortInstance(10, 1, []float64{0.5}, 1) },
+		func() { FSMInstance(10, [][]float64{{1, 1}}, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestBellmanMatchesReference reimplements Bellman-Ford in Go over the
+// same memory image and compares the distance checksum and sweep count.
+func TestBellmanMatchesReference(t *testing.T) {
+	inst := BellmanInstance(128, 512, 50, 0.2, 77)
+	res, err := inst.RunHooks(vm.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(inst.Mem[0])
+	e := int(inst.Mem[1])
+	maxIters := int(inst.Mem[2])
+	uB, vB, wB := 16, 16+e, 16+2*e
+	const inf = int64(1) << 40
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	iters := 0
+	for iters < maxIters {
+		changed := false
+		for i := 0; i < e; i++ {
+			u, v, w := inst.Mem[uB+i], inst.Mem[vB+i], inst.Mem[wB+i]
+			if t := dist[u] + w; t < dist[v] {
+				dist[v] = t
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		iters++
+	}
+	var sum int64
+	for _, d := range dist {
+		sum += d
+	}
+	if len(res.Output) != 2 {
+		t.Fatalf("output %v", res.Output)
+	}
+	if res.Output[0] != sum {
+		t.Fatalf("checksum %d, want %d", res.Output[0], sum)
+	}
+	if res.Output[1] != int64(iters) {
+		t.Fatalf("sweeps %d, want %d", res.Output[1], iters)
+	}
+}
+
+// TestBellmanRelaxPhaseDecay verifies the relax branch's defining
+// property: its taken rate decays as the distances converge.
+func TestBellmanRelaxPhaseDecay(t *testing.T) {
+	inst, err := StandardInput("bellman", "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxPC := inst.BranchPC("relax")
+	chunk := inst.Mem[1] // one sweep's worth of relax executions
+	var notTaken []int64 // relaxations per sweep
+	var e, nt int64
+	inst.Run(trace.SinkFunc(func(pc trace.PC, taken bool) {
+		if pc != relaxPC {
+			return
+		}
+		e++
+		if !taken { // not taken = relaxation happened
+			nt++
+		}
+		if e == chunk {
+			notTaken = append(notTaken, nt)
+			e, nt = 0, 0
+		}
+	}))
+	if len(notTaken) < 3 {
+		t.Fatalf("only %d sweeps", len(notTaken))
+	}
+	first := float64(notTaken[0]) / float64(chunk)
+	last := float64(notTaken[len(notTaken)-1]) / float64(chunk)
+	if first < 2*last || first < 0.05 {
+		t.Fatalf("relaxation rate did not decay: first %.3f, last %.3f", first, last)
+	}
+}

@@ -1,0 +1,111 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Categorical draws indices from a fixed discrete distribution in O(1)
+// per draw using Walker's alias method.
+type Categorical struct {
+	prob  []float64
+	alias []int
+}
+
+// NewCategorical builds an alias table for the given non-negative
+// weights. It panics if weights is empty or sums to zero.
+func NewCategorical(weights []float64) *Categorical {
+	n := len(weights)
+	if n == 0 {
+		panic("rng: NewCategorical with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: NewCategorical with negative or NaN weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("rng: NewCategorical with zero total weight")
+	}
+	c := &Categorical{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		c.prob[s] = scaled[s]
+		c.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		c.prob[i] = 1
+		c.alias[i] = i
+	}
+	for _, i := range small {
+		c.prob[i] = 1
+		c.alias[i] = i
+	}
+	return c
+}
+
+// Len returns the number of categories.
+func (c *Categorical) Len() int { return len(c.prob) }
+
+// Draw samples one category index.
+func (c *Categorical) Draw(r *Source) int {
+	i := r.Intn(len(c.prob))
+	if r.Float64() < c.prob[i] {
+		return i
+	}
+	return c.alias[i]
+}
+
+// Zipf draws integers in [0, n) with probability proportional to
+// 1/(i+1)^s, via an inverse-CDF table. It models the heavily skewed
+// execution frequencies of static branch sites in real programs.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds the CDF table for n categories with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	z := &Zipf{cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// Draw samples one rank.
+func (z *Zipf) Draw(r *Source) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

@@ -1,0 +1,170 @@
+// Package rng provides deterministic pseudo-random number generation for
+// the workload models and experiments.
+//
+// Every experiment in this repository must be exactly reproducible from a
+// seed, so we avoid math/rand's global state and ship a small, fast,
+// splittable generator: splitmix64 for seeding and xoshiro256** for the
+// stream. Both are public-domain algorithms by Blackman and Vigna.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic 64-bit pseudo-random source (xoshiro256**).
+// The zero value is not usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, so that nearby
+// seeds still yield decorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not be seeded with all zeros; splitmix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Split derives an independent child generator. The child stream is
+// decorrelated from the parent's future output because the derivation
+// consumes parent output through splitmix64.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	threshold := -n % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *Source) Norm(mean, stddev float64) float64 {
+	// Reject u1 == 0 to keep Log finite.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Geometric returns a geometrically distributed count >= 1 with success
+// probability p in (0, 1]: the number of trials up to and including the
+// first success.
+func (r *Source) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("rng: Geometric with non-positive p")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	n := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Clamp01 clamps x into [0, 1]. It is exported because workload models
+// repeatedly clamp drifted probabilities.
+func Clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}

@@ -1,0 +1,263 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical outputs from different seeds", same)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child must not replay the parent's stream.
+	p := New(7)
+	p.Split() // consume the same draw
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p.Uint64() {
+			t.Fatalf("child stream equals parent continuation at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBoundsQuick(t *testing.T) {
+	r := New(11)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntRangeBoundsQuick(t *testing.T) {
+	r := New(13)
+	f := func(a, b int16) bool {
+		lo, hi := int(a), int(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		v := r.IntRange(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(17)
+	var counts [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Uint64n(10)]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/10*0.1 {
+			t.Fatalf("digit %d count %d far from uniform", d, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBool(t *testing.T) {
+	r := New(23)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %v", p)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(29)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Norm(5, 2)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("Norm mean %v, want ~5", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Fatalf("Norm std %v, want ~2", std)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(31)
+	const p = 0.25
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		g := r.Geometric(p)
+		if g < 1 {
+			t.Fatalf("Geometric returned %d < 1", g)
+		}
+		sum += g
+	}
+	if mean := float64(sum) / n; math.Abs(mean-1/p) > 0.1 {
+		t.Fatalf("Geometric mean %v, want ~%v", mean, 1/p)
+	}
+	if g := r.Geometric(1); g != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", g)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(37)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	c := NewCategorical(weights)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	r := New(41)
+	counts := make([]int, 4)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[c.Draw(r)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d rate %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalZeroWeight(t *testing.T) {
+	c := NewCategorical([]float64{0, 1, 0})
+	r := New(43)
+	for i := 0; i < 1000; i++ {
+		if got := c.Draw(r); got != 1 {
+			t.Fatalf("drew zero-weight category %d", got)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"zero":     {0, 0},
+		"negative": {1, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s weights did not panic", name)
+				}
+			}()
+			NewCategorical(weights)
+		}()
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := New(47)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Draw(r)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Rank 0 over rank 9 should be roughly 10:1 for s=1.
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 5 || ratio > 20 {
+		t.Fatalf("zipf ratio rank0/rank9 = %v, want ~10", ratio)
+	}
+}

@@ -1,0 +1,178 @@
+// Package spec defines the synthetic models of the twelve SPEC CPU2000
+// integer benchmarks the paper evaluates, each with a train and a
+// reference input set, and — for the six benchmarks the paper studies in
+// depth (§5.2, Table 4) — additional ext-1..ext-N input sets.
+//
+// The per-benchmark knobs are calibrated so the *shape* of the paper's
+// results holds: the ordering of benchmarks by input-dependent branch
+// fraction, which benchmarks exceed 10 % static input-dependent
+// branches, and the relation of dynamic to static fractions. Absolute
+// run lengths are scaled from SPEC's billions of branches to ~2 million
+// per run (DESIGN.md §2).
+package spec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"twodprof/internal/synth"
+)
+
+// Benchmark is one modelled SPEC benchmark.
+type Benchmark struct {
+	Name string
+	// Inputs lists the available input set names: "train", "ref" and
+	// optionally "ext-1".."ext-N".
+	Inputs []string
+	pop    *synth.Population
+
+	mu    sync.Mutex
+	cache map[string]*synth.Workload
+}
+
+// benchDef holds the calibration for one benchmark.
+type benchDef struct {
+	name      string
+	sites     int
+	dyn       int64
+	depFrac   float64 // potential input-sensitive fraction of sites
+	hotBias   float64 // sensitive sites concentrated among hot sites
+	extInputs int     // extra input sets beyond train/ref
+	archMix   [synth.NumArch]float64
+}
+
+// The calibration table. Ordering follows the paper's Figure 3 (sorted
+// by dynamic fraction of input-dependent branches, descending).
+var defs = []benchDef{
+	{"bzip2", 90, 2_600_000, 0.30, 0.85, 4, [synth.NumArch]float64{0.55, 0.3, 0.05, 0.1}},
+	{"gzip", 80, 2_200_000, 0.28, 0.80, 6, [synth.NumArch]float64{0.5, 0.35, 0.05, 0.1}},
+	{"twolf", 280, 2_400_000, 0.26, 0.60, 4, [synth.NumArch]float64{0.65, 0.2, 0.05, 0.1}},
+	{"gap", 450, 2_000_000, 0.24, 0.55, 4, [synth.NumArch]float64{0.65, 0.2, 0.05, 0.1}},
+	{"crafty", 320, 2_400_000, 0.16, 0.50, 6, [synth.NumArch]float64{0.65, 0.15, 0.05, 0.15}},
+	{"parser", 300, 2_600_000, 0.12, 0.50, 0, [synth.NumArch]float64{0.65, 0.2, 0.05, 0.1}},
+	{"mcf", 130, 2_000_000, 0.07, 0.55, 0, [synth.NumArch]float64{0.55, 0.35, 0.05, 0.05}},
+	{"gcc", 600, 2_200_000, 0.18, 0.25, 6, [synth.NumArch]float64{0.7, 0.15, 0.05, 0.1}},
+	{"vpr", 260, 2_200_000, 0.06, 0.30, 0, [synth.NumArch]float64{0.6, 0.25, 0.05, 0.1}},
+	{"vortex", 500, 2_000_000, 0.06, 0.25, 0, [synth.NumArch]float64{0.7, 0.15, 0.05, 0.1}},
+	{"perlbmk", 420, 2_000_000, 0.04, 0.30, 0, [synth.NumArch]float64{0.7, 0.15, 0.05, 0.1}},
+	{"eon", 240, 2_000_000, 0.03, 0.30, 0, [synth.NumArch]float64{0.65, 0.2, 0.05, 0.1}},
+}
+
+var (
+	once       sync.Once
+	benchmarks map[string]*Benchmark
+	order      []string
+)
+
+func initAll() {
+	benchmarks = make(map[string]*Benchmark, len(defs))
+	for _, d := range defs {
+		cfg := synth.DefaultPopulationConfig(d.name, seedOf(d.name))
+		cfg.NumSites = d.sites
+		cfg.DynTarget = d.dyn
+		cfg.DepFrac = d.depFrac
+		cfg.HotBias = d.hotBias
+		cfg.ArchMix = d.archMix
+
+		inputs := []string{"train", "ref"}
+		for i := 1; i <= d.extInputs; i++ {
+			inputs = append(inputs, fmt.Sprintf("ext-%d", i))
+		}
+		benchmarks[d.name] = &Benchmark{
+			Name:   d.name,
+			Inputs: inputs,
+			pop:    synth.NewPopulation(cfg),
+			cache:  make(map[string]*synth.Workload),
+		}
+		order = append(order, d.name)
+	}
+}
+
+func seedOf(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte("spec2000/"))
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Names returns all benchmark names in the paper's Figure 3 order.
+func Names() []string {
+	once.Do(initAll)
+	return append([]string(nil), order...)
+}
+
+// DeepNames returns the six benchmarks studied with extra input sets
+// (bzip2, gzip, twolf, gap, crafty, gcc) in the paper's order.
+func DeepNames() []string {
+	return []string{"bzip2", "gzip", "twolf", "gap", "crafty", "gcc"}
+}
+
+// Get returns a benchmark by name.
+func Get(name string) (*Benchmark, error) {
+	once.Do(initAll)
+	b, ok := benchmarks[name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// MustGet is Get panicking on unknown names.
+func MustGet(name string) *Benchmark {
+	b, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// HasInput reports whether the benchmark offers the named input set.
+func (b *Benchmark) HasInput(input string) bool {
+	for _, in := range b.Inputs {
+		if in == input {
+			return true
+		}
+	}
+	return false
+}
+
+// Workload resolves the benchmark against an input set. Workloads are
+// cached; they are immutable and safe to Run repeatedly.
+func (b *Benchmark) Workload(input string) (*synth.Workload, error) {
+	if !b.HasInput(input) {
+		return nil, fmt.Errorf("spec: benchmark %s has no input %q (have %v)", b.Name, input, b.Inputs)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w, ok := b.cache[input]; ok {
+		return w, nil
+	}
+	w := b.pop.Workload(input)
+	b.cache[input] = w
+	return w, nil
+}
+
+// MustWorkload is Workload panicking on error.
+func (b *Benchmark) MustWorkload(input string) *synth.Workload {
+	w, err := b.Workload(input)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// ExtInputs returns the benchmark's ext-N input names in order.
+func (b *Benchmark) ExtInputs() []string {
+	var out []string
+	for _, in := range b.Inputs {
+		if in != "train" && in != "ref" {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Population exposes the underlying site population (for diagnostics and
+// tests).
+func (b *Benchmark) Population() *synth.Population { return b.pop }

@@ -1,0 +1,140 @@
+package spec
+
+import (
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/trace"
+)
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("benchmark count %d, want 12", len(names))
+	}
+	if names[0] != "bzip2" || names[11] != "eon" {
+		t.Fatalf("Figure 3 ordering broken: %v", names)
+	}
+	// Names() returns a copy.
+	names[0] = "tampered"
+	if Names()[0] != "bzip2" {
+		t.Fatal("Names returned internal slice")
+	}
+}
+
+func TestDeepNamesHaveExtInputs(t *testing.T) {
+	// Paper Table 4: bzip2 4 extras, gzip 6, twolf 4, gap 4, crafty 6,
+	// gcc 6.
+	want := map[string]int{
+		"bzip2": 4, "gzip": 6, "twolf": 4, "gap": 4, "crafty": 6, "gcc": 6,
+	}
+	deep := DeepNames()
+	if len(deep) != 6 {
+		t.Fatalf("deep count %d", len(deep))
+	}
+	for _, name := range deep {
+		b := MustGet(name)
+		if got := len(b.ExtInputs()); got != want[name] {
+			t.Errorf("%s: %d ext inputs, want %d", name, got, want[name])
+		}
+	}
+	// Non-deep benchmarks have only train and ref.
+	for _, name := range []string{"parser", "mcf", "vpr", "vortex", "perlbmk", "eon"} {
+		b := MustGet(name)
+		if len(b.Inputs) != 2 {
+			t.Errorf("%s: inputs %v", name, b.Inputs)
+		}
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet did not panic")
+		}
+	}()
+	MustGet("nope")
+}
+
+func TestHasInput(t *testing.T) {
+	b := MustGet("bzip2")
+	if !b.HasInput("train") || !b.HasInput("ref") || !b.HasInput("ext-1") {
+		t.Fatal("HasInput false negatives")
+	}
+	if b.HasInput("ext-5") {
+		t.Fatal("bzip2 should have only 4 ext inputs")
+	}
+	if _, err := b.Workload("ext-5"); err == nil {
+		t.Fatal("invalid input workload accepted")
+	}
+}
+
+func TestWorkloadCache(t *testing.T) {
+	b := MustGet("eon")
+	w1, err := b.Workload("train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := b.Workload("train")
+	if w1 != w2 {
+		t.Fatal("workload not cached")
+	}
+	if w1.Name != "eon" || w1.Input != "train" {
+		t.Fatalf("workload identity %s/%s", w1.Name, w1.Input)
+	}
+}
+
+func TestWorkloadsRunToTarget(t *testing.T) {
+	// Spot-check a small benchmark end to end.
+	b := MustGet("gzip")
+	w := b.MustWorkload("train")
+	var c trace.Counter
+	n := w.Run(&c)
+	if n < w.DynTarget {
+		t.Fatalf("run emitted %d < target %d", n, w.DynTarget)
+	}
+	if c.Static() < 50 {
+		t.Fatalf("only %d static sites", c.Static())
+	}
+	if b.Population() == nil {
+		t.Fatal("population accessor nil")
+	}
+}
+
+func TestDistinctBenchmarksDistinctStreams(t *testing.T) {
+	w1 := MustGet("bzip2").MustWorkload("train")
+	w2 := MustGet("gzip").MustWorkload("train")
+	var c1, c2 trace.Counter
+	w1.Run(&c1)
+	w2.Run(&c2)
+	// Site PC sets should differ (different populations).
+	same := 0
+	for _, pc := range c1.Sites() {
+		if c2.ExecCount(pc) > 0 {
+			same++
+		}
+	}
+	if same == c1.Static() {
+		t.Fatal("two benchmarks share every site")
+	}
+}
+
+// TestCalibrationGuard pins the calibrated accuracy band: every
+// benchmark's overall gshare accuracy on the train input must stay in
+// the SPEC-like range the experiments were tuned for. A failure here
+// means a generator change silently re-calibrated the whole evaluation.
+func TestCalibrationGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep in -short mode")
+	}
+	for _, name := range Names() {
+		w := MustGet(name).MustWorkload("train")
+		acc := bpred.Measure(w, bpred.NewGshare4KB()).Total.Accuracy()
+		if acc < 85 || acc > 97.5 {
+			t.Errorf("%s train accuracy %.2f%% outside the calibrated band [85, 97.5]", name, acc)
+		}
+	}
+}

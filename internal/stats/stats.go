@@ -1,0 +1,268 @@
+// Package stats provides the small statistical toolkit used by the
+// 2D-profiling algorithm and the experiment harness: running moments in
+// both the paper's sum-of-squares form and Welford's numerically stable
+// form, a 2-tap FIR smoothing filter, histograms, and series summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates first and second moments the way the paper's
+// profiler does (Figure 9a): a sum of samples (SPA) and a sum of squared
+// samples (SSPA), plus the sample count (N). This form needs only three
+// words per tracked quantity, which is exactly the storage argument the
+// paper makes.
+type Running struct {
+	N    int64   // number of samples
+	Sum  float64 // SPA in the paper
+	SumS float64 // SSPA in the paper
+}
+
+// Add records one sample.
+func (r *Running) Add(x float64) {
+	r.N++
+	r.Sum += x
+	r.SumS += x * x
+}
+
+// Mean returns the sample mean, or 0 if no samples were recorded.
+func (r *Running) Mean() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return r.Sum / float64(r.N)
+}
+
+// Variance returns the population variance (the paper's tests divide by
+// N, not N-1), clamped at zero against floating-point cancellation.
+func (r *Running) Variance() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	m := r.Mean()
+	v := r.SumS/float64(r.N) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Welford accumulates mean and variance using Welford's online
+// algorithm. It is used in tests as a numerically stable cross-check of
+// the Running form, and by the harness for aggregate summaries.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add records one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance, or 0 with no samples.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// FIR2 is the paper's 2-tap averaging low-pass filter (Figure 9b line 4):
+// each output is the mean of the current sample and the previous sample.
+// The first sample is averaged with the zero-initialised LPA, matching
+// the paper's pseudo-code exactly.
+type FIR2 struct {
+	last float64 // LPA in the paper
+}
+
+// Apply filters one sample and updates the filter state.
+func (f *FIR2) Apply(x float64) float64 {
+	out := (x + f.last) / 2
+	f.last = out
+	return out
+}
+
+// Reset clears the filter state.
+func (f *FIR2) Reset() { f.last = 0 }
+
+// Last returns the most recent filtered value (the stored LPA).
+func (f *FIR2) Last() float64 { return f.last }
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It panics on an empty
+// slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples xs and ys (which must have equal length), or 0 when either
+// variable is constant or the input is empty.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson with mismatched lengths")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// FractionAbove returns the fraction of xs strictly greater than t, or 0
+// for an empty slice.
+func FractionAbove(xs []float64, t float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Histogram counts samples into fixed bucket boundaries. A sample x
+// lands in bucket i when Bounds[i-1] <= x < Bounds[i]; samples >= the
+// last bound land in the final overflow bucket.
+type Histogram struct {
+	Bounds []float64
+	Counts []int64
+}
+
+// NewHistogram creates a histogram with the given strictly increasing
+// upper bounds. It panics if bounds is empty or not increasing.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: NewHistogram with no bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: NewHistogram bounds not strictly increasing")
+		}
+	}
+	return &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := sort.SearchFloat64s(h.Bounds, x)
+	if i < len(h.Bounds) && x == h.Bounds[i] {
+		i++ // bucket boundaries are half-open: [lo, hi)
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fractions returns per-bucket fractions of the total, or all zeros when
+// the histogram is empty.
+func (h *Histogram) Fractions() []float64 {
+	fr := make([]float64, len(h.Counts))
+	t := h.Total()
+	if t == 0 {
+		return fr
+	}
+	for i, c := range h.Counts {
+		fr[i] = float64(c) / float64(t)
+	}
+	return fr
+}
+
+// BucketLabel renders the i-th bucket's range, e.g. "70-80" or ">=99".
+func (h *Histogram) BucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return fmt.Sprintf("<%g", h.Bounds[0])
+	case i == len(h.Bounds):
+		return fmt.Sprintf(">=%g", h.Bounds[len(h.Bounds)-1])
+	default:
+		return fmt.Sprintf("%g-%g", h.Bounds[i-1], h.Bounds[i])
+	}
+}

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.StdDev() != 0 {
+		t.Fatal("empty Running not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N != 8 {
+		t.Fatalf("N = %d", r.N)
+	}
+	if got := r.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := r.StdDev(); got != 2 { // classic textbook data set
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestRunningMatchesWelford(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		var w Welford
+		for _, x := range xs {
+			// bound magnitude to avoid Inf artifacts in the quick data
+			x = math.Mod(x, 1000)
+			if math.IsNaN(x) {
+				x = 0
+			}
+			r.Add(x)
+			w.Add(x)
+		}
+		if len(xs) == 0 {
+			return r.Mean() == 0 && w.Mean() == 0
+		}
+		return math.Abs(r.Mean()-w.Mean()) < 1e-6 &&
+			math.Abs(r.Variance()-w.Variance()) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordKnown(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		w.Add(x)
+	}
+	if w.N() != 5 || w.Mean() != 3 {
+		t.Fatalf("N=%d mean=%v", w.N(), w.Mean())
+	}
+	if got := w.Variance(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Variance = %v, want 2", got)
+	}
+}
+
+func TestFIR2(t *testing.T) {
+	var f FIR2
+	// First sample averages with the zero-initialised state (paper
+	// pseudo-code behaviour).
+	if got := f.Apply(10); got != 5 {
+		t.Fatalf("first Apply = %v, want 5", got)
+	}
+	if got := f.Apply(10); got != 7.5 {
+		t.Fatalf("second Apply = %v, want 7.5", got)
+	}
+	if f.Last() != 7.5 {
+		t.Fatalf("Last = %v", f.Last())
+	}
+	f.Reset()
+	if f.Last() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestFIRSmoothsNoise(t *testing.T) {
+	// Alternating signal: the filter should reduce its deviation.
+	var f FIR2
+	raw := []float64{0, 100, 0, 100, 0, 100, 0, 100}
+	var smoothed []float64
+	for _, x := range raw {
+		smoothed = append(smoothed, f.Apply(x))
+	}
+	if StdDev(smoothed) >= StdDev(raw) {
+		t.Fatalf("FIR did not reduce deviation: %v vs %v", StdDev(smoothed), StdDev(raw))
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty slice stats not zero")
+	}
+	xs := []float64{1, 1, 1}
+	if Mean(xs) != 1 || StdDev(xs) != 0 {
+		t.Fatal("constant slice stats wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(empty) did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionAbove(xs, 2); got != 0.5 {
+		t.Fatalf("FractionAbove = %v, want 0.5", got)
+	}
+	if got := FractionAbove(xs, 4); got != 0 {
+		t.Fatalf("FractionAbove(max) = %v, want 0 (strict)", got)
+	}
+	if got := FractionAbove(nil, 0); got != 0 {
+		t.Fatalf("FractionAbove(empty) = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{70, 80, 90})
+	for _, x := range []float64{50, 69.9, 70, 75, 80, 89.9, 90, 95} {
+		h.Add(x)
+	}
+	want := []int64{2, 2, 2, 2} // [<70, 70-80, 80-90, >=90]
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	fr := h.Fractions()
+	for i := range fr {
+		if fr[i] != 0.25 {
+			t.Fatalf("fraction %d = %v", i, fr[i])
+		}
+	}
+}
+
+func TestHistogramLabels(t *testing.T) {
+	h := NewHistogram([]float64{70, 80})
+	want := []string{"<70", "70-80", ">=80"}
+	for i, w := range want {
+		if got := h.BucketLabel(i); got != w {
+			t.Errorf("BucketLabel(%d) = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	fr := h.Fractions()
+	if fr[0] != 0 || fr[1] != 0 {
+		t.Fatalf("empty histogram fractions %v", fr)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":         {},
+		"nonincreasing": {2, 1},
+		"equal":         {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds did not panic", name)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	// Perfect positive and negative correlation.
+	if got := Pearson(xs, []float64{2, 4, 6, 8, 10}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	if got := Pearson(xs, []float64{5, 4, 3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+	// Constant variable: defined as 0.
+	if got := Pearson(xs, []float64{7, 7, 7, 7, 7}); got != 0 {
+		t.Fatalf("constant Pearson = %v", got)
+	}
+	// Empty input.
+	if got := Pearson(nil, nil); got != 0 {
+		t.Fatalf("empty Pearson = %v", got)
+	}
+	// Uncorrelated symmetric data.
+	if got := Pearson([]float64{1, 2, 1, 2}, []float64{1, 1, 2, 2}); math.Abs(got) > 1e-12 {
+		t.Fatalf("orthogonal Pearson = %v", got)
+	}
+}
+
+func TestPearsonPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,349 @@
+package synth
+
+import (
+	"hash/fnv"
+	"math"
+
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+// PopulationConfig describes how to generate a benchmark's branch-site
+// population. The knobs are per-benchmark calibration targets (see
+// internal/spec) rather than user-facing tunables.
+type PopulationConfig struct {
+	Name      string
+	NumSites  int
+	DynTarget int64
+	Segments  int
+	Seed      uint64
+
+	// ArchMix gives relative weights of the four archetypes among
+	// generated sites.
+	ArchMix [NumArch]float64
+	// DepFrac is the fraction of sites that are input-sensitive (the
+	// *potential* input-dependent set; which of them manifest a >5 %
+	// accuracy change for a given input pair is measured, not
+	// assumed).
+	DepFrac float64
+	// HotBias in [0,1] concentrates sensitive sites among frequently
+	// executed sites, which raises the benchmark's dynamic fraction of
+	// input-dependent branches relative to its static fraction.
+	HotBias float64
+	// ZipfExp shapes the execution-frequency skew across sites.
+	ZipfExp float64
+	// ShiftScale scales cross-input parameter shifts (units of each
+	// archetype's parameter range).
+	ShiftScale float64
+	// DriftScale scales within-run per-segment parameter drift.
+	DriftScale float64
+	// VarCorr in [0,1] is the strength of the correlation between a
+	// site's input sensitivity and its phase variability — the paper's
+	// key empirical premise. 1 would make 2D-profiling oracle-like;
+	// realistic values are ~0.8.
+	VarCorr float64
+}
+
+// DefaultPopulationConfig returns a neutral medium-size configuration;
+// internal/spec overrides per benchmark.
+func DefaultPopulationConfig(name string, seed uint64) PopulationConfig {
+	return PopulationConfig{
+		Name:       name,
+		NumSites:   300,
+		DynTarget:  2_000_000,
+		Segments:   24,
+		Seed:       seed,
+		ArchMix:    [NumArch]float64{0.55, 0.2, 0.15, 0.1},
+		DepFrac:    0.2,
+		HotBias:    0.5,
+		ZipfExp:    0.55,
+		ShiftScale: 0.45,
+		DriftScale: 0.30,
+		VarCorr:    0.8,
+	}
+}
+
+// proto is the input-independent definition of one site.
+type proto struct {
+	pc       trace.PC
+	arch     Arch
+	base     float64 // base behaviour parameter (arch-specific units)
+	sens     float64 // s_i: input sensitivity in [0,1]
+	vari     float64 // v_i: phase variability in [0,1]
+	patBits  uint64
+	patLen   int
+	histMask uint64
+	seed     uint64 // per-site seed for input resolution
+}
+
+// Population is a generated benchmark model; Workload resolves it
+// against an input set name.
+type Population struct {
+	Config  PopulationConfig
+	protos  []proto
+	weights []float64 // per-site hotness prior (drives sensitivity placement)
+	blocks  [][]int   // control-flow blocks (partition of site indices)
+	blockW  []float64 // block visit weights
+}
+
+// paramRange returns (lo, hi) of an archetype's parameter space.
+func paramRange(a Arch) (float64, float64) {
+	switch a {
+	case Bernoulli:
+		return 0.01, 0.99
+	case Loop:
+		return 0, 1
+	default: // Pattern, Correlated noise
+		return 0, 0.5
+	}
+}
+
+func clampRange(a Arch, x float64) float64 {
+	lo, hi := paramRange(a)
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// NewPopulation deterministically generates the site population.
+func NewPopulation(cfg PopulationConfig) *Population {
+	r := rng.New(cfg.Seed)
+	p := &Population{Config: cfg}
+
+	// Execution-frequency weights: zipf over ranks, with rank == site
+	// index, assigned directly so index 0 is the hottest site.
+	p.weights = make([]float64, cfg.NumSites)
+	for i := range p.weights {
+		p.weights[i] = 1 / math.Pow(float64(i+1), cfg.ZipfExp)
+	}
+
+	// Sensitivity assignment probability per site, hotness-biased and
+	// normalised so the mean equals DepFrac.
+	raw := make([]float64, cfg.NumSites)
+	sum := 0.0
+	for i := range raw {
+		raw[i] = (1 - cfg.HotBias) + cfg.HotBias*3*math.Exp(-6*float64(i)/float64(cfg.NumSites))
+		sum += raw[i]
+	}
+	mean := sum / float64(cfg.NumSites)
+
+	archCat := rng.NewCategorical(cfg.ArchMix[:])
+	p.protos = make([]proto, cfg.NumSites)
+	for i := range p.protos {
+		pr := &p.protos[i]
+		pr.pc = trace.PC(0x400000 + uint64(i)*4 + r.Uint64()&3)
+		pr.arch = Arch(archCat.Draw(r))
+		pr.seed = r.Uint64()
+
+		// Sensitivity: three bands. Strongly sensitive sites (the
+		// potential input-dependent set, hotness-biased), a moderate
+		// band (sites that cross the 5 % threshold only for some
+		// inputs — these drive the union growth of Figure 11), and an
+		// insensitive majority.
+		pSens := cfg.DepFrac * raw[i] / mean
+		if pSens > 0.95 {
+			pSens = 0.95
+		}
+		hardness := 1.0
+		hardStable := false
+		switch {
+		case r.Bool(pSens):
+			pr.sens = 0.5 + 0.5*r.Float64()
+		case r.Bool(0.10):
+			pr.sens = 0.15 + 0.25*r.Float64()
+			hardness = 0.35
+		default:
+			pr.sens = 0.12 * r.Float64()
+			// Input-independent branches in real programs are
+			// dominated by highly biased checks (error paths, type
+			// guards that never fire); keep most of them easy to
+			// predict. A small minority stays genuinely hard *and*
+			// stable — the paper's Figure 8 (right) branch and the
+			// Figure 5 observation that many hard branches are not
+			// input-dependent. This minority is hotness-biased:
+			// every real program has a few chronically mispredicted
+			// hot branches, and their dynamic mass is what pulls the
+			// program's overall accuracy (the MEAN-test threshold)
+			// below the easy static bulk.
+			pHard := 0.45*math.Exp(-10*float64(i)/float64(cfg.NumSites)) + 0.01
+			if r.Bool(pHard) {
+				hardness = 1.0
+				hardStable = true
+			} else {
+				hardness = 0.04
+			}
+		}
+		noise := (r.Float64() - 0.5) * 0.24
+		pr.vari = rng.Clamp01(cfg.VarCorr*pr.sens + noise)
+
+		// Base parameter per archetype, scaled by the band's hardness.
+		u := r.Float64()
+		if hardStable {
+			// Chronically mispredicted branches sit firmly in the
+			// hard region of their parameter space, not merely at the
+			// tail of the easy distribution.
+			u = 0.7 + 0.3*u
+		}
+		switch pr.arch {
+		case Bernoulli:
+			// Real branch biases are mostly strong; keep probability
+			// near the edges (cubic shaping), mirrored randomly.
+			pNot := 0.008 + 0.45*u*u*u*hardness
+			if r.Bool(0.5) {
+				pr.base = pNot
+			} else {
+				pr.base = 1 - pNot
+			}
+		case Loop:
+			// Easy loops are short with deterministic trip counts —
+			// a 14-bit history covers the whole period, so gshare
+			// learns the exit. Harder bands get longer and/or
+			// data-jittered trip counts whose exits hit the (t-1)/t
+			// misprediction floor.
+			switch {
+			case hardness >= 1:
+				pr.base = u
+			case hardness >= 0.3:
+				pr.base = 0.25 + 0.35*u
+			default:
+				pr.base = 0.1 + 0.25*u
+			}
+		case Pattern:
+			pr.base = 0.25 * u * u * hardness
+			pr.patLen = 2 + r.Intn(7)
+			pr.patBits = r.Uint64() & (1<<uint(pr.patLen) - 1)
+			if pr.patBits == 0 {
+				pr.patBits = 1
+			}
+		case Correlated:
+			pr.base = 0.25 * u * u * hardness
+			// Parity over 2-3 recent global outcomes.
+			nbits := 2 + r.Intn(2)
+			for b := 0; b < nbits; b++ {
+				pr.histMask |= 1 << uint(r.Intn(8))
+			}
+		}
+	}
+
+	// Control-flow blocks: contiguous runs of 3-10 sites form one
+	// inner-loop body; block visit frequency is zipf over block index,
+	// so low-index sites (where sensitivity is concentrated by
+	// HotBias) are also the hottest — matching the alignment of
+	// hotness and placement in the per-site weights above.
+	for start := 0; start < cfg.NumSites; {
+		size := 3 + r.Intn(8)
+		if start+size > cfg.NumSites {
+			size = cfg.NumSites - start
+		}
+		blk := make([]int, size)
+		for j := range blk {
+			blk[j] = start + j
+		}
+		p.blocks = append(p.blocks, blk)
+		start += size
+	}
+	p.blockW = make([]float64, len(p.blocks))
+	for i := range p.blockW {
+		p.blockW[i] = 1 / math.Pow(float64(i+1), cfg.ZipfExp)
+	}
+	return p
+}
+
+// inputHash folds an input-set name into a 64-bit stream key.
+func inputHash(input string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(input))
+	return h.Sum64()
+}
+
+// Workload resolves the population against an input set: each sensitive
+// site's parameter is shifted by an input-specific amount, and each
+// site's per-segment parameters drift according to its phase
+// variability. The same (population, input) pair always resolves to the
+// identical workload.
+func (p *Population) Workload(input string) *Workload {
+	cfg := p.Config
+	ih := inputHash(input)
+	sites := make([]Site, len(p.protos))
+	for i := range p.protos {
+		pr := &p.protos[i]
+		lo, hi := paramRange(pr.arch)
+		width := hi - lo
+
+		// Input-specific shift: direction and magnitude are a fixed
+		// function of (site, input), so "the same input" always moves
+		// the site the same way.
+		ri := rng.New(pr.seed ^ ih*0x9e3779b97f4a7c15)
+		shift := pr.sens * cfg.ShiftScale * width * (2*ri.Float64() - 1)
+		inputParam := clampRange(pr.arch, pr.base+shift)
+
+		// Per-segment drift: a smoothed random walk whose amplitude is
+		// the site's phase variability. The drift pattern depends on
+		// the input too (it is a property of the data the run
+		// consumes).
+		segs := make([]float64, cfg.Segments)
+		drift := 0.0
+		for k := range segs {
+			drift = 0.6*drift + 0.4*ri.Norm(0, 1)
+			segs[k] = clampRange(pr.arch, inputParam+pr.vari*cfg.DriftScale*width*drift)
+		}
+
+		sites[i] = Site{
+			PC:          pr.pc,
+			Arch:        pr.arch,
+			SegParam:    segs,
+			PatternBits: pr.patBits,
+			PatternLen:  pr.patLen,
+			HistMask:    pr.histMask,
+			Jitter:      pr.vari,
+		}
+	}
+	const meanIters = 16
+	return MustNewWorkload(cfg.Name, input, sites, p.blocks, p.blockW, meanIters,
+		cfg.DynTarget, cfg.Segments, cfg.Seed^ih)
+}
+
+// SensitiveSites returns the PCs of sites generated as input-sensitive
+// (s_i >= 0.5). This is generator-side information used only for
+// diagnostics and tests — experiments always measure ground truth.
+func (p *Population) SensitiveSites() []trace.PC {
+	var out []trace.PC
+	for i := range p.protos {
+		if p.protos[i].sens >= 0.5 {
+			out = append(out, p.protos[i].pc)
+		}
+	}
+	return out
+}
+
+// SiteInfo is generator-side metadata about one site, exposed for
+// diagnostics and tests.
+type SiteInfo struct {
+	PC   trace.PC
+	Arch Arch
+	Base float64
+	Sens float64
+	Vari float64
+}
+
+// Describe returns the generator-side metadata for a site by PC (ok is
+// false for unknown PCs).
+func (p *Population) Describe(pc trace.PC) (SiteInfo, bool) {
+	for i := range p.protos {
+		if p.protos[i].pc == pc {
+			pr := &p.protos[i]
+			return SiteInfo{PC: pc, Arch: pr.arch, Base: pr.base, Sens: pr.sens, Vari: pr.vari}, true
+		}
+	}
+	return SiteInfo{}, false
+}
+
+// SitePC returns the PC of the i-th site.
+func (p *Population) SitePC(i int) trace.PC { return p.protos[i].pc }
+
+// NumSites returns the population size.
+func (p *Population) NumSites() int { return len(p.protos) }

@@ -1,0 +1,149 @@
+// Package synth models programs as populations of static branch sites
+// with parameterised dynamic behaviour. It is the statistical substitute
+// for running SPEC CPU2000 binaries under Pin (see DESIGN.md §2): each
+// benchmark is a set of sites whose behaviour parameters depend on the
+// input set and drift across within-run data segments, and a run is a
+// deterministic interleaved stream of their outcomes.
+//
+// The central modelling assumption — taken from the paper's empirical
+// insight — is that a site's *input sensitivity* (how much its behaviour
+// shifts across input sets) correlates positively, but not perfectly,
+// with its *phase variability* (how much its behaviour drifts across
+// data segments within one run). The imperfection is what bounds
+// 2D-profiling's coverage and accuracy below 100 %, exactly as in the
+// paper.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+// Arch enumerates branch-site behaviour archetypes.
+type Arch uint8
+
+// Behaviour archetypes.
+const (
+	// Bernoulli sites are taken with a (segment-dependent) probability;
+	// the paper's data-dependent branches (e.g. gap's type check).
+	Bernoulli Arch = iota
+	// Loop sites emit whole loop visits: trips-1 taken outcomes then
+	// one not-taken; the paper's gzip loop-exit branch.
+	Loop
+	// Pattern sites repeat a short fixed pattern with flip noise;
+	// history predictors learn them to ~(1-noise).
+	Pattern
+	// Correlated sites compute their outcome from recent global
+	// history with flip noise; they model correlation-predictable
+	// branches.
+	Correlated
+)
+
+var archNames = [...]string{"bernoulli", "loop", "pattern", "correlated"}
+
+// NumArch is the number of archetypes.
+const NumArch = 4
+
+// String returns the archetype name.
+func (a Arch) String() string {
+	if int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return fmt.Sprintf("arch(%d)", uint8(a))
+}
+
+// Site is a fully resolved static branch site: its behaviour parameter
+// for every data segment of a particular (benchmark, input) run. Param
+// semantics per archetype:
+//
+//	Bernoulli:  taken probability in [0.01, 0.99]
+//	Loop:       trip knob in [0, 1]; trips = 2 + round(knob*30)
+//	Pattern:    flip-noise probability in [0, 0.5]
+//	Correlated: flip-noise probability in [0, 0.5]
+type Site struct {
+	PC       trace.PC
+	Arch     Arch
+	SegParam []float64 // one entry per data segment
+
+	// PatternBits/PatternLen define the repeating pattern for Pattern
+	// sites.
+	PatternBits uint64
+	PatternLen  int
+	// HistMask selects the global-history bits a Correlated site
+	// computes parity over.
+	HistMask uint64
+	// Jitter in [0,1] controls how unstable a Loop site's trip count
+	// is from visit to visit. Deterministic trip counts (fixed-size
+	// array loops) are fully learnable by history predictors; jittery,
+	// data-driven trip counts are not.
+	Jitter float64
+}
+
+// TripsOf converts a Loop knob into an iteration count. The mapping is
+// exponential (2..~42) so that equal knob shifts produce larger
+// *predictability* changes at the short-loop end, mirroring the gzip
+// example: max_chain grows geometrically with compression level while
+// the accuracy impact concentrates at small trip counts.
+func TripsOf(knob float64) int {
+	knob = rng.Clamp01(knob)
+	return 1 + int(math.Exp(knob*3.7)+0.5)
+}
+
+// siteState is the runner-local mutable state of one site, kept outside
+// Site so Workloads are immutable and reusable across runs. (Pattern
+// phase is derived from the block iteration index, so the only state
+// left is reserved for future archetypes; keeping the struct preserves
+// the runner's per-site state array shape.)
+type siteState struct{}
+
+// next produces one dynamic outcome for the site. hist is the global
+// outcome history register maintained by the runner; iter is the
+// current loop-iteration index of the enclosing block visit, which
+// Pattern sites key their phase off (modelling branches correlated with
+// induction variables — predictable through the history register once
+// the loop's outcome texture repeats).
+func (s *Site) next(st *siteState, seg int, r *rng.Source, hist uint64, iter int) bool {
+	p := s.SegParam[seg]
+	switch s.Arch {
+	case Bernoulli:
+		return r.Bool(p)
+	case Loop:
+		// Loop sites are driven through visit() by the runner; a lone
+		// next() call treats the site as a biased branch at the
+		// visit-average taken rate, which keeps the API total.
+		trips := TripsOf(p)
+		return r.Bool(float64(trips-1) / float64(trips))
+	case Pattern:
+		bit := s.PatternBits>>(uint(iter)%uint(s.PatternLen))&1 == 1
+		if r.Bool(p) {
+			return !bit
+		}
+		return bit
+	case Correlated:
+		bit := bits.OnesCount64(hist&s.HistMask)&1 == 1
+		if r.Bool(p) {
+			return !bit
+		}
+		return bit
+	default:
+		panic(fmt.Sprintf("synth: unknown archetype %d", s.Arch))
+	}
+}
+
+// visitLen returns how many outcomes the next visit of a Loop site will
+// emit (trips of the current segment, with ±1 data jitter).
+func (s *Site) visitLen(seg int, r *rng.Source) int {
+	trips := TripsOf(s.SegParam[seg])
+	if r.Bool(0.02 + 0.45*s.Jitter) {
+		if r.Bool(0.5) {
+			trips++
+		} else if trips > 2 {
+			trips--
+		}
+	}
+	return trips
+}

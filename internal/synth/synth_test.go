@@ -1,0 +1,316 @@
+package synth
+
+import (
+	"testing"
+
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+func TestTripsOf(t *testing.T) {
+	if got := TripsOf(0); got != 2 {
+		t.Fatalf("TripsOf(0) = %d", got)
+	}
+	if got := TripsOf(1); got < 38 || got > 45 {
+		t.Fatalf("TripsOf(1) = %d", got)
+	}
+	// Monotone non-decreasing.
+	prev := 0
+	for k := 0.0; k <= 1.0; k += 0.05 {
+		v := TripsOf(k)
+		if v < prev {
+			t.Fatalf("TripsOf not monotone at %v: %d < %d", k, v, prev)
+		}
+		prev = v
+	}
+	// Clamped outside [0,1].
+	if TripsOf(-1) != TripsOf(0) || TripsOf(2) != TripsOf(1) {
+		t.Fatal("TripsOf not clamped")
+	}
+}
+
+func TestArchString(t *testing.T) {
+	want := []string{"bernoulli", "loop", "pattern", "correlated"}
+	for i, w := range want {
+		if got := Arch(i).String(); got != w {
+			t.Errorf("Arch(%d) = %q", i, got)
+		}
+	}
+	if Arch(9).String() == "" {
+		t.Fatal("unknown arch empty")
+	}
+}
+
+// miniWorkload builds a tiny two-block workload by hand.
+func miniWorkload(t *testing.T, dyn int64) *Workload {
+	t.Helper()
+	seg := func(v float64) []float64 {
+		s := make([]float64, 4)
+		for i := range s {
+			s[i] = v
+		}
+		return s
+	}
+	sites := []Site{
+		{PC: 100, Arch: Bernoulli, SegParam: seg(0.9)},
+		{PC: 104, Arch: Loop, SegParam: seg(0.2)},
+		{PC: 108, Arch: Pattern, SegParam: seg(0.0), PatternBits: 0b101, PatternLen: 3},
+		{PC: 112, Arch: Correlated, SegParam: seg(0.0), HistMask: 0b11},
+	}
+	w, err := NewWorkload("mini", "train", sites,
+		[][]int{{0, 1}, {2, 3}}, []float64{2, 1}, 8, dyn, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorkloadRunDeterministic(t *testing.T) {
+	w := miniWorkload(t, 50000)
+	var a, b trace.Recorder
+	na := w.Run(&a)
+	nb := w.Run(&b)
+	if na != nb || len(a.Events) != len(b.Events) {
+		t.Fatalf("non-deterministic: %d vs %d", na, nb)
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if na < 50000 {
+		t.Fatalf("emitted %d < target", na)
+	}
+	if na > 50000+2000 {
+		t.Fatalf("overshot target badly: %d", na)
+	}
+}
+
+func TestWorkloadCoversAllSites(t *testing.T) {
+	w := miniWorkload(t, 50000)
+	var c trace.Counter
+	w.Run(&c)
+	for _, pc := range w.SitePCs() {
+		if c.ExecCount(pc) == 0 {
+			t.Fatalf("site %v never executed", pc)
+		}
+	}
+}
+
+func TestLoopVisitShape(t *testing.T) {
+	// A loop site's stream must be runs of taken ending in one
+	// not-taken.
+	w := miniWorkload(t, 50000)
+	var events []trace.Event
+	w.Run(trace.SinkFunc(func(pc trace.PC, taken bool) {
+		if pc == 104 {
+			events = append(events, trace.Event{PC: pc, Taken: taken})
+		}
+	}))
+	run := 0
+	for _, e := range events {
+		if e.Taken {
+			run++
+			continue
+		}
+		// visit ended; run+1 trips total
+		if run+1 < 2 {
+			t.Fatalf("loop visit with %d trips", run+1)
+		}
+		run = 0
+	}
+}
+
+func TestNewWorkloadValidation(t *testing.T) {
+	seg := []float64{0.5, 0.5}
+	site := Site{PC: 1, Arch: Bernoulli, SegParam: seg}
+	cases := []struct {
+		name string
+		fn   func() (*Workload, error)
+	}{
+		{"no sites", func() (*Workload, error) {
+			return NewWorkload("x", "i", nil, nil, nil, 8, 100, 2, 1)
+		}},
+		{"no blocks", func() (*Workload, error) {
+			return NewWorkload("x", "i", []Site{site}, nil, nil, 8, 100, 2, 1)
+		}},
+		{"weight mismatch", func() (*Workload, error) {
+			return NewWorkload("x", "i", []Site{site}, [][]int{{0}}, []float64{1, 2}, 8, 100, 2, 1)
+		}},
+		{"bad mean iters", func() (*Workload, error) {
+			return NewWorkload("x", "i", []Site{site}, [][]int{{0}}, []float64{1}, 0.5, 100, 2, 1)
+		}},
+		{"bad dyn", func() (*Workload, error) {
+			return NewWorkload("x", "i", []Site{site}, [][]int{{0}}, []float64{1}, 8, 0, 2, 1)
+		}},
+		{"bad segments", func() (*Workload, error) {
+			return NewWorkload("x", "i", []Site{site}, [][]int{{0}}, []float64{1}, 8, 100, 0, 1)
+		}},
+		{"empty block", func() (*Workload, error) {
+			return NewWorkload("x", "i", []Site{site}, [][]int{{}}, []float64{1}, 8, 100, 2, 1)
+		}},
+		{"site out of range", func() (*Workload, error) {
+			return NewWorkload("x", "i", []Site{site}, [][]int{{5}}, []float64{1}, 8, 100, 2, 1)
+		}},
+		{"site twice", func() (*Workload, error) {
+			return NewWorkload("x", "i", []Site{site}, [][]int{{0, 0}}, []float64{1}, 8, 100, 2, 1)
+		}},
+		{"site unassigned", func() (*Workload, error) {
+			s2 := Site{PC: 2, Arch: Bernoulli, SegParam: seg}
+			return NewWorkload("x", "i", []Site{site, s2}, [][]int{{0}}, []float64{1}, 8, 100, 2, 1)
+		}},
+		{"segment mismatch", func() (*Workload, error) {
+			bad := Site{PC: 1, Arch: Bernoulli, SegParam: []float64{0.5}}
+			return NewWorkload("x", "i", []Site{bad}, [][]int{{0}}, []float64{1}, 8, 100, 2, 1)
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.fn(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSegmentOf(t *testing.T) {
+	w := miniWorkload(t, 1000)
+	if w.segmentOf(0) != 0 {
+		t.Fatal("segment of 0")
+	}
+	if w.segmentOf(999) != 3 {
+		t.Fatalf("segment of last = %d", w.segmentOf(999))
+	}
+	if w.segmentOf(5000) != 3 { // overshoot clamps
+		t.Fatal("segment overshoot not clamped")
+	}
+}
+
+func TestPopulationGeneration(t *testing.T) {
+	cfg := DefaultPopulationConfig("testbench", 123)
+	cfg.NumSites = 200
+	p := NewPopulation(cfg)
+	if p.NumSites() != 200 {
+		t.Fatalf("NumSites = %d", p.NumSites())
+	}
+	// PCs unique.
+	seen := map[trace.PC]bool{}
+	for i := 0; i < p.NumSites(); i++ {
+		pc := p.SitePC(i)
+		if seen[pc] {
+			t.Fatalf("duplicate PC %v", pc)
+		}
+		seen[pc] = true
+	}
+	// Sensitive fraction near DepFrac (binomial tolerance).
+	sens := len(p.SensitiveSites())
+	want := cfg.DepFrac * 200
+	if float64(sens) < want*0.5 || float64(sens) > want*1.8 {
+		t.Fatalf("sensitive sites %d, want ~%.0f", sens, want)
+	}
+	// Describe round-trips.
+	si, ok := p.Describe(p.SitePC(0))
+	if !ok || si.PC != p.SitePC(0) {
+		t.Fatal("Describe failed")
+	}
+	if _, ok := p.Describe(trace.PC(1)); ok {
+		t.Fatal("Describe found unknown PC")
+	}
+}
+
+func TestPopulationWorkloadResolution(t *testing.T) {
+	cfg := DefaultPopulationConfig("testbench", 123)
+	cfg.NumSites = 100
+	cfg.DynTarget = 200000
+	p := NewPopulation(cfg)
+
+	// Same input resolves identically.
+	w1 := p.Workload("train")
+	w2 := p.Workload("train")
+	var r1, r2 trace.Recorder
+	w1.Run(&r1)
+	w2.Run(&r2)
+	if len(r1.Events) != len(r2.Events) {
+		t.Fatal("same input resolved differently")
+	}
+	for i := range r1.Events {
+		if r1.Events[i] != r2.Events[i] {
+			t.Fatalf("event %d differs for same input", i)
+		}
+	}
+
+	// Different inputs differ.
+	w3 := p.Workload("ext-1")
+	var r3 trace.Recorder
+	w3.Run(&r3)
+	same := 0
+	n := len(r1.Events)
+	if len(r3.Events) < n {
+		n = len(r3.Events)
+	}
+	for i := 0; i < n; i++ {
+		if r1.Events[i] == r3.Events[i] {
+			same++
+		}
+	}
+	if float64(same) > 0.99*float64(n) {
+		t.Fatal("different inputs produced near-identical streams")
+	}
+
+	if w1.String() != "testbench/train" {
+		t.Fatalf("String = %q", w1.String())
+	}
+}
+
+func TestSensitiveSitesShiftMoreThanInsensitive(t *testing.T) {
+	// The generator's core contract: across inputs, sensitive sites'
+	// parameters move, insensitive sites' parameters barely move.
+	cfg := DefaultPopulationConfig("testbench", 77)
+	cfg.NumSites = 150
+	cfg.DepFrac = 0.3
+	p := NewPopulation(cfg)
+	wa := p.Workload("train")
+	wb := p.Workload("ref")
+
+	var shiftSens, shiftIns float64
+	var nSens, nIns int
+	for i := range wa.Sites {
+		si, _ := p.Describe(wa.Sites[i].PC)
+		// Mean absolute per-segment parameter difference.
+		d := 0.0
+		for k := range wa.Sites[i].SegParam {
+			diff := wa.Sites[i].SegParam[k] - wb.Sites[i].SegParam[k]
+			if diff < 0 {
+				diff = -diff
+			}
+			d += diff
+		}
+		d /= float64(len(wa.Sites[i].SegParam))
+		if si.Sens >= 0.5 {
+			shiftSens += d
+			nSens++
+		} else if si.Sens < 0.12 {
+			shiftIns += d
+			nIns++
+		}
+	}
+	if nSens == 0 || nIns == 0 {
+		t.Skip("degenerate population")
+	}
+	if shiftSens/float64(nSens) <= 2*shiftIns/float64(nIns) {
+		t.Fatalf("sensitive shift %.4f not clearly above insensitive %.4f",
+			shiftSens/float64(nSens), shiftIns/float64(nIns))
+	}
+}
+
+func TestSiteNextTotality(t *testing.T) {
+	// next() must be total for every archetype, including a lone Loop
+	// call (used when loops appear outside visit-driving).
+	r := rng.New(1)
+	seg := []float64{0.5}
+	var st siteState
+	for _, arch := range []Arch{Bernoulli, Loop, Pattern, Correlated} {
+		s := Site{PC: 1, Arch: arch, SegParam: seg, PatternBits: 0b10, PatternLen: 2, HistMask: 3}
+		for i := 0; i < 100; i++ {
+			s.next(&st, 0, r, uint64(i), i)
+		}
+	}
+}

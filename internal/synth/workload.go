@@ -1,0 +1,164 @@
+package synth
+
+import (
+	"fmt"
+
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+// Workload is one (benchmark, input set) combination: an immutable site
+// population with resolved per-segment parameters plus the run recipe.
+// It implements trace.Source; every Run replays the identical stream.
+//
+// Control-flow model: sites are partitioned into "blocks" (inner-loop
+// bodies). A run is a sequence of block visits; each visit iterates the
+// block's sites in order for a geometrically distributed number of
+// iterations. This burst structure gives the global history register
+// the repetitive texture of real programs, which history-based
+// predictors (gshare, perceptron) rely on — i.i.d. interleaving would
+// reduce them to noise.
+type Workload struct {
+	Name      string // benchmark name
+	Input     string // input set name
+	Sites     []Site
+	Blocks    [][]int   // site indices per block; a partition of Sites
+	BlockW    []float64 // block visit weights (execution frequency)
+	MeanIters float64   // mean loop iterations per block visit
+	DynTarget int64     // approximate dynamic branch count per run
+	Segments  int       // data segments per run
+	Seed      uint64    // stream seed (a property of the input data)
+
+	cat *rng.Categorical
+}
+
+// NewWorkload validates and finalises a workload.
+func NewWorkload(name, input string, sites []Site, blocks [][]int, blockW []float64, meanIters float64, dynTarget int64, segments int, seed uint64) (*Workload, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("synth: workload %s/%s has no sites", name, input)
+	}
+	if len(blocks) == 0 || len(blockW) != len(blocks) {
+		return nil, fmt.Errorf("synth: workload %s/%s: bad block structure (%d blocks, %d weights)",
+			name, input, len(blocks), len(blockW))
+	}
+	if meanIters < 1 {
+		return nil, fmt.Errorf("synth: workload %s/%s: mean iterations %f < 1", name, input, meanIters)
+	}
+	if dynTarget <= 0 {
+		return nil, fmt.Errorf("synth: workload %s/%s: non-positive dynamic target", name, input)
+	}
+	if segments <= 0 {
+		return nil, fmt.Errorf("synth: workload %s/%s: non-positive segment count", name, input)
+	}
+	seen := make([]bool, len(sites))
+	for b, blk := range blocks {
+		if len(blk) == 0 {
+			return nil, fmt.Errorf("synth: workload %s/%s: empty block %d", name, input, b)
+		}
+		for _, idx := range blk {
+			if idx < 0 || idx >= len(sites) {
+				return nil, fmt.Errorf("synth: workload %s/%s: block %d references site %d of %d",
+					name, input, b, idx, len(sites))
+			}
+			if seen[idx] {
+				return nil, fmt.Errorf("synth: workload %s/%s: site %d in multiple blocks", name, input, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return nil, fmt.Errorf("synth: workload %s/%s: site %d not in any block", name, input, i)
+		}
+	}
+	for i, s := range sites {
+		if len(s.SegParam) != segments {
+			return nil, fmt.Errorf("synth: workload %s/%s: site %d has %d segment params, want %d",
+				name, input, i, len(s.SegParam), segments)
+		}
+	}
+	return &Workload{
+		Name: name, Input: input, Sites: sites,
+		Blocks: blocks, BlockW: blockW, MeanIters: meanIters,
+		DynTarget: dynTarget, Segments: segments, Seed: seed,
+		cat: rng.NewCategorical(blockW),
+	}, nil
+}
+
+// MustNewWorkload is NewWorkload panicking on error.
+func MustNewWorkload(name, input string, sites []Site, blocks [][]int, blockW []float64, meanIters float64, dynTarget int64, segments int, seed uint64) *Workload {
+	w, err := NewWorkload(name, input, sites, blocks, blockW, meanIters, dynTarget, segments, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// String identifies the workload.
+func (w *Workload) String() string { return w.Name + "/" + w.Input }
+
+// Run implements trace.Source: it emits the deterministic branch stream
+// into sink and returns the number of events.
+func (w *Workload) Run(sink trace.Sink) int64 {
+	r := rng.New(w.Seed)
+	states := make([]siteState, len(w.Sites))
+	var emitted int64
+	var hist uint64
+
+	emit := func(pc trace.PC, taken bool) {
+		sink.Branch(pc, taken)
+		hist <<= 1
+		if taken {
+			hist |= 1
+		}
+		emitted++
+	}
+
+	// Small blocks iterate more per visit (tight inner loops), which
+	// keeps the share of history-cold block-entry executions low for
+	// every site regardless of block size.
+	pIter := make([]float64, len(w.Blocks))
+	for i, blk := range w.Blocks {
+		mean := w.MeanIters * (0.5 + 16/float64(len(blk)))
+		pIter[i] = 1 / mean
+	}
+	for emitted < w.DynTarget {
+		bi := w.cat.Draw(r)
+		blk := w.Blocks[bi]
+		iters := r.Geometric(pIter[bi])
+		for it := 0; it < iters && emitted < w.DynTarget; it++ {
+			seg := w.segmentOf(emitted)
+			for _, idx := range blk {
+				site := &w.Sites[idx]
+				if site.Arch == Loop {
+					trips := site.visitLen(seg, r)
+					for t := 0; t < trips-1; t++ {
+						emit(site.PC, true)
+					}
+					emit(site.PC, false)
+					continue
+				}
+				emit(site.PC, site.next(&states[idx], seg, r, hist, it))
+			}
+		}
+	}
+	return emitted
+}
+
+// segmentOf maps a stream position to its data segment.
+func (w *Workload) segmentOf(emitted int64) int {
+	seg := int(emitted * int64(w.Segments) / w.DynTarget)
+	if seg >= w.Segments {
+		seg = w.Segments - 1
+	}
+	return seg
+}
+
+// SitePCs returns the PCs of all sites in index order.
+func (w *Workload) SitePCs() []trace.PC {
+	out := make([]trace.PC, len(w.Sites))
+	for i, s := range w.Sites {
+		out[i] = s.PC
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+// Package textplot renders the experiment harness's tables, bar charts
+// and line series as plain text, so every figure of the paper has a
+// terminal-readable counterpart.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{Header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through,
+// float64 renders with %.3f, float32/int/int64 sensibly.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		case int64:
+			row = append(row, fmt.Sprintf("%d", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart of labelled values scaled to
+// maxWidth characters. Values must be non-negative.
+func Bars(labels []string, values []float64, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if i < len(labels) && len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.3f\n", maxL, label, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Series renders a y-over-x line plot of one or more series using a
+// character grid. xs is shared; each series must have len(xs) points.
+func Series(xs []float64, series map[string][]float64, width, height int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		return "(empty series)\n"
+	}
+
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		for _, y := range ys {
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if minY == maxY {
+		minY -= 1
+		maxY += 1
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	if minX == maxX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', '+', 'o', 'x', '@', '%'}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	// Deterministic ordering for reproducible output.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for si, name := range names {
+		ys := series[name]
+		mark := marks[si%len(marks)]
+		for i, x := range xs {
+			if i >= len(ys) {
+				break
+			}
+			cx := int((x - minX) / (maxX - minX) * float64(width-1))
+			cy := int((ys[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.2f +%s\n", maxY, "")
+	for _, row := range grid {
+		fmt.Fprintf(&b, "         |%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "%8.2f +%s\n", minY, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "          x: %g .. %g\n", minX, maxX)
+	for si, name := range names {
+		fmt.Fprintf(&b, "          %c = %s\n", marks[si%len(marks)], name)
+	}
+	return b.String()
+}
+
+// GroupedBars renders per-group bars for several series (e.g. four
+// metrics per benchmark).
+func GroupedBars(groups []string, seriesNames []string, values [][]float64, maxWidth int) string {
+	var b strings.Builder
+	for gi, g := range groups {
+		fmt.Fprintf(&b, "%s\n", g)
+		labels := make([]string, len(seriesNames))
+		vals := make([]float64, len(seriesNames))
+		for si, name := range seriesNames {
+			labels[si] = "  " + name
+			if gi < len(values) && si < len(values[gi]) {
+				vals[si] = values[gi][si]
+			}
+		}
+		b.WriteString(Bars(labels, vals, maxWidth))
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("a", "1")
+	tab.AddRow("longname", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %v", lines)
+	}
+	// All rows align to the same width.
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(l) != w {
+			t.Fatalf("line %d width %d != %d:\n%s", i, len(l), w, out)
+		}
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tab := NewTable("a", "b", "c")
+	tab.AddRow("x")
+	if out := tab.String(); !strings.Contains(out, "x") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tab := NewTable("s", "f", "i", "i64", "other")
+	tab.AddRowf("str", 0.12345, 42, int64(7), struct{}{})
+	out := tab.String()
+	for _, want := range []string{"str", "0.123", "42", "7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines %v", lines)
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar wrong: %q", lines[0])
+	}
+	// Zero width defaults, zero values don't crash.
+	if Bars([]string{"x"}, []float64{0}, 0) == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	out := Series(xs, map[string][]float64{
+		"up":   {0, 1, 2, 3},
+		"down": {3, 2, 1, 0},
+	}, 40, 8)
+	if !strings.Contains(out, "* = down") || !strings.Contains(out, "+ = up") {
+		t.Fatalf("legend missing (deterministic order): %s", out)
+	}
+	if !strings.Contains(out, "x: 0 .. 3") {
+		t.Fatalf("x range missing: %s", out)
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	if out := Series(nil, nil, 10, 5); !strings.Contains(out, "empty") {
+		t.Fatalf("empty series output %q", out)
+	}
+	// Constant series must not divide by zero.
+	out := Series([]float64{1, 1}, map[string][]float64{"c": {5, 5}}, 10, 5)
+	if out == "" {
+		t.Fatal("constant series empty")
+	}
+	// Zero dims take defaults.
+	if Series([]float64{0, 1}, map[string][]float64{"a": {1, 2}}, 0, 0) == "" {
+		t.Fatal("default dims empty")
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars([]string{"g1", "g2"}, []string{"m1", "m2"},
+		[][]float64{{1, 2}, {3, 4}}, 20)
+	for _, want := range []string{"g1", "g2", "m1", "m2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}

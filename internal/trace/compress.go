@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Compressed trace support: a BTR1 stream wrapped in gzip. OpenReader
+// sniffs the gzip magic so tools can read either form transparently.
+
+// NewCompressedWriter wraps w in gzip and writes a BTR1 stream into it.
+// Close flushes both layers (the underlying io.Writer is not closed).
+func NewCompressedWriter(w io.Writer) (*CompressedWriter, error) {
+	gz := gzip.NewWriter(w)
+	tw, err := NewWriter(gz)
+	if err != nil {
+		gz.Close()
+		return nil, err
+	}
+	return &CompressedWriter{Writer: tw, gz: gz}, nil
+}
+
+// CompressedWriter is a trace Writer whose output is gzip-compressed.
+type CompressedWriter struct {
+	*Writer
+	gz *gzip.Writer
+}
+
+// Close flushes the trace writer and the gzip stream.
+func (c *CompressedWriter) Close() error {
+	if err := c.Writer.Close(); err != nil {
+		return err
+	}
+	return c.gz.Close()
+}
+
+// OpenReader returns a Reader for either a plain or a gzip-compressed
+// BTR1 stream, detected from the first two bytes.
+func OpenReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("trace: sniffing stream: %w", err)
+	}
+	if head[0] == 0x1f && head[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+		}
+		return NewReader(gz)
+	}
+	return NewReader(br)
+}

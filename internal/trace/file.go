@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("BTR1"):
+//
+//	header:  magic "BTR1" | uvarint eventCount (0 = unknown/streamed)
+//	events:  one uvarint per event: (pcDelta<<2) | sign<<1 | taken
+//
+// PCs are delta-encoded against the previous event's PC (sign bit set
+// when the delta is negative) because real branch streams have strong
+// spatial locality; the common "same hot loop" case costs one byte per
+// event.
+
+var magic = [4]byte{'B', 'T', 'R', '1'}
+
+// ErrBadMagic is returned when a trace file does not start with the BTR1
+// magic number.
+var ErrBadMagic = errors.New("trace: bad magic (not a BTR1 trace file)")
+
+// Writer streams branch events into an io.Writer in BTR1 format. Close
+// must be called to flush buffered data.
+type Writer struct {
+	bw     *bufio.Writer
+	lastPC PC
+	count  int64
+	err    error
+	buf    [binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes a BTR1 header and returns a Writer. The event count
+// in the header is written as zero (unknown); readers count events by
+// reading to EOF.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	tw := &Writer{bw: bw}
+	tw.putUvarint(0)
+	return tw, tw.err
+}
+
+func (w *Writer) putUvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.bw.Write(w.buf[:n])
+}
+
+// Branch implements Sink, encoding one event.
+func (w *Writer) Branch(pc PC, taken bool) {
+	delta := int64(pc) - int64(w.lastPC)
+	var word uint64
+	if delta < 0 {
+		word = uint64(-delta)<<2 | 2
+	} else {
+		word = uint64(delta) << 2
+	}
+	if taken {
+		word |= 1
+	}
+	w.putUvarint(word)
+	w.lastPC = pc
+	w.count++
+}
+
+// Count returns the number of events written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Close flushes the writer. The underlying io.Writer is not closed.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader decodes a BTR1 stream.
+type Reader struct {
+	br     *bufio.Reader
+	lastPC PC
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	if _, err := binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("trace: reading header count: %w", err)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next event, or io.EOF at end of stream.
+func (r *Reader) Next() (Event, error) {
+	word, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: reading event: %w", err)
+	}
+	delta := int64(word >> 2)
+	if word&2 != 0 {
+		delta = -delta
+	}
+	pc := PC(int64(r.lastPC) + delta)
+	r.lastPC = pc
+	return Event{PC: pc, Taken: word&1 != 0}, nil
+}
+
+// Replay feeds all remaining events into sink and returns the number of
+// events delivered.
+func (r *Reader) Replay(sink Sink) (int64, error) {
+	var n int64
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sink.Branch(e.PC, e.Taken)
+		n++
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader checks the trace reader never panics on arbitrary bytes:
+// anything malformed must surface as an error or clean EOF.
+func FuzzReader(f *testing.F) {
+	// A valid small trace as one seed.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Branch(0x400000, true)
+	w.Branch(0x400004, false)
+	w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("BTR1"))
+	f.Add([]byte("BTR1\x00"))
+	f.Add([]byte("NOPE"))
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add(append([]byte("BTR1\x00"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF && err.Error() == "" {
+					t.Fatal("empty error message")
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,130 @@
+// Package trace defines the dynamic conditional-branch event stream that
+// every other subsystem consumes, plus an on-disk binary format for
+// recording and replaying such streams.
+//
+// The 2D-profiling mechanism only ever observes (pc, taken) pairs in
+// program order; this package is the narrow waist between workload
+// generation (internal/synth, internal/vm) and consumers (internal/bpred,
+// internal/core, internal/oracle).
+package trace
+
+// PC identifies a static conditional branch site. For VM workloads it is
+// the instruction address; for synthetic workloads it is a stable site
+// id.
+type PC uint64
+
+// Event is one dynamic execution of a conditional branch.
+type Event struct {
+	PC    PC
+	Taken bool
+}
+
+// Sink consumes branch events in program order.
+type Sink interface {
+	Branch(pc PC, taken bool)
+}
+
+// Source produces a branch event stream into a Sink. Implementations
+// must be deterministic for a fixed configuration.
+type Source interface {
+	// Run feeds the whole stream into sink and returns the number of
+	// events produced.
+	Run(sink Sink) int64
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(pc PC, taken bool)
+
+// Branch implements Sink.
+func (f SinkFunc) Branch(pc PC, taken bool) { f(pc, taken) }
+
+// Tee fans one stream out to several sinks in order.
+type Tee []Sink
+
+// Branch implements Sink.
+func (t Tee) Branch(pc PC, taken bool) {
+	for _, s := range t {
+		s.Branch(pc, taken)
+	}
+}
+
+// Recorder is a Sink that stores the stream in memory.
+type Recorder struct {
+	Events []Event
+}
+
+// Branch implements Sink.
+func (r *Recorder) Branch(pc PC, taken bool) {
+	r.Events = append(r.Events, Event{PC: pc, Taken: taken})
+}
+
+// Replay feeds a recorded stream back into a sink.
+func (r *Recorder) Replay(sink Sink) int64 {
+	for _, e := range r.Events {
+		sink.Branch(e.PC, e.Taken)
+	}
+	return int64(len(r.Events))
+}
+
+// Run implements Source by replaying the recorded events.
+func (r *Recorder) Run(sink Sink) int64 { return r.Replay(sink) }
+
+// Counter is a Sink that counts dynamic events and distinct static
+// sites.
+type Counter struct {
+	Dynamic int64
+	seen    map[PC]int64
+}
+
+// Branch implements Sink.
+func (c *Counter) Branch(pc PC, taken bool) {
+	c.Dynamic++
+	if c.seen == nil {
+		c.seen = make(map[PC]int64)
+	}
+	c.seen[pc]++
+}
+
+// Static returns the number of distinct static branch sites observed.
+func (c *Counter) Static() int { return len(c.seen) }
+
+// ExecCount returns the dynamic execution count of one site.
+func (c *Counter) ExecCount(pc PC) int64 { return c.seen[pc] }
+
+// Sites returns every observed site id (unordered).
+func (c *Counter) Sites() []PC {
+	out := make([]PC, 0, len(c.seen))
+	for pc := range c.seen {
+		out = append(out, pc)
+	}
+	return out
+}
+
+// Filter forwards only events whose PC passes keep.
+type Filter struct {
+	Keep func(PC) bool
+	Next Sink
+}
+
+// Branch implements Sink.
+func (f *Filter) Branch(pc PC, taken bool) {
+	if f.Keep(pc) {
+		f.Next.Branch(pc, taken)
+	}
+}
+
+// Limit forwards at most N events and drops the rest.
+type Limit struct {
+	N    int64
+	Next Sink
+	seen int64
+}
+
+// Branch implements Sink.
+func (l *Limit) Branch(pc PC, taken bool) {
+	if l.seen >= l.N {
+		return
+	}
+	l.seen++
+	l.Next.Branch(pc, taken)
+}

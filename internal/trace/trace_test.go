@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderReplay(t *testing.T) {
+	var rec Recorder
+	rec.Branch(1, true)
+	rec.Branch(2, false)
+	rec.Branch(1, true)
+
+	var out Recorder
+	n := rec.Replay(&out)
+	if n != 3 {
+		t.Fatalf("Replay returned %d", n)
+	}
+	if len(out.Events) != 3 || out.Events[1] != (Event{PC: 2, Taken: false}) {
+		t.Fatalf("replayed events wrong: %v", out.Events)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	for i := 0; i < 5; i++ {
+		c.Branch(10, true)
+	}
+	c.Branch(20, false)
+	if c.Dynamic != 6 || c.Static() != 2 {
+		t.Fatalf("Dynamic=%d Static=%d", c.Dynamic, c.Static())
+	}
+	if c.ExecCount(10) != 5 || c.ExecCount(20) != 1 || c.ExecCount(30) != 0 {
+		t.Fatal("ExecCount wrong")
+	}
+	if len(c.Sites()) != 2 {
+		t.Fatal("Sites wrong")
+	}
+}
+
+func TestFilterLimitTee(t *testing.T) {
+	var kept, all Recorder
+	f := &Filter{Keep: func(pc PC) bool { return pc == 1 }, Next: &kept}
+	lim := &Limit{N: 2, Next: &all}
+	tee := Tee{f, lim}
+	for i := 0; i < 4; i++ {
+		tee.Branch(PC(i), true)
+	}
+	if len(kept.Events) != 1 || kept.Events[0].PC != 1 {
+		t.Fatalf("filter kept %v", kept.Events)
+	}
+	if len(all.Events) != 2 {
+		t.Fatalf("limit kept %d events", len(all.Events))
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got []Event
+	s := SinkFunc(func(pc PC, taken bool) { got = append(got, Event{pc, taken}) })
+	s.Branch(7, true)
+	if len(got) != 1 || got[0] != (Event{7, true}) {
+		t.Fatalf("SinkFunc got %v", got)
+	}
+}
+
+func roundTrip(t *testing.T, events []Event) []Event {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		w.Branch(e.PC, e.Taken)
+	}
+	if w.Count() != int64(len(events)) {
+		t.Fatalf("writer Count = %d, want %d", w.Count(), len(events))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Recorder
+	n, err := r.Replay(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(events)) {
+		t.Fatalf("read %d events, want %d", n, len(events))
+	}
+	return rec.Events
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	events := []Event{
+		{0x400000, true},
+		{0x400004, false},
+		{0x400000, true},   // backward delta
+		{0xffffffff, true}, // big jump
+		{0, false},         // back to zero
+	}
+	got := roundTrip(t, events)
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %v want %v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestFileRoundTripQuick(t *testing.T) {
+	f := func(pcs []uint32, dirs []bool) bool {
+		var events []Event
+		for i, pc := range pcs {
+			taken := i < len(dirs) && dirs[i]
+			events = append(events, Event{PC(pc), taken})
+		}
+		got := roundTrip(t, events)
+		if len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileEmpty(t *testing.T) {
+	if got := roundTrip(t, nil); len(got) != 0 {
+		t.Fatalf("empty trace read %v", got)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOPE0000")))
+	if err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("BT")))
+	if err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestReaderNextEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Branch(5, true)
+	w.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Next()
+	if err != nil || e.PC != 5 || !e.Taken {
+		t.Fatalf("Next = %v, %v", e, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestCompactEncoding(t *testing.T) {
+	// Repeating the same PC should cost ~1 byte per event.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		w.Branch(0x400000, i%2 == 0)
+	}
+	w.Close()
+	perEvent := float64(buf.Len()) / 1000
+	if perEvent > 1.5 {
+		t.Fatalf("encoding too large: %.2f bytes/event", perEvent)
+	}
+}

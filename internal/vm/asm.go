@@ -1,0 +1,414 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the VM's textual assembly into a Program.
+//
+// Syntax (one instruction or label per line; ';' and '#' start
+// comments):
+//
+//	loop:                     ; label
+//	    li   r1, 42           ; r1 = 42
+//	    mov  r2, r1
+//	    add  r3, r1, r2       ; also sub mul div mod and or xor shl shr
+//	    addi r3, r3, -1       ; also andi shli shri
+//	    ld   r4, [r3+8]       ; load mem[r3+8]; offset optional
+//	    st   [r3+8], r4       ; store
+//	    beq  r1, r2, loop     ; also bne blt ble bgt bge
+//	    jmp  loop
+//	    call fn
+//	    ret
+//	    out  r1
+//	    halt
+//
+// Register names are r0..r15; "zero" is an alias for r0.
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{
+		prog: &Program{Name: name, Labels: make(map[string]int)},
+	}
+	lines := strings.Split(src, "\n")
+
+	// First pass: strip comments, record labels, collect instruction
+	// lines.
+	type pending struct {
+		line int
+		text string
+	}
+	var insts []pending
+	for i, raw := range lines {
+		line := raw
+		if j := strings.IndexAny(line, ";#"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			j := strings.Index(line, ":")
+			if j < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:j])
+			if !isIdent(label) {
+				return nil, a.errf(i+1, "invalid label %q", label)
+			}
+			if _, dup := a.prog.Labels[label]; dup {
+				return nil, a.errf(i+1, "duplicate label %q", label)
+			}
+			a.prog.Labels[label] = len(insts)
+			line = strings.TrimSpace(line[j+1:])
+		}
+		if line != "" {
+			insts = append(insts, pending{line: i + 1, text: line})
+		}
+	}
+
+	// Second pass: encode.
+	for _, p := range insts {
+		in, err := a.parseInst(p.line, p.text)
+		if err != nil {
+			return nil, err
+		}
+		a.prog.Insts = append(a.prog.Insts, in)
+	}
+
+	// Resolve label fixups.
+	for _, fx := range a.fixups {
+		target, ok := a.prog.Labels[fx.label]
+		if !ok {
+			return nil, a.errf(fx.line, "undefined label %q", fx.label)
+		}
+		a.prog.Insts[fx.inst].Target = target
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble for compile-time-constant sources in
+// benchmark kernels; it panics on error.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type fixup struct {
+	inst  int
+	label string
+	line  int
+}
+
+type assembler struct {
+	prog   *Program
+	fixups []fixup
+}
+
+func (a *assembler) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("asm:%s:%d: %s", a.prog.Name, line, fmt.Sprintf(format, args...))
+}
+
+var branchConds = map[string]Cond{
+	"beq": CondEQ, "bne": CondNE, "blt": CondLT,
+	"ble": CondLE, "bgt": CondGT, "bge": CondGE,
+}
+
+var setConds = map[string]Cond{
+	"seteq": CondEQ, "setne": CondNE, "setlt": CondLT,
+	"setle": CondLE, "setgt": CondGT, "setge": CondGE,
+}
+
+func (a *assembler) parseInst(line int, text string) (Inst, error) {
+	mnemonic := text
+	rest := ""
+	if j := strings.IndexAny(text, " \t"); j >= 0 {
+		mnemonic, rest = text[:j], strings.TrimSpace(text[j+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	ops := splitOperands(rest)
+
+	reg := func(i int) (uint8, error) {
+		if i >= len(ops) {
+			return 0, a.errf(line, "%s: missing operand %d", mnemonic, i+1)
+		}
+		return a.parseReg(line, ops[i])
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, a.errf(line, "%s: missing operand %d", mnemonic, i+1)
+		}
+		v, err := strconv.ParseInt(ops[i], 0, 64)
+		if err != nil {
+			return 0, a.errf(line, "%s: bad immediate %q", mnemonic, ops[i])
+		}
+		return v, nil
+	}
+	want := func(n int) error {
+		if len(ops) != n {
+			return a.errf(line, "%s: want %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+
+	if cond, ok := branchConds[mnemonic]; ok {
+		if err := want(3); err != nil {
+			return Inst{}, err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return Inst{}, err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		a.fixups = append(a.fixups, fixup{inst: len(a.prog.Insts), label: ops[2], line: line})
+		return Inst{Op: OpBr, Cond: cond, Rs1: rs1, Rs2: rs2}, nil
+	}
+
+	if cond, ok := setConds[mnemonic]; ok {
+		if err := want(3); err != nil {
+			return Inst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return Inst{}, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		rs2, err := reg(2)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpSet, Cond: cond, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+	}
+
+	threeReg := map[string]Op{
+		"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv, "mod": OpMod,
+		"and": OpAnd, "or": OpOr, "xor": OpXor, "shl": OpShl, "shr": OpShr,
+		"cmov": OpCmov,
+	}
+	if op, ok := threeReg[mnemonic]; ok {
+		if err := want(3); err != nil {
+			return Inst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return Inst{}, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		rs2, err := reg(2)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+	}
+
+	twoRegImm := map[string]Op{"addi": OpAddi, "andi": OpAndi, "shli": OpShli, "shri": OpShri}
+	if op, ok := twoRegImm[mnemonic]; ok {
+		if err := want(3); err != nil {
+			return Inst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return Inst{}, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: v}, nil
+	}
+
+	switch mnemonic {
+	case "nop":
+		if err := want(0); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpNop}, nil
+	case "halt":
+		if err := want(0); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpHalt}, nil
+	case "ret":
+		if err := want(0); err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpRet}, nil
+	case "li":
+		if err := want(2); err != nil {
+			return Inst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return Inst{}, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpLi, Rd: rd, Imm: v}, nil
+	case "mov":
+		if err := want(2); err != nil {
+			return Inst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return Inst{}, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMov, Rd: rd, Rs1: rs1}, nil
+	case "out":
+		if err := want(1); err != nil {
+			return Inst{}, err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpOut, Rs1: rs1}, nil
+	case "ld":
+		if err := want(2); err != nil {
+			return Inst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return Inst{}, err
+		}
+		base, off, err := a.parseMem(line, ops[1])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpLd, Rd: rd, Rs1: base, Imm: off}, nil
+	case "st":
+		if err := want(2); err != nil {
+			return Inst{}, err
+		}
+		base, off, err := a.parseMem(line, ops[0])
+		if err != nil {
+			return Inst{}, err
+		}
+		rs2, err := a.parseReg(line, ops[1])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpSt, Rs1: base, Rs2: rs2, Imm: off}, nil
+	case "jmp", "call":
+		if err := want(1); err != nil {
+			return Inst{}, err
+		}
+		op := OpJmp
+		if mnemonic == "call" {
+			op = OpCall
+		}
+		a.fixups = append(a.fixups, fixup{inst: len(a.prog.Insts), label: ops[0], line: line})
+		return Inst{Op: op}, nil
+	default:
+		return Inst{}, a.errf(line, "unknown mnemonic %q", mnemonic)
+	}
+}
+
+// parseMem parses "[rN]", "[rN+imm]", "[rN-imm]" or "[imm]" (base r0).
+func (a *assembler) parseMem(line int, s string) (uint8, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, a.errf(line, "bad memory operand %q (want [reg+offset])", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return 0, 0, a.errf(line, "empty memory operand")
+	}
+	// Split on +/- after the first character (sign of a pure immediate).
+	split := -1
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			split = i
+			break
+		}
+	}
+	basePart := inner
+	offPart := ""
+	if split >= 0 {
+		basePart = strings.TrimSpace(inner[:split])
+		offPart = strings.TrimSpace(inner[split:])
+	}
+	if r, err := a.parseReg(line, basePart); err == nil {
+		var off int64
+		if offPart != "" {
+			v, perr := strconv.ParseInt(strings.Replace(offPart, "+", "", 1), 0, 64)
+			if perr != nil {
+				return 0, 0, a.errf(line, "bad memory offset %q", offPart)
+			}
+			off = v
+		}
+		return r, off, nil
+	}
+	// Absolute address: [imm].
+	v, err := strconv.ParseInt(inner, 0, 64)
+	if err != nil {
+		return 0, 0, a.errf(line, "bad memory operand %q", s)
+	}
+	return 0, v, nil
+}
+
+func (a *assembler) parseReg(line int, s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "zero" {
+		return 0, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, a.errf(line, "bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, a.errf(line, "bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders a program back to readable assembly, including
+// label definitions and symbolic branch targets.
+func Disassemble(p *Program) string {
+	// Invert the label table; multiple labels can share an index.
+	labelsAt := make(map[int][]string)
+	for name, idx := range p.Labels {
+		labelsAt[idx] = append(labelsAt[idx], name)
+	}
+	for _, names := range labelsAt {
+		sort.Strings(names)
+	}
+	target := func(idx int) string {
+		if names := labelsAt[idx]; len(names) > 0 {
+			return names[0]
+		}
+		return fmt.Sprintf("@%d", idx)
+	}
+
+	var b strings.Builder
+	for i, in := range p.Insts {
+		for _, name := range labelsAt[i] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "    %s\n", formatInst(in, target))
+	}
+	// Labels that point one past the last instruction.
+	for _, name := range labelsAt[len(p.Insts)] {
+		fmt.Fprintf(&b, "%s:\n", name)
+	}
+	return b.String()
+}
+
+func formatInst(in Inst, target func(int) string) string {
+	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
+	switch in.Op {
+	case OpNop, OpHalt, OpRet:
+		return in.Op.String()
+	case OpLi:
+		return fmt.Sprintf("li %s, %d", r(in.Rd), in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", r(in.Rd), r(in.Rs1))
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr, OpCmov:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rs1), r(in.Rs2))
+	case OpSet:
+		return fmt.Sprintf("set%s %s, %s, %s", in.Cond, r(in.Rd), r(in.Rs1), r(in.Rs2))
+	case OpAddi, OpAndi, OpShli, OpShri:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Rs1), in.Imm)
+	case OpLd:
+		return fmt.Sprintf("ld %s, [%s%+d]", r(in.Rd), r(in.Rs1), in.Imm)
+	case OpSt:
+		return fmt.Sprintf("st [%s%+d], %s", r(in.Rs1), in.Imm, r(in.Rs2))
+	case OpBr:
+		return fmt.Sprintf("b%s %s, %s, %s", in.Cond, r(in.Rs1), r(in.Rs2), target(in.Target))
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", target(in.Target))
+	case OpCall:
+		return fmt.Sprintf("call %s", target(in.Target))
+	case OpOut:
+		return fmt.Sprintf("out %s", r(in.Rs1))
+	default:
+		return fmt.Sprintf("?%d", in.Op)
+	}
+}
+
+// StaticBranches returns the instruction indices of every conditional
+// branch in the program, in order.
+func StaticBranches(p *Program) []int {
+	var out []int
+	for i, in := range p.Insts {
+		if in.Op == OpBr {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics and that anything it
+// accepts disassembles and reassembles to the same instructions.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"halt",
+		"li r1, 42\nout r1\nhalt",
+		"loop:\naddi r1, r1, 1\nblt r1, r2, loop\nhalt",
+		"ld r1, [r2+4]\nst [r2-4], r1",
+		"a: b: jmp a",
+		"call fn\nfn: ret",
+		"; comment only",
+		"li r1, 0x7fffffffffffffff",
+		"beq r0, zero, done\ndone: halt",
+		"bogus stuff here",
+		"li r99, 1",
+		"ld r1, [bad",
+		"a:a:",
+		strings.Repeat("nop\n", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejects are fine; panics are not
+		}
+		text := Disassemble(prog)
+		prog2, err := Assemble("fuzz2", text)
+		if err != nil {
+			t.Fatalf("accepted program did not reassemble: %v\nsource: %q\nlisting:\n%s", err, src, text)
+		}
+		if len(prog.Insts) != len(prog2.Insts) {
+			t.Fatalf("instruction count changed: %d -> %d", len(prog.Insts), len(prog2.Insts))
+		}
+		for i := range prog.Insts {
+			if prog.Insts[i] != prog2.Insts[i] {
+				t.Fatalf("instruction %d changed: %+v -> %+v", i, prog.Insts[i], prog2.Insts[i])
+			}
+		}
+	})
+}
+
+// FuzzRun checks the interpreter never panics on assembled programs:
+// every failure mode must surface as an error.
+func FuzzRun(f *testing.F) {
+	f.Add("li r1, 1\ndiv r1, r1, r0", int64(100))
+	f.Add("spin: jmp spin", int64(50))
+	f.Add("ld r1, [9999]", int64(10))
+	f.Add("f: call f", int64(1000))
+	f.Add("ret", int64(10))
+	f.Add("li r1, 5\nst [r1], r1\nld r2, [r1]\nout r2\nhalt", int64(100))
+	f.Fuzz(func(t *testing.T, src string, steps int64) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if steps <= 0 {
+			steps = 1
+		}
+		if steps > 100000 {
+			steps = 100000
+		}
+		m := NewMachine(64)
+		m.SetLimits(Limits{MaxSteps: steps, MaxStack: 64})
+		_, _ = m.Run(prog, Hooks{})
+	})
+}

@@ -1,0 +1,352 @@
+// Package vm implements a small register virtual machine with an
+// assembler and an instrumentation hook API. It is this repository's
+// substitute for the paper's Pin-based x86 binary instrumentation: the
+// 2D-profiling mechanism only consumes the dynamic conditional-branch
+// stream of a program processing real input data, and the VM produces
+// exactly that stream (via Hooks.OnBranch) from real control flow.
+//
+// The machine: 16 general 64-bit integer registers (r0 reads as zero),
+// a word-addressed data memory, a call stack, and a small RISC-like
+// instruction set. Program counters are instruction indices and double
+// as the trace.PC identity of branch sites.
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NumRegs is the number of architectural registers. Register 0 is
+// hardwired to zero (writes are discarded), in the MIPS/RISC-V
+// tradition.
+const NumRegs = 16
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	OpNop  Op = iota
+	OpLi      // rd = imm
+	OpMov     // rd = rs1
+	OpAdd     // rd = rs1 + rs2
+	OpSub     // rd = rs1 - rs2
+	OpMul     // rd = rs1 * rs2
+	OpDiv     // rd = rs1 / rs2 (trap on zero)
+	OpMod     // rd = rs1 % rs2 (trap on zero)
+	OpAddi    // rd = rs1 + imm
+	OpAnd     // rd = rs1 & rs2
+	OpOr      // rd = rs1 | rs2
+	OpXor     // rd = rs1 ^ rs2
+	OpAndi    // rd = rs1 & imm
+	OpShl     // rd = rs1 << (rs2 & 63)
+	OpShr     // rd = rs1 >> (rs2 & 63), arithmetic
+	OpShli    // rd = rs1 << (imm & 63)
+	OpShri    // rd = rs1 >> (imm & 63), arithmetic
+	OpLd      // rd = mem[rs1 + imm]
+	OpSt      // mem[rs1 + imm] = rs2
+	OpBr      // if cond(rs1, rs2): pc = Target  (conditional branch)
+	OpJmp     // pc = Target
+	OpCall    // push pc+1; pc = Target
+	OpRet     // pc = pop
+	OpOut     // emit rs1 to the output stream
+	OpHalt    // stop
+	OpSet     // rd = 1 if cond(rs1, rs2) else 0 (predicate computation)
+	OpCmov    // if rs1 != 0: rd = rs2 (conditional move; predication)
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpLi: "li", OpMov: "mov", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpMod: "mod", OpAddi: "addi", OpAnd: "and",
+	OpOr: "or", OpXor: "xor", OpAndi: "andi", OpShl: "shl", OpShr: "shr",
+	OpShli: "shli", OpShri: "shri", OpLd: "ld", OpSt: "st", OpBr: "b",
+	OpJmp: "jmp", OpCall: "call", OpRet: "ret", OpOut: "out", OpHalt: "halt",
+	OpSet: "set", OpCmov: "cmov",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond enumerates branch comparison conditions.
+type Cond uint8
+
+// Branch conditions.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the condition suffix used in assembly (beq, bne, ...).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Eval applies the condition to two operand values.
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op     Op
+	Cond   Cond  // for OpBr
+	Rd     uint8 // destination register
+	Rs1    uint8 // first source
+	Rs2    uint8 // second source
+	Imm    int64 // immediate / address offset
+	Target int   // branch/jump/call target (instruction index)
+}
+
+// Program is an assembled program: instructions plus the label table
+// (kept for disassembly and for locating named branch sites in
+// experiments).
+type Program struct {
+	Insts  []Inst
+	Labels map[string]int // label -> instruction index
+	Name   string
+}
+
+// LabelOf returns the instruction index of a label.
+func (p *Program) LabelOf(name string) (int, bool) {
+	i, ok := p.Labels[name]
+	return i, ok
+}
+
+// MustLabel returns the index of a label, panicking when absent; for
+// experiment code referencing branch sites by name.
+func (p *Program) MustLabel(name string) int {
+	i, ok := p.Labels[name]
+	if !ok {
+		panic(fmt.Sprintf("vm: program %q has no label %q", p.Name, name))
+	}
+	return i
+}
+
+// Hooks receives instrumentation callbacks during execution. Any field
+// may be nil. This mirrors Pin's instrumentation API surface at the
+// granularity the paper needs.
+type Hooks struct {
+	// OnBranch fires for every executed conditional branch with its
+	// instruction index and resolved direction.
+	OnBranch func(pc uint64, taken bool)
+	// OnInst fires for every executed instruction (used by the
+	// overhead experiment to model instruction-grained instrumentation).
+	OnInst func(pc uint64)
+}
+
+// Limits bounds execution.
+type Limits struct {
+	MaxSteps int64 // 0 means the default (1e9)
+	MaxStack int   // 0 means the default (4096)
+}
+
+// Result summarises one execution.
+type Result struct {
+	Steps    int64   // instructions executed
+	Branches int64   // conditional branches executed
+	Output   []int64 // values emitted by OpOut
+}
+
+// Execution error values.
+var (
+	ErrMaxSteps      = errors.New("vm: step limit exceeded")
+	ErrStackOverflow = errors.New("vm: call stack overflow")
+	ErrStackEmpty    = errors.New("vm: ret with empty call stack")
+	ErrDivByZero     = errors.New("vm: division by zero")
+)
+
+// MemFault describes an out-of-range memory access.
+type MemFault struct {
+	PC   int
+	Addr int64
+	Size int
+}
+
+// Error implements error.
+func (f *MemFault) Error() string {
+	return fmt.Sprintf("vm: memory fault at pc=%d: address %d outside [0,%d)", f.PC, f.Addr, f.Size)
+}
+
+// Machine executes programs.
+type Machine struct {
+	Mem    []int64
+	Regs   [NumRegs]int64
+	limits Limits
+}
+
+// NewMachine creates a machine with the given data memory size in words.
+func NewMachine(memWords int) *Machine {
+	return &Machine{Mem: make([]int64, memWords)}
+}
+
+// SetLimits overrides execution limits.
+func (m *Machine) SetLimits(l Limits) { m.limits = l }
+
+// Run executes prog from instruction 0 until OpHalt, with the given
+// hooks (which may be zero-valued). Registers are cleared first; memory
+// is left as the caller prepared it.
+func (m *Machine) Run(prog *Program, hooks Hooks) (Result, error) {
+	maxSteps := m.limits.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1e9
+	}
+	maxStack := m.limits.MaxStack
+	if maxStack == 0 {
+		maxStack = 4096
+	}
+
+	for i := range m.Regs {
+		m.Regs[i] = 0
+	}
+	var res Result
+	stack := make([]int, 0, 64)
+	insts := prog.Insts
+	pc := 0
+
+	for {
+		if pc < 0 || pc >= len(insts) {
+			return res, fmt.Errorf("vm: pc %d outside program of %d instructions", pc, len(insts))
+		}
+		if res.Steps >= maxSteps {
+			return res, ErrMaxSteps
+		}
+		res.Steps++
+		in := &insts[pc]
+		if hooks.OnInst != nil {
+			hooks.OnInst(uint64(pc))
+		}
+
+		next := pc + 1
+		switch in.Op {
+		case OpNop:
+		case OpLi:
+			m.set(in.Rd, in.Imm)
+		case OpMov:
+			m.set(in.Rd, m.Regs[in.Rs1])
+		case OpAdd:
+			m.set(in.Rd, m.Regs[in.Rs1]+m.Regs[in.Rs2])
+		case OpSub:
+			m.set(in.Rd, m.Regs[in.Rs1]-m.Regs[in.Rs2])
+		case OpMul:
+			m.set(in.Rd, m.Regs[in.Rs1]*m.Regs[in.Rs2])
+		case OpDiv:
+			d := m.Regs[in.Rs2]
+			if d == 0 {
+				return res, fmt.Errorf("%w at pc=%d", ErrDivByZero, pc)
+			}
+			m.set(in.Rd, m.Regs[in.Rs1]/d)
+		case OpMod:
+			d := m.Regs[in.Rs2]
+			if d == 0 {
+				return res, fmt.Errorf("%w at pc=%d", ErrDivByZero, pc)
+			}
+			m.set(in.Rd, m.Regs[in.Rs1]%d)
+		case OpAddi:
+			m.set(in.Rd, m.Regs[in.Rs1]+in.Imm)
+		case OpAnd:
+			m.set(in.Rd, m.Regs[in.Rs1]&m.Regs[in.Rs2])
+		case OpOr:
+			m.set(in.Rd, m.Regs[in.Rs1]|m.Regs[in.Rs2])
+		case OpXor:
+			m.set(in.Rd, m.Regs[in.Rs1]^m.Regs[in.Rs2])
+		case OpAndi:
+			m.set(in.Rd, m.Regs[in.Rs1]&in.Imm)
+		case OpShl:
+			m.set(in.Rd, m.Regs[in.Rs1]<<uint(m.Regs[in.Rs2]&63))
+		case OpShr:
+			m.set(in.Rd, m.Regs[in.Rs1]>>uint(m.Regs[in.Rs2]&63))
+		case OpShli:
+			m.set(in.Rd, m.Regs[in.Rs1]<<uint(in.Imm&63))
+		case OpShri:
+			m.set(in.Rd, m.Regs[in.Rs1]>>uint(in.Imm&63))
+		case OpLd:
+			addr := m.Regs[in.Rs1] + in.Imm
+			if addr < 0 || addr >= int64(len(m.Mem)) {
+				return res, &MemFault{PC: pc, Addr: addr, Size: len(m.Mem)}
+			}
+			m.set(in.Rd, m.Mem[addr])
+		case OpSt:
+			addr := m.Regs[in.Rs1] + in.Imm
+			if addr < 0 || addr >= int64(len(m.Mem)) {
+				return res, &MemFault{PC: pc, Addr: addr, Size: len(m.Mem)}
+			}
+			m.Mem[addr] = m.Regs[in.Rs2]
+		case OpBr:
+			taken := in.Cond.Eval(m.Regs[in.Rs1], m.Regs[in.Rs2])
+			res.Branches++
+			if hooks.OnBranch != nil {
+				hooks.OnBranch(uint64(pc), taken)
+			}
+			if taken {
+				next = in.Target
+			}
+		case OpJmp:
+			next = in.Target
+		case OpCall:
+			if len(stack) >= maxStack {
+				return res, ErrStackOverflow
+			}
+			stack = append(stack, pc+1)
+			next = in.Target
+		case OpRet:
+			if len(stack) == 0 {
+				return res, ErrStackEmpty
+			}
+			next = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpOut:
+			res.Output = append(res.Output, m.Regs[in.Rs1])
+		case OpSet:
+			if in.Cond.Eval(m.Regs[in.Rs1], m.Regs[in.Rs2]) {
+				m.set(in.Rd, 1)
+			} else {
+				m.set(in.Rd, 0)
+			}
+		case OpCmov:
+			if m.Regs[in.Rs1] != 0 {
+				m.set(in.Rd, m.Regs[in.Rs2])
+			}
+		case OpHalt:
+			return res, nil
+		default:
+			return res, fmt.Errorf("vm: illegal opcode %d at pc=%d", in.Op, pc)
+		}
+		pc = next
+	}
+}
+
+// set writes a register, preserving the r0-is-zero convention.
+func (m *Machine) set(rd uint8, v int64) {
+	if rd != 0 {
+		m.Regs[rd] = v
+	}
+}

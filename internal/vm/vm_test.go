@@ -1,0 +1,469 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// run assembles src, prepares memory with mem, executes, and returns
+// the result.
+func run(t *testing.T, src string, mem []int64) (Result, *Machine) {
+	t.Helper()
+	prog, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := NewMachine(256)
+	copy(m.Mem, mem)
+	res, err := m.Run(prog, Hooks{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, m
+}
+
+func TestArithmetic(t *testing.T) {
+	res, _ := run(t, `
+		li   r1, 7
+		li   r2, 3
+		add  r3, r1, r2
+		out  r3          ; 10
+		sub  r3, r1, r2
+		out  r3          ; 4
+		mul  r3, r1, r2
+		out  r3          ; 21
+		div  r3, r1, r2
+		out  r3          ; 2
+		mod  r3, r1, r2
+		out  r3          ; 1
+		addi r3, r1, -10
+		out  r3          ; -3
+		halt
+	`, nil)
+	want := []int64{10, 4, 21, 2, 1, -3}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output %v", res.Output)
+	}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Errorf("output[%d] = %d, want %d", i, res.Output[i], w)
+		}
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	res, _ := run(t, `
+		li   r1, 0b1100
+		li   r2, 0b1010
+		and  r3, r1, r2
+		out  r3          ; 8
+		or   r3, r1, r2
+		out  r3          ; 14
+		xor  r3, r1, r2
+		out  r3          ; 6
+		andi r3, r1, 5
+		out  r3          ; 4
+		shli r3, r1, 2
+		out  r3          ; 48
+		shri r3, r1, 2
+		out  r3          ; 3
+		li   r4, 1
+		shl  r3, r1, r4
+		out  r3          ; 24
+		shr  r3, r1, r4
+		out  r3          ; 6
+		halt
+	`, nil)
+	want := []int64{8, 14, 6, 4, 48, 3, 24, 6}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Errorf("output[%d] = %d, want %d", i, res.Output[i], w)
+		}
+	}
+}
+
+func TestArithmeticShiftRight(t *testing.T) {
+	res, _ := run(t, `
+		li   r1, -8
+		shri r2, r1, 1
+		out  r2
+		halt
+	`, nil)
+	if res.Output[0] != -4 {
+		t.Fatalf("arithmetic shift: %d, want -4", res.Output[0])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	res, _ := run(t, `
+		ld   r1, [0]       ; absolute
+		out  r1
+		li   r2, 10
+		ld   r3, [r2+5]    ; base+offset
+		out  r3
+		st   [r2-1], r1    ; negative offset
+		ld   r4, [9]
+		out  r4
+		halt
+	`, []int64{42, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 77})
+	want := []int64{42, 77, 42}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Errorf("output[%d] = %d, want %d", i, res.Output[i], w)
+		}
+	}
+}
+
+func TestRegisterZeroHardwired(t *testing.T) {
+	res, _ := run(t, `
+		li  r0, 99
+		out r0
+		mov r1, zero
+		out r1
+		halt
+	`, nil)
+	if res.Output[0] != 0 || res.Output[1] != 0 {
+		t.Fatalf("r0 not hardwired: %v", res.Output)
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a loop; verifies branch hook counting too.
+	prog, err := Assemble("loop", `
+		li  r1, 0   ; sum
+		li  r2, 1   ; i
+		li  r3, 10
+	loop:
+		add r1, r1, r2
+		addi r2, r2, 1
+		ble r2, r3, loop
+		out r1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(16)
+	var branchEvents int64
+	var takenCount int
+	res, err := m.Run(prog, Hooks{OnBranch: func(pc uint64, taken bool) {
+		branchEvents++
+		if taken {
+			takenCount++
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 55 {
+		t.Fatalf("sum = %d", res.Output[0])
+	}
+	if res.Branches != 10 || branchEvents != 10 {
+		t.Fatalf("branches = %d, hook saw %d", res.Branches, branchEvents)
+	}
+	if takenCount != 9 {
+		t.Fatalf("taken = %d, want 9", takenCount)
+	}
+}
+
+func TestAllConditions(t *testing.T) {
+	res, _ := run(t, `
+		li r1, 2
+		li r2, 3
+	t1: beq r1, r1, a1
+		out r0
+	a1: bne r1, r2, a2
+		out r0
+	a2: blt r1, r2, a3
+		out r0
+	a3: ble r1, r1, a4
+		out r0
+	a4: bgt r2, r1, a5
+		out r0
+	a5: bge r2, r2, a6
+		out r0
+	a6: li r3, 1
+		out r3
+		halt
+	`, nil)
+	if len(res.Output) != 1 || res.Output[0] != 1 {
+		t.Fatalf("conditions misbehaved: %v", res.Output)
+	}
+	if res.Branches != 6 {
+		t.Fatalf("branches = %d", res.Branches)
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b int64
+		want bool
+	}{
+		{CondEQ, 1, 1, true}, {CondEQ, 1, 2, false},
+		{CondNE, 1, 2, true}, {CondNE, 2, 2, false},
+		{CondLT, 1, 2, true}, {CondLT, 2, 2, false},
+		{CondLE, 2, 2, true}, {CondLE, 3, 2, false},
+		{CondGT, 3, 2, true}, {CondGT, 2, 2, false},
+		{CondGE, 2, 2, true}, {CondGE, 1, 2, false},
+		{Cond(99), 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v.Eval(%d,%d) = %v", c.c, c.a, c.b, got)
+		}
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	res, _ := run(t, `
+		li   r1, 5
+		call double
+		out  r1       ; 10
+		call double
+		out  r1       ; 20
+		halt
+	double:
+		add r1, r1, r1
+		ret
+	`, nil)
+	if res.Output[0] != 10 || res.Output[1] != 20 {
+		t.Fatalf("call/ret: %v", res.Output)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	prog, _ := Assemble("t", "li r1, 1\ndiv r2, r1, r0\nhalt")
+	m := NewMachine(4)
+	_, err := m.Run(prog, Hooks{})
+	if !errors.Is(err, ErrDivByZero) {
+		t.Fatalf("err = %v", err)
+	}
+	prog, _ = Assemble("t", "li r1, 1\nmod r2, r1, r0\nhalt")
+	_, err = m.Run(prog, Hooks{})
+	if !errors.Is(err, ErrDivByZero) {
+		t.Fatalf("mod err = %v", err)
+	}
+}
+
+func TestMemFault(t *testing.T) {
+	prog, _ := Assemble("t", "ld r1, [9999]\nhalt")
+	m := NewMachine(16)
+	_, err := m.Run(prog, Hooks{})
+	var mf *MemFault
+	if !errors.As(err, &mf) {
+		t.Fatalf("err = %v, want MemFault", err)
+	}
+	if mf.Addr != 9999 || mf.PC != 0 {
+		t.Fatalf("fault %+v", mf)
+	}
+	prog, _ = Assemble("t", "li r1, -1\nst [r1], r1\nhalt")
+	if _, err := m.Run(prog, Hooks{}); !errors.As(err, &mf) {
+		t.Fatalf("negative store err = %v", err)
+	}
+}
+
+func TestStackErrors(t *testing.T) {
+	prog, _ := Assemble("t", "ret")
+	m := NewMachine(4)
+	if _, err := m.Run(prog, Hooks{}); !errors.Is(err, ErrStackEmpty) {
+		t.Fatalf("ret on empty: %v", err)
+	}
+	prog, _ = Assemble("t", "f: call f")
+	m.SetLimits(Limits{MaxStack: 10, MaxSteps: 1000})
+	if _, err := m.Run(prog, Hooks{}); !errors.Is(err, ErrStackOverflow) {
+		t.Fatalf("infinite recursion: %v", err)
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	prog, _ := Assemble("t", "spin: jmp spin")
+	m := NewMachine(4)
+	m.SetLimits(Limits{MaxSteps: 100})
+	_, err := m.Run(prog, Hooks{})
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	// Program without halt falls off the end.
+	prog, _ := Assemble("t", "li r1, 1")
+	m := NewMachine(4)
+	if _, err := m.Run(prog, Hooks{}); err == nil {
+		t.Fatal("running off the end did not error")
+	}
+}
+
+func TestOnInstHook(t *testing.T) {
+	prog, _ := Assemble("t", "li r1, 1\nli r2, 2\nhalt")
+	m := NewMachine(4)
+	var count int64
+	res, err := m.Run(prog, Hooks{OnInst: func(pc uint64) { count++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != res.Steps || count != 3 {
+		t.Fatalf("OnInst count %d, steps %d", count, res.Steps)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "bogus r1, r2",
+		"bad register":     "li rx, 1",
+		"reg range":        "li r16, 1",
+		"bad immediate":    "li r1, abc",
+		"operand count":    "add r1, r2",
+		"undefined label":  "jmp nowhere",
+		"duplicate label":  "a:\na:\nhalt",
+		"bad label":        "1bad:\nhalt",
+		"bad mem operand":  "ld r1, r2",
+		"bad mem inner":    "ld r1, [xyz]",
+		"bad mem offset":   "ld r1, [r2+zz]",
+	}
+	for name, src := range cases {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		}
+	}
+}
+
+func TestAssemblerComments(t *testing.T) {
+	prog, err := Assemble("t", `
+		; full line comment
+		li r1, 5   # hash comment
+		out r1     ; trailing
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Insts) != 3 {
+		t.Fatalf("got %d instructions", len(prog.Insts))
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	prog, err := Assemble("t", "start: li r1, 1\njmp start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, ok := prog.LabelOf("start"); !ok || idx != 0 {
+		t.Fatalf("label start at %d, ok=%v", idx, ok)
+	}
+}
+
+func TestMustLabelPanics(t *testing.T) {
+	prog, _ := Assemble("t", "halt")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLabel did not panic")
+		}
+	}()
+	prog.MustLabel("missing")
+}
+
+func TestDisassembleReassembleRoundTrip(t *testing.T) {
+	src := `
+	main:
+		li   r1, 10
+		addi r2, r1, -3
+		ld   r3, [r2+4]
+		st   [r2-1], r3
+		and  r4, r1, r2
+	loop:
+		beq  r1, r2, done
+		addi r1, r1, -1
+		call fn
+		jmp  loop
+	fn:
+		out  r1
+		ret
+	done:
+		halt
+	`
+	p1, err := Assemble("rt", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p1)
+	p2, err := Assemble("rt2", text)
+	if err != nil {
+		t.Fatalf("reassemble failed: %v\n%s", err, text)
+	}
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatalf("instruction count %d vs %d", len(p1.Insts), len(p2.Insts))
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Fatalf("instruction %d: %+v vs %+v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestStaticBranches(t *testing.T) {
+	prog, _ := Assemble("t", `
+		li r1, 0
+	a:	beq r1, r0, b
+	b:	bne r1, r0, c
+	c:	halt
+	`)
+	got := StaticBranches(prog)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("StaticBranches = %v", got)
+	}
+}
+
+func TestOpAndCondStrings(t *testing.T) {
+	if OpAdd.String() != "add" || OpHalt.String() != "halt" {
+		t.Fatal("op names wrong")
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Fatal("unknown op name wrong")
+	}
+	if CondEQ.String() != "eq" || !strings.HasPrefix(Cond(99).String(), "cond(") {
+		t.Fatal("cond names wrong")
+	}
+}
+
+func TestSetAndCmov(t *testing.T) {
+	res, _ := run(t, `
+		li   r1, 3
+		li   r2, 5
+		setlt r3, r1, r2
+		out  r3          ; 1
+		setge r4, r1, r2
+		out  r4          ; 0
+		li   r5, 77
+		cmov r6, r3, r5  ; taken: r6 = 77
+		out  r6
+		cmov r7, r4, r5  ; not taken: r7 stays 0
+		out  r7
+		halt
+	`, nil)
+	want := []int64{1, 0, 77, 0}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Errorf("output[%d] = %d, want %d", i, res.Output[i], w)
+		}
+	}
+}
+
+func TestSetCmovRoundTrip(t *testing.T) {
+	src := "setne r1, r2, r3\ncmov r4, r1, r2\nhalt"
+	p1, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble("t2", Disassemble(p1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Fatalf("instruction %d changed", i)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package twodprof
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPredictorNames(t *testing.T) {
+	names := PredictorNames()
+	if len(names) == 0 {
+		t.Fatal("no predictor names")
+	}
+	for _, n := range names {
+		if _, err := NewPredictor(n); err != nil {
+			t.Errorf("NewPredictor(%q): %v", n, err)
+		}
+	}
+	if _, err := NewPredictor("bogus"); err == nil {
+		t.Fatal("bogus predictor accepted")
+	}
+}
+
+func TestBenchmarksCatalog(t *testing.T) {
+	if len(Benchmarks()) != 12 {
+		t.Fatalf("benchmark count %d", len(Benchmarks()))
+	}
+	inputs, err := BenchmarkInputs("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inputs) != 8 { // train, ref, ext-1..6
+		t.Fatalf("gzip inputs %v", inputs)
+	}
+	if _, err := BenchmarkInputs("nope"); err == nil {
+		t.Fatal("unknown benchmark inputs")
+	}
+	if _, err := Benchmark("nope", "train"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestProfileOnKernel(t *testing.T) {
+	inst, err := Kernel("typesum", "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SliceSize = 10000
+	cfg.ExecThreshold = 20
+	rep, err := Profile(inst, cfg, "gshare-4KB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalExec == 0 || len(rep.Branches) == 0 {
+		t.Fatal("empty report")
+	}
+	// The gap-style type check with phase-mixed data must be flagged.
+	if !rep.IsInputDependent(inst.BranchPC("typecheck")) {
+		t.Fatalf("typecheck not flagged: %s", rep.FormatBranch(inst.BranchPC("typecheck")))
+	}
+}
+
+func TestProfileBiasMetric(t *testing.T) {
+	inst, err := Kernel("fsm", "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Metric = MetricBias
+	cfg.SliceSize = 10000
+	cfg.ExecThreshold = 20
+	rep, err := Profile(inst, cfg, "") // no predictor needed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalExec == 0 {
+		t.Fatal("empty edge-profiling report")
+	}
+}
+
+func TestKernelsCatalog(t *testing.T) {
+	if len(Kernels()) != 6 {
+		t.Fatalf("kernels %v", Kernels())
+	}
+	if _, err := Kernel("nope", "train"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestDefineTruthAndEvaluate(t *testing.T) {
+	train, err := Kernel("typesum", "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Kernel("typesum", "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := DefineTruth(train, ref, "gshare-4KB", 5.0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := train.BranchPC("typecheck")
+	if !truth.Labels[tc] {
+		t.Fatal("typecheck not input-dependent in ground truth")
+	}
+	cfg := DefaultConfig()
+	cfg.SliceSize = 10000
+	cfg.ExecThreshold = 20
+	rep, err := Profile(train, cfg, "gshare-4KB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := EvaluateReport(rep, truth)
+	if ev.TP+ev.FN != truth.NumDependent() {
+		t.Fatalf("eval inconsistent with truth: %+v", ev)
+	}
+	if _, err := DefineTruth(train, ref, "bogus", 5, 500); err == nil {
+		t.Fatal("bogus predictor accepted")
+	}
+}
+
+func TestMeasureAccuracy(t *testing.T) {
+	inst, _ := Kernel("bsearch", "train")
+	overall, per, err := MeasureAccuracy(inst, "gshare-4KB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall <= 50 || overall > 100 {
+		t.Fatalf("overall %v", overall)
+	}
+	if len(per) < 3 {
+		t.Fatalf("per-branch map %v", per)
+	}
+	if _, _, err := MeasureAccuracy(inst, "bogus"); err == nil {
+		t.Fatal("bogus predictor accepted")
+	}
+}
+
+func TestPaperCostModel(t *testing.T) {
+	m := PaperCostModel()
+	if m.ExecPred != 5 || m.MispPenalty != 30 {
+		t.Fatalf("cost model %+v", m)
+	}
+	pol := PredicationPolicy{Model: m}
+	d := pol.Decide(BranchProfile{PTaken: 0.5, PMisp: 0.2})
+	if d != Predicate {
+		t.Fatalf("decision %v", d)
+	}
+	if !strings.Contains(d.String(), "predicate") {
+		t.Fatal("decision string")
+	}
+}
+
+func TestNewSynthetic(t *testing.T) {
+	sb, err := NewSynthetic(SyntheticConfig{
+		Name:            "mybench",
+		Sites:           60,
+		DynamicBranches: 300000,
+		DepFraction:     0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wTrain := sb.Workload("train")
+	wOther := sb.Workload("other-data")
+
+	// The whole pipeline works on a custom benchmark.
+	truth, err := DefineTruth(wTrain, wOther, "gshare-4KB", 5.0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.Eligible() == 0 {
+		t.Fatal("no eligible branches")
+	}
+	cfg := DefaultConfig()
+	cfg.SliceSize = 10000
+	rep, err := Profile(wTrain, cfg, "gshare-4KB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := EvaluateReport(rep, truth)
+	if ev.TP+ev.FP+ev.FN+ev.TN != truth.Eligible() {
+		t.Fatalf("evaluation inconsistent: %+v vs %d eligible", ev, truth.Eligible())
+	}
+
+	// Determinism: same config, same stream.
+	sb2, _ := NewSynthetic(SyntheticConfig{
+		Name:            "mybench",
+		Sites:           60,
+		DynamicBranches: 300000,
+		DepFraction:     0.3,
+	})
+	var r1, r2 Recorder
+	sb.Workload("train").Run(&r1)
+	sb2.Workload("train").Run(&r2)
+	if len(r1.Events) != len(r2.Events) {
+		t.Fatal("custom benchmark not reproducible")
+	}
+
+	if _, err := NewSynthetic(SyntheticConfig{}); err == nil {
+		t.Fatal("nameless benchmark accepted")
+	}
+}
+
+func TestHardwareProfilerFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SliceSize = 5000
+	hw, err := NewHardwareProfiler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := NewPredictor("gshare-4KB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := Kernel("fsm", "ref")
+	var rec Recorder
+	inst.Run(&rec)
+	for _, e := range rec.Events {
+		p := pred.Predict(e.PC)
+		pred.Update(e.PC, e.Taken)
+		hw.BranchOutcome(e.PC, e.Taken, p == e.Taken)
+	}
+	rep := hw.Finish()
+	if rep.TotalExec != int64(len(rec.Events)) {
+		t.Fatalf("hardware profiler saw %d of %d events", rep.TotalExec, len(rec.Events))
+	}
+}
+
+func TestMustBenchmarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBenchmark did not panic")
+		}
+	}()
+	MustBenchmark("nope", "train")
+}
