@@ -1,0 +1,38 @@
+# Tier-1 verification and tooling for the twodprof repository.
+#
+#   make verify          build + vet + tests + race-mode concurrency tests
+#   make test            go test ./...
+#   make race            race-detector pass over the concurrent subsystems
+#   make bench-parallel  record engine/profiler benchmarks in results/BENCH_parallel.json
+#   make results         regenerate the committed results/ directory
+
+GO ?= go
+
+.PHONY: all build vet test race verify bench-parallel results
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent subsystems (the memoising oracle runner and the parallel
+# experiment engine) under the race detector. -short skips the full
+# experiment matrix, which is covered race-free by `make test`; the
+# concurrency tests themselves (TestRunnerConcurrent,
+# TestRunManyParallelMatchesSerial, ...) all run in -short mode.
+race:
+	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core
+
+verify: build vet test race
+
+bench-parallel:
+	$(GO) run ./tools/benchpar -o results/BENCH_parallel.json
+
+results:
+	$(GO) run ./cmd/experiments -run all -j 8 -o results

@@ -216,6 +216,81 @@ func BenchmarkProfilerBranch(b *testing.B) {
 	}
 }
 
+// BenchmarkEndSliceSparse measures slice-boundary cost when the static
+// branch population is large but only a few branches execute per slice —
+// the sparse case the active-set optimisation targets: endSlice walks
+// the branches touched in the slice, not every record ever seen.
+func BenchmarkEndSliceSparse(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.SliceSize = 1000
+	cfg.ExecThreshold = 10
+	prof := core.MustNewProfiler(cfg, bpred.NewGshare4KB())
+	// Populate 50 000 static branch records (one cold execution each).
+	for pc := trace.PC(1000); pc < 51000; pc++ {
+		prof.Branch(pc, true)
+	}
+	// Complete the current slice so the warm-up executions are folded.
+	for i := int64(0); i < cfg.SliceSize; i++ {
+		prof.Branch(0xA, i%3 != 0)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	// Each iteration retires one full slice in which only 10 of the
+	// 50 000 static branches execute.
+	for n := 0; n < b.N; n++ {
+		for i := int64(0); i < cfg.SliceSize; i++ {
+			prof.Branch(trace.PC(i%10), i%3 != 0)
+		}
+	}
+}
+
+// BenchmarkProfilerReset measures profiler reuse across runs (allocation
+// recycling for experiment loops).
+func BenchmarkProfilerReset(b *testing.B) {
+	w := spec.MustGet("gzip").MustWorkload("train")
+	var rec trace.Recorder
+	w.Run(&rec)
+	prof := core.MustNewProfiler(core.DefaultConfig(), bpred.NewGshare4KB())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		prof.Reset()
+		for _, e := range rec.Events {
+			prof.Branch(e.PC, e.Taken)
+		}
+		if prof.Finish().TotalExec == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// Engine benchmarks: the same deterministic driver subset under the
+// serial and the parallel engine, with a fresh context (cold caches)
+// per iteration so the measured quantity is real end-to-end work. The
+// speedup is bounded by the machine's core count (see
+// BENCH_parallel.json for recorded numbers).
+
+var engineBenchIDs = []string{"fig3", "fig4", "fig5", "tab1", "tab2", "fig10"}
+
+func benchRunMany(b *testing.B, parallelism int) {
+	b.Helper()
+	for n := 0; n < b.N; n++ {
+		ctx := exp.NewContext()
+		ctx.Parallelism = parallelism
+		err := exp.RunMany(ctx, engineBenchIDs, func(res exp.Result) {
+			if res.String() == "" {
+				b.Fatal("empty result")
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B)   { benchRunMany(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B) { benchRunMany(b, 0) } // 0 = GOMAXPROCS
+
 func BenchmarkWorkloadRun(b *testing.B) {
 	w := spec.MustGet("gzip").MustWorkload("train")
 	b.ReportAllocs()

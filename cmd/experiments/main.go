@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"twodprof/internal/bpred"
@@ -27,8 +28,10 @@ func main() {
 		profiler = flag.String("profiler", "gshare-4KB", "2D-profiler predictor configuration")
 		target   = flag.String("target", "gshare-4KB", "target-machine predictor (defines ground truth)")
 		par      = flag.Int("j", 4, "parallel workers for pre-warming the measurement cache")
-		verify   = flag.Bool("verify", false, "re-check the repository's reproduction claims (artifact evaluation)")
-		outDir   = flag.String("o", "", "also write each artifact to <dir>/<id>.txt")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"worker-pool size for the experiment engine (drivers and their per-benchmark fan-out); 1 = serial; output is identical at any setting")
+		verify = flag.Bool("verify", false, "re-check the repository's reproduction claims (artifact evaluation)")
+		outDir = flag.String("o", "", "also write each artifact to <dir>/<id>.txt")
 	)
 	flag.Parse()
 
@@ -48,6 +51,7 @@ func main() {
 	ctx := exp.NewContext()
 	ctx.ProfPred = *profiler
 	ctx.TargetPred = *target
+	ctx.Parallelism = *parallel
 
 	if *verify {
 		prewarm(ctx, *par)
@@ -90,17 +94,15 @@ func main() {
 		}
 		return
 	}
+	var ids []string
 	for _, id := range strings.Split(*run, ",") {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
 		}
-		res, err := exp.Run(ctx, id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		emit(res)
+	}
+	if err := exp.RunMany(ctx, ids, emit); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }
 

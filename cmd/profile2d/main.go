@@ -72,12 +72,14 @@ func main() {
 		fail(fmt.Errorf("unknown metric %q (want accuracy or bias)", *metric))
 	}
 
+	// Validate the predictor name in both metric modes; bias profiling
+	// just doesn't instantiate it (edge profiles need no predictor).
+	p, err := bpred.New(*predName)
+	if err != nil {
+		fail(err)
+	}
 	var pred bpred.Predictor
 	if cfg.Metric == core.MetricAccuracy {
-		p, err := bpred.New(*predName)
-		if err != nil {
-			fail(err)
-		}
 		pred = p
 	}
 	prof, err := core.NewProfiler(cfg, pred)

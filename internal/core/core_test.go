@@ -207,8 +207,8 @@ func TestWatchSeries(t *testing.T) {
 		t.Fatalf("series length %d != SliceN %d", len(series), rep.Branches[0xA].SliceN)
 	}
 	for i, pt := range series {
-		if pt.ExecInSl <= cfg.ExecThreshold {
-			t.Fatalf("series point %d has exec %d <= threshold", i, pt.ExecInSl)
+		if pt.ExecInSl < cfg.ExecThreshold {
+			t.Fatalf("series point %d has exec %d < threshold", i, pt.ExecInSl)
 		}
 		if pt.Value < 0 || pt.Value > 100 || pt.Overall < 0 || pt.Overall > 100 {
 			t.Fatalf("series point %d out of range: %+v", i, pt)

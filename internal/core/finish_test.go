@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/rng"
+)
+
+// TestFinishIdempotent calls Finish repeatedly on a stream that leaves a
+// flushable trailing partial slice: the flush must happen exactly once
+// and every call must return the same report.
+func TestFinishIdempotent(t *testing.T) {
+	cfg := testConfig()
+	prof := MustNewProfiler(cfg, bpred.NewGshare4KB())
+	sb := &streamBuilder{prof: prof, r: rng.New(11)}
+	// emit feeds 3 events per iteration: 1900 iterations = 5700 events =
+	// 5 full 1000-branch slices plus a 700-branch partial
+	// (>= SliceSize/2), so the first Finish flushes it.
+	sb.emit(0xA, 0.8, 1900)
+
+	rep1 := prof.Finish()
+	slices := rep1.Slices
+	if slices != 6 {
+		t.Fatalf("expected 6 slices (5 full + flushed partial), got %d", slices)
+	}
+	rep2 := prof.Finish()
+	if rep2 != rep1 {
+		t.Fatal("second Finish rebuilt the report")
+	}
+	if rep2.Slices != slices {
+		t.Fatalf("second Finish changed slice count: %d -> %d", slices, rep2.Slices)
+	}
+	if rep2.Branches[0xA] != rep1.Branches[0xA] {
+		t.Fatal("second Finish changed branch statistics")
+	}
+}
+
+// TestFinishThenMoreEvents checks that a profiler keeps working after
+// Finish: new events invalidate the memoised report and a later Finish
+// reflects them.
+func TestFinishThenMoreEvents(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlushPartialSlice = false
+	prof := MustNewProfiler(cfg, bpred.NewGshare4KB())
+	sb := &streamBuilder{prof: prof, r: rng.New(12)}
+	sb.emit(0xA, 0.8, 3000)
+	rep1 := prof.Finish()
+	sb.emit(0xA, 0.8, 3000)
+	rep2 := prof.Finish()
+	if rep2 == rep1 {
+		t.Fatal("Finish ignored events fed after the first Finish")
+	}
+	if rep2.TotalExec != 2*rep1.TotalExec {
+		t.Fatalf("TotalExec %d, want %d", rep2.TotalExec, 2*rep1.TotalExec)
+	}
+}
+
+// TestFinishSliceSizeOne is the degenerate flush case: with SliceSize 1
+// every event ends its own slice, so Finish must not flush an empty
+// trailing slice (and repeated Finish must not inflate the slice count).
+func TestFinishSliceSizeOne(t *testing.T) {
+	cfg := testConfig()
+	cfg.SliceSize = 1
+	cfg.ExecThreshold = 0
+	prof := MustNewProfiler(cfg, bpred.NewGshare4KB())
+	for i := 0; i < 10; i++ {
+		prof.Branch(0xA, true)
+	}
+	rep1 := prof.Finish()
+	rep2 := prof.Finish()
+	if rep1.Slices != 10 || rep2.Slices != 10 {
+		t.Fatalf("slice counts %d/%d, want 10/10", rep1.Slices, rep2.Slices)
+	}
+}
+
+// TestExecThresholdBoundary: the paper counts a slice iff the branch
+// executed at least exec_threshold times in it, so a branch hitting the
+// threshold exactly must contribute.
+func TestExecThresholdBoundary(t *testing.T) {
+	cfg := testConfig()
+	cfg.SliceSize = 100
+	cfg.ExecThreshold = 25
+	cfg.FlushPartialSlice = false
+	prof := MustNewProfiler(cfg, bpred.NewGshare4KB())
+	r := rng.New(13)
+	// Per 100-event slice: 0xA executes exactly 25 times, 0xB exactly
+	// 24, filler 0xC takes the rest.
+	for slice := 0; slice < 20; slice++ {
+		for i := 0; i < 25; i++ {
+			prof.Branch(0xA, r.Bool(0.8))
+		}
+		for i := 0; i < 24; i++ {
+			prof.Branch(0xB, r.Bool(0.8))
+		}
+		for i := 0; i < 51; i++ {
+			prof.Branch(0xC, r.Bool(0.8))
+		}
+	}
+	rep := prof.Finish()
+	if n := rep.Branches[0xA].SliceN; n != 20 {
+		t.Fatalf("branch at threshold contributed %d slices, want 20", n)
+	}
+	if n := rep.Branches[0xB].SliceN; n != 0 {
+		t.Fatalf("branch below threshold contributed %d slices, want 0", n)
+	}
+}
+
+// TestProfilerReset: a reset profiler must reproduce a fresh profiler's
+// report exactly, including watched series.
+func TestProfilerReset(t *testing.T) {
+	run := func(p *Profiler, seed uint64) *Report {
+		sb := &streamBuilder{prof: p, r: rng.New(seed)}
+		sb.emit(0xA, 0.8, 12000)
+		sb.emit(0xB, 0.6, 3000)
+		return p.Finish()
+	}
+
+	reused := MustNewProfiler(testConfig(), bpred.NewGshare4KB())
+	reused.Watch(0xA)
+	_ = run(reused, 41) // first use, discarded
+	reused.Reset()
+	got := run(reused, 42)
+
+	fresh := MustNewProfiler(testConfig(), bpred.NewGshare4KB())
+	fresh.Watch(0xA)
+	want := run(fresh, 42)
+
+	if got.Slices != want.Slices || got.Overall != want.Overall || got.TotalExec != want.TotalExec {
+		t.Fatalf("headers differ after Reset: %+v vs %+v", got, want)
+	}
+	if len(got.Branches) != len(want.Branches) {
+		t.Fatalf("branch counts differ: %d vs %d", len(got.Branches), len(want.Branches))
+	}
+	for pc, br := range want.Branches {
+		if got.Branches[pc] != br {
+			t.Fatalf("branch %v differs after Reset:\nreused %+v\nfresh  %+v", pc, got.Branches[pc], br)
+		}
+	}
+	gs, ws := reused.Series(0xA), fresh.Series(0xA)
+	if len(gs) != len(ws) {
+		t.Fatalf("watch series lengths differ: %d vs %d", len(gs), len(ws))
+	}
+	for i := range ws {
+		if gs[i] != ws[i] {
+			t.Fatalf("watch point %d differs: %+v vs %+v", i, gs[i], ws[i])
+		}
+	}
+}

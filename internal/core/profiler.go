@@ -12,16 +12,17 @@ import (
 // profiler never stores per-slice histories (except for explicitly
 // watched branches).
 type record struct {
-	n       int64   // N:    number of contributing slices
-	spa     float64 // SPA:  sum of (filtered) slice accuracies
-	sspa    float64 // SSPA: sum of squares of slice accuracies
-	npam    int64   // NPAM: slices whose accuracy exceeded the running mean
-	exec    int64   // exec_counter within the current slice
-	hit     int64   // predict_counter within the current slice
-	lpa     float64 // LPA: previous slice's filtered accuracy
-	hasLPA  bool    // whether lpa holds a real previous sample
-	totExec int64   // lifetime executions (for reporting)
-	totHit  int64   // lifetime hits (for reporting)
+	pc      trace.PC // the branch site (for the active-set walk)
+	n       int64    // N:    number of contributing slices
+	spa     float64  // SPA:  sum of (filtered) slice accuracies
+	sspa    float64  // SSPA: sum of squares of slice accuracies
+	npam    int64    // NPAM: slices whose accuracy exceeded the running mean
+	exec    int64    // exec_counter within the current slice
+	hit     int64    // predict_counter within the current slice
+	lpa     float64  // LPA: previous slice's filtered accuracy
+	hasLPA  bool     // whether lpa holds a real previous sample
+	totExec int64    // lifetime executions (for reporting)
+	totHit  int64    // lifetime hits (for reporting)
 }
 
 // SlicePoint is one sample of a watched branch's per-slice metric,
@@ -44,6 +45,10 @@ type Profiler struct {
 	external bool
 
 	recs map[trace.PC]*record
+	// active lists the records touched in the current slice, so slice
+	// boundaries cost O(branches executed in the slice) instead of
+	// O(all static branches ever seen).
+	active []*record
 
 	sliceExec int64 // retired branches in the current slice
 	sliceHit  int64 // metric numerator for the whole program in the slice
@@ -53,6 +58,11 @@ type Profiler struct {
 	totalHit  int64
 
 	watch map[trace.PC][]SlicePoint
+
+	// finRep memoises the Finish report; finExec is the totalExec it was
+	// computed at, so new events invalidate it naturally.
+	finRep  *Report
+	finExec int64
 }
 
 // NewProfiler creates a 2D-profiler. pred is the profiler's software
@@ -151,10 +161,13 @@ func (p *Profiler) BranchOutcome(pc trace.PC, taken, correct bool) {
 func (p *Profiler) record(pc trace.PC, taken, hit bool) {
 	r := p.recs[pc]
 	if r == nil {
-		r = &record{}
+		r = &record{pc: pc}
 		p.recs[pc] = r
 	}
 
+	if r.exec == 0 {
+		p.active = append(p.active, r)
+	}
 	r.exec++
 	r.totExec++
 	p.sliceExec++
@@ -182,7 +195,9 @@ func (p *Profiler) metricOf(hit, exec int64) float64 {
 }
 
 // endSlice executes Figure 9b for every branch with enough executions in
-// the slice, then resets the slice counters. With SliceStride > 1 only
+// the slice, then resets the slice counters. Only records touched in the
+// current slice (the active set) are visited — a branch that did not
+// execute has nothing to sample or reset. With SliceStride > 1 only
 // every Nth slice contributes statistics (the counters still reset, so
 // a sampled slice measures exactly one slice's worth of behaviour).
 func (p *Profiler) endSlice() {
@@ -191,8 +206,13 @@ func (p *Profiler) endSlice() {
 	if p.sliceExec > 0 {
 		overall = p.metricOf(p.sliceHit, p.sliceExec)
 	}
-	for pc, r := range p.recs {
-		if sampled && r.exec > p.cfg.ExecThreshold {
+	for _, r := range p.active {
+		pc := r.pc
+		// The paper's rule: a branch contributes a sample iff it executed
+		// at least exec_threshold times in the slice. Active records
+		// always have exec >= 1, so a zero threshold still requires an
+		// actual execution.
+		if sampled && r.exec >= p.cfg.ExecThreshold {
 			raw := p.metricOf(r.hit, r.exec)
 			v := raw
 			if p.cfg.UseFIR {
@@ -228,6 +248,7 @@ func (p *Profiler) endSlice() {
 		r.exec = 0
 		r.hit = 0
 	}
+	p.active = p.active[:0]
 	p.slices++
 	p.sliceExec = 0
 	p.sliceHit = 0
@@ -251,11 +272,15 @@ func (p *Profiler) Series(pc trace.PC) []SlicePoint { return p.watch[pc] }
 
 // Finish flushes a sufficiently large trailing partial slice, runs the
 // three input-dependence tests for every branch (Figure 9c), and returns
-// the report. The profiler can keep receiving events after Finish only
-// if FlushPartialSlice is off; calling Finish twice with a flushed
-// partial slice would double-count it, so treat Finish as terminal.
+// the report. Finish is idempotent: calling it again without feeding new
+// events returns the same report, and the trailing partial slice is
+// flushed at most once. The profiler may keep receiving events after
+// Finish; a later Finish folds the new events into a fresh report.
 func (p *Profiler) Finish() *Report {
-	if p.cfg.FlushPartialSlice && p.sliceExec >= p.cfg.SliceSize/2 {
+	if p.finRep != nil && p.finExec == p.totalExec {
+		return p.finRep
+	}
+	if p.cfg.FlushPartialSlice && p.sliceExec > 0 && p.sliceExec >= p.cfg.SliceSize/2 {
 		p.endSlice()
 	}
 
@@ -303,7 +328,31 @@ func (p *Profiler) Finish() *Report {
 		}
 		rep.Branches[pc] = res
 	}
+	p.finRep = rep
+	p.finExec = p.totalExec
 	return rep
+}
+
+// Reset returns the profiler to its initial state so experiment loops
+// can reuse its allocations (the record map, the active-set slice and
+// the predictor tables). Watched branches stay watched; their recorded
+// series are discarded.
+func (p *Profiler) Reset() {
+	clear(p.recs)
+	p.active = p.active[:0]
+	p.sliceExec = 0
+	p.sliceHit = 0
+	p.slices = 0
+	p.totalExec = 0
+	p.totalHit = 0
+	for pc := range p.watch {
+		p.watch[pc] = nil
+	}
+	p.finRep = nil
+	p.finExec = 0
+	if p.pred != nil {
+		p.pred.Reset()
+	}
 }
 
 func lifetimeMetric(p *Profiler, r *record) float64 {

@@ -47,19 +47,31 @@ func runExtAblate(ctx *Context) (Result, error) {
 		{"pam=0.30", func(c *core.Config) { c.PAMTh = 0.30 }},
 		{"stride=4", func(c *core.Config) { c.SliceStride = 4 }},
 	}
-	f := &ExtAblate{}
-	for _, v := range variants {
+	f := &ExtAblate{Rows: make([]AblationRow, len(variants))}
+	// Fan out over (variant, benchmark) pairs: every cell is an
+	// independent Evaluate2D call, and the runner dedups the shared
+	// ground-truth work across them.
+	benches := spec.DeepNames()
+	evals := make([]metrics.Eval, len(variants)*len(benches))
+	err := parEach(ctx, len(evals), func(k int) error {
+		v := variants[k/len(benches)]
 		cfg := ctx.Config
 		v.mut(&cfg)
-		var evs []metrics.Eval
-		for _, b := range spec.DeepNames() {
-			ev, err := ctx.Runner.Evaluate2D(b, cfg, ctx.ProfPred, ctx.TargetPred, []string{"ref"})
-			if err != nil {
-				return nil, err
-			}
-			evs = append(evs, ev)
+		ev, err := ctx.Runner.Evaluate2D(benches[k%len(benches)], cfg, ctx.ProfPred, ctx.TargetPred, []string{"ref"})
+		if err != nil {
+			return err
 		}
-		f.Rows = append(f.Rows, AblationRow{Name: v.name, Eval: metrics.MeanEval(evs)})
+		evals[k] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		f.Rows[i] = AblationRow{
+			Name: v.name,
+			Eval: metrics.MeanEval(evals[i*len(benches) : (i+1)*len(benches)]),
+		}
 	}
 	return f, nil
 }

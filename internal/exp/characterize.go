@@ -26,19 +26,28 @@ type Fig3 struct {
 }
 
 func runFig3(ctx *Context) (Result, error) {
-	f := &Fig3{}
-	for _, b := range spec.Names() {
+	names := spec.Names()
+	f := &Fig3{
+		Benchmarks: names,
+		Static:     make([]float64, len(names)),
+		Dynamic:    make([]float64, len(names)),
+	}
+	err := parEach(ctx, len(names), func(i int) error {
+		b := names[i]
 		truth, err := ctx.Runner.PairTruth(b, "ref", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ref, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.Benchmarks = append(f.Benchmarks, b)
-		f.Static = append(f.Static, truth.StaticFraction())
-		f.Dynamic = append(f.Dynamic, truth.DynamicFraction(ref))
+		f.Static[i] = truth.StaticFraction()
+		f.Dynamic[i] = truth.DynamicFraction(ref)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -66,18 +75,26 @@ type Fig4 struct {
 }
 
 func runFig4(ctx *Context) (Result, error) {
-	f := &Fig4{}
-	for _, b := range spec.Names() {
+	names := spec.Names()
+	f := &Fig4{
+		Benchmarks: names,
+		Dist:       make([][metrics.NumBuckets]float64, len(names)),
+	}
+	err := parEach(ctx, len(names), func(i int) error {
+		b := names[i]
 		truth, err := ctx.Runner.PairTruth(b, "ref", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ref, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.Benchmarks = append(f.Benchmarks, b)
-		f.Dist = append(f.Dist, metrics.DependentDistribution(truth, ref))
+		f.Dist[i] = metrics.DependentDistribution(truth, ref)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -110,18 +127,26 @@ type Fig5 struct {
 }
 
 func runFig5(ctx *Context) (Result, error) {
-	f := &Fig5{}
-	for _, b := range spec.Names() {
+	names := spec.Names()
+	f := &Fig5{
+		Benchmarks: names,
+		Frac:       make([][metrics.NumBuckets]float64, len(names)),
+	}
+	err := parEach(ctx, len(names), func(i int) error {
+		b := names[i]
 		truth, err := ctx.Runner.PairTruth(b, "ref", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ref, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.Benchmarks = append(f.Benchmarks, b)
-		f.Frac = append(f.Frac, metrics.DependentFractionPerBucket(truth, ref))
+		f.Frac[i] = metrics.DependentFractionPerBucket(truth, ref)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -154,19 +179,28 @@ type Table1 struct {
 }
 
 func runTable1(ctx *Context) (Result, error) {
-	t := &Table1{}
-	for _, b := range spec.Names() {
+	names := spec.Names()
+	t := &Table1{
+		Benchmarks: names,
+		Train:      make([]float64, len(names)),
+		Ref:        make([]float64, len(names)),
+	}
+	err := parEach(ctx, len(names), func(i int) error {
+		b := names[i]
 		at, err := ctx.Runner.Accounting(b, "train", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ar, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Benchmarks = append(t.Benchmarks, b)
-		t.Train = append(t.Train, at.Total.MispredictRate())
-		t.Ref = append(t.Ref, ar.Total.MispredictRate())
+		t.Train[i] = at.Total.MispredictRate()
+		t.Ref[i] = ar.Total.MispredictRate()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -209,32 +243,38 @@ type Table2Row struct {
 }
 
 func runTable2(ctx *Context) (Result, error) {
-	t := &Table2{}
-	for _, b := range spec.Names() {
+	names := spec.Names()
+	t := &Table2{Rows: make([]Table2Row, len(names))}
+	err := parEach(ctx, len(names), func(i int) error {
+		b := names[i]
 		bench, err := spec.Get(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		at, err := ctx.Runner.Accounting(b, "train", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ar, err := ctx.Runner.Accounting(b, "ref", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		truth, err := ctx.Runner.PairTruth(b, "ref", ctx.TargetPred)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Rows = append(t.Rows, Table2Row{
+		t.Rows[i] = Table2Row{
 			Benchmark:   b,
 			RefBranches: ar.Total.Exec,
 			TrainBr:     at.Total.Exec,
 			InputDep:    truth.NumDependent(),
 			TotalStatic: truth.Eligible(),
 			ExtraInputs: len(bench.ExtInputs()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

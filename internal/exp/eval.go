@@ -63,14 +63,18 @@ func (e *EvalSet) table(title string) string {
 type Fig10 struct{ EvalSet }
 
 func runFig10(ctx *Context) (Result, error) {
-	f := &Fig10{}
-	for _, b := range spec.Names() {
-		ev, err := ctx.Runner.Evaluate2D(b, ctx.Config, ctx.ProfPred, ctx.TargetPred, []string{"ref"})
+	names := spec.Names()
+	f := &Fig10{EvalSet{Benchmarks: names, Evals: make([]metrics.Eval, len(names))}}
+	err := parEach(ctx, len(names), func(i int) error {
+		ev, err := ctx.Runner.Evaluate2D(names[i], ctx.Config, ctx.ProfPred, ctx.TargetPred, []string{"ref"})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.Benchmarks = append(f.Benchmarks, b)
-		f.Evals = append(f.Evals, ev)
+		f.Evals[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -95,27 +99,37 @@ type GrowthResult struct {
 }
 
 func runGrowth(ctx *Context, id, title, pred string) (Result, error) {
-	g := &GrowthResult{id: id, Title: title, Pred: pred}
-	maxLevels := 0
-	for _, name := range spec.DeepNames() {
-		b, err := spec.Get(name)
+	names := spec.DeepNames()
+	g := &GrowthResult{
+		id: id, Title: title, Pred: pred,
+		Benchmarks: names,
+		Frac:       make([][]float64, len(names)),
+	}
+	err := parEach(ctx, len(names), func(i int) error {
+		b, err := spec.Get(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		levels := unionLevels(b)
-		if len(levels) > maxLevels {
-			maxLevels = len(levels)
-		}
-		var fr []float64
-		for _, lvl := range levels {
-			truth, err := ctx.Runner.UnionTruth(name, pred, lvl)
+		fr := make([]float64, len(levels))
+		for j, lvl := range levels {
+			truth, err := ctx.Runner.UnionTruth(names[i], pred, lvl)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			fr = append(fr, truth.StaticFraction())
+			fr[j] = truth.StaticFraction()
 		}
-		g.Benchmarks = append(g.Benchmarks, name)
-		g.Frac = append(g.Frac, fr)
+		g.Frac[i] = fr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxLevels := 0
+	for _, fr := range g.Frac {
+		if len(fr) > maxLevels {
+			maxLevels = len(fr)
+		}
 	}
 	for k := 1; k <= maxLevels; k++ {
 		g.Levels = append(g.Levels, levelName(k))
@@ -170,29 +184,39 @@ func runFig12(ctx *Context) (Result, error) {
 	// Align levels across benchmarks: level k exists for a benchmark
 	// only if it has that many comparison inputs; average over those
 	// that do (the paper averages over the six benchmarks).
-	maxLevels := 0
-	perBench := map[string][]metrics.Eval{}
-	for _, name := range spec.DeepNames() {
-		b, err := spec.Get(name)
+	names := spec.DeepNames()
+	perBench := make([][]metrics.Eval, len(names))
+	err := parEach(ctx, len(names), func(i int) error {
+		b, err := spec.Get(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, lvl := range unionLevels(b) {
-			ev, err := ctx.Runner.Evaluate2D(name, ctx.Config, ctx.ProfPred, ctx.TargetPred, lvl)
+		levels := unionLevels(b)
+		evs := make([]metrics.Eval, len(levels))
+		for j, lvl := range levels {
+			ev, err := ctx.Runner.Evaluate2D(names[i], ctx.Config, ctx.ProfPred, ctx.TargetPred, lvl)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			perBench[name] = append(perBench[name], ev)
+			evs[j] = ev
 		}
-		if n := len(perBench[name]); n > maxLevels {
-			maxLevels = n
+		perBench[i] = evs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxLevels := 0
+	for _, evs := range perBench {
+		if len(evs) > maxLevels {
+			maxLevels = len(evs)
 		}
 	}
 	for k := 0; k < maxLevels; k++ {
 		var evs []metrics.Eval
-		for _, name := range spec.DeepNames() {
-			if k < len(perBench[name]) {
-				evs = append(evs, perBench[name][k])
+		for i := range names {
+			if k < len(perBench[i]) {
+				evs = append(evs, perBench[i][k])
 			}
 		}
 		f.Levels = append(f.Levels, levelName(k+1))
@@ -223,19 +247,23 @@ func (f *Fig12) String() string {
 type Fig13 struct{ EvalSet }
 
 func runFig13(ctx *Context) (Result, error) {
-	f := &Fig13{}
-	for _, name := range spec.DeepNames() {
-		b, err := spec.Get(name)
+	names := spec.DeepNames()
+	f := &Fig13{EvalSet{Benchmarks: names, Evals: make([]metrics.Eval, len(names))}}
+	err := parEach(ctx, len(names), func(i int) error {
+		b, err := spec.Get(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		levels := unionLevels(b)
-		ev, err := ctx.Runner.Evaluate2D(name, ctx.Config, ctx.ProfPred, ctx.TargetPred, levels[len(levels)-1])
+		ev, err := ctx.Runner.Evaluate2D(names[i], ctx.Config, ctx.ProfPred, ctx.TargetPred, levels[len(levels)-1])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.Benchmarks = append(f.Benchmarks, name)
-		f.Evals = append(f.Evals, ev)
+		f.Evals[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -266,30 +294,32 @@ type Table4Row struct {
 }
 
 func runTable4(ctx *Context) (Result, error) {
-	t := &Table4{}
-	for _, name := range spec.DeepNames() {
+	names := spec.DeepNames()
+	perBench := make([][]Table4Row, len(names))
+	err := parEach(ctx, len(names), func(i int) error {
+		name := names[i]
 		b, err := spec.Get(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, in := range b.ExtInputs() {
 			ag, err := ctx.Runner.Accounting(name, in, bpred.NameGshare4KB)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ap, err := ctx.Runner.Accounting(name, in, bpred.NamePerceptron16KB)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tg, err := ctx.Runner.PairTruth(name, in, bpred.NameGshare4KB)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tp, err := ctx.Runner.PairTruth(name, in, bpred.NamePerceptron16KB)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			t.Rows = append(t.Rows, Table4Row{
+			perBench[i] = append(perBench[i], Table4Row{
 				Benchmark:     name,
 				Input:         in,
 				BranchCount:   ag.Total.Exec,
@@ -299,6 +329,14 @@ func runTable4(ctx *Context) (Result, error) {
 				DepPerceptron: tp.NumDependent(),
 			})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table4{}
+	for _, rows := range perBench {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -326,20 +364,24 @@ func (t *Table4) String() string {
 type Fig15 struct{ EvalSet }
 
 func runFig15(ctx *Context) (Result, error) {
-	f := &Fig15{}
-	for _, name := range spec.DeepNames() {
-		b, err := spec.Get(name)
+	names := spec.DeepNames()
+	f := &Fig15{EvalSet{Benchmarks: names, Evals: make([]metrics.Eval, len(names))}}
+	err := parEach(ctx, len(names), func(i int) error {
+		b, err := spec.Get(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		levels := unionLevels(b)
-		ev, err := ctx.Runner.Evaluate2D(name, ctx.Config, ctx.ProfPred,
+		ev, err := ctx.Runner.Evaluate2D(names[i], ctx.Config, ctx.ProfPred,
 			bpred.NamePerceptron16KB, levels[len(levels)-1])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.Benchmarks = append(f.Benchmarks, name)
-		f.Evals = append(f.Evals, ev)
+		f.Evals[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }

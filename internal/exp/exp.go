@@ -9,7 +9,9 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"twodprof/internal/bpred"
 	"twodprof/internal/core"
@@ -27,15 +29,25 @@ type Context struct {
 	TargetPred string
 	// Config is the 2D-profiling configuration.
 	Config core.Config
+	// Parallelism bounds the experiment engine's worker pool: it caps
+	// both the number of drivers RunAll/RunMany execute concurrently and
+	// each driver's internal per-benchmark fan-out. Zero or negative
+	// means one worker per available CPU (runtime.GOMAXPROCS(0)); 1
+	// forces fully serial execution. Results and rendered text are
+	// identical at every setting — the oracle runner memoises
+	// deterministic computations and shares in-flight work, so
+	// parallelism changes only wall-clock time.
+	Parallelism int
 }
 
 // NewContext returns the paper's baseline setup.
 func NewContext() *Context {
 	return &Context{
-		Runner:     oracle.NewRunner(),
-		ProfPred:   bpred.NameGshare4KB,
-		TargetPred: bpred.NameGshare4KB,
-		Config:     core.DefaultConfig(),
+		Runner:      oracle.NewRunner(),
+		ProfPred:    bpred.NameGshare4KB,
+		TargetPred:  bpred.NameGshare4KB,
+		Config:      core.DefaultConfig(),
+		Parallelism: runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -51,10 +63,17 @@ type Result interface {
 // Driver computes one experiment.
 type Driver func(*Context) (Result, error)
 
-var registry = map[string]struct {
+type entry struct {
 	drv  Driver
 	desc string
-}{}
+	// wallClock marks a driver that measures real execution time
+	// (fig16). The parallel engine runs such drivers exclusively — no
+	// other driver executing concurrently — so their timings are not
+	// distorted by pool load.
+	wallClock bool
+}
+
+var registry = map[string]entry{}
 
 // canonical is the paper's presentation order.
 var canonical = []string{
@@ -66,10 +85,16 @@ func register(id, desc string, drv Driver) {
 	if _, dup := registry[id]; dup {
 		panic("exp: duplicate experiment id " + id)
 	}
-	registry[id] = struct {
-		drv  Driver
-		desc string
-	}{drv, desc}
+	registry[id] = entry{drv: drv, desc: desc}
+}
+
+// registerWallClock registers a driver whose result depends on real
+// execution time; see entry.wallClock.
+func registerWallClock(id, desc string, drv Driver) {
+	register(id, desc, drv)
+	e := registry[id]
+	e.wallClock = true
+	registry[id] = e
 }
 
 // IDs returns all experiment ids in the paper's presentation order;
@@ -116,15 +141,95 @@ func Run(ctx *Context, id string) (Result, error) {
 	return e.drv(ctx)
 }
 
-// RunAll executes every registered experiment in order, invoking fn
-// with each result as it completes.
+// RunAll executes every registered experiment, invoking fn with each
+// result in the canonical order. Independent drivers run concurrently on
+// a worker pool bounded by ctx.Parallelism; the emitted results — and
+// therefore the rendered text — are identical to a serial run.
 func RunAll(ctx *Context, fn func(Result)) error {
-	for _, id := range IDs() {
-		res, err := Run(ctx, id)
-		if err != nil {
-			return fmt.Errorf("exp: %s: %w", id, err)
+	return RunMany(ctx, IDs(), fn)
+}
+
+// RunMany executes the listed experiments concurrently (bounded by
+// ctx.Parallelism) and invokes fn with each result in the order of ids.
+// Results stream: fn runs for index i as soon as results 0..i are all
+// available. Wall-clock-measuring drivers (fig16) run exclusively — the
+// engine drains the worker pool first — so concurrent load cannot
+// distort their timings. On failure RunMany waits for in-flight drivers, then
+// returns the error of the lowest-index failing id; fn has been invoked
+// for every result before that index.
+func RunMany(ctx *Context, ids []string, fn func(Result)) error {
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			return fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
 		}
-		fn(res)
+	}
+	if ctx.workers() <= 1 {
+		for _, id := range ids {
+			res, err := Run(ctx, id)
+			if err != nil {
+				return fmt.Errorf("exp: %s: %w", id, err)
+			}
+			fn(res)
+		}
+		return nil
+	}
+
+	results := make([]Result, len(ids))
+	errs := make([]error, len(ids))
+	done := make([]chan struct{}, len(ids))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	sem := make(chan struct{}, ctx.workers())
+	var wg sync.WaitGroup
+	defer wg.Wait() // never leave drivers running past RunMany
+
+	var pooled, exclusive []int
+	for i, id := range ids {
+		if registry[id].wallClock {
+			exclusive = append(exclusive, i)
+		} else {
+			pooled = append(pooled, i)
+		}
+	}
+	for _, i := range pooled {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(ctx, ids[i])
+			close(done[i])
+		}(i)
+	}
+	if len(exclusive) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Drain the pool: holding every worker slot means no pooled
+			// driver is running while the wall-clock drivers execute.
+			for n := 0; n < cap(sem); n++ {
+				sem <- struct{}{}
+			}
+			defer func() {
+				for n := 0; n < cap(sem); n++ {
+					<-sem
+				}
+			}()
+			for _, i := range exclusive {
+				results[i], errs[i] = Run(ctx, ids[i])
+				close(done[i])
+			}
+		}()
+	}
+
+	for i, id := range ids {
+		<-done[i]
+		if errs[i] != nil {
+			return fmt.Errorf("exp: %s: %w", id, errs[i])
+		}
+		fn(results[i])
 	}
 	return nil
 }

@@ -14,7 +14,7 @@ import (
 )
 
 func init() {
-	register("fig16", "profiling overhead: binary / hook-base / edge / gshare / 2D+gshare", runFig16)
+	registerWallClock("fig16", "profiling overhead: binary / hook-base / edge / gshare / 2D+gshare", runFig16)
 }
 
 // OverheadLevels are the five instrumentation levels of the paper's

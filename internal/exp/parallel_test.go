@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// parallelSubset is a small deterministic driver subset used to compare
+// engine modes without paying for the full experiment matrix.
+var parallelSubset = []string{"fig2", "fig3", "tab1"}
+
+func renderMany(t *testing.T, ctx *Context, ids []string) string {
+	t.Helper()
+	var b strings.Builder
+	var got []string
+	err := RunMany(ctx, ids, func(res Result) {
+		got = append(got, res.ID())
+		b.WriteString(res.String())
+		b.WriteString("\n")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("emitted %d results for %d ids", len(got), len(ids))
+	}
+	for i, id := range ids {
+		if got[i] != id {
+			t.Fatalf("emission order %v, want %v", got, ids)
+		}
+	}
+	return b.String()
+}
+
+// TestRunManyParallelMatchesSerial checks the engine's core guarantee:
+// a parallel run emits results in the requested order with text output
+// byte-identical to a fully serial run.
+func TestRunManyParallelMatchesSerial(t *testing.T) {
+	serialCtx := NewContext()
+	serialCtx.Parallelism = 1
+	serial := renderMany(t, serialCtx, parallelSubset)
+
+	parCtx := NewContext()
+	parCtx.Parallelism = 4
+	parallel := renderMany(t, parCtx, parallelSubset)
+
+	if serial != parallel {
+		t.Fatal("parallel output differs from serial output")
+	}
+}
+
+func TestRunManyUnknownID(t *testing.T) {
+	err := RunMany(NewContext(), []string{"fig2", "nope"}, func(Result) {
+		t.Fatal("fn invoked for an invalid id list")
+	})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("want unknown-id error, got %v", err)
+	}
+}
+
+func TestContextWorkers(t *testing.T) {
+	ctx := NewContext()
+	if ctx.Parallelism <= 0 {
+		t.Fatalf("NewContext Parallelism = %d", ctx.Parallelism)
+	}
+	ctx.Parallelism = 0
+	if ctx.workers() <= 0 {
+		t.Fatalf("workers() = %d with zero Parallelism", ctx.workers())
+	}
+	ctx.Parallelism = 3
+	if ctx.workers() != 3 {
+		t.Fatalf("workers() = %d, want 3", ctx.workers())
+	}
+}
+
+func TestParEachError(t *testing.T) {
+	ctx := NewContext()
+	ctx.Parallelism = 4
+	ran := make([]bool, 8)
+	err := parEach(ctx, len(ran), func(i int) error {
+		ran[i] = true
+		if i == 2 || i == 5 {
+			return errFake(i)
+		}
+		return nil
+	})
+	if err != errFake(2) {
+		t.Fatalf("want lowest-index error, got %v", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+	if err := parEach(ctx, 0, func(int) error { return errFake(0) }); err != nil {
+		t.Fatalf("empty parEach: %v", err)
+	}
+}
+
+type errFake int
+
+func (e errFake) Error() string { return "fake" }

@@ -23,25 +23,29 @@ type ExtPerbench struct {
 }
 
 func runExtPerbench(ctx *Context) (Result, error) {
-	f := &ExtPerbench{}
-	for _, name := range spec.DeepNames() {
-		b, err := spec.Get(name)
+	names := spec.DeepNames()
+	f := &ExtPerbench{
+		Benchmarks: names,
+		Levels:     make([][]string, len(names)),
+		Evals:      make([][]metrics.Eval, len(names)),
+	}
+	err := parEach(ctx, len(names), func(i int) error {
+		b, err := spec.Get(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var levels []string
-		var evals []metrics.Eval
 		for k, lvl := range unionLevels(b) {
-			ev, err := ctx.Runner.Evaluate2D(name, ctx.Config, ctx.ProfPred, ctx.TargetPred, lvl)
+			ev, err := ctx.Runner.Evaluate2D(names[i], ctx.Config, ctx.ProfPred, ctx.TargetPred, lvl)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			levels = append(levels, levelName(k+1))
-			evals = append(evals, ev)
+			f.Levels[i] = append(f.Levels[i], levelName(k+1))
+			f.Evals[i] = append(f.Evals[i], ev)
 		}
-		f.Benchmarks = append(f.Benchmarks, name)
-		f.Levels = append(f.Levels, levels)
-		f.Evals = append(f.Evals, evals)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers resolves the Context's Parallelism knob: non-positive means
+// "one worker per available CPU".
+func (ctx *Context) workers() int {
+	if ctx.Parallelism > 0 {
+		return ctx.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parEach runs f(0..n-1) on a bounded worker pool (ctx.Parallelism
+// goroutines at most) and waits for all of them. Every index runs even
+// if an earlier one fails; the returned error is the failure with the
+// lowest index, so error reporting is deterministic regardless of
+// scheduling. With one worker it degenerates to a plain serial loop.
+//
+// Drivers use it for their per-benchmark fan-out: each iteration writes
+// only its own index of preallocated result slices, which keeps the
+// assembled result — and therefore the rendered text — byte-identical
+// to a serial run.
+func parEach(ctx *Context, n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if ctx.workers() <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, ctx.workers())
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

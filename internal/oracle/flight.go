@@ -1,0 +1,51 @@
+package oracle
+
+import "sync"
+
+// flightGroup is a memoising singleflight: the first caller for a key
+// computes the value while concurrent callers for the same key block and
+// share the result instead of duplicating the (expensive, deterministic)
+// simulation. Successful results stay cached forever; a failed call is
+// forgotten so a later caller may retry.
+type flightGroup[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{} // closed when val/err are set
+	val  V
+	err  error
+}
+
+// do returns the cached value for key, or runs fn exactly once per key
+// across all concurrent callers and caches its result.
+func (g *flightGroup[K, V]) do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	close(c.done)
+
+	if c.err != nil {
+		g.mu.Lock()
+		// Drop failed calls so transient errors are not cached. A
+		// concurrent caller that already holds c still observes the
+		// error, as singleflight semantics require.
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+	}
+	return c.val, c.err
+}

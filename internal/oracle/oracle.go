@@ -4,7 +4,10 @@
 // runs and caches 2D-profiling passes so experiments can share work.
 //
 // Every run is deterministic, so results are memoised per process; the
-// experiments regenerate identical numbers on every invocation.
+// experiments regenerate identical numbers on every invocation. The
+// Runner is safe for concurrent use: simultaneous requests for the same
+// combination share a single computation (singleflight), so the parallel
+// experiment engine never duplicates or races a simulation.
 package oracle
 
 import (
@@ -25,17 +28,20 @@ import (
 // statistically meaningful about it).
 const DefaultMinExec = 2500
 
-// Runner memoises measurement and profiling runs.
+// Runner memoises measurement and profiling runs. It is safe for
+// concurrent use: each (benchmark, input, predictor[, config]) run is
+// computed exactly once even when many goroutines request it at the same
+// time — concurrent requesters block on the in-flight computation and
+// share its result (singleflight).
 type Runner struct {
 	// DeltaTh is the input-dependence threshold in percent (paper: 5).
 	DeltaTh float64
 	// MinExec is the per-run execution floor for eligibility.
 	MinExec int64
 
-	mu        sync.Mutex
-	accCache  map[accKey]*bpred.Accounting
-	repCache  map[repKey]*core.Report
-	biasCache map[biasKey]*metrics.BiasProfile
+	accFlight  flightGroup[accKey, *bpred.Accounting]
+	repFlight  flightGroup[repKey, *core.Report]
+	biasFlight flightGroup[biasKey, *metrics.BiasProfile]
 }
 
 type biasKey struct {
@@ -54,39 +60,25 @@ type repKey struct {
 // NewRunner returns a Runner with the paper's thresholds.
 func NewRunner() *Runner {
 	return &Runner{
-		DeltaTh:   metrics.DefaultDeltaTh,
-		MinExec:   DefaultMinExec,
-		accCache:  make(map[accKey]*bpred.Accounting),
-		repCache:  make(map[repKey]*core.Report),
-		biasCache: make(map[biasKey]*metrics.BiasProfile),
+		DeltaTh: metrics.DefaultDeltaTh,
+		MinExec: DefaultMinExec,
 	}
 }
 
 // BiasProfile edge-profiles (or returns the cached edge profile of) a
 // benchmark input.
 func (r *Runner) BiasProfile(bench, input string) (*metrics.BiasProfile, error) {
-	key := biasKey{bench, input}
-	r.mu.Lock()
-	if p, ok := r.biasCache[key]; ok {
-		r.mu.Unlock()
-		return p, nil
-	}
-	r.mu.Unlock()
-
-	b, err := spec.Get(bench)
-	if err != nil {
-		return nil, err
-	}
-	w, err := b.Workload(input)
-	if err != nil {
-		return nil, err
-	}
-	p := metrics.MeasureBias(w)
-
-	r.mu.Lock()
-	r.biasCache[key] = p
-	r.mu.Unlock()
-	return p, nil
+	return r.biasFlight.do(biasKey{bench, input}, func() (*metrics.BiasProfile, error) {
+		b, err := spec.Get(bench)
+		if err != nil {
+			return nil, err
+		}
+		w, err := b.Workload(input)
+		if err != nil {
+			return nil, err
+		}
+		return metrics.MeasureBias(w), nil
+	})
 }
 
 // BiasPairTruth labels bias input dependence (taken-rate delta over the
@@ -108,32 +100,21 @@ func (r *Runner) BiasPairTruth(bench, other string) (*metrics.Truth, error) {
 // Accounting runs (or returns the cached) measurement of a benchmark
 // input under a predictor configuration name.
 func (r *Runner) Accounting(bench, input, pred string) (*bpred.Accounting, error) {
-	key := accKey{bench, input, pred}
-	r.mu.Lock()
-	if a, ok := r.accCache[key]; ok {
-		r.mu.Unlock()
-		return a, nil
-	}
-	r.mu.Unlock()
-
-	b, err := spec.Get(bench)
-	if err != nil {
-		return nil, err
-	}
-	w, err := b.Workload(input)
-	if err != nil {
-		return nil, err
-	}
-	p, err := bpred.New(pred)
-	if err != nil {
-		return nil, err
-	}
-	a := bpred.Measure(w, p)
-
-	r.mu.Lock()
-	r.accCache[key] = a
-	r.mu.Unlock()
-	return a, nil
+	return r.accFlight.do(accKey{bench, input, pred}, func() (*bpred.Accounting, error) {
+		b, err := spec.Get(bench)
+		if err != nil {
+			return nil, err
+		}
+		w, err := b.Workload(input)
+		if err != nil {
+			return nil, err
+		}
+		p, err := bpred.New(pred)
+		if err != nil {
+			return nil, err
+		}
+		return bpred.Measure(w, p), nil
+	})
 }
 
 // MustAccounting panics on error (for experiment code over the fixed
@@ -182,40 +163,29 @@ func (r *Runner) UnionTruth(bench, pred string, others []string) (*metrics.Truth
 // Profile2D runs (or returns the cached) 2D-profiling pass over a
 // benchmark input with the given profiler predictor and configuration.
 func (r *Runner) Profile2D(bench, input, pred string, cfg core.Config) (*core.Report, error) {
-	key := repKey{bench, input, pred, cfg}
-	r.mu.Lock()
-	if rep, ok := r.repCache[key]; ok {
-		r.mu.Unlock()
-		return rep, nil
-	}
-	r.mu.Unlock()
-
-	b, err := spec.Get(bench)
-	if err != nil {
-		return nil, err
-	}
-	w, err := b.Workload(input)
-	if err != nil {
-		return nil, err
-	}
-	var p bpred.Predictor
-	if cfg.Metric == core.MetricAccuracy {
-		p, err = bpred.New(pred)
+	return r.repFlight.do(repKey{bench, input, pred, cfg}, func() (*core.Report, error) {
+		b, err := spec.Get(bench)
 		if err != nil {
 			return nil, err
 		}
-	}
-	prof, err := core.NewProfiler(cfg, p)
-	if err != nil {
-		return nil, err
-	}
-	w.Run(prof)
-	rep := prof.Finish()
-
-	r.mu.Lock()
-	r.repCache[key] = rep
-	r.mu.Unlock()
-	return rep, nil
+		w, err := b.Workload(input)
+		if err != nil {
+			return nil, err
+		}
+		var p bpred.Predictor
+		if cfg.Metric == core.MetricAccuracy {
+			p, err = bpred.New(pred)
+			if err != nil {
+				return nil, err
+			}
+		}
+		prof, err := core.NewProfiler(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		w.Run(prof)
+		return prof.Finish(), nil
+	})
 }
 
 // Evaluate2D runs 2D-profiling on the train input and scores it against

@@ -1,0 +1,133 @@
+package oracle
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+)
+
+// TestRunnerConcurrent hammers one Runner from many goroutines asking
+// for overlapping work. Run under -race this checks the singleflight
+// memoisation for data races; the pointer comparisons check that every
+// requester of a combination got the same shared result.
+func TestRunnerConcurrent(t *testing.T) {
+	r := NewRunner()
+	cfg := core.DefaultConfig()
+
+	type got struct {
+		acc  *bpred.Accounting
+		rep  *core.Report
+		bias interface{}
+	}
+	const workers = 16
+	results := make([]got, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := r.Accounting("gzip", "train", bpred.NameGshare4KB)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rep, err := r.Profile2D("gzip", "train", bpred.NameGshare4KB, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, err := r.BiasProfile("gzip", "train")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Mix in distinct and composite requests so goroutines
+			// overlap on different cache layers too.
+			if i%2 == 0 {
+				if _, err := r.PairTruth("gzip", "ref", bpred.NameGshare4KB); err != nil {
+					t.Error(err)
+				}
+			} else {
+				if _, err := r.Evaluate2D("gzip", cfg, bpred.NameGshare4KB,
+					bpred.NameGshare4KB, []string{"ref"}); err != nil {
+					t.Error(err)
+				}
+			}
+			results[i] = got{acc: a, rep: rep, bias: b}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if results[i].acc != results[0].acc {
+			t.Fatal("concurrent Accounting calls returned distinct results")
+		}
+		if results[i].rep != results[0].rep {
+			t.Fatal("concurrent Profile2D calls returned distinct results")
+		}
+		if results[i].bias != results[0].bias {
+			t.Fatal("concurrent BiasProfile calls returned distinct results")
+		}
+	}
+}
+
+// TestFlightGroupDedup checks the singleflight itself: concurrent
+// callers of one key share exactly one fn invocation, and failed calls
+// are retried instead of cached.
+func TestFlightGroupDedup(t *testing.T) {
+	var g flightGroup[string, int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	vals := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := g.do("k", func() (int, error) {
+				calls.Add(1)
+				<-release // hold every other caller in-flight
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Fatalf("caller %d got %d", i, v)
+		}
+	}
+
+	// Errors are not memoised.
+	boom := errors.New("boom")
+	fails := 0
+	for i := 0; i < 2; i++ {
+		if _, err := g.do("bad", func() (int, error) { fails++; return 0, boom }); !errors.Is(err, boom) {
+			t.Fatalf("want boom, got %v", err)
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("failed call was cached (fn ran %d times, want 2)", fails)
+	}
+
+	// Success after failure is cached.
+	if v, err := g.do("bad", func() (int, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("recovery call: %d, %v", v, err)
+	}
+	if v, err := g.do("bad", func() (int, error) { t.Fatal("cached key recomputed"); return 0, nil }); err != nil || v != 7 {
+		t.Fatalf("cached call: %d, %v", v, err)
+	}
+}

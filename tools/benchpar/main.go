@@ -1,0 +1,110 @@
+// Command benchpar measures the parallel experiment engine against the
+// serial one (plus the profiler hot-path micro-benchmarks) and records
+// the numbers as JSON, so the repository keeps a machine-readable
+// before/after artifact next to the rendered results.
+//
+// Usage:
+//
+//	go run ./tools/benchpar -o results/BENCH_parallel.json [-benchtime 2x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed `go test -bench` line.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iterations"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// File is the BENCH_parallel.json schema.
+type File struct {
+	Date        string   `json:"date"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Note        string   `json:"note"`
+	SpeedupLine string   `json:"runall_speedup"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+var lineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "results/BENCH_parallel.json", "output file")
+	benchtime := flag.String("benchtime", "2x", "go test -benchtime value")
+	flag.Parse()
+
+	pattern := "BenchmarkRunAllSerial$|BenchmarkRunAllParallel$|BenchmarkEndSliceSparse$|BenchmarkProfilerReset$"
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", *benchtime, "-count", "1", ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpar: go test: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	f := File{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "RunAll benches run the deterministic engine subset with cold caches per iteration; " +
+			"the parallel/serial ratio is bounded by num_cpu, so a single-core runner shows ~1x.",
+	}
+	byName := map[string]Result{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := lineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		f.Benchmarks = append(f.Benchmarks, r)
+		byName[r.Name] = r
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchpar: no benchmark lines parsed from:\n%s", raw)
+		os.Exit(1)
+	}
+	if s, p := byName["BenchmarkRunAllSerial"], byName["BenchmarkRunAllParallel"]; s.NsPerOp > 0 && p.NsPerOp > 0 {
+		f.SpeedupLine = fmt.Sprintf("%.2fx (serial %.2fs/op vs parallel %.2fs/op on %d CPUs)",
+			s.NsPerOp/p.NsPerOp, s.NsPerOp/1e9, p.NsPerOp/1e9, f.NumCPU)
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpar:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpar:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
+}

@@ -142,15 +142,21 @@ func NewHardwareProfiler(cfg Config) (*Profiler, error) {
 
 // Profile runs a complete 2D-profiling pass: it streams src through a
 // fresh profiler using the named predictor and returns the finished
-// report.
+// report. The predictor name is validated in both metric modes, so a
+// typo fails loudly instead of silently profiling bias; MetricBias
+// additionally accepts an empty name (edge profiling needs no
+// predictor).
 func Profile(src Source, cfg Config, predictor string) (*Report, error) {
 	var p Predictor
-	if cfg.Metric == MetricAccuracy {
+	if cfg.Metric == MetricAccuracy || predictor != "" {
 		var err error
 		p, err = bpred.New(predictor)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Metric == MetricBias {
+		p = nil // bias profiling never consults a predictor
 	}
 	prof, err := core.NewProfiler(cfg, p)
 	if err != nil {

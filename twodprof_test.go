@@ -76,6 +76,14 @@ func TestProfileBiasMetric(t *testing.T) {
 	if rep.TotalExec == 0 {
 		t.Fatal("empty edge-profiling report")
 	}
+	// A valid name is accepted (and ignored), but a typo must fail in
+	// bias mode exactly as it does in accuracy mode.
+	if _, err := Profile(inst, cfg, "gshare-4KB"); err != nil {
+		t.Fatalf("valid predictor name rejected in bias mode: %v", err)
+	}
+	if _, err := Profile(inst, cfg, "gshare-4kb"); err == nil {
+		t.Fatal("bad predictor name accepted in bias mode")
+	}
 }
 
 func TestKernelsCatalog(t *testing.T) {
