@@ -1,14 +1,16 @@
 # Tier-1 verification and tooling for the twodprof repository.
 #
-#   make verify          build + vet + tests + race-mode concurrency tests
+#   make verify          build + lint + tests + race-mode concurrency tests
+#   make lint            go vet + gofmt -l check
 #   make test            go test ./...
 #   make race            race-detector pass over the concurrent subsystems
 #   make bench-parallel  record engine/profiler benchmarks in results/BENCH_parallel.json
+#   make bench-serve     record ingest throughput scaling in results/BENCH_serve.json
 #   make results         regenerate the committed results/ directory
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench-parallel results
+.PHONY: all build vet lint test race verify bench-parallel bench-serve results
 
 all: verify
 
@@ -18,21 +20,32 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint = vet + formatting drift. gofmt -l prints offending files; a
+# non-empty listing fails the target.
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
-# The concurrent subsystems (the memoising oracle runner and the parallel
-# experiment engine) under the race detector. -short skips the full
-# experiment matrix, which is covered race-free by `make test`; the
-# concurrency tests themselves (TestRunnerConcurrent,
-# TestRunManyParallelMatchesSerial, ...) all run in -short mode.
+# The concurrent subsystems (the memoising oracle runner, the parallel
+# experiment engine and the online profiling service) under the race
+# detector. -short skips the full experiment matrix, which is covered
+# race-free by `make test`; the concurrency tests themselves
+# (TestRunnerConcurrent, TestRunManyParallelMatchesSerial,
+# TestIngestHammer, ...) all run in -short mode.
 race:
-	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core
+	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core ./internal/serve
 
-verify: build vet test race
+verify: build lint test race
 
 bench-parallel:
 	$(GO) run ./tools/benchpar -o results/BENCH_parallel.json
+
+bench-serve:
+	$(GO) run ./tools/benchserve -o results/BENCH_serve.json
 
 results:
 	$(GO) run ./cmd/experiments -run all -j 8 -o results

@@ -5,7 +5,11 @@ package twodprof
 // Go toolchain).
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -145,6 +149,78 @@ func TestCLIProfile2dJSON(t *testing.T) {
 	}
 	if rep.TotalExec == 0 || len(rep.Branches) == 0 {
 		t.Fatalf("empty JSON report: %+v", rep)
+	}
+}
+
+// TestCLIProfiledEndToEnd drives the online path with the real
+// binaries: profiled serves, tracegen streams a generated trace at it
+// with -post (writing the same trace to disk), and the daemon's
+// /v1/report must match profile2d -json reading that trace from stdin
+// byte for byte. Finally SIGINT must shut the daemon down cleanly.
+func TestCLIProfiledEndToEnd(t *testing.T) {
+	pd := buildCmd(t, "profiled")
+	tg := buildCmd(t, "tracegen")
+	p2d := buildCmd(t, "profile2d")
+	traceFile := filepath.Join(t.TempDir(), "fsm.btr")
+
+	daemon := exec.Command(pd, "-addr", "127.0.0.1:0", "-shards", "4")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+	// First line: "profiled: listening on 127.0.0.1:PORT (...)"
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("profiled produced no output: %v", sc.Err())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) < 4 {
+		t.Fatalf("unexpected startup line %q", sc.Text())
+	}
+	addr := fields[3]
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	out := runCmd(t, tg, "gen", "-kernel", "fsm", "-input", "train",
+		"-o", traceFile, "-post", "http://"+addr+"/v1/ingest?session=cli")
+	if !strings.Contains(out, "posted") || !strings.Contains(out, "HTTP 200") {
+		t.Fatalf("tracegen -post output:\n%s", out)
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/report?session=cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: status %d err %v", resp.StatusCode, err)
+	}
+
+	offline := exec.Command(p2d, "-trace", "-", "-json")
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	offline.Stdin = f
+	want, err := offline.Output()
+	if err != nil {
+		t.Fatalf("profile2d -trace -: %v", err)
+	}
+	if !bytes.Equal(want, served) {
+		t.Errorf("daemon report (%d bytes) differs from offline profile2d on stdin (%d bytes)",
+			len(served), len(want))
+	}
+
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Errorf("profiled did not exit cleanly on SIGINT: %v", err)
 	}
 }
 

@@ -7,6 +7,7 @@
 //	profile2d -bench gap -input train
 //	profile2d -bench gzip -input train -predictor gshare-4KB -top 20
 //	profile2d -trace run.btr -slice 20000
+//	profile2d -trace - < run.btr                              (trace on stdin)
 //	profile2d -bench gcc -input train -metric bias            (edge profiling)
 package main
 
@@ -30,7 +31,7 @@ func main() {
 		benchName = flag.String("bench", "", "benchmark name (see spec: bzip2, gzip, ...)")
 		kernel    = flag.String("kernel", "", "VM kernel name (typesum, lzchain, bsearch, inssort, fsm)")
 		input     = flag.String("input", "train", "input set name")
-		traceFile = flag.String("trace", "", "BTR1 trace file to profile instead of a benchmark")
+		traceFile = flag.String("trace", "", `BTR1 trace file to profile instead of a benchmark ("-" reads the trace from stdin, so traces can be piped without temp files)`)
 		predName  = flag.String("predictor", bpred.NameGshare4KB, "profiler branch predictor")
 		metric    = flag.String("metric", "accuracy", "profiled metric: accuracy or bias")
 		slice     = flag.Int64("slice", 0, "slice size in branches (0 = default)")
@@ -89,11 +90,14 @@ func main() {
 
 	switch {
 	case *traceFile != "":
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			fail(err)
+		f := os.Stdin
+		if *traceFile != "-" {
+			var err error
+			if f, err = os.Open(*traceFile); err != nil {
+				fail(err)
+			}
+			defer f.Close()
 		}
-		defer f.Close()
 		tr, err := trace.OpenReader(f)
 		if err != nil {
 			fail(err)

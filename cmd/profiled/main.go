@@ -1,0 +1,106 @@
+// Command profiled is the online 2D-profiling daemon. It accepts BTR1
+// (optionally gzip-compressed) branch-event streams over HTTP, shards
+// them across profiler workers, and serves live merged reports — the
+// same verdicts the offline profile2d tool computes, bit for bit,
+// while the run is still streaming.
+//
+// Usage:
+//
+//	profiled -addr :8377 -shards 8
+//	tracegen gen -kernel lzchain -input train -post http://localhost:8377/v1/ingest
+//	curl localhost:8377/v1/report | jq .
+//	curl localhost:8377/metrics
+//
+// Endpoints:
+//
+//	POST /v1/ingest    ?session=ID&predictor=...&metric=...&slice=N&shards=N
+//	GET  /v1/report    ?session=ID (default: most recent session)
+//	GET  /v1/sessions
+//	GET  /healthz
+//	GET  /metrics
+//
+// SIGINT/SIGTERM drain in-flight sessions gracefully within
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"twodprof/internal/core"
+	"twodprof/internal/serve"
+)
+
+func main() {
+	cfg := serve.DefaultConfig()
+	var (
+		addr    = flag.String("addr", cfg.Addr, "listen address")
+		shards  = flag.Int("shards", cfg.Shards, "profiler shard workers per session")
+		batch   = flag.Int("batch", cfg.BatchSize, "events per shard batch")
+		queue   = flag.Int("queue", cfg.QueueDepth, "per-shard queue depth, in batches")
+		pred    = flag.String("predictor", cfg.Predictor, "profiler branch predictor")
+		metric  = flag.String("metric", "accuracy", "profiled metric: accuracy or bias")
+		slice   = flag.Int64("slice", cfg.Profile.SliceSize, "slice size in branches")
+		execTh  = flag.Int64("execth", cfg.Profile.ExecThreshold, "per-slice execution threshold")
+		readTO  = flag.Duration("read-timeout", cfg.ReadTimeout, "per-read bound on slow clients (0 = none)")
+		drainTO = flag.Duration("drain-timeout", cfg.DrainTimeout, "graceful shutdown drain deadline")
+		keep    = flag.Int("sessions", cfg.MaxSessions, "finished sessions retained for /v1/report")
+	)
+	flag.Parse()
+
+	cfg.Addr = *addr
+	cfg.Shards = *shards
+	cfg.BatchSize = *batch
+	cfg.QueueDepth = *queue
+	cfg.Predictor = *pred
+	cfg.Profile.SliceSize = *slice
+	cfg.Profile.ExecThreshold = *execTh
+	cfg.ReadTimeout = *readTO
+	cfg.DrainTimeout = *drainTO
+	cfg.MaxSessions = *keep
+	switch *metric {
+	case "accuracy":
+		cfg.Profile.Metric = core.MetricAccuracy
+	case "bias":
+		cfg.Profile.Metric = core.MetricBias
+	default:
+		fail(fmt.Errorf("unknown metric %q (want accuracy or bias)", *metric))
+	}
+
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		fail(err)
+	}
+	errc, err := srv.Start()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("profiled: listening on %s (%d shards, %s metric)\n",
+		srv.Addr(), cfg.Shards, cfg.Profile.Metric)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "profiled: draining (deadline %s)\n", cfg.DrainTimeout)
+		shutCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout+time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fail(fmt.Errorf("shutdown: %w", err))
+		}
+	case err := <-errc:
+		if err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "profiled:", err)
+	os.Exit(1)
+}

@@ -5,6 +5,7 @@
 //
 //	tracegen gen  -bench gap -input train -o gap-train.btr
 //	tracegen gen  -kernel lzchain -input level9 -o lz9.btr
+//	tracegen gen  -kernel lzchain -input train -post http://localhost:8377/v1/ingest
 //	tracegen info -i gap-train.btr
 //	tracegen replay -i gap-train.btr -predictor gshare-4KB
 package main
@@ -12,7 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"twodprof/internal/bpred"
 	"twodprof/internal/progs"
@@ -67,48 +71,103 @@ func source(benchName, kernel, input string) (trace.Source, error) {
 	}
 }
 
+// postResult carries the daemon's response to a streamed ingest.
+type postResult struct {
+	status int
+	body   string
+	err    error
+}
+
 func cmdGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	benchName := fs.String("bench", "", "synthetic benchmark name")
 	kernel := fs.String("kernel", "", "VM kernel name (typesum, lzchain, bsearch, inssort, fsm)")
 	input := fs.String("input", "train", "input set name")
 	out := fs.String("o", "", "output trace file")
+	post := fs.String("post", "", "stream the trace to a profiled daemon's ingest URL (e.g. http://localhost:8377/v1/ingest) instead of, or as well as, -o")
 	compress := fs.Bool("z", false, "gzip-compress the trace")
 	fs.Parse(args)
-	if *out == "" {
-		fail(fmt.Errorf("gen: need -o output file"))
+	if *out == "" && *post == "" {
+		fail(fmt.Errorf("gen: need -o output file and/or -post ingest URL"))
 	}
 	src, err := source(*benchName, *kernel, *input)
 	if err != nil {
 		fail(err)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		fail(err)
+
+	var writers []io.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		writers = append(writers, f)
 	}
-	defer f.Close()
+	var pw *io.PipeWriter
+	var respc chan postResult
+	if *post != "" {
+		var pr *io.PipeReader
+		pr, pw = io.Pipe()
+		respc = make(chan postResult, 1)
+		// The trace is streamed straight into the request body as it is
+		// generated — no temp file, bounded memory at any trace size.
+		go func() {
+			resp, err := http.Post(*post, "application/octet-stream", pr)
+			if err != nil {
+				pr.CloseWithError(err)
+				respc <- postResult{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			respc <- postResult{status: resp.StatusCode, body: string(body)}
+		}()
+		writers = append(writers, pw)
+	}
+
+	w := writers[0]
+	if len(writers) > 1 {
+		w = io.MultiWriter(writers...)
+	}
 	var sink interface {
 		trace.Sink
 		Close() error
 	}
 	if *compress {
-		w, err := trace.NewCompressedWriter(f)
+		cw, err := trace.NewCompressedWriter(w)
 		if err != nil {
 			fail(err)
 		}
-		sink = w
+		sink = cw
 	} else {
-		w, err := trace.NewWriter(f)
+		tw, err := trace.NewWriter(w)
 		if err != nil {
 			fail(err)
 		}
-		sink = w
+		sink = tw
 	}
 	n := src.Run(sink)
 	if err := sink.Close(); err != nil {
 		fail(err)
 	}
-	fmt.Printf("wrote %d branch events to %s\n", n, *out)
+	if *out != "" {
+		fmt.Printf("wrote %d branch events to %s\n", n, *out)
+	}
+	if pw != nil {
+		pw.Close() // EOF to the daemon: the session is complete
+		res := <-respc
+		if res.err != nil {
+			fail(fmt.Errorf("gen: posting to %s: %w", *post, res.err))
+		}
+		fmt.Printf("posted %d branch events to %s (HTTP %d)\n%s", n, *post, res.status, res.body)
+		if res.status != http.StatusOK {
+			if !strings.HasSuffix(res.body, "\n") {
+				fmt.Println()
+			}
+			os.Exit(1)
+		}
+	}
 }
 
 func cmdInfo(args []string) {

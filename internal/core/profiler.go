@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"twodprof/internal/bpred"
 	"twodprof/internal/trace"
 )
@@ -43,6 +41,13 @@ type Profiler struct {
 	// external marks a hardware-counter profiler: prediction outcomes
 	// arrive via BranchOutcome instead of an internal predictor.
 	external bool
+	// manualSlice disables automatic slice boundaries: the owner calls
+	// EndSlice explicitly. Used by shard profilers, whose slice clock is
+	// the whole program's retired-branch count, not the shard's own.
+	manualSlice bool
+	// extPredName names the external front-end predictor feeding a
+	// shard profiler, for report metadata (pred itself is nil there).
+	extPredName string
 
 	recs map[trace.PC]*record
 	// active lists the records touched in the current slice, so slice
@@ -179,7 +184,7 @@ func (p *Profiler) record(pc trace.PC, taken, hit bool) {
 		p.totalHit++
 	}
 
-	if p.sliceExec >= p.cfg.SliceSize {
+	if !p.manualSlice && p.sliceExec >= p.cfg.SliceSize {
 		p.endSlice()
 	}
 }
@@ -187,8 +192,14 @@ func (p *Profiler) record(pc trace.PC, taken, hit bool) {
 // metricOf converts raw slice counters into the configured metric, in
 // percent.
 func (p *Profiler) metricOf(hit, exec int64) float64 {
+	return metricValue(p.cfg.Metric, hit, exec)
+}
+
+// metricValue is the metric conversion shared by the profiler and
+// snapshot report assembly (the two must agree bit for bit).
+func metricValue(m Metric, hit, exec int64) float64 {
 	v := 100 * float64(hit) / float64(exec)
-	if p.cfg.Metric == MetricBias && v < 50 {
+	if m == MetricBias && v < 50 {
 		v = 100 - v // biasedness: distance from a fully unbiased branch
 	}
 	return v
@@ -270,12 +281,25 @@ func (p *Profiler) Slices() int64 { return p.slices }
 // Series returns the recorded per-slice series for a watched branch.
 func (p *Profiler) Series(pc trace.PC) []SlicePoint { return p.watch[pc] }
 
+// EndSlice ends the current slice explicitly, folding its per-branch
+// counters into the running statistics (Figure 9b) even when fewer than
+// SliceSize branches retired. It is the slice clock of externally-driven
+// (shard) profilers, where the boundary is defined by the whole
+// program's retired-branch count; on an ordinary profiler it simply
+// forces an early boundary. Ending an empty slice still advances the
+// slice index.
+func (p *Profiler) EndSlice() { p.endSlice() }
+
 // Finish flushes a sufficiently large trailing partial slice, runs the
 // three input-dependence tests for every branch (Figure 9c), and returns
 // the report. Finish is idempotent: calling it again without feeding new
 // events returns the same report, and the trailing partial slice is
 // flushed at most once. The profiler may keep receiving events after
 // Finish; a later Finish folds the new events into a fresh report.
+//
+// The report is assembled through the same Snapshot path that sharded
+// profiling uses, so a PC-sharded run merged with MergeReports
+// reproduces Finish bit for bit.
 func (p *Profiler) Finish() *Report {
 	if p.finRep != nil && p.finExec == p.totalExec {
 		return p.finRep
@@ -283,51 +307,7 @@ func (p *Profiler) Finish() *Report {
 	if p.cfg.FlushPartialSlice && p.sliceExec > 0 && p.sliceExec >= p.cfg.SliceSize/2 {
 		p.endSlice()
 	}
-
-	meanTh := p.cfg.MeanTh
-	if meanTh < 0 {
-		meanTh = p.OverallMetric()
-	}
-
-	rep := &Report{
-		Config:        p.cfg,
-		MeanThApplied: meanTh,
-		Slices:        p.slices,
-		Overall:       p.OverallMetric(),
-		TotalExec:     p.totalExec,
-		Branches:      make(map[trace.PC]BranchResult, len(p.recs)),
-	}
-	if p.pred != nil {
-		rep.Predictor = p.pred.Name()
-	}
-
-	for pc, r := range p.recs {
-		res := BranchResult{
-			Exec:     r.totExec,
-			SliceN:   r.n,
-			Lifetime: lifetimeMetric(p, r),
-		}
-		if r.n > 0 {
-			mean := r.spa / float64(r.n)
-			variance := r.sspa/float64(r.n) - mean*mean
-			if variance < 0 {
-				variance = 0
-			}
-			res.Mean = mean
-			res.Std = math.Sqrt(variance)
-			res.PAMFrac = float64(r.npam) / float64(r.n)
-
-			res.PassMean = !p.cfg.DisableMean && mean < meanTh
-			res.PassStd = !p.cfg.DisableStd && res.Std > p.cfg.StdTh
-			if p.cfg.DisablePAM {
-				res.PassPAM = true
-			} else {
-				res.PassPAM = res.PAMFrac > p.cfg.PAMTh && res.PAMFrac < 1-p.cfg.PAMTh
-			}
-			res.InputDependent = (res.PassMean || res.PassStd) && res.PassPAM
-		}
-		rep.Branches[pc] = res
-	}
+	rep := p.Snapshot().Report()
 	p.finRep = rep
 	p.finExec = p.totalExec
 	return rep
@@ -353,11 +333,4 @@ func (p *Profiler) Reset() {
 	if p.pred != nil {
 		p.pred.Reset()
 	}
-}
-
-func lifetimeMetric(p *Profiler, r *record) float64 {
-	if r.totExec == 0 {
-		return 0
-	}
-	return p.metricOf(r.totHit, r.totExec)
 }

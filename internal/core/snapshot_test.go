@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/synth"
+	"twodprof/internal/trace"
+)
+
+// shardRun replays src through nShards shard profilers the way the
+// online service does: a sequential front-end owns the predictor and
+// the global slice clock, shards own disjoint PC partitions, and the
+// final report is assembled with MergeReports.
+func shardRun(t *testing.T, src trace.Source, cfg Config, predName string, nShards int) *Report {
+	t.Helper()
+	var pred bpred.Predictor
+	shardPred := ""
+	if cfg.Metric == MetricAccuracy {
+		pred = bpred.MustNew(predName)
+		shardPred = pred.Name()
+	}
+	shards := make([]*Profiler, nShards)
+	for i := range shards {
+		p, err := NewShardProfiler(cfg, shardPred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = p
+	}
+	var sliceExec int64
+	src.Run(trace.SinkFunc(func(pc trace.PC, taken bool) {
+		hit := taken
+		if pred != nil {
+			hit = pred.Predict(pc) == taken
+			pred.Update(pc, taken)
+		}
+		shards[uint64(pc)%uint64(nShards)].BranchOutcome(pc, taken, hit)
+		sliceExec++
+		if sliceExec >= cfg.SliceSize {
+			for _, s := range shards {
+				s.EndSlice()
+			}
+			sliceExec = 0
+		}
+	}))
+	if cfg.FlushPartialSlice && sliceExec > 0 && sliceExec >= cfg.SliceSize/2 {
+		for _, s := range shards {
+			s.EndSlice()
+		}
+	}
+	snaps := make([]*Snapshot, nShards)
+	for i, s := range shards {
+		snaps[i] = s.Snapshot()
+	}
+	rep, err := MergeReports(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func snapshotWorkload(name string) trace.Source {
+	pc := synth.DefaultPopulationConfig(name, 0x5eed)
+	pc.NumSites = 120
+	pc.DynTarget = 300_000
+	return synth.NewPopulation(pc).Workload("train")
+}
+
+func TestShardedRunMatchesFinish(t *testing.T) {
+	for _, metric := range []Metric{MetricAccuracy, MetricBias} {
+		for _, nShards := range []int{1, 3, 8} {
+			cfg := DefaultConfig()
+			cfg.SliceSize = 4000
+			cfg.ExecThreshold = 10
+			cfg.Metric = metric
+
+			var pred bpred.Predictor
+			if metric == MetricAccuracy {
+				pred = bpred.MustNew(bpred.NameGshare4KB)
+			}
+			offline := MustNewProfiler(cfg, pred)
+			snapshotWorkload("snapmatch").Run(offline)
+			want := offline.Finish()
+
+			got := shardRun(t, snapshotWorkload("snapmatch"), cfg, bpred.NameGshare4KB, nShards)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("metric %v, %d shards: merged report differs from Finish", metric, nShards)
+			}
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Errorf("metric %v, %d shards: JSON encodings differ", metric, nShards)
+			}
+		}
+	}
+}
+
+func TestSnapshotIsCopyOnRead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SliceSize = 100
+	p := MustNewProfiler(cfg, bpred.MustNew(bpred.NameGshare4KB))
+	for i := 0; i < 550; i++ {
+		p.Branch(trace.PC(i%7), i%3 == 0)
+	}
+	snap := p.Snapshot()
+	before := snap.Report()
+
+	// Feeding more events must not alter the snapshot already taken.
+	for i := 0; i < 1000; i++ {
+		p.Branch(trace.PC(i%7), i%2 == 0)
+	}
+	after := snap.Report()
+	if !reflect.DeepEqual(before, after) {
+		t.Error("snapshot changed after profiler kept receiving events")
+	}
+	if snap.TotalExec != 550 {
+		t.Errorf("snapshot TotalExec = %d, want 550", snap.TotalExec)
+	}
+}
+
+func TestMergeSnapshotsRejectsOverlapAndMismatch(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := NewShardProfiler(cfg, "")
+	b, _ := NewShardProfiler(cfg, "")
+	a.BranchOutcome(1, true, true)
+	b.BranchOutcome(1, false, false)
+	if _, err := MergeSnapshots(a.Snapshot(), b.Snapshot()); err == nil {
+		t.Error("merging overlapping shards should fail")
+	}
+
+	cfg2 := cfg
+	cfg2.SliceSize++
+	c, _ := NewShardProfiler(cfg2, "")
+	if _, err := MergeSnapshots(a.Snapshot(), c.Snapshot()); err == nil {
+		t.Error("merging differing configs should fail")
+	}
+	if _, err := MergeSnapshots(); err == nil {
+		t.Error("merging zero snapshots should fail")
+	}
+}
+
+func TestShardProfilerManualSlices(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SliceSize = 10
+	p, err := NewShardProfiler(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed far past SliceSize: a shard profiler must not end slices on
+	// its own (its local count is not the program's slice clock).
+	for i := 0; i < 100; i++ {
+		p.BranchOutcome(7, true, true)
+	}
+	if p.Slices() != 0 {
+		t.Fatalf("shard profiler ended %d slices on its own", p.Slices())
+	}
+	p.EndSlice()
+	if p.Slices() != 1 {
+		t.Fatalf("Slices = %d after explicit EndSlice, want 1", p.Slices())
+	}
+	// An empty EndSlice still advances the slice clock.
+	p.EndSlice()
+	if p.Slices() != 2 {
+		t.Fatalf("Slices = %d after empty EndSlice, want 2", p.Slices())
+	}
+}

@@ -1,0 +1,97 @@
+// Package serve implements the online 2D-profiling service: a daemon
+// that ingests BTR1 branch-event streams over HTTP, fans them across
+// PC-sharded core.Profiler workers, and serves live merged reports
+// while runs are still in flight.
+//
+// The serving pipeline preserves the offline algorithm exactly. Each
+// ingest session runs a sequential front-end that decodes the stream,
+// consults the session's branch predictor (whose state depends on the
+// full interleaved branch order and therefore cannot be sharded), and
+// maintains the global slice clock; per-branch statistics — which
+// partition disjointly by PC — are updated by the shard workers. The
+// final report is assembled with core.MergeReports and is bit-identical
+// to twodprof.Profile over the same trace at any shard count.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+)
+
+// Config holds every knob of the profiling service.
+type Config struct {
+	// Addr is the listen address of the daemon (host:port).
+	Addr string
+	// Shards is the number of profiler workers events are fanned across
+	// (sharded by branch-PC hash). Report output is identical at any
+	// value; only throughput changes.
+	Shards int
+	// BatchSize is the number of events buffered per shard before the
+	// batch is handed to the worker. Larger batches amortise channel
+	// overhead; slice boundaries flush batches early regardless.
+	BatchSize int
+	// QueueDepth is the per-shard bounded channel capacity, in batches.
+	// A full queue blocks the ingest goroutine (backpressure reaches
+	// the client through TCP flow control).
+	QueueDepth int
+	// Predictor is the profiler branch predictor for accuracy-metric
+	// sessions (ignored, and may be empty, when Profile.Metric is
+	// MetricBias). Sessions may override it per request.
+	Predictor string
+	// Profile is the 2D-profiling configuration applied to sessions.
+	Profile core.Config
+	// ReadTimeout bounds each read from a client's request body: a
+	// client that stalls longer than this mid-stream has its session
+	// failed. Zero disables the bound.
+	ReadTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight sessions get
+	// this long to drain before the listener is torn down hard.
+	DrainTimeout time.Duration
+	// MaxSessions caps the number of finished sessions retained for
+	// /v1/report queries; the oldest finished sessions are evicted
+	// first. Active sessions are never evicted.
+	MaxSessions int
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Addr:         ":8377",
+		Shards:       runtime.GOMAXPROCS(0),
+		BatchSize:    512,
+		QueueDepth:   64,
+		Predictor:    bpred.NameGshare4KB,
+		Profile:      core.DefaultConfig(),
+		ReadTimeout:  30 * time.Second,
+		DrainTimeout: 10 * time.Second,
+		MaxSessions:  64,
+	}
+}
+
+// Validate reports a non-nil error when the configuration is unusable.
+func (c Config) Validate() error {
+	switch {
+	case c.Shards <= 0:
+		return fmt.Errorf("serve: invalid config: Shards must be positive (got %d)", c.Shards)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("serve: invalid config: BatchSize must be positive (got %d)", c.BatchSize)
+	case c.QueueDepth <= 0:
+		return fmt.Errorf("serve: invalid config: QueueDepth must be positive (got %d)", c.QueueDepth)
+	case c.ReadTimeout < 0:
+		return fmt.Errorf("serve: invalid config: ReadTimeout must be non-negative")
+	case c.DrainTimeout < 0:
+		return fmt.Errorf("serve: invalid config: DrainTimeout must be non-negative")
+	case c.MaxSessions <= 0:
+		return fmt.Errorf("serve: invalid config: MaxSessions must be positive (got %d)", c.MaxSessions)
+	}
+	if c.Profile.Metric == core.MetricAccuracy {
+		if _, err := bpred.New(c.Predictor); err != nil {
+			return fmt.Errorf("serve: invalid config: %w", err)
+		}
+	}
+	return c.Profile.Validate()
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"twodprof/internal/core"
+	"twodprof/internal/trace"
+)
+
+// ingestFlushEvery bounds how stale the shared event counters may get:
+// the decode loop folds its local counts into the atomics every this
+// many events.
+const ingestFlushEvery = 4096
+
+// maxRequestShards caps the per-request shard-count override.
+const maxRequestShards = 128
+
+// bodyReader meters a request body and re-arms the per-read deadline so
+// a stalled client cannot pin a session forever.
+type bodyReader struct {
+	r       io.Reader
+	rc      *http.ResponseController
+	timeout time.Duration
+	session *Session
+	metrics *Metrics
+}
+
+func (b *bodyReader) Read(p []byte) (int, error) {
+	if b.timeout > 0 {
+		// Best-effort: not every ResponseWriter supports deadlines
+		// (httptest's recorder does not); ingest still works, unbounded.
+		_ = b.rc.SetReadDeadline(time.Now().Add(b.timeout))
+	}
+	n, err := b.r.Read(p)
+	if n > 0 {
+		b.session.bytes.Add(int64(n))
+		b.metrics.Bytes.Add(int64(n))
+	}
+	return n, err
+}
+
+// sessionConfig resolves the per-request profiling overrides against
+// the server defaults.
+func (s *Server) sessionConfig(r *http.Request) (cfg core.Config, predictor string, shards int, err error) {
+	q := r.URL.Query()
+	cfg = s.cfg.Profile
+	predictor = s.cfg.Predictor
+	shards = s.cfg.Shards
+
+	if v := q.Get("metric"); v != "" {
+		switch v {
+		case "accuracy":
+			cfg.Metric = core.MetricAccuracy
+		case "bias":
+			cfg.Metric = core.MetricBias
+		default:
+			return cfg, "", 0, fmt.Errorf("unknown metric %q (want accuracy or bias)", v)
+		}
+	}
+	if v := q.Get("predictor"); v != "" {
+		predictor = v
+	}
+	if v := q.Get("slice"); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil || n <= 0 {
+			return cfg, "", 0, fmt.Errorf("bad slice %q (want a positive integer)", v)
+		}
+		cfg.SliceSize = n
+	}
+	if v := q.Get("shards"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n <= 0 || n > maxRequestShards {
+			return cfg, "", 0, fmt.Errorf("bad shards %q (want 1..%d)", v, maxRequestShards)
+		}
+		shards = n
+	}
+	return cfg, predictor, shards, cfg.Validate()
+}
+
+// ingestSummary is the JSON response of a completed (or failed) ingest.
+type ingestSummary struct {
+	Session        string  `json:"session"`
+	State          string  `json:"state"`
+	Events         int64   `json:"events"`
+	Bytes          int64   `json:"bytes"`
+	Slices         int64   `json:"slices"`
+	Branches       int     `json:"branches"`
+	Overall        float64 `json:"overall"`
+	InputDependent int     `json:"inputDependent"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// handleIngest services POST /v1/ingest: it decodes a BTR1 or
+// BTR1-gzip stream from the request body, fans it across the shard
+// workers, and on EOF fixes the session's final report. Backpressure is
+// end to end: a full shard queue blocks the decode loop, which stops
+// reading the body, which stalls the client through TCP flow control.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "ingest wants POST", http.StatusMethodNotAllowed)
+		return
+	}
+	cfg, predictor, nShards, err := s.sessionConfig(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	set, err := newShardSet(nShards, s.cfg.BatchSize, s.cfg.QueueDepth, cfg, predictor)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	set.onSlice = func() { s.metrics.Slices.Add(1) }
+
+	session, err := s.registry.Begin(r.URL.Query().Get("session"), set)
+	if err != nil {
+		set.abort()
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.metrics.SessionsTotal.Add(1)
+	s.metrics.ActiveSessions.Add(1)
+	defer s.metrics.ActiveSessions.Add(-1)
+
+	body := &bodyReader{
+		r:       r.Body,
+		rc:      http.NewResponseController(w),
+		timeout: s.cfg.ReadTimeout,
+		session: session,
+		metrics: s.metrics,
+	}
+	tr, err := trace.OpenReader(body)
+	if err != nil {
+		s.failIngest(w, session, fmt.Errorf("opening stream: %w", err))
+		return
+	}
+
+	var (
+		local int64
+		evbuf [512]trace.Event
+	)
+	for {
+		k, rerr := tr.ReadBatch(evbuf[:])
+		for _, ev := range evbuf[:k] {
+			set.feed(ev.PC, ev.Taken)
+		}
+		if local += int64(k); local >= ingestFlushEvery {
+			session.events.Add(local)
+			s.metrics.Events.Add(local)
+			local = 0
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			session.events.Add(local)
+			s.metrics.Events.Add(local)
+			s.failIngest(w, session, fmt.Errorf("decoding stream: %w", rerr))
+			return
+		}
+	}
+	session.events.Add(local)
+	s.metrics.Events.Add(local)
+
+	rep, err := session.complete()
+	if err != nil {
+		s.failIngest(w, session, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestSummary{
+		Session:        session.ID,
+		State:          session.State().String(),
+		Events:         session.Events(),
+		Bytes:          session.bytes.Load(),
+		Slices:         rep.Slices,
+		Branches:       len(rep.Branches),
+		Overall:        rep.Overall,
+		InputDependent: len(rep.InputDependent()),
+	})
+}
+
+// failIngest marks the session failed and reports the error to the
+// client (the partial profile stays queryable via /v1/report).
+func (s *Server) failIngest(w http.ResponseWriter, session *Session, err error) {
+	session.fail(err)
+	s.metrics.SessionsFailed.Add(1)
+	writeJSON(w, http.StatusBadRequest, ingestSummary{
+		Session: session.ID,
+		State:   session.State().String(),
+		Events:  session.Events(),
+		Bytes:   session.bytes.Load(),
+		Error:   err.Error(),
+	})
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's counter registry, exposed in plain-text
+// exposition format on /metrics (one "name value" pair per line,
+// Prometheus-style, with no client dependency).
+type Metrics struct {
+	Events         atomic.Int64 // branch events ingested
+	Bytes          atomic.Int64 // raw bytes read from clients
+	Slices         atomic.Int64 // global slice boundaries completed
+	SessionsTotal  atomic.Int64 // sessions ever begun
+	SessionsFailed atomic.Int64 // sessions that broke mid-stream
+	ActiveSessions atomic.Int64 // sessions currently streaming
+
+	// rate state: events/sec over the window since the previous scrape.
+	mu         sync.Mutex
+	lastScrape time.Time
+	lastEvents int64
+}
+
+// eventsPerSec returns the ingest rate since the previous scrape (or
+// since startup for the first one).
+func (m *Metrics) eventsPerSec(now time.Time) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	events := m.Events.Load()
+	if m.lastScrape.IsZero() {
+		m.lastScrape, m.lastEvents = now, events
+		return 0
+	}
+	dt := now.Sub(m.lastScrape).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	rate := float64(events-m.lastEvents) / dt
+	m.lastScrape, m.lastEvents = now, events
+	return rate
+}
+
+// WriteTo renders the exposition text. queueDepths carries the current
+// per-shard queue depths summed over active sessions.
+func (m *Metrics) WriteTo(w io.Writer, queueDepths []int) {
+	fmt.Fprintf(w, "twodprof_events_ingested_total %d\n", m.Events.Load())
+	fmt.Fprintf(w, "twodprof_events_per_second %.1f\n", m.eventsPerSec(time.Now()))
+	fmt.Fprintf(w, "twodprof_bytes_ingested_total %d\n", m.Bytes.Load())
+	fmt.Fprintf(w, "twodprof_slices_completed_total %d\n", m.Slices.Load())
+	fmt.Fprintf(w, "twodprof_sessions_active %d\n", m.ActiveSessions.Load())
+	fmt.Fprintf(w, "twodprof_sessions_total %d\n", m.SessionsTotal.Load())
+	fmt.Fprintf(w, "twodprof_sessions_failed_total %d\n", m.SessionsFailed.Load())
+	for i, d := range queueDepths {
+		fmt.Fprintf(w, "twodprof_shard_queue_depth{shard=\"%d\"} %d\n", i, d)
+	}
+}

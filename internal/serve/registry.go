@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"twodprof/internal/core"
+)
+
+// SessionState is a session's lifecycle position.
+type SessionState int
+
+const (
+	// SessionActive: the client is still streaming events.
+	SessionActive SessionState = iota
+	// SessionDone: the stream completed and the final report is fixed.
+	SessionDone
+	// SessionFailed: the stream broke mid-flight; partial statistics
+	// remain queryable.
+	SessionFailed
+)
+
+// String returns the state name.
+func (s SessionState) String() string {
+	switch s {
+	case SessionActive:
+		return "active"
+	case SessionDone:
+		return "done"
+	case SessionFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Session is one profiling run flowing through the service.
+type Session struct {
+	ID string
+
+	mu     sync.Mutex
+	state  SessionState
+	shards *shardSet
+	final  *core.Report // fixed at completion
+	reason string       // failure reason, for /v1/sessions
+
+	events atomic.Int64 // decoded events so far
+	bytes  atomic.Int64 // raw bytes read from the client
+}
+
+// State returns the current lifecycle state.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Events returns the number of events decoded so far.
+func (s *Session) Events() int64 { return s.events.Load() }
+
+// Report returns the session's merged 2D-profiling report: the fixed
+// final report for a completed session, or a live snapshot merge for
+// one still in flight.
+func (s *Session) Report() (*core.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.final != nil {
+		return s.final, nil
+	}
+	if s.shards == nil {
+		return nil, fmt.Errorf("serve: session %s has no profile state", s.ID)
+	}
+	return s.shards.report()
+}
+
+// complete drains the shards, fixes the final report and transitions to
+// SessionDone. Returns the final report.
+func (s *Session) complete() (*core.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shards.finish()
+	rep, err := s.shards.report()
+	if err != nil {
+		s.state = SessionFailed
+		s.reason = err.Error()
+		return nil, err
+	}
+	s.final = rep
+	s.state = SessionDone
+	return rep, nil
+}
+
+// fail drains the shards without the final flush and records why the
+// session broke. The partial report stays queryable.
+func (s *Session) fail(reason error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shards.abort()
+	if rep, err := s.shards.report(); err == nil {
+		s.final = rep
+	}
+	s.state = SessionFailed
+	s.reason = reason.Error()
+}
+
+// queueDepths reports the shard queue depths of an active session (nil
+// once finished).
+func (s *Session) queueDepths() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != SessionActive || s.shards == nil {
+		return nil
+	}
+	return s.shards.queueDepths()
+}
+
+// Registry tracks sessions by id, newest last. Finished sessions are
+// evicted oldest-first beyond the retention cap; active sessions never
+// are.
+type Registry struct {
+	mu     sync.Mutex
+	byID   map[string]*Session
+	order  []string // insertion order, for latest-lookup and eviction
+	nextID int
+	cap    int
+}
+
+// NewRegistry creates a registry retaining at most cap finished
+// sessions.
+func NewRegistry(cap int) *Registry {
+	return &Registry{byID: make(map[string]*Session), cap: cap}
+}
+
+// Begin registers a new active session. An empty id is assigned
+// "s-<n>"; a duplicate id of a live registry entry is an error.
+func (r *Registry) Begin(id string, shards *shardSet) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id == "" {
+		r.nextID++
+		id = fmt.Sprintf("s-%d", r.nextID)
+	}
+	if _, dup := r.byID[id]; dup {
+		return nil, fmt.Errorf("serve: session %q already exists", id)
+	}
+	s := &Session{ID: id, state: SessionActive, shards: shards}
+	r.byID[id] = s
+	r.order = append(r.order, id)
+	r.evictLocked()
+	return s, nil
+}
+
+// evictLocked drops the oldest finished sessions beyond the cap.
+func (r *Registry) evictLocked() {
+	excess := len(r.order) - r.cap
+	if excess <= 0 {
+		return
+	}
+	kept := r.order[:0]
+	for _, id := range r.order {
+		if excess > 0 && r.byID[id].State() != SessionActive {
+			delete(r.byID, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	r.order = kept
+}
+
+// Get returns the session with the given id, or nil.
+func (r *Registry) Get(id string) *Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Latest returns the most recently begun session, or nil when the
+// registry is empty.
+func (r *Registry) Latest() *Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) == 0 {
+		return nil
+	}
+	return r.byID[r.order[len(r.order)-1]]
+}
+
+// List returns every retained session, oldest first.
+func (r *Registry) List() []*Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Session, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id])
+	}
+	return out
+}
+
+// ActiveQueueDepths sums shard queue depths across active sessions,
+// per shard index (for /metrics).
+func (r *Registry) ActiveQueueDepths(nShards int) []int {
+	depths := make([]int, nShards)
+	for _, s := range r.List() {
+		for i, d := range s.queueDepths() {
+			if i < nShards {
+				depths[i] += d
+			}
+		}
+	}
+	return depths
+}

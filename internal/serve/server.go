@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+)
+
+// Server is the online 2D-profiling service.
+//
+//	POST /v1/ingest    stream a BTR1 / BTR1-gzip trace into a session
+//	GET  /v1/report    merged report (final, or live for active sessions)
+//	GET  /v1/sessions  list retained sessions
+//	GET  /healthz      readiness (503 while draining)
+//	GET  /metrics      text-format counters
+type Server struct {
+	cfg      Config
+	metrics  *Metrics
+	registry *Registry
+
+	http     *http.Server
+	listener net.Listener
+	draining atomic.Bool
+}
+
+// NewServer validates cfg and assembles the service (not yet
+// listening).
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		metrics:  &Metrics{},
+		registry: NewRegistry(cfg.MaxSessions),
+	}
+	s.http = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
+	return s, nil
+}
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Start begins serving on cfg.Addr and returns once the listener is
+// bound (serving continues on a background goroutine; its terminal
+// error is delivered on the returned channel).
+func (s *Server) Start() (<-chan error, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listening on %s: %w", s.cfg.Addr, err)
+	}
+	s.listener = ln
+	errc := make(chan error, 1)
+	go func() {
+		if err := s.http.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+		close(errc)
+	}()
+	return errc, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return s.cfg.Addr
+	}
+	return s.listener.Addr().String()
+}
+
+// Shutdown drains the service gracefully: readiness flips to 503, new
+// connections are refused, and in-flight ingest sessions get
+// cfg.DrainTimeout to complete before the remaining connections are
+// torn down hard.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.cfg.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
+		defer cancel()
+	}
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline expired: close the stragglers.
+		closeErr := s.http.Close()
+		if closeErr != nil && err == nil {
+			err = closeErr
+		}
+	}
+	return err
+}
+
+// handleReport serves the merged 2D-profiling report of one session as
+// JSON: ?session=ID selects it, default is the most recent session.
+// Active sessions get a live snapshot merge; finished ones their fixed
+// final report.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "report wants GET", http.StatusMethodNotAllowed)
+		return
+	}
+	var session *Session
+	if id := r.URL.Query().Get("session"); id != "" {
+		session = s.registry.Get(id)
+		if session == nil {
+			http.Error(w, fmt.Sprintf("unknown session %q", id), http.StatusNotFound)
+			return
+		}
+	} else if session = s.registry.Latest(); session == nil {
+		http.Error(w, "no sessions ingested yet", http.StatusNotFound)
+		return
+	}
+	rep, err := session.Report()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// sessionInfo is one /v1/sessions entry.
+type sessionInfo struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Events int64  `json:"events"`
+	Bytes  int64  `json:"bytes"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleSessions lists retained sessions, oldest first.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "sessions wants GET", http.StatusMethodNotAllowed)
+		return
+	}
+	sessions := s.registry.List()
+	out := make([]sessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		info := sessionInfo{
+			ID:     sess.ID,
+			State:  sess.state.String(),
+			Events: sess.events.Load(),
+			Bytes:  sess.bytes.Load(),
+			Error:  sess.reason,
+		}
+		sess.mu.Unlock()
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz reports readiness: 200 while serving, 503 once
+// draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the counter registry in text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.WriteTo(w, s.registry.ActiveQueueDepths(s.cfg.Shards))
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"sync"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+	"twodprof/internal/trace"
+)
+
+// outcome is one decoded, predicted branch event bound for a shard.
+type outcome struct {
+	pc    trace.PC
+	taken bool
+	hit   bool
+}
+
+// batch is the unit of work handed to a shard worker: a run of
+// outcomes followed by an optional slice boundary. Slice-boundary
+// batches are delivered to every shard (the slice clock is global, so
+// even a shard that saw no events this slice must advance it).
+type batch struct {
+	events   []outcome
+	endSlice bool
+}
+
+// shardWorker owns one PC partition's core.Profiler. The profiler is
+// only ever touched under mu: by the worker goroutine applying batches
+// and by snapshot readers serving live reports.
+type shardWorker struct {
+	ch   chan batch
+	done chan struct{}
+	pool *sync.Pool
+
+	mu   sync.Mutex
+	prof *core.Profiler
+}
+
+func (w *shardWorker) run() {
+	defer close(w.done)
+	for b := range w.ch {
+		w.mu.Lock()
+		for _, e := range b.events {
+			w.prof.BranchOutcome(e.pc, e.taken, e.hit)
+		}
+		if b.endSlice {
+			w.prof.EndSlice()
+		}
+		w.mu.Unlock()
+		if cap(b.events) > 0 {
+			w.pool.Put(b.events[:0])
+		}
+	}
+}
+
+// snapshot takes a consistent snapshot of the worker's profiler between
+// batches.
+func (w *shardWorker) snapshot() *core.Snapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.prof.Snapshot()
+}
+
+// shardSet is one session's fan-out: N shard workers fed through
+// bounded channels, plus the sequential front-end state (predictor and
+// global slice clock) that cannot be sharded.
+type shardSet struct {
+	cfg     core.Config
+	workers []*shardWorker
+
+	pred      bpred.Predictor // nil for MetricBias
+	predName  string
+	sliceExec int64 // retired branches since the last global boundary
+
+	pending [][]outcome // per-shard batch under construction
+	batchSz int
+	pool    sync.Pool // recycles batch buffers between front-end and workers
+
+	// onSlice, when set, is invoked once per completed global slice
+	// (the service counts slices in /metrics through it).
+	onSlice func()
+}
+
+// newShardSet creates the workers and starts their goroutines.
+func newShardSet(n, batchSize, queueDepth int, cfg core.Config, predictor string) (*shardSet, error) {
+	s := &shardSet{
+		cfg:      cfg,
+		workers:  make([]*shardWorker, n),
+		predName: predictor,
+		pending:  make([][]outcome, n),
+		batchSz:  batchSize,
+	}
+	if cfg.Metric == core.MetricAccuracy {
+		p, err := bpred.New(predictor)
+		if err != nil {
+			return nil, err
+		}
+		s.pred = p
+		s.predName = p.Name()
+	} else {
+		s.predName = ""
+	}
+	for i := range s.workers {
+		prof, err := core.NewShardProfiler(cfg, s.predName)
+		if err != nil {
+			return nil, err
+		}
+		w := &shardWorker{
+			ch:   make(chan batch, queueDepth),
+			done: make(chan struct{}),
+			pool: &s.pool,
+			prof: prof,
+		}
+		s.workers[i] = w
+		go w.run()
+	}
+	return s, nil
+}
+
+// getBuf hands out a batch buffer, recycling ones the workers have
+// finished with. Without recycling, steady-state ingest allocates one
+// buffer per batchSz events per shard, and the resulting GC churn eats
+// into the throughput the sharding is meant to buy.
+func (s *shardSet) getBuf() []outcome {
+	if v := s.pool.Get(); v != nil {
+		return v.([]outcome)
+	}
+	return make([]outcome, 0, s.batchSz)
+}
+
+// shardOf maps a branch PC to its worker. A multiplicative mixer
+// (splitmix64 finaliser) spreads the typically small, dense PC space
+// evenly across any shard count.
+func (s *shardSet) shardOf(pc trace.PC) int {
+	x := uint64(pc)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(s.workers)))
+}
+
+// feed runs the sequential front-end for one event: predict (accuracy
+// metric), route to the owning shard, and advance the global slice
+// clock, broadcasting the boundary when a slice completes. Blocks when
+// the owning shard's queue is full — that is the backpressure path.
+func (s *shardSet) feed(pc trace.PC, taken bool) {
+	hit := taken
+	if s.pred != nil {
+		hit = s.pred.Predict(pc) == taken
+		s.pred.Update(pc, taken)
+	}
+	i := s.shardOf(pc)
+	if s.pending[i] == nil {
+		s.pending[i] = s.getBuf()
+	}
+	s.pending[i] = append(s.pending[i], outcome{pc: pc, taken: taken, hit: hit})
+	if len(s.pending[i]) >= s.batchSz {
+		s.workers[i].ch <- batch{events: s.pending[i]}
+		s.pending[i] = nil
+	}
+	s.sliceExec++
+	if s.sliceExec >= s.cfg.SliceSize {
+		s.broadcastSliceEnd()
+		s.sliceExec = 0
+	}
+}
+
+// broadcastSliceEnd flushes every pending batch with a slice-boundary
+// marker. Each shard applies the boundary after exactly the events that
+// belong to the slice, because its channel preserves order; shards need
+// no cross-shard synchronisation beyond this.
+func (s *shardSet) broadcastSliceEnd() {
+	for i, w := range s.workers {
+		w.ch <- batch{events: s.pending[i], endSlice: true}
+		s.pending[i] = nil
+	}
+	if s.onSlice != nil {
+		s.onSlice()
+	}
+}
+
+// finish completes the stream: applies the offline partial-slice flush
+// rule to the global clock, flushes all pending batches, closes the
+// queues and waits for the workers to drain.
+func (s *shardSet) finish() {
+	if s.cfg.FlushPartialSlice && s.sliceExec > 0 && s.sliceExec >= s.cfg.SliceSize/2 {
+		s.broadcastSliceEnd()
+		s.sliceExec = 0
+	}
+	s.abort()
+}
+
+// abort tears the workers down without the final slice flush (used when
+// a session fails mid-stream; its partial statistics remain queryable).
+func (s *shardSet) abort() {
+	for i, w := range s.workers {
+		if len(s.pending[i]) > 0 {
+			w.ch <- batch{events: s.pending[i]}
+			s.pending[i] = nil
+		}
+		close(w.ch)
+	}
+	for _, w := range s.workers {
+		<-w.done
+	}
+}
+
+// snapshots collects a consistent per-shard view; safe while workers
+// are still consuming.
+func (s *shardSet) snapshots() []*core.Snapshot {
+	snaps := make([]*core.Snapshot, len(s.workers))
+	for i, w := range s.workers {
+		snaps[i] = w.snapshot()
+	}
+	return snaps
+}
+
+// report merges the current shard snapshots into a Report.
+func (s *shardSet) report() (*core.Report, error) {
+	return core.MergeReports(s.snapshots()...)
+}
+
+// queueDepths returns the number of queued batches per shard.
+func (s *shardSet) queueDepths() []int {
+	d := make([]int, len(s.workers))
+	for i, w := range s.workers {
+		d[i] = len(w.ch)
+	}
+	return d
+}

@@ -37,10 +37,18 @@ func (c *CompressedWriter) Close() error {
 }
 
 // OpenReader returns a Reader for either a plain or a gzip-compressed
-// BTR1 stream, detected from the first two bytes.
+// BTR1 stream, detected from the first two bytes. Empty input yields
+// ErrEmpty and input shorter than the sniff window yields ErrTruncated
+// (an input that short cannot hold a BTR1 header in either encoding).
 func OpenReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(2)
+	if err == io.EOF {
+		if len(head) == 0 {
+			return nil, ErrEmpty
+		}
+		return nil, ErrTruncated
+	}
 	if err != nil {
 		return nil, fmt.Errorf("trace: sniffing stream: %w", err)
 	}

