@@ -4,13 +4,15 @@
 #   make lint            go vet + gofmt -l check
 #   make test            go test ./...
 #   make race            race-detector pass over the concurrent subsystems
+#   make fuzz-seeds      run the fuzz corpora as regular regression tests
 #   make bench-parallel  record engine/profiler benchmarks in results/BENCH_parallel.json
 #   make bench-serve     record ingest throughput scaling in results/BENCH_serve.json
+#   make bench-replay    record trace replay throughput in results/BENCH_replay.json
 #   make results         regenerate the committed results/ directory
 
 GO ?= go
 
-.PHONY: all build vet lint test race verify bench-parallel bench-serve results
+.PHONY: all build vet lint test race fuzz-seeds verify bench-parallel bench-serve bench-replay results
 
 all: verify
 
@@ -31,21 +33,30 @@ test:
 	$(GO) test ./...
 
 # The concurrent subsystems (the memoising oracle runner, the parallel
-# experiment engine and the online profiling service) under the race
-# detector. -short skips the full experiment matrix, which is covered
-# race-free by `make test`; the concurrency tests themselves
-# (TestRunnerConcurrent, TestRunManyParallelMatchesSerial,
-# TestIngestHammer, ...) all run in -short mode.
+# experiment engine, the parallel trace-replay pipeline and the online
+# profiling service) under the race detector. -short skips the full
+# experiment matrix, which is covered race-free by `make test`; the
+# concurrency tests themselves (TestRunnerConcurrent,
+# TestRunManyParallelMatchesSerial, TestIngestHammer,
+# TestParallelReplayHammer, ...) all run in -short mode.
 race:
-	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core ./internal/serve
+	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core ./internal/serve ./internal/trace ./internal/replay
 
-verify: build lint test race
+# Fuzz targets run their seed corpora as plain tests — a cheap
+# regression net over the decoders without a fuzzing session.
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' ./internal/trace ./internal/vm
+
+verify: build lint test race fuzz-seeds
 
 bench-parallel:
 	$(GO) run ./tools/benchpar -o results/BENCH_parallel.json
 
 bench-serve:
 	$(GO) run ./tools/benchserve -o results/BENCH_serve.json
+
+bench-replay:
+	$(GO) run ./tools/benchreplay -o results/BENCH_replay.json
 
 results:
 	$(GO) run ./cmd/experiments -run all -j 8 -o results

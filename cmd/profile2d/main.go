@@ -7,6 +7,7 @@
 //	profile2d -bench gap -input train
 //	profile2d -bench gzip -input train -predictor gshare-4KB -top 20
 //	profile2d -trace run.btr -slice 20000
+//	profile2d -trace run.btr2 -parallel 8                     (BTR2 parallel replay)
 //	profile2d -trace - < run.btr                              (trace on stdin)
 //	profile2d -bench gcc -input train -metric bias            (edge profiling)
 package main
@@ -22,6 +23,7 @@ import (
 	"twodprof/internal/core"
 	"twodprof/internal/metrics"
 	"twodprof/internal/progs"
+	"twodprof/internal/replay"
 	"twodprof/internal/spec"
 	"twodprof/internal/trace"
 )
@@ -31,7 +33,8 @@ func main() {
 		benchName = flag.String("bench", "", "benchmark name (see spec: bzip2, gzip, ...)")
 		kernel    = flag.String("kernel", "", "VM kernel name (typesum, lzchain, bsearch, inssort, fsm)")
 		input     = flag.String("input", "train", "input set name")
-		traceFile = flag.String("trace", "", `BTR1 trace file to profile instead of a benchmark ("-" reads the trace from stdin, so traces can be piped without temp files)`)
+		traceFile = flag.String("trace", "", `trace file (BTR1 or BTR2) to profile instead of a benchmark ("-" reads the trace from stdin, so traces can be piped without temp files)`)
+		parallel  = flag.Int("parallel", 1, "replay workers for -trace on BTR2 traces (0 = all CPUs, 1 = sequential; BTR1 always replays sequentially)")
 		predName  = flag.String("predictor", bpred.NameGshare4KB, "profiler branch predictor")
 		metric    = flag.String("metric", "accuracy", "profiled metric: accuracy or bias")
 		slice     = flag.Int64("slice", 0, "slice size in branches (0 = default)")
@@ -73,21 +76,7 @@ func main() {
 		fail(fmt.Errorf("unknown metric %q (want accuracy or bias)", *metric))
 	}
 
-	// Validate the predictor name in both metric modes; bias profiling
-	// just doesn't instantiate it (edge profiles need no predictor).
-	p, err := bpred.New(*predName)
-	if err != nil {
-		fail(err)
-	}
-	var pred bpred.Predictor
-	if cfg.Metric == core.MetricAccuracy {
-		pred = p
-	}
-	prof, err := core.NewProfiler(cfg, pred)
-	if err != nil {
-		fail(err)
-	}
-
+	var rep *core.Report
 	switch {
 	case *traceFile != "":
 		f := os.Stdin
@@ -98,14 +87,17 @@ func main() {
 			}
 			defer f.Close()
 		}
-		tr, err := trace.OpenReader(f)
+		// replay.Profile validates the predictor name itself and, on
+		// BTR2 traces, decodes (and for the bias metric, profiles)
+		// across -parallel workers; the report is byte-identical to a
+		// sequential pass either way.
+		r, err := replay.Profile(f, cfg, *predName, replay.Options{Workers: *parallel})
 		if err != nil {
 			fail(err)
 		}
-		if _, err := tr.Replay(prof); err != nil {
-			fail(err)
-		}
+		rep = r
 	case *benchName != "":
+		prof := newProfiler(cfg, *predName)
 		b, err := spec.Get(*benchName)
 		if err != nil {
 			fail(err)
@@ -115,19 +107,20 @@ func main() {
 			fail(err)
 		}
 		w.Run(prof)
+		rep = prof.Finish()
 	case *kernel != "":
+		prof := newProfiler(cfg, *predName)
 		inst, err := progs.StandardInput(*kernel, *input)
 		if err != nil {
 			fail(err)
 		}
 		inst.Run(prof)
+		rep = prof.Finish()
 	default:
 		fmt.Fprintln(os.Stderr, "profile2d: need -bench, -kernel or -trace")
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	rep := prof.Finish()
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -159,6 +152,25 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// newProfiler validates the predictor name in both metric modes; bias
+// profiling just doesn't instantiate it (edge profiles need no
+// predictor).
+func newProfiler(cfg core.Config, predName string) *core.Profiler {
+	p, err := bpred.New(predName)
+	if err != nil {
+		fail(err)
+	}
+	var pred bpred.Predictor
+	if cfg.Metric == core.MetricAccuracy {
+		pred = p
+	}
+	prof, err := core.NewProfiler(cfg, pred)
+	if err != nil {
+		fail(err)
+	}
+	return prof
 }
 
 // runCompare measures ground truth between the profiled input and the

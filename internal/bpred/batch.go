@@ -1,0 +1,142 @@
+package bpred
+
+import "twodprof/internal/trace"
+
+// Batched predictor fast paths.
+//
+// The Predict/Update interface costs two dynamic dispatches per branch,
+// which dominates replay once trace decode is batched. Predictors that
+// implement BatchPredictor expose concrete-type loops over whole event
+// runs: the per-event work inlines, table/history state stays in
+// registers, and the interface boundary is crossed once per batch
+// instead of twice per event. The batch methods are exact: feeding a
+// stream through them produces bit-identical predictor state and
+// outcomes to the one-event-at-a-time interface calls.
+
+// BatchPredictor is implemented by predictors with a devirtualized
+// batch path. ApplyBatch and UpdateBatch fall back to per-event
+// interface calls for predictors that lack one.
+type BatchPredictor interface {
+	Predictor
+	// PredictUpdateBatch runs the predict-then-train cycle over ev in
+	// program order, recording into hits[i] whether ev[i] was predicted
+	// correctly. len(hits) must be >= len(ev).
+	PredictUpdateBatch(ev []trace.Event, hits []bool)
+	// UpdateBatch trains on a run of resolved outcomes in program order
+	// without recording predictions (e.g. warming a predictor from a
+	// trace prefix).
+	UpdateBatch(ev []trace.Event)
+}
+
+// ApplyBatch runs the predict-then-train cycle over ev in program
+// order, storing per-event correctness into hits. It uses the
+// predictor's devirtualized batch path when available.
+func ApplyBatch(p Predictor, ev []trace.Event, hits []bool) {
+	if bp, ok := p.(BatchPredictor); ok {
+		bp.PredictUpdateBatch(ev, hits)
+		return
+	}
+	for i, e := range ev {
+		pred := p.Predict(e.PC)
+		p.Update(e.PC, e.Taken)
+		hits[i] = pred == e.Taken
+	}
+}
+
+// UpdateBatch trains p on a run of resolved outcomes in program order,
+// using the devirtualized path when available.
+func UpdateBatch(p Predictor, ev []trace.Event) {
+	if bp, ok := p.(BatchPredictor); ok {
+		bp.UpdateBatch(ev)
+		return
+	}
+	for _, e := range ev {
+		p.Update(e.PC, e.Taken)
+	}
+}
+
+// --- gshare ---
+
+// PredictUpdateBatch implements BatchPredictor. The loop keeps the
+// global history register and the index mask in locals, so per-event
+// cost is one table load, one store and a few ALU ops.
+func (g *Gshare) PredictUpdateBatch(ev []trace.Event, hits []bool) {
+	mask := uint64(1)<<uint(g.indexBits) - 1
+	h := g.hist.bits
+	hmask := g.hist.mask
+	tbl := g.table
+	for i, e := range ev {
+		idx := (uint64(e.PC) ^ h) & mask
+		c := tbl[idx]
+		hits[i] = c.Taken() == e.Taken
+		tbl[idx] = c.Update(e.Taken)
+		h <<= 1
+		if e.Taken {
+			h |= 1
+		}
+		h &= hmask
+	}
+	g.hist.bits = h
+}
+
+// UpdateBatch implements BatchPredictor.
+func (g *Gshare) UpdateBatch(ev []trace.Event) {
+	mask := uint64(1)<<uint(g.indexBits) - 1
+	h := g.hist.bits
+	hmask := g.hist.mask
+	tbl := g.table
+	for _, e := range ev {
+		idx := (uint64(e.PC) ^ h) & mask
+		tbl[idx] = tbl[idx].Update(e.Taken)
+		h <<= 1
+		if e.Taken {
+			h |= 1
+		}
+		h &= hmask
+	}
+	g.hist.bits = h
+}
+
+// PredictBatch fills preds[i] with the direction pc[i] would be
+// predicted under the current state, without training (all predictions
+// share the current global history). len(preds) must be >= len(pcs).
+func (g *Gshare) PredictBatch(pcs []trace.PC, preds []bool) {
+	mask := uint64(1)<<uint(g.indexBits) - 1
+	h := g.hist.bits
+	for i, pc := range pcs {
+		preds[i] = g.table[(uint64(pc)^h)&mask].Taken()
+	}
+}
+
+// --- bimodal ---
+
+// PredictUpdateBatch implements BatchPredictor.
+func (b *Bimodal) PredictUpdateBatch(ev []trace.Event, hits []bool) {
+	mask := uint64(1)<<uint(b.indexBits) - 1
+	tbl := b.table
+	for i, e := range ev {
+		idx := uint64(e.PC) & mask
+		c := tbl[idx]
+		hits[i] = c.Taken() == e.Taken
+		tbl[idx] = c.Update(e.Taken)
+	}
+}
+
+// UpdateBatch implements BatchPredictor.
+func (b *Bimodal) UpdateBatch(ev []trace.Event) {
+	mask := uint64(1)<<uint(b.indexBits) - 1
+	tbl := b.table
+	for _, e := range ev {
+		idx := uint64(e.PC) & mask
+		tbl[idx] = tbl[idx].Update(e.Taken)
+	}
+}
+
+// PredictBatch fills preds[i] with the direction pc[i] would be
+// predicted under the current state, without training.
+func (b *Bimodal) PredictBatch(pcs []trace.PC, preds []bool) {
+	mask := uint64(1)<<uint(b.indexBits) - 1
+	for i, pc := range pcs {
+		preds[i] = b.table[uint64(pc)&mask].Taken()
+	}
+}

@@ -68,6 +68,10 @@ type Profiler struct {
 	// computed at, so new events invalidate it naturally.
 	finRep  *Report
 	finExec int64
+
+	// hits is BranchBatch's scratch buffer for per-event predictor
+	// outcomes, reused across batches.
+	hits []bool
 }
 
 // NewProfiler creates a 2D-profiler. pred is the profiler's software
@@ -150,6 +154,48 @@ func (p *Profiler) Branch(pc trace.PC, taken bool) {
 		hit = taken
 	}
 	p.record(pc, taken, hit)
+}
+
+// BranchBatch implements trace.BatchSink: it is exactly equivalent to
+// calling Branch for each event in order (slice boundaries still fall
+// mid-batch wherever the clock says), but the predictor runs through
+// its devirtualized batch path, amortising the two interface dispatches
+// per event that dominate accuracy-metric replay.
+func (p *Profiler) BranchBatch(events []trace.Event) {
+	if p.external {
+		panic("core: BranchBatch on a hardware profiler; use BranchOutcome")
+	}
+	switch p.cfg.Metric {
+	case MetricAccuracy:
+		if cap(p.hits) < len(events) {
+			p.hits = make([]bool, len(events))
+		}
+		hits := p.hits[:len(events)]
+		bpred.ApplyBatch(p.pred, events, hits)
+		for i, e := range events {
+			p.record(e.PC, e.Taken, hits[i])
+		}
+	case MetricBias:
+		for _, e := range events {
+			p.record(e.PC, e.Taken, e.Taken)
+		}
+	}
+}
+
+// OutcomeBatch is the batched BranchOutcome: a run of externally
+// observed events applied in order. correct[i] carries event i's
+// prediction correctness; for MetricBias profilers correct is ignored
+// and may be nil.
+func (p *Profiler) OutcomeBatch(events []trace.Event, correct []bool) {
+	if p.cfg.Metric == MetricBias {
+		for _, e := range events {
+			p.record(e.PC, e.Taken, e.Taken)
+		}
+		return
+	}
+	for i, e := range events {
+		p.record(e.PC, e.Taken, correct[i])
+	}
 }
 
 // BranchOutcome records one dynamic branch whose prediction correctness

@@ -1,0 +1,193 @@
+package replay
+
+import (
+	"sync"
+
+	"twodprof/internal/core"
+	"twodprof/internal/trace"
+)
+
+// PC-sharded bias replay.
+//
+// The bias metric consults no predictor, so per-branch statistics
+// partition disjointly by PC (DESIGN.md §3b) and only the slice clock —
+// a running count of retired branches — couples events globally. The
+// router below is that clock plus a hash: it walks the in-order decoded
+// stream, appends each event to its owning shard's pending batch, and
+// broadcasts a boundary marker to every shard when a slice completes.
+// Shard workers fold their partition's statistics concurrently; their
+// channels preserve order, so each shard applies the boundary after
+// exactly the events that belong to the slice. This mirrors
+// internal/serve's ingest fan-out, whose merged output is proven
+// byte-identical to the offline single-profiler pass.
+
+// biasBatch is the unit of work handed to a shard worker.
+type biasBatch struct {
+	events   []trace.Event
+	endSlice bool
+}
+
+// biasShard owns one PC partition's profiler.
+type biasShard struct {
+	ch   chan biasBatch
+	done chan struct{}
+	pool *sync.Pool
+	prof *core.Profiler
+}
+
+func (s *biasShard) run() {
+	defer close(s.done)
+	for b := range s.ch {
+		s.prof.OutcomeBatch(b.events, nil)
+		if b.endSlice {
+			s.prof.EndSlice()
+		}
+		if cap(b.events) > 0 {
+			s.pool.Put(b.events[:0])
+		}
+	}
+}
+
+// routerBatchSize is the events buffered per shard before a batch is
+// handed off; slice boundaries flush early regardless.
+const routerBatchSize = 512
+
+// routerQueueDepth bounds each shard's channel; a full queue blocks the
+// router, which backpressures the decode pipeline.
+const routerQueueDepth = 64
+
+// biasRouter is the sequential routing stage. It implements
+// trace.BatchSink, so the parallel decode pipeline delivers whole
+// chunks into it.
+type biasRouter struct {
+	cfg       core.Config
+	shards    []*biasShard
+	pending   [][]trace.Event
+	sliceExec int64
+	pool      sync.Pool
+	closed    bool
+}
+
+func newBiasRouter(cfg core.Config, shards int) (*biasRouter, error) {
+	if shards <= 0 {
+		return nil, errShards(shards)
+	}
+	r := &biasRouter{
+		cfg:     cfg,
+		shards:  make([]*biasShard, shards),
+		pending: make([][]trace.Event, shards),
+	}
+	for i := range r.shards {
+		prof, err := core.NewShardProfiler(cfg, "")
+		if err != nil {
+			return nil, err
+		}
+		s := &biasShard{
+			ch:   make(chan biasBatch, routerQueueDepth),
+			done: make(chan struct{}),
+			pool: &r.pool,
+			prof: prof,
+		}
+		r.shards[i] = s
+		go s.run()
+	}
+	return r, nil
+}
+
+// shardOf maps a branch PC to its worker with a splitmix64 finaliser,
+// the same mixer internal/serve uses, so typical small dense PC spaces
+// spread evenly at any shard count.
+func (r *biasRouter) shardOf(pc trace.PC) int {
+	x := uint64(pc)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(r.shards)))
+}
+
+func (r *biasRouter) getBuf() []trace.Event {
+	if v := r.pool.Get(); v != nil {
+		return v.([]trace.Event)
+	}
+	return make([]trace.Event, 0, routerBatchSize)
+}
+
+// Branch implements trace.Sink.
+func (r *biasRouter) Branch(pc trace.PC, taken bool) {
+	r.route(trace.Event{PC: pc, Taken: taken})
+}
+
+// BranchBatch implements trace.BatchSink.
+func (r *biasRouter) BranchBatch(events []trace.Event) {
+	for _, e := range events {
+		r.route(e)
+	}
+}
+
+func (r *biasRouter) route(e trace.Event) {
+	i := r.shardOf(e.PC)
+	if r.pending[i] == nil {
+		r.pending[i] = r.getBuf()
+	}
+	r.pending[i] = append(r.pending[i], e)
+	if len(r.pending[i]) >= routerBatchSize {
+		r.shards[i].ch <- biasBatch{events: r.pending[i]}
+		r.pending[i] = nil
+	}
+	r.sliceExec++
+	if r.sliceExec >= r.cfg.SliceSize {
+		r.broadcastSliceEnd()
+		r.sliceExec = 0
+	}
+}
+
+// broadcastSliceEnd flushes every pending batch with a slice-boundary
+// marker, even to shards that saw no events this slice (the clock is
+// global).
+func (r *biasRouter) broadcastSliceEnd() {
+	for i, s := range r.shards {
+		s.ch <- biasBatch{events: r.pending[i], endSlice: true}
+		r.pending[i] = nil
+	}
+}
+
+// drain flushes pending batches, closes the queues and waits for the
+// workers.
+func (r *biasRouter) drain() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for i, s := range r.shards {
+		if len(r.pending[i]) > 0 {
+			s.ch <- biasBatch{events: r.pending[i]}
+			r.pending[i] = nil
+		}
+		close(s.ch)
+	}
+	for _, s := range r.shards {
+		<-s.done
+	}
+}
+
+// finish applies the offline partial-slice flush rule to the global
+// clock, drains the workers and merges the shard snapshots into the
+// final report.
+func (r *biasRouter) finish() (*core.Report, error) {
+	if r.cfg.FlushPartialSlice && r.sliceExec > 0 && r.sliceExec >= r.cfg.SliceSize/2 {
+		r.broadcastSliceEnd()
+		r.sliceExec = 0
+	}
+	r.drain()
+	snaps := make([]*core.Snapshot, len(r.shards))
+	for i, s := range r.shards {
+		snaps[i] = s.prof.Snapshot()
+	}
+	return core.MergeReports(snaps...)
+}
+
+// abort tears the workers down without the final flush (replay failed
+// mid-stream).
+func (r *biasRouter) abort() { r.drain() }

@@ -1,0 +1,215 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"twodprof/internal/core"
+	"twodprof/internal/synth"
+	"twodprof/internal/trace"
+)
+
+// testEvents records one synthetic workload with a wide-ish static
+// footprint, memoised across tests.
+var (
+	testEventsOnce sync.Once
+	testEventsVal  []trace.Event
+)
+
+func testEvents(t testing.TB) []trace.Event {
+	t.Helper()
+	testEventsOnce.Do(func() {
+		cfg := synth.DefaultPopulationConfig("replay-test", 0xabcd)
+		cfg.NumSites = 800
+		cfg.DynTarget = 300_000
+		wl := synth.NewPopulation(cfg).Workload("train")
+		rec := trace.NewRecorder(int(cfg.DynTarget))
+		wl.Run(rec)
+		testEventsVal = rec.Events
+	})
+	return testEventsVal
+}
+
+// testConfig uses a slice size small enough for a few dozen slices per
+// run, and deliberately not a power of two so "unaligned" chunk sizes
+// exist.
+func testConfig(metric core.Metric) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SliceSize = 5000
+	cfg.ExecThreshold = 10
+	cfg.Metric = metric
+	return cfg
+}
+
+func encodeBTR1(t testing.TB, events []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		w.Branch(e.PC, e.Taken)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeBTR2(t testing.TB, events []trace.Event, opts trace.BTR2Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewBTR2Writer(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BranchBatch(events)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func reportJSON(t testing.TB, rep *core.Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelMatchesSequential is the pipeline's core determinism
+// claim: parallel BTR2 replay is byte-identical (as JSON) to the
+// sequential BTR1 replay of the same events, for both metrics, at
+// several worker counts, with chunk sizes both aligned and not aligned
+// to the slice size.
+func TestParallelMatchesSequential(t *testing.T) {
+	events := testEvents(t)
+	btr1 := encodeBTR1(t, events)
+
+	for _, metric := range []core.Metric{core.MetricBias, core.MetricAccuracy} {
+		cfg := testConfig(metric)
+		ref, err := Profile(bytes.NewReader(btr1), cfg, "gshare-4KB", Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reportJSON(t, ref)
+
+		// 5000 divides 10000 (chunk boundary = slice boundary); 4093 is
+		// prime, so every slice boundary lands mid-chunk somewhere.
+		for _, chunk := range []int{10000, 4093} {
+			for _, compress := range []bool{false, true} {
+				if compress && chunk == 10000 {
+					continue // one compressed column is enough
+				}
+				btr2 := encodeBTR2(t, events, trace.BTR2Options{ChunkEvents: chunk, Compress: compress})
+				for _, workers := range []int{1, 4, 8} {
+					name := fmt.Sprintf("%s/chunk=%d/z=%v/workers=%d", metric, chunk, compress, workers)
+					rep, err := Profile(bytes.NewReader(btr2), cfg, "gshare-4KB", Options{Workers: workers})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if got := reportJSON(t, rep); !bytes.Equal(got, want) {
+						t.Errorf("%s: report differs from sequential BTR1 replay", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBTR1SequentialFallback checks a BTR1 stream profiles correctly
+// even when parallelism was requested (no chunk framing to exploit).
+func TestBTR1SequentialFallback(t *testing.T) {
+	events := testEvents(t)
+	btr1 := encodeBTR1(t, events)
+	cfg := testConfig(core.MetricAccuracy)
+	ref, err := Profile(bytes.NewReader(btr1), cfg, "gshare-4KB", Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Profile(bytes.NewReader(btr1), cfg, "gshare-4KB", Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportJSON(t, ref), reportJSON(t, rep)) {
+		t.Fatal("BTR1 report depends on the Workers option")
+	}
+}
+
+// TestPredictorValidated mirrors the profile2d contract: a bad
+// predictor name fails loudly in both metric modes.
+func TestPredictorValidated(t *testing.T) {
+	events := testEvents(t)[:1000]
+	btr2 := encodeBTR2(t, events, trace.BTR2Options{})
+	for _, metric := range []core.Metric{core.MetricBias, core.MetricAccuracy} {
+		cfg := testConfig(metric)
+		if _, err := Profile(bytes.NewReader(btr2), cfg, "no-such-predictor", Options{}); err == nil {
+			t.Errorf("metric %s accepted a bad predictor name", metric)
+		}
+	}
+	// Bias with an empty name is edge profiling: fine.
+	cfg := testConfig(core.MetricBias)
+	if _, err := Profile(bytes.NewReader(btr2), cfg, "", Options{}); err != nil {
+		t.Errorf("bias with empty predictor: %v", err)
+	}
+}
+
+// TestTruncatedStreamFails checks a stream cut mid-chunk surfaces an
+// error rather than a silently short report.
+func TestTruncatedStreamFails(t *testing.T) {
+	events := testEvents(t)[:50000]
+	btr2 := encodeBTR2(t, events, trace.BTR2Options{ChunkEvents: 4096})
+	cut := btr2[:len(btr2)/2]
+	if _, err := Profile(bytes.NewReader(cut), testConfig(core.MetricBias), "", Options{Workers: 4}); err == nil {
+		t.Fatal("mid-chunk truncation produced a report with no error")
+	}
+}
+
+// TestParallelReplayHammer drives the full pipeline concurrently; it is
+// the -race workout for the decode pool, the reorder stage and the
+// bias fan-out.
+func TestParallelReplayHammer(t *testing.T) {
+	events := testEvents(t)
+	if testing.Short() {
+		events = events[:60_000]
+	}
+	btr2 := encodeBTR2(t, events, trace.BTR2Options{ChunkEvents: 4093})
+	var wants [2][]byte
+	for i, metric := range []core.Metric{core.MetricBias, core.MetricAccuracy} {
+		ref, err := Profile(bytes.NewReader(btr2), testConfig(metric), "gshare-4KB", Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = reportJSON(t, ref)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		for i, metric := range []core.Metric{core.MetricBias, core.MetricAccuracy} {
+			wg.Add(1)
+			go func(g, i int, metric core.Metric) {
+				defer wg.Done()
+				workers := 2 + g%3*3 // 2, 5, 8, 2
+				rep, err := Profile(bytes.NewReader(btr2), testConfig(metric), "gshare-4KB", Options{Workers: workers})
+				if err != nil {
+					errc <- fmt.Errorf("hammer %s workers=%d: %w", metric, workers, err)
+					return
+				}
+				if !bytes.Equal(reportJSON(t, rep), wants[i]) {
+					errc <- fmt.Errorf("hammer %s workers=%d: report differs", metric, workers)
+				}
+			}(g, i, metric)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,5 +1,6 @@
 // Package serve implements the online 2D-profiling service: a daemon
-// that ingests BTR1 branch-event streams over HTTP, fans them across
+// that ingests branch-event streams (BTR1 or chunked BTR2, either
+// optionally gzip-wrapped) over HTTP, fans them across
 // PC-sharded core.Profiler workers, and serves live merged reports
 // while runs are still in flight.
 //

@@ -95,8 +95,9 @@ type ingestSummary struct {
 	Error          string  `json:"error,omitempty"`
 }
 
-// handleIngest services POST /v1/ingest: it decodes a BTR1 or
-// BTR1-gzip stream from the request body, fans it across the shard
+// handleIngest services POST /v1/ingest: it decodes a BTR1 or BTR2
+// stream (either optionally gzip-wrapped) from the request body,
+// fans it across the shard
 // workers, and on EOF fixes the session's final report. Backpressure is
 // end to end: a full shard queue blocks the decode loop, which stops
 // reading the body, which stalls the client through TCP flow control.

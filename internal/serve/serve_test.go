@@ -181,6 +181,54 @@ func TestEndToEndMatchesOffline(t *testing.T) {
 	}
 }
 
+// TestIngestBTR2MatchesOffline checks the chunked BTR2 format ingests
+// through the same endpoint (OpenReader autodetects by magic) and
+// yields the identical report, including with per-chunk compression
+// and chunk sizes not aligned to the slice size.
+func TestIngestBTR2MatchesOffline(t *testing.T) {
+	raw := kernelTrace(t, "fsm", "train", false)
+	want := offlineReportJSON(t, raw, testConfig(1).Profile, DefaultConfig().Predictor)
+
+	// Re-encode the same events as BTR2.
+	rd, err := trace.OpenReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0)
+	if _, err := rd.Replay(rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []trace.BTR2Options{
+		{},
+		{ChunkEvents: 4093, Compress: true},
+	} {
+		name := fmt.Sprintf("chunk=%d/z=%v", opts.ChunkEvents, opts.Compress)
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			w, err := trace.NewBTR2Writer(&buf, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.BranchBatch(rec.Events)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			srv := startServer(t, testConfig(4))
+			status, body := postTrace(t, srv, "/v1/ingest?session=b2", buf.Bytes())
+			if status != http.StatusOK {
+				t.Fatalf("ingest status %d: %s", status, body)
+			}
+			status, got := get(t, srv, "/v1/report?session=b2")
+			if status != http.StatusOK {
+				t.Fatalf("report status %d: %s", status, got)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s: BTR2 ingest report differs from offline BTR1 profile", name)
+			}
+		})
+	}
+}
+
 // TestIngestHammer slams one server with concurrent sessions while
 // polling reports and metrics — the -race workout for the whole
 // pipeline. Every session must finish with the same report the offline

@@ -11,7 +11,7 @@ import (
 
 // Server is the online 2D-profiling service.
 //
-//	POST /v1/ingest    stream a BTR1 / BTR1-gzip trace into a session
+//	POST /v1/ingest    stream a BTR1/BTR2 trace (optionally gzipped) into a session
 //	GET  /v1/report    merged report (final, or live for active sessions)
 //	GET  /v1/sessions  list retained sessions
 //	GET  /healthz      readiness (503 while draining)

@@ -1,0 +1,613 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Chunked binary trace format ("BTR2").
+//
+// BTR1 is a single delta-encoded varint stream: decoding is strictly
+// sequential because every event's PC depends on the previous event's.
+// BTR2 keeps the same per-event encoding but frames the stream into
+// self-contained chunks so decoding parallelises:
+//
+//	header:  magic "BTR2" | uvarint flags (reserved, 0)
+//	chunk:   uvarint count (> 0)     events in this chunk
+//	         uvarint startIndex      global index of the chunk's first event
+//	         uvarint basePC          absolute PC the chunk's deltas start from
+//	         byte    codec           0 = raw, 1 = DEFLATE
+//	         uvarint payloadLen      payload bytes that follow
+//	         payload                 `count` BTR1-style event varints,
+//	                                 delta-encoded against basePC
+//	footer:  uvarint 0               sentinel (a data chunk never has count 0)
+//	         uvarint nChunks
+//	         nChunks × (uvarint offsetDelta | uvarint count)
+//	                                 file offsets of the chunk frames,
+//	                                 delta-encoded, and their event counts
+//	         uvarint totalEvents
+//	         8 bytes LE              file offset of the footer sentinel
+//	         magic "2RTB"
+//
+// Each chunk carries its absolute base PC, event count and starting
+// global event index, so a worker can decode any chunk without seeing
+// any other — that is what the parallel replay pipeline exploits. The
+// trailing footer is a seekable index: a reader with random access
+// reads the last 12 bytes, jumps to the index and can then fetch
+// arbitrary chunks, while purely sequential readers (pipes, HTTP
+// bodies) just consume the frames in order and skip the footer.
+
+var (
+	magic2       = [4]byte{'B', 'T', 'R', '2'}
+	footerMagic2 = [4]byte{'2', 'R', 'T', 'B'}
+)
+
+// Chunk payload codecs.
+const (
+	CodecRaw   byte = 0 // payload is the bare event varint stream
+	CodecFlate byte = 1 // payload is DEFLATE-compressed
+)
+
+// DefaultChunkEvents is the default number of events per BTR2 chunk: big
+// enough that per-chunk framing and scheduling overhead is noise, small
+// enough that a few chunks per core exist on short traces.
+const DefaultChunkEvents = 1 << 16
+
+// ErrBadMagic2 is returned when a stream does not start with the BTR2
+// magic number.
+var ErrBadMagic2 = errors.New("trace: bad magic (not a BTR2 trace stream)")
+
+// errCorruptChunk covers structurally invalid BTR2 frames.
+var errCorruptChunk = errors.New("trace: corrupt BTR2 chunk")
+
+// BTR2Options configure a BTR2 writer.
+type BTR2Options struct {
+	// ChunkEvents is the number of events per chunk (default
+	// DefaultChunkEvents). Smaller chunks increase parallelism on short
+	// traces at the cost of framing overhead.
+	ChunkEvents int
+	// Compress DEFLATE-compresses each chunk payload independently, so
+	// compressed traces stay chunk-parallel (unlike gzip-wrapped BTR1,
+	// whose single stream must be inflated sequentially).
+	Compress bool
+}
+
+// BTR2Writer streams branch events into an io.Writer in BTR2 format.
+// Close must be called to emit the trailing chunk and the footer index.
+type BTR2Writer struct {
+	w    io.Writer
+	opts BTR2Options
+
+	events  []Event // current chunk under construction
+	scratch []byte  // encoded payload reuse buffer
+	flate   *flate.Writer
+	flateB  bytes.Buffer
+
+	total  int64 // events written across all chunks
+	offset int64 // bytes emitted so far (= next frame's file offset)
+	index  []chunkMeta
+	err    error
+}
+
+type chunkMeta struct {
+	offset int64
+	count  int64
+}
+
+// NewBTR2Writer writes a BTR2 header and returns a writer. The
+// underlying io.Writer is never closed.
+func NewBTR2Writer(w io.Writer, opts BTR2Options) (*BTR2Writer, error) {
+	if opts.ChunkEvents <= 0 {
+		opts.ChunkEvents = DefaultChunkEvents
+	}
+	bw := &BTR2Writer{
+		w:      w,
+		opts:   opts,
+		events: make([]Event, 0, opts.ChunkEvents),
+	}
+	var hdr []byte
+	hdr = append(hdr, magic2[:]...)
+	hdr = binary.AppendUvarint(hdr, 0) // flags
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("trace: writing BTR2 header: %w", err)
+	}
+	bw.offset = int64(len(hdr))
+	return bw, nil
+}
+
+// Branch implements Sink, buffering one event into the current chunk.
+func (b *BTR2Writer) Branch(pc PC, taken bool) {
+	b.events = append(b.events, Event{PC: pc, Taken: taken})
+	if len(b.events) >= b.opts.ChunkEvents {
+		b.flushChunk()
+	}
+}
+
+// BranchBatch implements BatchSink.
+func (b *BTR2Writer) BranchBatch(events []Event) {
+	for len(events) > 0 {
+		n := b.opts.ChunkEvents - len(b.events)
+		if n > len(events) {
+			n = len(events)
+		}
+		b.events = append(b.events, events[:n]...)
+		events = events[n:]
+		if len(b.events) >= b.opts.ChunkEvents {
+			b.flushChunk()
+		}
+	}
+}
+
+// Count returns the number of events written so far.
+func (b *BTR2Writer) Count() int64 { return b.total + int64(len(b.events)) }
+
+// flushChunk encodes and emits the buffered events as one chunk frame.
+func (b *BTR2Writer) flushChunk() {
+	if len(b.events) == 0 || b.err != nil {
+		b.events = b.events[:0]
+		return
+	}
+	basePC := b.events[0].PC
+	payload := b.scratch[:0]
+	last := int64(basePC)
+	for _, e := range b.events {
+		delta := int64(e.PC) - last
+		var word uint64
+		if delta < 0 {
+			word = uint64(-delta)<<2 | 2
+		} else {
+			word = uint64(delta) << 2
+		}
+		if e.Taken {
+			word |= 1
+		}
+		payload = binary.AppendUvarint(payload, word)
+		last = int64(e.PC)
+	}
+	b.scratch = payload
+
+	codec := CodecRaw
+	if b.opts.Compress {
+		b.flateB.Reset()
+		if b.flate == nil {
+			// Error is impossible for a valid fixed level.
+			b.flate, _ = flate.NewWriter(&b.flateB, flate.DefaultCompression)
+		} else {
+			b.flate.Reset(&b.flateB)
+		}
+		if _, err := b.flate.Write(payload); err == nil {
+			if err := b.flate.Close(); err == nil {
+				codec = CodecFlate
+				payload = b.flateB.Bytes()
+			}
+		}
+	}
+
+	var frame []byte
+	frame = binary.AppendUvarint(frame, uint64(len(b.events)))
+	frame = binary.AppendUvarint(frame, uint64(b.total))
+	frame = binary.AppendUvarint(frame, uint64(basePC))
+	frame = append(frame, codec)
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+
+	if _, err := b.w.Write(frame); err != nil {
+		b.err = fmt.Errorf("trace: writing BTR2 chunk: %w", err)
+	}
+	b.index = append(b.index, chunkMeta{offset: b.offset, count: int64(len(b.events))})
+	b.offset += int64(len(frame))
+	b.total += int64(len(b.events))
+	b.events = b.events[:0]
+}
+
+// Close flushes the trailing partial chunk and writes the footer index.
+// It surfaces the first write error encountered anywhere in the stream.
+// The underlying io.Writer is not closed.
+func (b *BTR2Writer) Close() error {
+	b.flushChunk()
+	if b.err != nil {
+		return b.err
+	}
+	footerAt := b.offset
+	var f []byte
+	f = binary.AppendUvarint(f, 0) // sentinel: not a data chunk
+	f = binary.AppendUvarint(f, uint64(len(b.index)))
+	prev := int64(0)
+	for _, c := range b.index {
+		f = binary.AppendUvarint(f, uint64(c.offset-prev))
+		f = binary.AppendUvarint(f, uint64(c.count))
+		prev = c.offset
+	}
+	f = binary.AppendUvarint(f, uint64(b.total))
+	f = binary.LittleEndian.AppendUint64(f, uint64(footerAt))
+	f = append(f, footerMagic2[:]...)
+	if _, err := b.w.Write(f); err != nil {
+		return fmt.Errorf("trace: writing BTR2 footer: %w", err)
+	}
+	return nil
+}
+
+// Chunk is one self-contained BTR2 chunk frame: metadata plus the still
+// encoded (and possibly compressed) payload. Decoding a chunk needs no
+// state from any other chunk.
+type Chunk struct {
+	StartIndex int64 // global index of the chunk's first event
+	Count      int   // events in the chunk
+	BasePC     PC    // absolute PC the deltas start from
+	Codec      byte  // CodecRaw or CodecFlate
+	Payload    []byte
+}
+
+// Decode appends the chunk's events to dst and returns the extended
+// slice. The chunk's payload is not modified; Decode is safe to call
+// from any goroutine as long as each call has its own dst.
+func (c *Chunk) Decode(dst []Event) ([]Event, error) {
+	payload := c.Payload
+	if c.Codec == CodecFlate {
+		fr := flate.NewReader(bytes.NewReader(c.Payload))
+		raw, err := io.ReadAll(fr)
+		if err != nil {
+			return dst, fmt.Errorf("trace: inflating BTR2 chunk at index %d: %w", c.StartIndex, err)
+		}
+		payload = raw
+	} else if c.Codec != CodecRaw {
+		return dst, fmt.Errorf("%w: unknown codec %d", errCorruptChunk, c.Codec)
+	}
+	last := int64(c.BasePC)
+	for i := 0; i < c.Count; i++ {
+		word, sz := binary.Uvarint(payload)
+		if sz <= 0 {
+			return dst, fmt.Errorf("%w: event %d of %d", errCorruptChunk, i, c.Count)
+		}
+		payload = payload[sz:]
+		delta := int64(word >> 2)
+		if word&2 != 0 {
+			delta = -delta
+		}
+		last += delta
+		dst = append(dst, Event{PC: PC(last), Taken: word&1 != 0})
+	}
+	if len(payload) != 0 {
+		return dst, fmt.Errorf("%w: %d trailing payload bytes", errCorruptChunk, len(payload))
+	}
+	return dst, nil
+}
+
+// BTR2Reader decodes a BTR2 stream sequentially. It implements
+// EventReader; ParallelReplay (btr2_parallel.go) is its concurrent
+// counterpart.
+type BTR2Reader struct {
+	br *bufio.Reader
+
+	cur []Event // decoded events of the current chunk
+	pos int
+
+	nextIndex int64 // expected StartIndex of the next chunk
+	chunks    int64 // data chunks consumed so far
+	done      bool  // footer seen
+}
+
+// NewBTR2Reader validates the header and returns a sequential reader.
+// The same ErrEmpty/ErrTruncated taxonomy as NewReader applies.
+func NewBTR2Reader(r io.Reader) (*BTR2Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		switch err {
+		case io.EOF:
+			return nil, ErrEmpty
+		case io.ErrUnexpectedEOF:
+			return nil, ErrTruncated
+		default:
+			return nil, fmt.Errorf("trace: reading BTR2 header: %w", err)
+		}
+	}
+	if m != magic2 {
+		return nil, ErrBadMagic2
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // flags
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncated
+		}
+		return nil, fmt.Errorf("trace: reading BTR2 header flags: %w", err)
+	}
+	return &BTR2Reader{br: br}, nil
+}
+
+// Chunks returns the number of data chunks consumed so far.
+func (r *BTR2Reader) Chunks() int64 { return r.chunks }
+
+// NextChunk returns the next chunk frame without decoding its events,
+// or io.EOF once the footer (or a bare end of stream) is reached. The
+// returned chunk owns its payload.
+func (r *BTR2Reader) NextChunk() (*Chunk, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	count, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			// A stream truncated before its footer: the data chunks read
+			// so far are all intact, so treat it as a clean end. This is
+			// what lets `head -c`-style prefixes and still-streaming pipes
+			// replay their complete chunks.
+			r.done = true
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("trace: reading BTR2 chunk count: %w", err)
+	}
+	if count == 0 {
+		// Footer: consume the index so a concatenated reader ends at a
+		// clean stream boundary, and cross-check the totals.
+		if err := r.readFooter(); err != nil {
+			return nil, err
+		}
+		r.done = true
+		return nil, io.EOF
+	}
+	const maxChunkEvents = 1 << 28 // backstop against corrupt counts
+	if count > maxChunkEvents {
+		return nil, fmt.Errorf("%w: implausible event count %d", errCorruptChunk, count)
+	}
+	start, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading BTR2 chunk start index: %w", eofToCorrupt(err))
+	}
+	basePC, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading BTR2 chunk base PC: %w", eofToCorrupt(err))
+	}
+	codec, err := r.br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading BTR2 chunk codec: %w", eofToCorrupt(err))
+	}
+	plen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading BTR2 chunk payload length: %w", eofToCorrupt(err))
+	}
+	const maxChunkPayload = 1 << 30
+	if plen > maxChunkPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", errCorruptChunk, plen)
+	}
+	if int64(start) != r.nextIndex {
+		return nil, fmt.Errorf("%w: start index %d, want %d", errCorruptChunk, start, r.nextIndex)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return nil, fmt.Errorf("trace: reading BTR2 chunk payload: %w", eofToCorrupt(err))
+	}
+	r.nextIndex += int64(count)
+	r.chunks++
+	return &Chunk{
+		StartIndex: int64(start),
+		Count:      int(count),
+		BasePC:     PC(basePC),
+		Codec:      codec,
+		Payload:    payload,
+	}, nil
+}
+
+// readFooter consumes the footer index that follows its count-0
+// sentinel and validates the event total against the chunks read. A
+// stream cut mid-footer is tolerated: every data chunk validated its
+// own framing already, so a truncated footer loses nothing but the
+// (redundant) seek index.
+func (r *BTR2Reader) readFooter() error {
+	isEOF := func(err error) bool { return err == io.EOF || err == io.ErrUnexpectedEOF }
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if isEOF(err) {
+			return nil
+		}
+		return fmt.Errorf("trace: reading BTR2 footer: %w", err)
+	}
+	if n > 1<<40 {
+		return fmt.Errorf("%w: implausible footer chunk count %d", errCorruptChunk, n)
+	}
+	for i := uint64(0); i < 2*n; i++ {
+		if _, err := binary.ReadUvarint(r.br); err != nil {
+			if isEOF(err) {
+				return nil
+			}
+			return fmt.Errorf("trace: reading BTR2 footer index: %w", err)
+		}
+	}
+	total, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if isEOF(err) {
+			return nil
+		}
+		return fmt.Errorf("trace: reading BTR2 footer total: %w", err)
+	}
+	var tail [12]byte
+	if _, err := io.ReadFull(r.br, tail[:]); err != nil {
+		if isEOF(err) {
+			return nil
+		}
+		return fmt.Errorf("trace: reading BTR2 footer tail: %w", err)
+	}
+	if [4]byte(tail[8:12]) != footerMagic2 {
+		return fmt.Errorf("%w: bad footer magic", errCorruptChunk)
+	}
+	if int64(total) != r.nextIndex {
+		return fmt.Errorf("%w: footer records %d events, stream carried %d",
+			errCorruptChunk, total, r.nextIndex)
+	}
+	return nil
+}
+
+func eofToCorrupt(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return errCorruptChunk
+	}
+	return err
+}
+
+// refill decodes the next chunk into the current-event buffer.
+func (r *BTR2Reader) refill() error {
+	c, err := r.NextChunk()
+	if err != nil {
+		return err
+	}
+	evs, err := c.Decode(r.cur[:0])
+	if err != nil {
+		return err
+	}
+	r.cur, r.pos = evs, 0
+	return nil
+}
+
+// Next returns the next event, or io.EOF at end of stream.
+func (r *BTR2Reader) Next() (Event, error) {
+	for r.pos >= len(r.cur) {
+		if err := r.refill(); err != nil {
+			return Event{}, err
+		}
+	}
+	e := r.cur[r.pos]
+	r.pos++
+	return e, nil
+}
+
+// ReadBatch decodes up to len(dst) events into dst, mirroring
+// (*Reader).ReadBatch's contract: (0, io.EOF) at end of stream, short
+// batches otherwise allowed.
+func (r *BTR2Reader) ReadBatch(dst []Event) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if r.pos >= len(r.cur) {
+			if err := r.refill(); err != nil {
+				if err == io.EOF && n > 0 {
+					return n, nil
+				}
+				return n, err
+			}
+		}
+		k := copy(dst[n:], r.cur[r.pos:])
+		r.pos += k
+		n += k
+	}
+	return n, nil
+}
+
+// Replay feeds all remaining events into sink and returns the number of
+// events delivered. Sinks implementing BatchSink receive whole decoded
+// chunks at a time.
+func (r *BTR2Reader) Replay(sink Sink) (int64, error) {
+	var n int64
+	for {
+		if r.pos < len(r.cur) {
+			deliver(sink, r.cur[r.pos:])
+			n += int64(len(r.cur) - r.pos)
+			r.pos = len(r.cur)
+		}
+		if err := r.refill(); err != nil {
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}
+
+// BTR2Index is the decoded footer index of a seekable BTR2 file: the
+// frame offset and event range of every chunk.
+type BTR2Index struct {
+	Chunks []BTR2ChunkInfo
+	Total  int64 // total events in the file
+}
+
+// BTR2ChunkInfo locates one chunk inside a BTR2 file.
+type BTR2ChunkInfo struct {
+	Offset     int64 // file offset of the chunk frame
+	StartIndex int64 // global index of the chunk's first event
+	Count      int64 // events in the chunk
+}
+
+// ReadBTR2Index reads the footer index of a seekable BTR2 file of the
+// given size, enabling random chunk access without scanning the stream.
+func ReadBTR2Index(r io.ReaderAt, size int64) (*BTR2Index, error) {
+	if size < int64(len(magic2))+1+12 {
+		return nil, ErrTruncated
+	}
+	var tail [12]byte
+	if _, err := r.ReadAt(tail[:], size-12); err != nil {
+		return nil, fmt.Errorf("trace: reading BTR2 footer tail: %w", err)
+	}
+	if [4]byte(tail[8:12]) != footerMagic2 {
+		return nil, fmt.Errorf("%w: missing footer magic (unfinished stream?)", errCorruptChunk)
+	}
+	footerAt := int64(binary.LittleEndian.Uint64(tail[:8]))
+	if footerAt < 0 || footerAt >= size-12 {
+		return nil, fmt.Errorf("%w: footer offset %d out of range", errCorruptChunk, footerAt)
+	}
+	buf := make([]byte, size-12-footerAt)
+	if _, err := r.ReadAt(buf, footerAt); err != nil {
+		return nil, fmt.Errorf("trace: reading BTR2 footer: %w", err)
+	}
+	next := func() (uint64, error) {
+		v, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return 0, fmt.Errorf("%w: footer varint", errCorruptChunk)
+		}
+		buf = buf[sz:]
+		return v, nil
+	}
+	sentinel, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if sentinel != 0 {
+		return nil, fmt.Errorf("%w: footer sentinel %d", errCorruptChunk, sentinel)
+	}
+	n, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(size) { // each chunk frame is at least several bytes
+		return nil, fmt.Errorf("%w: implausible footer chunk count %d", errCorruptChunk, n)
+	}
+	ix := &BTR2Index{Chunks: make([]BTR2ChunkInfo, 0, n)}
+	var off, start int64
+	for i := uint64(0); i < n; i++ {
+		d, err := next()
+		if err != nil {
+			return nil, err
+		}
+		count, err := next()
+		if err != nil {
+			return nil, err
+		}
+		off += int64(d)
+		ix.Chunks = append(ix.Chunks, BTR2ChunkInfo{Offset: off, StartIndex: start, Count: int64(count)})
+		start += int64(count)
+	}
+	total, err := next()
+	if err != nil {
+		return nil, err
+	}
+	ix.Total = int64(total)
+	if ix.Total != start {
+		return nil, fmt.Errorf("%w: footer total %d, index sums to %d", errCorruptChunk, total, start)
+	}
+	return ix, nil
+}
+
+// ReadChunk fetches and frames chunk i via random access.
+func (ix *BTR2Index) ReadChunk(r io.ReaderAt, i int) (*Chunk, error) {
+	if i < 0 || i >= len(ix.Chunks) {
+		return nil, fmt.Errorf("trace: BTR2 chunk %d out of range [0,%d)", i, len(ix.Chunks))
+	}
+	info := ix.Chunks[i]
+	sr := bufio.NewReader(io.NewSectionReader(r, info.Offset, 1<<62-info.Offset))
+	br := &BTR2Reader{br: sr, nextIndex: info.StartIndex}
+	return br.NextChunk()
+}

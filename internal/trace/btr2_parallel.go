@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"io"
+	"sync"
+)
+
+// Parallel replay of a BTR2 stream.
+//
+// BTR2 chunks are self-contained (absolute base PC, own event count and
+// starting global index), so the expensive work — varint decode and
+// per-chunk inflation — parallelises perfectly. Program order still
+// matters to consumers (predictor state, slice clocks), so decoded
+// chunks pass through a reorder stage that releases them to the sink in
+// StartIndex order: the pipeline is
+//
+//	frame reader ─→ bounded worker pool (decode) ─→ reorder ─→ sink
+//
+// The sink sees exactly the sequential event stream; only the decode
+// runs concurrently. Consumers that parallelise further (PC-sharded
+// bias profiling) layer their own fan-out behind the sink (see
+// internal/replay).
+
+// decodeJob is one chunk frame awaiting decode, tagged with its arrival
+// sequence number.
+type decodeJob struct {
+	seq   int64
+	chunk *Chunk
+}
+
+// decodeResult is one decoded chunk (or the error that killed it).
+type decodeResult struct {
+	seq   int64
+	start int64
+	evs   []Event
+	err   error
+}
+
+// ParallelReplay decodes the remaining chunks across a bounded pool of
+// workers and feeds the events to sink in program order. It is
+// equivalent to Replay — same events, same order, same count — and
+// falls back to it when workers <= 1. Events already buffered by
+// Next/ReadBatch calls are delivered first.
+func (r *BTR2Reader) ParallelReplay(workers int, sink Sink) (int64, error) {
+	if workers <= 1 {
+		return r.Replay(sink)
+	}
+
+	var n int64
+	if r.pos < len(r.cur) {
+		deliver(sink, r.cur[r.pos:])
+		n += int64(len(r.cur) - r.pos)
+		r.pos = len(r.cur)
+	}
+
+	var (
+		jobs    = make(chan decodeJob, workers)
+		results = make(chan decodeResult, workers)
+		abort   = make(chan struct{})
+		readErr = make(chan error, 1)
+		wg      sync.WaitGroup
+		pool    sync.Pool // recycles []Event decode buffers
+	)
+
+	// Decode workers: pull frames, decode into pooled buffers, push
+	// results. abort unblocks a worker stuck on a full results channel
+	// after the collector has stopped consuming.
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				var buf []Event
+				if v := pool.Get(); v != nil {
+					buf = v.([]Event)[:0]
+				}
+				evs, err := j.chunk.Decode(buf)
+				select {
+				case results <- decodeResult{seq: j.seq, start: j.chunk.StartIndex, evs: evs, err: err}:
+				case <-abort:
+					return
+				}
+			}
+		}()
+	}
+
+	// Frame reader: sequentially slices the stream into chunk frames —
+	// cheap (no varint decode) — and dispatches them.
+	go func() {
+		defer close(jobs)
+		var seq int64
+		for {
+			c, err := r.NextChunk()
+			if err != nil {
+				if err == io.EOF {
+					err = nil
+				}
+				readErr <- err
+				return
+			}
+			select {
+			case jobs <- decodeJob{seq: seq, chunk: c}:
+			case <-abort:
+				readErr <- nil
+				return
+			}
+			seq++
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector (this goroutine): reorder decoded chunks by sequence
+	// number and deliver them in order. Stream continuity (each chunk's
+	// StartIndex matching the running event count) was already enforced
+	// by NextChunk on the frame reader, and Decode enforces each chunk's
+	// own event count; delivering in dispatch order preserves both.
+	var (
+		next     int64
+		pending  = make(map[int64]decodeResult)
+		firstErr error
+	)
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(abort)
+		}
+	}
+	for res := range results {
+		if res.err != nil {
+			fail(res.err)
+		}
+		if firstErr != nil {
+			continue // drain until the workers exit
+		}
+		pending[res.seq] = res
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			deliver(sink, cur.evs)
+			n += int64(len(cur.evs))
+			pool.Put(cur.evs)
+			next++
+		}
+	}
+	if err := <-readErr; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return n, firstErr
+}

@@ -9,6 +9,8 @@ import (
 
 // Compressed trace support: a BTR1 stream wrapped in gzip. OpenReader
 // sniffs the gzip magic so tools can read either form transparently.
+// (BTR2 compresses per chunk instead — see btr2.go — but a gzip-wrapped
+// BTR2 stream still opens, sequentially.)
 
 // NewCompressedWriter wraps w in gzip and writes a BTR1 stream into it.
 // Close flushes both layers (the underlying io.Writer is not closed).
@@ -36,11 +38,12 @@ func (c *CompressedWriter) Close() error {
 	return c.gz.Close()
 }
 
-// OpenReader returns a Reader for either a plain or a gzip-compressed
-// BTR1 stream, detected from the first two bytes. Empty input yields
-// ErrEmpty and input shorter than the sniff window yields ErrTruncated
-// (an input that short cannot hold a BTR1 header in either encoding).
-func OpenReader(r io.Reader) (*Reader, error) {
+// OpenReader returns an EventReader for a BTR1 or BTR2 stream, plain or
+// gzip-compressed, detected from the stream's leading bytes. Empty
+// input yields ErrEmpty and input shorter than the sniff window yields
+// ErrTruncated (an input that short cannot hold a trace header in any
+// encoding).
+func OpenReader(r io.Reader) (EventReader, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(2)
 	if err == io.EOF {
@@ -57,7 +60,25 @@ func OpenReader(r io.Reader) (*Reader, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
 		}
-		return NewReader(gz)
+		return openPlain(bufio.NewReader(gz))
+	}
+	return openPlain(br)
+}
+
+// openPlain dispatches an uncompressed stream on its magic number.
+func openPlain(br *bufio.Reader) (EventReader, error) {
+	head, err := br.Peek(4)
+	if err == io.EOF {
+		if len(head) == 0 {
+			return nil, ErrEmpty
+		}
+		return nil, ErrTruncated
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: sniffing stream: %w", err)
+	}
+	if [4]byte(head) == magic2 {
+		return NewBTR2Reader(br)
 	}
 	return NewReader(br)
 }

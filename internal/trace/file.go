@@ -59,7 +59,11 @@ func (w *Writer) putUvarint(v uint64) {
 		return
 	}
 	n := binary.PutUvarint(w.buf[:], v)
-	_, w.err = w.bw.Write(w.buf[:n])
+	if _, err := w.bw.Write(w.buf[:n]); err != nil {
+		// Record the first failure with context; every later Branch is a
+		// no-op and Close surfaces this error.
+		w.err = fmt.Errorf("trace: writing event %d: %w", w.count, err)
+	}
 }
 
 // Branch implements Sink, encoding one event.
@@ -79,15 +83,44 @@ func (w *Writer) Branch(pc PC, taken bool) {
 	w.count++
 }
 
+// BranchBatch implements BatchSink, encoding a run of events in one
+// call.
+func (w *Writer) BranchBatch(events []Event) {
+	for _, e := range events {
+		w.Branch(e.PC, e.Taken)
+	}
+}
+
 // Count returns the number of events written so far.
 func (w *Writer) Count() int64 { return w.count }
 
-// Close flushes the writer. The underlying io.Writer is not closed.
+// Close flushes the writer and surfaces the first write error seen
+// anywhere in the stream — Branch cannot report errors itself (it is a
+// Sink), so a caller that skips Close's error would silently persist a
+// truncated trace. The underlying io.Writer is not closed.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
 	}
-	return w.bw.Flush()
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("trace: flushing %d-event trace: %w", w.count, err)
+		return w.err
+	}
+	return nil
+}
+
+// EventReader is the decoding side of a trace stream, independent of
+// the on-disk format. *Reader (BTR1) and *BTR2Reader both implement it;
+// OpenReader returns whichever matches the stream's magic.
+type EventReader interface {
+	// Next returns the next event, or io.EOF at end of stream.
+	Next() (Event, error)
+	// ReadBatch decodes up to len(dst) events into dst; (0, io.EOF) at
+	// end of stream, short batches otherwise allowed.
+	ReadBatch(dst []Event) (int, error)
+	// Replay feeds all remaining events into sink and returns how many
+	// were delivered.
+	Replay(sink Sink) (int64, error)
 }
 
 // Reader decodes a BTR1 stream.
@@ -223,7 +256,8 @@ func (r *Reader) ReadBatch(dst []Event) (int, error) {
 var errCorruptEvent = errors.New("trace: corrupt or truncated event varint")
 
 // Replay feeds all remaining events into sink and returns the number of
-// events delivered.
+// events delivered. Sinks implementing BatchSink receive decoded runs in
+// bulk.
 func (r *Reader) Replay(sink Sink) (int64, error) {
 	var (
 		n   int64
@@ -231,9 +265,7 @@ func (r *Reader) Replay(sink Sink) (int64, error) {
 	)
 	for {
 		k, err := r.ReadBatch(buf[:])
-		for _, e := range buf[:k] {
-			sink.Branch(e.PC, e.Taken)
-		}
+		deliver(sink, buf[:k])
 		n += int64(k)
 		if err == io.EOF {
 			return n, nil

@@ -22,6 +22,19 @@ func FuzzReader(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x1f, 0x8b})
 	f.Add(append([]byte("BTR1\x00"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	// BTR2 seeds: OpenReader dispatches on the magic, so the chunked
+	// decoder is in this fuzzer's reach too.
+	var b2 bytes.Buffer
+	bw, _ := NewBTR2Writer(&b2, BTR2Options{ChunkEvents: 2})
+	bw.Branch(0x400000, true)
+	bw.Branch(0x400004, false)
+	bw.Branch(0x400000, true)
+	bw.Close()
+	f.Add(b2.Bytes())
+	f.Add(b2.Bytes()[:len(b2.Bytes())/2])
+	f.Add([]byte("BTR2"))
+	f.Add([]byte("BTR2\x00"))
+	f.Add([]byte("BTR2\x00\x05\x00\x00\x00\xff"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := OpenReader(bytes.NewReader(data))
@@ -35,6 +48,78 @@ func FuzzReader(f *testing.F) {
 				}
 				return
 			}
+		}
+	})
+}
+
+// FuzzBTR2RoundTrip checks write→read symmetry: any event sequence,
+// chunk size and compression choice must decode back to exactly the
+// events written, via both the sequential reader and the footer index.
+func FuzzBTR2RoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint16(0), false)
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08}, uint16(2), false)
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x80, 0x7f}, uint16(1), true)
+	f.Add([]byte("some branchy payload for the fuzzer to mutate"), uint16(3), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint16, compress bool) {
+		// Derive an event stream from the raw bytes: 2 bytes per event —
+		// a PC delta around a walking base and the taken bit.
+		events := make([]Event, 0, len(data)/2)
+		pc := int64(0x400000)
+		for i := 0; i+1 < len(data); i += 2 {
+			pc += int64(int8(data[i])) * 4
+			events = append(events, Event{PC: PC(pc), Taken: data[i+1]&1 == 1})
+		}
+		var buf bytes.Buffer
+		w, err := NewBTR2Writer(&buf, BTR2Options{ChunkEvents: int(chunk), Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.BranchBatch(events)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		rd, err := OpenReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := NewRecorder(len(events))
+		n, err := rd.Replay(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(len(events)) {
+			t.Fatalf("replayed %d events, wrote %d", n, len(events))
+		}
+		for i, e := range events {
+			if rec.Events[i] != e {
+				t.Fatalf("event %d: got %+v want %+v", i, rec.Events[i], e)
+			}
+		}
+
+		// The footer index must agree with the stream.
+		ix, err := ReadBTR2Index(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Total != int64(len(events)) {
+			t.Fatalf("index says %d events, wrote %d", ix.Total, len(events))
+		}
+		var got int64
+		for i := range ix.Chunks {
+			c, err := ix.ReadChunk(bytes.NewReader(buf.Bytes()), i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evs, err := c.Decode(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += int64(len(evs))
+		}
+		if got != int64(len(events)) {
+			t.Fatalf("index chunks decode to %d events, wrote %d", got, len(events))
 		}
 	})
 }

@@ -32,6 +32,26 @@ type Source interface {
 	Run(sink Sink) int64
 }
 
+// BatchSink is an optional bulk path for Sink implementations: a run of
+// events delivered in one call, equivalent to calling Branch for each in
+// order. Replay paths use it to amortise per-event interface dispatch.
+type BatchSink interface {
+	Sink
+	BranchBatch(events []Event)
+}
+
+// deliver feeds a run of events into sink, using the batch path when the
+// sink provides one.
+func deliver(sink Sink, events []Event) {
+	if bs, ok := sink.(BatchSink); ok {
+		bs.BranchBatch(events)
+		return
+	}
+	for _, e := range events {
+		sink.Branch(e.PC, e.Taken)
+	}
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(pc PC, taken bool)
 
@@ -53,16 +73,37 @@ type Recorder struct {
 	Events []Event
 }
 
+// NewRecorder returns a Recorder whose event buffer is preallocated for
+// capacityHint events. Recording workloads of a known (or previously
+// measured) length through a sized recorder avoids the repeated
+// re-growth copies an append-from-nil recorder pays on multi-million
+// event streams; a non-positive hint is valid and allocates nothing.
+func NewRecorder(capacityHint int) *Recorder {
+	r := &Recorder{}
+	if capacityHint > 0 {
+		r.Events = make([]Event, 0, capacityHint)
+	}
+	return r
+}
+
 // Branch implements Sink.
 func (r *Recorder) Branch(pc PC, taken bool) {
 	r.Events = append(r.Events, Event{PC: pc, Taken: taken})
 }
 
+// BranchBatch implements BatchSink.
+func (r *Recorder) BranchBatch(events []Event) {
+	r.Events = append(r.Events, events...)
+}
+
+// Reset discards the recorded events but keeps the backing buffer, so a
+// recorder can be reused across runs in an experiment loop without
+// re-growing the slice each time.
+func (r *Recorder) Reset() { r.Events = r.Events[:0] }
+
 // Replay feeds a recorded stream back into a sink.
 func (r *Recorder) Replay(sink Sink) int64 {
-	for _, e := range r.Events {
-		sink.Branch(e.PC, e.Taken)
-	}
+	deliver(sink, r.Events)
 	return int64(len(r.Events))
 }
 
