@@ -22,12 +22,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint = vet + formatting drift. gofmt -l prints offending files; a
-# non-empty listing fails the target.
+# lint = vet + formatting drift + the asmcheck gate over the embedded
+# kernels (tools/asmcheckall: zero diagnostics, every branch
+# classified). gofmt -l prints offending files; a non-empty listing
+# fails the target. When the shadow vettool is installed it runs too;
+# absence is not an error (the container may not ship it).
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
 	fi
+	@if command -v shadow >/dev/null 2>&1; then \
+		$(GO) vet -vettool=$$(command -v shadow) ./...; \
+	fi
+	$(GO) run ./tools/asmcheckall
 
 test:
 	$(GO) test ./...
@@ -43,9 +50,10 @@ race:
 	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core ./internal/serve ./internal/trace ./internal/replay
 
 # Fuzz targets run their seed corpora as plain tests — a cheap
-# regression net over the decoders without a fuzzing session.
+# regression net over the decoders and analyses without a fuzzing
+# session.
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/trace ./internal/vm
+	$(GO) test -run 'Fuzz' ./internal/trace ./internal/vm ./internal/asmcheck
 
 verify: build lint test race fuzz-seeds
 

@@ -1,0 +1,97 @@
+// Command asmcheck runs the static-analysis pipeline (structural
+// verification, constant propagation, dead-code detection, branch
+// classification) over a VM assembly file or a bundled benchmark
+// kernel and prints the diagnostics plus the per-branch verdict table.
+//
+// Usage:
+//
+//	asmcheck -f prog.s [-json]
+//	asmcheck -kernel typesum [-json]
+//	asmcheck -all [-json]
+//
+// The exit status is 1 when any program produced a diagnostic, so the
+// command doubles as a lint gate (see `make lint`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"twodprof/internal/asmcheck"
+	"twodprof/internal/progs"
+	"twodprof/internal/vm"
+)
+
+func main() {
+	file := flag.String("f", "", "assembly source file to check")
+	kernel := flag.String("kernel", "", "bundled kernel to check (see vmasm kernels)")
+	all := flag.Bool("all", false, "check every bundled kernel")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	var progsToCheck []*vm.Program
+	switch {
+	case *all:
+		for _, name := range progs.KernelNames() {
+			k, _ := progs.KernelByName(name)
+			progsToCheck = append(progsToCheck, k.Prog)
+		}
+	case *kernel != "":
+		k, ok := progs.KernelByName(*kernel)
+		if !ok {
+			fail(fmt.Errorf("unknown kernel %q (known: %v)", *kernel, progs.KernelNames()))
+		}
+		progsToCheck = append(progsToCheck, k.Prog)
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		prog, err := vm.Assemble(*file, string(src))
+		if err != nil {
+			fail(err)
+		}
+		progsToCheck = append(progsToCheck, prog)
+	default:
+		fmt.Fprintln(os.Stderr, "asmcheck: need one of -f, -kernel or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var results []*asmcheck.Result
+	diags := 0
+	for _, p := range progsToCheck {
+		res, err := asmcheck.Run(p)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, res)
+		diags += len(res.Diags)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(results) == 1 && !*all {
+			if err := enc.Encode(results[0]); err != nil {
+				fail(err)
+			}
+		} else if err := enc.Encode(results); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, res := range results {
+			fmt.Print(res.Format())
+		}
+	}
+	if diags > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "asmcheck:", err)
+	os.Exit(1)
+}

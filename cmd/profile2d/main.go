@@ -10,6 +10,7 @@
 //	profile2d -trace run.btr2 -parallel 8                     (BTR2 parallel replay)
 //	profile2d -trace - < run.btr                              (trace on stdin)
 //	profile2d -bench gcc -input train -metric bias            (edge profiling)
+//	profile2d -trace run.btr -kernel fsm                      (annotate with asmcheck static verdicts)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 	"sort"
 
+	"twodprof/internal/asmcheck"
 	"twodprof/internal/bpred"
 	"twodprof/internal/core"
 	"twodprof/internal/metrics"
@@ -90,8 +92,18 @@ func main() {
 		// replay.Profile validates the predictor name itself and, on
 		// BTR2 traces, decodes (and for the bias metric, profiles)
 		// across -parallel workers; the report is byte-identical to a
-		// sequential pass either way.
-		r, err := replay.Profile(f, cfg, *predName, replay.Options{Workers: *parallel})
+		// sequential pass either way. A trace carries no program
+		// identity, so the static prefilter column needs -kernel to name
+		// the program that produced it.
+		opts := replay.Options{Workers: *parallel}
+		if *kernel != "" {
+			k, ok := progs.KernelByName(*kernel)
+			if !ok {
+				fail(fmt.Errorf("unknown kernel %q", *kernel))
+			}
+			opts.Static = asmcheck.StaticClasses(k.Prog)
+		}
+		r, err := replay.Profile(f, cfg, *predName, opts)
 		if err != nil {
 			fail(err)
 		}
@@ -116,6 +128,9 @@ func main() {
 		}
 		inst.Run(prof)
 		rep = prof.Finish()
+		// Kernel runs know their program, so the report gets the static
+		// prefilter column (asmcheck verdict per branch).
+		rep.AnnotateStatic(asmcheck.StaticClasses(inst.Kernel.Prog))
 	default:
 		fmt.Fprintln(os.Stderr, "profile2d: need -bench, -kernel or -trace")
 		flag.Usage()

@@ -3,17 +3,19 @@
 //
 // Usage:
 //
-//	vmasm run -f prog.s -mem 4096 [-trace out.btr]
+//	vmasm run -f prog.s -mem 4096 [-trace out.btr] [-check]
 //	vmasm dis -f prog.s
-//	vmasm check -f prog.s
+//	vmasm check -f prog.s [-json]
 //	vmasm kernels                 (disassemble a bundled kernel: -kernel lzchain)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"twodprof/internal/asmcheck"
 	"twodprof/internal/cfg"
 	"twodprof/internal/progs"
 	"twodprof/internal/trace"
@@ -44,7 +46,7 @@ func usage() {
 commands:
   run      assemble and execute a program, printing its output
   dis      assemble then disassemble (normalised listing)
-  check    assemble only; exit non-zero on errors
+  check    assemble and run the asmcheck static analyses; exit non-zero on diagnostics
   kernels  list or disassemble the bundled benchmark kernels`)
 	os.Exit(2)
 }
@@ -72,11 +74,24 @@ func cmdRun(args []string) {
 	memWords := fs.Int("mem", 4096, "data memory size in words")
 	maxSteps := fs.Int64("maxsteps", 0, "step limit (0 = default)")
 	traceOut := fs.String("trace", "", "write the branch trace to this BTR1 file")
+	check := fs.Bool("check", false, "run the asmcheck pipeline first; refuse to execute on diagnostics")
 	fs.Parse(args)
 	if *file == "" {
 		fail(fmt.Errorf("run: need -f source file"))
 	}
 	prog := load(*file)
+	if *check {
+		res, err := asmcheck.Run(prog)
+		if err != nil {
+			fail(err)
+		}
+		if len(res.Diags) > 0 {
+			for _, d := range res.Diags {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", *file, d)
+			}
+			fail(fmt.Errorf("run: -check found %d diagnostics", len(res.Diags)))
+		}
+	}
 	m := vm.NewMachine(*memWords)
 	m.SetLimits(vm.Limits{MaxSteps: *maxSteps})
 
@@ -124,11 +139,27 @@ func cmdDis(args []string) {
 func cmdCheck(args []string) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	file := fs.String("f", "", "assembly source file")
+	jsonOut := fs.Bool("json", false, "emit the asmcheck result as JSON")
 	fs.Parse(args)
 	if *file == "" {
 		fail(fmt.Errorf("check: need -f source file"))
 	}
 	prog := load(*file)
+	res, err := asmcheck.Run(prog)
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
+		if len(res.Diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("%s: %d instructions, %d labels, %d conditional branches\n",
 		*file, len(prog.Insts), len(prog.Labels), len(vm.StaticBranches(prog)))
 	g := cfg.Build(prog)
@@ -137,6 +168,18 @@ func cmdCheck(args []string) {
 	for _, l := range loops {
 		fmt.Printf("  loop header B%d latch B%d (%d blocks), exit branches at %v\n",
 			l.Header, l.Latch, len(l.Blocks), g.LoopExitBranches(l))
+	}
+	for _, d := range res.Diags {
+		fmt.Printf("  %s\n", d)
+	}
+	if len(res.Branches) > 0 {
+		fmt.Printf("branch verdicts:\n")
+		for _, v := range res.Branches {
+			fmt.Printf("  #%d (line %d): %s — %s\n", v.Inst, v.Line, v.String(), v.Why)
+		}
+	}
+	if len(res.Diags) > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,200 @@
+// Package asmcheck is a dataflow static-analysis framework over VM
+// programs. It runs a pipeline of analyses on the control-flow graph —
+// structural verification, sparse conditional constant propagation,
+// liveness-based dead-store and unreachable-code detection, and static
+// branch classification — and reports diagnostics plus a per-branch
+// verdict.
+//
+// The branch verdicts feed 2D-profiling as a static prefilter: a branch
+// proven `const-taken` or `const-not-taken` resolves the same way on
+// every execution under *any* input set, so it can never be
+// input-dependent; a profiler that flags one has a bug (see DESIGN.md
+// §3d for the soundness argument). Loop back-edges with a compile-time
+// trip count are likewise input-invariant in their taken pattern.
+package asmcheck
+
+import (
+	"fmt"
+
+	"twodprof/internal/trace"
+	"twodprof/internal/vm"
+)
+
+// Analysis names one pass of the pipeline.
+type Analysis string
+
+// The analyses, in pipeline order. Later passes depend on earlier
+// ones: constprop requires a structurally valid program, deadcode and
+// classify consume constprop's reachability and lattice values.
+const (
+	// AnalysisStructural verifies branch/jump/call targets are in
+	// range, execution cannot fall off the end of the program, and ret
+	// never runs with an empty call stack.
+	AnalysisStructural Analysis = "structural"
+	// AnalysisConstProp runs reaching-definitions-based sparse
+	// conditional constant propagation over the registers, pruning
+	// infeasible branch edges, and flags guaranteed traps (division by
+	// zero, always-negative memory addresses).
+	AnalysisConstProp Analysis = "constprop"
+	// AnalysisDeadCode reports SCCP-unreachable instructions (including
+	// arms dominated by constant branches) and dead register stores.
+	AnalysisDeadCode Analysis = "deadcode"
+	// AnalysisClassify assigns every conditional branch a verdict:
+	// const-taken, const-not-taken, loop-backedge(trip=K),
+	// data-dependent, or unreachable.
+	AnalysisClassify Analysis = "classify"
+)
+
+// AllAnalyses returns the full pipeline in order.
+func AllAnalyses() []Analysis {
+	return []Analysis{AnalysisStructural, AnalysisConstProp, AnalysisDeadCode, AnalysisClassify}
+}
+
+// Result is the outcome of running the pipeline over one program.
+type Result struct {
+	Prog *vm.Program `json:"-"`
+	// Name echoes the program name for JSON output.
+	Name string `json:"name"`
+	// Diags holds every diagnostic, ordered by instruction index.
+	Diags []Diag `json:"diags"`
+	// Branches holds one verdict per conditional branch, in program
+	// order (present only when AnalysisClassify ran).
+	Branches []BranchVerdict `json:"branches,omitempty"`
+
+	classOf map[int]*BranchVerdict
+}
+
+// Run executes the requested analyses (all of them when none are
+// given) over prog and returns the combined result. Dependencies are
+// resolved automatically: asking for classify alone still runs
+// structural and constprop. When structural verification fails with
+// errors, the dataflow passes are skipped — their results would be
+// meaningless over a broken instruction stream — and every branch is
+// classified ClassUnknown.
+func Run(prog *vm.Program, analyses ...Analysis) (*Result, error) {
+	if len(analyses) == 0 {
+		analyses = AllAnalyses()
+	}
+	want := map[Analysis]bool{}
+	for _, a := range analyses {
+		switch a {
+		case AnalysisStructural, AnalysisConstProp, AnalysisDeadCode, AnalysisClassify:
+			want[a] = true
+		default:
+			return nil, fmt.Errorf("asmcheck: unknown analysis %q", a)
+		}
+	}
+	// Dependency closure.
+	if want[AnalysisClassify] || want[AnalysisDeadCode] {
+		want[AnalysisConstProp] = true
+	}
+	if want[AnalysisConstProp] {
+		want[AnalysisStructural] = true
+	}
+
+	res := &Result{Prog: prog, Name: prog.Name}
+	if len(prog.Insts) == 0 {
+		res.Diags = append(res.Diags, Diag{
+			Analysis: AnalysisStructural, Severity: SevError, Inst: -1,
+			Msg:  "empty program: execution faults at pc=0",
+			Hint: "add at least a halt instruction",
+		})
+		res.finish(want[AnalysisClassify])
+		return res, nil
+	}
+
+	broken := false
+	if want[AnalysisStructural] {
+		ds := checkStructural(prog)
+		res.Diags = append(res.Diags, ds...)
+		for _, d := range ds {
+			if d.Severity == SevError {
+				broken = true
+			}
+		}
+	}
+	if broken || !want[AnalysisConstProp] {
+		res.finish(want[AnalysisClassify])
+		return res, nil
+	}
+
+	cp := propagate(prog)
+	res.Diags = append(res.Diags, cp.diags...)
+
+	if want[AnalysisDeadCode] {
+		res.Diags = append(res.Diags, checkDead(prog, cp)...)
+	}
+	if want[AnalysisClassify] {
+		res.Branches = classify(prog, cp)
+	}
+	res.finish(false)
+	return res, nil
+}
+
+// finish sorts diagnostics and indexes verdicts; when unknownBranches
+// is set it fills the verdict table with ClassUnknown entries so every
+// branch is always classified.
+func (r *Result) finish(unknownBranches bool) {
+	if unknownBranches {
+		for _, i := range vm.StaticBranches(r.Prog) {
+			r.Branches = append(r.Branches, BranchVerdict{
+				Inst: i, Line: r.Prog.Line(i), Class: ClassUnknown,
+				Why: "structural errors prevented dataflow analysis",
+			})
+		}
+	}
+	sortDiags(r.Diags)
+	r.classOf = make(map[int]*BranchVerdict, len(r.Branches))
+	for i := range r.Branches {
+		r.classOf[r.Branches[i].Inst] = &r.Branches[i]
+	}
+}
+
+// Verdict returns the classification of the conditional branch at
+// instruction index pc.
+func (r *Result) Verdict(pc int) (BranchVerdict, bool) {
+	v, ok := r.classOf[pc]
+	if !ok {
+		return BranchVerdict{}, false
+	}
+	return *v, true
+}
+
+// MaxSeverity returns the highest severity among the diagnostics, or
+// (SevInfo-1) when there are none.
+func (r *Result) MaxSeverity() Severity {
+	max := Severity(-1)
+	for _, d := range r.Diags {
+		if d.Severity > max {
+			max = d.Severity
+		}
+	}
+	return max
+}
+
+// CountAtLeast returns the number of diagnostics at or above the given
+// severity.
+func (r *Result) CountAtLeast(min Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// StaticClasses runs the full pipeline and returns the branch-PC to
+// verdict-string map profiler reports attach as their static prefilter
+// column (core.Report.AnnotateStatic).
+func StaticClasses(prog *vm.Program) map[trace.PC]string {
+	res, err := Run(prog)
+	if err != nil {
+		return nil
+	}
+	out := make(map[trace.PC]string, len(res.Branches))
+	for _, v := range res.Branches {
+		out[trace.PC(v.Inst)] = v.Class.StringWithTrip(v.Trip)
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package asmcheck_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"twodprof/internal/asmcheck"
+	"twodprof/internal/progs"
+	"twodprof/internal/trace"
+	"twodprof/internal/vm"
+)
+
+func mustAssemble(t *testing.T, src string) *vm.Program {
+	t.Helper()
+	p, err := vm.Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string) *asmcheck.Result {
+	t.Helper()
+	res, err := asmcheck.Run(mustAssemble(t, src))
+	if err != nil {
+		t.Fatalf("asmcheck.Run: %v", err)
+	}
+	return res
+}
+
+// hasDiag reports whether some diagnostic from the given analysis at
+// the given instruction (-2 = any instruction) contains the substring.
+func hasDiag(res *asmcheck.Result, analysis asmcheck.Analysis, inst int, substr string) bool {
+	for _, d := range res.Diags {
+		if d.Analysis == analysis && (inst == -2 || d.Inst == inst) && strings.Contains(d.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func diagList(res *asmcheck.Result) string {
+	var b strings.Builder
+	for _, d := range res.Diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+// --- structural ---
+
+func TestStructuralBadTarget(t *testing.T) {
+	prog := &vm.Program{Name: "bad", Insts: []vm.Inst{
+		{Op: vm.OpJmp, Target: 99},
+	}}
+	res, err := asmcheck.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDiag(res, asmcheck.AnalysisStructural, 0, "target 99 outside program") {
+		t.Errorf("missing bad-target diagnostic:\n%s", diagList(res))
+	}
+	if res.MaxSeverity() != asmcheck.SevError {
+		t.Errorf("MaxSeverity = %v, want error", res.MaxSeverity())
+	}
+}
+
+func TestStructuralErrorsYieldUnknownVerdicts(t *testing.T) {
+	prog := &vm.Program{Name: "badbr", Insts: []vm.Inst{
+		{Op: vm.OpBr, Cond: vm.CondEQ, Rs1: 1, Rs2: 2, Target: 50},
+		{Op: vm.OpHalt},
+	}}
+	res, err := asmcheck.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Verdict(0)
+	if !ok || v.Class != asmcheck.ClassUnknown {
+		t.Errorf("branch after structural error: verdict %+v ok=%v, want ClassUnknown", v, ok)
+	}
+}
+
+func TestStructuralFallOffEnd(t *testing.T) {
+	res := run(t, "li r1, 1\n")
+	if !hasDiag(res, asmcheck.AnalysisStructural, 0, "run past the last instruction") {
+		t.Errorf("missing fall-off-end diagnostic:\n%s", diagList(res))
+	}
+}
+
+func TestStructuralRetUnderflow(t *testing.T) {
+	res := run(t, "ret\n")
+	if !hasDiag(res, asmcheck.AnalysisStructural, 0, "empty call stack") {
+		t.Errorf("missing ret-underflow diagnostic:\n%s", diagList(res))
+	}
+	// A ret only reachable through call is fine.
+	res = run(t, "call fn\nhalt\nfn: ret\n")
+	if len(res.Diags) != 0 {
+		t.Errorf("call/ret pairing flagged:\n%s", diagList(res))
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	res, err := asmcheck.Run(&vm.Program{Name: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CountAtLeast(asmcheck.SevError) != 1 {
+		t.Errorf("empty program: %d errors, want 1:\n%s",
+			res.CountAtLeast(asmcheck.SevError), diagList(res))
+	}
+}
+
+// --- constprop ---
+
+func TestConstPropDivByZero(t *testing.T) {
+	res := run(t, "div r1, r2, r0\nhalt\n")
+	if !hasDiag(res, asmcheck.AnalysisConstProp, 0, "division by zero") {
+		t.Errorf("missing div-by-zero diagnostic:\n%s", diagList(res))
+	}
+}
+
+func TestConstPropNegativeAddress(t *testing.T) {
+	res := run(t, "li r1, -8\nld r2, [r1+0]\nhalt\n")
+	if !hasDiag(res, asmcheck.AnalysisConstProp, 1, "negative address") {
+		t.Errorf("missing negative-address diagnostic:\n%s", diagList(res))
+	}
+}
+
+// --- deadcode ---
+
+func TestDeadStore(t *testing.T) {
+	res := run(t, "li r1, 5\nli r1, 6\nout r1\nhalt\n")
+	if !hasDiag(res, asmcheck.AnalysisDeadCode, 0, "never read") {
+		t.Errorf("missing dead-store diagnostic:\n%s", diagList(res))
+	}
+}
+
+func TestWriteToR0(t *testing.T) {
+	res := run(t, "li r0, 1\nhalt\n")
+	if !hasDiag(res, asmcheck.AnalysisDeadCode, 0, "hardwired to zero") {
+		t.Errorf("missing r0-write diagnostic:\n%s", diagList(res))
+	}
+}
+
+func TestReadBeforeWrite(t *testing.T) {
+	res := run(t, "out r3\nhalt\n")
+	if !hasDiag(res, asmcheck.AnalysisDeadCode, 0, "r3 is read before any write") {
+		t.Errorf("missing read-before-write diagnostic:\n%s", diagList(res))
+	}
+}
+
+func TestUnreachableRun(t *testing.T) {
+	res := run(t, "jmp end\nout r1\nout r2\nend: halt\n")
+	if !hasDiag(res, asmcheck.AnalysisDeadCode, 1, "unreachable: instructions #1..#2") {
+		t.Errorf("missing unreachable diagnostic:\n%s", diagList(res))
+	}
+}
+
+// SCCP prunes the arm of a constant branch, so the skipped arm is
+// unreachable even though the naive CFG reaches it.
+func TestConstBranchPrunesArm(t *testing.T) {
+	res := run(t, "li r1, 1\nbgt r1, r0, yes\nout r0\nyes: halt\n")
+	if !hasDiag(res, asmcheck.AnalysisDeadCode, 2, "unreachable") {
+		t.Errorf("pruned arm not reported unreachable:\n%s", diagList(res))
+	}
+}
+
+// --- classify ---
+
+func verdictOf(t *testing.T, res *asmcheck.Result, inst int) asmcheck.BranchVerdict {
+	t.Helper()
+	v, ok := res.Verdict(inst)
+	if !ok {
+		t.Fatalf("no verdict for branch #%d (have %+v)", inst, res.Branches)
+	}
+	return v
+}
+
+func TestClassifyConstTaken(t *testing.T) {
+	res := run(t, "li r1, 1\nbgt r1, r0, yes\nout r0\nyes: halt\n")
+	if v := verdictOf(t, res, 1); v.Class != asmcheck.ClassConstTaken {
+		t.Errorf("verdict = %s, want const-taken (%s)", v, v.Why)
+	}
+	if !asmcheck.ClassConstTaken.IsConst() {
+		t.Error("ClassConstTaken.IsConst() = false")
+	}
+}
+
+func TestClassifyConstNotTaken(t *testing.T) {
+	res := run(t, "li r1, 5\nbeq r1, r0, never\nhalt\nnever: out r1\nhalt\n")
+	if v := verdictOf(t, res, 1); v.Class != asmcheck.ClassConstNotTaken {
+		t.Errorf("verdict = %s, want const-not-taken (%s)", v, v.Why)
+	}
+}
+
+func TestClassifyLoopBackedge(t *testing.T) {
+	res := run(t, "li r1, 3\nloop: addi r1, r1, -1\nbgt r1, r0, loop\nhalt\n")
+	v := verdictOf(t, res, 2)
+	if v.Class != asmcheck.ClassLoopBackedge || v.Trip != 3 {
+		t.Errorf("verdict = %s trip=%d, want loop-backedge trip=3 (%s)", v.Class, v.Trip, v.Why)
+	}
+	if got := v.String(); got != "loop-backedge(trip=3)" {
+		t.Errorf("String() = %q", got)
+	}
+	if len(res.Diags) != 0 {
+		t.Errorf("clean counting loop produced diagnostics:\n%s", diagList(res))
+	}
+}
+
+// An up-counting loop with a constant bound on the other operand.
+func TestClassifyLoopBackedgeUpCounter(t *testing.T) {
+	res := run(t, "li r2, 10\nloop: addi r1, r1, 2\nout r1\nblt r1, r2, loop\nhalt\n")
+	v := verdictOf(t, res, 3)
+	if v.Class != asmcheck.ClassLoopBackedge || v.Trip != 5 {
+		t.Errorf("verdict = %s trip=%d, want loop-backedge trip=5 (%s)", v.Class, v.Trip, v.Why)
+	}
+}
+
+// A loop inside a called function: the call-aware CFG roots must find
+// it even though the callee is unreachable along intraprocedural edges.
+func TestClassifyLoopBackedgeInCallee(t *testing.T) {
+	res := run(t, "call fn\nhalt\nfn: li r1, 4\nloop: addi r1, r1, -1\nbgt r1, r0, loop\nret\n")
+	v := verdictOf(t, res, 4)
+	if v.Class != asmcheck.ClassLoopBackedge || v.Trip != 4 {
+		t.Errorf("verdict = %s trip=%d, want loop-backedge trip=4 (%s)", v.Class, v.Trip, v.Why)
+	}
+}
+
+func TestClassifyDataDependent(t *testing.T) {
+	res := run(t, "ld r1, [r0+0]\nbeq r1, r0, done\nout r1\ndone: halt\n")
+	if v := verdictOf(t, res, 1); v.Class != asmcheck.ClassDataDependent {
+		t.Errorf("verdict = %s, want data-dependent (%s)", v, v.Why)
+	}
+}
+
+// A loop whose bound comes from memory has no provable trip count.
+func TestClassifyInputBoundLoopStaysDataDependent(t *testing.T) {
+	res := run(t, "ld r2, [r0+0]\nloop: addi r1, r1, 1\nblt r1, r2, loop\nhalt\n")
+	if v := verdictOf(t, res, 2); v.Class != asmcheck.ClassDataDependent {
+		t.Errorf("verdict = %s, want data-dependent (%s)", v, v.Why)
+	}
+}
+
+func TestClassifyUnreachable(t *testing.T) {
+	res := run(t, "jmp end\ndead: beq r1, r1, dead\nend: halt\n")
+	if v := verdictOf(t, res, 1); v.Class != asmcheck.ClassUnreachable {
+		t.Errorf("verdict = %s, want unreachable (%s)", v, v.Why)
+	}
+}
+
+// --- API surface ---
+
+func TestAnalysisSubset(t *testing.T) {
+	prog := mustAssemble(t, "div r1, r2, r0\nhalt\n")
+	res, err := asmcheck.Run(prog, asmcheck.AnalysisStructural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 0 || len(res.Branches) != 0 {
+		t.Errorf("structural-only run produced constprop output: %d diags %d verdicts",
+			len(res.Diags), len(res.Branches))
+	}
+	if _, err := asmcheck.Run(prog, asmcheck.Analysis("bogus")); err == nil {
+		t.Error("unknown analysis accepted")
+	}
+}
+
+func TestStaticClasses(t *testing.T) {
+	k, _ := progs.KernelByName("typesum")
+	classes := asmcheck.StaticClasses(k.Prog)
+	if got := classes[trace.PC(21)]; got != "loop-backedge(trip=4)" {
+		t.Errorf("typesum #21 = %q, want loop-backedge(trip=4); map: %v", got, classes)
+	}
+	if len(classes) != len(vm.StaticBranches(k.Prog)) {
+		t.Errorf("classified %d of %d branches", len(classes), len(vm.StaticBranches(k.Prog)))
+	}
+}
+
+func TestFormatMentionsVerdicts(t *testing.T) {
+	res := run(t, "li r1, 3\nloop: addi r1, r1, -1\nbgt r1, r0, loop\nhalt\n")
+	out := res.Format()
+	for _, want := range []string{"4 instructions", "1 conditional branches", "loop-backedge(trip=3)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// --- fuzz ---
+
+// FuzzAsmcheck: the pipeline never panics on any accepted program, and
+// its diagnostics and verdicts are deterministic (two runs agree).
+func FuzzAsmcheck(f *testing.F) {
+	seeds := []string{
+		"halt\n",
+		"li r1, 3\nloop: addi r1, r1, -1\nbgt r1, r0, loop\nhalt\n",
+		"call fn\nhalt\nfn: li r1, 4\nloop: addi r1, r1, -1\nbgt r1, r0, loop\nret\n",
+		"div r1, r2, r0\nhalt\n",
+		"li r1, -8\nld r2, [r1+0]\nhalt\n",
+		"jmp end\nout r1\nend: halt\n",
+		"ret\n",
+		"li r1, 1\n",
+		"ld r1, [r0+0]\nbeq r1, r0, done\nout r1\ndone: halt\n",
+		"a: jmp a\n",
+	}
+	for _, name := range progs.KernelNames() {
+		k, _ := progs.KernelByName(name)
+		seeds = append(seeds, vm.Disassemble(k.Prog))
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := vm.Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		r1, err := asmcheck.Run(prog)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		r2, err := asmcheck.Run(prog)
+		if err != nil {
+			t.Fatalf("Run (second): %v", err)
+		}
+		if !reflect.DeepEqual(r1.Diags, r2.Diags) {
+			t.Fatalf("diagnostics unstable:\n%s\nvs\n%s", diagList(r1), diagList(r2))
+		}
+		if !reflect.DeepEqual(r1.Branches, r2.Branches) {
+			t.Fatalf("verdicts unstable: %+v vs %+v", r1.Branches, r2.Branches)
+		}
+		for _, i := range vm.StaticBranches(prog) {
+			if _, ok := r1.Verdict(i); !ok {
+				t.Fatalf("branch #%d has no verdict", i)
+			}
+		}
+	})
+}

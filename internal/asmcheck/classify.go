@@ -1,0 +1,323 @@
+package asmcheck
+
+import (
+	"fmt"
+
+	"twodprof/internal/cfg"
+	"twodprof/internal/vm"
+)
+
+// BranchClass is the static verdict for one conditional branch.
+type BranchClass int
+
+// The verdict kinds.
+const (
+	// ClassUnknown: analysis could not run (structurally broken
+	// program).
+	ClassUnknown BranchClass = iota
+	// ClassUnreachable: no feasible execution reaches the branch.
+	ClassUnreachable
+	// ClassConstTaken: the condition is true on every execution.
+	ClassConstTaken
+	// ClassConstNotTaken: the condition is false on every execution.
+	ClassConstNotTaken
+	// ClassLoopBackedge: a loop-closing branch whose trip count is a
+	// compile-time constant (Trip executions per loop entry, the last
+	// one exiting).
+	ClassLoopBackedge
+	// ClassDataDependent: the condition depends on input data.
+	ClassDataDependent
+)
+
+// String returns the verdict keyword.
+func (c BranchClass) String() string {
+	switch c {
+	case ClassUnreachable:
+		return "unreachable"
+	case ClassConstTaken:
+		return "const-taken"
+	case ClassConstNotTaken:
+		return "const-not-taken"
+	case ClassLoopBackedge:
+		return "loop-backedge"
+	case ClassDataDependent:
+		return "data-dependent"
+	default:
+		return "unknown"
+	}
+}
+
+// StringWithTrip renders the verdict, including the trip count for
+// loop back-edges: "loop-backedge(trip=4)".
+func (c BranchClass) StringWithTrip(trip int64) string {
+	if c == ClassLoopBackedge {
+		return fmt.Sprintf("loop-backedge(trip=%d)", trip)
+	}
+	return c.String()
+}
+
+// MarshalText implements encoding.TextMarshaler for -json output.
+func (c BranchClass) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// IsConst reports whether the verdict proves a single direction on
+// every execution — the verdicts the 2D-profiling prefilter relies on:
+// a const branch can never be input-dependent under any input set.
+func (c BranchClass) IsConst() bool {
+	return c == ClassConstTaken || c == ClassConstNotTaken
+}
+
+// BranchVerdict is the classification of one static branch site.
+type BranchVerdict struct {
+	// Inst is the branch's instruction index (its trace.PC identity).
+	Inst int `json:"inst"`
+	// Line is the 1-based source line, 0 when unknown.
+	Line int `json:"line,omitempty"`
+	// Class is the verdict.
+	Class BranchClass `json:"class"`
+	// Trip is the per-entry execution count for ClassLoopBackedge.
+	Trip int64 `json:"trip,omitempty"`
+	// Why explains the verdict.
+	Why string `json:"why,omitempty"`
+}
+
+// String renders the verdict with its trip count.
+func (v BranchVerdict) String() string { return v.Class.StringWithTrip(v.Trip) }
+
+// tripSimBound caps the trip-count simulation; loops provably longer
+// than this stay data-dependent rather than stalling the analysis.
+const tripSimBound = 1 << 20
+
+// classify assigns a verdict to every conditional branch.
+func classify(p *vm.Program, cp *propagation) []BranchVerdict {
+	g := cfg.Build(p)
+	// Call targets become extra CFG roots: the intraprocedural edge set
+	// (calls fall through, ret/halt stop) leaves callee bodies
+	// unreachable from the entry, which would hide their loops.
+	roots := []int{0}
+	seenRoot := map[int]bool{0: true}
+	for _, in := range p.Insts {
+		if in.Op != vm.OpCall {
+			continue
+		}
+		if tb, ok := g.BlockOf(in.Target); ok && !seenRoot[tb.ID] {
+			seenRoot[tb.ID] = true
+			roots = append(roots, tb.ID)
+		}
+	}
+	loops := g.NaturalLoopsFrom(roots)
+	idom := g.DominatorsFrom(roots)
+
+	var out []BranchVerdict
+	for _, i := range vm.StaticBranches(p) {
+		v := BranchVerdict{Inst: i, Line: p.Line(i)}
+		in := p.Insts[i]
+		switch a, b := cp.in[i][in.Rs1], cp.in[i][in.Rs2]; {
+		case !cp.reached[i]:
+			v.Class = ClassUnreachable
+			v.Why = "no feasible execution reaches this branch"
+		case a.kind == latConst && b.kind == latConst:
+			if in.Cond.Eval(a.val, b.val) {
+				v.Class = ClassConstTaken
+			} else {
+				v.Class = ClassConstNotTaken
+			}
+			v.Why = fmt.Sprintf("operands constant: r%d=%d, r%d=%d", in.Rs1, a.val, in.Rs2, b.val)
+		default:
+			if trip, why, ok := detectTrip(p, cp, g, loops, idom, i); ok {
+				v.Class = ClassLoopBackedge
+				v.Trip = trip
+				v.Why = why
+			} else {
+				v.Class = ClassDataDependent
+				which := in.Rs1
+				if a.kind == latConst {
+					which = in.Rs2
+				}
+				v.Why = fmt.Sprintf("r%d varies with the input at this point", which)
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// detectTrip proves a compile-time trip count for the loop closed (or
+// exited) by the conditional branch at instruction i. Requirements, all
+// checked conservatively: the branch terminates the latch of a natural
+// loop and is the loop's only exit; one branch operand is a constant
+// bound (SCCP), the other an induction register with exactly one
+// in-loop definition `addi r, r, step` executing once per iteration;
+// the loop body contains no calls; and the induction register enters
+// the loop with a constant value. The branch pattern is then simulated
+// to the exit.
+func detectTrip(p *vm.Program, cp *propagation, g *cfg.Graph, loops []cfg.Loop, idom []int, i int) (int64, string, bool) {
+	blk, ok := g.BlockOf(i)
+	if !ok || blk.End-1 != i {
+		return 0, "", false
+	}
+	in := p.Insts[i]
+	succs := g.StaticSuccs()
+
+	// Innermost loop whose latch this branch terminates with one edge
+	// back to the header and one leaving the loop.
+	var loop *cfg.Loop
+	for li := range loops {
+		l := &loops[li]
+		if l.Latch != blk.ID {
+			continue
+		}
+		inLoop := map[int]bool{}
+		for _, b := range l.Blocks {
+			inLoop[b] = true
+		}
+		tgt := -1
+		if tb, ok := g.BlockOf(in.Target); ok {
+			tgt = tb.ID
+		}
+		fall := -1
+		if fb, ok := g.BlockOf(blk.End); ok {
+			fall = fb.ID
+		}
+		backIn := tgt == l.Header && !inLoop[fall]
+		fallIn := fall == l.Header && !inLoop[tgt]
+		if !backIn && !fallIn {
+			continue
+		}
+		if loop == nil || len(l.Blocks) < len(loop.Blocks) {
+			loop = l
+		}
+	}
+	if loop == nil {
+		return 0, "", false
+	}
+	inLoop := map[int]bool{}
+	for _, b := range loop.Blocks {
+		inLoop[b] = true
+	}
+
+	// Single exit: the only edge leaving the loop is this branch's.
+	exits := 0
+	for _, b := range loop.Blocks {
+		for _, s := range succs[b] {
+			if !inLoop[s] {
+				exits++
+			}
+		}
+	}
+	if exits != 1 {
+		return 0, "", false
+	}
+
+	// Operand split: constant bound vs induction candidate.
+	a, b := cp.in[i][in.Rs1], cp.in[i][in.Rs2]
+	var indReg uint8
+	var bound int64
+	var indIsRs1 bool
+	switch {
+	case a.kind == latConst && b.kind != latConst:
+		bound, indReg, indIsRs1 = a.val, in.Rs2, false
+	case b.kind == latConst && a.kind != latConst:
+		bound, indReg, indIsRs1 = b.val, in.Rs1, true
+	default:
+		return 0, "", false
+	}
+
+	// Exactly one in-loop def of the induction register, of the form
+	// addi r, r, step, in a block executing once per iteration; no
+	// calls in the loop (a callee could redefine the register).
+	defInst, defBlock := -1, -1
+	for _, bid := range loop.Blocks {
+		bb := g.Blocks[bid]
+		for j := bb.Start; j < bb.End; j++ {
+			if p.Insts[j].Op == vm.OpCall {
+				return 0, "", false
+			}
+			if d, ok := p.Insts[j].Def(); ok && d == indReg {
+				if defInst >= 0 {
+					return 0, "", false
+				}
+				defInst, defBlock = j, bid
+			}
+		}
+	}
+	if defInst < 0 {
+		return 0, "", false
+	}
+	def := p.Insts[defInst]
+	if def.Op != vm.OpAddi || def.Rs1 != indReg {
+		return 0, "", false
+	}
+	step := def.Imm
+	if !cfg.Dominates(idom, defBlock, loop.Latch) {
+		return 0, "", false
+	}
+	// The def must not sit in a nested loop (it would execute more
+	// than once per outer iteration).
+	for li := range loops {
+		l := &loops[li]
+		if l == loop || len(l.Blocks) >= len(loop.Blocks) {
+			continue
+		}
+		nested := true
+		hasDef := false
+		for _, bid := range l.Blocks {
+			if !inLoop[bid] {
+				nested = false
+			}
+			if bid == defBlock {
+				hasDef = true
+			}
+		}
+		if nested && hasDef {
+			return 0, "", false
+		}
+	}
+
+	// Constant entry value: merge the induction register over the
+	// feasible edges entering the header from outside the loop.
+	loopInsts := map[int]bool{}
+	for _, bid := range loop.Blocks {
+		bb := g.Blocks[bid]
+		for j := bb.Start; j < bb.End; j++ {
+			loopInsts[j] = true
+		}
+	}
+	header := g.Blocks[loop.Header].Start
+	init := latval{}
+	for j := range p.Insts {
+		if loopInsts[j] || !cp.reached[j] {
+			continue
+		}
+		for _, s := range cp.fsuccs[j] {
+			if s == header {
+				init = merge(init, cp.out[j][indReg])
+			}
+		}
+	}
+	if init.kind != latConst {
+		return 0, "", false
+	}
+
+	// Simulate: the single def executes exactly once between loop entry
+	// and each branch evaluation, so the branch's k-th execution sees
+	// init + k*step. The taken direction stays in the loop iff the
+	// branch target block is in the loop (the other direction is the
+	// single exit, checked above).
+	tgtBlk, _ := g.BlockOf(in.Target)
+	takenStays := inLoop[tgtBlk.ID]
+	v := init.val
+	for trip := int64(1); trip <= tripSimBound; trip++ {
+		v += step
+		var taken bool
+		if indIsRs1 {
+			taken = in.Cond.Eval(v, bound)
+		} else {
+			taken = in.Cond.Eval(bound, v)
+		}
+		if taken != takenStays {
+			why := fmt.Sprintf("induction r%d: entry %d, step %+d, bound %d", indReg, init.val, step, bound)
+			return trip, why, true
+		}
+	}
+	return 0, "", false
+}

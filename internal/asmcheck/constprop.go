@@ -1,0 +1,313 @@
+package asmcheck
+
+import (
+	"fmt"
+	"math"
+
+	"twodprof/internal/vm"
+)
+
+// Lattice for sparse conditional constant propagation. Every register
+// at every reached program point is either a known constant or varying;
+// unreached marks states no execution can produce.
+type latKind uint8
+
+const (
+	latUnreached latKind = iota
+	latConst
+	latVarying
+)
+
+type latval struct {
+	kind latKind
+	val  int64
+}
+
+func constOf(v int64) latval { return latval{kind: latConst, val: v} }
+
+var varying = latval{kind: latVarying}
+
+// merge joins two lattice values (unreached is the identity).
+func merge(a, b latval) latval {
+	switch {
+	case a.kind == latUnreached:
+		return b
+	case b.kind == latUnreached:
+		return a
+	case a.kind == latConst && b.kind == latConst && a.val == b.val:
+		return a
+	default:
+		return varying
+	}
+}
+
+// regState is the abstract register file at one program point.
+type regState [vm.NumRegs]latval
+
+func (s *regState) set(rd uint8, v latval) {
+	if rd != 0 { // r0 stays hardwired zero
+		s[rd] = v
+	}
+}
+
+// icfg is the instruction-level sound control-flow graph: call edges go
+// to the callee and ret edges to every call-return point, so constant
+// facts merge over all calling contexts (imprecise but sound).
+type icfg struct {
+	n           int
+	callReturns []int
+}
+
+// propagation is the SCCP fixpoint: per-instruction in/out states, the
+// reached set, and the feasible successor edges actually propagated
+// (constant branch conditions prune the dead arm).
+type propagation struct {
+	in      []regState
+	out     []regState
+	reached []bool
+	fsuccs  [][]int
+	diags   []Diag
+}
+
+// propagate runs sparse conditional constant propagation to fixpoint.
+// The entry state is all-registers-zero, matching vm.Machine.Run, which
+// clears the register file before execution.
+func propagate(p *vm.Program) *propagation {
+	n := len(p.Insts)
+	g := icfg{n: n}
+	for i, in := range p.Insts {
+		if in.Op == vm.OpCall {
+			g.callReturns = append(g.callReturns, i+1)
+		}
+	}
+	cp := &propagation{
+		in:      make([]regState, n),
+		out:     make([]regState, n),
+		reached: make([]bool, n),
+		fsuccs:  make([][]int, n),
+	}
+	trapped := map[string]bool{} // dedup trap diags across re-visits
+	trap := func(i int, hint, format string, args ...interface{}) {
+		key := fmt.Sprintf("%d:%s", i, format)
+		if trapped[key] {
+			return
+		}
+		trapped[key] = true
+		cp.diags = append(cp.diags, Diag{
+			Analysis: AnalysisConstProp, Severity: SevError,
+			Inst: i, Line: p.Line(i),
+			Msg: fmt.Sprintf(format, args...), Hint: hint,
+		})
+	}
+
+	var work []int
+	inWork := make([]bool, n)
+	push := func(i int) {
+		if i >= 0 && i < n && !inWork[i] {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	// Entry: all registers zero.
+	for r := range cp.in[0] {
+		cp.in[0][r] = constOf(0)
+	}
+	cp.reached[0] = true
+	push(0)
+
+	flow := func(from, to int) {
+		if to < 0 || to >= n {
+			return // structural verification already diagnosed this
+		}
+		changed := !cp.reached[to]
+		cp.reached[to] = true
+		for r := 1; r < vm.NumRegs; r++ {
+			m := merge(cp.in[to][r], cp.out[from][r])
+			if m != cp.in[to][r] {
+				cp.in[to][r] = m
+				changed = true
+			}
+		}
+		cp.in[to][0] = constOf(0)
+		if changed {
+			push(to)
+		}
+	}
+
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+
+		st := cp.in[i]
+		inst := p.Insts[i]
+		succs := cp.fsuccs[i][:0]
+		halted := false
+
+		switch inst.Op {
+		case vm.OpHalt:
+			halted = true
+		case vm.OpJmp:
+			succs = append(succs, inst.Target)
+		case vm.OpCall:
+			succs = append(succs, inst.Target)
+		case vm.OpRet:
+			succs = append(succs, g.callReturns...)
+		case vm.OpBr:
+			a, b := st[inst.Rs1], st[inst.Rs2]
+			if a.kind == latConst && b.kind == latConst {
+				if inst.Cond.Eval(a.val, b.val) {
+					succs = append(succs, inst.Target)
+				} else {
+					succs = append(succs, i+1)
+				}
+			} else {
+				succs = append(succs, inst.Target, i+1)
+			}
+		case vm.OpDiv, vm.OpMod:
+			if d := st[inst.Rs2]; d.kind == latConst && d.val == 0 {
+				trap(i, "guard the divisor against zero",
+					"division by zero whenever this instruction executes")
+				halted = true
+			} else {
+				succs = append(succs, i+1)
+			}
+		case vm.OpLd, vm.OpSt:
+			if base := st[inst.Rs1]; base.kind == latConst && base.val+inst.Imm < 0 {
+				trap(i, "fix the base register or offset",
+					"memory access at constant negative address %d always faults", base.val+inst.Imm)
+				halted = true
+			} else {
+				succs = append(succs, i+1)
+			}
+		default:
+			succs = append(succs, i+1)
+		}
+
+		st.set(0, constOf(0)) // keep r0 pinned for the transfer below
+		cp.out[i] = transfer(st, inst)
+		if halted {
+			cp.fsuccs[i] = succs[:0]
+			continue
+		}
+		cp.fsuccs[i] = succs
+		for _, s := range succs {
+			flow(i, s)
+		}
+	}
+	return cp
+}
+
+// transfer applies one instruction to the abstract register file,
+// mirroring vm.Machine.Run's concrete semantics exactly (shift masking,
+// arithmetic right shift, r0 writes discarded).
+func transfer(st regState, in vm.Inst) regState {
+	bin := func(f func(a, b int64) latval) {
+		a, b := st[in.Rs1], st[in.Rs2]
+		if a.kind == latConst && b.kind == latConst {
+			st.set(in.Rd, f(a.val, b.val))
+		} else {
+			st.set(in.Rd, varying)
+		}
+	}
+	immOp := func(f func(a int64) latval) {
+		if a := st[in.Rs1]; a.kind == latConst {
+			st.set(in.Rd, f(a.val))
+		} else {
+			st.set(in.Rd, varying)
+		}
+	}
+	switch in.Op {
+	case vm.OpLi:
+		st.set(in.Rd, constOf(in.Imm))
+	case vm.OpMov:
+		st.set(in.Rd, st[in.Rs1])
+	case vm.OpAdd:
+		bin(func(a, b int64) latval { return constOf(a + b) })
+	case vm.OpSub:
+		bin(func(a, b int64) latval { return constOf(a - b) })
+	case vm.OpMul:
+		bin(func(a, b int64) latval { return constOf(a * b) })
+	case vm.OpDiv:
+		bin(func(a, b int64) latval {
+			if b == 0 || (a == math.MinInt64 && b == -1) {
+				return varying // trap / overflow: diagnosed separately
+			}
+			return constOf(a / b)
+		})
+	case vm.OpMod:
+		bin(func(a, b int64) latval {
+			if b == 0 || (a == math.MinInt64 && b == -1) {
+				return varying
+			}
+			return constOf(a % b)
+		})
+	case vm.OpAddi:
+		immOp(func(a int64) latval { return constOf(a + in.Imm) })
+	case vm.OpAnd:
+		bin(func(a, b int64) latval { return constOf(a & b) })
+	case vm.OpOr:
+		bin(func(a, b int64) latval { return constOf(a | b) })
+	case vm.OpXor:
+		bin(func(a, b int64) latval { return constOf(a ^ b) })
+	case vm.OpAndi:
+		immOp(func(a int64) latval { return constOf(a & in.Imm) })
+	case vm.OpShl:
+		bin(func(a, b int64) latval { return constOf(a << uint(b&63)) })
+	case vm.OpShr:
+		bin(func(a, b int64) latval { return constOf(a >> uint(b&63)) })
+	case vm.OpShli:
+		immOp(func(a int64) latval { return constOf(a << uint(in.Imm&63)) })
+	case vm.OpShri:
+		immOp(func(a int64) latval { return constOf(a >> uint(in.Imm&63)) })
+	case vm.OpLd:
+		st.set(in.Rd, varying) // memory holds the input data set
+	case vm.OpSet:
+		bin(func(a, b int64) latval {
+			if in.Cond.Eval(a, b) {
+				return constOf(1)
+			}
+			return constOf(0)
+		})
+	case vm.OpCmov:
+		switch pred := st[in.Rs1]; {
+		case pred.kind == latConst && pred.val == 0:
+			// keep old rd
+		case pred.kind == latConst:
+			st.set(in.Rd, st[in.Rs2])
+		default:
+			st.set(in.Rd, merge(st[in.Rd], st[in.Rs2]))
+		}
+	}
+	return st
+}
+
+// isuccs returns the unpruned instruction-level successor list, used by
+// the backward liveness pass (over-approximating control flow
+// over-approximates liveness, which is the sound direction for
+// dead-store reports).
+func isuccs(p *vm.Program, callReturns []int, i int) []int {
+	n := len(p.Insts)
+	in := p.Insts[i]
+	var out []int
+	add := func(t int) {
+		if t >= 0 && t < n {
+			out = append(out, t)
+		}
+	}
+	switch in.Op {
+	case vm.OpHalt:
+	case vm.OpJmp, vm.OpCall:
+		add(in.Target)
+	case vm.OpRet:
+		for _, r := range callReturns {
+			add(r)
+		}
+	case vm.OpBr:
+		add(in.Target)
+		add(i + 1)
+	default:
+		add(i + 1)
+	}
+	return out
+}

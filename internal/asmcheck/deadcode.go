@@ -1,0 +1,124 @@
+package asmcheck
+
+import (
+	"fmt"
+
+	"twodprof/internal/vm"
+)
+
+// checkDead reports unreachable instructions (including arms dominated
+// by constant branches, which SCCP prunes), dead register stores, and
+// registers read before their first write.
+func checkDead(p *vm.Program, cp *propagation) []Diag {
+	var diags []Diag
+	n := len(p.Insts)
+	add := func(inst int, sev Severity, hint, format string, args ...interface{}) {
+		diags = append(diags, Diag{
+			Analysis: AnalysisDeadCode, Severity: sev,
+			Inst: inst, Line: p.Line(inst),
+			Msg: fmt.Sprintf(format, args...), Hint: hint,
+		})
+	}
+
+	// Unreachable runs: consecutive instructions no feasible execution
+	// reaches.
+	for i := 0; i < n; {
+		if cp.reached[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < n && !cp.reached[j] {
+			j++
+		}
+		add(i, SevWarning, "delete the instructions or fix the control flow that bypasses them",
+			"unreachable: instructions #%d..#%d never execute", i, j-1)
+		i = j
+	}
+
+	var callReturns []int
+	for i, in := range p.Insts {
+		if in.Op == vm.OpCall {
+			callReturns = append(callReturns, i+1)
+		}
+	}
+
+	// Backward liveness over the unpruned graph.
+	liveIn := make([]vm.RegSet, n)
+	liveOut := make([]vm.RegSet, n)
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			var out vm.RegSet
+			for _, s := range isuccs(p, callReturns, i) {
+				out |= liveIn[s]
+			}
+			in := p.Insts[i].Uses() | out
+			if d, ok := p.Insts[i].Def(); ok {
+				in = out&^(1<<d) | p.Insts[i].Uses()
+			}
+			if out != liveOut[i] || in != liveIn[i] {
+				liveOut[i], liveIn[i] = out, in
+				changed = true
+			}
+		}
+	}
+	for i, in := range p.Insts {
+		if !cp.reached[i] {
+			continue // already covered by the unreachable diagnostic
+		}
+		if in.WritesR0() {
+			add(i, SevWarning, "write to a non-zero register",
+				"destination r0 is hardwired to zero; the written value is discarded")
+			continue
+		}
+		if d, ok := in.Def(); ok && !liveOut[i].Has(d) {
+			add(i, SevWarning, "delete the instruction or use the value",
+				"dead store: the value written to r%d is never read", d)
+		}
+	}
+
+	// Forward may-be-unwritten analysis over the feasible edges:
+	// reading a register before any write consumes the implicit initial
+	// zero, which is at best obscure and usually a missing
+	// initialisation.
+	all := vm.RegSet(0)
+	for r := uint8(1); r < vm.NumRegs; r++ {
+		all |= 1 << r
+	}
+	unwritten := make([]vm.RegSet, n)
+	seen := make([]bool, n)
+	unwritten[0], seen[0] = all, true
+	work := []int{0}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := unwritten[i]
+		if d, ok := p.Insts[i].Def(); ok {
+			out &^= 1 << d
+		}
+		for _, s := range cp.fsuccs[i] {
+			m := unwritten[s] | out
+			if !seen[s] || m != unwritten[s] {
+				unwritten[s] = m
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for i, in := range p.Insts {
+		if !cp.reached[i] {
+			continue
+		}
+		if bad := in.Uses() & unwritten[i]; bad != 0 {
+			for _, r := range bad.Regs() {
+				if r == 0 {
+					continue
+				}
+				add(i, SevWarning, fmt.Sprintf("initialise r%d (li r%d, 0) before this point", r, r),
+					"r%d is read before any write on some path (it reads the initial zero)", r)
+			}
+		}
+	}
+	return diags
+}

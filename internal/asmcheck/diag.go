@@ -1,0 +1,85 @@
+package asmcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Severity ranks diagnostics.
+type Severity int
+
+// Severity levels, least to most severe.
+const (
+	// SevInfo marks observations that are not defects (e.g. a register
+	// read that intentionally consumes the initial zero).
+	SevInfo Severity = iota
+	// SevWarning marks likely defects that do not stop execution (dead
+	// stores, unreachable code).
+	SevWarning
+	// SevError marks conditions that make the program trap or leave the
+	// instruction range at run time.
+	SevError
+)
+
+// String returns the lower-case level name.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler for -json output.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Diag is one diagnostic: which analysis produced it, where, what is
+// wrong, and how to fix it.
+type Diag struct {
+	Analysis Analysis `json:"analysis"`
+	Severity Severity `json:"severity"`
+	// Inst is the instruction index the diagnostic anchors to (-1 for
+	// whole-program diagnostics).
+	Inst int `json:"inst"`
+	// Line is the 1-based source line of Inst, 0 when unknown.
+	Line int `json:"line,omitempty"`
+	// Msg states the defect.
+	Msg string `json:"msg"`
+	// Hint suggests a fix, when one is evident.
+	Hint string `json:"hint,omitempty"`
+}
+
+// String renders the diagnostic in a compiler-style one-line form.
+func (d Diag) String() string {
+	loc := fmt.Sprintf("#%d", d.Inst)
+	if d.Inst < 0 {
+		loc = "program"
+	}
+	if d.Line > 0 {
+		loc += fmt.Sprintf(" (line %d)", d.Line)
+	}
+	s := fmt.Sprintf("%s: %s: %s: %s", d.Severity, d.Analysis, loc, d.Msg)
+	if d.Hint != "" {
+		s += " [fix: " + d.Hint + "]"
+	}
+	return s
+}
+
+// sortDiags orders diagnostics by instruction index, then severity
+// (most severe first), then message, for stable output.
+func sortDiags(ds []Diag) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Inst != ds[j].Inst {
+			return ds[i].Inst < ds[j].Inst
+		}
+		if ds[i].Severity != ds[j].Severity {
+			return ds[i].Severity > ds[j].Severity
+		}
+		return ds[i].Msg < ds[j].Msg
+	})
+}

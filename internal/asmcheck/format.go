@@ -1,0 +1,36 @@
+package asmcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/vm"
+)
+
+// Format renders the result for humans: a one-line header, the
+// diagnostics in compiler style, then the branch-verdict table. Both
+// cmd/asmcheck and `vmasm check` print this form so their output stays
+// consistent.
+func (r *Result) Format() string {
+	var b strings.Builder
+	name := r.Name
+	if name == "" {
+		name = "(program)"
+	}
+	fmt.Fprintf(&b, "%s: %d instructions, %d conditional branches, %d diagnostics\n",
+		name, len(r.Prog.Insts), len(vm.StaticBranches(r.Prog)), len(r.Diags))
+	for _, d := range r.Diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	if len(r.Branches) > 0 {
+		fmt.Fprintf(&b, "  branch verdicts:\n")
+		for _, v := range r.Branches {
+			loc := fmt.Sprintf("#%d", v.Inst)
+			if v.Line > 0 {
+				loc += fmt.Sprintf(" (line %d)", v.Line)
+			}
+			fmt.Fprintf(&b, "    %-14s %-24s %s\n", loc, v.String(), v.Why)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package asmcheck
+
+import (
+	"fmt"
+
+	"twodprof/internal/vm"
+)
+
+// maxTrackedDepth caps the abstract call-stack depth the structural
+// walk distinguishes; deeper states are merged (recursion beyond the
+// cap can no longer prove an underflow, which is the conservative
+// direction — no false positives).
+const maxTrackedDepth = 64
+
+// checkStructural verifies the program's control-flow skeleton:
+// branch/jump/call targets inside the instruction range, no execution
+// path running past the last instruction, and no ret reachable with an
+// empty call stack. It explores the abstract state space
+// (pc, call-depth) exactly, with depth saturated at maxTrackedDepth.
+func checkStructural(p *vm.Program) []Diag {
+	var diags []Diag
+	n := len(p.Insts)
+	add := func(inst int, sev Severity, hint, format string, args ...interface{}) {
+		diags = append(diags, Diag{
+			Analysis: AnalysisStructural, Severity: sev,
+			Inst: inst, Line: p.Line(inst),
+			Msg: fmt.Sprintf(format, args...), Hint: hint,
+		})
+	}
+
+	// Pass 1: target ranges. A label may legally sit one past the last
+	// instruction, so assembled programs can still carry Target == n.
+	badTarget := make([]bool, n)
+	var callReturns []int
+	for i, in := range p.Insts {
+		switch in.Op {
+		case vm.OpBr, vm.OpJmp, vm.OpCall:
+			if in.Target < 0 || in.Target >= n {
+				badTarget[i] = true
+				add(i, SevError,
+					"point the target label at an instruction",
+					"%s target %d outside program of %d instructions", in.Op, in.Target, n)
+			}
+			if in.Op == vm.OpCall {
+				callReturns = append(callReturns, i+1)
+			}
+		}
+	}
+
+	// Pass 2: reachable (pc, depth) states. ret transfers to every
+	// call-return point (the abstract stack tracks depth only), which
+	// over-approximates real return targets.
+	type state struct{ pc, depth int }
+	seen := map[state]bool{}
+	var stack []state
+	push := func(pc, depth int) {
+		s := state{pc, depth}
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	push(0, 0)
+	fellOff := map[int]bool{} // pred instruction -> already diagnosed
+	underflow := map[int]bool{}
+	edge := func(from, to, depth int) {
+		if to == n {
+			if !fellOff[from] {
+				fellOff[from] = true
+				add(from, SevError,
+					"end the path with halt, ret or a jump",
+					"execution can run past the last instruction")
+			}
+			return
+		}
+		if to >= 0 && to < n {
+			push(to, depth)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		in := p.Insts[s.pc]
+		switch in.Op {
+		case vm.OpHalt:
+		case vm.OpJmp:
+			if !badTarget[s.pc] {
+				edge(s.pc, in.Target, s.depth)
+			}
+		case vm.OpBr:
+			if !badTarget[s.pc] {
+				edge(s.pc, in.Target, s.depth)
+			}
+			edge(s.pc, s.pc+1, s.depth)
+		case vm.OpCall:
+			if !badTarget[s.pc] {
+				d := s.depth + 1
+				if d > maxTrackedDepth {
+					d = maxTrackedDepth
+				}
+				edge(s.pc, in.Target, d)
+			}
+		case vm.OpRet:
+			if s.depth == 0 {
+				if !underflow[s.pc] {
+					underflow[s.pc] = true
+					add(s.pc, SevError,
+						"only reach ret through a call",
+						"ret can execute with an empty call stack")
+				}
+				continue
+			}
+			for _, r := range callReturns {
+				edge(s.pc, r, s.depth-1)
+			}
+		default:
+			edge(s.pc, s.pc+1, s.depth)
+		}
+	}
+	return diags
+}

@@ -44,33 +44,96 @@ func (g *Graph) StaticSuccs() [][]int {
 	return succs
 }
 
-// Dominators returns each block's immediate dominator (idom[0] == 0 for
-// the entry; unreachable blocks get -1), using the Cooper-Harvey-
-// Kennedy iterative algorithm over a reverse-postorder.
-func (g *Graph) Dominators() []int {
-	n := len(g.Blocks)
-	idom := make([]int, n)
-	for i := range idom {
-		idom[i] = -1
-	}
-	if n == 0 {
-		return idom
-	}
-	succs := g.StaticSuccs()
-	preds := make([][]int, n)
-	for b, ss := range succs {
+// StaticPreds returns each block's statically known predecessor block
+// ids, in ascending order — the transpose of StaticSuccs.
+func (g *Graph) StaticPreds() [][]int {
+	preds := make([][]int, len(g.Blocks))
+	for b, ss := range g.StaticSuccs() {
 		for _, s := range ss {
 			preds[s] = append(preds[s], b)
 		}
 	}
+	for _, ps := range preds {
+		sort.Ints(ps)
+	}
+	return preds
+}
 
-	// Reverse postorder from the entry block.
-	order := make([]int, 0, n)
-	state := make([]int, n) // 0 unvisited, 1 in stack, 2 done
+// ReachableBlocks reports, per block, whether it is reachable from the
+// entry block along static successor edges.
+func (g *Graph) ReachableBlocks() []bool {
+	n := len(g.Blocks)
+	reach := make([]bool, n)
+	if n == 0 {
+		return reach
+	}
+	succs := g.StaticSuccs()
+	stack := []int{0}
+	reach[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs[b] {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return reach
+}
+
+// Dominators returns each block's immediate dominator (idom[0] == 0 for
+// the entry; unreachable blocks get -1), using the Cooper-Harvey-
+// Kennedy iterative algorithm over a reverse-postorder.
+func (g *Graph) Dominators() []int {
+	return g.DominatorsFrom([]int{0})
+}
+
+// DominatorsFrom computes immediate dominators with every listed block
+// treated as an entry (internally a virtual super-root precedes them
+// all). Root blocks and blocks dominated only by the virtual root get
+// themselves as idom; blocks unreachable from every root get -1. Static
+// analyses use this with call-target blocks as extra roots, since the
+// intraprocedural edge set (calls fall through) leaves callee bodies
+// unreachable from block 0.
+func (g *Graph) DominatorsFrom(roots []int) []int {
+	n := len(g.Blocks)
+	idom := make([]int, n+1) // index n is the virtual super-root
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		return nil
+	}
+	succs := g.StaticSuccs()
+	vroot := n
+	rootSuccs := make([]int, 0, len(roots))
+	for _, r := range roots {
+		if r >= 0 && r < n {
+			rootSuccs = append(rootSuccs, r)
+		}
+	}
+	succAt := func(b int) []int {
+		if b == vroot {
+			return rootSuccs
+		}
+		return succs[b]
+	}
+	preds := make([][]int, n+1)
+	for b := 0; b <= n; b++ {
+		for _, s := range succAt(b) {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	// Reverse postorder from the virtual root.
+	order := make([]int, 0, n+1)
+	state := make([]int, n+1) // 0 unvisited, 1 in stack, 2 done
 	var dfs func(int)
 	dfs = func(b int) {
 		state[b] = 1
-		for _, s := range succs[b] {
+		for _, s := range succAt(b) {
 			if state[s] == 0 {
 				dfs(s)
 			}
@@ -78,12 +141,12 @@ func (g *Graph) Dominators() []int {
 		state[b] = 2
 		order = append(order, b)
 	}
-	dfs(0)
+	dfs(vroot)
 	rpo := make([]int, 0, len(order))
 	for i := len(order) - 1; i >= 0; i-- {
 		rpo = append(rpo, order[i])
 	}
-	rpoNum := make([]int, n)
+	rpoNum := make([]int, n+1)
 	for i := range rpoNum {
 		rpoNum[i] = -1
 	}
@@ -103,11 +166,11 @@ func (g *Graph) Dominators() []int {
 		return a
 	}
 
-	idom[0] = 0
+	idom[vroot] = vroot
 	for changed := true; changed; {
 		changed = false
 		for _, b := range rpo {
-			if b == 0 {
+			if b == vroot {
 				continue
 			}
 			newIdom := -1
@@ -127,23 +190,30 @@ func (g *Graph) Dominators() []int {
 			}
 		}
 	}
-	return idom
+	// Fold the virtual root away: its children become self-rooted.
+	out := idom[:n]
+	for b := range out {
+		if out[b] == vroot {
+			out[b] = b
+		}
+	}
+	return out
 }
 
 // Dominates reports whether block a dominates block b under idom (as
-// returned by Dominators).
+// returned by Dominators or DominatorsFrom). Walking b's dominator
+// chain terminates at a root (idom fixed point) or an unreachable
+// block.
 func Dominates(idom []int, a, b int) bool {
-	if a == 0 {
-		return idom[b] >= 0 || b == 0
-	}
 	for b >= 0 {
 		if a == b {
 			return true
 		}
-		if b == 0 {
+		next := idom[b]
+		if next == b || next < 0 {
 			return false
 		}
-		b = idom[b]
+		b = next
 	}
 	return false
 }
@@ -159,7 +229,17 @@ type Loop struct {
 // NaturalLoops finds the natural loops of the static CFG. Loops sharing
 // a header are reported separately per back edge.
 func (g *Graph) NaturalLoops() []Loop {
-	idom := g.Dominators()
+	return g.naturalLoops(g.Dominators())
+}
+
+// NaturalLoopsFrom finds natural loops with the given blocks all
+// treated as entries (see DominatorsFrom) — this surfaces loops inside
+// callee bodies, which the single-entry view leaves unreachable.
+func (g *Graph) NaturalLoopsFrom(roots []int) []Loop {
+	return g.naturalLoops(g.DominatorsFrom(roots))
+}
+
+func (g *Graph) naturalLoops(idom []int) []Loop {
 	succs := g.StaticSuccs()
 	preds := make([][]int, len(g.Blocks))
 	for b, ss := range succs {

@@ -1,0 +1,138 @@
+package cfg
+
+import (
+	"testing"
+
+	"twodprof/internal/progs"
+	"twodprof/internal/vm"
+)
+
+func TestStaticPreds(t *testing.T) {
+	g, p := build(t)
+	succs := g.StaticSuccs()
+	preds := g.StaticPreds()
+	// Transpose property: s in succs[b] iff b in preds[s].
+	for b, ss := range succs {
+		for _, s := range ss {
+			found := false
+			for _, pb := range preds[s] {
+				if pb == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing from preds", b, s)
+			}
+		}
+	}
+	// The entry block has no predecessors in the diamond program.
+	if len(preds[0]) != 0 {
+		t.Errorf("entry preds %v", preds[0])
+	}
+	// The join block (done) has two: the two diamond arms.
+	doneBlk, _ := g.BlockOf(p.MustLabel("done"))
+	if len(preds[doneBlk.ID]) != 2 {
+		t.Errorf("join preds %v, want 2", preds[doneBlk.ID])
+	}
+}
+
+func TestReachableBlocks(t *testing.T) {
+	p, err := vm.Assemble("t", `
+		jmp end
+	dead:
+		li r1, 1
+	end:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	reach := g.ReachableBlocks()
+	deadBlk, _ := g.BlockOf(p.MustLabel("dead"))
+	endBlk, _ := g.BlockOf(p.MustLabel("end"))
+	if !reach[0] || !reach[endBlk.ID] {
+		t.Errorf("entry/end not reachable: %v", reach)
+	}
+	if reach[deadBlk.ID] {
+		t.Errorf("dead block marked reachable: %v", reach)
+	}
+}
+
+// calleeProg places a counting loop inside a function reachable only
+// through call — invisible to the single-entry intraprocedural view.
+const calleeProg = `
+main:
+    call fn
+    halt
+fn:
+    li r1, 4
+loop:
+    addi r1, r1, -1
+    bgt r1, r0, loop
+    ret
+`
+
+func TestDominatorsFromCalleeRoots(t *testing.T) {
+	p, err := vm.Assemble("t", calleeProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	fnBlk, _ := g.BlockOf(p.MustLabel("fn"))
+	loopBlk, _ := g.BlockOf(p.MustLabel("loop"))
+
+	// Single-entry view: the callee is unreachable.
+	if idom := g.Dominators(); idom[fnBlk.ID] != -1 {
+		t.Fatalf("callee reachable without extra roots: idom %v", idom)
+	}
+	// With the callee as a root it is its own entry and dominates its
+	// loop.
+	idom := g.DominatorsFrom([]int{0, fnBlk.ID})
+	if idom[fnBlk.ID] != fnBlk.ID {
+		t.Errorf("callee root idom = %d, want self %d", idom[fnBlk.ID], fnBlk.ID)
+	}
+	if !Dominates(idom, fnBlk.ID, loopBlk.ID) {
+		t.Error("callee entry should dominate its loop")
+	}
+	// Neither root dominates the other.
+	if Dominates(idom, 0, fnBlk.ID) || Dominates(idom, fnBlk.ID, 0) {
+		t.Error("independent roots must not dominate each other")
+	}
+	// Out-of-range roots are ignored rather than crashing.
+	if got := g.DominatorsFrom([]int{0, -3, 999}); got[0] != 0 {
+		t.Errorf("bad roots mangled entry idom: %v", got)
+	}
+}
+
+func TestNaturalLoopsFromFindsCalleeLoop(t *testing.T) {
+	p, err := vm.Assemble("t", calleeProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	if loops := g.NaturalLoops(); len(loops) != 0 {
+		t.Fatalf("single-entry view found callee loop: %+v", loops)
+	}
+	fnBlk, _ := g.BlockOf(p.MustLabel("fn"))
+	loopBlk, _ := g.BlockOf(p.MustLabel("loop"))
+	loops := g.NaturalLoopsFrom([]int{0, fnBlk.ID})
+	if len(loops) != 1 || loops[0].Header != loopBlk.ID || loops[0].Latch != loopBlk.ID {
+		t.Fatalf("loops = %+v, want self-loop at block %d", loops, loopBlk.ID)
+	}
+}
+
+// DominatorsFrom with only the entry root must agree with Dominators
+// on every kernel (the single-root generalisation is conservative).
+func TestDominatorsFromSingleRootMatches(t *testing.T) {
+	for _, name := range progs.KernelNames() {
+		k, _ := progs.KernelByName(name)
+		g := Build(k.Prog)
+		a, b := g.Dominators(), g.DominatorsFrom([]int{0})
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: block %d idom %d vs %d", name, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -11,6 +11,10 @@ import (
 type branchJSON struct {
 	PC uint64 `json:"pc"`
 	BranchResult
+	// Static is the optional static prefilter class of the branch
+	// (asmcheck verdict); absent when the report is not annotated, so
+	// unannotated encodings are byte-identical to earlier versions.
+	Static string `json:"static,omitempty"`
 }
 
 // reportJSON is the wire form of a Report; branch maps become a
@@ -38,7 +42,11 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Branches:      make([]branchJSON, 0, len(r.Branches)),
 	}
 	for _, pc := range r.Observed() {
-		out.Branches = append(out.Branches, branchJSON{PC: uint64(pc), BranchResult: r.Branches[pc]})
+		out.Branches = append(out.Branches, branchJSON{
+			PC:           uint64(pc),
+			BranchResult: r.Branches[pc],
+			Static:       r.StaticClass[pc],
+		})
 	}
 	return json.Marshal(out)
 }
@@ -56,8 +64,15 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 	r.Overall = in.Overall
 	r.TotalExec = in.TotalExec
 	r.Branches = make(map[trace.PC]BranchResult, len(in.Branches))
+	r.StaticClass = nil
 	for _, b := range in.Branches {
 		r.Branches[trace.PC(b.PC)] = b.BranchResult
+		if b.Static != "" {
+			if r.StaticClass == nil {
+				r.StaticClass = make(map[trace.PC]string)
+			}
+			r.StaticClass[trace.PC(b.PC)] = b.Static
+		}
 	}
 	return nil
 }

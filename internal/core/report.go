@@ -35,6 +35,53 @@ type Report struct {
 	Overall       float64 // whole-program metric, percent
 	TotalExec     int64
 	Branches      map[trace.PC]BranchResult
+
+	// StaticClass is the optional static prefilter column: the
+	// asmcheck verdict per branch PC ("const-taken",
+	// "loop-backedge(trip=4)", "data-dependent", ...). It is populated
+	// by callers that know the profiled program (kernel runs) via
+	// AnnotateStatic and stays nil for pure trace replays, leaving the
+	// rendered report unchanged.
+	StaticClass map[trace.PC]string
+}
+
+// AnnotateStatic attaches static branch classes to the report,
+// restricted to branches the report actually observed. A branch proven
+// "const-*" statically can never be input-dependent, so the annotation
+// doubles as a soundness cross-check on the profiler (see
+// StaticViolations).
+func (r *Report) AnnotateStatic(classes map[trace.PC]string) {
+	if len(classes) == 0 {
+		return
+	}
+	r.StaticClass = make(map[trace.PC]string, len(r.Branches))
+	for pc := range r.Branches {
+		if c, ok := classes[pc]; ok {
+			r.StaticClass[pc] = c
+		}
+	}
+}
+
+// staticConst reports whether the annotated static class of pc proves a
+// single branch direction on every execution.
+func staticConst(class string) bool {
+	return class == "const-taken" || class == "const-not-taken"
+}
+
+// StaticViolations returns the branches the profiler flagged
+// input-dependent even though the static prefilter proves them
+// constant — impossible for a correct profiler over a correct analysis,
+// so any entry here is a bug in one of the two. Empty when the report
+// carries no static annotation.
+func (r *Report) StaticViolations() []trace.PC {
+	var out []trace.PC
+	for pc, class := range r.StaticClass {
+		if staticConst(class) && r.Branches[pc].InputDependent {
+			out = append(out, pc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // InputDependent returns the set of branches flagged input-dependent,
@@ -97,6 +144,20 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "  overall metric   : %.2f%% (MEAN_th %.2f, STD_th %.2f, PAM_th %.2f)\n",
 		r.Overall, r.MeanThApplied, r.Config.StdTh, r.Config.PAMTh)
 	fmt.Fprintf(&b, "  input-dependent  : %d branches\n", len(dep))
+	if len(r.StaticClass) > 0 {
+		nconst := 0
+		for _, class := range r.StaticClass {
+			if staticConst(class) {
+				nconst++
+			}
+		}
+		fmt.Fprintf(&b, "  static prefilter : %d of %d observed branches classified, %d statically constant\n",
+			len(r.StaticClass), len(r.Branches), nconst)
+		if v := r.StaticViolations(); len(v) > 0 {
+			fmt.Fprintf(&b, "  PREFILTER VIOLATION: %d statically-constant branches flagged input-dependent: %v\n",
+				len(v), v)
+		}
+	}
 	return b.String()
 }
 
@@ -110,8 +171,12 @@ func (r *Report) FormatBranch(pc trace.PC) string {
 	if br.InputDependent {
 		verdict = "INPUT-DEPENDENT"
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"branch %#x: exec=%d slices=%d metric=%.2f%% mean=%.2f std=%.2f pam=%.3f [mean:%v std:%v pam:%v] => %s",
 		uint64(pc), br.Exec, br.SliceN, br.Lifetime, br.Mean, br.Std,
 		br.PAMFrac, br.PassMean, br.PassStd, br.PassPAM, verdict)
+	if class, ok := r.StaticClass[pc]; ok {
+		s += " static=" + class
+	}
+	return s
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"twodprof/internal/trace"
+)
+
+func staticTestReport() *Report {
+	return &Report{
+		Config:    DefaultConfig(),
+		Slices:    4,
+		Overall:   90,
+		TotalExec: 1000,
+		Branches: map[trace.PC]BranchResult{
+			5:  {Exec: 400, SliceN: 4, InputDependent: true},
+			21: {Exec: 500, SliceN: 4},
+			30: {Exec: 100, SliceN: 2},
+		},
+	}
+}
+
+func TestAnnotateStatic(t *testing.T) {
+	r := staticTestReport()
+	r.AnnotateStatic(map[trace.PC]string{
+		5:  "data-dependent",
+		21: "loop-backedge(trip=4)",
+		30: "const-not-taken",
+		99: "const-taken", // never observed: must be dropped
+	})
+	if len(r.StaticClass) != 3 {
+		t.Fatalf("StaticClass = %v, want the 3 observed branches", r.StaticClass)
+	}
+	if _, ok := r.StaticClass[99]; ok {
+		t.Error("unobserved branch kept in annotation")
+	}
+	if v := r.StaticViolations(); len(v) != 0 {
+		t.Errorf("violations = %v, want none", v)
+	}
+	if s := r.FormatBranch(21); !strings.Contains(s, "static=loop-backedge(trip=4)") {
+		t.Errorf("FormatBranch missing static column: %s", s)
+	}
+	if s := r.Summary(); !strings.Contains(s, "static prefilter : 3 of 3") {
+		t.Errorf("Summary missing prefilter line:\n%s", s)
+	}
+}
+
+func TestAnnotateStaticEmptyIsNoop(t *testing.T) {
+	r := staticTestReport()
+	r.AnnotateStatic(nil)
+	if r.StaticClass != nil {
+		t.Fatalf("nil annotation created StaticClass %v", r.StaticClass)
+	}
+	if s := r.Summary(); strings.Contains(s, "static prefilter") {
+		t.Errorf("unannotated summary mentions the prefilter:\n%s", s)
+	}
+	if s := r.FormatBranch(5); strings.Contains(s, "static=") {
+		t.Errorf("unannotated FormatBranch has static column: %s", s)
+	}
+}
+
+func TestStaticViolations(t *testing.T) {
+	r := staticTestReport()
+	// Branch 5 is flagged input-dependent; calling it const-taken is a
+	// contradiction the report must surface.
+	r.AnnotateStatic(map[trace.PC]string{5: "const-taken", 21: "const-not-taken"})
+	v := r.StaticViolations()
+	if len(v) != 1 || v[0] != 5 {
+		t.Fatalf("violations = %v, want [5]", v)
+	}
+	if s := r.Summary(); !strings.Contains(s, "PREFILTER VIOLATION") {
+		t.Errorf("Summary does not call out the violation:\n%s", s)
+	}
+}
+
+func TestStaticJSONRoundTrip(t *testing.T) {
+	r := staticTestReport()
+	r.AnnotateStatic(map[trace.PC]string{5: "data-dependent", 21: "loop-backedge(trip=4)", 30: "const-not-taken"})
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.StaticClass) != 3 || back.StaticClass[21] != "loop-backedge(trip=4)" {
+		t.Fatalf("decoded StaticClass = %v", back.StaticClass)
+	}
+
+	// Unannotated reports encode without the field at all, keeping the
+	// wire format byte-identical to pre-prefilter versions.
+	plain := staticTestReport()
+	data, err = json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "static") {
+		t.Errorf("unannotated JSON mentions static: %s", data)
+	}
+	var back2 Report
+	if err := json.Unmarshal(data, &back2); err != nil {
+		t.Fatal(err)
+	}
+	if back2.StaticClass != nil {
+		t.Errorf("decoded unannotated report has StaticClass %v", back2.StaticClass)
+	}
+}

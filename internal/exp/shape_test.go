@@ -307,3 +307,28 @@ func TestExtCorrPositive(t *testing.T) {
 		}
 	}
 }
+
+func TestExtStaticSound(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "ext-static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*ExtStatic)
+	// 6 kernels x {train,ref} x {accuracy,bias}.
+	if len(f.Rows) != 24 {
+		t.Fatalf("%d rows, want 24", len(f.Rows))
+	}
+	// The soundness invariant: the profiler never flags a branch the
+	// static analysis proves constant.
+	for _, r := range f.Rows {
+		if r.Violations != 0 {
+			t.Errorf("%s/%s/%s: %d prefilter violations", r.Kernel, r.Input, r.Metric, r.Violations)
+		}
+	}
+	// The suite exhibits at least one statically resolved trip-count
+	// loop (typesum's bigsum).
+	if f.Backedges < 1 {
+		t.Errorf("no loop-backedge verdict in the kernel suite")
+	}
+}

@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/asmcheck"
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+	"twodprof/internal/progs"
+)
+
+func init() {
+	register("ext-static", "extension: asmcheck static prefilter cross-checked against 2D verdicts on every kernel", runExtStatic)
+}
+
+// ExtStaticRow is one kernel/input/metric combination of the prefilter
+// cross-check.
+type ExtStaticRow struct {
+	Kernel string
+	Input  string
+	Metric string
+	// Classified counts observed branches with a static verdict (always
+	// all of them for kernel runs), Const the statically constant
+	// subset, Flagged the 2D input-dependent verdicts.
+	Classified int
+	Const      int
+	Flagged    int
+	// Violations counts statically-constant branches the profiler
+	// flagged input-dependent. Soundness demands zero: a const-* branch
+	// resolves identically under any input, so the MEAN/STD/PAM tests
+	// must never fire on one (DESIGN.md §3d).
+	Violations int
+}
+
+// ExtStatic is the static-prefilter soundness check: every kernel's
+// report is annotated with its asmcheck branch classification and no
+// statically-constant branch may ever be flagged by the profiler.
+type ExtStatic struct {
+	Rows []ExtStaticRow
+	// Backedges counts loop-backedge(trip=K) verdicts across the kernel
+	// suite; the typesum bigsum loop guarantees at least one.
+	Backedges int
+}
+
+func runExtStatic(ctx *Context) (Result, error) {
+	f := &ExtStatic{}
+	for _, kernel := range progs.KernelNames() {
+		k, _ := progs.KernelByName(kernel)
+		res, err := asmcheck.Run(k.Prog)
+		if err != nil {
+			return nil, err
+		}
+		if n := len(res.Diags); n > 0 {
+			return nil, fmt.Errorf("ext-static: kernel %s has %d asmcheck diagnostics", kernel, n)
+		}
+		for _, v := range res.Branches {
+			if v.Class == asmcheck.ClassLoopBackedge {
+				f.Backedges++
+			}
+		}
+		classes := asmcheck.StaticClasses(k.Prog)
+
+		for _, input := range []string{"train", "ref"} {
+			for _, metric := range []core.Metric{core.MetricAccuracy, core.MetricBias} {
+				inst, err := progs.StandardInput(kernel, input)
+				if err != nil {
+					return nil, err
+				}
+				cfg2d := ctx.Config
+				cfg2d.Metric = metric
+				cfg2d.SliceSize = 8000
+				cfg2d.ExecThreshold = 20
+				var pred bpred.Predictor
+				if metric == core.MetricAccuracy {
+					if pred, err = bpred.New(ctx.ProfPred); err != nil {
+						return nil, err
+					}
+				}
+				prof, err := core.NewProfiler(cfg2d, pred)
+				if err != nil {
+					return nil, err
+				}
+				inst.Run(prof)
+				rep := prof.Finish()
+				rep.AnnotateStatic(classes)
+
+				row := ExtStaticRow{
+					Kernel: kernel, Input: input, Metric: metric.String(),
+					Classified: len(rep.StaticClass),
+					Flagged:    len(rep.InputDependent()),
+					Violations: len(rep.StaticViolations()),
+				}
+				for _, class := range rep.StaticClass {
+					if class == "const-taken" || class == "const-not-taken" {
+						row.Const++
+					}
+				}
+				if row.Classified != len(rep.Branches) {
+					return nil, fmt.Errorf("ext-static: %s/%s: %d of %d observed branches classified",
+						kernel, input, row.Classified, len(rep.Branches))
+				}
+				f.Rows = append(f.Rows, row)
+			}
+		}
+	}
+	return f, nil
+}
+
+// ID implements Result.
+func (f *ExtStatic) ID() string { return "ext-static" }
+
+// Violations sums profiler-vs-prefilter contradictions across all rows.
+func (f *ExtStatic) Violations() int {
+	n := 0
+	for _, r := range f.Rows {
+		n += r.Violations
+	}
+	return n
+}
+
+// String renders the cross-check table.
+func (f *ExtStatic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ext-static: asmcheck prefilter vs 2D-profiling verdicts\n")
+	fmt.Fprintf(&b, "%-8s %-6s %-9s %11s %6s %8s %11s\n",
+		"kernel", "input", "metric", "classified", "const", "flagged", "violations")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-8s %-6s %-9s %11d %6d %8d %11d\n",
+			r.Kernel, r.Input, r.Metric, r.Classified, r.Const, r.Flagged, r.Violations)
+	}
+	fmt.Fprintf(&b, "loop-backedge verdicts across the suite: %d\n", f.Backedges)
+	status := "SOUND: no statically-constant branch was flagged input-dependent"
+	if n := f.Violations(); n > 0 {
+		status = fmt.Sprintf("VIOLATED: %d statically-constant branches flagged input-dependent", n)
+	}
+	fmt.Fprintf(&b, "%s\n", status)
+	return b.String()
+}

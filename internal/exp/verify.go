@@ -167,6 +167,19 @@ func VerifyClaims(ctx *Context) ([]Claim, error) {
 	add("if-conversion verified and profitable somewhere", win,
 		"%d kernel/input rows, outputs verified equal", len(fi.Rows))
 
+	// Claim 9: the static prefilter is sound against the profiler
+	// (ext-static): no branch asmcheck proves constant is ever flagged
+	// input-dependent by the MEAN/STD/PAM tests, on any kernel, input
+	// or metric; and the suite exhibits at least one loop-backedge
+	// verdict (typesum's bigsum loop, trip=4).
+	stres, err := Run(ctx, "ext-static")
+	if err != nil {
+		return nil, err
+	}
+	st := stres.(*ExtStatic)
+	add("static prefilter never contradicted", st.Violations() == 0 && st.Backedges >= 1,
+		"%d rows, %d violations, %d loop-backedge verdicts", len(st.Rows), st.Violations(), st.Backedges)
+
 	return claims, nil
 }
 

@@ -1,0 +1,63 @@
+package progs
+
+import (
+	"testing"
+
+	"twodprof/internal/asmcheck"
+	"twodprof/internal/vm"
+)
+
+// TestKernelsPassAsmcheck is the static-analysis gate over the embedded
+// kernels: the full pipeline must produce zero diagnostics and classify
+// every conditional branch. A kernel edit that introduces dead code, an
+// unreachable region or a structural defect fails here (and in `make
+// lint` via tools/asmcheckall).
+func TestKernelsPassAsmcheck(t *testing.T) {
+	backedges, consts := 0, 0
+	for _, name := range KernelNames() {
+		k, _ := KernelByName(name)
+		res, err := asmcheck.Run(k.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, d := range res.Diags {
+			t.Errorf("%s: %s", name, d)
+		}
+		for _, i := range vm.StaticBranches(k.Prog) {
+			v, ok := res.Verdict(i)
+			if !ok {
+				t.Errorf("%s: branch #%d has no verdict", name, i)
+				continue
+			}
+			switch v.Class {
+			case asmcheck.ClassUnknown:
+				t.Errorf("%s: branch #%d unclassified: %s", name, i, v.Why)
+			case asmcheck.ClassLoopBackedge:
+				backedges++
+			case asmcheck.ClassConstTaken, asmcheck.ClassConstNotTaken:
+				consts++
+			}
+		}
+	}
+	// The suite must exhibit at least one statically resolved branch —
+	// typesum's bigsum loop (li r8, 4; ...; bgt r8, r0, bs_loop) is a
+	// loop-backedge with trip 4.
+	if backedges+consts == 0 {
+		t.Error("no const-* or loop-backedge verdict anywhere in the kernel suite")
+	}
+}
+
+// TestTypesumBigsumTrip pins the exemplar verdict: the bigsum helper
+// loop runs exactly 4 iterations per call, and asmcheck proves it.
+func TestTypesumBigsumTrip(t *testing.T) {
+	k, _ := KernelByName("typesum")
+	res, err := asmcheck.Run(k.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := k.Prog.MustLabel("bs_exit")
+	v, ok := res.Verdict(pc)
+	if !ok || v.Class != asmcheck.ClassLoopBackedge || v.Trip != 4 {
+		t.Fatalf("bs_exit (#%d) verdict = %+v ok=%v, want loop-backedge trip=4", pc, v, ok)
+	}
+}

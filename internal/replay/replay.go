@@ -39,6 +39,13 @@ type Options struct {
 	// the sequential path. BTR1 streams always replay sequentially —
 	// their delta chain admits no decode parallelism.
 	Workers int
+	// Static optionally carries the asmcheck branch classification of
+	// the program that produced the trace (asmcheck.StaticClasses);
+	// when set, the report is annotated with the static prefilter
+	// column. Traces carry no program identity, so this must come from
+	// the caller; nil leaves the report byte-identical to earlier
+	// versions.
+	Static map[trace.PC]string
 }
 
 // Profile replays a trace stream (BTR1, BTR2, or gzip of either) into a
@@ -69,6 +76,14 @@ func Profile(r io.Reader, cfg core.Config, predictor string, opts Options) (*cor
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	annotate := func(rep *core.Report, err error) (*core.Report, error) {
+		if err != nil {
+			return nil, err
+		}
+		rep.AnnotateStatic(opts.Static)
+		return rep, nil
+	}
+
 	b2, chunked := rd.(*trace.BTR2Reader)
 	if !chunked || workers <= 1 {
 		prof, err := core.NewProfiler(cfg, pred)
@@ -78,11 +93,11 @@ func Profile(r io.Reader, cfg core.Config, predictor string, opts Options) (*cor
 		if _, err := rd.Replay(prof); err != nil {
 			return nil, err
 		}
-		return prof.Finish(), nil
+		return annotate(prof.Finish(), nil)
 	}
 
 	if cfg.Metric == core.MetricBias {
-		return profileBiasParallel(b2, cfg, workers)
+		return annotate(profileBiasParallel(b2, cfg, workers))
 	}
 
 	// Accuracy: parallel chunk decode ahead of a sequential batched
@@ -95,7 +110,7 @@ func Profile(r io.Reader, cfg core.Config, predictor string, opts Options) (*cor
 	if _, err := b2.ParallelReplay(workers, prof); err != nil {
 		return nil, err
 	}
-	return prof.Finish(), nil
+	return annotate(prof.Finish(), nil)
 }
 
 // profileBiasParallel runs the bias-metric fan-out: parallel chunk

@@ -1,0 +1,58 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"twodprof/internal/core"
+	"twodprof/internal/trace"
+)
+
+// TestProfileStaticAnnotation: Options.Static attaches the prefilter
+// column on every replay path (sequential BTR1, parallel BTR2 in both
+// metrics), restricted to observed branches, and its presence changes
+// nothing else about the report.
+func TestProfileStaticAnnotation(t *testing.T) {
+	events := testEvents(t)
+	static := map[trace.PC]string{
+		events[0].PC: "data-dependent",
+		1 << 40:      "const-taken", // never observed: must be dropped
+	}
+	cases := []struct {
+		name    string
+		raw     []byte
+		metric  core.Metric
+		workers int
+	}{
+		{"btr1-seq", encodeBTR1(t, events), core.MetricAccuracy, 1},
+		{"btr2-acc-par", encodeBTR2(t, events, trace.BTR2Options{ChunkEvents: 4096}), core.MetricAccuracy, 4},
+		{"btr2-bias-par", encodeBTR2(t, events, trace.BTR2Options{ChunkEvents: 4096}), core.MetricBias, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(tc.metric)
+			plain, err := Profile(bytes.NewReader(tc.raw), cfg, "gshare-4KB", Options{Workers: tc.workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.StaticClass != nil {
+				t.Fatalf("unannotated replay has StaticClass %v", plain.StaticClass)
+			}
+			ann, err := Profile(bytes.NewReader(tc.raw), cfg, "gshare-4KB", Options{Workers: tc.workers, Static: static})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ann.StaticClass[events[0].PC]; got != "data-dependent" {
+				t.Errorf("StaticClass[%d] = %q", events[0].PC, got)
+			}
+			if _, ok := ann.StaticClass[1<<40]; ok {
+				t.Error("unobserved PC kept in annotation")
+			}
+			// The annotation must not perturb the profile itself.
+			ann.StaticClass = nil
+			if !bytes.Equal(reportJSON(t, plain), reportJSON(t, ann)) {
+				t.Error("annotation changed the underlying report")
+			}
+		})
+	}
+}

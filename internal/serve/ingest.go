@@ -8,7 +8,9 @@ import (
 	"strconv"
 	"time"
 
+	"twodprof/internal/asmcheck"
 	"twodprof/internal/core"
+	"twodprof/internal/progs"
 	"twodprof/internal/trace"
 )
 
@@ -111,6 +113,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// ?kernel=NAME names the bundled program that produced the stream;
+	// its asmcheck verdicts become the report's static prefilter
+	// column. Without it the report is unannotated (a raw trace carries
+	// no program identity).
+	var static map[trace.PC]string
+	if v := r.URL.Query().Get("kernel"); v != "" {
+		k, ok := progs.KernelByName(v)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown kernel %q", v), http.StatusBadRequest)
+			return
+		}
+		static = asmcheck.StaticClasses(k.Prog)
+	}
 	set, err := newShardSet(nShards, s.cfg.BatchSize, s.cfg.QueueDepth, cfg, predictor)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -124,6 +139,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	session.SetStatic(static)
 	s.metrics.SessionsTotal.Add(1)
 	s.metrics.ActiveSessions.Add(1)
 	defer s.metrics.ActiveSessions.Add(-1)

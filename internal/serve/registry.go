@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"twodprof/internal/core"
+	"twodprof/internal/trace"
 )
 
 // SessionState is a session's lifecycle position.
@@ -44,6 +45,10 @@ type Session struct {
 	shards *shardSet
 	final  *core.Report // fixed at completion
 	reason string       // failure reason, for /v1/sessions
+	// static is the optional asmcheck branch classification of the
+	// program behind the stream (ingest ?kernel=NAME); reports from
+	// this session carry it as their static prefilter column.
+	static map[trace.PC]string
 
 	events atomic.Int64 // decoded events so far
 	bytes  atomic.Int64 // raw bytes read from the client
@@ -59,6 +64,15 @@ func (s *Session) State() SessionState {
 // Events returns the number of events decoded so far.
 func (s *Session) Events() int64 { return s.events.Load() }
 
+// SetStatic attaches a static prefilter map (asmcheck.StaticClasses of
+// the program producing the stream); subsequent reports are annotated
+// with it. Call before streaming events.
+func (s *Session) SetStatic(classes map[trace.PC]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.static = classes
+}
+
 // Report returns the session's merged 2D-profiling report: the fixed
 // final report for a completed session, or a live snapshot merge for
 // one still in flight.
@@ -71,7 +85,12 @@ func (s *Session) Report() (*core.Report, error) {
 	if s.shards == nil {
 		return nil, fmt.Errorf("serve: session %s has no profile state", s.ID)
 	}
-	return s.shards.report()
+	rep, err := s.shards.report()
+	if err != nil {
+		return nil, err
+	}
+	rep.AnnotateStatic(s.static)
+	return rep, nil
 }
 
 // complete drains the shards, fixes the final report and transitions to
@@ -86,6 +105,7 @@ func (s *Session) complete() (*core.Report, error) {
 		s.reason = err.Error()
 		return nil, err
 	}
+	rep.AnnotateStatic(s.static)
 	s.final = rep
 	s.state = SessionDone
 	return rep, nil
@@ -98,6 +118,7 @@ func (s *Session) fail(reason error) {
 	defer s.mu.Unlock()
 	s.shards.abort()
 	if rep, err := s.shards.report(); err == nil {
+		rep.AnnotateStatic(s.static)
 		s.final = rep
 	}
 	s.state = SessionFailed

@@ -75,6 +75,7 @@ func Assemble(name, src string) (*Program, error) {
 			return nil, err
 		}
 		a.prog.Insts = append(a.prog.Insts, in)
+		a.prog.Lines = append(a.prog.Lines, p.line)
 	}
 
 	// Resolve label fixups.

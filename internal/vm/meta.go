@@ -1,0 +1,112 @@
+package vm
+
+// Static instruction metadata: per-instruction register read/write sets
+// and effect flags. This is the substrate the asmcheck dataflow passes
+// (reaching definitions, constant propagation, liveness) consume; it is
+// defined next to the interpreter so the two cannot drift apart.
+
+// RegSet is a bitmask over the architectural registers.
+type RegSet uint16
+
+// Has reports whether register r is in the set.
+func (s RegSet) Has(r uint8) bool { return s&(1<<r) != 0 }
+
+// Regs returns the members of the set in ascending order.
+func (s RegSet) Regs() []uint8 {
+	var out []uint8
+	for r := uint8(0); r < NumRegs; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func regBit(r uint8) RegSet { return 1 << r }
+
+// Uses returns the set of registers the instruction reads. OpCmov
+// includes Rd: when the predicate is false the destination keeps its
+// old value, so the write is partial and the old value is consumed.
+func (in Inst) Uses() RegSet {
+	switch in.Op {
+	case OpMov, OpAddi, OpAndi, OpShli, OpShri, OpLd, OpOut:
+		return regBit(in.Rs1)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpSt, OpBr, OpSet:
+		return regBit(in.Rs1) | regBit(in.Rs2)
+	case OpCmov:
+		return regBit(in.Rs1) | regBit(in.Rs2) | regBit(in.Rd)
+	default: // OpNop, OpLi, OpJmp, OpCall, OpRet, OpHalt
+		return 0
+	}
+}
+
+// Def returns the register the instruction writes, if any. Writes to
+// the hardwired-zero register are discarded by the machine and are
+// reported here as no definition.
+func (in Inst) Def() (uint8, bool) {
+	switch in.Op {
+	case OpLi, OpMov, OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAddi,
+		OpAnd, OpOr, OpXor, OpAndi, OpShl, OpShr, OpShli, OpShri,
+		OpLd, OpSet, OpCmov:
+		if in.Rd == 0 {
+			return 0, false
+		}
+		return in.Rd, true
+	default:
+		return 0, false
+	}
+}
+
+// WritesR0 reports whether the instruction names r0 as its destination
+// (the write is silently discarded — almost certainly a bug in the
+// program).
+func (in Inst) WritesR0() bool {
+	switch in.Op {
+	case OpLi, OpMov, OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAddi,
+		OpAnd, OpOr, OpXor, OpAndi, OpShl, OpShr, OpShli, OpShri,
+		OpLd, OpSet, OpCmov:
+		return in.Rd == 0
+	default:
+		return false
+	}
+}
+
+// ReadsMem reports whether the instruction loads from data memory.
+func (in Inst) ReadsMem() bool { return in.Op == OpLd }
+
+// WritesMem reports whether the instruction stores to data memory.
+func (in Inst) WritesMem() bool { return in.Op == OpSt }
+
+// HasEffect reports whether the instruction has an observable effect
+// beyond its register definition (memory writes, output, control
+// transfer, halting): such instructions are never dead stores even when
+// their register result is unused.
+func (in Inst) HasEffect() bool {
+	switch in.Op {
+	case OpSt, OpOut, OpBr, OpJmp, OpCall, OpRet, OpHalt:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsTerminator reports whether control does not implicitly fall through
+// to the next instruction (unconditional transfers and halt).
+func (in Inst) IsTerminator() bool {
+	switch in.Op {
+	case OpJmp, OpRet, OpHalt:
+		return true
+	default:
+		return false
+	}
+}
+
+// Line returns the 1-based source line of instruction i, or 0 when the
+// program carries no line table (hand-built programs).
+func (p *Program) Line(i int) int {
+	if i < 0 || i >= len(p.Lines) {
+		return 0
+	}
+	return p.Lines[i]
+}

@@ -1,0 +1,59 @@
+package vm_test
+
+// Disassembler round-trip property: for any accepted program p,
+// Assemble(Disassemble(p)) yields the identical instruction stream.
+// FuzzAssemble (package vm) checks this from arbitrary source text;
+// these tests anchor it on the real benchmark kernels, whose programs
+// exercise every instruction form the kernels use (calls, loops,
+// memory addressing, cmov/set).
+
+import (
+	"testing"
+
+	"twodprof/internal/progs"
+	"twodprof/internal/vm"
+)
+
+func assertSameInsts(t *testing.T, name string, want, got *vm.Program) {
+	t.Helper()
+	if len(got.Insts) != len(want.Insts) {
+		t.Fatalf("%s: instruction count changed: %d -> %d", name, len(want.Insts), len(got.Insts))
+	}
+	for i := range want.Insts {
+		if got.Insts[i] != want.Insts[i] {
+			t.Fatalf("%s: instruction %d changed: %+v -> %+v", name, i, want.Insts[i], got.Insts[i])
+		}
+	}
+}
+
+func TestKernelAsmRoundTrip(t *testing.T) {
+	for _, name := range progs.KernelNames() {
+		k, _ := progs.KernelByName(name)
+		text := vm.Disassemble(k.Prog)
+		re, err := vm.Assemble(name+".dis", text)
+		if err != nil {
+			t.Fatalf("%s: disassembly did not reassemble: %v\n%s", name, err, text)
+		}
+		assertSameInsts(t, name, k.Prog, re)
+	}
+}
+
+func FuzzAsmRoundTrip(f *testing.F) {
+	for _, name := range progs.KernelNames() {
+		k, _ := progs.KernelByName(name)
+		f.Add(vm.Disassemble(k.Prog))
+	}
+	f.Add("li r1, 42\nout r1\nhalt\n")
+	f.Add("loop:\n    addi r1, r1, 1\n    blt r1, r2, loop\n    halt\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := vm.Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		re, err := vm.Assemble("fuzz2", vm.Disassemble(prog))
+		if err != nil {
+			t.Fatalf("accepted program did not reassemble: %v\nlisting:\n%s", err, vm.Disassemble(prog))
+		}
+		assertSameInsts(t, "fuzz", prog, re)
+	})
+}

@@ -133,6 +133,10 @@ type Program struct {
 	Insts  []Inst
 	Labels map[string]int // label -> instruction index
 	Name   string
+	// Lines maps each instruction index to its 1-based source line in
+	// the assembly text, for diagnostics. Empty for programs built
+	// directly from Inst values.
+	Lines []int
 }
 
 // LabelOf returns the instruction index of a label.

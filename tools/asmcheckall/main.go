@@ -1,0 +1,47 @@
+// Command asmcheckall is the lint gate over the bundled benchmark
+// kernels: it runs the full asmcheck pipeline on every kernel and
+// exits non-zero if any diagnostic is produced or any conditional
+// branch is left unclassified. `make lint` (and therefore `make
+// verify`) runs it, so a kernel edit that introduces dead code, an
+// unreachable region or a structural defect fails the build.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"twodprof/internal/asmcheck"
+	"twodprof/internal/progs"
+	"twodprof/internal/vm"
+)
+
+func main() {
+	bad := false
+	for _, name := range progs.KernelNames() {
+		k, _ := progs.KernelByName(name)
+		res, err := asmcheck.Run(k.Prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asmcheckall: %s: %v\n", name, err)
+			bad = true
+			continue
+		}
+		if len(res.Diags) > 0 {
+			fmt.Fprintf(os.Stderr, "asmcheckall: %s has %d diagnostics:\n", name, len(res.Diags))
+			for _, d := range res.Diags {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			bad = true
+		}
+		for _, i := range vm.StaticBranches(k.Prog) {
+			v, ok := res.Verdict(i)
+			if !ok || v.Class == asmcheck.ClassUnknown {
+				fmt.Fprintf(os.Stderr, "asmcheckall: %s: branch #%d not classified\n", name, i)
+				bad = true
+			}
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("asmcheckall: %d kernels clean\n", len(progs.KernelNames()))
+}
