@@ -5,6 +5,7 @@
 #   make test            go test ./...
 #   make race            race-detector pass over the concurrent subsystems
 #   make fuzz-seeds      run the fuzz corpora as regular regression tests
+#   make bench-engine    old-vs-new guard for the internal/engine core (results/BENCH_engine.json)
 #   make bench-parallel  record engine/profiler benchmarks in results/BENCH_parallel.json
 #   make bench-serve     record ingest throughput scaling in results/BENCH_serve.json
 #   make bench-replay    record trace replay throughput in results/BENCH_replay.json
@@ -12,7 +13,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds verify bench-parallel bench-serve bench-replay results
+.PHONY: all build vet lint test race fuzz-seeds verify bench-engine bench-parallel bench-serve bench-replay results
 
 all: verify
 
@@ -47,7 +48,7 @@ test:
 # TestRunManyParallelMatchesSerial, TestIngestHammer,
 # TestParallelReplayHammer, ...) all run in -short mode.
 race:
-	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core ./internal/serve ./internal/trace ./internal/replay
+	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core ./internal/engine ./internal/serve ./internal/trace ./internal/replay
 
 # Fuzz targets run their seed corpora as plain tests — a cheap
 # regression net over the decoders and analyses without a fuzzing
@@ -55,7 +56,13 @@ race:
 fuzz-seeds:
 	$(GO) test -run 'Fuzz' ./internal/trace ./internal/vm ./internal/asmcheck
 
-verify: build lint test race fuzz-seeds
+verify: build lint test race fuzz-seeds bench-engine
+
+# bench-engine is part of `make verify`: it re-measures the unified
+# sharded core against the plain sequential profiler and fails on a
+# throughput regression or a report mismatch.
+bench-engine:
+	$(GO) run ./tools/benchengine -o results/BENCH_engine.json
 
 bench-parallel:
 	$(GO) run ./tools/benchpar -o results/BENCH_parallel.json
@@ -67,4 +74,4 @@ bench-replay:
 	$(GO) run ./tools/benchreplay -o results/BENCH_replay.json
 
 results:
-	$(GO) run ./cmd/experiments -run all -j 8 -o results
+	$(GO) run ./cmd/experiments -run all -workers 8 -o results

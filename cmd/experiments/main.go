@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 
 	"twodprof/internal/bpred"
+	"twodprof/internal/engine"
 	"twodprof/internal/exp"
 	"twodprof/internal/spec"
 )
@@ -27,9 +27,8 @@ func main() {
 		run      = flag.String("run", "", "experiment id(s, comma-separated), or \"all\"")
 		profiler = flag.String("profiler", "gshare-4KB", "2D-profiler predictor configuration")
 		target   = flag.String("target", "gshare-4KB", "target-machine predictor (defines ground truth)")
-		par      = flag.Int("j", 4, "parallel workers for pre-warming the measurement cache")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
-			"worker-pool size for the experiment engine (drivers and their per-benchmark fan-out); 1 = serial; output is identical at any setting")
+		workers  = engine.AddWorkersFlag(flag.CommandLine, 0,
+			"worker-pool size for the experiment engine and cache pre-warming (0 = all CPUs, 1 = serial; output is identical at any setting)", "j", "parallel")
 		verify = flag.Bool("verify", false, "re-check the repository's reproduction claims (artifact evaluation)")
 		outDir = flag.String("o", "", "also write each artifact to <dir>/<id>.txt")
 	)
@@ -51,10 +50,10 @@ func main() {
 	ctx := exp.NewContext()
 	ctx.ProfPred = *profiler
 	ctx.TargetPred = *target
-	ctx.Parallelism = *parallel
+	ctx.Parallelism = engine.ResolveWorkers(*workers)
 
 	if *verify {
-		prewarm(ctx, *par)
+		prewarm(ctx, ctx.Parallelism)
 		claims, err := exp.VerifyClaims(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -87,7 +86,7 @@ func main() {
 	}
 
 	if *run == "all" {
-		prewarm(ctx, *par)
+		prewarm(ctx, ctx.Parallelism)
 		if err := exp.RunAll(ctx, emit); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)

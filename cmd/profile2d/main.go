@@ -7,7 +7,7 @@
 //	profile2d -bench gap -input train
 //	profile2d -bench gzip -input train -predictor gshare-4KB -top 20
 //	profile2d -trace run.btr -slice 20000
-//	profile2d -trace run.btr2 -parallel 8                     (BTR2 parallel replay)
+//	profile2d -trace run.btr2 -workers 8                      (BTR2 parallel replay)
 //	profile2d -trace - < run.btr                              (trace on stdin)
 //	profile2d -bench gcc -input train -metric bias            (edge profiling)
 //	profile2d -trace run.btr -kernel fsm                      (annotate with asmcheck static verdicts)
@@ -23,6 +23,7 @@ import (
 	"twodprof/internal/asmcheck"
 	"twodprof/internal/bpred"
 	"twodprof/internal/core"
+	"twodprof/internal/engine"
 	"twodprof/internal/metrics"
 	"twodprof/internal/progs"
 	"twodprof/internal/replay"
@@ -36,21 +37,22 @@ func main() {
 		kernel    = flag.String("kernel", "", "VM kernel name (typesum, lzchain, bsearch, inssort, fsm)")
 		input     = flag.String("input", "train", "input set name")
 		traceFile = flag.String("trace", "", `trace file (BTR1 or BTR2) to profile instead of a benchmark ("-" reads the trace from stdin, so traces can be piped without temp files)`)
-		parallel  = flag.Int("parallel", 1, "replay workers for -trace on BTR2 traces (0 = all CPUs, 1 = sequential; BTR1 always replays sequentially)")
-		predName  = flag.String("predictor", bpred.NameGshare4KB, "profiler branch predictor")
-		metric    = flag.String("metric", "accuracy", "profiled metric: accuracy or bias")
-		slice     = flag.Int64("slice", 0, "slice size in branches (0 = default)")
-		execTh    = flag.Int64("execth", -1, "per-slice execution threshold (-1 = default)")
-		meanTh    = flag.Float64("meanth", -1, "MEAN-test threshold in percent (-1 = overall accuracy)")
-		stdTh     = flag.Float64("stdth", -1, "STD-test threshold (-1 = default)")
-		pamTh     = flag.Float64("pamth", -1, "PAM-test threshold (-1 = default)")
-		noFIR     = flag.Bool("nofir", false, "disable the 2-tap FIR filter")
-		top       = flag.Int("top", 0, "print at most N flagged branches (0 = all)")
-		verbose   = flag.Bool("v", false, "print every tested branch, not only flagged ones")
-		jsonOut   = flag.Bool("json", false, "emit the full report as JSON instead of text")
-		compare   = flag.String("compare", "", "second input set: measure ground truth against it and score the verdicts")
-		target    = flag.String("target", "", "target predictor for -compare ground truth (default: same as -predictor)")
-		minExec   = flag.Int64("minexec", 2500, "eligibility floor for -compare ground truth")
+		workers   = engine.AddWorkersFlag(flag.CommandLine, 1,
+			"profiling workers (0 = all CPUs, 1 = sequential; parallel decode needs a BTR2 -trace, other sources shard only the profile)", "parallel")
+		predName = flag.String("predictor", bpred.NameGshare4KB, "profiler branch predictor")
+		metric   = flag.String("metric", "accuracy", "profiled metric: accuracy or bias")
+		slice    = flag.Int64("slice", 0, "slice size in branches (0 = default)")
+		execTh   = flag.Int64("execth", -1, "per-slice execution threshold (-1 = default)")
+		meanTh   = flag.Float64("meanth", -1, "MEAN-test threshold in percent (-1 = overall accuracy)")
+		stdTh    = flag.Float64("stdth", -1, "STD-test threshold (-1 = default)")
+		pamTh    = flag.Float64("pamth", -1, "PAM-test threshold (-1 = default)")
+		noFIR    = flag.Bool("nofir", false, "disable the 2-tap FIR filter")
+		top      = flag.Int("top", 0, "print at most N flagged branches (0 = all)")
+		verbose  = flag.Bool("v", false, "print every tested branch, not only flagged ones")
+		jsonOut  = flag.Bool("json", false, "emit the full report as JSON instead of text")
+		compare  = flag.String("compare", "", "second input set: measure ground truth against it and score the verdicts")
+		target   = flag.String("target", "", "target predictor for -compare ground truth (default: same as -predictor)")
+		minExec  = flag.Int64("minexec", 2500, "eligibility floor for -compare ground truth")
 	)
 	flag.Parse()
 
@@ -90,12 +92,11 @@ func main() {
 			defer f.Close()
 		}
 		// replay.Profile validates the predictor name itself and, on
-		// BTR2 traces, decodes (and for the bias metric, profiles)
-		// across -parallel workers; the report is byte-identical to a
-		// sequential pass either way. A trace carries no program
-		// identity, so the static prefilter column needs -kernel to name
-		// the program that produced it.
-		opts := replay.Options{Workers: *parallel}
+		// BTR2 traces, decodes and profiles across -workers; the report
+		// is byte-identical to a sequential pass either way. A trace
+		// carries no program identity, so the static prefilter column
+		// needs -kernel to name the program that produced it.
+		opts := replay.Options{Workers: *workers}
 		if *kernel != "" {
 			k, ok := progs.KernelByName(*kernel)
 			if !ok {
@@ -109,7 +110,6 @@ func main() {
 		}
 		rep = r
 	case *benchName != "":
-		prof := newProfiler(cfg, *predName)
 		b, err := spec.Get(*benchName)
 		if err != nil {
 			fail(err)
@@ -118,19 +118,27 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		w.Run(prof)
-		rep = prof.Finish()
+		r, err := engine.Run(w, cfg, engine.Options{Workers: *workers, Predictor: *predName})
+		if err != nil {
+			fail(err)
+		}
+		rep = r
 	case *kernel != "":
-		prof := newProfiler(cfg, *predName)
 		inst, err := progs.StandardInput(*kernel, *input)
 		if err != nil {
 			fail(err)
 		}
-		inst.Run(prof)
-		rep = prof.Finish()
 		// Kernel runs know their program, so the report gets the static
 		// prefilter column (asmcheck verdict per branch).
-		rep.AnnotateStatic(asmcheck.StaticClasses(inst.Kernel.Prog))
+		r, err := engine.Run(inst, cfg, engine.Options{
+			Workers:   *workers,
+			Predictor: *predName,
+			Static:    asmcheck.StaticClasses(inst.Kernel.Prog),
+		})
+		if err != nil {
+			fail(err)
+		}
+		rep = r
 	default:
 		fmt.Fprintln(os.Stderr, "profile2d: need -bench, -kernel or -trace")
 		flag.Usage()
@@ -167,25 +175,6 @@ func main() {
 			fail(err)
 		}
 	}
-}
-
-// newProfiler validates the predictor name in both metric modes; bias
-// profiling just doesn't instantiate it (edge profiles need no
-// predictor).
-func newProfiler(cfg core.Config, predName string) *core.Profiler {
-	p, err := bpred.New(predName)
-	if err != nil {
-		fail(err)
-	}
-	var pred bpred.Predictor
-	if cfg.Metric == core.MetricAccuracy {
-		pred = p
-	}
-	prof, err := core.NewProfiler(cfg, pred)
-	if err != nil {
-		fail(err)
-	}
-	return prof
 }
 
 // runCompare measures ground truth between the profiled input and the

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	profiled -addr :8377 -shards 8
+//	profiled -addr :8377 -workers 8
 //	tracegen gen -kernel lzchain -input train -post http://localhost:8377/v1/ingest
 //	curl localhost:8377/v1/report | jq .
 //	curl localhost:8377/metrics
@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"twodprof/internal/core"
+	"twodprof/internal/engine"
 	"twodprof/internal/serve"
 )
 
@@ -40,7 +41,8 @@ func main() {
 	cfg := serve.DefaultConfig()
 	var (
 		addr    = flag.String("addr", cfg.Addr, "listen address")
-		shards  = flag.Int("shards", cfg.Shards, "profiler shard workers per session")
+		workers = engine.AddWorkersFlag(flag.CommandLine, cfg.Shards,
+			"profiler shard workers per session (0 = all CPUs)", "shards")
 		batch   = flag.Int("batch", cfg.BatchSize, "events per shard batch")
 		queue   = flag.Int("queue", cfg.QueueDepth, "per-shard queue depth, in batches")
 		pred    = flag.String("predictor", cfg.Predictor, "profiler branch predictor")
@@ -54,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	cfg.Addr = *addr
-	cfg.Shards = *shards
+	cfg.Shards = engine.ResolveWorkers(*workers)
 	cfg.BatchSize = *batch
 	cfg.QueueDepth = *queue
 	cfg.Predictor = *pred

@@ -1,0 +1,479 @@
+// Package engine is the one true sharded 2D-profiling core. Every way
+// branch events reach a profiler in this repository — a live VM run
+// feeding a trace.Sink through vm.Hooks.OnBranch, a sequential BTR1
+// stream, a parallel BTR2 chunk decode, or the daemon's HTTP ingest —
+// terminates in the same execution structure:
+//
+//	event source ─→ sequential front-end ─→ PC-sharded profiler workers
+//	                (predictor + global       (per-branch Figure 9
+//	                 slice clock)              statistics, disjoint by PC)
+//
+// The front-end is the part that cannot be parallelised: predictor
+// state depends on the full interleaved branch order, and the slice
+// clock is a whole-program count of retired branches. Per-branch
+// statistics partition disjointly by PC (DESIGN.md §3b), so everything
+// downstream of the front-end fans out across core.Profiler shards and
+// is reassembled with core.MergeReports, byte-identical to a single
+// sequential pass at any worker count.
+//
+// internal/replay, internal/serve, internal/exp and the profile2d /
+// profiled CLIs are thin adapters over this package; none of them
+// carries its own router, shard pool or slice-broadcast logic any more
+// (DESIGN.md §3e).
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+	"twodprof/internal/trace"
+)
+
+// Defaults for the shard hand-off. They are exported so adapter
+// configurations (internal/serve) can advertise the same numbers.
+const (
+	// DefaultBatchSize is the number of events buffered per shard before
+	// a batch is handed to the worker; slice boundaries flush batches
+	// early regardless.
+	DefaultBatchSize = 512
+	// DefaultQueueDepth is the per-shard bounded channel capacity, in
+	// batches. A full queue blocks the front-end, which backpressures
+	// the event source (decode pipeline, HTTP body, VM run).
+	DefaultQueueDepth = 64
+)
+
+// Options configure one engine run beyond the core profiling Config.
+type Options struct {
+	// Workers is the number of PC-sharded profiler workers. <= 0 means
+	// one per available CPU. At 1 the engine runs inline — no
+	// goroutines, the classic sequential pass — with the same batching,
+	// clocking and report assembly, so output never depends on the
+	// value.
+	Workers int
+	// BatchSize overrides DefaultBatchSize (<= 0 keeps the default).
+	BatchSize int
+	// QueueDepth overrides DefaultQueueDepth (<= 0 keeps the default).
+	QueueDepth int
+	// Predictor names the front-end branch predictor. Required for
+	// core.MetricAccuracy; for MetricBias it is validated when non-empty
+	// and never instantiated (edge profiling consults no predictor).
+	Predictor string
+	// Static optionally carries the asmcheck branch classification of
+	// the program behind the stream (asmcheck.StaticClasses); reports
+	// are annotated with the static prefilter column. nil leaves reports
+	// byte-identical to unannotated runs.
+	Static map[trace.PC]string
+	// OnSlice, when set, is invoked by the front-end once per completed
+	// global slice (the daemon counts slices in /metrics through it).
+	OnSlice func()
+}
+
+// buffer is one pending shard batch under construction: a run of
+// events plus, for accuracy-metric runs, the parallel per-event
+// prediction outcomes. Buffers recycle through a pool between the
+// front-end and the workers — without recycling, steady-state ingest
+// allocates one buffer per BatchSize events per shard and the GC churn
+// eats into the throughput the sharding buys.
+type buffer struct {
+	events  []trace.Event
+	correct []bool // nil for MetricBias
+}
+
+// batch is the unit of work handed to a shard: an optional buffer
+// followed by an optional slice boundary. Boundary batches go to every
+// shard — the slice clock is global, so even a shard that saw no
+// events this slice must advance it.
+type batch struct {
+	buf      *buffer
+	endSlice bool
+}
+
+// shard owns one PC partition's core.Profiler. The profiler is only
+// ever touched under mu: by batch application (the worker goroutine,
+// or the front-end itself in inline mode) and by snapshot readers
+// serving live reports.
+type shard struct {
+	eng  *Engine
+	ch   chan batch    // nil in inline (Workers == 1) mode
+	done chan struct{} // nil in inline mode
+
+	mu   sync.Mutex
+	prof *core.Profiler
+}
+
+// apply folds one batch into the shard's profiler.
+func (s *shard) apply(b batch) {
+	s.mu.Lock()
+	if b.buf != nil {
+		s.prof.OutcomeBatch(b.buf.events, b.buf.correct)
+	}
+	if b.endSlice {
+		s.prof.EndSlice()
+	}
+	s.mu.Unlock()
+	if b.buf != nil {
+		s.eng.pool.Put(b.buf)
+	}
+}
+
+func (s *shard) run() {
+	defer close(s.done)
+	for b := range s.ch {
+		s.apply(b)
+	}
+}
+
+// snapshot takes a consistent snapshot of the shard's profiler between
+// batches; safe while the worker is still consuming.
+func (s *shard) snapshot() *core.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prof.Snapshot()
+}
+
+// Engine is one sharded profiling run: the sequential front-end state
+// (predictor, global slice clock, per-shard pending batches) plus the
+// shard workers. It implements trace.Sink and trace.BatchSink, so any
+// event source — live VM hooks, trace readers, the BTR2 parallel
+// decode pipeline, HTTP ingest loops — can drive it directly.
+//
+// The feeding goroutine owns Branch/BranchBatch/Finish/Abort; they
+// must not be called concurrently. Report and QueueDepths are safe
+// from other goroutines while feeding continues (live reports).
+type Engine struct {
+	cfg  core.Config
+	opts Options
+
+	pred     bpred.Predictor // nil for MetricBias
+	predName string
+
+	shards  []*shard
+	pending []*buffer
+	hits    []bool // scratch for the batched predictor path
+
+	sliceExec int64 // retired branches since the last global boundary
+	pool      sync.Pool
+
+	drained bool
+	final   *core.Report
+}
+
+// New validates the configuration and assembles the engine. With
+// Workers > 1 the shard workers start immediately; the caller must
+// reach Finish or Abort to stop them.
+func New(cfg core.Config, opts Options) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	e := &Engine{
+		cfg:     cfg,
+		opts:    opts,
+		shards:  make([]*shard, opts.Workers),
+		pending: make([]*buffer, opts.Workers),
+	}
+	// The predictor name is validated in both metric modes, mirroring
+	// twodprof.Profile, so a typo fails loudly instead of silently
+	// profiling bias; MetricBias additionally accepts an empty name.
+	if cfg.Metric == core.MetricAccuracy || opts.Predictor != "" {
+		p, err := bpred.New(opts.Predictor)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Metric == core.MetricAccuracy {
+			e.pred = p
+			e.predName = p.Name()
+		}
+	}
+	for i := range e.shards {
+		prof, err := core.NewShardProfiler(cfg, e.predName)
+		if err != nil {
+			return nil, err
+		}
+		e.shards[i] = &shard{eng: e, prof: prof}
+	}
+	if opts.Workers > 1 {
+		for _, s := range e.shards {
+			s.ch = make(chan batch, opts.QueueDepth)
+			s.done = make(chan struct{})
+			go s.run()
+		}
+	}
+	return e, nil
+}
+
+// shardOf maps a branch PC to its worker with a splitmix64 finaliser,
+// so typical small dense PC spaces spread evenly at any shard count.
+func (e *Engine) shardOf(pc trace.PC) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	x := uint64(pc)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(e.shards)))
+}
+
+func (e *Engine) getBuf() *buffer {
+	if v := e.pool.Get(); v != nil {
+		b := v.(*buffer)
+		b.events = b.events[:0]
+		b.correct = b.correct[:0]
+		return b
+	}
+	b := &buffer{events: make([]trace.Event, 0, e.opts.BatchSize)}
+	if e.cfg.Metric == core.MetricAccuracy {
+		b.correct = make([]bool, 0, e.opts.BatchSize)
+	}
+	return b
+}
+
+// dispatch hands a batch to shard i: through its queue when workers
+// run, inline otherwise.
+func (e *Engine) dispatch(i int, b batch) {
+	if s := e.shards[i]; s.ch != nil {
+		s.ch <- b
+	} else {
+		s.apply(b)
+	}
+}
+
+// Branch implements trace.Sink: the per-event front-end — predict
+// (accuracy metric), route to the owning shard, advance the global
+// slice clock. Blocks when the owning shard's queue is full; that is
+// the backpressure path.
+func (e *Engine) Branch(pc trace.PC, taken bool) {
+	hit := taken
+	if e.pred != nil {
+		hit = e.pred.Predict(pc) == taken
+		e.pred.Update(pc, taken)
+	}
+	e.route(trace.Event{PC: pc, Taken: taken}, hit)
+}
+
+// BranchBatch implements trace.BatchSink. Accuracy-metric runs thread
+// the whole batch through the predictor's devirtualized fast path
+// (bpred.ApplyBatch) before routing, amortising the two interface
+// dispatches per event that dominate replay. Routing then advances the
+// slice clock a span at a time — the only place a batch must split is
+// a slice boundary, so the per-event work inside a span collapses to
+// an append. The result is exactly equivalent to calling Branch for
+// each event in order.
+func (e *Engine) BranchBatch(events []trace.Event) {
+	var hits []bool
+	if e.pred != nil {
+		if cap(e.hits) < len(events) {
+			e.hits = make([]bool, len(events))
+		}
+		hits = e.hits[:len(events)]
+		bpred.ApplyBatch(e.pred, events, hits)
+	}
+	for len(events) > 0 {
+		n := int(e.cfg.SliceSize - e.sliceExec)
+		if n > len(events) {
+			n = len(events)
+		}
+		var h []bool
+		if hits != nil {
+			h = hits[:n]
+			hits = hits[n:]
+		}
+		e.routeSpan(events[:n], h)
+		events = events[n:]
+		e.sliceExec += int64(n)
+		if e.sliceExec >= e.cfg.SliceSize {
+			e.broadcastSliceEnd()
+			e.sliceExec = 0
+		}
+	}
+}
+
+// routeSpan routes a run of events known not to cross a slice
+// boundary. hits is nil exactly when the metric needs no outcomes
+// (MetricBias). With a single shard the span is appended in bulk;
+// sharded runs still pick a worker per event, but skip the per-event
+// clock arithmetic route pays.
+func (e *Engine) routeSpan(events []trace.Event, hits []bool) {
+	if len(e.shards) == 1 {
+		for len(events) > 0 {
+			b := e.pending[0]
+			if b == nil {
+				b = e.getBuf()
+				e.pending[0] = b
+			}
+			n := e.opts.BatchSize - len(b.events)
+			if n > len(events) {
+				n = len(events)
+			}
+			b.events = append(b.events, events[:n]...)
+			events = events[n:]
+			if b.correct != nil {
+				b.correct = append(b.correct, hits[:n]...)
+				hits = hits[n:]
+			}
+			if len(b.events) >= e.opts.BatchSize {
+				e.dispatch(0, batch{buf: b})
+				e.pending[0] = nil
+			}
+		}
+		return
+	}
+	for i, ev := range events {
+		s := e.shardOf(ev.PC)
+		b := e.pending[s]
+		if b == nil {
+			b = e.getBuf()
+			e.pending[s] = b
+		}
+		b.events = append(b.events, ev)
+		if b.correct != nil {
+			b.correct = append(b.correct, hits[i])
+		}
+		if len(b.events) >= e.opts.BatchSize {
+			e.dispatch(s, batch{buf: b})
+			e.pending[s] = nil
+		}
+	}
+}
+
+func (e *Engine) route(ev trace.Event, hit bool) {
+	i := e.shardOf(ev.PC)
+	b := e.pending[i]
+	if b == nil {
+		b = e.getBuf()
+		e.pending[i] = b
+	}
+	b.events = append(b.events, ev)
+	if b.correct != nil {
+		b.correct = append(b.correct, hit)
+	}
+	if len(b.events) >= e.opts.BatchSize {
+		e.dispatch(i, batch{buf: b})
+		e.pending[i] = nil
+	}
+	e.sliceExec++
+	if e.sliceExec >= e.cfg.SliceSize {
+		e.broadcastSliceEnd()
+		e.sliceExec = 0
+	}
+}
+
+// broadcastSliceEnd flushes every pending batch with a slice-boundary
+// marker, even to shards that saw no events this slice (the clock is
+// global). Each shard applies the boundary after exactly the events
+// that belong to the slice, because its channel preserves order;
+// shards need no cross-shard synchronisation beyond this.
+func (e *Engine) broadcastSliceEnd() {
+	for i := range e.shards {
+		e.dispatch(i, batch{buf: e.pending[i], endSlice: true})
+		e.pending[i] = nil
+	}
+	if e.opts.OnSlice != nil {
+		e.opts.OnSlice()
+	}
+}
+
+// drain flushes pending batches, closes the queues and waits for the
+// workers; idempotent.
+func (e *Engine) drain() {
+	if e.drained {
+		return
+	}
+	e.drained = true
+	for i, s := range e.shards {
+		if b := e.pending[i]; b != nil && len(b.events) > 0 {
+			e.dispatch(i, batch{buf: b})
+		}
+		e.pending[i] = nil
+		if s.ch != nil {
+			close(s.ch)
+		}
+	}
+	for _, s := range e.shards {
+		if s.done != nil {
+			<-s.done
+		}
+	}
+}
+
+// Finish completes the stream: applies the offline partial-slice flush
+// rule to the global clock, drains the workers, and merges the shard
+// snapshots into the final (annotated) report. Idempotent — repeated
+// calls return the same report.
+func (e *Engine) Finish() (*core.Report, error) {
+	if e.final != nil {
+		return e.final, nil
+	}
+	if !e.drained {
+		if e.cfg.FlushPartialSlice && e.sliceExec > 0 && e.sliceExec >= e.cfg.SliceSize/2 {
+			e.broadcastSliceEnd()
+			e.sliceExec = 0
+		}
+		e.drain()
+	}
+	rep, err := e.Report()
+	if err != nil {
+		return nil, err
+	}
+	e.final = rep
+	return rep, nil
+}
+
+// Abort tears the workers down without the final slice flush (the
+// stream failed mid-flight); the partial statistics remain queryable
+// through Report.
+func (e *Engine) Abort() { e.drain() }
+
+// Report merges the current shard snapshots into an annotated report:
+// a live view while the stream is still flowing, the final report once
+// Finish has fixed it. Safe to call from other goroutines while the
+// owner keeps feeding.
+func (e *Engine) Report() (*core.Report, error) {
+	if e.final != nil {
+		return e.final, nil
+	}
+	snaps := make([]*core.Snapshot, len(e.shards))
+	for i, s := range e.shards {
+		snaps[i] = s.snapshot()
+	}
+	rep, err := core.MergeReports(snaps...)
+	if err != nil {
+		return nil, err
+	}
+	rep.AnnotateStatic(e.opts.Static)
+	return rep, nil
+}
+
+// QueueDepths returns the number of queued batches per shard (all
+// zeros in inline mode).
+func (e *Engine) QueueDepths() []int {
+	d := make([]int, len(e.shards))
+	for i, s := range e.shards {
+		if s.ch != nil {
+			d[i] = len(s.ch)
+		}
+	}
+	return d
+}
+
+// Workers returns the shard count the engine resolved to.
+func (e *Engine) Workers() int { return len(e.shards) }
+
+// compile-time interface checks.
+var (
+	_ trace.Sink      = (*Engine)(nil)
+	_ trace.BatchSink = (*Engine)(nil)
+)

@@ -1,0 +1,259 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"twodprof/internal/asmcheck"
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+	"twodprof/internal/engine"
+	"twodprof/internal/progs"
+	"twodprof/internal/replay"
+	"twodprof/internal/serve"
+	"twodprof/internal/trace"
+)
+
+// matrixConfig is the shared profiling setup of the cross-path matrix:
+// small slices so the kernel runs produce a few hundred of them.
+func matrixConfig(metric core.Metric) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Metric = metric
+	cfg.SliceSize = 5000
+	cfg.ExecThreshold = 20
+	return cfg
+}
+
+const matrixPredictor = "gshare-4KB"
+
+// marshal renders a report the way the daemon's writeJSON does
+// (two-space indent, trailing newline), so daemon bodies compare
+// byte-for-byte against local reports.
+func marshal(t testing.TB, rep *core.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// referenceReport is the ground truth every path must reproduce: a
+// plain, unsharded core.Profiler driven sequentially — the pre-engine
+// code path, kept in the test on purpose so the engine is pinned to
+// the primitive it replaced.
+func referenceReport(t testing.TB, events []trace.Event, cfg core.Config) *core.Report {
+	t.Helper()
+	var pred bpred.Predictor
+	if cfg.Metric == core.MetricAccuracy {
+		pred = bpred.MustNew(matrixPredictor)
+	}
+	prof, err := core.NewProfiler(cfg, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.BranchBatch(events)
+	return prof.Finish()
+}
+
+// encodeBTR1 / encodeBTR2 re-encode a recorded event stream in each
+// trace format.
+func encodeBTR1(t testing.TB, events []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BranchBatch(events)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeBTR2(t testing.TB, events []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	// Chunk size deliberately unaligned to the slice size.
+	w, err := trace.NewBTR2Writer(&buf, trace.BTR2Options{ChunkEvents: 4093})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BranchBatch(events)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// daemonReport ingests a trace into a freshly started daemon and
+// returns the /v1/report body.
+func daemonReport(t testing.TB, cfg core.Config, shards int, raw []byte, query string) []byte {
+	t.Helper()
+	scfg := serve.DefaultConfig()
+	scfg.Addr = "127.0.0.1:0"
+	scfg.Shards = shards
+	scfg.Predictor = matrixPredictor
+	scfg.Profile = cfg
+	scfg.DrainTimeout = 5 * time.Second
+	srv, err := serve.NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	url := "http://" + srv.Addr() + "/v1/ingest?session=matrix" + query
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get("http://" + srv.Addr() + "/v1/report?session=matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report status %d: %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestCrossPathIdentityMatrix is the PR's central claim: for every
+// kernel × metric combination, every way events can reach a profiler —
+// live VM run through the engine, sequential BTR1 replay, parallel
+// BTR2 replay at several worker counts, and daemon HTTP ingest —
+// produces a byte-identical report, equal to a plain unsharded
+// sequential profiler over the same events.
+func TestCrossPathIdentityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-path matrix is not short")
+	}
+	for _, kernel := range []string{"fsm", "typesum"} {
+		inst, err := progs.StandardInput(kernel, "train")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder(0)
+		inst.Run(rec)
+		events := rec.Events
+		btr1 := encodeBTR1(t, events)
+		btr2 := encodeBTR2(t, events)
+
+		for _, metric := range []core.Metric{core.MetricAccuracy, core.MetricBias} {
+			cfg := matrixConfig(metric)
+			want := marshal(t, referenceReport(t, events, cfg))
+			prefix := fmt.Sprintf("%s/%s", kernel, metric)
+
+			check := func(name string, got []byte) {
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s/%s: report differs from the sequential reference (%d vs %d bytes)",
+						prefix, name, len(got), len(want))
+				}
+			}
+
+			// Live VM run through the engine, sequential and sharded.
+			for _, workers := range []int{1, 4} {
+				inst, err := progs.StandardInput(kernel, "train")
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := engine.Run(inst, cfg, engine.Options{Workers: workers, Predictor: matrixPredictor})
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(fmt.Sprintf("live/workers=%d", workers), marshal(t, rep))
+			}
+
+			// BTR1 replay (always a sequential decode).
+			rep, err := replay.Profile(bytes.NewReader(btr1), cfg, matrixPredictor, replay.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("btr1", marshal(t, rep))
+
+			// BTR2 replay across worker counts (parallel chunk decode).
+			for _, workers := range []int{1, 4, 8} {
+				rep, err := replay.Profile(bytes.NewReader(btr2), cfg, matrixPredictor, replay.Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(fmt.Sprintf("btr2/workers=%d", workers), marshal(t, rep))
+			}
+
+			// Daemon ingest, BTR1 and BTR2 bodies, sharded.
+			query := ""
+			if metric == core.MetricBias {
+				query = "&metric=bias"
+			}
+			check("daemon/btr1", daemonReport(t, cfg, 4, btr1, query))
+			check("daemon/btr2", daemonReport(t, cfg, 4, btr2, query))
+		}
+	}
+}
+
+// TestAnnotatedLiveMatchesAnnotatedReplay pins the static-prefilter
+// satellite: a live engine run annotated through Options.Static is
+// byte-identical to a replay of the same events with the same
+// annotation, and to a daemon ingest with ?kernel=.
+func TestAnnotatedLiveMatchesAnnotatedReplay(t *testing.T) {
+	const kernel = "typesum"
+	inst, err := progs.StandardInput(kernel, "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := asmcheck.StaticClasses(inst.Kernel.Prog)
+	rec := trace.NewRecorder(0)
+	inst.Run(rec)
+	btr1 := encodeBTR1(t, rec.Events)
+	cfg := matrixConfig(core.MetricAccuracy)
+
+	liveInst, err := progs.StandardInput(kernel, "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := engine.Run(liveInst, cfg, engine.Options{Workers: 1, Predictor: matrixPredictor, Static: classes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.StaticClass) == 0 {
+		t.Fatal("live engine report carries no static annotation")
+	}
+	want := marshal(t, live)
+
+	replayed, err := replay.Profile(bytes.NewReader(btr1), cfg, matrixPredictor,
+		replay.Options{Workers: 4, Static: classes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(t, replayed); !bytes.Equal(want, got) {
+		t.Errorf("annotated replay report differs from annotated live report")
+	}
+
+	if got := daemonReport(t, cfg, 4, btr1, "&kernel="+kernel); !bytes.Equal(want, got) {
+		t.Errorf("annotated daemon report differs from annotated live report")
+	}
+}

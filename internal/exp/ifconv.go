@@ -5,7 +5,7 @@ import (
 	"strings"
 
 	"twodprof/internal/bpred"
-	"twodprof/internal/core"
+	"twodprof/internal/engine"
 	"twodprof/internal/ifconv"
 	"twodprof/internal/metrics"
 	"twodprof/internal/pipeline"
@@ -91,14 +91,12 @@ func runExtIfconv(ctx *Context) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred, err := bpred.New(ctx.ProfPred)
-		if err != nil {
-			return nil, err
-		}
 		cfg2d := ctx.Config
 		cfg2d.SliceSize = 8000
 		cfg2d.ExecThreshold = 20
-		prof, err := core.NewProfiler(cfg2d, pred)
+		// The engine is a trace.Sink, so one run feeds the 2D profile,
+		// the accounting and the bias profile through a tee.
+		eng, err := engine.New(cfg2d, engine.Options{Workers: 1, Predictor: ctx.ProfPred})
 		if err != nil {
 			return nil, err
 		}
@@ -108,8 +106,11 @@ func runExtIfconv(ctx *Context) (Result, error) {
 		}
 		acct := bpred.NewAccounting(accPred)
 		bias := metrics.NewBiasProfile()
-		trainInst.Run(trace.Tee{prof, acct, bias})
-		rep := prof.Finish()
+		trainInst.Run(trace.Tee{eng, acct, bias})
+		rep, err := eng.Finish()
+		if err != nil {
+			return nil, err
+		}
 
 		profileOf := func(a *bpred.Accounting, b *metrics.BiasProfile, c ifconv.Candidate) (float64, float64) {
 			pc := trace.PC(c.BranchIdx)

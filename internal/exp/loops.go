@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"twodprof/internal/bpred"
 	"twodprof/internal/cfg"
-	"twodprof/internal/core"
 	"twodprof/internal/progs"
 	"twodprof/internal/textplot"
 )
@@ -54,19 +52,13 @@ func runExtLoops(ctx *Context) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred, err := bpred.New(ctx.ProfPred)
-		if err != nil {
-			return nil, err
-		}
 		cfg2d := ctx.Config
 		cfg2d.SliceSize = 8000
 		cfg2d.ExecThreshold = 20
-		prof, err := core.NewProfiler(cfg2d, pred)
+		rep, err := profileLive(inst, cfg2d, ctx.ProfPred, nil)
 		if err != nil {
 			return nil, err
 		}
-		inst.Run(prof)
-		rep := prof.Finish()
 
 		row := ExtLoopsRow{Kernel: kernel, Loops: len(loops), ExitBranches: len(exitSet)}
 		var accSum float64

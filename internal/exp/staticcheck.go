@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"twodprof/internal/asmcheck"
-	"twodprof/internal/bpred"
 	"twodprof/internal/core"
 	"twodprof/internal/progs"
 )
@@ -71,19 +70,13 @@ func runExtStatic(ctx *Context) (Result, error) {
 				cfg2d.Metric = metric
 				cfg2d.SliceSize = 8000
 				cfg2d.ExecThreshold = 20
-				var pred bpred.Predictor
-				if metric == core.MetricAccuracy {
-					if pred, err = bpred.New(ctx.ProfPred); err != nil {
-						return nil, err
-					}
-				}
-				prof, err := core.NewProfiler(cfg2d, pred)
+				// The live run rides the engine with the prefilter wired
+				// through Options.Static — the same annotation path replay
+				// -kernel and serve ?kernel= use.
+				rep, err := profileLive(inst, cfg2d, ctx.ProfPred, classes)
 				if err != nil {
 					return nil, err
 				}
-				inst.Run(prof)
-				rep := prof.Finish()
-				rep.AnnotateStatic(classes)
 
 				row := ExtStaticRow{
 					Kernel: kernel, Input: input, Metric: metric.String(),

@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"twodprof/internal/bpred"
 	"twodprof/internal/cfg"
-	"twodprof/internal/core"
 	"twodprof/internal/progs"
 	"twodprof/internal/textplot"
 	"twodprof/internal/trace"
@@ -79,16 +77,11 @@ func runExtTrace(ctx *Context) (Result, error) {
 			cfg2d := ctx.Config
 			cfg2d.SliceSize = 8000
 			cfg2d.ExecThreshold = 20
-			pred, err := bpred.New(ctx.ProfPred)
+			rep, err := profileLive(trainInst, cfg2d, ctx.ProfPred, nil)
 			if err != nil {
 				return nil, err
 			}
-			prof, err := core.NewProfiler(cfg2d, pred)
-			if err != nil {
-				return nil, err
-			}
-			trainInst.Run(prof)
-			row.Flagged2D = prof.Finish().IsInputDependent(trace.PC(pc))
+			row.Flagged2D = rep.IsInputDependent(trace.PC(pc))
 		}
 		f.Rows = append(f.Rows, row)
 	}

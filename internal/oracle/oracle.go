@@ -16,6 +16,7 @@ import (
 
 	"twodprof/internal/bpred"
 	"twodprof/internal/core"
+	"twodprof/internal/engine"
 	"twodprof/internal/metrics"
 	"twodprof/internal/spec"
 )
@@ -172,19 +173,10 @@ func (r *Runner) Profile2D(bench, input, pred string, cfg core.Config) (*core.Re
 		if err != nil {
 			return nil, err
 		}
-		var p bpred.Predictor
-		if cfg.Metric == core.MetricAccuracy {
-			p, err = bpred.New(pred)
-			if err != nil {
-				return nil, err
-			}
+		if cfg.Metric != core.MetricAccuracy {
+			pred = "" // edge profiling consults no predictor
 		}
-		prof, err := core.NewProfiler(cfg, p)
-		if err != nil {
-			return nil, err
-		}
-		w.Run(prof)
-		return prof.Finish(), nil
+		return engine.Run(w, cfg, engine.Options{Workers: 1, Predictor: pred})
 	})
 }
 

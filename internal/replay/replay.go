@@ -1,43 +1,31 @@
 // Package replay turns trace streams into 2D-profiling reports as fast
 // as the stream format allows. It is the offline counterpart of
-// internal/serve's ingest path.
+// internal/serve's ingest path, and like it a thin adapter over the
+// shared sharded-execution core in internal/engine.
 //
 // For a BTR1 stream (or any stream with Workers <= 1) the replay is the
-// classic sequential pass. For a BTR2 stream the chunk framing unlocks
-// two parallelism classes, chosen by metric:
-//
-//   - MetricBias has no predictor, so only the global slice clock is
-//     sequential. Chunks decode fully in parallel, a cheap in-order
-//     router assigns events to PC-sharded profilers (which do the real
-//     per-event statistics work concurrently), and core.MergeReports
-//     reassembles the exact sequential report.
-//
-//   - MetricAccuracy threads every event through one predictor whose
-//     state depends on the full interleaved history, so the front-end
-//     stays sequential; the pipeline still decodes chunks in parallel
-//     ahead of it and feeds the profiler through the batched
-//     (devirtualized) predictor path.
-//
-// Both paths are byte-identical to the sequential replay of the same
-// events — see DESIGN.md §3c for the determinism argument.
+// classic sequential pass. For a BTR2 stream the chunk framing lets the
+// engine decode chunks across a parallel worker pool ahead of its
+// sequential front-end; per-branch statistics fan out across PC-sharded
+// profiler workers for both metrics. Every path is byte-identical to
+// the sequential replay of the same events — see DESIGN.md §3b/§3e for
+// the determinism argument.
 package replay
 
 import (
-	"fmt"
 	"io"
-	"runtime"
 
-	"twodprof/internal/bpred"
 	"twodprof/internal/core"
+	"twodprof/internal/engine"
 	"twodprof/internal/trace"
 )
 
 // Options configure a replay run.
 type Options struct {
-	// Workers bounds the decode worker pool and, for MetricBias, the
-	// number of PC-sharded profilers. <= 0 means GOMAXPROCS; 1 forces
-	// the sequential path. BTR1 streams always replay sequentially —
-	// their delta chain admits no decode parallelism.
+	// Workers bounds the decode worker pool and the number of PC-sharded
+	// profilers. <= 0 means GOMAXPROCS; 1 forces the sequential path.
+	// BTR1 streams always decode sequentially — their delta chain admits
+	// no decode parallelism.
 	Workers int
 	// Static optionally carries the asmcheck branch classification of
 	// the program that produced the trace (asmcheck.StaticClasses);
@@ -48,90 +36,14 @@ type Options struct {
 	Static map[trace.PC]string
 }
 
-// Profile replays a trace stream (BTR1, BTR2, or gzip of either) into a
-// fresh 2D-profiler and returns the finished report. The predictor name
-// is validated in both metric modes, mirroring twodprof.Profile;
-// MetricBias additionally accepts an empty name.
+// Profile replays a trace stream (BTR1, BTR2, or gzip of either) into
+// the sharded profiling engine and returns the finished report. The
+// predictor name is validated in both metric modes, mirroring
+// twodprof.Profile; MetricBias additionally accepts an empty name.
 func Profile(r io.Reader, cfg core.Config, predictor string, opts Options) (*core.Report, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	var pred bpred.Predictor
-	if cfg.Metric == core.MetricAccuracy || predictor != "" {
-		p, err := bpred.New(predictor)
-		if err != nil {
-			return nil, err
-		}
-		if cfg.Metric == core.MetricAccuracy {
-			pred = p
-		}
-	}
-
-	rd, err := trace.OpenReader(r)
-	if err != nil {
-		return nil, err
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	annotate := func(rep *core.Report, err error) (*core.Report, error) {
-		if err != nil {
-			return nil, err
-		}
-		rep.AnnotateStatic(opts.Static)
-		return rep, nil
-	}
-
-	b2, chunked := rd.(*trace.BTR2Reader)
-	if !chunked || workers <= 1 {
-		prof, err := core.NewProfiler(cfg, pred)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := rd.Replay(prof); err != nil {
-			return nil, err
-		}
-		return annotate(prof.Finish(), nil)
-	}
-
-	if cfg.Metric == core.MetricBias {
-		return annotate(profileBiasParallel(b2, cfg, workers))
-	}
-
-	// Accuracy: parallel chunk decode ahead of a sequential batched
-	// front-end. The profiler is a trace.BatchSink, so each reordered
-	// chunk flows through the devirtualized predictor loop in one call.
-	prof, err := core.NewProfiler(cfg, pred)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := b2.ParallelReplay(workers, prof); err != nil {
-		return nil, err
-	}
-	return annotate(prof.Finish(), nil)
-}
-
-// profileBiasParallel runs the bias-metric fan-out: parallel chunk
-// decode, in-order routing, PC-sharded statistics workers, disjoint
-// snapshot merge.
-func profileBiasParallel(r *trace.BTR2Reader, cfg core.Config, workers int) (*core.Report, error) {
-	router, err := newBiasRouter(cfg, workers)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := r.ParallelReplay(workers, router); err != nil {
-		router.abort()
-		return nil, err
-	}
-	return router.finish()
-}
-
-// ensure interface satisfaction at compile time.
-var _ trace.BatchSink = (*core.Profiler)(nil)
-
-// errShards guards impossible shard configurations.
-func errShards(n int) error {
-	return fmt.Errorf("replay: invalid shard count %d", n)
+	return engine.ProfileStream(r, cfg, engine.Options{
+		Workers:   opts.Workers,
+		Predictor: predictor,
+		Static:    opts.Static,
+	})
 }

@@ -5,13 +5,15 @@
 // while runs are still in flight.
 //
 // The serving pipeline preserves the offline algorithm exactly. Each
-// ingest session runs a sequential front-end that decodes the stream,
+// ingest session is one run of the shared sharded-execution core
+// (internal/engine): a sequential front-end decodes the stream,
 // consults the session's branch predictor (whose state depends on the
 // full interleaved branch order and therefore cannot be sharded), and
 // maintains the global slice clock; per-branch statistics — which
-// partition disjointly by PC — are updated by the shard workers. The
-// final report is assembled with core.MergeReports and is bit-identical
-// to twodprof.Profile over the same trace at any shard count.
+// partition disjointly by PC — are updated by the engine's shard
+// workers. The final report is assembled with core.MergeReports and is
+// bit-identical to twodprof.Profile over the same trace at any shard
+// count.
 package serve
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"twodprof/internal/bpred"
 	"twodprof/internal/core"
+	"twodprof/internal/engine"
 )
 
 // Config holds every knob of the profiling service.
@@ -63,8 +66,8 @@ func DefaultConfig() Config {
 	return Config{
 		Addr:         ":8377",
 		Shards:       runtime.GOMAXPROCS(0),
-		BatchSize:    512,
-		QueueDepth:   64,
+		BatchSize:    engine.DefaultBatchSize,
+		QueueDepth:   engine.DefaultQueueDepth,
 		Predictor:    bpred.NameGshare4KB,
 		Profile:      core.DefaultConfig(),
 		ReadTimeout:  30 * time.Second,

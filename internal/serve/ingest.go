@@ -10,6 +10,7 @@ import (
 
 	"twodprof/internal/asmcheck"
 	"twodprof/internal/core"
+	"twodprof/internal/engine"
 	"twodprof/internal/progs"
 	"twodprof/internal/trace"
 )
@@ -98,11 +99,12 @@ type ingestSummary struct {
 }
 
 // handleIngest services POST /v1/ingest: it decodes a BTR1 or BTR2
-// stream (either optionally gzip-wrapped) from the request body,
-// fans it across the shard
-// workers, and on EOF fixes the session's final report. Backpressure is
-// end to end: a full shard queue blocks the decode loop, which stops
-// reading the body, which stalls the client through TCP flow control.
+// stream (either optionally gzip-wrapped) from the request body, feeds
+// it into one internal/engine run (sequential predictor front-end,
+// PC-sharded profiler workers), and on EOF fixes the session's final
+// report. Backpressure is end to end: a full shard queue blocks the
+// decode loop, which stops reading the body, which stalls the client
+// through TCP flow control.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "ingest wants POST", http.StatusMethodNotAllowed)
@@ -126,20 +128,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		static = asmcheck.StaticClasses(k.Prog)
 	}
-	set, err := newShardSet(nShards, s.cfg.BatchSize, s.cfg.QueueDepth, cfg, predictor)
+	eng, err := engine.New(cfg, engine.Options{
+		Workers:    nShards,
+		BatchSize:  s.cfg.BatchSize,
+		QueueDepth: s.cfg.QueueDepth,
+		Predictor:  predictor,
+		Static:     static,
+		OnSlice:    func() { s.metrics.Slices.Add(1) },
+	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	set.onSlice = func() { s.metrics.Slices.Add(1) }
 
-	session, err := s.registry.Begin(r.URL.Query().Get("session"), set)
+	session, err := s.registry.Begin(r.URL.Query().Get("session"), eng)
 	if err != nil {
-		set.abort()
+		eng.Abort()
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	session.SetStatic(static)
 	s.metrics.SessionsTotal.Add(1)
 	s.metrics.ActiveSessions.Add(1)
 	defer s.metrics.ActiveSessions.Add(-1)
@@ -163,9 +170,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	)
 	for {
 		k, rerr := tr.ReadBatch(evbuf[:])
-		for _, ev := range evbuf[:k] {
-			set.feed(ev.PC, ev.Taken)
-		}
+		eng.BranchBatch(evbuf[:k])
 		if local += int64(k); local >= ingestFlushEvery {
 			session.events.Add(local)
 			s.metrics.Events.Add(local)

@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 
 	"twodprof/internal/core"
-	"twodprof/internal/trace"
+	"twodprof/internal/engine"
 )
 
 // SessionState is a session's lifecycle position.
@@ -36,19 +36,18 @@ func (s SessionState) String() string {
 	}
 }
 
-// Session is one profiling run flowing through the service.
+// Session is one profiling run flowing through the service. Its
+// profiling state is one internal/engine run; the session adds the
+// lifecycle (active/done/failed), the fixed final report and the
+// ingest byte/event accounting.
 type Session struct {
 	ID string
 
 	mu     sync.Mutex
 	state  SessionState
-	shards *shardSet
+	eng    *engine.Engine
 	final  *core.Report // fixed at completion
 	reason string       // failure reason, for /v1/sessions
-	// static is the optional asmcheck branch classification of the
-	// program behind the stream (ingest ?kernel=NAME); reports from
-	// this session carry it as their static prefilter column.
-	static map[trace.PC]string
 
 	events atomic.Int64 // decoded events so far
 	bytes  atomic.Int64 // raw bytes read from the client
@@ -64,61 +63,45 @@ func (s *Session) State() SessionState {
 // Events returns the number of events decoded so far.
 func (s *Session) Events() int64 { return s.events.Load() }
 
-// SetStatic attaches a static prefilter map (asmcheck.StaticClasses of
-// the program producing the stream); subsequent reports are annotated
-// with it. Call before streaming events.
-func (s *Session) SetStatic(classes map[trace.PC]string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.static = classes
-}
-
 // Report returns the session's merged 2D-profiling report: the fixed
 // final report for a completed session, or a live snapshot merge for
-// one still in flight.
+// one still in flight. Static prefilter annotation (ingest
+// ?kernel=NAME) is applied by the engine itself.
 func (s *Session) Report() (*core.Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.final != nil {
 		return s.final, nil
 	}
-	if s.shards == nil {
+	if s.eng == nil {
 		return nil, fmt.Errorf("serve: session %s has no profile state", s.ID)
 	}
-	rep, err := s.shards.report()
-	if err != nil {
-		return nil, err
-	}
-	rep.AnnotateStatic(s.static)
-	return rep, nil
+	return s.eng.Report()
 }
 
-// complete drains the shards, fixes the final report and transitions to
-// SessionDone. Returns the final report.
+// complete drains the engine, fixes the final report and transitions
+// to SessionDone. Returns the final report.
 func (s *Session) complete() (*core.Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.shards.finish()
-	rep, err := s.shards.report()
+	rep, err := s.eng.Finish()
 	if err != nil {
 		s.state = SessionFailed
 		s.reason = err.Error()
 		return nil, err
 	}
-	rep.AnnotateStatic(s.static)
 	s.final = rep
 	s.state = SessionDone
 	return rep, nil
 }
 
-// fail drains the shards without the final flush and records why the
+// fail drains the engine without the final flush and records why the
 // session broke. The partial report stays queryable.
 func (s *Session) fail(reason error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.shards.abort()
-	if rep, err := s.shards.report(); err == nil {
-		rep.AnnotateStatic(s.static)
+	s.eng.Abort()
+	if rep, err := s.eng.Report(); err == nil {
 		s.final = rep
 	}
 	s.state = SessionFailed
@@ -130,10 +113,10 @@ func (s *Session) fail(reason error) {
 func (s *Session) queueDepths() []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.state != SessionActive || s.shards == nil {
+	if s.state != SessionActive || s.eng == nil {
 		return nil
 	}
-	return s.shards.queueDepths()
+	return s.eng.QueueDepths()
 }
 
 // Registry tracks sessions by id, newest last. Finished sessions are
@@ -155,7 +138,7 @@ func NewRegistry(cap int) *Registry {
 
 // Begin registers a new active session. An empty id is assigned
 // "s-<n>"; a duplicate id of a live registry entry is an error.
-func (r *Registry) Begin(id string, shards *shardSet) (*Session, error) {
+func (r *Registry) Begin(id string, eng *engine.Engine) (*Session, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if id == "" {
@@ -165,7 +148,7 @@ func (r *Registry) Begin(id string, shards *shardSet) (*Session, error) {
 	if _, dup := r.byID[id]; dup {
 		return nil, fmt.Errorf("serve: session %q already exists", id)
 	}
-	s := &Session{ID: id, state: SessionActive, shards: shards}
+	s := &Session{ID: id, state: SessionActive, eng: eng}
 	r.byID[id] = s
 	r.order = append(r.order, id)
 	r.evictLocked()
