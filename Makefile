@@ -5,6 +5,7 @@
 #   make test            go test ./...
 #   make race            race-detector pass over the concurrent subsystems
 #   make fuzz-seeds      run the fuzz corpora as regular regression tests
+#   make e2e-crash       kill-9 crash-recovery drill against the durable daemon
 #   make bench-engine    old-vs-new guard for the internal/engine core (results/BENCH_engine.json)
 #   make bench-parallel  record engine/profiler benchmarks in results/BENCH_parallel.json
 #   make bench-serve     record ingest throughput scaling in results/BENCH_serve.json
@@ -13,7 +14,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds verify bench-engine bench-parallel bench-serve bench-replay results
+.PHONY: all build vet lint test race fuzz-seeds e2e-crash verify bench-engine bench-parallel bench-serve bench-replay results
 
 all: verify
 
@@ -54,9 +55,16 @@ race:
 # regression net over the decoders and analyses without a fuzzing
 # session.
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/trace ./internal/vm ./internal/asmcheck
+	$(GO) test -run 'Fuzz' ./internal/trace ./internal/vm ./internal/asmcheck ./internal/wal
 
-verify: build lint test race fuzz-seeds bench-engine
+# The crash-recovery drill re-execs the serve test binary as a durable
+# daemon, kills it with SIGKILL (mid-stream and post-completion) and
+# asserts the restarted daemon serves byte-identical reports from the
+# session WAL.
+e2e-crash:
+	$(GO) test -run 'TestCrashRecovery' -count=1 ./internal/serve
+
+verify: build lint test race fuzz-seeds e2e-crash bench-engine
 
 # bench-engine is part of `make verify`: it re-measures the unified
 # sharded core against the plain sequential profiler and fails on a

@@ -35,6 +35,7 @@ import (
 	"twodprof/internal/core"
 	"twodprof/internal/engine"
 	"twodprof/internal/serve"
+	"twodprof/internal/wal"
 )
 
 func main() {
@@ -52,6 +53,10 @@ func main() {
 		readTO  = flag.Duration("read-timeout", cfg.ReadTimeout, "per-read bound on slow clients (0 = none)")
 		drainTO = flag.Duration("drain-timeout", cfg.DrainTimeout, "graceful shutdown drain deadline")
 		keep    = flag.Int("sessions", cfg.MaxSessions, "finished sessions retained for /v1/report")
+		dataDir = flag.String("data-dir", "", "session WAL directory; enables durable sessions and crash recovery (empty = in-memory only)")
+		fsync   = flag.String("fsync", cfg.Fsync.String(), "WAL durability: always, never, or a flush cadence like 100ms")
+		ckpt    = flag.Int64("checkpoint-every", cfg.CheckpointEvery, "compact a finished session log once it holds this many events (0 = always)")
+		idle    = flag.Duration("idle-after", cfg.IdleAfter, "evict a finished session's report to disk after this long unqueried (0 = never)")
 	)
 	flag.Parse()
 
@@ -65,6 +70,14 @@ func main() {
 	cfg.ReadTimeout = *readTO
 	cfg.DrainTimeout = *drainTO
 	cfg.MaxSessions = *keep
+	cfg.DataDir = *dataDir
+	cfg.CheckpointEvery = *ckpt
+	cfg.IdleAfter = *idle
+	if policy, err := wal.ParseSyncPolicy(*fsync); err != nil {
+		fail(err)
+	} else {
+		cfg.Fsync = policy
+	}
 	switch *metric {
 	case "accuracy":
 		cfg.Profile.Metric = core.MetricAccuracy
@@ -82,8 +95,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("profiled: listening on %s (%d shards, %s metric)\n",
-		srv.Addr(), cfg.Shards, cfg.Profile.Metric)
+	durable := "in-memory sessions"
+	if cfg.DataDir != "" {
+		durable = fmt.Sprintf("durable sessions in %s (fsync %s)", cfg.DataDir, cfg.Fsync)
+	}
+	fmt.Printf("profiled: listening on %s (%d shards, %s metric, %s)\n",
+		srv.Addr(), cfg.Shards, cfg.Profile.Metric, durable)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

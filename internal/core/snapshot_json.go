@@ -1,0 +1,76 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"twodprof/internal/trace"
+)
+
+// JSON codec for Snapshot — the serialisation the daemon's write-ahead
+// log uses for checkpoint records (DESIGN.md §3f). The encoding must be
+// deterministic (branches as a PC-sorted array, not a map) and must
+// round-trip exactly: a recovered snapshot's Report() has to be
+// byte-identical to the report of the snapshot that was written.
+// Float64 fields survive because encoding/json emits the shortest
+// representation that parses back to the same value.
+
+// snapshotBranchJSON is the wire form of one branch's counters.
+type snapshotBranchJSON struct {
+	PC uint64 `json:"pc"`
+	BranchCounters
+}
+
+// snapshotJSON is the wire form of a Snapshot.
+type snapshotJSON struct {
+	Config    Config               `json:"config"`
+	Predictor string               `json:"predictor,omitempty"`
+	Slices    int64                `json:"slices"`
+	TotalExec int64                `json:"totalExec"`
+	TotalHit  int64                `json:"totalHit"`
+	Branches  []snapshotBranchJSON `json:"branches"`
+}
+
+// MarshalJSON implements json.Marshaler with deterministic branch
+// ordering.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	out := snapshotJSON{
+		Config:    s.Config,
+		Predictor: s.Predictor,
+		Slices:    s.Slices,
+		TotalExec: s.TotalExec,
+		TotalHit:  s.TotalHit,
+		Branches:  make([]snapshotBranchJSON, 0, len(s.Branches)),
+	}
+	pcs := make([]trace.PC, 0, len(s.Branches))
+	for pc := range s.Branches {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		out.Branches = append(out.Branches, snapshotBranchJSON{
+			PC:             uint64(pc),
+			BranchCounters: s.Branches[pc],
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	var in snapshotJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	s.Config = in.Config
+	s.Predictor = in.Predictor
+	s.Slices = in.Slices
+	s.TotalExec = in.TotalExec
+	s.TotalHit = in.TotalHit
+	s.Branches = make(map[trace.PC]BranchCounters, len(in.Branches))
+	for _, b := range in.Branches {
+		s.Branches[trace.PC(b.PC)] = b.BranchCounters
+	}
+	return nil
+}

@@ -457,6 +457,21 @@ func (e *Engine) Report() (*core.Report, error) {
 	return rep, nil
 }
 
+// Snapshot merges the current shard snapshots into one whole-run
+// core.Snapshot — the persistence hook: the daemon's WAL checkpoints a
+// finished engine's merged snapshot, and Snapshot().Report() on the
+// recovered side reproduces Finish's report byte for byte (both are
+// core.MergeSnapshots followed by (*core.Snapshot).Report). Safe to
+// call from other goroutines while the owner keeps feeding; for a
+// checkpoint call it after Finish or Abort so the state is frozen.
+func (e *Engine) Snapshot() (*core.Snapshot, error) {
+	snaps := make([]*core.Snapshot, len(e.shards))
+	for i, s := range e.shards {
+		snaps[i] = s.snapshot()
+	}
+	return core.MergeSnapshots(snaps...)
+}
+
 // QueueDepths returns the number of queued batches per shard (all
 // zeros in inline mode).
 func (e *Engine) QueueDepths() []int {

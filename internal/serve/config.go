@@ -24,6 +24,7 @@ import (
 	"twodprof/internal/bpred"
 	"twodprof/internal/core"
 	"twodprof/internal/engine"
+	"twodprof/internal/wal"
 )
 
 // Config holds every knob of the profiling service.
@@ -57,22 +58,50 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MaxSessions caps the number of finished sessions retained for
 	// /v1/report queries; the oldest finished sessions are evicted
-	// first. Active sessions are never evicted.
+	// first. Active sessions are never evicted and do not count against
+	// the cap.
 	MaxSessions int
+	// DataDir, when non-empty, enables durable sessions: every session
+	// appends to a write-ahead log under this directory, the daemon
+	// recovers all logged sessions on start, and idle finished sessions
+	// are evicted to disk (DESIGN.md §3f). Empty keeps the daemon fully
+	// in-memory.
+	DataDir string
+	// Fsync is the WAL durability policy (always / interval / never).
+	// Ignored without DataDir.
+	Fsync wal.SyncPolicy
+	// CheckpointEvery is the compaction threshold in events: a finished
+	// session's log is compacted to its checkpoint snapshot once it
+	// carries at least this many logged events (<= 0 compacts every
+	// finished log). Ignored without DataDir.
+	CheckpointEvery int64
+	// IdleAfter is how long a finished, durably-checkpointed session may
+	// go unqueried before its resident report is evicted to disk
+	// (reloaded on demand). <= 0 disables idle eviction. Ignored without
+	// DataDir.
+	IdleAfter time.Duration
+	// CompactInterval is the cadence of the background janitor that
+	// performs idle eviction and log compaction. Ignored without
+	// DataDir.
+	CompactInterval time.Duration
 }
 
 // DefaultConfig returns the production defaults.
 func DefaultConfig() Config {
 	return Config{
-		Addr:         ":8377",
-		Shards:       runtime.GOMAXPROCS(0),
-		BatchSize:    engine.DefaultBatchSize,
-		QueueDepth:   engine.DefaultQueueDepth,
-		Predictor:    bpred.NameGshare4KB,
-		Profile:      core.DefaultConfig(),
-		ReadTimeout:  30 * time.Second,
-		DrainTimeout: 10 * time.Second,
-		MaxSessions:  64,
+		Addr:            ":8377",
+		Shards:          runtime.GOMAXPROCS(0),
+		BatchSize:       engine.DefaultBatchSize,
+		QueueDepth:      engine.DefaultQueueDepth,
+		Predictor:       bpred.NameGshare4KB,
+		Profile:         core.DefaultConfig(),
+		ReadTimeout:     30 * time.Second,
+		DrainTimeout:    10 * time.Second,
+		MaxSessions:     64,
+		Fsync:           wal.SyncPolicy{Mode: wal.SyncInterval, Interval: wal.DefaultSyncInterval},
+		CheckpointEvery: 100_000,
+		IdleAfter:       5 * time.Minute,
+		CompactInterval: 15 * time.Second,
 	}
 }
 
@@ -91,6 +120,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: invalid config: DrainTimeout must be non-negative")
 	case c.MaxSessions <= 0:
 		return fmt.Errorf("serve: invalid config: MaxSessions must be positive (got %d)", c.MaxSessions)
+	}
+	if c.DataDir != "" {
+		if err := c.Fsync.Validate(); err != nil {
+			return fmt.Errorf("serve: invalid config: %w", err)
+		}
+		if c.CompactInterval <= 0 {
+			return fmt.Errorf("serve: invalid config: CompactInterval must be positive with DataDir set")
+		}
 	}
 	if c.Profile.Metric == core.MetricAccuracy {
 		if _, err := bpred.New(c.Predictor); err != nil {

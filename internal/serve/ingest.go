@@ -23,6 +23,10 @@ const ingestFlushEvery = 4096
 // maxRequestShards caps the per-request shard-count override.
 const maxRequestShards = 128
 
+// maxSessionID caps client-chosen session ids — they become WAL file
+// names (escaped), and filesystems cap name components at 255 bytes.
+const maxSessionID = 64
+
 // bodyReader meters a request body and re-arms the per-read deadline so
 // a stalled client cannot pin a session forever.
 type bodyReader struct {
@@ -120,13 +124,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// column. Without it the report is unannotated (a raw trace carries
 	// no program identity).
 	var static map[trace.PC]string
-	if v := r.URL.Query().Get("kernel"); v != "" {
-		k, ok := progs.KernelByName(v)
+	kernel := r.URL.Query().Get("kernel")
+	if kernel != "" {
+		k, ok := progs.KernelByName(kernel)
 		if !ok {
-			http.Error(w, fmt.Sprintf("unknown kernel %q", v), http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("unknown kernel %q", kernel), http.StatusBadRequest)
 			return
 		}
 		static = asmcheck.StaticClasses(k.Prog)
+	}
+	if id := r.URL.Query().Get("session"); len(id) > maxSessionID {
+		http.Error(w, fmt.Sprintf("session id longer than %d bytes", maxSessionID), http.StatusBadRequest)
+		return
 	}
 	eng, err := engine.New(cfg, engine.Options{
 		Workers:    nShards,
@@ -146,6 +155,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		eng.Abort()
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
+	}
+	if s.store != nil {
+		// Durable mode: open the session's write-ahead log before any
+		// event flows; decoded batches are teed into it ahead of the
+		// in-memory engine.
+		plog, perr := s.store.Create(sessionMeta{
+			ID:        session.ID,
+			Profile:   cfg,
+			Predictor: predictor,
+			Shards:    nShards,
+			Kernel:    kernel,
+		})
+		if perr != nil {
+			s.registry.Remove(session.ID)
+			eng.Abort()
+			http.Error(w, fmt.Sprintf("opening session log: %v", perr), http.StatusInternalServerError)
+			return
+		}
+		session.enablePersist(plog, s.store, kernel, static)
 	}
 	s.metrics.SessionsTotal.Add(1)
 	s.metrics.ActiveSessions.Add(1)
@@ -170,6 +198,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	)
 	for {
 		k, rerr := tr.ReadBatch(evbuf[:])
+		if werr := session.logEvents(evbuf[:k]); werr != nil {
+			session.events.Add(local)
+			s.metrics.Events.Add(local)
+			s.failIngest(w, session, fmt.Errorf("writing session log: %w", werr))
+			return
+		}
 		eng.BranchBatch(evbuf[:k])
 		if local += int64(k); local >= ingestFlushEvery {
 			session.events.Add(local)

@@ -19,6 +19,14 @@ type Metrics struct {
 	SessionsFailed atomic.Int64 // sessions that broke mid-stream
 	ActiveSessions atomic.Int64 // sessions currently streaming
 
+	// Durability counters (all zero when the daemon runs without a data
+	// directory).
+	WALBytes          atomic.Int64 // bytes appended to session logs
+	WALRepairs        atomic.Int64 // logs whose torn tail was truncated at startup
+	SessionsRecovered atomic.Int64 // sessions rebuilt from the WAL at startup
+	SessionsIdled     atomic.Int64 // finished sessions evicted to the idle tier
+	Compactions       atomic.Int64 // logs compacted into checkpoint snapshots
+
 	// rate state: events/sec over the window since the previous scrape.
 	mu         sync.Mutex
 	lastScrape time.Time
@@ -54,6 +62,11 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepths []int) {
 	fmt.Fprintf(w, "twodprof_sessions_active %d\n", m.ActiveSessions.Load())
 	fmt.Fprintf(w, "twodprof_sessions_total %d\n", m.SessionsTotal.Load())
 	fmt.Fprintf(w, "twodprof_sessions_failed_total %d\n", m.SessionsFailed.Load())
+	fmt.Fprintf(w, "twodprof_wal_bytes_written_total %d\n", m.WALBytes.Load())
+	fmt.Fprintf(w, "twodprof_wal_repairs_total %d\n", m.WALRepairs.Load())
+	fmt.Fprintf(w, "twodprof_sessions_recovered_total %d\n", m.SessionsRecovered.Load())
+	fmt.Fprintf(w, "twodprof_sessions_idled_total %d\n", m.SessionsIdled.Load())
+	fmt.Fprintf(w, "twodprof_wal_compactions_total %d\n", m.Compactions.Load())
 	for i, d := range queueDepths {
 		fmt.Fprintf(w, "twodprof_shard_queue_depth{shard=\"%d\"} %d\n", i, d)
 	}

@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"twodprof/internal/asmcheck"
+	"twodprof/internal/core"
+	"twodprof/internal/engine"
+	"twodprof/internal/progs"
+	"twodprof/internal/trace"
+	"twodprof/internal/wal"
+)
+
+// Durable sessions (DESIGN.md §3f). Every session owns one write-ahead
+// log under the daemon's data directory:
+//
+//	<data-dir>/<escaped-session-id>.wal
+//
+// The record schema on top of package wal's framing:
+//
+//	recBegin   JSON sessionMeta — resolved profiling config, predictor,
+//	           shard count and (optional) kernel name. Always first.
+//	recEvents  wal.EncodeEvents batch, appended ahead of the in-memory
+//	           engine in exact stream order.
+//	recDone /  JSON terminalRecord — the merged engine snapshot
+//	recFail    (core.Snapshot) plus event/byte totals (and the failure
+//	           reason for recFail). Always last; nothing follows it.
+//
+// Recovery invariants:
+//
+//   - A log ending in recDone/recFail is a finished session; its report
+//     derives from the checkpoint snapshot alone ((*core.Snapshot).
+//     Report is exactly the assembly path engine.Finish uses, so the
+//     recovered report is byte-identical to the uninterrupted one).
+//   - A log without a terminal record is a session that was streaming
+//     when the daemon died. Recovery replays its event records through
+//     a fresh engine built from recBegin — front-end predictor state
+//     and in-slice counters are reconstructed by the replay itself,
+//     which is why the WAL keeps raw events while a session is live: a
+//     mid-stream snapshot cannot capture either (snapshots drop
+//     in-flight slice counters by design, and predictor state is not
+//     serialisable), so checkpointing an active accuracy-metric
+//     session would break byte-identity.
+//   - Compaction therefore only rewrites *finished* logs: once the
+//     terminal snapshot is durable the event records are redundant and
+//     the log collapses to recBegin + terminal via an atomic
+//     write-temp/rename.
+type sessionMeta struct {
+	ID        string      `json:"id"`
+	Profile   core.Config `json:"profile"`
+	Predictor string      `json:"predictor,omitempty"`
+	Shards    int         `json:"shards"`
+	Kernel    string      `json:"kernel,omitempty"`
+}
+
+// terminalRecord fixes a finished session's outcome in its log.
+type terminalRecord struct {
+	Reason   string         `json:"reason,omitempty"` // set for recFail
+	Events   int64          `json:"events"`
+	Bytes    int64          `json:"bytes"`
+	Snapshot *core.Snapshot `json:"snapshot"`
+}
+
+// WAL record types of the session schema.
+const (
+	recBegin  byte = 1
+	recEvents byte = 2
+	recDone   byte = 3
+	recFail   byte = 4
+)
+
+// recoveredReason is the failure reason stamped on sessions that were
+// mid-stream when the daemon died.
+const recoveredReason = "stream interrupted by daemon restart (state recovered from WAL)"
+
+// Store owns the daemon's data directory: session log naming, creation,
+// recovery, report reload and compaction.
+type Store struct {
+	dir             string
+	policy          wal.SyncPolicy
+	checkpointEvery int64
+	metrics         *Metrics
+}
+
+// openStore validates the policy and ensures the directory exists.
+func openStore(dir string, policy wal.SyncPolicy, checkpointEvery int64, m *Metrics) (*Store, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating data dir: %w", err)
+	}
+	return &Store{dir: dir, policy: policy, checkpointEvery: checkpointEvery, metrics: m}, nil
+}
+
+// escapeID maps a session id to a safe filename component: ASCII
+// letters, digits, '-', '_' and '.' pass through, everything else
+// (including '%' itself and path separators) becomes %XX.
+func escapeID(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+func (st *Store) path(id string) string {
+	return filepath.Join(st.dir, escapeID(id)+".wal")
+}
+
+// Exists reports whether a session log for id is on disk. The registry
+// consults it through Registry.Reserved, so neither generated nor
+// user-supplied ids can collide with persisted sessions that are no
+// longer (or not yet) in memory.
+func (st *Store) Exists(id string) bool {
+	_, err := os.Stat(st.path(id))
+	return err == nil
+}
+
+// Create opens a fresh log for an active session and writes its
+// recBegin metadata.
+func (st *Store) Create(meta sessionMeta) (*sessionLog, error) {
+	l, err := wal.Create(st.path(meta.ID), st.policy)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(meta)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	sl := &sessionLog{st: st, id: meta.ID, l: l}
+	if err := sl.append(recBegin, payload); err != nil {
+		l.Close()
+		os.Remove(st.path(meta.ID))
+		return nil, err
+	}
+	return sl, nil
+}
+
+// sessionLog is one active session's WAL handle.
+type sessionLog struct {
+	st     *Store
+	id     string
+	l      *wal.Log
+	encBuf []byte // event-codec scratch, reused across batches
+}
+
+func (sl *sessionLog) append(typ byte, payload []byte) error {
+	if err := sl.l.Append(typ, payload); err != nil {
+		return err
+	}
+	sl.st.metrics.WALBytes.Add(int64(len(payload)) + 9)
+	return nil
+}
+
+// appendEvents logs one decoded batch.
+func (sl *sessionLog) appendEvents(events []trace.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	sl.encBuf = wal.EncodeEvents(sl.encBuf[:0], events)
+	return sl.append(recEvents, sl.encBuf)
+}
+
+// finish appends the terminal record and closes the log; the terminal
+// append is always fsynced regardless of policy — a finished session's
+// checkpoint must not sit in an OS buffer.
+func (sl *sessionLog) finish(typ byte, term terminalRecord) error {
+	payload, err := json.Marshal(term)
+	if err != nil {
+		sl.l.Close()
+		return err
+	}
+	if err := sl.append(typ, payload); err != nil {
+		sl.l.Close()
+		return err
+	}
+	return sl.l.Close() // Close flushes and fsyncs
+}
+
+// abandon closes the log without a terminal record (the next daemon
+// start will recover it as an interrupted session).
+func (sl *sessionLog) abandon() { _ = sl.l.Close() }
+
+// staticForKernel resolves a logged kernel name back to its asmcheck
+// static classification (nil when unnamed or no longer known).
+func staticForKernel(name string) map[trace.PC]string {
+	if name == "" {
+		return nil
+	}
+	k, ok := progs.KernelByName(name)
+	if !ok {
+		return nil
+	}
+	return asmcheck.StaticClasses(k.Prog)
+}
+
+// parseLog splits a scanned record list into meta, event records and
+// the terminal record (nil when the session was mid-stream).
+func parseLog(recs []wal.Record) (meta sessionMeta, events []wal.Record, term *terminalRecord, termType byte, err error) {
+	if len(recs) == 0 || recs[0].Type != recBegin {
+		return meta, nil, nil, 0, fmt.Errorf("log does not start with a begin record")
+	}
+	if err := json.Unmarshal(recs[0].Payload, &meta); err != nil {
+		return meta, nil, nil, 0, fmt.Errorf("decoding session meta: %w", err)
+	}
+	for _, rec := range recs[1:] {
+		switch rec.Type {
+		case recEvents:
+			if term != nil {
+				return meta, nil, nil, 0, fmt.Errorf("event record after terminal record")
+			}
+			events = append(events, rec)
+		case recDone, recFail:
+			if term != nil {
+				return meta, nil, nil, 0, fmt.Errorf("duplicate terminal record")
+			}
+			var t terminalRecord
+			if err := json.Unmarshal(rec.Payload, &t); err != nil {
+				return meta, nil, nil, 0, fmt.Errorf("decoding terminal record: %w", err)
+			}
+			term, termType = &t, rec.Type
+		default:
+			return meta, nil, nil, 0, fmt.Errorf("unknown record type %d", rec.Type)
+		}
+	}
+	return meta, events, term, termType, nil
+}
+
+// loadReport rebuilds a finished session's report from its checkpoint:
+// terminal snapshot → Report → static re-annotation. This is the idle
+// tier's read path and the registry-miss fallback, and it reproduces
+// the original engine report byte for byte.
+func (st *Store) loadReport(id string) (*core.Report, error) {
+	recs, _, err := wal.ReadAll(st.path(id))
+	if err != nil {
+		return nil, err
+	}
+	meta, _, term, _, err := parseLog(recs)
+	if err != nil {
+		return nil, err
+	}
+	if term == nil || term.Snapshot == nil {
+		return nil, fmt.Errorf("session %s has no checkpoint record", id)
+	}
+	rep := term.Snapshot.Report()
+	rep.AnnotateStatic(staticForKernel(meta.Kernel))
+	return rep, nil
+}
+
+// compact rewrites a finished session's log to recBegin + terminal when
+// it still carries at least checkpointEvery logged events (smaller logs
+// are not worth the rewrite; checkpointEvery <= 0 compacts any log with
+// event records). Returns whether a rewrite happened.
+func (st *Store) compact(id string, checkpointEvery int64) (bool, error) {
+	path := st.path(id)
+	recs, _, err := wal.ReadAll(path)
+	if err != nil {
+		return false, err
+	}
+	_, events, term, termType, err := parseLog(recs)
+	if err != nil {
+		return false, err
+	}
+	if term == nil || len(events) == 0 {
+		return false, nil
+	}
+	if checkpointEvery > 0 && term.Events < checkpointEvery {
+		return false, nil
+	}
+	compacted := []wal.Record{
+		recs[0],
+		{Type: termType, Payload: recs[len(recs)-1].Payload},
+	}
+	if err := wal.Rewrite(path, compacted); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// recoveredInfo pairs a rebuilt session with its repair diagnostics.
+type recoveredInfo struct {
+	session  *Session
+	repaired bool
+}
+
+// Recover scans the data directory and rebuilds every logged session.
+// Torn tails are truncated in place; sessions with a terminal record
+// come back as idle (metadata only — no report resident); sessions that
+// were mid-stream are replayed through a fresh engine, checkpointed
+// with a recFail record, and come back idle too. Unreadable logs are
+// skipped with a diagnostic, never deleted.
+func (st *Store) Recover() ([]recoveredInfo, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading data dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	var out []recoveredInfo
+	for _, name := range names {
+		info, err := st.recoverOne(filepath.Join(st.dir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: skipping unrecoverable log %s: %v\n", name, err)
+			continue
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// recoverOne rebuilds a single session from its log.
+func (st *Store) recoverOne(path string) (recoveredInfo, error) {
+	l, recs, repair, err := wal.Open(path, st.policy)
+	if err != nil {
+		return recoveredInfo{}, err
+	}
+	meta, events, term, termType, err := parseLog(recs)
+	if err != nil {
+		l.Close()
+		return recoveredInfo{}, err
+	}
+	if repair != nil {
+		fmt.Fprintf(os.Stderr, "serve: repaired %s: dropped %d-byte torn tail (%s)\n",
+			filepath.Base(path), repair.DroppedBytes, repair.Reason)
+	}
+
+	s := &Session{
+		ID:        meta.ID,
+		store:     st,
+		kernel:    meta.Kernel,
+		static:    staticForKernel(meta.Kernel),
+		recovered: true,
+		persisted: true,
+		evicted:   true, // recovered sessions start on the idle tier
+		lastTouch: time.Now(),
+	}
+
+	if term != nil {
+		// Finished before the restart: the checkpoint is authoritative,
+		// nothing to replay.
+		l.Close()
+		if termType == recFail {
+			s.state = SessionFailed
+			s.reason = term.Reason
+		} else {
+			s.state = SessionDone
+		}
+		s.events.Store(term.Events)
+		s.bytes.Store(term.Bytes)
+		return recoveredInfo{session: s, repaired: repair != nil}, nil
+	}
+
+	// Mid-stream at the crash: replay the logged events through a fresh
+	// engine. The replay rebuilds predictor and slice state exactly, so
+	// the resulting report matches an uninterrupted run over the same
+	// durable prefix byte for byte.
+	replayed, snap, err := st.replay(meta, events, s.static)
+	if err != nil {
+		l.Close()
+		return recoveredInfo{}, err
+	}
+	termRec := terminalRecord{
+		Reason:   recoveredReason,
+		Events:   replayed,
+		Snapshot: snap,
+	}
+	payload, err := json.Marshal(termRec)
+	if err != nil {
+		l.Close()
+		return recoveredInfo{}, err
+	}
+	if err := l.Append(recFail, payload); err != nil {
+		l.Close()
+		return recoveredInfo{}, err
+	}
+	if err := l.Close(); err != nil {
+		return recoveredInfo{}, err
+	}
+	s.state = SessionFailed
+	s.reason = recoveredReason
+	s.events.Store(replayed)
+	return recoveredInfo{session: s, repaired: repair != nil}, nil
+}
+
+// replay feeds logged event records through a fresh engine and returns
+// the replayed event count plus the finished engine's merged snapshot.
+func (st *Store) replay(meta sessionMeta, events []wal.Record, static map[trace.PC]string) (int64, *core.Snapshot, error) {
+	eng, err := engine.New(meta.Profile, engine.Options{
+		Workers:   meta.Shards,
+		Predictor: meta.Predictor,
+		Static:    static,
+	})
+	if err != nil {
+		return 0, nil, fmt.Errorf("rebuilding engine: %w", err)
+	}
+	var (
+		replayed int64
+		evbuf    []trace.Event
+	)
+	for _, rec := range events {
+		evbuf, err = wal.DecodeEvents(evbuf[:0], rec.Payload)
+		if err != nil {
+			eng.Abort()
+			return 0, nil, fmt.Errorf("decoding event record: %w", err)
+		}
+		eng.BranchBatch(evbuf)
+		replayed += int64(len(evbuf))
+	}
+	// Finish, not Abort: the durable prefix is treated as a complete
+	// run, applying the same trailing-partial-slice rule an
+	// uninterrupted ingest would.
+	if _, err := eng.Finish(); err != nil {
+		return 0, nil, err
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		return 0, nil, err
+	}
+	return replayed, snap, nil
+}

@@ -2,11 +2,14 @@ package serve
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"twodprof/internal/core"
 	"twodprof/internal/engine"
+	"twodprof/internal/trace"
 )
 
 // SessionState is a session's lifecycle position.
@@ -38,16 +41,32 @@ func (s SessionState) String() string {
 
 // Session is one profiling run flowing through the service. Its
 // profiling state is one internal/engine run; the session adds the
-// lifecycle (active/done/failed), the fixed final report and the
-// ingest byte/event accounting.
+// lifecycle (active → done/failed, each transition single-shot), the
+// fixed final report, the ingest byte/event accounting, and — when the
+// daemon runs with a data directory — the WAL handle plus the memory
+// tier (hot: final report resident; idle: report evicted to disk and
+// reloaded from the session's checkpoint on demand).
 type Session struct {
 	ID string
 
-	mu     sync.Mutex
-	state  SessionState
-	eng    *engine.Engine
-	final  *core.Report // fixed at completion
-	reason string       // failure reason, for /v1/sessions
+	mu        sync.Mutex
+	state     SessionState
+	eng       *engine.Engine
+	final     *core.Report // fixed at completion (nil once evicted to disk)
+	reason    string       // failure reason, for /v1/sessions
+	lastTouch time.Time    // last report query or lifecycle transition
+
+	// Persistence. plog is only touched by the owning ingest goroutine
+	// (appends) and under mu at the terminal transition; store/static/
+	// kernel are fixed at setup.
+	plog      *sessionLog
+	store     *Store
+	kernel    string
+	static    map[trace.PC]string
+	recovered bool // rebuilt from the WAL after a daemon restart
+	persisted bool // terminal checkpoint record is in the log
+	evicted   bool // final report released; reload from the checkpoint
+	compacted bool // compaction attempted (logs are immutable after the terminal record)
 
 	events atomic.Int64 // decoded events so far
 	bytes  atomic.Int64 // raw bytes read from the client
@@ -60,18 +79,158 @@ func (s *Session) State() SessionState {
 	return s.state
 }
 
+// Tier names the session's memory tier: "active" while streaming,
+// "hot" finished with the report resident, "idle" finished with the
+// report evicted to disk.
+func (s *Session) Tier() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.state == SessionActive:
+		return "active"
+	case s.evicted:
+		return "idle"
+	default:
+		return "hot"
+	}
+}
+
 // Events returns the number of events decoded so far.
 func (s *Session) Events() int64 { return s.events.Load() }
 
+// enablePersist attaches the session's write-ahead log. Called by the
+// ingest handler right after Begin, before any event flows.
+func (s *Session) enablePersist(plog *sessionLog, store *Store, kernel string, static map[trace.PC]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.plog = plog
+	s.store = store
+	s.kernel = kernel
+	s.static = static
+}
+
+// logEvents appends a decoded batch to the session's WAL ahead of the
+// in-memory engine (write-ahead order: a batch the engine has applied
+// is always at least buffered in the log). Only the owning ingest
+// goroutine calls this, so plog needs no lock here; the terminal
+// transition that clears it runs on the same goroutine.
+func (s *Session) logEvents(events []trace.Event) error {
+	if s.plog == nil {
+		return nil
+	}
+	return s.plog.appendEvents(events)
+}
+
+// complete drains the engine, fixes the final report, appends the
+// terminal checkpoint to the WAL and transitions to SessionDone.
+// Transitions are single-shot: completing a done session returns the
+// fixed report again, completing a failed one reports the original
+// failure without disturbing it.
+func (s *Session) complete() (*core.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case SessionDone:
+		return s.final, nil
+	case SessionFailed:
+		return nil, fmt.Errorf("serve: session %s already failed: %s", s.ID, s.reason)
+	}
+	rep, err := s.eng.Finish()
+	if err != nil {
+		s.failLocked(err)
+		return nil, err
+	}
+	s.final = rep
+	s.state = SessionDone
+	s.lastTouch = time.Now()
+	s.persistTerminalLocked()
+	return rep, nil
+}
+
+// fail records why the session broke and drains the engine without the
+// final flush; the partial report stays queryable. Single-shot: once a
+// session has finished (done or failed), fail is a no-op — in
+// particular it never re-drains the engine or overwrites the reason of
+// an earlier failure.
+func (s *Session) fail(reason error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != SessionActive {
+		return
+	}
+	s.failLocked(reason)
+}
+
+// failLocked is the one true failure transition (mu held, state
+// SessionActive).
+func (s *Session) failLocked(reason error) {
+	s.eng.Abort()
+	if rep, err := s.eng.Report(); err == nil {
+		s.final = rep
+	}
+	s.state = SessionFailed
+	s.reason = reason.Error()
+	s.lastTouch = time.Now()
+	s.persistTerminalLocked()
+}
+
+// persistTerminalLocked appends the terminal checkpoint record (the
+// merged engine snapshot plus the byte/event totals) and closes the
+// session's log. A persistence error does not fail the session — the
+// in-memory state is intact — but the session is then never evicted
+// from memory, since disk could not be trusted to reproduce it.
+func (s *Session) persistTerminalLocked() {
+	if s.plog == nil {
+		return
+	}
+	plog := s.plog
+	s.plog = nil
+	snap, err := s.eng.Snapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: session %s: checkpoint snapshot: %v\n", s.ID, err)
+		plog.abandon()
+		return
+	}
+	term := terminalRecord{
+		Reason:   s.reason,
+		Events:   s.events.Load(),
+		Bytes:    s.bytes.Load(),
+		Snapshot: snap,
+	}
+	typ := recDone
+	if s.state == SessionFailed {
+		typ = recFail
+	}
+	if err := plog.finish(typ, term); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: session %s: writing checkpoint: %v\n", s.ID, err)
+		return
+	}
+	s.persisted = true
+}
+
 // Report returns the session's merged 2D-profiling report: the fixed
-// final report for a completed session, or a live snapshot merge for
+// final report for a completed session (reloaded from its WAL
+// checkpoint if it was evicted to disk), or a live snapshot merge for
 // one still in flight. Static prefilter annotation (ingest
-// ?kernel=NAME) is applied by the engine itself.
+// ?kernel=NAME) is applied by the engine itself, and re-applied from
+// the logged kernel name on the reload path.
 func (s *Session) Report() (*core.Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.lastTouch = time.Now()
 	if s.final != nil {
 		return s.final, nil
+	}
+	if s.evicted && s.store != nil {
+		rep, err := s.store.loadReport(s.ID)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reloading session %s from its log: %w", s.ID, err)
+		}
+		// Re-cache: the session is hot again until the janitor's next
+		// idle sweep.
+		s.final = rep
+		s.evicted = false
+		return rep, nil
 	}
 	if s.eng == nil {
 		return nil, fmt.Errorf("serve: session %s has no profile state", s.ID)
@@ -79,33 +238,46 @@ func (s *Session) Report() (*core.Report, error) {
 	return s.eng.Report()
 }
 
-// complete drains the engine, fixes the final report and transitions
-// to SessionDone. Returns the final report.
-func (s *Session) complete() (*core.Report, error) {
+// maybeIdle evicts a finished session's resident report once it has a
+// durable checkpoint and has not been queried for idleAfter. Returns
+// whether the session just went idle.
+func (s *Session) maybeIdle(now time.Time, idleAfter time.Duration) bool {
+	if idleAfter <= 0 {
+		return false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rep, err := s.eng.Finish()
-	if err != nil {
-		s.state = SessionFailed
-		s.reason = err.Error()
-		return nil, err
+	if s.state == SessionActive || !s.persisted || s.evicted || s.final == nil {
+		return false
 	}
-	s.final = rep
-	s.state = SessionDone
-	return rep, nil
+	if now.Sub(s.lastTouch) < idleAfter {
+		return false
+	}
+	s.final = nil
+	s.evicted = true
+	return true
 }
 
-// fail drains the engine without the final flush and records why the
-// session broke. The partial report stays queryable.
-func (s *Session) fail(reason error) {
+// maybeCompact compacts the session's log into its checkpoint once the
+// session is finished and durably checkpointed. Each log is examined at
+// most once — it is immutable after the terminal record. Returns
+// whether a rewrite actually happened.
+func (s *Session) maybeCompact(checkpointEvery int64) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.eng.Abort()
-	if rep, err := s.eng.Report(); err == nil {
-		s.final = rep
+	if s.state == SessionActive || !s.persisted || s.compacted || s.store == nil {
+		s.mu.Unlock()
+		return false
 	}
-	s.state = SessionFailed
-	s.reason = reason.Error()
+	s.compacted = true
+	st, id := s.store, s.ID
+	s.mu.Unlock()
+	// Disk work happens outside mu so report queries never wait on it.
+	did, err := st.compact(id, checkpointEvery)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: compacting session %s: %v\n", id, err)
+		return false
+	}
+	return did
 }
 
 // queueDepths reports the shard queue depths of an active session (nil
@@ -120,44 +292,112 @@ func (s *Session) queueDepths() []int {
 }
 
 // Registry tracks sessions by id, newest last. Finished sessions are
-// evicted oldest-first beyond the retention cap; active sessions never
-// are.
+// evicted oldest-first once more than the retention cap of them have
+// accumulated; active sessions never are and never count against the
+// cap.
 type Registry struct {
 	mu     sync.Mutex
 	byID   map[string]*Session
 	order  []string // insertion order, for latest-lookup and eviction
 	nextID int
 	cap    int
+
+	// Reserved, when set, reports ids that are taken outside the
+	// registry's own map — the daemon points it at the session store, so
+	// neither a generated nor a user-supplied id can collide with a
+	// session log already on disk. Set once before the registry is
+	// shared; nil means no external reservations.
+	Reserved func(id string) bool
 }
 
 // NewRegistry creates a registry retaining at most cap finished
-// sessions.
+// sessions. A non-positive cap is clamped to 1 (always retain at least
+// the most recent finished session).
 func NewRegistry(cap int) *Registry {
+	if cap <= 0 {
+		cap = 1
+	}
 	return &Registry{byID: make(map[string]*Session), cap: cap}
 }
 
-// Begin registers a new active session. An empty id is assigned
-// "s-<n>"; a duplicate id of a live registry entry is an error.
+// Begin registers a new active session. An empty id is assigned the
+// next free generated id (generation skips ids already taken by a live
+// registry entry or reserved on disk, so a client that registered
+// "s-1" itself never causes a spurious conflict); a duplicate
+// user-supplied id is an error.
 func (r *Registry) Begin(id string, eng *engine.Engine) (*Session, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if id == "" {
-		r.nextID++
-		id = fmt.Sprintf("s-%d", r.nextID)
+		for {
+			r.nextID++
+			id = fmt.Sprintf("s-%d", r.nextID)
+			if _, dup := r.byID[id]; !dup && !r.reservedLocked(id) {
+				break
+			}
+		}
+	} else {
+		if _, dup := r.byID[id]; dup {
+			return nil, fmt.Errorf("serve: session %q already exists", id)
+		}
+		if r.reservedLocked(id) {
+			return nil, fmt.Errorf("serve: session %q already exists in the session store", id)
+		}
 	}
-	if _, dup := r.byID[id]; dup {
-		return nil, fmt.Errorf("serve: session %q already exists", id)
-	}
-	s := &Session{ID: id, state: SessionActive, eng: eng}
+	s := &Session{ID: id, state: SessionActive, eng: eng, lastTouch: time.Now()}
 	r.byID[id] = s
 	r.order = append(r.order, id)
 	r.evictLocked()
 	return s, nil
 }
 
-// evictLocked drops the oldest finished sessions beyond the cap.
+func (r *Registry) reservedLocked(id string) bool {
+	return r.Reserved != nil && r.Reserved(id)
+}
+
+// Adopt registers an already-built session (crash recovery). The
+// retention cap applies to adopted sessions like any other.
+func (r *Registry) Adopt(s *Session) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[s.ID]; dup {
+		return fmt.Errorf("serve: session %q already exists", s.ID)
+	}
+	r.byID[s.ID] = s
+	r.order = append(r.order, s.ID)
+	r.evictLocked()
+	return nil
+}
+
+// Remove forgets a session (used to undo a Begin whose persistence
+// setup failed). No-op for unknown ids.
+func (r *Registry) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		return
+	}
+	delete(r.byID, id)
+	kept := r.order[:0]
+	for _, o := range r.order {
+		if o != id {
+			kept = append(kept, o)
+		}
+	}
+	r.order = kept
+}
+
+// evictLocked drops the oldest finished sessions beyond the cap. Only
+// finished sessions count against the cap: a burst of active sessions
+// must never push recent finished ones out.
 func (r *Registry) evictLocked() {
-	excess := len(r.order) - r.cap
+	finished := 0
+	for _, id := range r.order {
+		if r.byID[id].State() != SessionActive {
+			finished++
+		}
+	}
+	excess := finished - r.cap
 	if excess <= 0 {
 		return
 	}

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Server is the online 2D-profiling service.
@@ -20,14 +23,21 @@ type Server struct {
 	cfg      Config
 	metrics  *Metrics
 	registry *Registry
+	store    *Store // nil without cfg.DataDir
 
-	http     *http.Server
-	listener net.Listener
-	draining atomic.Bool
+	http        *http.Server
+	listener    net.Listener
+	draining    atomic.Bool
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	stopOnce    sync.Once
 }
 
 // NewServer validates cfg and assembles the service (not yet
-// listening).
+// listening). With cfg.DataDir set it also recovers every session
+// logged in the data directory into the registry — torn WAL tails are
+// repaired, interrupted sessions replayed and checkpointed — before
+// returning, so the daemon never serves while state is missing.
 func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -37,8 +47,58 @@ func NewServer(cfg Config) (*Server, error) {
 		metrics:  &Metrics{},
 		registry: NewRegistry(cfg.MaxSessions),
 	}
+	if cfg.DataDir != "" {
+		store, err := openStore(cfg.DataDir, cfg.Fsync, cfg.CheckpointEvery, s.metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		// On-disk logs reserve their ids even when the session is no
+		// longer (or not yet) in the registry. Begin checks its own map
+		// first, so this only fires for ids the registry does not hold.
+		s.registry.Reserved = store.Exists
+		recovered, err := store.Recover()
+		if err != nil {
+			return nil, err
+		}
+		for _, info := range recovered {
+			if err := s.registry.Adopt(info.session); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				continue
+			}
+			s.metrics.SessionsRecovered.Add(1)
+			if info.repaired {
+				s.metrics.WALRepairs.Add(1)
+			}
+		}
+	}
 	s.http = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
 	return s, nil
+}
+
+// janitor is the background lifecycle sweep: idle-evict finished
+// sessions past cfg.IdleAfter and compact finished logs past
+// cfg.CheckpointEvery, every cfg.CompactInterval.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	t := time.NewTicker(s.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			now := time.Now()
+			for _, sess := range s.registry.List() {
+				if sess.maybeCompact(s.cfg.CheckpointEvery) {
+					s.metrics.Compactions.Add(1)
+				}
+				if sess.maybeIdle(now, s.cfg.IdleAfter) {
+					s.metrics.SessionsIdled.Add(1)
+				}
+			}
+		}
+	}
 }
 
 // Handler returns the service's route table.
@@ -61,6 +121,11 @@ func (s *Server) Start() (<-chan error, error) {
 		return nil, fmt.Errorf("serve: listening on %s: %w", s.cfg.Addr, err)
 	}
 	s.listener = ln
+	if s.store != nil {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
 	errc := make(chan error, 1)
 	go func() {
 		if err := s.http.Serve(ln); err != nil && err != http.ErrServerClosed {
@@ -85,6 +150,12 @@ func (s *Server) Addr() string {
 // torn down hard.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopOnce.Do(func() {
+		if s.janitorStop != nil {
+			close(s.janitorStop)
+			<-s.janitorDone
+		}
+	})
 	if s.cfg.DrainTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
@@ -114,6 +185,18 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if id := r.URL.Query().Get("session"); id != "" {
 		session = s.registry.Get(id)
 		if session == nil {
+			// A session the registry's retention cap already dropped may
+			// still have its checkpoint on disk — the deepest tier of the
+			// lifecycle (active → idle → evicted-to-disk).
+			if s.store != nil && s.store.Exists(id) {
+				rep, err := s.store.loadReport(id)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				writeJSON(w, http.StatusOK, rep)
+				return
+			}
 			http.Error(w, fmt.Sprintf("unknown session %q", id), http.StatusNotFound)
 			return
 		}
@@ -131,11 +214,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 // sessionInfo is one /v1/sessions entry.
 type sessionInfo struct {
-	ID     string `json:"id"`
-	State  string `json:"state"`
-	Events int64  `json:"events"`
-	Bytes  int64  `json:"bytes"`
-	Error  string `json:"error,omitempty"`
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Tier      string `json:"tier,omitempty"` // active / hot / idle (durable daemons only)
+	Recovered bool   `json:"recovered,omitempty"`
+	Events    int64  `json:"events"`
+	Bytes     int64  `json:"bytes"`
+	Error     string `json:"error,omitempty"`
 }
 
 // handleSessions lists retained sessions, oldest first.
@@ -149,11 +234,22 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	for _, sess := range sessions {
 		sess.mu.Lock()
 		info := sessionInfo{
-			ID:     sess.ID,
-			State:  sess.state.String(),
-			Events: sess.events.Load(),
-			Bytes:  sess.bytes.Load(),
-			Error:  sess.reason,
+			ID:        sess.ID,
+			State:     sess.state.String(),
+			Recovered: sess.recovered,
+			Events:    sess.events.Load(),
+			Bytes:     sess.bytes.Load(),
+			Error:     sess.reason,
+		}
+		if s.store != nil {
+			switch {
+			case sess.state == SessionActive:
+				info.Tier = "active"
+			case sess.evicted:
+				info.Tier = "idle"
+			default:
+				info.Tier = "hot"
+			}
 		}
 		sess.mu.Unlock()
 		out = append(out, info)

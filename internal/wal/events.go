@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"twodprof/internal/trace"
+)
+
+// Branch-event payload codec for event records. The layout is
+//
+//	uvarint(count) takenBitmap[ceil(count/8)] uvarint(pc)*count
+//
+// — the taken bits are packed up front so the PC varints stay
+// byte-aligned, and PCs are stored as full absolute uvarints so every
+// 64-bit PC round-trips losslessly (no shift-packing of the taken bit,
+// which would drop the top PC bit).
+
+// MaxEventsPerRecord bounds the decoded event count of one payload, so
+// a corrupt count varint cannot demand an absurd allocation. Ingest
+// writes one record per decode batch (hundreds of events), far below
+// this.
+const MaxEventsPerRecord = 1 << 20
+
+// EncodeEvents appends the codec form of events to dst and returns the
+// extended slice.
+func EncodeEvents(dst []byte, events []trace.Event) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(events)))
+	bitmap := make([]byte, (len(events)+7)/8)
+	for i, ev := range events {
+		if ev.Taken {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	dst = append(dst, bitmap...)
+	for _, ev := range events {
+		dst = binary.AppendUvarint(dst, uint64(ev.PC))
+	}
+	return dst
+}
+
+// DecodeEvents parses one event payload, appending to dst. Every byte
+// of the payload must be consumed — trailing garbage means the record
+// is not an event record of this version.
+func DecodeEvents(dst []trace.Event, payload []byte) ([]trace.Event, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("wal: event record: bad count varint")
+	}
+	if count > MaxEventsPerRecord {
+		return nil, fmt.Errorf("wal: event record claims %d events (max %d)", count, MaxEventsPerRecord)
+	}
+	payload = payload[n:]
+	nbitmap := (int(count) + 7) / 8
+	if len(payload) < nbitmap {
+		return nil, fmt.Errorf("wal: event record: short taken bitmap")
+	}
+	bitmap := payload[:nbitmap]
+	payload = payload[nbitmap:]
+	for i := 0; i < int(count); i++ {
+		pc, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("wal: event record: bad pc varint at event %d", i)
+		}
+		payload = payload[n:]
+		dst = append(dst, trace.Event{
+			PC:    trace.PC(pc),
+			Taken: bitmap[i/8]&(1<<(i%8)) != 0,
+		})
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("wal: event record: %d trailing bytes", len(payload))
+	}
+	return dst, nil
+}

@@ -1,0 +1,359 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"twodprof/internal/trace"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+// writeLog creates a log at path holding recs and closes it.
+func writeLog(t *testing.T, path string, recs []Record, policy SyncPolicy) {
+	t.Helper()
+	l, err := Create(path, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := l.Append(rec.Type, rec.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Type: 1, Payload: []byte(`{"id":"s-1"}`)},
+		{Type: 2, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+		{Type: 2, Payload: nil}, // empty payload is legal
+		{Type: 3, Payload: []byte("done")},
+	}
+}
+
+func recordsEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type {
+			t.Errorf("record %d: type %d, want %d", i, got[i].Type, want[i].Type)
+		}
+		if !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Errorf("record %d: payload mismatch (%d vs %d bytes)", i, len(got[i].Payload), len(want[i].Payload))
+		}
+	}
+}
+
+func TestLogRoundtrip(t *testing.T) {
+	for _, policy := range []SyncPolicy{
+		{Mode: SyncAlways},
+		{Mode: SyncNever},
+		{Mode: SyncInterval, Interval: 10 * time.Millisecond},
+	} {
+		t.Run(policy.String(), func(t *testing.T) {
+			path := tmpLog(t)
+			want := sampleRecords()
+			writeLog(t, path, want, policy)
+
+			got, repair, err := ReadAll(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repair != nil {
+				t.Fatalf("clean log reported repair: %+v", repair)
+			}
+			recordsEqual(t, got, want)
+		})
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	path := tmpLog(t)
+	writeLog(t, path, nil, SyncPolicy{Mode: SyncNever})
+	if _, err := Create(path, SyncPolicy{Mode: SyncNever}); err == nil {
+		t.Fatal("Create over an existing log succeeded")
+	}
+}
+
+// TestTornTailRepair: a file cut mid-record loses exactly the torn
+// record; Open truncates the file and appends resume at the repaired
+// boundary.
+func TestTornTailRepair(t *testing.T) {
+	path := tmpLog(t)
+	want := sampleRecords()
+	writeLog(t, path, want, SyncPolicy{Mode: SyncNever})
+
+	// Cut three bytes off the final record's payload.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l, got, repair, err := Open(path, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repair == nil {
+		t.Fatal("torn log reported no repair")
+	}
+	if repair.Reason != "torn record" {
+		t.Errorf("repair reason %q, want torn record", repair.Reason)
+	}
+	recordsEqual(t, got, want[:len(want)-1])
+
+	// Appends must resume cleanly at the repaired boundary.
+	if err := l.Append(9, []byte("after repair")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, repair, err = ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repair != nil {
+		t.Fatalf("repaired+appended log still reports repair: %+v", repair)
+	}
+	wantAfter := append(append([]Record{}, want[:len(want)-1]...), Record{Type: 9, Payload: []byte("after repair")})
+	recordsEqual(t, got, wantAfter)
+}
+
+// TestCorruptRecordRejected: a checksum-corrupt record ends the trusted
+// prefix — it and everything after it are dropped.
+func TestCorruptRecordRejected(t *testing.T) {
+	path := tmpLog(t)
+	want := sampleRecords()
+	writeLog(t, path, want, SyncPolicy{Mode: SyncNever})
+
+	// Flip one byte inside the second record's payload. The second
+	// record starts after the header and the first record's frame.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := len(magic) + frameHeader + 1 + len(want[0].Payload) // start of record 2's frame
+	raw[off+frameHeader+10] ^= 0xFF                            // a payload byte of record 2
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, repair, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repair == nil || repair.Reason != "checksum mismatch" {
+		t.Fatalf("repair = %+v, want checksum mismatch", repair)
+	}
+	recordsEqual(t, got, want[:1])
+	if repair.Offset != int64(off) {
+		t.Errorf("repair offset %d, want %d", repair.Offset, off)
+	}
+}
+
+// TestOversizeLengthRejected: a garbage length field must not drive an
+// allocation; the scan stops at it.
+func TestOversizeLengthRejected(t *testing.T) {
+	path := tmpLog(t)
+	writeLog(t, path, sampleRecords()[:1], SyncPolicy{Mode: SyncNever})
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [frameHeader]byte
+	binary.LittleEndian.PutUint32(frame[0:4], MaxRecord+1)
+	if _, err := f.Write(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, repair, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repair == nil || repair.Reason != "oversized record" {
+		t.Fatalf("repair = %+v, want oversized record", repair)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d records, want 1", len(got))
+	}
+}
+
+func TestBadHeaderRefused(t *testing.T) {
+	path := tmpLog(t)
+	if err := os.WriteFile(path, []byte("not a wal file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(path, SyncPolicy{Mode: SyncNever}); err == nil {
+		t.Fatal("Open of a non-WAL file succeeded")
+	}
+	recs, repair, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || repair == nil || repair.Reason != "bad header" {
+		t.Fatalf("ReadAll = %d recs, repair %+v", len(recs), repair)
+	}
+}
+
+func TestRewriteCompacts(t *testing.T) {
+	path := tmpLog(t)
+	writeLog(t, path, sampleRecords(), SyncPolicy{Mode: SyncNever})
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compact := []Record{
+		{Type: 1, Payload: []byte(`{"id":"s-1"}`)},
+		{Type: 3, Payload: []byte("done")},
+	}
+	if err := Rewrite(path, compact); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
+	}
+	got, repair, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repair != nil {
+		t.Fatalf("rewritten log reports repair: %+v", repair)
+	}
+	recordsEqual(t, got, compact)
+
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after rewrite, want 1", len(entries))
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    SyncPolicy
+		wantErr bool
+	}{
+		{in: "always", want: SyncPolicy{Mode: SyncAlways}},
+		{in: "never", want: SyncPolicy{Mode: SyncNever}},
+		{in: "interval", want: SyncPolicy{Mode: SyncInterval, Interval: DefaultSyncInterval}},
+		{in: "250ms", want: SyncPolicy{Mode: SyncInterval, Interval: 250 * time.Millisecond}},
+		{in: "bogus", wantErr: true},
+		{in: "-5s", wantErr: true},
+		{in: "0s", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseSyncPolicy(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseSyncPolicy(%q): no error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSyncPolicy(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSyncPolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestIntervalFlusherSyncs: with an interval policy, appended data
+// reaches the file (visible to an independent reader) without Close.
+func TestIntervalFlusherSyncs(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Create(path, SyncPolicy{Mode: SyncInterval, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		recs, _, err := ReadAll(path)
+		if err == nil && len(recs) == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("interval flusher never made the record visible (recs=%d err=%v)", len(recs), err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestEventsCodecRoundtrip(t *testing.T) {
+	cases := [][]trace.Event{
+		nil,
+		{{PC: 0, Taken: false}},
+		{{PC: 1, Taken: true}, {PC: 2, Taken: false}, {PC: 3, Taken: true}},
+		{{PC: 1<<64 - 1, Taken: true}, {PC: 1 << 63, Taken: false}}, // full 64-bit PCs survive
+	}
+	// A 1000-event mixed batch crossing several bitmap bytes.
+	var big []trace.Event
+	for i := 0; i < 1000; i++ {
+		big = append(big, trace.Event{PC: trace.PC(i * 7), Taken: i%3 == 0})
+	}
+	cases = append(cases, big)
+
+	for i, events := range cases {
+		payload := EncodeEvents(nil, events)
+		got, err := DecodeEvents(nil, payload)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("case %d: %d events, want %d", i, len(got), len(events))
+		}
+		for j := range events {
+			if got[j] != events[j] {
+				t.Fatalf("case %d event %d: %+v, want %+v", i, j, got[j], events[j])
+			}
+		}
+	}
+}
+
+func TestDecodeEventsRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                       // missing count
+		{0x80},                   // truncated count varint
+		{0x05},                   // count without bitmap
+		{0x02, 0x00},             // bitmap but no pcs
+		{0x01, 0x00, 0x00, 0x00}, // trailing bytes
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, // absurd count
+	}
+	for i, payload := range cases {
+		if _, err := DecodeEvents(nil, payload); err == nil {
+			t.Errorf("case %d: DecodeEvents accepted garbage %x", i, payload)
+		}
+	}
+}
