@@ -6,7 +6,9 @@
 #   make race            race-detector pass over the concurrent subsystems
 #   make fuzz-seeds      run the fuzz corpora as regular regression tests
 #   make e2e-crash       kill-9 crash-recovery drill against the durable daemon
+#   make e2e-cluster     kill-9 node-failure drill + 10k-session load storm through the router
 #   make bench-engine    old-vs-new guard for the internal/engine core (results/BENCH_engine.json)
+#   make bench-wire      binary-protocol vs HTTP+gzip ingest guard (results/BENCH_wire.json)
 #   make bench-parallel  record engine/profiler benchmarks in results/BENCH_parallel.json
 #   make bench-serve     record ingest throughput scaling in results/BENCH_serve.json
 #   make bench-replay    record trace replay throughput in results/BENCH_replay.json
@@ -14,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds e2e-crash verify bench-engine bench-parallel bench-serve bench-replay results
+.PHONY: all build vet lint test race fuzz-seeds e2e-crash e2e-cluster verify bench-engine bench-wire bench-parallel bench-serve bench-replay results
 
 all: verify
 
@@ -49,13 +51,13 @@ test:
 # TestRunManyParallelMatchesSerial, TestIngestHammer,
 # TestParallelReplayHammer, ...) all run in -short mode.
 race:
-	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core ./internal/engine ./internal/serve ./internal/trace ./internal/replay
+	$(GO) test -race -short ./internal/oracle ./internal/exp ./internal/core ./internal/engine ./internal/serve ./internal/trace ./internal/replay ./internal/wire ./internal/cluster
 
 # Fuzz targets run their seed corpora as plain tests — a cheap
 # regression net over the decoders and analyses without a fuzzing
 # session.
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/trace ./internal/vm ./internal/asmcheck ./internal/wal
+	$(GO) test -run 'Fuzz' ./internal/trace ./internal/vm ./internal/asmcheck ./internal/wal ./internal/wire
 
 # The crash-recovery drill re-execs the serve test binary as a durable
 # daemon, kills it with SIGKILL (mid-stream and post-completion) and
@@ -64,13 +66,30 @@ fuzz-seeds:
 e2e-crash:
 	$(GO) test -run 'TestCrashRecovery' -count=1 ./internal/serve
 
-verify: build lint test race fuzz-seeds e2e-crash bench-engine
+# The cluster resilience drill: SIGKILL one of three node processes
+# while sessions stream through the router (only the dead node's
+# sessions fail, mark-down within the heartbeat budget), then a
+# 10k-concurrent-session storm through a freshly spawned multi-process
+# cluster asserting routed reports byte-identical to a single node and
+# a flat router heap.
+e2e-cluster:
+	$(GO) test -run 'TestKillNodeMidStream' -count=1 ./internal/cluster
+	$(GO) run ./cmd/loadgen -selftest -sessions 10000
+
+verify: build lint test race fuzz-seeds e2e-crash e2e-cluster bench-engine bench-wire
 
 # bench-engine is part of `make verify`: it re-measures the unified
 # sharded core against the plain sequential profiler and fails on a
 # throughput regression or a report mismatch.
 bench-engine:
 	$(GO) run ./tools/benchengine -o results/BENCH_engine.json
+
+# bench-wire is part of `make verify`: it measures binary-protocol
+# ingest against HTTP (plain and gzip) into the same server and fails
+# if the wire transport drops below its floor against HTTP+gzip or any
+# transport's report diverges.
+bench-wire:
+	$(GO) run ./tools/benchwire -o results/BENCH_wire.json
 
 bench-parallel:
 	$(GO) run ./tools/benchpar -o results/BENCH_parallel.json

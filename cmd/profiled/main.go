@@ -42,6 +42,8 @@ func main() {
 	cfg := serve.DefaultConfig()
 	var (
 		addr    = flag.String("addr", cfg.Addr, "listen address")
+		wireA   = flag.String("wire-addr", "", "binary wire-protocol listen address (empty = disabled)")
+		maxAct  = flag.Int("max-active", 0, "cap on concurrently streaming sessions; excess is shed with 429 (0 = unlimited)")
 		workers = engine.AddWorkersFlag(flag.CommandLine, cfg.Shards,
 			"profiler shard workers per session (0 = all CPUs)", "shards")
 		batch   = flag.Int("batch", cfg.BatchSize, "events per shard batch")
@@ -61,6 +63,8 @@ func main() {
 	flag.Parse()
 
 	cfg.Addr = *addr
+	cfg.WireAddr = *wireA
+	cfg.MaxActive = *maxAct
 	cfg.Shards = engine.ResolveWorkers(*workers)
 	cfg.BatchSize = *batch
 	cfg.QueueDepth = *queue
@@ -99,8 +103,12 @@ func main() {
 	if cfg.DataDir != "" {
 		durable = fmt.Sprintf("durable sessions in %s (fsync %s)", cfg.DataDir, cfg.Fsync)
 	}
+	fronts := srv.Addr()
+	if cfg.WireAddr != "" {
+		fronts += ", wire " + srv.WireAddr()
+	}
 	fmt.Printf("profiled: listening on %s (%d shards, %s metric, %s)\n",
-		srv.Addr(), cfg.Shards, cfg.Profile.Metric, durable)
+		fronts, cfg.Shards, cfg.Profile.Metric, durable)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,120 @@
+// Command profrouter fronts a cluster of profiled nodes. It
+// consistent-hashes session ids across the member set, proxies both
+// ingest fronts (HTTP and the binary wire protocol) to the owning
+// node, tracks node health with an active heartbeat, and reassembles
+// cluster-wide views by scatter-gather (DESIGN.md §3g).
+//
+// Usage:
+//
+//	profiled -addr :8377 -wire-addr :8378 &
+//	profiled -addr :8379 -wire-addr :8380 &
+//	profrouter -addr :8080 -wire-addr :8081 \
+//	    -nodes n1=127.0.0.1:8377/127.0.0.1:8378,n2=127.0.0.1:8379/127.0.0.1:8380
+//	tracegen gen -kernel lzchain -input train -post http://localhost:8080/v1/ingest
+//	curl localhost:8080/v1/report?session=ID | jq .
+//
+// Each -nodes entry is name=httpAddr/wireAddr; the wire address may be
+// omitted (name=httpAddr) when the node runs HTTP-only.
+//
+// Endpoints mirror profiled's: /v1/ingest, /v1/report (?session
+// proxied verbatim from the owning node, ?group scatter-gathered and
+// merged), /v1/sessions, /healthz/live, /healthz/ready, /metrics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"twodprof/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "router HTTP listen address")
+		wireAddr = flag.String("wire-addr", "", "router binary wire-protocol listen address (empty = disabled)")
+		nodes    = flag.String("nodes", "", "comma-separated members, each name=httpAddr/wireAddr")
+		hb       = flag.Duration("heartbeat", cluster.DefaultHeartbeat, "node health-probe cadence")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
+		quota    = flag.Int("tenant-quota", 0, "max concurrently streaming sessions per tenant (0 = unlimited)")
+		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain deadline")
+	)
+	flag.Parse()
+
+	members, err := parseNodes(*nodes)
+	if err != nil {
+		fail(err)
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Addr:        *addr,
+		WireAddr:    *wireAddr,
+		Nodes:       members,
+		Heartbeat:   *hb,
+		VNodes:      *vnodes,
+		TenantQuota: *quota,
+	})
+	if err != nil {
+		fail(err)
+	}
+	errc, err := rt.Start()
+	if err != nil {
+		fail(err)
+	}
+	fronts := rt.Addr()
+	if *wireAddr != "" {
+		fronts += ", wire " + rt.WireAddr()
+	}
+	fmt.Printf("profrouter: listening on %s (%d nodes, heartbeat %s)\n",
+		fronts, len(members), *hb)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "profrouter: draining (deadline %s)\n", *drainTO)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := rt.Shutdown(shutCtx); err != nil {
+			fail(fmt.Errorf("shutdown: %w", err))
+		}
+	case err := <-errc:
+		if err != nil {
+			fail(err)
+		}
+	}
+}
+
+// parseNodes decodes the -nodes flag: comma-separated entries of
+// name=httpAddr/wireAddr (the /wireAddr part optional).
+func parseNodes(spec string) ([]cluster.Node, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-nodes is required (name=httpAddr/wireAddr,...)")
+	}
+	var members []cluster.Node
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, addrs, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || addrs == "" {
+			return nil, fmt.Errorf("bad -nodes entry %q (want name=httpAddr/wireAddr)", entry)
+		}
+		httpAddr, wireAddr, _ := strings.Cut(addrs, "/")
+		if httpAddr == "" {
+			return nil, fmt.Errorf("bad -nodes entry %q: empty HTTP address", entry)
+		}
+		members = append(members, cluster.Node{Name: name, HTTPAddr: httpAddr, WireAddr: wireAddr})
+	}
+	return members, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "profrouter:", err)
+	os.Exit(1)
+}

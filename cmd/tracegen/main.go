@@ -11,12 +11,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"twodprof/internal/bpred"
 	"twodprof/internal/progs"
@@ -71,20 +75,15 @@ func source(benchName, kernel, input string) (trace.Source, error) {
 	}
 }
 
-// postResult carries the daemon's response to a streamed ingest.
-type postResult struct {
-	status int
-	body   string
-	err    error
-}
-
 func cmdGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	benchName := fs.String("bench", "", "synthetic benchmark name")
 	kernel := fs.String("kernel", "", "VM kernel name (typesum, lzchain, bsearch, inssort, fsm)")
 	input := fs.String("input", "train", "input set name")
 	out := fs.String("o", "", "output trace file")
-	post := fs.String("post", "", "stream the trace to a profiled daemon's ingest URL (e.g. http://localhost:8377/v1/ingest) instead of, or as well as, -o")
+	post := fs.String("post", "", "post the trace to a profiled daemon's (or router's) ingest URL (e.g. http://localhost:8377/v1/ingest) instead of, or as well as, -o")
+	retries := fs.Int("retries", 4, "retry a failed -post this many times on 429/5xx or connection errors")
+	retryBase := fs.Duration("retry-base", 250*time.Millisecond, "first -post retry delay; doubles per attempt with jitter, Retry-After overrides")
 	format := fs.String("format", "btr1", "trace format: btr1 (flat stream) or btr2 (chunked, parallel-replayable)")
 	chunk := fs.Int("chunk", 0, "btr2 events per chunk (0 = default)")
 	compress := fs.Bool("z", false, "compress the trace (btr1: gzip wrapper; btr2: per-chunk deflate, still seekable)")
@@ -106,26 +105,13 @@ func cmdGen(args []string) {
 		defer f.Close()
 		writers = append(writers, f)
 	}
-	var pw *io.PipeWriter
-	var respc chan postResult
+	// The encoded trace is buffered so a shed or failed post can be
+	// retried with an identical body (a streamed request body is gone
+	// once the daemon 429s it).
+	var buf *bytes.Buffer
 	if *post != "" {
-		var pr *io.PipeReader
-		pr, pw = io.Pipe()
-		respc = make(chan postResult, 1)
-		// The trace is streamed straight into the request body as it is
-		// generated — no temp file, bounded memory at any trace size.
-		go func() {
-			resp, err := http.Post(*post, "application/octet-stream", pr)
-			if err != nil {
-				pr.CloseWithError(err)
-				respc <- postResult{err: err}
-				return
-			}
-			defer resp.Body.Close()
-			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-			respc <- postResult{status: resp.StatusCode, body: string(body)}
-		}()
-		writers = append(writers, pw)
+		buf = &bytes.Buffer{}
+		writers = append(writers, buf)
 	}
 
 	w := writers[0]
@@ -170,19 +156,66 @@ func cmdGen(args []string) {
 	if *out != "" {
 		fmt.Printf("wrote %d branch events to %s\n", n, *out)
 	}
-	if pw != nil {
-		pw.Close() // EOF to the daemon: the session is complete
-		res := <-respc
-		if res.err != nil {
-			fail(fmt.Errorf("gen: posting to %s: %w", *post, res.err))
+	if buf != nil {
+		status, body, err := postWithRetry(*post, buf.Bytes(), *retries, *retryBase)
+		if err != nil {
+			fail(fmt.Errorf("gen: posting to %s: %w", *post, err))
 		}
-		fmt.Printf("posted %d branch events to %s (HTTP %d)\n%s", n, *post, res.status, res.body)
-		if res.status != http.StatusOK {
-			if !strings.HasSuffix(res.body, "\n") {
+		fmt.Printf("posted %d branch events to %s (HTTP %d)\n%s", n, *post, status, body)
+		if status != http.StatusOK {
+			if !strings.HasSuffix(body, "\n") {
 				fmt.Println()
 			}
 			os.Exit(1)
 		}
+	}
+}
+
+// postWithRetry posts the trace, retrying shed (429) and transient
+// (5xx, connection-error) failures up to retries times with
+// exponentially growing, jittered delays. A Retry-After header from
+// the daemon overrides the computed backoff — that is the load-shed
+// contract: the server names the earliest useful retry time.
+func postWithRetry(url string, body []byte, retries int, base time.Duration) (status int, respBody string, err error) {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	const maxDelay = 15 * time.Second
+	for attempt := 0; ; attempt++ {
+		var retryAfter time.Duration
+		resp, postErr := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+		gotResponse := postErr == nil
+		if gotResponse {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			status, respBody = resp.StatusCode, string(raw)
+			if status != http.StatusTooManyRequests && status < 500 {
+				return status, respBody, nil
+			}
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+			postErr = fmt.Errorf("HTTP %d", status)
+		}
+		if attempt >= retries {
+			if gotResponse {
+				return status, respBody, nil // exhausted: report the last response as-is
+			}
+			return 0, "", postErr
+		}
+		// Full jitter over an exponentially growing window desynchronises
+		// a fleet of generators all shed at the same instant.
+		delay := base << attempt
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+		delay = time.Duration(rand.Int63n(int64(delay))) + delay/2
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: post attempt %d/%d failed (%v), retrying in %s\n",
+			attempt+1, retries+1, postErr, delay.Round(time.Millisecond))
+		time.Sleep(delay)
 	}
 }
 

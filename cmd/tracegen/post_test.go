@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The retry loop must resend an identical body after a shed (the
+// daemon never saw a usable stream), honour Retry-After, and give up
+// cleanly once the budget is spent.
+func TestPostRetriesShedThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	var lastBody atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		lastBody.Store(string(body))
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	status, body, err := postWithRetry(srv.URL, []byte("payload"), 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || body != "ok" {
+		t.Fatalf("got %d %q after retries", status, body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d posts, want 3 (2 sheds + 1 success)", got)
+	}
+	if got := lastBody.Load(); got != "payload" {
+		t.Fatalf("retried body %q is not the original", got)
+	}
+}
+
+func TestPostRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	status, _, err := postWithRetry(srv.URL, []byte("x"), 2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("final status %d, want 503 reported as-is", status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d posts, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// Client-side errors are terminal: a 400 means the request itself is
+// wrong and resending the same bytes cannot help.
+func TestPostDoesNotRetryBadRequest(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	status, _, err := postWithRetry(srv.URL, []byte("x"), 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", status)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d posts, want 1 (no retry on 4xx)", got)
+	}
+}

@@ -1,0 +1,121 @@
+// Package cluster scales the profiling service out across machines: a
+// stateless router consistent-hashes session ids onto profiled nodes,
+// proxies both ingest fronts (HTTP and the binary wire protocol) to
+// the owning node, tracks node health with an active heartbeat, and
+// reassembles cluster-wide views — /v1/report, /v1/sessions — by
+// scatter-gather over the node set (DESIGN.md §3g).
+//
+// The router holds no profiling state. Every session lives entirely on
+// the node the ring assigns it, so a session's /v1/report through the
+// router is the owning node's response proxied verbatim — byte-
+// identical to querying the node, and therefore (per the serve and
+// engine identity guarantees) to the offline profiler over the same
+// stream. Group aggregation is the one place the router computes: it
+// gathers per-node group snapshots and merges them with
+// core.MergeSnapshots, which enforces the collector-group contract
+// (identical config and predictor, PC-disjoint branch sets).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVNodes is the virtual-node multiplier of the hash ring. 64
+// points per node keeps the assignment spread within a few percent of
+// uniform for small clusters while keeping ring construction trivial.
+const defaultVNodes = 64
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring consistent-hashes string keys (session ids) onto node names.
+// The ring itself is immutable after construction; liveness is layered
+// on at lookup time via the caller's up predicate, so a down node's
+// keys spill to the next point clockwise and return to it verbatim
+// when it rejoins.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+// NewRing builds a ring with vnodes virtual points per node (<= 0
+// takes the default).
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for _, n := range nodes {
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(fmt.Sprintf("%s#%d", n, v)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on name so construction order never matters.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the member names in construction order.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner maps a key to its owning node, walking clockwise from the
+// key's hash and skipping nodes the up predicate rejects (nil means
+// everything is up). ok is false when every node is down.
+func (r *Ring) Owner(key string, up func(node string) bool) (node string, ok bool) {
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	tried := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if tried[p.node] {
+			continue
+		}
+		if up == nil || up(p.node) {
+			return p.node, true
+		}
+		if tried[p.node] = true; len(tried) == len(r.nodes) {
+			break
+		}
+	}
+	return "", false
+}
+
+// ringHash is FNV-1a 64 with a splitmix64-style finalizer:
+// deterministic across processes (the router is stateless — two
+// routers in front of the same node set must agree on every
+// assignment), and the finalizer scatters the short, similar ids
+// ("s-1", "s-2", "n1#0") whose raw FNV hashes cluster badly enough to
+// starve whole nodes.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

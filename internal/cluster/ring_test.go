@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		oa, _ := a.Owner(key, nil)
+		ob, _ := b.Owner(key, nil)
+		if oa != ob {
+			t.Fatalf("key %s: construction order changed the owner (%s vs %s)", key, oa, ob)
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		owner, ok := r.Owner(fmt.Sprintf("s-%d", i), nil)
+		if !ok {
+			t.Fatal("no owner with all nodes up")
+		}
+		counts[owner]++
+	}
+	for _, n := range r.Nodes() {
+		if counts[n] < 300 {
+			t.Fatalf("node %s owns only %d of 3000 keys — spread collapsed: %v", n, counts[n], counts)
+		}
+	}
+}
+
+// TestRingFailoverAndRejoin pins the consistency property the session
+// routing rests on: marking a node down moves only its keys (the rest
+// keep their owner), and a rejoin restores the original assignment
+// verbatim.
+func TestRingFailoverAndRejoin(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		before[key], _ = r.Owner(key, nil)
+	}
+
+	down := func(node string) bool { return node != "n2" }
+	moved := 0
+	for key, owner := range before {
+		got, ok := r.Owner(key, down)
+		if !ok {
+			t.Fatalf("key %s: no owner with one node down", key)
+		}
+		if got == "n2" {
+			t.Fatalf("key %s still routed to the down node", key)
+		}
+		if owner == "n2" {
+			moved++
+		} else if got != owner {
+			t.Fatalf("key %s moved from %s to %s although its owner stayed up", key, owner, got)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by n2 — test is vacuous")
+	}
+
+	for key, owner := range before {
+		if got, _ := r.Owner(key, nil); got != owner {
+			t.Fatalf("key %s did not return to %s after rejoin (got %s)", key, owner, got)
+		}
+	}
+}
+
+func TestRingAllDown(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Owner("s-1", func(string) bool { return false }); ok {
+		t.Fatal("owner reported with every node down")
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}

@@ -12,12 +12,14 @@ import (
 
 	"twodprof/internal/asmcheck"
 	"twodprof/internal/bpred"
+	"twodprof/internal/cluster"
 	"twodprof/internal/core"
 	"twodprof/internal/engine"
 	"twodprof/internal/progs"
 	"twodprof/internal/replay"
 	"twodprof/internal/serve"
 	"twodprof/internal/trace"
+	"twodprof/internal/wire"
 )
 
 // matrixConfig is the shared profiling setup of the cross-path matrix:
@@ -142,10 +144,116 @@ func daemonReport(t testing.TB, cfg core.Config, shards int, raw []byte, query s
 	return body
 }
 
+// clusterReports ingests the same stream three ways through a
+// three-node cluster behind a router — BTR1 over router HTTP, BTR2
+// over router HTTP, and raw events over the router's binary wire
+// front — and returns each routed /v1/report body. Each session id
+// hashes to whatever node the ring picks; the router must still serve
+// the same bytes a lone daemon would.
+func clusterReports(t testing.TB, cfg core.Config, btr1, btr2 []byte, events []trace.Event, query string) map[string][]byte {
+	t.Helper()
+	members := make([]cluster.Node, 3)
+	for i := range members {
+		scfg := serve.DefaultConfig()
+		scfg.Addr = "127.0.0.1:0"
+		scfg.WireAddr = "127.0.0.1:0"
+		scfg.Shards = 2
+		scfg.Predictor = matrixPredictor
+		scfg.Profile = cfg
+		scfg.DrainTimeout = 5 * time.Second
+		srv, err := serve.NewServer(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		members[i] = cluster.Node{
+			Name:     fmt.Sprintf("n%d", i+1),
+			HTTPAddr: srv.Addr(),
+			WireAddr: srv.WireAddr(),
+		}
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Addr:     "127.0.0.1:0",
+		WireAddr: "127.0.0.1:0",
+		Nodes:    members,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	}()
+
+	fetch := func(id string) []byte {
+		resp, err := http.Get("http://" + rt.Addr() + "/v1/report?session=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed report %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		return body
+	}
+	out := make(map[string][]byte, 3)
+	for name, raw := range map[string][]byte{"btr1": btr1, "btr2": btr2} {
+		id := "cm-" + name
+		url := "http://" + rt.Addr() + "/v1/ingest?session=" + id + query
+		resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed ingest %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		out[name] = fetch(id)
+	}
+
+	c, err := wire.Dial(rt.WireAddr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	params := wire.BeginParams{ID: "cm-wire"}
+	if cfg.Metric == core.MetricBias {
+		params.Metric = "bias"
+	}
+	sess, err := c.Begin(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Send(events); err != nil {
+		t.Fatal(err)
+	}
+	if sum, err := sess.End(); err != nil {
+		t.Fatal(err)
+	} else if sum.State != "done" {
+		t.Fatalf("wire session ended %q: %s", sum.State, sum.Error)
+	}
+	out["wire"] = fetch("cm-wire")
+	return out
+}
+
 // TestCrossPathIdentityMatrix is the PR's central claim: for every
 // kernel × metric combination, every way events can reach a profiler —
 // live VM run through the engine, sequential BTR1 replay, parallel
-// BTR2 replay at several worker counts, and daemon HTTP ingest —
+// BTR2 replay at several worker counts, daemon HTTP ingest, and
+// routed ingest through a three-node cluster (HTTP and binary wire) —
 // produces a byte-identical report, equal to a plain unsharded
 // sequential profiler over the same events.
 func TestCrossPathIdentityMatrix(t *testing.T) {
@@ -211,6 +319,12 @@ func TestCrossPathIdentityMatrix(t *testing.T) {
 			}
 			check("daemon/btr1", daemonReport(t, cfg, 4, btr1, query))
 			check("daemon/btr2", daemonReport(t, cfg, 4, btr2, query))
+
+			// Cluster column: the same streams through a 3-node cluster
+			// behind the router, over HTTP and the binary wire protocol.
+			for name, got := range clusterReports(t, cfg, btr1, btr2, events, query) {
+				check("cluster/"+name, got)
+			}
 		}
 	}
 }

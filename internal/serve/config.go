@@ -29,8 +29,20 @@ import (
 
 // Config holds every knob of the profiling service.
 type Config struct {
-	// Addr is the listen address of the daemon (host:port).
+	// Addr is the HTTP listen address of the daemon (host:port).
 	Addr string
+	// WireAddr, when non-empty, additionally serves the compact binary
+	// ingest protocol (internal/wire) on this TCP address: multiplexed
+	// session streams with credit-based flow control, the transport the
+	// cluster router uses. Empty disables the wire listener.
+	WireAddr string
+	// MaxActive caps concurrently streaming sessions across both ingest
+	// fronts. At the cap new sessions are shed — HTTP ingest answers
+	// 429 with a Retry-After, wire begins are refused with
+	// CodeUnavailable — and readiness (/healthz/ready) reports
+	// not-ready so the router routes around the node. <= 0 means
+	// unlimited.
+	MaxActive int
 	// Shards is the number of profiler workers events are fanned across
 	// (sharded by branch-PC hash). Report output is identical at any
 	// value; only throughput changes.

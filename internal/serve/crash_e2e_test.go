@@ -124,13 +124,13 @@ func (d *crashDaemon) get(path string) (int, []byte) {
 	return resp.StatusCode, body
 }
 
-func (d *crashDaemon) sessions() []sessionInfo {
+func (d *crashDaemon) sessions() []SessionInfo {
 	d.t.Helper()
 	code, body := d.get("/v1/sessions")
 	if code != 200 {
 		d.t.Fatalf("/v1/sessions: %d: %s", code, body)
 	}
-	var infos []sessionInfo
+	var infos []SessionInfo
 	if err := json.Unmarshal(body, &infos); err != nil {
 		d.t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -26,6 +27,10 @@ const maxRequestShards = 128
 // maxSessionID caps client-chosen session ids — they become WAL file
 // names (escaped), and filesystems cap name components at 255 bytes.
 const maxSessionID = 64
+
+// shedRetryAfter is the Retry-After clients are told when the daemon
+// sheds their session at the MaxActive cap.
+const shedRetryAfter = time.Second
 
 // bodyReader meters a request body and re-arms the per-read deadline so
 // a stalled client cannot pin a session forever.
@@ -51,42 +56,68 @@ func (b *bodyReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// sessionConfig resolves the per-request profiling overrides against
-// the server defaults.
-func (s *Server) sessionConfig(r *http.Request) (cfg core.Config, predictor string, shards int, err error) {
-	q := r.URL.Query()
-	cfg = s.cfg.Profile
-	predictor = s.cfg.Predictor
-	shards = s.cfg.Shards
+// ingestParams are one session's resolved-from-the-request overrides,
+// the shared shape behind both ingest fronts: the HTTP query string
+// (paramsFromQuery) and a wire begin message (wire_ingest.go).
+type ingestParams struct {
+	ID        string
+	Tenant    string
+	Group     string
+	Metric    string // "" keeps the server default
+	Predictor string // "" keeps the server default
+	SliceSize int64  // <= 0 keeps the server default
+	Shards    int    // <= 0 keeps the server default
+	Kernel    string
+}
 
-	if v := q.Get("metric"); v != "" {
-		switch v {
-		case "accuracy":
-			cfg.Metric = core.MetricAccuracy
-		case "bias":
-			cfg.Metric = core.MetricBias
-		default:
-			return cfg, "", 0, fmt.Errorf("unknown metric %q (want accuracy or bias)", v)
-		}
-	}
-	if v := q.Get("predictor"); v != "" {
-		predictor = v
+// paramsFromQuery parses the ingest overrides out of an HTTP query.
+func paramsFromQuery(q url.Values) (ingestParams, error) {
+	p := ingestParams{
+		ID:        q.Get("session"),
+		Tenant:    q.Get("tenant"),
+		Group:     q.Get("group"),
+		Metric:    q.Get("metric"),
+		Predictor: q.Get("predictor"),
+		Kernel:    q.Get("kernel"),
 	}
 	if v := q.Get("slice"); v != "" {
-		n, perr := strconv.ParseInt(v, 10, 64)
-		if perr != nil || n <= 0 {
-			return cfg, "", 0, fmt.Errorf("bad slice %q (want a positive integer)", v)
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			return p, fmt.Errorf("bad slice %q (want a positive integer)", v)
 		}
-		cfg.SliceSize = n
+		p.SliceSize = n
 	}
 	if v := q.Get("shards"); v != "" {
-		n, perr := strconv.Atoi(v)
-		if perr != nil || n <= 0 || n > maxRequestShards {
-			return cfg, "", 0, fmt.Errorf("bad shards %q (want 1..%d)", v, maxRequestShards)
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 || n > maxRequestShards {
+			return p, fmt.Errorf("bad shards %q (want 1..%d)", v, maxRequestShards)
 		}
-		shards = n
+		p.Shards = n
 	}
-	return cfg, predictor, shards, cfg.Validate()
+	return p, nil
+}
+
+// ingestError is a typed session-setup refusal, carrying enough for
+// either front to speak its native tongue: the HTTP status (plus
+// Retry-After for 429/503) maps one-to-one onto wire error codes.
+type ingestError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *ingestError) Error() string { return e.msg }
+
+// write renders the refusal as an HTTP response.
+func (e *ingestError) write(w http.ResponseWriter) {
+	if e.retryAfter > 0 {
+		secs := int(e.retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	http.Error(w, e.msg, e.status)
 }
 
 // ingestSummary is the JSON response of a completed (or failed) ingest.
@@ -102,6 +133,193 @@ type ingestSummary struct {
 	Error          string  `json:"error,omitempty"`
 }
 
+// ingestRun is one admitted session's streaming state, owned by a
+// single goroutine (the HTTP handler or the wire stream goroutine):
+// the decoded-event path into the WAL and the engine, the counter
+// folding, and the single-shot terminal transitions.
+type ingestRun struct {
+	s       *Server
+	session *Session
+	eng     *engine.Engine
+	local   int64
+	done    bool
+}
+
+// beginSession admits one session: the load-shedding gate, override
+// resolution, engine construction, registry and (durable daemons) WAL
+// setup. Both ingest fronts call it; a non-nil ingestError says why
+// the session was refused. Draining is not checked here — the HTTP
+// front inherits http.Shutdown's no-new-connections semantics, and the
+// wire front (whose pooled connections outlive Shutdown) gates begins
+// itself.
+func (s *Server) beginSession(p ingestParams) (*ingestRun, *ingestError) {
+	if s.cfg.MaxActive > 0 && s.metrics.ActiveSessions.Load() >= int64(s.cfg.MaxActive) {
+		s.metrics.Shed.Add(1)
+		return nil, &ingestError{
+			status: http.StatusTooManyRequests, retryAfter: shedRetryAfter,
+			msg: fmt.Sprintf("at capacity (%d active sessions)", s.cfg.MaxActive),
+		}
+	}
+
+	cfg := s.cfg.Profile
+	predictor := s.cfg.Predictor
+	shards := s.cfg.Shards
+	switch p.Metric {
+	case "":
+	case "accuracy":
+		cfg.Metric = core.MetricAccuracy
+	case "bias":
+		cfg.Metric = core.MetricBias
+	default:
+		return nil, &ingestError{status: http.StatusBadRequest,
+			msg: fmt.Sprintf("unknown metric %q (want accuracy or bias)", p.Metric)}
+	}
+	if p.Predictor != "" {
+		predictor = p.Predictor
+	}
+	if p.SliceSize > 0 {
+		cfg.SliceSize = p.SliceSize
+	}
+	if p.Shards > 0 {
+		if p.Shards > maxRequestShards {
+			return nil, &ingestError{status: http.StatusBadRequest,
+				msg: fmt.Sprintf("bad shards %d (want 1..%d)", p.Shards, maxRequestShards)}
+		}
+		shards = p.Shards
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, &ingestError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+
+	// Kernel names the bundled program that produced the stream; its
+	// asmcheck verdicts become the report's static prefilter column.
+	// Without it the report is unannotated (a raw trace carries no
+	// program identity).
+	var static map[trace.PC]string
+	if p.Kernel != "" {
+		k, ok := progs.KernelByName(p.Kernel)
+		if !ok {
+			return nil, &ingestError{status: http.StatusBadRequest,
+				msg: fmt.Sprintf("unknown kernel %q", p.Kernel)}
+		}
+		static = asmcheck.StaticClasses(k.Prog)
+	}
+	if len(p.ID) > maxSessionID {
+		return nil, &ingestError{status: http.StatusBadRequest,
+			msg: fmt.Sprintf("session id longer than %d bytes", maxSessionID)}
+	}
+	eng, err := engine.New(cfg, engine.Options{
+		Workers:    shards,
+		BatchSize:  s.cfg.BatchSize,
+		QueueDepth: s.cfg.QueueDepth,
+		Predictor:  predictor,
+		Static:     static,
+		OnSlice:    func() { s.metrics.Slices.Add(1) },
+	})
+	if err != nil {
+		return nil, &ingestError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+
+	session, err := s.registry.Begin(p.ID, eng)
+	if err != nil {
+		eng.Abort()
+		return nil, &ingestError{status: http.StatusConflict, msg: err.Error()}
+	}
+	session.Group = p.Group
+	if s.store != nil {
+		// Durable mode: open the session's write-ahead log before any
+		// event flows; decoded batches are teed into it ahead of the
+		// in-memory engine.
+		plog, perr := s.store.Create(sessionMeta{
+			ID:        session.ID,
+			Group:     p.Group,
+			Profile:   cfg,
+			Predictor: predictor,
+			Shards:    shards,
+			Kernel:    p.Kernel,
+		})
+		if perr != nil {
+			s.registry.Remove(session.ID)
+			eng.Abort()
+			return nil, &ingestError{status: http.StatusInternalServerError,
+				msg: fmt.Sprintf("opening session log: %v", perr)}
+		}
+		session.enablePersist(plog, s.store, p.Kernel, static)
+	}
+	s.metrics.SessionsTotal.Add(1)
+	s.metrics.ActiveSessions.Add(1)
+	return &ingestRun{s: s, session: session, eng: eng}, nil
+}
+
+// events applies one decoded batch: WAL first, engine second, counters
+// folded every ingestFlushEvery events.
+func (ir *ingestRun) events(events []trace.Event) error {
+	if err := ir.session.logEvents(events); err != nil {
+		return fmt.Errorf("writing session log: %w", err)
+	}
+	ir.eng.BranchBatch(events)
+	if ir.local += int64(len(events)); ir.local >= ingestFlushEvery {
+		ir.flushCounters()
+	}
+	return nil
+}
+
+// flushCounters folds the local event count into the shared atomics.
+func (ir *ingestRun) flushCounters() {
+	ir.session.events.Add(ir.local)
+	ir.s.metrics.Events.Add(ir.local)
+	ir.local = 0
+}
+
+// finish retires the run from the active-session gauge exactly once.
+func (ir *ingestRun) finish() {
+	if !ir.done {
+		ir.done = true
+		ir.s.metrics.ActiveSessions.Add(-1)
+	}
+}
+
+// complete fixes the session's final report and returns the terminal
+// summary.
+func (ir *ingestRun) complete() (ingestSummary, error) {
+	ir.flushCounters()
+	defer ir.finish()
+	rep, err := ir.session.complete()
+	if err != nil {
+		return ir.failSummary(err), err
+	}
+	return ingestSummary{
+		Session:        ir.session.ID,
+		State:          ir.session.State().String(),
+		Events:         ir.session.Events(),
+		Bytes:          ir.session.bytes.Load(),
+		Slices:         rep.Slices,
+		Branches:       len(rep.Branches),
+		Overall:        rep.Overall,
+		InputDependent: len(rep.InputDependent()),
+	}, nil
+}
+
+// fail marks the session failed (single-shot; the partial profile stays
+// queryable) and returns the terminal summary.
+func (ir *ingestRun) fail(reason error) ingestSummary {
+	ir.flushCounters()
+	defer ir.finish()
+	return ir.failSummary(reason)
+}
+
+func (ir *ingestRun) failSummary(reason error) ingestSummary {
+	ir.session.fail(reason)
+	ir.s.metrics.SessionsFailed.Add(1)
+	return ingestSummary{
+		Session: ir.session.ID,
+		State:   ir.session.State().String(),
+		Events:  ir.session.Events(),
+		Bytes:   ir.session.bytes.Load(),
+		Error:   reason.Error(),
+	}
+}
+
 // handleIngest services POST /v1/ingest: it decodes a BTR1 or BTR2
 // stream (either optionally gzip-wrapped) from the request body, feeds
 // it into one internal/engine run (sequential predictor front-end,
@@ -114,142 +332,50 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "ingest wants POST", http.StatusMethodNotAllowed)
 		return
 	}
-	cfg, predictor, nShards, err := s.sessionConfig(r)
+	params, err := paramsFromQuery(r.URL.Query())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// ?kernel=NAME names the bundled program that produced the stream;
-	// its asmcheck verdicts become the report's static prefilter
-	// column. Without it the report is unannotated (a raw trace carries
-	// no program identity).
-	var static map[trace.PC]string
-	kernel := r.URL.Query().Get("kernel")
-	if kernel != "" {
-		k, ok := progs.KernelByName(kernel)
-		if !ok {
-			http.Error(w, fmt.Sprintf("unknown kernel %q", kernel), http.StatusBadRequest)
-			return
-		}
-		static = asmcheck.StaticClasses(k.Prog)
-	}
-	if id := r.URL.Query().Get("session"); len(id) > maxSessionID {
-		http.Error(w, fmt.Sprintf("session id longer than %d bytes", maxSessionID), http.StatusBadRequest)
+	run, ierr := s.beginSession(params)
+	if ierr != nil {
+		ierr.write(w)
 		return
 	}
-	eng, err := engine.New(cfg, engine.Options{
-		Workers:    nShards,
-		BatchSize:  s.cfg.BatchSize,
-		QueueDepth: s.cfg.QueueDepth,
-		Predictor:  predictor,
-		Static:     static,
-		OnSlice:    func() { s.metrics.Slices.Add(1) },
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-
-	session, err := s.registry.Begin(r.URL.Query().Get("session"), eng)
-	if err != nil {
-		eng.Abort()
-		http.Error(w, err.Error(), http.StatusConflict)
-		return
-	}
-	if s.store != nil {
-		// Durable mode: open the session's write-ahead log before any
-		// event flows; decoded batches are teed into it ahead of the
-		// in-memory engine.
-		plog, perr := s.store.Create(sessionMeta{
-			ID:        session.ID,
-			Profile:   cfg,
-			Predictor: predictor,
-			Shards:    nShards,
-			Kernel:    kernel,
-		})
-		if perr != nil {
-			s.registry.Remove(session.ID)
-			eng.Abort()
-			http.Error(w, fmt.Sprintf("opening session log: %v", perr), http.StatusInternalServerError)
-			return
-		}
-		session.enablePersist(plog, s.store, kernel, static)
-	}
-	s.metrics.SessionsTotal.Add(1)
-	s.metrics.ActiveSessions.Add(1)
-	defer s.metrics.ActiveSessions.Add(-1)
 
 	body := &bodyReader{
 		r:       r.Body,
 		rc:      http.NewResponseController(w),
 		timeout: s.cfg.ReadTimeout,
-		session: session,
+		session: run.session,
 		metrics: s.metrics,
 	}
 	tr, err := trace.OpenReader(body)
 	if err != nil {
-		s.failIngest(w, session, fmt.Errorf("opening stream: %w", err))
+		writeJSON(w, http.StatusBadRequest, run.fail(fmt.Errorf("opening stream: %w", err)))
 		return
 	}
 
-	var (
-		local int64
-		evbuf [512]trace.Event
-	)
+	var evbuf [512]trace.Event
 	for {
 		k, rerr := tr.ReadBatch(evbuf[:])
-		if werr := session.logEvents(evbuf[:k]); werr != nil {
-			session.events.Add(local)
-			s.metrics.Events.Add(local)
-			s.failIngest(w, session, fmt.Errorf("writing session log: %w", werr))
+		if werr := run.events(evbuf[:k]); werr != nil {
+			writeJSON(w, http.StatusBadRequest, run.fail(werr))
 			return
-		}
-		eng.BranchBatch(evbuf[:k])
-		if local += int64(k); local >= ingestFlushEvery {
-			session.events.Add(local)
-			s.metrics.Events.Add(local)
-			local = 0
 		}
 		if rerr != nil {
 			if errors.Is(rerr, io.EOF) {
 				break
 			}
-			session.events.Add(local)
-			s.metrics.Events.Add(local)
-			s.failIngest(w, session, fmt.Errorf("decoding stream: %w", rerr))
+			writeJSON(w, http.StatusBadRequest, run.fail(fmt.Errorf("decoding stream: %w", rerr)))
 			return
 		}
 	}
-	session.events.Add(local)
-	s.metrics.Events.Add(local)
 
-	rep, err := session.complete()
+	sum, err := run.complete()
 	if err != nil {
-		s.failIngest(w, session, err)
+		writeJSON(w, http.StatusBadRequest, sum)
 		return
 	}
-	writeJSON(w, http.StatusOK, ingestSummary{
-		Session:        session.ID,
-		State:          session.State().String(),
-		Events:         session.Events(),
-		Bytes:          session.bytes.Load(),
-		Slices:         rep.Slices,
-		Branches:       len(rep.Branches),
-		Overall:        rep.Overall,
-		InputDependent: len(rep.InputDependent()),
-	})
-}
-
-// failIngest marks the session failed and reports the error to the
-// client (the partial profile stays queryable via /v1/report).
-func (s *Server) failIngest(w http.ResponseWriter, session *Session, err error) {
-	session.fail(err)
-	s.metrics.SessionsFailed.Add(1)
-	writeJSON(w, http.StatusBadRequest, ingestSummary{
-		Session: session.ID,
-		State:   session.State().String(),
-		Events:  session.Events(),
-		Bytes:   session.bytes.Load(),
-		Error:   err.Error(),
-	})
+	writeJSON(w, http.StatusOK, sum)
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"twodprof/internal/wire"
 )
 
 // Metrics is the service's counter registry, exposed in plain-text
@@ -18,6 +20,11 @@ type Metrics struct {
 	SessionsTotal  atomic.Int64 // sessions ever begun
 	SessionsFailed atomic.Int64 // sessions that broke mid-stream
 	ActiveSessions atomic.Int64 // sessions currently streaming
+	Shed           atomic.Int64 // sessions refused at the MaxActive cap
+
+	// Wire holds the binary-ingest listener's counters (all zero when
+	// the daemon runs HTTP-only).
+	Wire wire.Stats
 
 	// Durability counters (all zero when the daemon runs without a data
 	// directory).
@@ -62,6 +69,14 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepths []int) {
 	fmt.Fprintf(w, "twodprof_sessions_active %d\n", m.ActiveSessions.Load())
 	fmt.Fprintf(w, "twodprof_sessions_total %d\n", m.SessionsTotal.Load())
 	fmt.Fprintf(w, "twodprof_sessions_failed_total %d\n", m.SessionsFailed.Load())
+	fmt.Fprintf(w, "twodprof_sessions_shed_total %d\n", m.Shed.Load())
+	fmt.Fprintf(w, "twodprof_wire_conns %d\n", m.Wire.Conns.Load())
+	fmt.Fprintf(w, "twodprof_wire_conns_total %d\n", m.Wire.ConnsTotal.Load())
+	fmt.Fprintf(w, "twodprof_wire_streams %d\n", m.Wire.Streams.Load())
+	fmt.Fprintf(w, "twodprof_wire_streams_total %d\n", m.Wire.StreamsTotal.Load())
+	fmt.Fprintf(w, "twodprof_wire_bytes_total %d\n", m.Wire.Bytes.Load())
+	fmt.Fprintf(w, "twodprof_wire_rejects_total %d\n", m.Wire.Rejects.Load())
+	fmt.Fprintf(w, "twodprof_wire_conn_errors_total %d\n", m.Wire.ConnErrors.Load())
 	fmt.Fprintf(w, "twodprof_wal_bytes_written_total %d\n", m.WALBytes.Load())
 	fmt.Fprintf(w, "twodprof_wal_repairs_total %d\n", m.WALRepairs.Load())
 	fmt.Fprintf(w, "twodprof_sessions_recovered_total %d\n", m.SessionsRecovered.Load())

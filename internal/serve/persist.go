@@ -53,6 +53,7 @@ import (
 //     write-temp/rename.
 type sessionMeta struct {
 	ID        string      `json:"id"`
+	Group     string      `json:"group,omitempty"`
 	Profile   core.Config `json:"profile"`
 	Predictor string      `json:"predictor,omitempty"`
 	Shards    int         `json:"shards"`
@@ -262,6 +263,24 @@ func (st *Store) loadReport(id string) (*core.Report, error) {
 	return rep, nil
 }
 
+// loadSnapshot returns a finished session's checkpoint snapshot — the
+// mergeable form /v1/snapshot serves for sessions whose engine is gone
+// (recovered or idle-evicted).
+func (st *Store) loadSnapshot(id string) (*core.Snapshot, error) {
+	recs, _, err := wal.ReadAll(st.path(id))
+	if err != nil {
+		return nil, err
+	}
+	_, _, term, _, err := parseLog(recs)
+	if err != nil {
+		return nil, err
+	}
+	if term == nil || term.Snapshot == nil {
+		return nil, fmt.Errorf("session %s has no checkpoint record", id)
+	}
+	return term.Snapshot, nil
+}
+
 // compact rewrites a finished session's log to recBegin + terminal when
 // it still carries at least checkpointEvery logged events (smaller logs
 // are not worth the rewrite; checkpointEvery <= 0 compacts any log with
@@ -347,6 +366,7 @@ func (st *Store) recoverOne(path string) (recoveredInfo, error) {
 
 	s := &Session{
 		ID:        meta.ID,
+		Group:     meta.Group,
 		store:     st,
 		kernel:    meta.Kernel,
 		static:    staticForKernel(meta.Kernel),

@@ -27,20 +27,20 @@ func durableConfig(t testing.TB, shards int) Config {
 }
 
 // sessionList fetches and decodes /v1/sessions.
-func sessionList(t testing.TB, srv *Server) []sessionInfo {
+func sessionList(t testing.TB, srv *Server) []SessionInfo {
 	t.Helper()
 	code, body := get(t, srv, "/v1/sessions")
 	if code != 200 {
 		t.Fatalf("/v1/sessions: %d: %s", code, body)
 	}
-	var infos []sessionInfo
+	var infos []SessionInfo
 	if err := json.Unmarshal(body, &infos); err != nil {
 		t.Fatal(err)
 	}
 	return infos
 }
 
-func findSession(t testing.TB, infos []sessionInfo, id string) sessionInfo {
+func findSession(t testing.TB, infos []SessionInfo, id string) SessionInfo {
 	t.Helper()
 	for _, info := range infos {
 		if info.ID == id {
@@ -48,7 +48,7 @@ func findSession(t testing.TB, infos []sessionInfo, id string) sessionInfo {
 		}
 	}
 	t.Fatalf("session %s not in /v1/sessions (%d entries)", id, len(infos))
-	return sessionInfo{}
+	return SessionInfo{}
 }
 
 // traceEvents decodes every event of a BTR trace.

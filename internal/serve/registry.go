@@ -48,6 +48,10 @@ func (s SessionState) String() string {
 // reloaded from the session's checkpoint on demand).
 type Session struct {
 	ID string
+	// Group, when non-empty, tags the session as one member of a
+	// PC-sharded collector group; /v1/snapshot?group merges all members
+	// (DESIGN.md §3g). Fixed at setup.
+	Group string
 
 	mu        sync.Mutex
 	state     SessionState
@@ -236,6 +240,28 @@ func (s *Session) Report() (*core.Report, error) {
 		return nil, fmt.Errorf("serve: session %s has no profile state", s.ID)
 	}
 	return s.eng.Report()
+}
+
+// Snapshot returns the session's merged mergeable state: the live (or
+// final) engine snapshot, or — for a recovered/evicted session with no
+// engine — the checkpoint snapshot reloaded from its log. The snapshot
+// is what /v1/snapshot serves and what cross-session merging
+// (core.MergeSnapshots) consumes.
+func (s *Session) Snapshot() (*core.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastTouch = time.Now()
+	if s.eng != nil {
+		return s.eng.Snapshot()
+	}
+	if s.store != nil {
+		snap, err := s.store.loadSnapshot(s.ID)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reloading session %s snapshot from its log: %w", s.ID, err)
+		}
+		return snap, nil
+	}
+	return nil, fmt.Errorf("serve: session %s has no profile state", s.ID)
 }
 
 // maybeIdle evicts a finished session's resident report once it has a

@@ -10,15 +10,24 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"twodprof/internal/core"
+	"twodprof/internal/wire"
 )
 
 // Server is the online 2D-profiling service.
 //
-//	POST /v1/ingest    stream a BTR1/BTR2 trace (optionally gzipped) into a session
-//	GET  /v1/report    merged report (final, or live for active sessions)
-//	GET  /v1/sessions  list retained sessions
-//	GET  /healthz      readiness (503 while draining)
-//	GET  /metrics      text-format counters
+//	POST /v1/ingest         stream a BTR1/BTR2 trace (optionally gzipped) into a session
+//	GET  /v1/report         merged report (final, or live for active sessions)
+//	GET  /v1/snapshot       merged core.Snapshot of a session or group (cluster aggregation)
+//	GET  /v1/sessions       list retained sessions
+//	GET  /healthz/live      liveness (200 while the process serves at all)
+//	GET  /healthz/ready     readiness (503 while draining or at the MaxActive cap)
+//	GET  /healthz           alias of /healthz/ready
+//	GET  /metrics           text-format counters
+//
+// With Config.WireAddr set the same sessions are also reachable over
+// the binary wire protocol (internal/wire).
 type Server struct {
 	cfg      Config
 	metrics  *Metrics
@@ -27,6 +36,9 @@ type Server struct {
 
 	http        *http.Server
 	listener    net.Listener
+	wire        *wire.Server // nil without cfg.WireAddr
+	wireLn      net.Listener
+	wireErr     chan error
 	draining    atomic.Bool
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -73,6 +85,12 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	s.http = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
+	if cfg.WireAddr != "" {
+		s.wire = wire.NewServer(wireHandler{s}, wire.ServerOptions{
+			ReadTimeout: cfg.ReadTimeout,
+			Stats:       &s.metrics.Wire,
+		})
+	}
 	return s, nil
 }
 
@@ -106,21 +124,37 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz", s.handleReady)
+	mux.HandleFunc("/healthz/live", s.handleLive)
+	mux.HandleFunc("/healthz/ready", s.handleReady)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
-// Start begins serving on cfg.Addr and returns once the listener is
-// bound (serving continues on a background goroutine; its terminal
-// error is delivered on the returned channel).
+// Start begins serving on cfg.Addr (and cfg.WireAddr when set) and
+// returns once the listeners are bound (serving continues on background
+// goroutines; the HTTP side's terminal error is delivered on the
+// returned channel).
 func (s *Server) Start() (<-chan error, error) {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listening on %s: %w", s.cfg.Addr, err)
 	}
 	s.listener = ln
+	if s.wire != nil {
+		wln, err := net.Listen("tcp", s.cfg.WireAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("serve: listening on wire %s: %w", s.cfg.WireAddr, err)
+		}
+		s.wireLn = wln
+		s.wireErr = make(chan error, 1)
+		go func() {
+			s.wireErr <- s.wire.Serve(wln)
+		}()
+	}
 	if s.store != nil {
 		s.janitorStop = make(chan struct{})
 		s.janitorDone = make(chan struct{})
@@ -136,13 +170,26 @@ func (s *Server) Start() (<-chan error, error) {
 	return errc, nil
 }
 
-// Addr returns the bound listen address (useful with ":0").
+// Addr returns the bound HTTP listen address (useful with ":0").
 func (s *Server) Addr() string {
 	if s.listener == nil {
 		return s.cfg.Addr
 	}
 	return s.listener.Addr().String()
 }
+
+// WireAddr returns the bound wire listen address ("" when the wire
+// front is disabled).
+func (s *Server) WireAddr() string {
+	if s.wireLn == nil {
+		return s.cfg.WireAddr
+	}
+	return s.wireLn.Addr().String()
+}
+
+// Metrics exposes the live counter registry (for benchmarks and
+// embedding callers; mutate nothing).
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Shutdown drains the service gracefully: readiness flips to 503, new
 // connections are refused, and in-flight ingest sessions get
@@ -161,6 +208,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
 		defer cancel()
 	}
+	// The wire front drains in parallel with the HTTP one: new begins
+	// are already refused (beginSession checks draining), so wait for
+	// the in-flight streams to finish, then tear the listener down.
+	wireDone := make(chan struct{})
+	go func() {
+		defer close(wireDone)
+		if s.wire == nil {
+			return
+		}
+		for s.metrics.Wire.Streams.Load() > 0 {
+			select {
+			case <-ctx.Done():
+				s.wire.Close()
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		s.wire.Close()
+	}()
 	err := s.http.Shutdown(ctx)
 	if err != nil {
 		// Drain deadline expired: close the stragglers.
@@ -169,6 +235,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = closeErr
 		}
 	}
+	<-wireDone
 	return err
 }
 
@@ -212,9 +279,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
-// sessionInfo is one /v1/sessions entry.
-type sessionInfo struct {
+// SessionInfo is one /v1/sessions entry. Exported so the cluster
+// router can decode node listings for its scatter-gather view.
+type SessionInfo struct {
 	ID        string `json:"id"`
+	Group     string `json:"group,omitempty"`
 	State     string `json:"state"`
 	Tier      string `json:"tier,omitempty"` // active / hot / idle (durable daemons only)
 	Recovered bool   `json:"recovered,omitempty"`
@@ -230,11 +299,12 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sessions := s.registry.List()
-	out := make([]sessionInfo, 0, len(sessions))
+	out := make([]SessionInfo, 0, len(sessions))
 	for _, sess := range sessions {
 		sess.mu.Lock()
-		info := sessionInfo{
+		info := SessionInfo{
 			ID:        sess.ID,
+			Group:     sess.Group,
 			State:     sess.state.String(),
 			Recovered: sess.recovered,
 			Events:    sess.events.Load(),
@@ -257,11 +327,91 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleHealthz reports readiness: 200 while serving, 503 once
-// draining.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// handleSnapshot serves a session's merged core.Snapshot
+// (?session=ID), or the merged snapshot of every local session tagged
+// with a group (?group=G). Group merging inherits MergeSnapshots'
+// preconditions — identical profiling config and predictor, disjoint
+// branch-PC sets — and answers 409 when members violate them
+// (DESIGN.md §3g); the cluster router stitches the per-node results
+// together with the same merge.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "snapshot wants GET", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	id, group := q.Get("session"), q.Get("group")
+	switch {
+	case id != "" && group != "":
+		http.Error(w, "snapshot wants ?session or ?group, not both", http.StatusBadRequest)
+	case id != "":
+		sess := s.registry.Get(id)
+		if sess == nil {
+			if s.store != nil && s.store.Exists(id) {
+				snap, err := s.store.loadSnapshot(id)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				writeJSON(w, http.StatusOK, snap)
+				return
+			}
+			http.Error(w, fmt.Sprintf("unknown session %q", id), http.StatusNotFound)
+			return
+		}
+		snap, err := sess.Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	case group != "":
+		var snaps []*core.Snapshot
+		for _, sess := range s.registry.List() {
+			if sess.Group != group {
+				continue
+			}
+			snap, err := sess.Snapshot()
+			if err != nil {
+				http.Error(w, fmt.Sprintf("session %s: %v", sess.ID, err), http.StatusInternalServerError)
+				return
+			}
+			snaps = append(snaps, snap)
+		}
+		if len(snaps) == 0 {
+			http.Error(w, fmt.Sprintf("no sessions in group %q", group), http.StatusNotFound)
+			return
+		}
+		merged, err := core.MergeSnapshots(snaps...)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("group %q is not mergeable: %v", group, err), http.StatusConflict)
+			return
+		}
+		writeJSON(w, http.StatusOK, merged)
+	default:
+		http.Error(w, "snapshot wants ?session=ID or ?group=NAME", http.StatusBadRequest)
+	}
+}
+
+// handleLive reports liveness: the process is up and serving requests
+// at all. Draining and overload do not affect it — kill-and-restart
+// decisions key off liveness, routing decisions off readiness.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady reports readiness: 200 while the node should receive new
+// sessions, 503 once draining or at the MaxActive cap. The router's
+// heartbeat probes this endpoint and routes around not-ready nodes;
+// /healthz stays an alias so pre-split monitoring keeps working.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.cfg.MaxActive > 0 && s.metrics.ActiveSessions.Load() >= int64(s.cfg.MaxActive) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -146,16 +146,16 @@ func (b *BTR2Writer) BranchBatch(events []Event) {
 // Count returns the number of events written so far.
 func (b *BTR2Writer) Count() int64 { return b.total + int64(len(b.events)) }
 
-// flushChunk encodes and emits the buffered events as one chunk frame.
-func (b *BTR2Writer) flushChunk() {
-	if len(b.events) == 0 || b.err != nil {
-		b.events = b.events[:0]
-		return
-	}
-	basePC := b.events[0].PC
-	payload := b.scratch[:0]
+// AppendEventDeltas appends the BTR-family per-event varint encoding of
+// events to dst and returns the extended slice: each event becomes one
+// uvarint word `|delta|<<2 | sign<<1 | taken`, with the PC delta taken
+// against the previous event (basePC for the first). This is the exact
+// payload encoding of a BTR2 chunk with CodecRaw — Chunk.Decode inverts
+// it — and the daemon's binary wire protocol (internal/wire) reuses it
+// for its chunk frames.
+func AppendEventDeltas(dst []byte, basePC PC, events []Event) []byte {
 	last := int64(basePC)
-	for _, e := range b.events {
+	for _, e := range events {
 		delta := int64(e.PC) - last
 		var word uint64
 		if delta < 0 {
@@ -166,9 +166,20 @@ func (b *BTR2Writer) flushChunk() {
 		if e.Taken {
 			word |= 1
 		}
-		payload = binary.AppendUvarint(payload, word)
+		dst = binary.AppendUvarint(dst, word)
 		last = int64(e.PC)
 	}
+	return dst
+}
+
+// flushChunk encodes and emits the buffered events as one chunk frame.
+func (b *BTR2Writer) flushChunk() {
+	if len(b.events) == 0 || b.err != nil {
+		b.events = b.events[:0]
+		return
+	}
+	basePC := b.events[0].PC
+	payload := AppendEventDeltas(b.scratch[:0], basePC, b.events)
 	b.scratch = payload
 
 	codec := CodecRaw
