@@ -8,6 +8,7 @@
 #   make e2e-crash       kill-9 crash-recovery drill against the durable daemon
 #   make e2e-cluster     kill-9 node-failure drill + 10k-session load storm through the router
 #   make bench-engine    old-vs-new guard for the internal/engine core (results/BENCH_engine.json)
+#   make bench-hotpath   per-layer hot-path guard: decode / predict / e2e kernels (results/BENCH_hotpath.json)
 #   make bench-wire      binary-protocol vs HTTP+gzip ingest guard (results/BENCH_wire.json)
 #   make bench-parallel  record engine/profiler benchmarks in results/BENCH_parallel.json
 #   make bench-serve     record ingest throughput scaling in results/BENCH_serve.json
@@ -16,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds e2e-crash e2e-cluster verify bench-engine bench-wire bench-parallel bench-serve bench-replay results
+.PHONY: all build vet lint test race fuzz-seeds e2e-crash e2e-cluster verify bench-engine bench-hotpath bench-wire bench-parallel bench-serve bench-replay results
 
 all: verify
 
@@ -76,13 +77,20 @@ e2e-cluster:
 	$(GO) test -run 'TestKillNodeMidStream' -count=1 ./internal/cluster
 	$(GO) run ./cmd/loadgen -selftest -sessions 10000
 
-verify: build lint test race fuzz-seeds e2e-crash e2e-cluster bench-engine bench-wire
+verify: build lint test race fuzz-seeds e2e-crash e2e-cluster bench-engine bench-hotpath bench-wire
 
 # bench-engine is part of `make verify`: it re-measures the unified
 # sharded core against the plain sequential profiler and fails on a
 # throughput regression or a report mismatch.
 bench-engine:
 	$(GO) run ./tools/benchengine -o results/BENCH_engine.json
+
+# bench-hotpath is part of `make verify`: it pins each hot-path layer
+# (8-wide BTR2 decode, SoA predictor kernels, end-to-end SoA replay)
+# against its per-event fallback in the same process and fails if a
+# kernel regresses below its floor or the SoA replay report diverges.
+bench-hotpath:
+	$(GO) run ./tools/benchhotpath -o results/BENCH_hotpath.json
 
 # bench-wire is part of `make verify`: it measures binary-protocol
 # ingest against HTTP (plain and gzip) into the same server and fails

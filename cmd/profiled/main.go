@@ -19,6 +19,9 @@
 //	GET  /healthz
 //	GET  /metrics
 //
+// With -pprof-addr a separate listener serves Go's /debug/pprof
+// endpoints for live CPU/heap profiling of the daemon.
+//
 // SIGINT/SIGTERM drain in-flight sessions gracefully within
 // -drain-timeout.
 package main
@@ -27,6 +30,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,6 +64,7 @@ func main() {
 		fsync   = flag.String("fsync", cfg.Fsync.String(), "WAL durability: always, never, or a flush cadence like 100ms")
 		ckpt    = flag.Int64("checkpoint-every", cfg.CheckpointEvery, "compact a finished session log once it holds this many events (0 = always)")
 		idle    = flag.Duration("idle-after", cfg.IdleAfter, "evict a finished session's report to disk after this long unqueried (0 = never)")
+		pprofA  = flag.String("pprof-addr", "", "serve /debug/pprof on this address (empty = disabled); keep it on a loopback or firewalled port")
 	)
 	flag.Parse()
 
@@ -89,6 +95,18 @@ func main() {
 		cfg.Profile.Metric = core.MetricBias
 	default:
 		fail(fmt.Errorf("unknown metric %q (want accuracy or bias)", *metric))
+	}
+
+	if *pprofA != "" {
+		// Separate listener so profiling endpoints never share a port
+		// with ingest: the default mux carries net/http/pprof's
+		// /debug/pprof handlers and nothing else.
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "profiled: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("profiled: pprof on http://%s/debug/pprof\n", *pprofA)
 	}
 
 	srv, err := serve.NewServer(cfg)

@@ -15,8 +15,19 @@ type Agree struct {
 	indexBits int
 	table     []Counter2 // counter taken-state means "agrees with bias"
 	hist      History
+
+	// The bias bits live in a flat 2-bit-per-PC window (bit 0 value,
+	// bit 1 latched) anchored at the first PC seen — branch PCs cluster
+	// tightly, so in practice every lookup is one byte load. PCs outside
+	// the window (or before the anchor) fall back to the exact map, so
+	// semantics are identical to a per-PC map at any PC distribution.
+	biasBase  trace.PC
+	biasDense []uint8
 	bias      map[trace.PC]bool
 }
+
+// agreeDenseWindow is the span of PCs the flat bias window covers.
+const agreeDenseWindow = 1 << 16
 
 // NewAgree builds an agree predictor with 2^indexBits counters and
 // historyBits of global history.
@@ -28,7 +39,6 @@ func NewAgree(indexBits, historyBits int) *Agree {
 		indexBits: indexBits,
 		table:     make([]Counter2, 1<<uint(indexBits)),
 		hist:      NewHistory(historyBits),
-		bias:      make(map[trace.PC]bool),
 	}
 	a.Reset()
 	return a
@@ -43,10 +53,35 @@ func (a *Agree) index(pc trace.PC) uint64 {
 // never-seen branches (backward-taken heuristic territory; a fixed
 // default keeps Predict pure).
 func (a *Agree) biasOf(pc trace.PC) bool {
+	if off := uint64(pc - a.biasBase); a.biasDense != nil && off < agreeDenseWindow {
+		e := a.biasDense[off]
+		return e&2 == 0 || e&1 != 0
+	}
 	if b, ok := a.bias[pc]; ok {
 		return b
 	}
 	return true
+}
+
+// latchBias records pc's first observed outcome as its biasing bit. The
+// first branch ever seen anchors the dense window.
+func (a *Agree) latchBias(pc trace.PC, taken bool) {
+	if a.biasDense == nil {
+		a.biasBase = pc
+		a.biasDense = make([]uint8, agreeDenseWindow)
+	}
+	if off := uint64(pc - a.biasBase); off < agreeDenseWindow {
+		if a.biasDense[off]&2 == 0 {
+			a.biasDense[off] = 2 | b2u(taken)
+		}
+		return
+	}
+	if a.bias == nil {
+		a.bias = make(map[trace.PC]bool)
+	}
+	if _, ok := a.bias[pc]; !ok {
+		a.bias[pc] = taken
+	}
 }
 
 // Predict implements Predictor.
@@ -58,11 +93,9 @@ func (a *Agree) Predict(pc trace.PC) bool {
 // Update implements Predictor. The first execution latches the biasing
 // bit (modelling the bias bit stored in the BTB/instruction).
 func (a *Agree) Update(pc trace.PC, taken bool) {
-	if _, ok := a.bias[pc]; !ok {
-		a.bias[pc] = taken
-	}
+	a.latchBias(pc, taken)
 	i := a.index(pc)
-	a.table[i] = a.table[i].Update(taken == a.biasOf(pc))
+	a.table[i] = ctrUpd(a.table[i], Counter2(b2u(taken == a.biasOf(pc))))
 	a.hist.Push(taken)
 }
 
@@ -76,7 +109,9 @@ func (a *Agree) Reset() {
 		a.table[i] = 2
 	}
 	a.hist.Reset()
-	a.bias = make(map[trace.PC]bool)
+	a.biasDense = nil
+	a.biasBase = 0
+	a.bias = nil
 }
 
 // Gskew is the 2bc-gskew-style predictor (Michaud, Seznec, Uhlig,
@@ -85,8 +120,9 @@ func (a *Agree) Reset() {
 // bank is usually outvoted by the other two.
 type Gskew struct {
 	bankBits int
-	banks    [3][]Counter2
-	hist     History
+	// banks is one flat array: bank b occupies [b<<bankBits, (b+1)<<bankBits).
+	banks []Counter2
+	hist  History
 }
 
 // NewGskew builds a gskew with three 2^bankBits banks and historyBits
@@ -95,19 +131,19 @@ func NewGskew(bankBits, historyBits int) *Gskew {
 	if bankBits <= 0 || bankBits > 28 {
 		panic(fmt.Sprintf("bpred: invalid gskew bank bits %d", bankBits))
 	}
-	g := &Gskew{bankBits: bankBits, hist: NewHistory(historyBits)}
-	for b := range g.banks {
-		g.banks[b] = make([]Counter2, 1<<uint(bankBits))
+	g := &Gskew{
+		bankBits: bankBits,
+		banks:    make([]Counter2, 3<<uint(bankBits)),
+		hist:     NewHistory(historyBits),
 	}
 	g.Reset()
 	return g
 }
 
-// skew mixes pc and history differently per bank. The rotations keep
-// the three indices decorrelated, which is the entire point of the
-// scheme.
-func (g *Gskew) skew(bank int, pc trace.PC) uint64 {
-	h := g.hist.Bits()
+// skewIdx mixes pc and history differently per bank and returns the
+// flat-array index of the bank's counter. The rotations keep the three
+// indices decorrelated, which is the entire point of the scheme.
+func (g *Gskew) skewIdx(bank int, pc trace.PC, h uint64) uint64 {
 	p := uint64(pc)
 	var v uint64
 	switch bank {
@@ -118,26 +154,26 @@ func (g *Gskew) skew(bank int, pc trace.PC) uint64 {
 	default:
 		v = (p<<2 | p>>11) ^ h ^ h>>7
 	}
-	return v & (uint64(1)<<uint(g.bankBits) - 1)
+	return uint64(bank)<<uint(g.bankBits) | v&(uint64(1)<<uint(g.bankBits)-1)
 }
 
 // Predict implements Predictor: majority vote of the three banks.
 func (g *Gskew) Predict(pc trace.PC) bool {
-	votes := 0
-	for b := range g.banks {
-		if g.banks[b][g.skew(b, pc)].Taken() {
-			votes++
-		}
-	}
+	h := g.hist.Bits()
+	votes := g.banks[g.skewIdx(0, pc, h)]>>1 +
+		g.banks[g.skewIdx(1, pc, h)]>>1 +
+		g.banks[g.skewIdx(2, pc, h)]>>1
 	return votes >= 2
 }
 
 // Update implements Predictor. All banks train (the partial-update
 // policy of the full design is omitted for clarity).
 func (g *Gskew) Update(pc trace.PC, taken bool) {
-	for b := range g.banks {
-		i := g.skew(b, pc)
-		g.banks[b][i] = g.banks[b][i].Update(taken)
+	h := g.hist.Bits()
+	t := Counter2(b2u(taken))
+	for b := 0; b < 3; b++ {
+		i := g.skewIdx(b, pc, h)
+		g.banks[i] = ctrUpd(g.banks[i], t)
 	}
 	g.hist.Push(taken)
 }
@@ -147,10 +183,8 @@ func (g *Gskew) Name() string { return fmt.Sprintf("gskew-%d", g.bankBits) }
 
 // Reset implements Predictor.
 func (g *Gskew) Reset() {
-	for b := range g.banks {
-		for i := range g.banks[b] {
-			g.banks[b][i] = WeakNT
-		}
+	for i := range g.banks {
+		g.banks[i] = WeakNT
 	}
 	g.hist.Reset()
 }

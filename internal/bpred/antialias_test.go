@@ -82,8 +82,8 @@ func TestGskewMajorityOutvotesOneBank(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		g.Update(pc, true)
 	}
-	for i := range g.banks[0] {
-		g.banks[0][i] = 0 // strongly not-taken everywhere
+	for i := 0; i < 1<<uint(g.bankBits); i++ {
+		g.banks[i] = 0 // strongly not-taken everywhere in bank 0
 	}
 	if !g.Predict(pc) {
 		t.Fatal("majority vote lost to a single corrupted bank")

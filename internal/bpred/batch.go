@@ -58,23 +58,22 @@ func UpdateBatch(p Predictor, ev []trace.Event) {
 // --- gshare ---
 
 // PredictUpdateBatch implements BatchPredictor. The loop keeps the
-// global history register and the index mask in locals, so per-event
-// cost is one table load, one store and a few ALU ops.
+// global history register and the index mask in locals and is branchless
+// on event data: the counter moves via ctrUpd's mask arithmetic and the
+// taken bit shifts into the history register as a 0/1 integer, so the
+// only branch in the loop is the loop condition itself.
 func (g *Gshare) PredictUpdateBatch(ev []trace.Event, hits []bool) {
 	mask := uint64(1)<<uint(g.indexBits) - 1
 	h := g.hist.bits
 	hmask := g.hist.mask
 	tbl := g.table
 	for i, e := range ev {
+		t := Counter2(b2u(e.Taken))
 		idx := (uint64(e.PC) ^ h) & mask
 		c := tbl[idx]
-		hits[i] = c.Taken() == e.Taken
-		tbl[idx] = c.Update(e.Taken)
-		h <<= 1
-		if e.Taken {
-			h |= 1
-		}
-		h &= hmask
+		hits[i] = c>>1 == t
+		tbl[idx] = ctrUpd(c, t)
+		h = (h<<1 | uint64(t)) & hmask
 	}
 	g.hist.bits = h
 }
@@ -86,13 +85,10 @@ func (g *Gshare) UpdateBatch(ev []trace.Event) {
 	hmask := g.hist.mask
 	tbl := g.table
 	for _, e := range ev {
+		t := Counter2(b2u(e.Taken))
 		idx := (uint64(e.PC) ^ h) & mask
-		tbl[idx] = tbl[idx].Update(e.Taken)
-		h <<= 1
-		if e.Taken {
-			h |= 1
-		}
-		h &= hmask
+		tbl[idx] = ctrUpd(tbl[idx], t)
+		h = (h<<1 | uint64(t)) & hmask
 	}
 	g.hist.bits = h
 }
@@ -115,10 +111,11 @@ func (b *Bimodal) PredictUpdateBatch(ev []trace.Event, hits []bool) {
 	mask := uint64(1)<<uint(b.indexBits) - 1
 	tbl := b.table
 	for i, e := range ev {
+		t := Counter2(b2u(e.Taken))
 		idx := uint64(e.PC) & mask
 		c := tbl[idx]
-		hits[i] = c.Taken() == e.Taken
-		tbl[idx] = c.Update(e.Taken)
+		hits[i] = c>>1 == t
+		tbl[idx] = ctrUpd(c, t)
 	}
 }
 
@@ -128,7 +125,7 @@ func (b *Bimodal) UpdateBatch(ev []trace.Event) {
 	tbl := b.table
 	for _, e := range ev {
 		idx := uint64(e.PC) & mask
-		tbl[idx] = tbl[idx].Update(e.Taken)
+		tbl[idx] = ctrUpd(tbl[idx], Counter2(b2u(e.Taken)))
 	}
 }
 

@@ -41,16 +41,26 @@ func (c Counter2) Taken() bool { return c >= 2 }
 
 // Update returns the counter after training with one outcome.
 func (c Counter2) Update(taken bool) Counter2 {
-	if taken {
-		if c < 3 {
-			return c + 1
-		}
-		return c
+	return ctrUpd(c, Counter2(b2u(taken)))
+}
+
+// ctrUpd is the branchless saturating 2-bit counter update: t must be 0
+// or 1. Saturation falls out of uint8 wraparound — (c-3)>>7 is 1 exactly
+// when c < 3 (the subtraction wrapped, setting the sign bit) and
+// (0-c)>>7 is 1 exactly when c > 0, so the counter moves toward t by one
+// unless already at the rail. No conditionals, so the predictor inner
+// loops stay branch-free on data (see DESIGN.md §3h).
+func ctrUpd(c, t Counter2) Counter2 {
+	return c + (t & ((c - 3) >> 7)) - ((1 - t) & ((0 - c) >> 7))
+}
+
+// b2u converts a bool to 0/1. The compiler lowers this to a flag
+// materialisation (SETcc), not a branch.
+func b2u(b bool) uint8 {
+	if b {
+		return 1
 	}
-	if c > 0 {
-		return c - 1
-	}
-	return c
+	return 0
 }
 
 // History is a bounded global branch history register.

@@ -12,7 +12,8 @@ import (
 type Perceptron struct {
 	entries  int
 	histBits int
-	weights  [][]int8 // [entry][histBits+1]; index 0 is the bias weight
+	stride   int    // weights per entry = histBits+1
+	weights  []int8 // flat [entries × stride]; weight 0 of a row is the bias
 	hist     History
 	theta    int32
 	name     string
@@ -20,7 +21,10 @@ type Perceptron struct {
 
 // NewPerceptron builds a perceptron predictor with the given table size
 // and history length. The training threshold follows the original paper:
-// theta = floor(1.93*h + 14).
+// theta = floor(1.93*h + 14). The weight table is one flat int8 array —
+// a row is stride consecutive bytes, so the dot product and training
+// loops walk contiguous cache lines instead of chasing a per-entry
+// slice header.
 func NewPerceptron(entries, histBits int) *Perceptron {
 	if entries <= 0 || histBits <= 0 || histBits > 63 {
 		panic(fmt.Sprintf("bpred: invalid perceptron config %d/%d", entries, histBits))
@@ -28,14 +32,12 @@ func NewPerceptron(entries, histBits int) *Perceptron {
 	p := &Perceptron{
 		entries:  entries,
 		histBits: histBits,
+		stride:   histBits + 1,
 		hist:     NewHistory(histBits),
 		theta:    int32(1.93*float64(histBits) + 14),
 		name:     fmt.Sprintf("perceptron-%dKB", entries*(histBits+1)/1024),
 	}
-	p.weights = make([][]int8, entries)
-	for i := range p.weights {
-		p.weights[i] = make([]int8, histBits+1)
-	}
+	p.weights = make([]int8, entries*p.stride)
 	return p
 }
 
@@ -44,20 +46,20 @@ func NewPerceptron(entries, histBits int) *Perceptron {
 func NewPerceptron16KB() *Perceptron { return NewPerceptron(457, 36) }
 
 func (p *Perceptron) row(pc trace.PC) []int8 {
-	return p.weights[uint64(pc)%uint64(p.entries)]
+	i := int(uint64(pc)%uint64(p.entries)) * p.stride
+	return p.weights[i : i+p.stride : i+p.stride]
 }
 
 // output computes the perceptron dot product for pc under the current
-// history.
+// history. The history contribution is branchless: bit i maps to the
+// bipolar input x = 2*bit-1 ∈ {-1, +1} and the term is x*w.
 func (p *Perceptron) output(pc trace.PC) int32 {
 	w := p.row(pc)
+	h := p.hist.bits
 	y := int32(w[0])
 	for i := 0; i < p.histBits; i++ {
-		if p.hist.Bit(i) {
-			y += int32(w[i+1])
-		} else {
-			y -= int32(w[i+1])
-		}
+		x := int32(h>>uint(i)&1)<<1 - 1
+		y += x * int32(w[i+1])
 	}
 	return y
 }
@@ -66,26 +68,40 @@ func (p *Perceptron) output(pc trace.PC) int32 {
 func (p *Perceptron) Predict(pc trace.PC) bool { return p.output(pc) >= 0 }
 
 // Update implements Predictor. Training follows the original rule: adjust
-// weights when the prediction was wrong or |y| <= theta.
+// weights when the prediction was wrong or |y| <= theta. The threshold
+// test is inherently a branch (training is conditional in the hardware
+// too); the weight adjustment loop under it is branchless — t and x are
+// bipolar ±1 values computed by shift/mask.
 func (p *Perceptron) Update(pc trace.PC, taken bool) {
 	y := p.output(pc)
 	pred := y >= 0
 	if pred != taken || abs32(y) <= p.theta {
 		w := p.row(pc)
-		var t int8 = -1
-		if taken {
-			t = 1
-		}
+		h := p.hist.bits
+		t := int8(b2u(taken))<<1 - 1
 		w[0] = satAdd8(w[0], t)
 		for i := 0; i < p.histBits; i++ {
-			var x int8 = -1
-			if p.hist.Bit(i) {
-				x = 1
-			}
+			x := int8(h>>uint(i)&1)<<1 - 1
 			w[i+1] = satAdd8(w[i+1], t*x)
 		}
 	}
 	p.hist.Push(taken)
+}
+
+// PredictUpdateBatch implements BatchPredictor.
+func (p *Perceptron) PredictUpdateBatch(ev []trace.Event, hits []bool) {
+	for i, e := range ev {
+		pred := p.output(e.PC) >= 0
+		p.Update(e.PC, e.Taken)
+		hits[i] = pred == e.Taken
+	}
+}
+
+// UpdateBatch implements BatchPredictor.
+func (p *Perceptron) UpdateBatch(ev []trace.Event) {
+	for _, e := range ev {
+		p.Update(e.PC, e.Taken)
+	}
 }
 
 // Name implements Predictor.
@@ -93,10 +109,8 @@ func (p *Perceptron) Name() string { return p.name }
 
 // Reset implements Predictor.
 func (p *Perceptron) Reset() {
-	for _, row := range p.weights {
-		for i := range row {
-			row[i] = 0
-		}
+	for i := range p.weights {
+		p.weights[i] = 0
 	}
 	p.hist.Reset()
 }

@@ -50,6 +50,12 @@ type Profiler struct {
 	extPredName string
 
 	recs map[trace.PC]*record
+	// dense caches record pointers in a flat window over the PC range —
+	// branch sites cluster tightly, so the steady-state lookup is one
+	// array index instead of a map probe. The map stays canonical (the
+	// window is only a cache, rebuilt through lookupSlow); see lookup.
+	dense     []*record
+	denseBase trace.PC
 	// active lists the records touched in the current slice, so slice
 	// boundaries cost O(branches executed in the slice) instead of
 	// O(all static branches ever seen).
@@ -70,8 +76,10 @@ type Profiler struct {
 	finExec int64
 
 	// hits is BranchBatch's scratch buffer for per-event predictor
-	// outcomes, reused across batches.
-	hits []bool
+	// outcomes, reused across batches; hitWords is its packed-bitmap
+	// counterpart for the SoA path.
+	hits     []bool
+	hitWords []uint64
 }
 
 // NewProfiler creates a 2D-profiler. pred is the profiler's software
@@ -172,13 +180,9 @@ func (p *Profiler) BranchBatch(events []trace.Event) {
 		}
 		hits := p.hits[:len(events)]
 		bpred.ApplyBatch(p.pred, events, hits)
-		for i, e := range events {
-			p.record(e.PC, e.Taken, hits[i])
-		}
+		p.OutcomeBatch(events, hits)
 	case MetricBias:
-		for _, e := range events {
-			p.record(e.PC, e.Taken, e.Taken)
-		}
+		p.OutcomeBatch(events, nil)
 	}
 }
 
@@ -187,15 +191,149 @@ func (p *Profiler) BranchBatch(events []trace.Event) {
 // prediction correctness; for MetricBias profilers correct is ignored
 // and may be nil.
 func (p *Profiler) OutcomeBatch(events []trace.Event, correct []bool) {
-	if p.cfg.Metric == MetricBias {
-		for _, e := range events {
-			p.record(e.PC, e.Taken, e.Taken)
-		}
+	if p.manualSlice {
+		p.applyAoS(events, correct)
 		return
 	}
-	for i, e := range events {
-		p.record(e.PC, e.Taken, correct[i])
+	for len(events) > 0 {
+		n := len(events)
+		if room := p.cfg.SliceSize - p.sliceExec; int64(n) > room {
+			n = int(room)
+		}
+		p.applyAoS(events[:n], correct)
+		events = events[n:]
+		if correct != nil {
+			correct = correct[n:]
+		}
+		if p.sliceExec >= p.cfg.SliceSize {
+			p.endSlice()
+		}
 	}
+}
+
+// applyAoS is applyBits for AoS batches known not to cross a slice
+// boundary: same per-event shape (dense lookup, branchless hit math,
+// whole-program counters folded in once at the end).
+func (p *Profiler) applyAoS(events []trace.Event, correct []bool) {
+	var hitSum int64
+	if p.cfg.Metric == MetricBias {
+		for _, e := range events {
+			r := p.lookup(e.PC)
+			if r.exec == 0 {
+				p.active = append(p.active, r)
+			}
+			h := int64(b2i(e.Taken))
+			r.exec++
+			r.totExec++
+			r.hit += h
+			r.totHit += h
+			hitSum += h
+		}
+	} else {
+		for i, e := range events {
+			r := p.lookup(e.PC)
+			if r.exec == 0 {
+				p.active = append(p.active, r)
+			}
+			h := int64(b2i(correct[i]))
+			r.exec++
+			r.totExec++
+			r.hit += h
+			r.totHit += h
+			hitSum += h
+		}
+	}
+	n := int64(len(events))
+	p.sliceExec += n
+	p.totalExec += n
+	p.sliceHit += hitSum
+	p.totalHit += hitSum
+}
+
+// BranchBatchSoA implements trace.SoABatchSink: a whole decoded batch
+// in struct-of-arrays form, exactly equivalent to calling Branch for
+// each event in order. This is the hot replay path — the predictor runs
+// its SoA batch kernel into a packed hit bitmap and the per-branch
+// statistics are folded in by applyBits, with no per-event []Event or
+// []bool materialised anywhere.
+func (p *Profiler) BranchBatchSoA(b *trace.SoABatch) {
+	if p.external {
+		panic("core: BranchBatchSoA on a hardware profiler; use OutcomeBatchSoA")
+	}
+	switch p.cfg.Metric {
+	case MetricAccuracy:
+		words := (b.Len() + 63) / 64
+		if cap(p.hitWords) < words {
+			p.hitWords = make([]uint64, words)
+		}
+		hw := p.hitWords[:words]
+		bpred.ApplyBatchSoA(p.pred, b.PCs, b.Taken, hw)
+		p.applyBitsSliced(b.PCs, hw, 0)
+	case MetricBias:
+		p.applyBitsSliced(b.PCs, b.Taken, 0)
+	}
+}
+
+// OutcomeBatchSoA is the struct-of-arrays OutcomeBatch: a run of
+// externally observed events whose directions and prediction
+// correctness arrive as packed bitmaps. Bit bitOff+i of the bitmaps
+// belongs to pcs[i], so callers can pass sub-ranges of a larger batch
+// without re-packing (engine spans split batches at slice boundaries,
+// which rarely fall on a 64-bit word edge). correct may be nil for
+// MetricBias profilers.
+func (p *Profiler) OutcomeBatchSoA(pcs []trace.PC, taken, correct []uint64, bitOff int) {
+	bits := correct
+	if p.cfg.Metric == MetricBias {
+		bits = taken
+	}
+	p.applyBitsSliced(pcs, bits, bitOff)
+}
+
+// applyBitsSliced folds a batch into the statistics, honouring
+// automatic slice boundaries (which can fall anywhere inside the
+// batch). Manual-slice profilers take the whole batch in one stride.
+func (p *Profiler) applyBitsSliced(pcs []trace.PC, bits []uint64, bitOff int) {
+	if p.manualSlice {
+		p.applyBits(pcs, bits, bitOff)
+		return
+	}
+	for len(pcs) > 0 {
+		n := len(pcs)
+		if room := p.cfg.SliceSize - p.sliceExec; int64(n) > room {
+			n = int(room)
+		}
+		p.applyBits(pcs[:n], bits, bitOff)
+		pcs = pcs[n:]
+		bitOff += n
+		if p.sliceExec >= p.cfg.SliceSize {
+			p.endSlice()
+		}
+	}
+}
+
+// applyBits is the statistics inner loop: per event, one dense-window
+// record lookup and six counter bumps, branchless on the hit bit (the
+// whole-program counters accumulate locally and fold in once).
+func (p *Profiler) applyBits(pcs []trace.PC, bits []uint64, bitOff int) {
+	var hitSum int64
+	for i, pc := range pcs {
+		r := p.lookup(pc)
+		if r.exec == 0 {
+			p.active = append(p.active, r)
+		}
+		j := bitOff + i
+		h := int64(bits[j>>6] >> uint(j&63) & 1)
+		r.exec++
+		r.totExec++
+		r.hit += h
+		r.totHit += h
+		hitSum += h
+	}
+	n := int64(len(pcs))
+	p.sliceExec += n
+	p.totalExec += n
+	p.sliceHit += hitSum
+	p.totalHit += hitSum
 }
 
 // BranchOutcome records one dynamic branch whose prediction correctness
@@ -209,30 +347,76 @@ func (p *Profiler) BranchOutcome(pc trace.PC, taken, correct bool) {
 	p.record(pc, taken, hit)
 }
 
-func (p *Profiler) record(pc trace.PC, taken, hit bool) {
+// denseAlign rounds the dense window's anchor down so sites slightly
+// below the first PC seen still land inside it; denseMax bounds the
+// window at 64 K sites (512 KB of pointers), far above any real static
+// branch footprint.
+const (
+	denseAlign = 1 << 12
+	denseMax   = 1 << 16
+)
+
+// lookup returns pc's record, creating it on first sight. The fast path
+// is a single bounds-checked index into the dense window (an out-of-
+// window PC wraps negative and fails the bound, falling through).
+func (p *Profiler) lookup(pc trace.PC) *record {
+	if off := uint64(pc - p.denseBase); off < uint64(len(p.dense)) {
+		if r := p.dense[off]; r != nil {
+			return r
+		}
+	}
+	return p.lookupSlow(pc)
+}
+
+// lookupSlow is the map path: find or create the record, then cache it
+// in the dense window when the PC fits (growing the window by doubling
+// up to denseMax).
+func (p *Profiler) lookupSlow(pc trace.PC) *record {
 	r := p.recs[pc]
 	if r == nil {
 		r = &record{pc: pc}
 		p.recs[pc] = r
 	}
+	if p.dense == nil {
+		p.denseBase = pc &^ (denseAlign - 1)
+		p.dense = make([]*record, denseAlign)
+	}
+	if off := uint64(pc - p.denseBase); off < denseMax {
+		for uint64(len(p.dense)) <= off {
+			p.dense = append(p.dense, make([]*record, len(p.dense))...)
+		}
+		p.dense[off] = r
+	}
+	return r
+}
 
+func (p *Profiler) record(pc trace.PC, taken, hit bool) {
+	r := p.lookup(pc)
 	if r.exec == 0 {
 		p.active = append(p.active, r)
 	}
+	h := int64(b2i(hit))
 	r.exec++
 	r.totExec++
 	p.sliceExec++
 	p.totalExec++
-	if hit {
-		r.hit++
-		r.totHit++
-		p.sliceHit++
-		p.totalHit++
-	}
+	r.hit += h
+	r.totHit += h
+	p.sliceHit += h
+	p.totalHit += h
 
 	if !p.manualSlice && p.sliceExec >= p.cfg.SliceSize {
 		p.endSlice()
 	}
+}
+
+// b2i converts a bool to 0/1 without a branch (the compiler lowers it
+// to a flag materialisation).
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // metricOf converts raw slice counters into the configured metric, in
@@ -365,6 +549,11 @@ func (p *Profiler) Finish() *Report {
 // series are discarded.
 func (p *Profiler) Reset() {
 	clear(p.recs)
+	// Drop the dense window entirely so the next run re-anchors it at
+	// its own first PC (a reused window could be anchored at the wrong
+	// range and degrade every lookup to the map path).
+	p.dense = nil
+	p.denseBase = 0
 	p.active = p.active[:0]
 	p.sliceExec = 0
 	p.sliceHit = 0

@@ -149,9 +149,10 @@ type Engine struct {
 	pred     bpred.Predictor // nil for MetricBias
 	predName string
 
-	shards  []*shard
-	pending []*buffer
-	hits    []bool // scratch for the batched predictor path
+	shards   []*shard
+	pending  []*buffer
+	hits     []bool   // scratch for the batched predictor path
+	hitWords []uint64 // scratch for the SoA predictor path (packed bitmap)
 
 	sliceExec int64 // retired branches since the last global boundary
 	pool      sync.Pool
@@ -301,34 +302,99 @@ func (e *Engine) BranchBatch(events []trace.Event) {
 	}
 }
 
+// BranchBatchSoA implements trace.SoABatchSink: a whole decoded batch
+// in struct-of-arrays form, exactly equivalent to calling Branch for
+// each event in order. The predictor runs its SoA kernel into a packed
+// hit bitmap; routing then hands bitmap sub-ranges (bit offsets, no
+// re-packing) to the shard layer a slice-span at a time. Combined with
+// the single-shard fast path below, a 1-worker BTR2 replay runs
+// decode→predict→profile with no intermediate []Event at all.
+func (e *Engine) BranchBatchSoA(b *trace.SoABatch) {
+	var hw []uint64
+	if e.pred != nil {
+		words := (b.Len() + 63) / 64
+		if cap(e.hitWords) < words {
+			e.hitWords = make([]uint64, words)
+		}
+		hw = e.hitWords[:words]
+		bpred.ApplyBatchSoA(e.pred, b.PCs, b.Taken, hw)
+	}
+	pcs := b.PCs
+	bitOff := 0
+	for len(pcs) > 0 {
+		n := int(e.cfg.SliceSize - e.sliceExec)
+		if n > len(pcs) {
+			n = len(pcs)
+		}
+		e.routeSpanSoA(pcs[:n], b.Taken, hw, bitOff)
+		pcs = pcs[n:]
+		bitOff += n
+		e.sliceExec += int64(n)
+		if e.sliceExec >= e.cfg.SliceSize {
+			e.broadcastSliceEnd()
+			e.sliceExec = 0
+		}
+	}
+}
+
+// singleShard returns the lone shard when the engine runs in inline
+// single-worker mode (no queues, no worker goroutines), where span
+// routing can skip the buffer machinery and apply straight to the
+// profiler. Any pending per-event buffer is flushed first so ordering
+// against the Branch path is preserved.
+func (e *Engine) singleShard() *shard {
+	if len(e.shards) != 1 || e.shards[0].ch != nil {
+		return nil
+	}
+	if b := e.pending[0]; b != nil && len(b.events) > 0 {
+		e.dispatch(0, batch{buf: b})
+		e.pending[0] = nil
+	}
+	return e.shards[0]
+}
+
+// routeSpanSoA routes an SoA span known not to cross a slice boundary;
+// bits bitOff..bitOff+len(pcs) of the bitmaps belong to the span.
+// correct is nil exactly when the metric needs no outcomes
+// (MetricBias). With one shard the span is applied inline with its
+// packed bitmaps; sharded runs unpack per event into the owning
+// shard's AoS buffer.
+func (e *Engine) routeSpanSoA(pcs []trace.PC, taken, correct []uint64, bitOff int) {
+	if s := e.singleShard(); s != nil {
+		s.mu.Lock()
+		s.prof.OutcomeBatchSoA(pcs, taken, correct, bitOff)
+		s.mu.Unlock()
+		return
+	}
+	for i, pc := range pcs {
+		j := bitOff + i
+		s := e.shardOf(pc)
+		b := e.pending[s]
+		if b == nil {
+			b = e.getBuf()
+			e.pending[s] = b
+		}
+		b.events = append(b.events, trace.Event{PC: pc, Taken: taken[j>>6]>>uint(j&63)&1 != 0})
+		if b.correct != nil {
+			b.correct = append(b.correct, correct[j>>6]>>uint(j&63)&1 != 0)
+		}
+		if len(b.events) >= e.opts.BatchSize {
+			e.dispatch(s, batch{buf: b})
+			e.pending[s] = nil
+		}
+	}
+}
+
 // routeSpan routes a run of events known not to cross a slice
 // boundary. hits is nil exactly when the metric needs no outcomes
-// (MetricBias). With a single shard the span is appended in bulk;
-// sharded runs still pick a worker per event, but skip the per-event
-// clock arithmetic route pays.
+// (MetricBias). With a single shard the span is applied to the profiler
+// inline — no buffer copy, no queue; sharded runs pick a worker per
+// event, but skip the per-event clock arithmetic route pays.
 func (e *Engine) routeSpan(events []trace.Event, hits []bool) {
-	if len(e.shards) == 1 {
-		for len(events) > 0 {
-			b := e.pending[0]
-			if b == nil {
-				b = e.getBuf()
-				e.pending[0] = b
-			}
-			n := e.opts.BatchSize - len(b.events)
-			if n > len(events) {
-				n = len(events)
-			}
-			b.events = append(b.events, events[:n]...)
-			events = events[n:]
-			if b.correct != nil {
-				b.correct = append(b.correct, hits[:n]...)
-				hits = hits[n:]
-			}
-			if len(b.events) >= e.opts.BatchSize {
-				e.dispatch(0, batch{buf: b})
-				e.pending[0] = nil
-			}
-		}
+	if s := e.singleShard(); s != nil {
+		s.mu.Lock()
+		s.prof.OutcomeBatch(events, hits)
+		s.mu.Unlock()
 		return
 	}
 	for i, ev := range events {
@@ -489,6 +555,7 @@ func (e *Engine) Workers() int { return len(e.shards) }
 
 // compile-time interface checks.
 var (
-	_ trace.Sink      = (*Engine)(nil)
-	_ trace.BatchSink = (*Engine)(nil)
+	_ trace.Sink         = (*Engine)(nil)
+	_ trace.BatchSink    = (*Engine)(nil)
+	_ trace.SoABatchSink = (*Engine)(nil)
 )

@@ -263,7 +263,10 @@ func TestIdleEvictionAndReload(t *testing.T) {
 func TestCompactionShrinksLog(t *testing.T) {
 	cfg := durableConfig(t, 2)
 	cfg.CheckpointEvery = 1 // any finished log qualifies
-	cfg.CompactInterval = 10 * time.Millisecond
+	// Long enough that the full (uncompacted) log is observable below
+	// before the first janitor pass rewrites it — ingest is fast enough
+	// now that a few-ms interval loses that race.
+	cfg.CompactInterval = 300 * time.Millisecond
 	srv := startServer(t, cfg)
 
 	raw := kernelTrace(t, "fsm", "train", false)

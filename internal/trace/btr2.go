@@ -247,6 +247,7 @@ func (b *BTR2Writer) Close() error {
 // encoded (and possibly compressed) payload. Decoding a chunk needs no
 // state from any other chunk.
 type Chunk struct {
+	Index      int64 // chunk ordinal within the stream (0-based)
 	StartIndex int64 // global index of the chunk's first event
 	Count      int   // events in the chunk
 	BasePC     PC    // absolute PC the deltas start from
@@ -254,28 +255,53 @@ type Chunk struct {
 	Payload    []byte
 }
 
+// inflated returns the raw event varint stream behind the payload,
+// inflating CodecFlate chunks.
+func (c *Chunk) inflated() ([]byte, error) {
+	switch c.Codec {
+	case CodecRaw:
+		return c.Payload, nil
+	case CodecFlate:
+		fr := flate.NewReader(bytes.NewReader(c.Payload))
+		raw, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("trace: inflating BTR2 chunk %d at index %d: %w", c.Index, c.StartIndex, err)
+		}
+		return raw, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown codec %d", errCorruptChunk, c.Codec)
+	}
+}
+
+// eventErr classifies a failed varint read at payload offset pos while
+// decoding event i of the chunk: an exhausted buffer means the stream
+// was cut mid-varint (TruncatedError, which locates the cut by chunk
+// ordinal and payload byte offset); a negative size means an over-long
+// varint, which is corruption rather than truncation.
+func (c *Chunk) eventErr(i, pos, sz int) error {
+	if sz == 0 {
+		return &TruncatedError{Chunk: c.Index, Event: c.StartIndex + int64(i), Offset: int64(pos)}
+	}
+	return fmt.Errorf("%w: over-long varint at event %d of %d (chunk %d, payload byte %d)",
+		errCorruptChunk, i, c.Count, c.Index, pos)
+}
+
 // Decode appends the chunk's events to dst and returns the extended
 // slice. The chunk's payload is not modified; Decode is safe to call
 // from any goroutine as long as each call has its own dst.
 func (c *Chunk) Decode(dst []Event) ([]Event, error) {
-	payload := c.Payload
-	if c.Codec == CodecFlate {
-		fr := flate.NewReader(bytes.NewReader(c.Payload))
-		raw, err := io.ReadAll(fr)
-		if err != nil {
-			return dst, fmt.Errorf("trace: inflating BTR2 chunk at index %d: %w", c.StartIndex, err)
-		}
-		payload = raw
-	} else if c.Codec != CodecRaw {
-		return dst, fmt.Errorf("%w: unknown codec %d", errCorruptChunk, c.Codec)
+	payload, err := c.inflated()
+	if err != nil {
+		return dst, err
 	}
 	last := int64(c.BasePC)
+	pos := 0
 	for i := 0; i < c.Count; i++ {
-		word, sz := binary.Uvarint(payload)
+		word, sz := binary.Uvarint(payload[pos:])
 		if sz <= 0 {
-			return dst, fmt.Errorf("%w: event %d of %d", errCorruptChunk, i, c.Count)
+			return dst, c.eventErr(i, pos, sz)
 		}
-		payload = payload[sz:]
+		pos += sz
 		delta := int64(word >> 2)
 		if word&2 != 0 {
 			delta = -delta
@@ -283,10 +309,94 @@ func (c *Chunk) Decode(dst []Event) ([]Event, error) {
 		last += delta
 		dst = append(dst, Event{PC: PC(last), Taken: word&1 != 0})
 	}
-	if len(payload) != 0 {
-		return dst, fmt.Errorf("%w: %d trailing payload bytes", errCorruptChunk, len(payload))
+	if pos != len(payload) {
+		return dst, fmt.Errorf("%w: %d trailing payload bytes", errCorruptChunk, len(payload)-pos)
 	}
 	return dst, nil
+}
+
+// msbMask has the continuation bit of every byte lane set: a 64-bit
+// window with no lane's continuation bit set is eight complete
+// single-byte varints.
+const msbMask = 0x8080808080808080
+
+// DecodeSoA decodes the chunk into b in struct-of-arrays layout,
+// replacing b's previous contents (the backing arrays are reused). It
+// produces exactly the events Decode produces, but runs a fixed-width
+// 8-wide kernel over the payload: branch deltas have strong spatial
+// locality, so almost every event encodes as a single varint byte, and
+// a 64-bit load whose continuation bits are all clear yields eight
+// events per iteration with branchless unpacking (see DESIGN.md §3h).
+// Events with multi-byte varints fall back to a scalar step and the
+// kernel resumes at the next window.
+func (c *Chunk) DecodeSoA(b *SoABatch) error {
+	payload, err := c.inflated()
+	if err != nil {
+		return err
+	}
+	// Every event costs at least one payload byte, so an implausible
+	// Count is refused before Grow commits memory to it.
+	if c.Count > len(payload) {
+		return &TruncatedError{Chunk: c.Index, Event: c.StartIndex + int64(len(payload)), Offset: int64(len(payload))}
+	}
+	b.Grow(c.Count)
+	pcs := b.PCs
+	bits := b.Taken
+	last := int64(c.BasePC)
+	i, pos := 0, 0
+	for i+8 <= c.Count && pos+8 <= len(payload) {
+		w := binary.LittleEndian.Uint64(payload[pos:])
+		if w&msbMask != 0 {
+			// A multi-byte varint somewhere in the window: decode one
+			// event the scalar way and retry the 8-wide window one
+			// event later.
+			word, sz := binary.Uvarint(payload[pos:])
+			if sz <= 0 {
+				return c.eventErr(i, pos, sz)
+			}
+			pos += sz
+			s := -int64(word >> 1 & 1)
+			last += (int64(word>>2) ^ s) - s
+			pcs[i] = PC(last)
+			bits[i>>6] |= (word & 1) << uint(i&63)
+			i++
+			continue
+		}
+		pos += 8
+		// Eight single-byte events: delta = byte>>2, sign = byte&2,
+		// taken = byte&1, all unpacked without a conditional. The
+		// conditional-negate is (d^s)-s with s = 0 or -1.
+		var tk uint64
+		for k := 0; k < 8; k++ {
+			bb := w & 0xff
+			w >>= 8
+			s := -int64(bb >> 1 & 1)
+			last += (int64(bb>>2) ^ s) - s
+			pcs[i+k] = PC(last)
+			tk |= (bb & 1) << uint(k)
+		}
+		off := uint(i & 63)
+		bits[i>>6] |= tk << off
+		if off > 56 {
+			bits[(i>>6)+1] |= tk >> (64 - off)
+		}
+		i += 8
+	}
+	for ; i < c.Count; i++ {
+		word, sz := binary.Uvarint(payload[pos:])
+		if sz <= 0 {
+			return c.eventErr(i, pos, sz)
+		}
+		pos += sz
+		s := -int64(word >> 1 & 1)
+		last += (int64(word>>2) ^ s) - s
+		pcs[i] = PC(last)
+		bits[i>>6] |= (word & 1) << uint(i&63)
+	}
+	if pos != len(payload) {
+		return fmt.Errorf("%w: %d trailing payload bytes", errCorruptChunk, len(payload)-pos)
+	}
+	return nil
 }
 
 // BTR2Reader decodes a BTR2 stream sequentially. It implements
@@ -301,6 +411,14 @@ type BTR2Reader struct {
 	nextIndex int64 // expected StartIndex of the next chunk
 	chunks    int64 // data chunks consumed so far
 	done      bool  // footer seen
+
+	// Steady-state scratch: the sequential paths (Next/ReadBatch/Replay)
+	// reuse one chunk frame (payload backing array included) and one SoA
+	// batch across the whole stream, so decoding allocates only while the
+	// buffers grow to the chunk size and is allocation-free thereafter.
+	scratch Chunk
+	soa     SoABatch
+	evs     []Event // AoS bridge buffer for non-SoA sinks
 }
 
 // NewBTR2Reader validates the header and returns a sequential reader.
@@ -340,8 +458,21 @@ func (r *BTR2Reader) Chunks() int64 { return r.chunks }
 // or io.EOF once the footer (or a bare end of stream) is reached. The
 // returned chunk owns its payload.
 func (r *BTR2Reader) NextChunk() (*Chunk, error) {
+	c := new(Chunk)
+	if err := r.ReadChunkInto(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ReadChunkInto reads the next chunk frame into c, reusing c's payload
+// backing array when it is large enough — the allocation-free
+// counterpart of NextChunk for steady-state streaming loops. It
+// returns io.EOF once the footer (or a bare end of stream) is reached,
+// leaving c unspecified.
+func (r *BTR2Reader) ReadChunkInto(c *Chunk) error {
 	if r.done {
-		return nil, io.EOF
+		return io.EOF
 	}
 	count, err := binary.ReadUvarint(r.br)
 	if err != nil {
@@ -351,59 +482,62 @@ func (r *BTR2Reader) NextChunk() (*Chunk, error) {
 			// what lets `head -c`-style prefixes and still-streaming pipes
 			// replay their complete chunks.
 			r.done = true
-			return nil, io.EOF
+			return io.EOF
 		}
-		return nil, fmt.Errorf("trace: reading BTR2 chunk count: %w", err)
+		return fmt.Errorf("trace: reading BTR2 chunk count: %w", err)
 	}
 	if count == 0 {
 		// Footer: consume the index so a concatenated reader ends at a
 		// clean stream boundary, and cross-check the totals.
 		if err := r.readFooter(); err != nil {
-			return nil, err
+			return err
 		}
 		r.done = true
-		return nil, io.EOF
+		return io.EOF
 	}
 	const maxChunkEvents = 1 << 28 // backstop against corrupt counts
 	if count > maxChunkEvents {
-		return nil, fmt.Errorf("%w: implausible event count %d", errCorruptChunk, count)
+		return fmt.Errorf("%w: implausible event count %d", errCorruptChunk, count)
 	}
 	start, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading BTR2 chunk start index: %w", eofToCorrupt(err))
+		return fmt.Errorf("trace: reading BTR2 chunk start index: %w", eofToCorrupt(err))
 	}
 	basePC, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading BTR2 chunk base PC: %w", eofToCorrupt(err))
+		return fmt.Errorf("trace: reading BTR2 chunk base PC: %w", eofToCorrupt(err))
 	}
 	codec, err := r.br.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading BTR2 chunk codec: %w", eofToCorrupt(err))
+		return fmt.Errorf("trace: reading BTR2 chunk codec: %w", eofToCorrupt(err))
 	}
 	plen, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading BTR2 chunk payload length: %w", eofToCorrupt(err))
+		return fmt.Errorf("trace: reading BTR2 chunk payload length: %w", eofToCorrupt(err))
 	}
 	const maxChunkPayload = 1 << 30
 	if plen > maxChunkPayload {
-		return nil, fmt.Errorf("%w: implausible payload length %d", errCorruptChunk, plen)
+		return fmt.Errorf("%w: implausible payload length %d", errCorruptChunk, plen)
 	}
 	if int64(start) != r.nextIndex {
-		return nil, fmt.Errorf("%w: start index %d, want %d", errCorruptChunk, start, r.nextIndex)
+		return fmt.Errorf("%w: start index %d, want %d", errCorruptChunk, start, r.nextIndex)
 	}
-	payload := make([]byte, plen)
-	if _, err := io.ReadFull(r.br, payload); err != nil {
-		return nil, fmt.Errorf("trace: reading BTR2 chunk payload: %w", eofToCorrupt(err))
+	if uint64(cap(c.Payload)) < plen {
+		c.Payload = make([]byte, plen)
+	} else {
+		c.Payload = c.Payload[:plen]
 	}
+	if _, err := io.ReadFull(r.br, c.Payload); err != nil {
+		return fmt.Errorf("trace: reading BTR2 chunk payload: %w", eofToCorrupt(err))
+	}
+	c.Index = r.chunks
+	c.StartIndex = int64(start)
+	c.Count = int(count)
+	c.BasePC = PC(basePC)
+	c.Codec = codec
 	r.nextIndex += int64(count)
 	r.chunks++
-	return &Chunk{
-		StartIndex: int64(start),
-		Count:      int(count),
-		BasePC:     PC(basePC),
-		Codec:      codec,
-		Payload:    payload,
-	}, nil
+	return nil
 }
 
 // readFooter consumes the footer index that follows its count-0
@@ -462,13 +596,14 @@ func eofToCorrupt(err error) error {
 	return err
 }
 
-// refill decodes the next chunk into the current-event buffer.
+// refill decodes the next chunk into the current-event buffer. The
+// frame (payload included) and the event buffer are both reused, so a
+// long sequential read settles into a zero-allocation steady state.
 func (r *BTR2Reader) refill() error {
-	c, err := r.NextChunk()
-	if err != nil {
+	if err := r.ReadChunkInto(&r.scratch); err != nil {
 		return err
 	}
-	evs, err := c.Decode(r.cur[:0])
+	evs, err := r.scratch.Decode(r.cur[:0])
 	if err != nil {
 		return err
 	}
@@ -510,9 +645,14 @@ func (r *BTR2Reader) ReadBatch(dst []Event) (int, error) {
 }
 
 // Replay feeds all remaining events into sink and returns the number of
-// events delivered. Sinks implementing BatchSink receive whole decoded
-// chunks at a time.
+// events delivered. Sinks implementing SoABatchSink receive whole
+// chunks decoded straight into struct-of-arrays batches through the
+// 8-wide kernel (no []Event is ever materialised); sinks implementing
+// only BatchSink receive whole decoded chunks at a time.
 func (r *BTR2Reader) Replay(sink Sink) (int64, error) {
+	if ss, ok := sink.(SoABatchSink); ok {
+		return r.replaySoA(ss)
+	}
 	var n int64
 	for {
 		if r.pos < len(r.cur) {
@@ -526,6 +666,35 @@ func (r *BTR2Reader) Replay(sink Sink) (int64, error) {
 			}
 			return n, err
 		}
+	}
+}
+
+// replaySoA is Replay's struct-of-arrays fast path: chunk frames are
+// read into a reused buffer, decoded 8 events per iteration into a
+// reused SoA batch, and handed to the sink — zero allocations per chunk
+// once the scratch buffers have grown to the stream's chunk size.
+func (r *BTR2Reader) replaySoA(sink SoABatchSink) (int64, error) {
+	var n int64
+	if r.pos < len(r.cur) {
+		// Events already decoded by earlier Next/ReadBatch calls keep
+		// their original order ahead of the SoA stream.
+		r.soa.FromEvents(r.cur[r.pos:])
+		sink.BranchBatchSoA(&r.soa)
+		n += int64(len(r.cur) - r.pos)
+		r.pos = len(r.cur)
+	}
+	for {
+		if err := r.ReadChunkInto(&r.scratch); err != nil {
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, err
+		}
+		if err := r.scratch.DecodeSoA(&r.soa); err != nil {
+			return n, err
+		}
+		sink.BranchBatchSoA(&r.soa)
+		n += int64(r.soa.Len())
 	}
 }
 
@@ -619,6 +788,6 @@ func (ix *BTR2Index) ReadChunk(r io.ReaderAt, i int) (*Chunk, error) {
 	}
 	info := ix.Chunks[i]
 	sr := bufio.NewReader(io.NewSectionReader(r, info.Offset, 1<<62-info.Offset))
-	br := &BTR2Reader{br: sr, nextIndex: info.StartIndex}
+	br := &BTR2Reader{br: sr, nextIndex: info.StartIndex, chunks: int64(i)}
 	return br.NextChunk()
 }

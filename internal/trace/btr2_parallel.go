@@ -20,6 +20,11 @@ import (
 // runs concurrently. Consumers that parallelise further (PC-sharded
 // bias profiling) layer their own fan-out behind the sink (see
 // internal/replay).
+//
+// Chunk frames (payload backing arrays included) and decode buffers are
+// recycled through sync.Pools, so the steady state allocates nothing
+// per chunk: the pools warm up over the first few chunks and the rest
+// of the stream runs on reused memory.
 
 // decodeJob is one chunk frame awaiting decode, tagged with its arrival
 // sequence number.
@@ -28,11 +33,13 @@ type decodeJob struct {
 	chunk *Chunk
 }
 
-// decodeResult is one decoded chunk (or the error that killed it).
+// decodeResult is one decoded chunk (or the error that killed it). For
+// SoA-capable sinks the events arrive in soa; otherwise in evs.
 type decodeResult struct {
 	seq   int64
-	start int64
+	chunk *Chunk // returned to the frame pool after delivery
 	evs   []Event
+	soa   *SoABatch
 	err   error
 }
 
@@ -40,11 +47,14 @@ type decodeResult struct {
 // workers and feeds the events to sink in program order. It is
 // equivalent to Replay — same events, same order, same count — and
 // falls back to it when workers <= 1. Events already buffered by
-// Next/ReadBatch calls are delivered first.
+// Next/ReadBatch calls are delivered first. Sinks implementing
+// SoABatchSink receive each chunk as a struct-of-arrays batch decoded
+// through the 8-wide kernel, exactly as in the sequential Replay.
 func (r *BTR2Reader) ParallelReplay(workers int, sink Sink) (int64, error) {
 	if workers <= 1 {
 		return r.Replay(sink)
 	}
+	soaSink, wantSoA := sink.(SoABatchSink)
 
 	var n int64
 	if r.pos < len(r.cur) {
@@ -54,12 +64,14 @@ func (r *BTR2Reader) ParallelReplay(workers int, sink Sink) (int64, error) {
 	}
 
 	var (
-		jobs    = make(chan decodeJob, workers)
-		results = make(chan decodeResult, workers)
-		abort   = make(chan struct{})
-		readErr = make(chan error, 1)
-		wg      sync.WaitGroup
-		pool    sync.Pool // recycles []Event decode buffers
+		jobs      = make(chan decodeJob, workers)
+		results   = make(chan decodeResult, workers)
+		abort     = make(chan struct{})
+		readErr   = make(chan error, 1)
+		wg        sync.WaitGroup
+		evPool    sync.Pool // recycles []Event decode buffers
+		soaPool   sync.Pool // recycles *SoABatch decode buffers
+		framePool sync.Pool // recycles *Chunk frames (payload arrays)
 	)
 
 	// Decode workers: pull frames, decode into pooled buffers, push
@@ -70,13 +82,23 @@ func (r *BTR2Reader) ParallelReplay(workers int, sink Sink) (int64, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				var buf []Event
-				if v := pool.Get(); v != nil {
-					buf = v.([]Event)[:0]
+				var res decodeResult
+				res.seq, res.chunk = j.seq, j.chunk
+				if wantSoA {
+					b, _ := soaPool.Get().(*SoABatch)
+					if b == nil {
+						b = new(SoABatch)
+					}
+					res.soa, res.err = b, j.chunk.DecodeSoA(b)
+				} else {
+					var buf []Event
+					if v := evPool.Get(); v != nil {
+						buf = v.([]Event)[:0]
+					}
+					res.evs, res.err = j.chunk.Decode(buf)
 				}
-				evs, err := j.chunk.Decode(buf)
 				select {
-				case results <- decodeResult{seq: j.seq, start: j.chunk.StartIndex, evs: evs, err: err}:
+				case results <- res:
 				case <-abort:
 					return
 				}
@@ -90,8 +112,11 @@ func (r *BTR2Reader) ParallelReplay(workers int, sink Sink) (int64, error) {
 		defer close(jobs)
 		var seq int64
 		for {
-			c, err := r.NextChunk()
-			if err != nil {
+			c, _ := framePool.Get().(*Chunk)
+			if c == nil {
+				c = new(Chunk)
+			}
+			if err := r.ReadChunkInto(c); err != nil {
 				if err == io.EOF {
 					err = nil
 				}
@@ -115,8 +140,9 @@ func (r *BTR2Reader) ParallelReplay(workers int, sink Sink) (int64, error) {
 	// Collector (this goroutine): reorder decoded chunks by sequence
 	// number and deliver them in order. Stream continuity (each chunk's
 	// StartIndex matching the running event count) was already enforced
-	// by NextChunk on the frame reader, and Decode enforces each chunk's
-	// own event count; delivering in dispatch order preserves both.
+	// by ReadChunkInto on the frame reader, and decode enforces each
+	// chunk's own event count; delivering in dispatch order preserves
+	// both.
 	var (
 		next     int64
 		pending  = make(map[int64]decodeResult)
@@ -142,9 +168,16 @@ func (r *BTR2Reader) ParallelReplay(workers int, sink Sink) (int64, error) {
 				break
 			}
 			delete(pending, next)
-			deliver(sink, cur.evs)
-			n += int64(len(cur.evs))
-			pool.Put(cur.evs)
+			if cur.soa != nil {
+				soaSink.BranchBatchSoA(cur.soa)
+				n += int64(cur.soa.Len())
+				soaPool.Put(cur.soa)
+			} else {
+				deliver(sink, cur.evs)
+				n += int64(len(cur.evs))
+				evPool.Put(cur.evs)
+			}
+			framePool.Put(cur.chunk)
 			next++
 		}
 	}

@@ -116,6 +116,21 @@ func FuzzBTR2RoundTrip(f *testing.F) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// The 8-wide SoA kernel must agree with the scalar decoder
+			// event for event.
+			var soa SoABatch
+			if err := c.DecodeSoA(&soa); err != nil {
+				t.Fatal(err)
+			}
+			if soa.Len() != len(evs) {
+				t.Fatalf("chunk %d: DecodeSoA produced %d events, Decode %d", i, soa.Len(), len(evs))
+			}
+			for j, e := range evs {
+				if soa.PCs[j] != e.PC || soa.TakenBit(j) != e.Taken {
+					t.Fatalf("chunk %d event %d: SoA {%#x %v}, scalar {%#x %v}",
+						i, j, soa.PCs[j], soa.TakenBit(j), e.PC, e.Taken)
+				}
+			}
 			got += int64(len(evs))
 		}
 		if got != int64(len(events)) {

@@ -1,0 +1,139 @@
+package trace
+
+import "fmt"
+
+// Struct-of-arrays event batches.
+//
+// The AoS Event slice costs 16 bytes per event (8-byte PC, 1-byte bool,
+// 7 bytes padding) and forces every consumer to re-split the fields it
+// actually wants. The hot decode→predict→profile pipeline instead moves
+// events as one flat PC array plus a packed outcome bitmap: half the
+// memory traffic, and the predictor/profiler inner loops index the two
+// arrays directly with no per-event struct assembly. SoABatch is that
+// shape; BTR2 chunk decode fills it eight events per iteration
+// (Chunk.DecodeSoA) and internal/engine consumes it through
+// SoABatchSink without ever materialising []Event.
+
+// SoABatch is a run of branch events in struct-of-arrays layout: PCs[i]
+// is event i's branch site and bit i (bit i%64 of word i/64) of Taken
+// is its direction. Taken always holds exactly (len(PCs)+63)/64 words
+// when the batch is built through Append/Grow.
+type SoABatch struct {
+	PCs   []PC
+	Taken []uint64
+}
+
+// Len returns the number of events in the batch.
+func (b *SoABatch) Len() int { return len(b.PCs) }
+
+// Reset empties the batch, keeping both backing arrays.
+func (b *SoABatch) Reset() {
+	b.PCs = b.PCs[:0]
+	b.Taken = b.Taken[:0]
+}
+
+// Grow resizes the batch to exactly n events with a zeroed outcome
+// bitmap, reusing the backing arrays when they are large enough. The
+// caller then fills PCs by index and ORs bits into Taken.
+func (b *SoABatch) Grow(n int) {
+	if cap(b.PCs) < n {
+		b.PCs = make([]PC, n)
+	} else {
+		b.PCs = b.PCs[:n]
+	}
+	words := (n + 63) / 64
+	if cap(b.Taken) < words {
+		b.Taken = make([]uint64, words)
+	} else {
+		b.Taken = b.Taken[:words]
+		for i := range b.Taken {
+			b.Taken[i] = 0
+		}
+	}
+}
+
+// Append adds one event to the batch.
+func (b *SoABatch) Append(pc PC, taken bool) {
+	i := len(b.PCs)
+	b.PCs = append(b.PCs, pc)
+	if i%64 == 0 {
+		b.Taken = append(b.Taken, 0)
+	}
+	if taken {
+		b.Taken[i>>6] |= 1 << uint(i&63)
+	}
+}
+
+// TakenBit reports event i's direction.
+func (b *SoABatch) TakenBit(i int) bool {
+	return b.Taken[i>>6]>>uint(i&63)&1 != 0
+}
+
+// AppendEvents converts the batch (or a sub-range of it) back to AoS
+// events, appending to dst. It is the compatibility bridge for sinks
+// without an SoA path; hot paths never call it.
+func (b *SoABatch) AppendEvents(dst []Event) []Event {
+	for i, pc := range b.PCs {
+		dst = append(dst, Event{PC: pc, Taken: b.TakenBit(i)})
+	}
+	return dst
+}
+
+// FromEvents rebuilds the batch from an AoS event slice (test and
+// bridge helper).
+func (b *SoABatch) FromEvents(events []Event) {
+	b.Grow(len(events))
+	for i, e := range events {
+		b.PCs[i] = e.PC
+		if e.Taken {
+			b.Taken[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// SoABatchSink is an optional struct-of-arrays bulk path for Sink
+// implementations: one call delivers a whole decoded batch, equivalent
+// to calling Branch(PCs[i], TakenBit(i)) for each i in order. Replay
+// paths prefer it over BatchSink when the sink provides it — events
+// then flow decode→predict→profile with no AoS↔SoA conversion.
+type SoABatchSink interface {
+	Sink
+	BranchBatchSoA(b *SoABatch)
+}
+
+// deliverSoA feeds one SoA batch into sink through the richest path it
+// implements.
+func deliverSoA(sink Sink, b *SoABatch, scratch *[]Event) {
+	if ss, ok := sink.(SoABatchSink); ok {
+		ss.BranchBatchSoA(b)
+		return
+	}
+	*scratch = b.AppendEvents((*scratch)[:0])
+	deliver(sink, *scratch)
+}
+
+// TruncatedError reports a trace stream cut (or corrupted) inside an
+// event varint, locating the cut for diagnostics: the chunk it fell in
+// (-1 for unchunked BTR1 streams), the index of the event being decoded
+// when the bytes ran out, and the byte offset of the cut — relative to
+// the chunk payload for BTR2, relative to the end of the header for
+// BTR1. It unwraps to ErrTruncated so callers can errors.Is-match
+// without parsing the position out of the message.
+type TruncatedError struct {
+	Chunk  int64 // BTR2 chunk ordinal, or -1 for a BTR1 stream
+	Event  int64 // index of the event the cut falls inside
+	Offset int64 // byte offset of the cut (see above for the base)
+}
+
+// Error implements error.
+func (e *TruncatedError) Error() string {
+	if e.Chunk >= 0 {
+		return fmt.Sprintf("trace: truncated event varint in chunk %d (event %d, payload byte %d)",
+			e.Chunk, e.Event, e.Offset)
+	}
+	return fmt.Sprintf("trace: truncated event varint (event %d, stream byte %d past header)",
+		e.Event, e.Offset)
+}
+
+// Unwrap makes errors.Is(err, ErrTruncated) hold.
+func (e *TruncatedError) Unwrap() error { return ErrTruncated }

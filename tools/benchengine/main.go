@@ -79,9 +79,11 @@ func main() {
 	out := flag.String("o", "results/BENCH_engine.json", "output file")
 	kernel := flag.String("kernel", "fsm", "VM kernel whose trace drives the sweep")
 	input := flag.String("input", "train", "kernel input set")
-	iters := flag.Int("iters", 2, "repetitions per cell (best is kept)")
-	minReplay := flag.Float64("min-replay", 0.7, "throughput floor for replay cells, as a fraction of the plain profiler over the same stream")
-	minDaemon := flag.Float64("min-daemon", 0.4, "throughput floor for daemon-ingest cells (HTTP transport included)")
+	iters := flag.Int("iters", 3, "timed repetitions per cell (best is kept)")
+	warmup := flag.Int("warmup", 1, "discarded warm-up passes per cell")
+	minReplay := flag.Float64("min-replay", 0.8, "throughput floor for replay cells, as a fraction of the plain profiler over the same stream")
+	minDaemon := flag.Float64("min-daemon", 0.6, "throughput floor for daemon-ingest cells (HTTP transport included)")
+	history := flag.String("history", "results/BENCH_history.jsonl", "append a dated one-line summary of this run (empty disables)")
 	flag.Parse()
 
 	inst, err := progs.StandardInput(*kernel, *input)
@@ -142,6 +144,9 @@ func main() {
 		// baseline's report is the byte-identity reference everywhere.
 		var wantJSON []byte
 		baseline := func(path string, raw []byte) time.Duration {
+			for i := 0; i < *warmup; i++ {
+				plainProfile(raw, cfg)
+			}
 			best := time.Duration(1<<63 - 1)
 			for i := 0; i < *iters; i++ {
 				t0 := time.Now()
@@ -171,6 +176,11 @@ func main() {
 		plainBTR1 := baseline("plain-sequential-btr1", b1.Bytes())
 
 		measure := func(path string, workers int, floor float64, plainBest time.Duration, once func() (*core.Report, error)) {
+			for i := 0; i < *warmup; i++ {
+				if _, err := once(); err != nil {
+					fail(err)
+				}
+			}
 			best := time.Duration(1<<63 - 1)
 			var rep *core.Report
 			for i := 0; i < *iters; i++ {
@@ -244,9 +254,67 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if *history != "" {
+		if err := appendHistory(*history, f, ok); err != nil {
+			fail(err)
+		}
+		fmt.Printf("appended %s\n", *history)
+	}
 	if !ok {
 		fail(fmt.Errorf("throughput floor or report-identity violated (see %s)", *out))
 	}
+}
+
+// historyCell is one measured path in a BENCH_history.jsonl record.
+type historyCell struct {
+	Metric       string  `json:"metric"`
+	Path         string  `json:"path"`
+	Workers      int     `json:"workers"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	RatioVsPlain float64 `json:"ratio_vs_plain"`
+}
+
+// appendHistory adds a dated one-line summary of the run to the
+// append-only history log, so throughput evolution across commits is
+// greppable without diffing the full BENCH_engine.json snapshots.
+func appendHistory(path string, f File, ok bool) error {
+	rec := struct {
+		Date      string        `json:"date"`
+		Tool      string        `json:"tool"`
+		GoVersion string        `json:"go_version"`
+		NumCPU    int           `json:"num_cpu"`
+		Workload  string        `json:"workload"`
+		Events    int64         `json:"events"`
+		Pass      bool          `json:"pass"`
+		Cells     []historyCell `json:"cells"`
+	}{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Tool:      "benchengine",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workload:  f.Workload,
+		Events:    f.Events,
+		Pass:      ok,
+	}
+	for _, mr := range f.Metrics {
+		for _, r := range mr.Runs {
+			rec.Cells = append(rec.Cells, historyCell{
+				Metric: mr.Metric, Path: r.Path, Workers: r.Workers,
+				EventsPerSec: r.EventsPerSec, RatioVsPlain: r.RatioVsPlain,
+			})
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	fh, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	_, err = fh.Write(append(line, '\n'))
+	return err
 }
 
 // plainProfile is the pre-engine primitive: one unsharded profiler
