@@ -30,14 +30,18 @@ vet:
 # lint = vet + formatting drift + the asmcheck gate over the embedded
 # kernels (tools/asmcheckall: zero diagnostics, every branch
 # classified). gofmt -l prints offending files; a non-empty listing
-# fails the target. When the shadow vettool is installed it runs too;
-# absence is not an error (the container may not ship it).
+# fails the target. When the shadow vettool or staticcheck is
+# installed it runs too; absence is not an error (the container may
+# not ship them).
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
 	fi
 	@if command -v shadow >/dev/null 2>&1; then \
 		$(GO) vet -vettool=$$(command -v shadow) ./...; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
 	fi
 	$(GO) run ./tools/asmcheckall
 

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"twodprof/internal/asmcheck"
 	"twodprof/internal/bpred"
@@ -129,7 +130,8 @@ func main() {
 		if *kernel != "" {
 			k, ok := progs.KernelByName(*kernel)
 			if !ok {
-				fail(fmt.Errorf("unknown kernel %q", *kernel))
+				fail(fmt.Errorf("unknown kernel %q (known: %s)",
+					*kernel, strings.Join(progs.KernelNames(), ", ")))
 			}
 			opts.Static = asmcheck.StaticClasses(k.Prog)
 		}

@@ -1,20 +1,27 @@
 // Package asmcheck is a dataflow static-analysis framework over VM
 // programs. It runs a pipeline of analyses on the control-flow graph —
 // structural verification, sparse conditional constant propagation,
-// liveness-based dead-store and unreachable-code detection, and static
-// branch classification — and reports diagnostics plus a per-branch
-// verdict.
+// liveness-based dead-store and unreachable-code detection,
+// input-dependence taint tracking, value-range (interval) analysis,
+// and static branch classification — and reports diagnostics plus a
+// per-branch verdict.
 //
 // The branch verdicts feed 2D-profiling as a static prefilter: a branch
 // proven `const-taken` or `const-not-taken` resolves the same way on
 // every execution under *any* input set, so it can never be
 // input-dependent; a profiler that flags one has a bug (see DESIGN.md
-// §3d for the soundness argument). Loop back-edges with a compile-time
-// trip count are likewise input-invariant in their taken pattern.
+// §3d and §3i for the soundness arguments). The taint and range passes
+// widen this to a full input-dependence lattice: `input-range-constant`
+// (an operand carries input, but the proven [lo,hi] intervals decide
+// the comparison) and `input-independent` (computed from constants and
+// internal state only) are input-invariant too, while
+// `input-dependent` marks the branches 2D-profiling is allowed to
+// flag.
 package asmcheck
 
 import (
 	"fmt"
+	"sort"
 
 	"twodprof/internal/trace"
 	"twodprof/internal/vm"
@@ -39,15 +46,29 @@ const (
 	// AnalysisDeadCode reports SCCP-unreachable instructions (including
 	// arms dominated by constant branches) and dead register stores.
 	AnalysisDeadCode Analysis = "deadcode"
+	// AnalysisTaint tracks input-dependence: initial data memory is the
+	// taint source, and taint flows through registers, word-addressed
+	// memory, predication, call/ret context joins, and control
+	// dependence (see taint.go). It emits no diagnostics of its own;
+	// classify consumes it.
+	AnalysisTaint Analysis = "taint"
+	// AnalysisRange tracks a conservative [lo,hi] interval per register
+	// (refining SCCP through arithmetic and masking), so branches whose
+	// comparison is decided by the ranges are proven statically biased
+	// even when an operand carries input. No diagnostics; classify
+	// consumes it.
+	AnalysisRange Analysis = "range"
 	// AnalysisClassify assigns every conditional branch a verdict:
 	// const-taken, const-not-taken, loop-backedge(trip=K),
-	// data-dependent, or unreachable.
+	// input-range-constant(dir), input-dependent, input-independent,
+	// or unreachable.
 	AnalysisClassify Analysis = "classify"
 )
 
 // AllAnalyses returns the full pipeline in order.
 func AllAnalyses() []Analysis {
-	return []Analysis{AnalysisStructural, AnalysisConstProp, AnalysisDeadCode, AnalysisClassify}
+	return []Analysis{AnalysisStructural, AnalysisConstProp, AnalysisDeadCode,
+		AnalysisTaint, AnalysisRange, AnalysisClassify}
 }
 
 // Result is the outcome of running the pipeline over one program.
@@ -78,14 +99,19 @@ func Run(prog *vm.Program, analyses ...Analysis) (*Result, error) {
 	want := map[Analysis]bool{}
 	for _, a := range analyses {
 		switch a {
-		case AnalysisStructural, AnalysisConstProp, AnalysisDeadCode, AnalysisClassify:
+		case AnalysisStructural, AnalysisConstProp, AnalysisDeadCode,
+			AnalysisTaint, AnalysisRange, AnalysisClassify:
 			want[a] = true
 		default:
 			return nil, fmt.Errorf("asmcheck: unknown analysis %q", a)
 		}
 	}
 	// Dependency closure.
-	if want[AnalysisClassify] || want[AnalysisDeadCode] {
+	if want[AnalysisClassify] {
+		want[AnalysisTaint] = true
+		want[AnalysisRange] = true
+	}
+	if want[AnalysisDeadCode] || want[AnalysisTaint] || want[AnalysisRange] {
 		want[AnalysisConstProp] = true
 	}
 	if want[AnalysisConstProp] {
@@ -125,15 +151,23 @@ func Run(prog *vm.Program, analyses ...Analysis) (*Result, error) {
 		res.Diags = append(res.Diags, checkDead(prog, cp)...)
 	}
 	if want[AnalysisClassify] {
-		res.Branches = classify(prog, cp)
+		ta := analyzeTaint(prog, cp)
+		ra := analyzeRanges(prog, cp)
+		res.Branches = classify(prog, cp, ta, ra)
+	} else if want[AnalysisTaint] {
+		analyzeTaint(prog, cp)
+	} else if want[AnalysisRange] {
+		analyzeRanges(prog, cp)
 	}
 	res.finish(false)
 	return res, nil
 }
 
-// finish sorts diagnostics and indexes verdicts; when unknownBranches
-// is set it fills the verdict table with ClassUnknown entries so every
-// branch is always classified.
+// finish sorts diagnostics and verdicts and indexes the latter; when
+// unknownBranches is set it fills the verdict table with ClassUnknown
+// entries so every branch is always classified. Verdicts are ordered
+// by instruction index, then class, so JSON and text output are
+// deterministic regardless of how the table was produced.
 func (r *Result) finish(unknownBranches bool) {
 	if unknownBranches {
 		for _, i := range vm.StaticBranches(r.Prog) {
@@ -144,6 +178,12 @@ func (r *Result) finish(unknownBranches bool) {
 		}
 	}
 	sortDiags(r.Diags)
+	sort.Slice(r.Branches, func(i, j int) bool {
+		if r.Branches[i].Inst != r.Branches[j].Inst {
+			return r.Branches[i].Inst < r.Branches[j].Inst
+		}
+		return r.Branches[i].Class < r.Branches[j].Class
+	})
 	r.classOf = make(map[int]*BranchVerdict, len(r.Branches))
 	for i := range r.Branches {
 		r.classOf[r.Branches[i].Inst] = &r.Branches[i]
@@ -194,7 +234,7 @@ func StaticClasses(prog *vm.Program) map[trace.PC]string {
 	}
 	out := make(map[trace.PC]string, len(res.Branches))
 	for _, v := range res.Branches {
-		out[trace.PC(v.Inst)] = v.Class.StringWithTrip(v.Trip)
+		out[trace.PC(v.Inst)] = v.String()
 	}
 	return out
 }

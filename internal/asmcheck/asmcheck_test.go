@@ -227,18 +227,18 @@ func TestClassifyLoopBackedgeInCallee(t *testing.T) {
 	}
 }
 
-func TestClassifyDataDependent(t *testing.T) {
+func TestClassifyInputDependent(t *testing.T) {
 	res := run(t, "ld r1, [r0+0]\nbeq r1, r0, done\nout r1\ndone: halt\n")
-	if v := verdictOf(t, res, 1); v.Class != asmcheck.ClassDataDependent {
-		t.Errorf("verdict = %s, want data-dependent (%s)", v, v.Why)
+	if v := verdictOf(t, res, 1); v.Class != asmcheck.ClassInputDependent {
+		t.Errorf("verdict = %s, want input-dependent (%s)", v, v.Why)
 	}
 }
 
 // A loop whose bound comes from memory has no provable trip count.
-func TestClassifyInputBoundLoopStaysDataDependent(t *testing.T) {
+func TestClassifyInputBoundLoopStaysInputDependent(t *testing.T) {
 	res := run(t, "ld r2, [r0+0]\nloop: addi r1, r1, 1\nblt r1, r2, loop\nhalt\n")
-	if v := verdictOf(t, res, 2); v.Class != asmcheck.ClassDataDependent {
-		t.Errorf("verdict = %s, want data-dependent (%s)", v, v.Why)
+	if v := verdictOf(t, res, 2); v.Class != asmcheck.ClassInputDependent {
+		t.Errorf("verdict = %s, want input-dependent (%s)", v, v.Why)
 	}
 }
 

@@ -25,8 +25,19 @@ const (
 	// compile-time constant (Trip executions per loop entry, the last
 	// one exiting).
 	ClassLoopBackedge
-	// ClassDataDependent: the condition depends on input data.
-	ClassDataDependent
+	// ClassRangeConst: an operand carries input data, but the proven
+	// value ranges decide the comparison the same way on every
+	// execution (e.g. a masked flag tested against a larger constant).
+	ClassRangeConst
+	// ClassInputDependent: the condition is tainted by the input — an
+	// operand derives from initial data memory, or the branch itself
+	// executes under input-dependent control.
+	ClassInputDependent
+	// ClassInputIndependent: the condition varies between executions of
+	// the branch, but only with constants and internal state (loop
+	// counters, call contexts) — never with the input. Its outcome
+	// sequence is identical under every input data set.
+	ClassInputIndependent
 )
 
 // String returns the verdict keyword.
@@ -40,8 +51,12 @@ func (c BranchClass) String() string {
 		return "const-not-taken"
 	case ClassLoopBackedge:
 		return "loop-backedge"
-	case ClassDataDependent:
-		return "data-dependent"
+	case ClassRangeConst:
+		return "input-range-constant"
+	case ClassInputDependent:
+		return "input-dependent"
+	case ClassInputIndependent:
+		return "input-independent"
 	default:
 		return "unknown"
 	}
@@ -66,6 +81,17 @@ func (c BranchClass) IsConst() bool {
 	return c == ClassConstTaken || c == ClassConstNotTaken
 }
 
+// InputInvariant reports whether the verdict proves the branch's
+// outcome stream is identical under every input data set — the widened
+// prefilter property: const branches, range-decided branches, and
+// branches computed purely from internal state can never be flagged
+// input-dependent by a correct 2D profiler. Loop back-edges are
+// deliberately excluded: their pattern is input-invariant, but the
+// claim stays conservative about predictor-table aliasing effects.
+func (c BranchClass) InputInvariant() bool {
+	return c.IsConst() || c == ClassRangeConst || c == ClassInputIndependent
+}
+
 // BranchVerdict is the classification of one static branch site.
 type BranchVerdict struct {
 	// Inst is the branch's instruction index (its trace.PC identity).
@@ -76,19 +102,35 @@ type BranchVerdict struct {
 	Class BranchClass `json:"class"`
 	// Trip is the per-entry execution count for ClassLoopBackedge.
 	Trip int64 `json:"trip,omitempty"`
+	// Dir is the proven direction for ClassRangeConst: "taken" or
+	// "not-taken".
+	Dir string `json:"dir,omitempty"`
 	// Why explains the verdict.
 	Why string `json:"why,omitempty"`
 }
 
-// String renders the verdict with its trip count.
-func (v BranchVerdict) String() string { return v.Class.StringWithTrip(v.Trip) }
+// String renders the verdict with its parameters: a loop back-edge
+// carries its trip count ("loop-backedge(trip=4)") and a range-decided
+// branch its direction ("input-range-constant(taken)").
+func (v BranchVerdict) String() string {
+	if v.Class == ClassRangeConst && v.Dir != "" {
+		return fmt.Sprintf("input-range-constant(%s)", v.Dir)
+	}
+	return v.Class.StringWithTrip(v.Trip)
+}
 
 // tripSimBound caps the trip-count simulation; loops provably longer
-// than this stay data-dependent rather than stalling the analysis.
+// than this fall through to the taint verdicts rather than stalling
+// the analysis.
 const tripSimBound = 1 << 20
 
-// classify assigns a verdict to every conditional branch.
-func classify(p *vm.Program, cp *propagation) []BranchVerdict {
+// classify assigns a verdict to every conditional branch. Precedence,
+// most specific first: unreachable, const (SCCP decides the
+// comparison), loop-backedge (proven trip count), input-range-constant
+// (intervals decide the comparison), input-dependent (taint), and
+// input-independent as the leftover — varying, but only with internal
+// state.
+func classify(p *vm.Program, cp *propagation, ta *taint, ra *ranges) []BranchVerdict {
 	g := cfg.Build(p)
 	// Call targets become extra CFG roots: the intraprocedural edge set
 	// (calls fall through, ret/halt stop) leaves callee bodies
@@ -127,13 +169,31 @@ func classify(p *vm.Program, cp *propagation) []BranchVerdict {
 				v.Class = ClassLoopBackedge
 				v.Trip = trip
 				v.Why = why
-			} else {
-				v.Class = ClassDataDependent
-				which := in.Rs1
-				if a.kind == latConst {
-					which = in.Rs2
+				break
+			}
+			if taken, ok, why := ra.decide(i, in); ok {
+				v.Class = ClassRangeConst
+				v.Dir = "not-taken"
+				if taken {
+					v.Dir = "taken"
 				}
-				v.Why = fmt.Sprintf("r%d varies with the input at this point", which)
+				v.Why = why
+				break
+			}
+			switch ct := ta.condTaint(i, in); {
+			case ct.data:
+				v.Class = ClassInputDependent
+				v.Why = fmt.Sprintf("r%d carries input-derived data at this point", ct.reg)
+			case ct.ctrl:
+				// Untainted operands are not enough: under
+				// input-dependent control the branch's execution count
+				// (hence its outcome stream) still varies with the
+				// input.
+				v.Class = ClassInputDependent
+				v.Why = "executes under input-dependent control"
+			default:
+				v.Class = ClassInputIndependent
+				v.Why = "operands derive from constants and internal state only"
 			}
 		}
 		out = append(out, v)

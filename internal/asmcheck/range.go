@@ -1,0 +1,538 @@
+package asmcheck
+
+import (
+	"fmt"
+	"math"
+
+	"twodprof/internal/vm"
+)
+
+// Value-range (interval) analysis refining SCCP: every register at
+// every reached point carries a conservative [lo,hi] bound. Where SCCP
+// can only say "varying", the intervals often still decide a branch —
+// `andi r1, r1, 1` bounds r1 to [0,1] regardless of the input, so
+// `blt r1, r2` against r2 >= 2 is taken on every execution even though
+// r1 carries input data. Such branches classify input-range-constant.
+//
+// The analysis flows over the same feasible edge set as SCCP and taint,
+// refines intervals along branch edges (the taken arm of `blt r1, r2`
+// knows r1 < r2), and widens growing bounds to ±∞ after a fixed number
+// of changes per program point so loops terminate.
+
+// interval is an inclusive signed range. The full interval is
+// [math.MinInt64, math.MaxInt64].
+type interval struct{ lo, hi int64 }
+
+var fullRange = interval{math.MinInt64, math.MaxInt64}
+
+func single(v int64) interval { return interval{v, v} }
+
+func (iv interval) isFull() bool   { return iv.lo == math.MinInt64 && iv.hi == math.MaxInt64 }
+func (iv interval) isSingle() bool { return iv.lo == iv.hi }
+
+func (iv interval) String() string {
+	switch {
+	case iv.isFull():
+		return "[-inf,+inf]"
+	case iv.isSingle():
+		return fmt.Sprintf("[%d]", iv.lo)
+	default:
+		lo, hi := "-inf", "+inf"
+		if iv.lo != math.MinInt64 {
+			lo = fmt.Sprintf("%d", iv.lo)
+		}
+		if iv.hi != math.MaxInt64 {
+			hi = fmt.Sprintf("%d", iv.hi)
+		}
+		return fmt.Sprintf("[%s,%s]", lo, hi)
+	}
+}
+
+// hull is the smallest interval covering both.
+func hull(a, b interval) interval {
+	if b.lo < a.lo {
+		a.lo = b.lo
+	}
+	if b.hi > a.hi {
+		a.hi = b.hi
+	}
+	return a
+}
+
+// addSat adds with saturation to the interval extremes on overflow.
+func addSat(a, b int64) int64 {
+	s := a + b
+	if b > 0 && s < a {
+		return math.MaxInt64
+	}
+	if b < 0 && s > a {
+		return math.MinInt64
+	}
+	return s
+}
+
+// addIv adds two intervals, going full on overflow of either endpoint.
+func addIv(a, b interval) interval {
+	lo, hi := addSat(a.lo, b.lo), addSat(a.hi, b.hi)
+	if lo > hi { // saturation crossed over
+		return fullRange
+	}
+	return interval{lo, hi}
+}
+
+func negIv(a interval) interval {
+	if a.lo == math.MinInt64 {
+		return fullRange
+	}
+	return interval{-a.hi, -a.lo}
+}
+
+// mulOv multiplies, reporting overflow.
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		// Any multiplier but 1 overflows, and the quotient check below
+		// would itself overflow on MinInt64 / -1. Bail conservatively.
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// rangeState is the abstract register file of intervals at one point.
+type rangeState [vm.NumRegs]interval
+
+func (s *rangeState) set(rd uint8, iv interval) {
+	if rd != 0 {
+		s[rd] = iv
+	}
+}
+
+// widenLimit caps how many times one (instruction, register) slot may
+// change before its growing bound is widened to the matching infinity.
+const widenLimit = 8
+
+// ranges is the completed interval analysis.
+type ranges struct {
+	in      []rangeState
+	visited []bool
+}
+
+// analyzeRanges runs the interval fixpoint over the feasible graph.
+func analyzeRanges(p *vm.Program, cp *propagation) *ranges {
+	n := len(p.Insts)
+	ra := &ranges{
+		in:      make([]rangeState, n),
+		visited: make([]bool, n),
+	}
+	out := make([]rangeState, n)
+	bumps := make([][vm.NumRegs]uint8, n)
+
+	var work []int
+	inWork := make([]bool, n)
+	push := func(i int) {
+		if i >= 0 && i < n && !inWork[i] {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	// Entry: the machine zeroes the register file.
+	for r := range ra.in[0] {
+		ra.in[0][r] = single(0)
+	}
+	ra.visited[0] = true
+	push(0)
+
+	flow := func(from, to int, st rangeState) {
+		if to < 0 || to >= n {
+			return
+		}
+		if !ra.visited[to] {
+			ra.visited[to] = true
+			ra.in[to] = st
+			ra.in[to][0] = single(0)
+			push(to)
+			return
+		}
+		changed := false
+		for r := 1; r < vm.NumRegs; r++ {
+			h := hull(ra.in[to][r], st[r])
+			if h == ra.in[to][r] {
+				continue
+			}
+			// Widening: after widenLimit changes at this slot, send the
+			// still-growing bound straight to its infinity so loop
+			// counters cannot ratchet the fixpoint forever.
+			if bumps[to][r] >= widenLimit {
+				if h.lo < ra.in[to][r].lo {
+					h.lo = math.MinInt64
+				}
+				if h.hi > ra.in[to][r].hi {
+					h.hi = math.MaxInt64
+				}
+			} else {
+				bumps[to][r]++
+			}
+			ra.in[to][r] = h
+			changed = true
+		}
+		if changed {
+			push(to)
+		}
+	}
+
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+
+		inst := p.Insts[i]
+		out[i] = rangeTransfer(ra.in[i], inst)
+		for _, s := range cp.fsuccs[i] {
+			st := out[i]
+			if inst.Op == vm.OpBr && inst.Target != i+1 && len(cp.fsuccs[i]) >= 2 {
+				refined, feasible := refineEdge(st, inst, s == inst.Target)
+				if !feasible {
+					continue // the intervals prove this arm dead
+				}
+				st = refined
+			}
+			flow(i, s, st)
+		}
+	}
+	return ra
+}
+
+// decide checks whether the intervals at branch i force one direction.
+func (ra *ranges) decide(i int, in vm.Inst) (taken, ok bool, why string) {
+	if !ra.visited[i] {
+		return false, false, ""
+	}
+	a, b := ra.in[i][in.Rs1], ra.in[i][in.Rs2]
+	t, f := compareIv(in.Cond, a, b)
+	switch {
+	case t:
+		taken, ok = true, true
+	case f:
+		taken, ok = false, true
+	default:
+		return false, false, ""
+	}
+	why = fmt.Sprintf("ranges decide it: r%d in %s, r%d in %s", in.Rs1, a, in.Rs2, b)
+	return taken, ok, why
+}
+
+// compareIv reports whether cond is provably always true or always
+// false for all a in ia, b in ib.
+func compareIv(cond vm.Cond, a, b interval) (alwaysTrue, alwaysFalse bool) {
+	switch cond {
+	case vm.CondEQ:
+		return a.isSingle() && b.isSingle() && a.lo == b.lo,
+			a.hi < b.lo || b.hi < a.lo
+	case vm.CondNE:
+		f, t := compareIv(vm.CondEQ, a, b)
+		return t, f
+	case vm.CondLT:
+		return a.hi < b.lo, a.lo >= b.hi
+	case vm.CondLE:
+		return a.hi <= b.lo, a.lo > b.hi
+	case vm.CondGT:
+		return a.lo > b.hi, a.hi <= b.lo
+	case vm.CondGE:
+		return a.lo >= b.hi, a.hi < b.lo
+	}
+	return false, false
+}
+
+// refineEdge narrows the branch operands along one outgoing edge using
+// the condition (or its negation). A provably empty result means the
+// edge cannot be taken under the intervals.
+func refineEdge(st rangeState, in vm.Inst, taken bool) (rangeState, bool) {
+	a, b := st[in.Rs1], st[in.Rs2]
+	cond := in.Cond
+	if !taken {
+		cond = negateCond(cond)
+	}
+	switch cond {
+	case vm.CondEQ:
+		m := interval{max64(a.lo, b.lo), min64(a.hi, b.hi)}
+		a, b = m, m
+	case vm.CondNE:
+		// Only singleton exclusion at the endpoints is expressible.
+		if b.isSingle() {
+			a = shaveEndpoint(a, b.lo)
+		}
+		if a.isSingle() {
+			b = shaveEndpoint(b, a.lo)
+		}
+	case vm.CondLT: // a < b
+		if b.hi != math.MinInt64 {
+			a.hi = min64(a.hi, addSat(b.hi, -1))
+		}
+		if a.lo != math.MaxInt64 {
+			b.lo = max64(b.lo, addSat(a.lo, 1))
+		}
+	case vm.CondLE: // a <= b
+		a.hi = min64(a.hi, b.hi)
+		b.lo = max64(b.lo, a.lo)
+	case vm.CondGT: // a > b
+		a.lo = max64(a.lo, addSat(b.lo, 1))
+		b.hi = min64(b.hi, addSat(a.hi, -1))
+	case vm.CondGE: // a >= b
+		a.lo = max64(a.lo, b.lo)
+		b.hi = min64(b.hi, a.hi)
+	}
+	if a.lo > a.hi || b.lo > b.hi {
+		return st, false
+	}
+	// With identical operand registers the two constraints must be
+	// intersected, not applied independently.
+	if in.Rs1 == in.Rs2 {
+		m := interval{max64(a.lo, b.lo), min64(a.hi, b.hi)}
+		if m.lo > m.hi {
+			return st, false
+		}
+		a, b = m, m
+	}
+	st.set(in.Rs1, a)
+	st.set(in.Rs2, b)
+	return st, true
+}
+
+func negateCond(c vm.Cond) vm.Cond {
+	switch c {
+	case vm.CondEQ:
+		return vm.CondNE
+	case vm.CondNE:
+		return vm.CondEQ
+	case vm.CondLT:
+		return vm.CondGE
+	case vm.CondLE:
+		return vm.CondGT
+	case vm.CondGT:
+		return vm.CondLE
+	default: // CondGE
+		return vm.CondLT
+	}
+}
+
+// shaveEndpoint removes v from iv when v sits exactly on an endpoint
+// (interior holes are not representable).
+func shaveEndpoint(iv interval, v int64) interval {
+	if iv.isSingle() {
+		return iv // handled by feasibility elsewhere; cannot shave to empty here
+	}
+	if iv.lo == v {
+		iv.lo = addSat(v, 1)
+	} else if iv.hi == v {
+		iv.hi = addSat(v, -1)
+	}
+	return iv
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// rangeTransfer applies one instruction to the interval register file,
+// conservatively over vm.Machine.Run's concrete semantics.
+func rangeTransfer(st rangeState, in vm.Inst) rangeState {
+	a, b := st[in.Rs1], st[in.Rs2]
+	switch in.Op {
+	case vm.OpLi:
+		st.set(in.Rd, single(in.Imm))
+	case vm.OpMov:
+		st.set(in.Rd, a)
+	case vm.OpAdd:
+		st.set(in.Rd, addIv(a, b))
+	case vm.OpSub:
+		st.set(in.Rd, addIv(a, negIv(b)))
+	case vm.OpAddi:
+		st.set(in.Rd, addIv(a, single(in.Imm)))
+	case vm.OpMul:
+		st.set(in.Rd, mulIv(a, b))
+	case vm.OpDiv:
+		st.set(in.Rd, divIv(a, b))
+	case vm.OpMod:
+		st.set(in.Rd, modIv(a, b))
+	case vm.OpAnd:
+		st.set(in.Rd, andIv(a, b))
+	case vm.OpAndi:
+		st.set(in.Rd, andIv(a, single(in.Imm)))
+	case vm.OpOr, vm.OpXor:
+		st.set(in.Rd, orXorIv(a, b))
+	case vm.OpShl:
+		st.set(in.Rd, shlIv(a, b))
+	case vm.OpShli:
+		st.set(in.Rd, shlIv(a, single(in.Imm&63)))
+	case vm.OpShr:
+		st.set(in.Rd, shrIv(a, b))
+	case vm.OpShri:
+		st.set(in.Rd, shrIv(a, single(in.Imm&63)))
+	case vm.OpLd:
+		st.set(in.Rd, fullRange) // memory holds the input data set
+	case vm.OpSet:
+		t, f := compareIv(in.Cond, a, b)
+		switch {
+		case t:
+			st.set(in.Rd, single(1))
+		case f:
+			st.set(in.Rd, single(0))
+		default:
+			st.set(in.Rd, interval{0, 1})
+		}
+	case vm.OpCmov:
+		// Predicate provably zero keeps rd; provably nonzero moves rs2;
+		// otherwise either may happen.
+		pt, pf := compareIv(vm.CondNE, a, single(0))
+		switch {
+		case pf:
+			// keep old rd
+		case pt:
+			st.set(in.Rd, b)
+		default:
+			st.set(in.Rd, hull(st[in.Rd], b))
+		}
+	}
+	return st
+}
+
+func mulIv(a, b interval) interval {
+	if a.isFull() || b.isFull() {
+		return fullRange
+	}
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, x := range [2]int64{a.lo, a.hi} {
+		for _, y := range [2]int64{b.lo, b.hi} {
+			p, ok := mulOv(x, y)
+			if !ok {
+				return fullRange
+			}
+			lo, hi = min64(lo, p), max64(hi, p)
+		}
+	}
+	return interval{lo, hi}
+}
+
+func divIv(a, b interval) interval {
+	// Only divisor ranges excluding zero are safe to bound; anything
+	// else may trap at runtime, and surviving executions are not
+	// usefully constrained here.
+	if b.lo <= 0 && b.hi >= 0 {
+		return fullRange
+	}
+	if a.lo == math.MinInt64 && b.lo <= -1 && b.hi >= -1 {
+		return fullRange // MinInt64 / -1 overflows
+	}
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, x := range [2]int64{a.lo, a.hi} {
+		for _, y := range [2]int64{b.lo, b.hi} {
+			q := x / y
+			lo, hi = min64(lo, q), max64(hi, q)
+		}
+	}
+	// Division truncates toward zero, so quotients of interior points
+	// never escape the endpoint quotients' hull for a fixed-sign
+	// divisor range.
+	return interval{lo, hi}
+}
+
+func modIv(a, b interval) interval {
+	if b.lo <= 0 && b.hi >= 0 {
+		return fullRange // possible trap
+	}
+	// |a % b| < |b|, with the sign of a (Go truncated division).
+	m := max64(abs64(b.lo), abs64(b.hi))
+	if m == math.MinInt64 || m < 0 {
+		return fullRange
+	}
+	out := interval{-(m - 1), m - 1}
+	if a.lo >= 0 {
+		out.lo = 0
+	}
+	if a.hi <= 0 {
+		out.hi = 0
+	}
+	return out
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v // MinInt64 stays negative; callers check
+	}
+	return v
+}
+
+func andIv(a, b interval) interval {
+	// x & y for y in [0,m] lands in [0,m]; likewise symmetric. Negative
+	// masks preserve non-negative x: result in [0, a.hi].
+	switch {
+	case b.lo >= 0:
+		hi := b.hi
+		if a.lo >= 0 {
+			hi = min64(hi, a.hi)
+		}
+		return interval{0, hi}
+	case a.lo >= 0:
+		return interval{0, a.hi}
+	default:
+		return fullRange
+	}
+}
+
+func orXorIv(a, b interval) interval {
+	// For non-negative operands both x|y and x^y are bounded by
+	// x + y (no carry can exceed the sum) and non-negative.
+	if a.lo >= 0 && b.lo >= 0 {
+		return interval{0, addSat(a.hi, b.hi)}
+	}
+	return fullRange
+}
+
+func shlIv(a, s interval) interval {
+	if s.isSingle() {
+		sh := uint(s.lo & 63)
+		if sh == 0 {
+			return a
+		}
+		// Monotone (multiply by 2^sh) while no endpoint overflows.
+		if a.lo != math.MinInt64 && a.hi != math.MaxInt64 &&
+			a.hi <= math.MaxInt64>>sh && a.lo >= math.MinInt64>>sh {
+			return interval{a.lo << sh, a.hi << sh}
+		}
+	}
+	return fullRange
+}
+
+func shrIv(a, s interval) interval {
+	if s.isSingle() {
+		sh := uint(s.lo & 63)
+		return interval{a.lo >> sh, a.hi >> sh} // arithmetic shift is monotone
+	}
+	// Unknown shift in [0,63]: the result lies between the value itself
+	// and its sign (0 or -1).
+	lo := a.lo
+	if lo > 0 {
+		lo = 0
+	}
+	hi := a.hi
+	if hi < 0 {
+		hi = -1
+	}
+	return interval{lo, hi}
+}

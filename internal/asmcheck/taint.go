@@ -1,0 +1,365 @@
+package asmcheck
+
+import (
+	"sort"
+
+	"twodprof/internal/cfg"
+	"twodprof/internal/vm"
+)
+
+// Input-dependence taint analysis. The initial data memory is the input
+// source: every word is tainted at entry, every register is not (the
+// machine zeroes the file). Taint then propagates forward over the same
+// feasible interprocedural edge set SCCP computed — call edges into the
+// callee, ret edges to every call-return point (context join), constant
+// branch conditions pruning the dead arm.
+//
+// Three channels carry taint:
+//
+//   - data flow: a definition is tainted when any register it reads is
+//     tainted at that point. SCCP overrides this at every use — a
+//     register holding an SCCP-proven constant has the same value on
+//     every execution under every input, so it is untainted no matter
+//     how it was computed.
+//   - memory: the abstract memory state is the set of constant
+//     addresses proven to hold untainted values; everything outside the
+//     set is tainted (so the entry state is the empty set). A store of
+//     an untainted value through an SCCP-constant address adds the fact
+//     (strong update: the word-addressed cell is fully overwritten); a
+//     tainted store to a constant address removes it; a store through a
+//     tainted address destroys the whole set — any cell may now hold
+//     input-derived data. The join is set intersection.
+//   - control: a definition executing under an input-dependent branch
+//     is tainted even when it only moves constants (the classic
+//     implicit flow: `if (input) r = 1 else r = 0`). Control dependence
+//     is computed from instruction-level postdominators over the
+//     feasible graph (cfg.SolveDominators on the transposed edges with
+//     the exit instructions as roots).
+//
+// The whole analysis is a nested fixpoint: the data/memory pass runs to
+// fixpoint under a control-taint assignment, which is then recomputed
+// from the branch conditions it produced; taint only ever grows, so the
+// outer loop terminates.
+
+// memFacts is the set of constant addresses proven untainted.
+type memFacts map[int64]struct{}
+
+func (m memFacts) clone() memFacts {
+	out := make(memFacts, len(m))
+	for a := range m {
+		out[a] = struct{}{}
+	}
+	return out
+}
+
+// intersectInto removes from m every fact absent from other, reporting
+// whether m changed.
+func (m memFacts) intersectInto(other memFacts) bool {
+	changed := false
+	for a := range m {
+		if _, ok := other[a]; !ok {
+			delete(m, a)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// taintState is the abstract state at one program point.
+type taintState struct {
+	regs vm.RegSet // registers carrying input-derived values
+	mem  memFacts  // addresses proven untainted (complement tainted)
+}
+
+// taint is the completed analysis.
+type taint struct {
+	cp      *propagation
+	in      []taintState
+	visited []bool
+	// ctrl marks instructions control-dependent on at least one
+	// input-dependent branch: whether (and how often) they execute
+	// varies with the input even when their operands do not.
+	ctrl []bool
+	// cdep[i] lists the conditional branches instruction i is
+	// control-dependent on, over the feasible interprocedural graph.
+	cdep [][]int
+}
+
+// taintedReg reports whether register r carries input-derived data at
+// entry to instruction i. SCCP constants are clean by construction:
+// a proven-constant register holds the same value on every execution.
+func (ta *taint) taintedReg(i int, r uint8) bool {
+	if ta.cp.in[i][r].kind == latConst {
+		return false
+	}
+	return ta.in[i].regs.Has(r)
+}
+
+// CondTaint describes how a conditional branch relates to the input.
+type condTaint struct {
+	data bool  // an operand register carries input-derived data
+	ctrl bool  // the branch executes under input-dependent control
+	reg  uint8 // a tainted operand register, when data is set
+}
+
+// condTaint classifies the condition of the branch at instruction i.
+func (ta *taint) condTaint(i int, in vm.Inst) condTaint {
+	ct := condTaint{ctrl: ta.ctrl[i]}
+	switch {
+	case ta.taintedReg(i, in.Rs1):
+		ct.data, ct.reg = true, in.Rs1
+	case ta.taintedReg(i, in.Rs2):
+		ct.data, ct.reg = true, in.Rs2
+	}
+	return ct
+}
+
+// analyzeTaint runs the taint analysis to fixpoint over the feasible
+// graph cp computed.
+func analyzeTaint(p *vm.Program, cp *propagation) *taint {
+	n := len(p.Insts)
+	ta := &taint{
+		cp:   cp,
+		ctrl: make([]bool, n),
+		cdep: controlDeps(p, cp),
+	}
+	// Outer fixpoint over the control-taint assignment: rerun the
+	// data/memory pass until no branch condition's taint changes the
+	// control-dependence picture. Taint only grows with more control
+	// taint, so this terminates after at most one outer round per
+	// conditional branch.
+	for {
+		ta.runData(p, cp)
+		changed := false
+		for i := 0; i < n; i++ {
+			if ta.ctrl[i] {
+				continue
+			}
+			for _, b := range ta.cdep[i] {
+				ct := ta.condTaint(b, p.Insts[b])
+				if ct.data || ct.ctrl {
+					ta.ctrl[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return ta
+		}
+	}
+}
+
+// runData is the inner forward fixpoint: register and memory taint
+// under the current control-taint assignment.
+func (ta *taint) runData(p *vm.Program, cp *propagation) {
+	n := len(p.Insts)
+	ta.in = make([]taintState, n)
+	ta.visited = make([]bool, n)
+	out := make([]taintState, n)
+
+	var work []int
+	inWork := make([]bool, n)
+	push := func(i int) {
+		if i >= 0 && i < n && !inWork[i] {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	// Entry: registers clean, no memory facts (all of memory is input).
+	ta.in[0] = taintState{mem: memFacts{}}
+	ta.visited[0] = true
+	push(0)
+
+	flow := func(from, to int) {
+		if to < 0 || to >= n {
+			return
+		}
+		src := out[from]
+		if !ta.visited[to] {
+			ta.visited[to] = true
+			ta.in[to] = taintState{regs: src.regs, mem: src.mem.clone()}
+			push(to)
+			return
+		}
+		dst := &ta.in[to]
+		changed := false
+		if more := dst.regs | src.regs; more != dst.regs {
+			dst.regs = more
+			changed = true
+		}
+		if dst.mem.intersectInto(src.mem) {
+			changed = true
+		}
+		if changed {
+			push(to)
+		}
+	}
+
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+
+		out[i] = ta.transferTaint(p, i)
+		for _, s := range cp.fsuccs[i] {
+			flow(i, s)
+		}
+	}
+}
+
+// transferTaint applies instruction i to its in-state.
+func (ta *taint) transferTaint(p *vm.Program, i int) taintState {
+	in := p.Insts[i]
+	st := taintState{regs: ta.in[i].regs, mem: ta.in[i].mem.clone()}
+	setReg := func(r uint8, tainted bool) {
+		if r == 0 {
+			return // r0 stays hardwired zero
+		}
+		if tainted {
+			st.regs |= 1 << r
+		} else {
+			st.regs &^= 1 << r
+		}
+	}
+	useTaint := func() bool {
+		for _, r := range in.Uses().Regs() {
+			if ta.taintedReg(i, r) {
+				return true
+			}
+		}
+		return false
+	}
+	ctrl := ta.ctrl[i]
+
+	switch in.Op {
+	case vm.OpLd:
+		fromMem := true
+		if base := ta.cp.in[i][in.Rs1]; base.kind == latConst {
+			if _, clean := st.mem[base.val+in.Imm]; clean {
+				fromMem = false
+			}
+		}
+		setReg(in.Rd, ta.taintedReg(i, in.Rs1) || fromMem || ctrl)
+	case vm.OpSt:
+		val := ta.taintedReg(i, in.Rs2) || ctrl
+		if base := ta.cp.in[i][in.Rs1]; base.kind == latConst {
+			addr := base.val + in.Imm
+			if val {
+				delete(st.mem, addr)
+			} else {
+				st.mem[addr] = struct{}{}
+			}
+		} else if ta.taintedReg(i, in.Rs1) || val {
+			// A store through a tainted address (or of a tainted value
+			// to an unknown address) may land on any cell:
+			// conservatively taint all of memory.
+			st.mem = memFacts{}
+		}
+		// An untainted value through an untainted (merely non-constant)
+		// address hits the same deterministic cell on every input, and
+		// overwrites it with a clean value: existing facts survive.
+	case vm.OpBr, vm.OpJmp, vm.OpCall, vm.OpRet, vm.OpHalt, vm.OpNop, vm.OpOut:
+		// no register definition, memory untouched
+	default:
+		// All register-defining ops, including OpSet (taint of either
+		// comparison operand taints the boolean) and OpCmov (Uses()
+		// includes Rd: a partial write merges the old value in).
+		if d, ok := in.Def(); ok {
+			setReg(d, useTaint() || ctrl)
+		}
+	}
+	return st
+}
+
+// controlDeps computes, per instruction, the conditional branches it is
+// control-dependent on, using instruction-level postdominators over the
+// feasible interprocedural graph. Exit instructions (halt, proven
+// traps, ret with no call sites) are the postdominator roots. Where
+// postdominance is undefined — regions that cannot reach any exit, i.e.
+// statically infinite loops — everything feasibly reachable from the
+// branch is conservatively marked dependent on it.
+func controlDeps(p *vm.Program, cp *propagation) [][]int {
+	n := len(p.Insts)
+	cdep := make([][]int, n)
+
+	// Transposed feasible graph and its exit roots.
+	preds := make([][]int, n)
+	var exits []int
+	for i := 0; i < n; i++ {
+		if !cp.reached[i] {
+			continue
+		}
+		if len(cp.fsuccs[i]) == 0 {
+			exits = append(exits, i)
+		}
+		for _, s := range cp.fsuccs[i] {
+			if s >= 0 && s < n {
+				preds[s] = append(preds[s], i)
+			}
+		}
+	}
+	ipdom := cfg.SolveDominators(n, func(i int) []int { return preds[i] }, exits)
+
+	add := func(j, b int) {
+		for _, have := range cdep[j] {
+			if have == b {
+				return
+			}
+		}
+		cdep[j] = append(cdep[j], b)
+	}
+	// markReachable is the conservative fallback for branches whose
+	// postdominator is undefined: every instruction the branch can
+	// feasibly reach may execute (or not) depending on it.
+	markReachable := func(b int) {
+		seen := make([]bool, n)
+		stack := []int{b}
+		seen[b] = true
+		for len(stack) > 0 {
+			j := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			add(j, b)
+			for _, s := range cp.fsuccs[j] {
+				if s >= 0 && s < n && !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+	}
+
+	for b := 0; b < n; b++ {
+		in := p.Insts[b]
+		// Only branches with two distinct feasible arms steer control.
+		if in.Op != vm.OpBr || !cp.reached[b] || len(cp.fsuccs[b]) < 2 || in.Target == b+1 {
+			continue
+		}
+		if ipdom[b] < 0 {
+			markReachable(b)
+			continue
+		}
+		for _, s := range cp.fsuccs[b] {
+			// Walk s's postdominator chain up to b's immediate
+			// postdominator: everything strictly below it executes only
+			// when this arm is chosen.
+			escaped := false
+			for j := s; j != ipdom[b]; {
+				if j < 0 || (ipdom[j] == j && j != ipdom[b]) {
+					escaped = true
+					break
+				}
+				add(j, b)
+				j = ipdom[j]
+			}
+			if escaped {
+				markReachable(b)
+				break
+			}
+		}
+	}
+	for _, deps := range cdep {
+		sort.Ints(deps)
+	}
+	return cdep
+}

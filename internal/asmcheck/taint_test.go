@@ -1,0 +1,200 @@
+package asmcheck_test
+
+import (
+	"sort"
+	"testing"
+
+	"twodprof/internal/asmcheck"
+	"twodprof/internal/progs"
+)
+
+// TestClassifyInputIndependent: a value that round-trips through memory
+// the program itself wrote stays clean, even though SCCP sees the load
+// as varying. The branch on it is input-independent.
+func TestClassifyInputIndependent(t *testing.T) {
+	res := run(t, `
+		li r1, 7
+		st [r0+5], r1
+		ld r2, [r0+5]
+		beq r2, r0, done
+		out r2
+	done:	halt
+	`)
+	if v := verdictOf(t, res, 3); v.Class != asmcheck.ClassInputIndependent {
+		t.Errorf("verdict = %s, want input-independent (%s)", v, v.Why)
+	}
+	if !asmcheck.ClassInputIndependent.InputInvariant() {
+		t.Error("ClassInputIndependent.InputInvariant() = false")
+	}
+}
+
+// TestClassifyRangeConstant: the operand is input-derived but masked
+// into [0,1], so the comparison against 5 is decided by intervals alone.
+func TestClassifyRangeConstant(t *testing.T) {
+	res := run(t, `
+		ld r1, [r0+0]
+		andi r1, r1, 1
+		li r2, 5
+		blt r1, r2, small
+		out r1
+	small:	halt
+	`)
+	v := verdictOf(t, res, 3)
+	if v.Class != asmcheck.ClassRangeConst {
+		t.Fatalf("verdict = %s, want input-range-constant (%s)", v, v.Why)
+	}
+	if v.Dir != "taken" {
+		t.Errorf("Dir = %q, want taken", v.Dir)
+	}
+	if !v.Class.InputInvariant() {
+		t.Error("range-constant branch not InputInvariant")
+	}
+}
+
+// TestClassifyImplicitFlow: a register assigned only constants, but
+// under input-dependent control, is input-derived; the later branch on
+// it must not be classified input-independent.
+func TestClassifyImplicitFlow(t *testing.T) {
+	res := run(t, `
+		ld r1, [r0+0]
+		beq r1, r0, else
+		li r2, 1
+		jmp join
+	else:	li r2, 2
+	join:	li r3, 1
+		beq r2, r3, one
+		halt
+	one:	out r0
+		halt
+	`)
+	for _, inst := range []int{1, 6} {
+		if v := verdictOf(t, res, inst); v.Class != asmcheck.ClassInputDependent {
+			t.Errorf("branch #%d: verdict = %s, want input-dependent (%s)", inst, v, v.Why)
+		}
+	}
+}
+
+// TestTaintPredicationChain: taint propagates through a set-then-cmov
+// predication chain; the same chain seeded from a constant stays
+// input-invariant.
+func TestTaintPredicationChain(t *testing.T) {
+	tainted := `
+		ld r1, [r0+0]
+		setgt r2, r1, r0
+		li r3, 7
+		li r4, 9
+		cmov r3, r2, r4
+		beq r3, r4, eq
+		out r3
+	eq:	halt
+	`
+	res := run(t, tainted)
+	if v := verdictOf(t, res, 5); v.Class != asmcheck.ClassInputDependent {
+		t.Errorf("tainted chain: verdict = %s, want input-dependent (%s)", v, v.Why)
+	}
+
+	clean := `
+		li r1, 3
+		setgt r2, r1, r0
+		li r3, 7
+		li r4, 9
+		cmov r3, r2, r4
+		beq r3, r4, eq
+		out r3
+	eq:	halt
+	`
+	res = run(t, clean)
+	if v := verdictOf(t, res, 5); !v.Class.InputInvariant() {
+		t.Errorf("constant chain: verdict = %s, want input-invariant (%s)", v, v.Why)
+	}
+}
+
+// TestTaintStoreThroughTaintedAddress: a store whose address is
+// input-derived may alias any word, so it must conservatively wipe
+// every proven-clean memory fact.
+func TestTaintStoreThroughTaintedAddress(t *testing.T) {
+	res := run(t, `
+		li r1, 7
+		st [r0+5], r1
+		ld r2, [r0+0]
+		st [r2+0], r0
+		ld r3, [r0+5]
+		beq r3, r0, done
+		out r3
+	done:	halt
+	`)
+	if v := verdictOf(t, res, 5); v.Class != asmcheck.ClassInputDependent {
+		t.Errorf("verdict = %s, want input-dependent (%s)", v, v.Why)
+	}
+}
+
+// TestTaintStoreThroughCleanAddress: a store of a clean value through a
+// clean (if unknown) address cannot introduce taint, so proven-clean
+// facts survive it.
+func TestTaintStoreThroughCleanAddress(t *testing.T) {
+	res := run(t, `
+		li r1, 7
+		st [r0+5], r1
+		ld r2, [r0+5]
+		st [r2+0], r0
+		ld r3, [r0+5]
+		beq r3, r0, done
+		out r3
+	done:	halt
+	`)
+	if v := verdictOf(t, res, 5); v.Class != asmcheck.ClassInputIndependent {
+		t.Errorf("verdict = %s, want input-independent (%s)", v, v.Why)
+	}
+}
+
+// TestTaintDivModEdges: division and modulus by an input-derived value
+// taint their result; a proven divide-by-zero halts the propagation and
+// leaves the successor branch unreachable.
+func TestTaintDivModEdges(t *testing.T) {
+	for _, op := range []string{"div", "mod"} {
+		res := run(t, `
+		ld r1, [r0+0]
+		`+op+` r2, r1, r1
+		beq r2, r0, z
+		out r2
+	z:	halt
+	`)
+		if v := verdictOf(t, res, 2); v.Class != asmcheck.ClassInputDependent {
+			t.Errorf("%s: verdict = %s, want input-dependent (%s)", op, v, v.Why)
+		}
+	}
+
+	res := run(t, `
+		li r1, 0
+		div r2, r3, r1
+		beq r2, r0, z
+		out r2
+	z:	halt
+	`)
+	if v := verdictOf(t, res, 2); v.Class != asmcheck.ClassUnreachable {
+		t.Errorf("after proven trap: verdict = %s, want unreachable (%s)", v, v.Why)
+	}
+}
+
+// TestVerdictOrderDeterministic: the verdict list every renderer
+// (cmd/asmcheck, vmasm check -json, format.go) walks is sorted by
+// instruction index, then class — on every embedded kernel.
+func TestVerdictOrderDeterministic(t *testing.T) {
+	for _, name := range progs.KernelNames() {
+		k, _ := progs.KernelByName(name)
+		res, err := asmcheck.Run(k.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sorted := sort.SliceIsSorted(res.Branches, func(i, j int) bool {
+			a, b := res.Branches[i], res.Branches[j]
+			if a.Inst != b.Inst {
+				return a.Inst < b.Inst
+			}
+			return a.Class < b.Class
+		})
+		if !sorted {
+			t.Errorf("%s: verdicts not sorted by (inst, class): %+v", name, res.Branches)
+		}
+	}
+}

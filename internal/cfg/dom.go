@@ -98,7 +98,22 @@ func (g *Graph) Dominators() []int {
 // intraprocedural edge set (calls fall through) leaves callee bodies
 // unreachable from block 0.
 func (g *Graph) DominatorsFrom(roots []int) []int {
-	n := len(g.Blocks)
+	succs := g.StaticSuccs()
+	return SolveDominators(len(g.Blocks), func(b int) []int { return succs[b] }, roots)
+}
+
+// SolveDominators computes immediate dominators over an arbitrary
+// directed graph of n nodes (ids 0..n-1) given by its successor
+// function, with every listed root treated as an entry behind a virtual
+// super-root. Root nodes and nodes dominated only by the virtual root
+// get themselves as idom; nodes unreachable from every root get -1.
+//
+// It is the graph-shape-agnostic core of DominatorsFrom, shared with
+// analyses that run over graphs other than the block CFG: asmcheck's
+// taint pass computes instruction-level *post*dominators by handing it
+// the transposed feasible-edge graph with the program's exit
+// instructions as roots.
+func SolveDominators(n int, succs func(int) []int, roots []int) []int {
 	idom := make([]int, n+1) // index n is the virtual super-root
 	for i := range idom {
 		idom[i] = -1
@@ -106,11 +121,12 @@ func (g *Graph) DominatorsFrom(roots []int) []int {
 	if n == 0 {
 		return nil
 	}
-	succs := g.StaticSuccs()
 	vroot := n
 	rootSuccs := make([]int, 0, len(roots))
+	seenRoot := make(map[int]bool, len(roots))
 	for _, r := range roots {
-		if r >= 0 && r < n {
+		if r >= 0 && r < n && !seenRoot[r] {
+			seenRoot[r] = true
 			rootSuccs = append(rootSuccs, r)
 		}
 	}
@@ -118,7 +134,7 @@ func (g *Graph) DominatorsFrom(roots []int) []int {
 		if b == vroot {
 			return rootSuccs
 		}
-		return succs[b]
+		return succs(b)
 	}
 	preds := make([][]int, n+1)
 	for b := 0; b <= n; b++ {

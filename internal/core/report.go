@@ -38,8 +38,9 @@ type Report struct {
 
 	// StaticClass is the optional static prefilter column: the
 	// asmcheck verdict per branch PC ("const-taken",
-	// "loop-backedge(trip=4)", "data-dependent", ...). It is populated
-	// by callers that know the profiled program (kernel runs) via
+	// "loop-backedge(trip=4)", "input-range-constant(taken)",
+	// "input-dependent", "input-independent", ...). It is populated by
+	// callers that know the profiled program (kernel runs) via
 	// AnnotateStatic and stays nil for pure trace replays, leaving the
 	// rendered report unchanged.
 	StaticClass map[trace.PC]string
@@ -68,15 +69,30 @@ func staticConst(class string) bool {
 	return class == "const-taken" || class == "const-not-taken"
 }
 
+// StaticInputInvariant reports whether a static class string proves the
+// branch's outcome stream identical under every input data set: the
+// const verdicts, range-decided branches ("input-range-constant(...)",
+// matched by prefix since the proven direction rides along), and
+// branches computed purely from internal state ("input-independent").
+// Loop back-edges are deliberately not included — their pattern is
+// input-invariant but the check stays conservative about
+// predictor-aliasing effects on neighbouring table entries.
+func StaticInputInvariant(class string) bool {
+	return staticConst(class) ||
+		class == "input-independent" ||
+		strings.HasPrefix(class, "input-range-constant")
+}
+
 // StaticViolations returns the branches the profiler flagged
-// input-dependent even though the static prefilter proves them
-// constant — impossible for a correct profiler over a correct analysis,
-// so any entry here is a bug in one of the two. Empty when the report
-// carries no static annotation.
+// input-dependent even though the static prefilter proves their
+// outcome stream input-invariant (const, range-decided, or computed
+// from internal state only) — impossible for a correct profiler over a
+// correct analysis, so any entry here is a bug in one of the two.
+// Empty when the report carries no static annotation.
 func (r *Report) StaticViolations() []trace.PC {
 	var out []trace.PC
 	for pc, class := range r.StaticClass {
-		if staticConst(class) && r.Branches[pc].InputDependent {
+		if StaticInputInvariant(class) && r.Branches[pc].InputDependent {
 			out = append(out, pc)
 		}
 	}
@@ -145,16 +161,19 @@ func (r *Report) Summary() string {
 		r.Overall, r.MeanThApplied, r.Config.StdTh, r.Config.PAMTh)
 	fmt.Fprintf(&b, "  input-dependent  : %d branches\n", len(dep))
 	if len(r.StaticClass) > 0 {
-		nconst := 0
+		nconst, ninvariant := 0, 0
 		for _, class := range r.StaticClass {
 			if staticConst(class) {
 				nconst++
 			}
+			if StaticInputInvariant(class) {
+				ninvariant++
+			}
 		}
-		fmt.Fprintf(&b, "  static prefilter : %d of %d observed branches classified, %d statically constant\n",
-			len(r.StaticClass), len(r.Branches), nconst)
+		fmt.Fprintf(&b, "  static prefilter : %d of %d observed branches classified, %d statically constant, %d input-invariant\n",
+			len(r.StaticClass), len(r.Branches), nconst, ninvariant)
 		if v := r.StaticViolations(); len(v) > 0 {
-			fmt.Fprintf(&b, "  PREFILTER VIOLATION: %d statically-constant branches flagged input-dependent: %v\n",
+			fmt.Fprintf(&b, "  PREFILTER VIOLATION: %d statically input-invariant branches flagged input-dependent: %v\n",
 				len(v), v)
 		}
 	}

@@ -25,7 +25,7 @@ func staticTestReport() *Report {
 func TestAnnotateStatic(t *testing.T) {
 	r := staticTestReport()
 	r.AnnotateStatic(map[trace.PC]string{
-		5:  "data-dependent",
+		5:  "input-dependent",
 		21: "loop-backedge(trip=4)",
 		30: "const-not-taken",
 		99: "const-taken", // never observed: must be dropped
@@ -75,9 +75,52 @@ func TestStaticViolations(t *testing.T) {
 	}
 }
 
+// The widened rules: every input-invariant class participates in the
+// violation check, loop back-edges and input-dependent verdicts do not.
+func TestStaticInputInvariant(t *testing.T) {
+	invariant := []string{
+		"const-taken", "const-not-taken",
+		"input-independent",
+		"input-range-constant(taken)", "input-range-constant(not-taken)",
+	}
+	for _, c := range invariant {
+		if !StaticInputInvariant(c) {
+			t.Errorf("StaticInputInvariant(%q) = false, want true", c)
+		}
+	}
+	varying := []string{
+		"input-dependent", "loop-backedge(trip=4)", "unknown", "unreachable", "",
+	}
+	for _, c := range varying {
+		if StaticInputInvariant(c) {
+			t.Errorf("StaticInputInvariant(%q) = true, want false", c)
+		}
+	}
+}
+
+func TestStaticViolationsWidened(t *testing.T) {
+	r := staticTestReport()
+	// Branch 5 is flagged input-dependent; proving it range-decided or
+	// input-independent is just as contradictory as proving it const.
+	for _, class := range []string{"input-independent", "input-range-constant(taken)"} {
+		r.AnnotateStatic(map[trace.PC]string{5: class, 21: "input-dependent"})
+		if v := r.StaticViolations(); len(v) != 1 || v[0] != 5 {
+			t.Errorf("class %q: violations = %v, want [5]", class, v)
+		}
+	}
+	// A flagged branch that is statically input-dependent or a loop
+	// back-edge is fine.
+	for _, class := range []string{"input-dependent", "loop-backedge(trip=7)"} {
+		r.AnnotateStatic(map[trace.PC]string{5: class})
+		if v := r.StaticViolations(); len(v) != 0 {
+			t.Errorf("class %q: violations = %v, want none", class, v)
+		}
+	}
+}
+
 func TestStaticJSONRoundTrip(t *testing.T) {
 	r := staticTestReport()
-	r.AnnotateStatic(map[trace.PC]string{5: "data-dependent", 21: "loop-backedge(trip=4)", 30: "const-not-taken"})
+	r.AnnotateStatic(map[trace.PC]string{5: "input-dependent", 21: "loop-backedge(trip=4)", 30: "const-not-taken"})
 	data, err := json.Marshal(r)
 	if err != nil {
 		t.Fatal(err)

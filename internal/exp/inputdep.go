@@ -1,0 +1,287 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"twodprof/internal/asmcheck"
+	"twodprof/internal/progs"
+	"twodprof/internal/trace"
+)
+
+func init() {
+	register("ext-inputdep",
+		"extension: static taint/range input-dependence vs dynamic 2D verdicts (COV/ACC per predictability class) over the full kernel x input matrix",
+		runExtInputDep)
+}
+
+// ExtInputDepRow aggregates static-vs-dynamic agreement for one branch
+// predictability class ("Workload Characterization for Branch
+// Predictability": taken-rate class x transition-rate class). The unit
+// of counting is one (branch, kernel, input) observation.
+type ExtInputDepRow struct {
+	Class string
+	// Branches counts tested branch observations in the class, DynDep
+	// the dynamically flagged ones, StaticDep the statically
+	// input-dependent ones, Both their intersection.
+	Branches  int
+	DynDep    int
+	StaticDep int
+	Both      int
+}
+
+// COV is the coverage of the static verdict over the dynamic one: of
+// the branches the 2D tests flagged, the fraction the taint analysis
+// also calls input-dependent (1 when nothing was flagged).
+func (r ExtInputDepRow) COV() float64 {
+	if r.DynDep == 0 {
+		return 1
+	}
+	return float64(r.Both) / float64(r.DynDep)
+}
+
+// ACC is the accuracy of the static verdict: of the branches the taint
+// analysis calls input-dependent, the fraction the 2D tests flagged on
+// this single input (1 when nothing was statically flagged).
+func (r ExtInputDepRow) ACC() float64 {
+	if r.StaticDep == 0 {
+		return 1
+	}
+	return float64(r.Both) / float64(r.StaticDep)
+}
+
+// ExtInputDep is the static-vs-dynamic input-dependence agreement
+// experiment over the full kernel x input matrix.
+type ExtInputDep struct {
+	// Rows breaks the agreement down by predictability class, sorted by
+	// class name; Overall aggregates everything.
+	Rows    []ExtInputDepRow
+	Overall ExtInputDepRow
+	// Matrix counts the (kernel, input) profiles swept, Unknown the
+	// observed branches without a non-unknown static verdict (must stay
+	// zero), ViolationCount the statically input-invariant branches the
+	// profiler flagged anywhere in the matrix (soundness demands zero —
+	// DESIGN.md §3i).
+	Matrix         int
+	Unknown        int
+	ViolationCount int
+}
+
+// takenClass buckets a branch by its lifetime taken rate, thresholds
+// as in the workload-characterization taxonomy.
+func takenClass(t float64) string {
+	switch {
+	case t >= 0.9:
+		return "biased-taken"
+	case t <= 0.1:
+		return "biased-not-taken"
+	default:
+		return "mixed"
+	}
+}
+
+// transitionClass buckets a branch by its direction-change rate.
+func transitionClass(x float64) string {
+	switch {
+	case x <= 0.1:
+		return "stable"
+	case x >= 0.9:
+		return "oscillating"
+	default:
+		return "moderate"
+	}
+}
+
+// outcomeStats collects per-PC taken and transition counts from a
+// branch stream (trace.Sink).
+type outcomeStats struct {
+	exec  map[trace.PC]int64
+	taken map[trace.PC]int64
+	trans map[trace.PC]int64
+	prev  map[trace.PC]bool
+}
+
+func newOutcomeStats() *outcomeStats {
+	return &outcomeStats{
+		exec:  map[trace.PC]int64{},
+		taken: map[trace.PC]int64{},
+		trans: map[trace.PC]int64{},
+		prev:  map[trace.PC]bool{},
+	}
+}
+
+// Branch implements trace.Sink.
+func (o *outcomeStats) Branch(pc trace.PC, taken bool) {
+	o.exec[pc]++
+	if taken {
+		o.taken[pc]++
+	}
+	if last, seen := o.prev[pc]; seen && last != taken {
+		o.trans[pc]++
+	}
+	o.prev[pc] = taken
+}
+
+// class returns the predictability class of one PC.
+func (o *outcomeStats) class(pc trace.PC) string {
+	n := o.exec[pc]
+	if n == 0 {
+		return "unexecuted"
+	}
+	t := float64(o.taken[pc]) / float64(n)
+	x := 0.0
+	if n > 1 {
+		x = float64(o.trans[pc]) / float64(n-1)
+	}
+	return takenClass(t) + "/" + transitionClass(x)
+}
+
+// inputDepCell is the per-(kernel, input) partial result the fan-out
+// produces; the aggregation over cells is order-independent counting.
+type inputDepCell struct {
+	rows       map[string]*ExtInputDepRow
+	unknown    int
+	violations int
+}
+
+func runExtInputDep(ctx *Context) (Result, error) {
+	// The full matrix: every kernel crossed with every canonical input
+	// it defines (train/ref everywhere, level1..level9 for lzchain).
+	type pair struct{ kernel, input string }
+	var pairs []pair
+	statics := map[string]map[trace.PC]string{}
+	for _, kernel := range progs.KernelNames() {
+		k, _ := progs.KernelByName(kernel)
+		classes := asmcheck.StaticClasses(k.Prog)
+		statics[kernel] = classes
+		for _, input := range progs.StandardInputNames(kernel) {
+			pairs = append(pairs, pair{kernel, input})
+		}
+	}
+
+	cells := make([]inputDepCell, len(pairs))
+	err := parEach(ctx, len(pairs), func(i int) error {
+		p := pairs[i]
+		classes := statics[p.kernel]
+
+		// Pass 1: raw outcome stream for the predictability classes.
+		inst, err := progs.StandardInput(p.kernel, p.input)
+		if err != nil {
+			return err
+		}
+		stats := newOutcomeStats()
+		inst.Run(stats)
+
+		// Pass 2: the 2D profile (instances replay deterministically),
+		// annotated with the static verdicts like replay -kernel and
+		// serve ?kernel= would be.
+		inst, err = progs.StandardInput(p.kernel, p.input)
+		if err != nil {
+			return err
+		}
+		cfg2d := ctx.Config
+		cfg2d.SliceSize = 8000
+		cfg2d.ExecThreshold = 20
+		rep, err := profileLive(inst, cfg2d, ctx.ProfPred, classes)
+		if err != nil {
+			return err
+		}
+
+		cell := inputDepCell{rows: map[string]*ExtInputDepRow{}}
+		cell.violations = len(rep.StaticViolations())
+		for _, pc := range rep.Tested() {
+			class, ok := rep.StaticClass[pc]
+			if !ok || class == "unknown" {
+				cell.unknown++
+				continue
+			}
+			row := cell.rows[stats.class(pc)]
+			if row == nil {
+				row = &ExtInputDepRow{Class: stats.class(pc)}
+				cell.rows[stats.class(pc)] = row
+			}
+			dyn := rep.Branches[pc].InputDependent
+			static := class == "input-dependent"
+			row.Branches++
+			if dyn {
+				row.DynDep++
+			}
+			if static {
+				row.StaticDep++
+			}
+			if dyn && static {
+				row.Both++
+			}
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	f := &ExtInputDep{Matrix: len(pairs)}
+	byClass := map[string]*ExtInputDepRow{}
+	for _, cell := range cells {
+		f.Unknown += cell.unknown
+		f.ViolationCount += cell.violations
+		for name, r := range cell.rows {
+			agg := byClass[name]
+			if agg == nil {
+				agg = &ExtInputDepRow{Class: name}
+				byClass[name] = agg
+			}
+			agg.Branches += r.Branches
+			agg.DynDep += r.DynDep
+			agg.StaticDep += r.StaticDep
+			agg.Both += r.Both
+		}
+	}
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := *byClass[name]
+		f.Rows = append(f.Rows, r)
+		f.Overall.Branches += r.Branches
+		f.Overall.DynDep += r.DynDep
+		f.Overall.StaticDep += r.StaticDep
+		f.Overall.Both += r.Both
+	}
+	f.Overall.Class = "overall"
+	return f, nil
+}
+
+// ID implements Result.
+func (f *ExtInputDep) ID() string { return "ext-inputdep" }
+
+// Violations returns the matrix-wide count of statically input-
+// invariant branches the profiler flagged — the quantity the soundness
+// claim requires to be zero.
+func (f *ExtInputDep) Violations() int { return f.ViolationCount }
+
+// String renders the COV/ACC agreement table.
+func (f *ExtInputDep) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ext-inputdep: static input-dependence (taint+range) vs dynamic 2D verdicts\n")
+	fmt.Fprintf(&b, "matrix: %d kernel x input profiles; unit = one tested (branch, input) pair\n", f.Matrix)
+	fmt.Fprintf(&b, "%-28s %8s %7s %9s %6s %6s %6s\n",
+		"predictability class", "branches", "dyn-dep", "stat-dep", "both", "COV", "ACC")
+	rows := append(append([]ExtInputDepRow{}, f.Rows...), f.Overall)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %8d %7d %9d %6d %6.2f %6.2f\n",
+			r.Class, r.Branches, r.DynDep, r.StaticDep, r.Both, r.COV(), r.ACC())
+	}
+	status := "SOUND: no statically input-invariant branch was flagged on any input"
+	if f.ViolationCount > 0 {
+		status = fmt.Sprintf("VIOLATED: %d statically input-invariant branches flagged input-dependent", f.ViolationCount)
+	}
+	if f.Unknown > 0 {
+		status += fmt.Sprintf("; %d branches without a static verdict", f.Unknown)
+	}
+	fmt.Fprintf(&b, "%s\n", status)
+	return b.String()
+}

@@ -5,9 +5,11 @@ package exp
 // skipped in -short mode.
 
 import (
+	"strings"
 	"testing"
 
 	"twodprof/internal/metrics"
+	"twodprof/internal/progs"
 	"twodprof/internal/spec"
 )
 
@@ -330,5 +332,47 @@ func TestExtStaticSound(t *testing.T) {
 	// loop (typesum's bigsum).
 	if f.Backedges < 1 {
 		t.Errorf("no loop-backedge verdict in the kernel suite")
+	}
+}
+
+func TestExtInputDepSound(t *testing.T) {
+	ctx := shapeCtx(t)
+	res, err := Run(ctx, "ext-inputdep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(*ExtInputDep)
+	// The full matrix: every kernel's canonical inputs — train/ref for
+	// all six plus lzchain's level1..level9 sweep.
+	wantMatrix := 0
+	for _, kernel := range progs.KernelNames() {
+		wantMatrix += len(progs.StandardInputNames(kernel))
+	}
+	if f.Matrix != wantMatrix || wantMatrix != 21 {
+		t.Fatalf("matrix = %d (want %d = 6 kernels x 2 + 9 lzchain levels)", f.Matrix, wantMatrix)
+	}
+	// Soundness: no statically input-invariant branch flagged anywhere,
+	// every tested branch classified.
+	if f.Violations() != 0 {
+		t.Errorf("%d input-invariance violations across the matrix", f.Violations())
+	}
+	if f.Unknown != 0 {
+		t.Errorf("%d tested branches without a static verdict", f.Unknown)
+	}
+	// Coverage: static input-dependence is an over-approximation, so it
+	// must cover every dynamically flagged branch.
+	if cov := f.Overall.COV(); cov != 1 {
+		t.Errorf("overall COV = %.3f, want 1.0 (static must cover every dynamic flag)", cov)
+	}
+	// The table is non-trivial: branches observed, several
+	// predictability classes populated, and rendering mentions both
+	// metrics.
+	if f.Overall.Branches == 0 || len(f.Rows) < 2 {
+		t.Errorf("degenerate agreement table: %d branches in %d classes", f.Overall.Branches, len(f.Rows))
+	}
+	for _, want := range []string{"COV", "ACC", "overall", "SOUND"} {
+		if !strings.Contains(f.String(), want) {
+			t.Errorf("String() missing %q:\n%s", want, f)
+		}
 	}
 }

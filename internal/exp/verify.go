@@ -180,6 +180,23 @@ func VerifyClaims(ctx *Context) ([]Claim, error) {
 	add("static prefilter never contradicted", st.Violations() == 0 && st.Backedges >= 1,
 		"%d rows, %d violations, %d loop-backedge verdicts", len(st.Rows), st.Violations(), st.Backedges)
 
+	// Claim 10: the input-dependence lattice is sound against the
+	// profiler over the full kernel x input matrix (ext-inputdep): a
+	// branch statically proven input-invariant — const, range-decided,
+	// or input-independent — is never flagged input-dependent by the
+	// MEAN/STD/PAM tests on any input; every tested branch carries a
+	// non-unknown static verdict; and the static verdict covers every
+	// dynamically flagged branch (COV = 1).
+	idres, err := Run(ctx, "ext-inputdep")
+	if err != nil {
+		return nil, err
+	}
+	id := idres.(*ExtInputDep)
+	add("input-dependence lattice sound on all inputs",
+		id.Violations() == 0 && id.Unknown == 0 && id.Overall.COV() == 1,
+		"%d profiles, %d violations, %d unclassified, COV %.2f ACC %.2f",
+		id.Matrix, id.Violations(), id.Unknown, id.Overall.COV(), id.Overall.ACC())
+
 	return claims, nil
 }
 

@@ -2,6 +2,7 @@ package progs
 
 import (
 	"fmt"
+	"strings"
 
 	"twodprof/internal/rng"
 )
@@ -239,6 +240,24 @@ func BellmanInstance(numNodes, numEdges int, maxWeight int64, heavyFrac float64,
 	return NewInstance(KernelBellman, mem)
 }
 
+// StandardInputNames returns the canonical input names StandardInput
+// accepts for a kernel, in sweep order, or nil for an unknown kernel.
+// Experiments iterate this to cover the full kernel×input matrix.
+func StandardInputNames(kernel string) []string {
+	names := []string{"train", "ref"}
+	switch kernel {
+	case "lzchain":
+		for level := 1; level <= 9; level++ {
+			names = append(names, fmt.Sprintf("level%d", level))
+		}
+	default:
+		if _, ok := KernelByName(kernel); !ok {
+			return nil
+		}
+	}
+	return names
+}
+
 // StandardInput returns the named canonical input for a kernel. Each
 // kernel offers "train" and "ref" (mirroring SPEC's input sets);
 // lzchain additionally offers "level1".."level9".
@@ -320,7 +339,9 @@ func StandardInput(kernel, input string) (*Instance, error) {
 			return BellmanInstance(1024, 16384, 40, 0.35, seedRef), nil
 		}
 	default:
-		return nil, fmt.Errorf("progs: unknown kernel %q", kernel)
+		return nil, fmt.Errorf("progs: unknown kernel %q (known: %s)",
+			kernel, strings.Join(KernelNames(), ", "))
 	}
-	return nil, fmt.Errorf("progs: kernel %q has no input %q", kernel, input)
+	return nil, fmt.Errorf("progs: kernel %q has no input %q (known: %s)",
+		kernel, input, strings.Join(StandardInputNames(kernel), ", "))
 }

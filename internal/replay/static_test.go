@@ -15,7 +15,7 @@ import (
 func TestProfileStaticAnnotation(t *testing.T) {
 	events := testEvents(t)
 	static := map[trace.PC]string{
-		events[0].PC: "data-dependent",
+		events[0].PC: "input-dependent",
 		1 << 40:      "const-taken", // never observed: must be dropped
 	}
 	cases := []struct {
@@ -42,7 +42,7 @@ func TestProfileStaticAnnotation(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got := ann.StaticClass[events[0].PC]; got != "data-dependent" {
+			if got := ann.StaticClass[events[0].PC]; got != "input-dependent" {
 				t.Errorf("StaticClass[%d] = %q", events[0].PC, got)
 			}
 			if _, ok := ann.StaticClass[1<<40]; ok {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"twodprof/internal/asmcheck"
@@ -210,7 +211,8 @@ func (s *Server) beginSession(p ingestParams) (*ingestRun, *ingestError) {
 		k, ok := progs.KernelByName(p.Kernel)
 		if !ok {
 			return nil, &ingestError{status: http.StatusBadRequest,
-				msg: fmt.Sprintf("unknown kernel %q", p.Kernel)}
+				msg: fmt.Sprintf("unknown kernel %q (known: %s)",
+					p.Kernel, strings.Join(progs.KernelNames(), ", "))}
 		}
 		static = asmcheck.StaticClasses(k.Prog)
 	}

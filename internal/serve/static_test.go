@@ -63,4 +63,10 @@ func TestIngestUnknownKernel(t *testing.T) {
 	if !strings.Contains(string(body), "unknown kernel") {
 		t.Errorf("body %q does not diagnose the kernel name", body)
 	}
+	// The error lists the available kernels so the caller can self-serve.
+	for _, name := range progs.KernelNames() {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("body %q does not list kernel %q", body, name)
+		}
+	}
 }
