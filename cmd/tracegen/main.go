@@ -1,10 +1,11 @@
 // Command tracegen records, inspects and replays binary branch traces
-// (BTR1 and BTR2 formats).
+// (BTR1, BTR2 and BTR3 formats).
 //
 // Usage:
 //
 //	tracegen gen  -bench gap -input train -o gap-train.btr
 //	tracegen gen  -kernel lzchain -input level9 -format btr2 -o lz9.btr
+//	tracegen gen  -bench gzip -input train -threads 4 -sched bursty -o gzip-mt.btr
 //	tracegen gen  -kernel lzchain -input train -post http://localhost:8377/v1/ingest
 //	tracegen info -i gap-train.btr
 //	tracegen replay -i gap-train.btr -predictor gshare-4KB
@@ -18,6 +19,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -25,6 +27,7 @@ import (
 	"twodprof/internal/bpred"
 	"twodprof/internal/progs"
 	"twodprof/internal/spec"
+	"twodprof/internal/synth"
 	"twodprof/internal/trace"
 )
 
@@ -59,15 +62,25 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// source resolves the workload selection flags shared by gen.
-func source(benchName, kernel, input string) (trace.Source, error) {
+// source resolves the workload selection flags shared by gen. thread
+// picks one stream of a -threads run: synthetic benchmarks perturb the
+// stream seed per thread (same code and input model, different data),
+// while VM kernels — deterministic programs — replay identically on
+// every thread.
+func source(benchName, kernel, input string, thread int) (trace.Source, error) {
 	switch {
 	case benchName != "":
 		b, err := spec.Get(benchName)
 		if err != nil {
 			return nil, err
 		}
-		return b.Workload(input)
+		w, err := b.Workload(input)
+		if err != nil || thread == 0 {
+			return w, err
+		}
+		tw := *w
+		tw.Seed += uint64(thread) * 0x9e3779b97f4a7c15
+		return &tw, nil
 	case kernel != "":
 		return progs.StandardInput(kernel, input)
 	default:
@@ -84,16 +97,52 @@ func cmdGen(args []string) {
 	post := fs.String("post", "", "post the trace to a profiled daemon's (or router's) ingest URL (e.g. http://localhost:8377/v1/ingest) instead of, or as well as, -o")
 	retries := fs.Int("retries", 4, "retry a failed -post this many times on 429/5xx or connection errors")
 	retryBase := fs.Duration("retry-base", 250*time.Millisecond, "first -post retry delay; doubles per attempt with jitter, Retry-After overrides")
-	format := fs.String("format", "btr1", "trace format: btr1 (flat stream) or btr2 (chunked, parallel-replayable)")
-	chunk := fs.Int("chunk", 0, "btr2 events per chunk (0 = default)")
-	compress := fs.Bool("z", false, "compress the trace (btr1: gzip wrapper; btr2: per-chunk deflate, still seekable)")
+	format := fs.String("format", "btr1", "trace format: btr1 (flat stream), btr2 (chunked, parallel-replayable) or btr3 (chunked, context-tagged)")
+	chunk := fs.Int("chunk", 0, "btr2/btr3 events per chunk (0 = default)")
+	compress := fs.Bool("z", false, "compress the trace (btr1: gzip wrapper; btr2/btr3: per-chunk deflate, still seekable)")
+	threads := fs.Int("threads", 1, "interleave N threads of the workload into one multi-context stream")
+	sched := fs.String("sched", synth.SchedRoundRobin, "interleave schedule for -threads > 1: "+strings.Join(synth.Schedules(), " or "))
+	quantum := fs.Int("quantum", 0, "interleave quantum: events per turn (round-robin) or mean burst length (bursty); 0 = default")
+	seed := fs.Uint64("seed", 1, "bursty schedule seed")
 	fs.Parse(args)
 	if *out == "" && *post == "" {
 		fail(fmt.Errorf("gen: need -o output file and/or -post ingest URL"))
 	}
-	src, err := source(*benchName, *kernel, *input)
-	if err != nil {
-		fail(err)
+	if *threads < 1 {
+		fail(fmt.Errorf("gen: -threads must be at least 1"))
+	}
+	var src trace.Source
+	if *threads > 1 {
+		// A multi-context stream needs a format that can carry contexts;
+		// resolve an unset -format to btr3 and refuse an explicit
+		// context-blind one.
+		explicit := false
+		fs.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "format" })
+		switch {
+		case !explicit:
+			*format = "btr3"
+		case *format != "btr3":
+			fail(fmt.Errorf("gen: -threads %d needs -format btr3 (%s cannot encode contexts)", *threads, *format))
+		}
+		streams := make([]trace.Source, *threads)
+		for i := range streams {
+			s, err := source(*benchName, *kernel, *input, i)
+			if err != nil {
+				fail(err)
+			}
+			streams[i] = s
+		}
+		iv, err := synth.NewInterleaved(streams, *sched, *quantum, *seed)
+		if err != nil {
+			fail(err)
+		}
+		src = iv
+	} else {
+		s, err := source(*benchName, *kernel, *input, 0)
+		if err != nil {
+			fail(err)
+		}
+		src = s
 	}
 
 	var writers []io.Writer
@@ -123,6 +172,12 @@ func cmdGen(args []string) {
 		Close() error
 	}
 	switch *format {
+	case "btr3":
+		bw, err := trace.NewBTR3Writer(w, trace.BTR2Options{ChunkEvents: *chunk, Compress: *compress})
+		if err != nil {
+			fail(err)
+		}
+		sink = bw
 	case "btr2":
 		bw, err := trace.NewBTR2Writer(w, trace.BTR2Options{ChunkEvents: *chunk, Compress: *compress})
 		if err != nil {
@@ -131,7 +186,7 @@ func cmdGen(args []string) {
 		sink = bw
 	case "btr1":
 		if *chunk != 0 {
-			fail(fmt.Errorf("gen: -chunk only applies to -format btr2"))
+			fail(fmt.Errorf("gen: -chunk only applies to -format btr2 or btr3"))
 		}
 		if *compress {
 			cw, err := trace.NewCompressedWriter(w)
@@ -147,7 +202,7 @@ func cmdGen(args []string) {
 			sink = tw
 		}
 	default:
-		fail(fmt.Errorf("gen: unknown -format %q (want btr1 or btr2)", *format))
+		fail(fmt.Errorf("gen: unknown -format %q (want btr1, btr2 or btr3)", *format))
 	}
 	n := src.Run(sink)
 	if err := sink.Close(); err != nil {
@@ -236,27 +291,29 @@ func cmdInfo(args []string) {
 		fail(err)
 	}
 	format := "btr1"
-	if _, ok := r.(*trace.BTR2Reader); ok {
+	switch r.(type) {
+	case *trace.BTR2Reader:
 		format = "btr2"
+	case *trace.BTR3Reader:
+		format = "btr3"
 	}
-	var c trace.Counter
-	var taken int64
-	sink := trace.Tee{&c, trace.SinkFunc(func(pc trace.PC, t bool) {
-		if t {
-			taken++
-		}
-	})}
-	n, err := r.Replay(sink)
+	is := &infoSink{}
+	n, err := r.Replay(is)
 	if err != nil {
 		fail(err)
 	}
+	c, taken, cc := &is.c, is.taken, &is.ctx
 	fmt.Printf("format        : %s\n", format)
-	if format == "btr2" {
+	if format == "btr2" || format == "btr3" {
 		// The footer index gives chunk geometry without a second pass.
 		// It is only reachable on an uncompressed (not gzip-wrapped)
 		// file; skip silently otherwise.
+		readIndex := trace.ReadBTR2Index
+		if format == "btr3" {
+			readIndex = trace.ReadBTR3Index
+		}
 		if st, err := f.Stat(); err == nil {
-			if ix, err := trace.ReadBTR2Index(f, st.Size()); err == nil {
+			if ix, err := readIndex(f, st.Size()); err == nil {
 				fmt.Printf("chunks        : %d\n", len(ix.Chunks))
 			}
 		}
@@ -266,6 +323,64 @@ func cmdInfo(args []string) {
 	if n > 0 {
 		fmt.Printf("taken rate    : %.2f%%\n", 100*float64(taken)/float64(n))
 	}
+	if ctxs := cc.contexts(); len(ctxs) > 1 {
+		fmt.Printf("contexts      : %d\n", len(ctxs))
+		for _, ctx := range ctxs {
+			fmt.Printf("  ctx %-8d : %d events\n", ctx, cc.count[ctx])
+		}
+	}
+}
+
+// infoSink gathers every cmdInfo statistic in one pass. It implements
+// the batch path itself (rather than composing through trace.Tee,
+// whose fan-out is per-event and so would collapse the contexts)
+// because only trace.Event carries the execution context.
+type infoSink struct {
+	c     trace.Counter
+	taken int64
+	ctx   ctxCounter
+}
+
+// Branch implements trace.Sink; events on this path are context 0.
+func (s *infoSink) Branch(pc trace.PC, taken bool) {
+	s.c.Branch(pc, taken)
+	if taken {
+		s.taken++
+	}
+	s.ctx.add(0, 1)
+}
+
+// BranchBatch implements trace.BatchSink, preserving the contexts.
+func (s *infoSink) BranchBatch(events []trace.Event) {
+	for _, e := range events {
+		s.c.Branch(e.PC, e.Taken)
+		if e.Taken {
+			s.taken++
+		}
+		s.ctx.add(e.Ctx, 1)
+	}
+}
+
+// ctxCounter tallies events per execution context.
+type ctxCounter struct {
+	count map[trace.Context]int64
+}
+
+func (cc *ctxCounter) add(ctx trace.Context, n int64) {
+	if cc.count == nil {
+		cc.count = map[trace.Context]int64{}
+	}
+	cc.count[ctx] += n
+}
+
+// contexts returns the observed context ids in ascending order.
+func (cc *ctxCounter) contexts() []trace.Context {
+	out := make([]trace.Context, 0, len(cc.count))
+	for ctx := range cc.count {
+		out = append(out, ctx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func cmdReplay(args []string) {

@@ -1,0 +1,133 @@
+package bpred
+
+import (
+	"fmt"
+	"sort"
+
+	"twodprof/internal/trace"
+)
+
+// Execution-context front-end.
+//
+// A predictor models one hardware context: one global history register,
+// one set of tables. Interleaved multi-thread streams can be aggregated
+// two ways, and the choice is a modelling decision, not an
+// implementation detail:
+//
+//   - shared: one table set sees the interleaved update stream, the way
+//     an SMT core's shared predictor would. Cross-context updates alias
+//     into each other's history and counters.
+//   - private: each context gets its own lazily-allocated predictor
+//     clone — per-context tables and per-context history — the way
+//     per-thread profiling hardware (or simply profiling each thread's
+//     stream separately) would behave.
+//
+// ContextSet is that choice reified: a context-keyed predictor factory
+// the engine's sequential front-end drives. Context 0 is pre-resolved
+// so the single-context hot path never touches the map.
+
+// AggMode selects how a multi-context stream is aggregated into
+// predictor state.
+type AggMode uint8
+
+const (
+	// AggShared routes every context through one shared predictor.
+	AggShared AggMode = iota
+	// AggPrivate gives each context a private predictor instance.
+	AggPrivate
+)
+
+// String implements fmt.Stringer.
+func (m AggMode) String() string {
+	switch m {
+	case AggShared:
+		return "shared"
+	case AggPrivate:
+		return "private"
+	default:
+		return fmt.Sprintf("AggMode(%d)", uint8(m))
+	}
+}
+
+// ParseAggMode converts a configuration string ("shared" or "private")
+// to an AggMode.
+func ParseAggMode(s string) (AggMode, error) {
+	switch s {
+	case "shared":
+		return AggShared, nil
+	case "private":
+		return AggPrivate, nil
+	default:
+		return 0, fmt.Errorf("bpred: unknown aggregation mode %q (known: shared, private)", s)
+	}
+}
+
+// ContextSet constructs and hands out predictor instances keyed by
+// execution context under one aggregation mode. In shared mode every
+// context resolves to the same instance; in private mode each context
+// lazily receives its own power-on clone of the named configuration.
+type ContextSet struct {
+	name string
+	mode AggMode
+	p0   Predictor                   // context 0 (and the shared instance)
+	rest map[trace.Context]Predictor // private instances for contexts > 0
+}
+
+// NewContextSet builds a context-keyed front-end over the named
+// predictor configuration. The context-0 instance is allocated eagerly;
+// it is also the instance every context shares in AggShared mode.
+func NewContextSet(name string, mode AggMode) (*ContextSet, error) {
+	if mode != AggShared && mode != AggPrivate {
+		return nil, fmt.Errorf("bpred: invalid aggregation mode %d", mode)
+	}
+	p0, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	return &ContextSet{name: name, mode: mode, p0: p0}, nil
+}
+
+// Mode returns the aggregation mode.
+func (cs *ContextSet) Mode() AggMode { return cs.mode }
+
+// Name returns the predictor configuration name.
+func (cs *ContextSet) Name() string { return cs.name }
+
+// For resolves the predictor instance for ctx, allocating a private
+// power-on instance on first sight of a new context in AggPrivate
+// mode. It is not safe for concurrent use — the engine's sequential
+// front-end is the only caller on the hot path.
+func (cs *ContextSet) For(ctx trace.Context) Predictor {
+	if ctx == 0 || cs.mode == AggShared {
+		return cs.p0
+	}
+	if p, ok := cs.rest[ctx]; ok {
+		return p
+	}
+	if cs.rest == nil {
+		cs.rest = make(map[trace.Context]Predictor)
+	}
+	p := MustNew(cs.name) // name validated at construction
+	cs.rest[ctx] = p
+	return p
+}
+
+// Contexts returns every context that has resolved a predictor so far,
+// sorted ascending. Context 0 is always present.
+func (cs *ContextSet) Contexts() []trace.Context {
+	out := make([]trace.Context, 0, 1+len(cs.rest))
+	out = append(out, 0)
+	for ctx := range cs.rest {
+		out = append(out, ctx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset restores every allocated instance to its power-on state.
+func (cs *ContextSet) Reset() {
+	cs.p0.Reset()
+	for _, p := range cs.rest {
+		p.Reset()
+	}
+}

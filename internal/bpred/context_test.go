@@ -1,0 +1,111 @@
+package bpred
+
+import (
+	"testing"
+
+	"twodprof/internal/trace"
+)
+
+func TestAggModeParse(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		mode AggMode
+	}{{"shared", AggShared}, {"private", AggPrivate}} {
+		got, err := ParseAggMode(tc.s)
+		if err != nil || got != tc.mode {
+			t.Errorf("ParseAggMode(%q) = %v, %v", tc.s, got, err)
+		}
+		if got.String() != tc.s {
+			t.Errorf("AggMode %v String() = %q, want %q", got, got.String(), tc.s)
+		}
+	}
+	if _, err := ParseAggMode("smt"); err == nil {
+		t.Error("ParseAggMode accepted an unknown mode")
+	}
+}
+
+func TestContextSetShared(t *testing.T) {
+	cs, err := NewContextSet(NameGshare4KB, AggShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := cs.For(0)
+	if cs.For(3) != p0 || cs.For(7) != p0 {
+		t.Fatal("shared mode must resolve every context to the same instance")
+	}
+	if got := cs.Contexts(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("shared Contexts() = %v, want [0]", got)
+	}
+}
+
+func TestContextSetPrivate(t *testing.T) {
+	cs, err := NewContextSet(NameGshare4KB, AggPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p3 := cs.For(0), cs.For(3)
+	if p0 == p3 {
+		t.Fatal("private mode must allocate distinct instances per context")
+	}
+	if cs.For(3) != p3 {
+		t.Fatal("private instances must be stable across lookups")
+	}
+	// Training one context must not leak into another: drive context 3
+	// to strongly-taken on one site and check context 0 is untouched.
+	pc := trace.PC(0x400010)
+	for i := 0; i < 64; i++ {
+		p3.Update(pc, true)
+	}
+	if !p3.Predict(pc) {
+		t.Fatal("context 3 failed to learn its own stream")
+	}
+	if p0.Predict(pc) {
+		t.Fatal("context 0 saw context 3's training (tables not private)")
+	}
+	want := []trace.Context{0, 3}
+	got := cs.Contexts()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Contexts() = %v, want %v", got, want)
+	}
+}
+
+// TestContextSetPrivateMatchesIndependent checks the semantic claim
+// behind private aggregation: an interleaved stream driven through a
+// private ContextSet yields, per context, exactly the predictor state
+// of running that context's sub-stream alone.
+func TestContextSetPrivateMatchesIndependent(t *testing.T) {
+	ev, _ := soaStream(4000)
+	const nctx = 4
+	cs, err := NewContextSet(NameGshare4KB, AggPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]Predictor, nctx)
+	for c := range refs {
+		refs[c] = MustNew(NameGshare4KB)
+	}
+	for i, e := range ev {
+		ctx := trace.Context(i % nctx)
+		p := cs.For(ctx)
+		p.Update(e.PC, e.Taken)
+		refs[ctx].Update(e.PC, e.Taken)
+	}
+	for c := 0; c < nctx; c++ {
+		p := cs.For(trace.Context(c))
+		for i := 0; i < 256; i++ {
+			pc := trace.PC(0x400000 + 4*i)
+			if p.Predict(pc) != refs[c].Predict(pc) {
+				t.Fatalf("context %d diverged from its independent run at pc %#x", c, pc)
+			}
+		}
+	}
+}
+
+func TestNewContextSetErrors(t *testing.T) {
+	if _, err := NewContextSet("no-such-predictor", AggShared); err == nil {
+		t.Error("NewContextSet accepted an unknown predictor name")
+	}
+	if _, err := NewContextSet(NameGshare4KB, AggMode(9)); err == nil {
+		t.Error("NewContextSet accepted an invalid mode")
+	}
+}

@@ -74,25 +74,39 @@ func (p *Perceptron) Predict(pc trace.PC) bool { return p.output(pc) >= 0 }
 // bipolar ±1 values computed by shift/mask.
 func (p *Perceptron) Update(pc trace.PC, taken bool) {
 	y := p.output(pc)
-	pred := y >= 0
-	if pred != taken || abs32(y) <= p.theta {
-		w := p.row(pc)
-		h := p.hist.bits
-		t := int8(b2u(taken))<<1 - 1
-		w[0] = satAdd8(w[0], t)
-		for i := 0; i < p.histBits; i++ {
-			x := int8(h>>uint(i)&1)<<1 - 1
-			w[i+1] = satAdd8(w[i+1], t*x)
-		}
+	if (y >= 0) != taken || abs32(y) <= p.theta {
+		p.train(pc, taken)
 	}
 	p.hist.Push(taken)
 }
 
-// PredictUpdateBatch implements BatchPredictor.
+// train adjusts pc's weight row toward the outcome under the current
+// (pre-push) history. The conditional threshold test stays in the
+// callers; the adjustment loop itself is branchless.
+func (p *Perceptron) train(pc trace.PC, taken bool) {
+	w := p.row(pc)
+	h := p.hist.bits
+	t := int8(b2u(taken))<<1 - 1
+	w[0] = satAdd8(w[0], t)
+	for i := 0; i < p.histBits; i++ {
+		x := int8(h>>uint(i)&1)<<1 - 1
+		w[i+1] = satAdd8(w[i+1], t*x)
+	}
+}
+
+// PredictUpdateBatch implements BatchPredictor. Unlike the naive
+// Predict-then-Update composition it computes the dot product once per
+// event and reuses it for both the prediction and the training
+// threshold — bit-identical, since Update's own output() call would see
+// unchanged state.
 func (p *Perceptron) PredictUpdateBatch(ev []trace.Event, hits []bool) {
 	for i, e := range ev {
-		pred := p.output(e.PC) >= 0
-		p.Update(e.PC, e.Taken)
+		y := p.output(e.PC)
+		pred := y >= 0
+		if pred != e.Taken || abs32(y) <= p.theta {
+			p.train(e.PC, e.Taken)
+		}
+		p.hist.Push(e.Taken)
 		hits[i] = pred == e.Taken
 	}
 }
@@ -101,6 +115,50 @@ func (p *Perceptron) PredictUpdateBatch(ev []trace.Event, hits []bool) {
 func (p *Perceptron) UpdateBatch(ev []trace.Event) {
 	for _, e := range ev {
 		p.Update(e.PC, e.Taken)
+	}
+}
+
+// PredictUpdateBatchSoA implements SoABatchPredictor: the perceptron's
+// native SoA batch kernel (the last predictor that still took the
+// per-event fallback in batch mode). It walks the batch one 64-event
+// bitmap word at a time, accumulating hit bits in a register, with one
+// dot product per event shared between prediction and the training
+// threshold.
+func (p *Perceptron) PredictUpdateBatchSoA(pcs []trace.PC, taken, hits []uint64) {
+	for w := 0; w*64 < len(pcs); w++ {
+		tw := taken[w]
+		var hw uint64
+		n := len(pcs) - w*64
+		if n > 64 {
+			n = 64
+		}
+		base := w * 64
+		for k := 0; k < n; k++ {
+			tk := tw>>uint(k)&1 != 0
+			pc := pcs[base+k]
+			y := p.output(pc)
+			pred := y >= 0
+			if pred != tk || abs32(y) <= p.theta {
+				p.train(pc, tk)
+			}
+			p.hist.Push(tk)
+			if pred == tk {
+				hw |= 1 << uint(k)
+			}
+		}
+		hits[w] = hw
+	}
+}
+
+// UpdateBatchSoA implements SoABatchPredictor.
+func (p *Perceptron) UpdateBatchSoA(pcs []trace.PC, taken []uint64) {
+	for i, pc := range pcs {
+		tk := taken[i>>6]>>uint(i&63)&1 != 0
+		y := p.output(pc)
+		if (y >= 0) != tk || abs32(y) <= p.theta {
+			p.train(pc, tk)
+		}
+		p.hist.Push(tk)
 	}
 }
 

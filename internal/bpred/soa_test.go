@@ -74,10 +74,46 @@ func TestApplyBatchSoAMatchesInterface(t *testing.T) {
 	}
 }
 
+// TestPerceptronSoAMidWordSplits drives the perceptron's native SoA
+// kernel through batches of 7 events — every batch boundary lands
+// mid-word, so the packed-bitmap edge handling and carried history are
+// exercised at every offset — and checks bit-identical hits against
+// the per-event interface path.
+func TestPerceptronSoAMidWordSplits(t *testing.T) {
+	ev, _ := soaStream(1000)
+	ref := MustNew(NamePerceptron16KB)
+	want := make([]bool, len(ev))
+	for i, e := range ev {
+		pred := ref.Predict(e.PC)
+		ref.Update(e.PC, e.Taken)
+		want[i] = pred == e.Taken
+	}
+
+	p := MustNew(NamePerceptron16KB)
+	if _, ok := p.(SoABatchPredictor); !ok {
+		t.Fatal("perceptron lost its native SoA batch kernel")
+	}
+	var b trace.SoABatch
+	for start := 0; start < len(ev); start += 7 {
+		end := start + 7
+		if end > len(ev) {
+			end = len(ev)
+		}
+		b.FromEvents(ev[start:end])
+		hits := make([]uint64, (b.Len()+63)/64)
+		ApplyBatchSoA(p, b.PCs, b.Taken, hits)
+		for j := 0; j < b.Len(); j++ {
+			if got := hits[j>>6]>>uint(j&63)&1 != 0; got != want[start+j] {
+				t.Fatalf("event %d: SoA hit %v, interface hit %v", start+j, got, want[start+j])
+			}
+		}
+	}
+}
+
 // TestUpdateBatchSoAMatchesInterface does the same for the train-only
 // path.
 func TestUpdateBatchSoAMatchesInterface(t *testing.T) {
-	for _, name := range []string{NameGshare4KB, NameBimodal} {
+	for _, name := range []string{NameGshare4KB, NameBimodal, NamePerceptron16KB} {
 		t.Run(name, func(t *testing.T) {
 			ev, soa := soaStream(3000)
 			ref := MustNew(name)

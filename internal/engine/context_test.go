@@ -1,0 +1,218 @@
+package engine_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"twodprof/internal/bpred"
+	"twodprof/internal/core"
+	"twodprof/internal/engine"
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+// ctxStream builds an interleaved multi-context branch stream: nctx
+// round-robin-ish streams with random burst lengths (1..17 events), so
+// context runs cross batch boundaries, bitmap words and slice
+// boundaries at arbitrary offsets. Each context walks its own PC range
+// so the per-context profiles are distinguishable.
+func ctxStream(n, nctx int) []trace.Event {
+	r := rng.New(97)
+	ev := make([]trace.Event, 0, n)
+	ctx := 0
+	for len(ev) < n {
+		burst := 1 + r.Intn(17)
+		for i := 0; i < burst && len(ev) < n; i++ {
+			pc := trace.PC(0x400000 + 0x1000*ctx + 4*r.Intn(61))
+			ev = append(ev, trace.Event{
+				PC:    pc,
+				Ctx:   trace.Context(ctx),
+				Taken: r.Bool(0.2 + 0.15*float64(ctx)),
+			})
+		}
+		ctx = (ctx + 1) % nctx
+	}
+	return ev
+}
+
+// subStream extracts one context's events, re-tagged to context 0 —
+// the single-thread oracle's input.
+func subStream(events []trace.Event, ctx trace.Context) []trace.Event {
+	var out []trace.Event
+	for _, e := range events {
+		if e.Ctx == ctx {
+			out = append(out, trace.Event{PC: e.PC, Taken: e.Taken})
+		}
+	}
+	return out
+}
+
+func ctxConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Metric = core.MetricAccuracy
+	cfg.SliceSize = 500
+	cfg.ExecThreshold = 5
+	return cfg
+}
+
+// feedAoS / feedSoA / feedPerEvent drive the same event stream into
+// the engine through each ingress surface. The SoA path converts in
+// odd-sized chunks so context runs straddle chunk edges and bitmap
+// words — exercising the word-aligned span repacking.
+func feedAoS(eng *engine.Engine, events []trace.Event) {
+	for i := 0; i < len(events); i += 1009 {
+		j := i + 1009
+		if j > len(events) {
+			j = len(events)
+		}
+		eng.BranchBatch(events[i:j])
+	}
+}
+
+func feedSoA(eng *engine.Engine, events []trace.Event) {
+	var b trace.SoABatch
+	for i := 0; i < len(events); i += 777 {
+		j := i + 777
+		if j > len(events) {
+			j = len(events)
+		}
+		b.FromEvents(events[i:j])
+		eng.BranchBatchSoA(&b)
+	}
+}
+
+func feedPerEvent(eng *engine.Engine, events []trace.Event) {
+	for _, e := range events {
+		eng.BranchCtx(e.Ctx, e.PC, e.Taken)
+	}
+}
+
+// TestPrivateContextsMatchIndependent is the semantic anchor of
+// private aggregation: each context's report from one interleaved run
+// must be byte-identical to profiling that context's sub-stream alone
+// (the single-thread oracle), at any worker count, through every
+// ingress path.
+func TestPrivateContextsMatchIndependent(t *testing.T) {
+	const nctx = 3
+	events := ctxStream(30000, nctx)
+	cfg := ctxConfig()
+
+	oracle := make(map[trace.Context][]byte, nctx)
+	for c := trace.Context(0); c < nctx; c++ {
+		oracle[c] = marshal(t, referenceReport(t, subStream(events, c), cfg))
+	}
+
+	feeds := map[string]func(*engine.Engine, []trace.Event){
+		"aos": feedAoS, "soa": feedSoA, "per-event": feedPerEvent,
+	}
+	for name, feed := range feeds {
+		for _, workers := range []int{1, 4} {
+			t.Run(name+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				eng, err := engine.New(cfg, engine.Options{
+					Workers:     workers,
+					Predictor:   matrixPredictor,
+					Aggregation: bpred.AggPrivate,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				feed(eng, events)
+				reps, err := eng.FinishContexts()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(reps) != nctx {
+					t.Fatalf("FinishContexts returned %d contexts, want %d", len(reps), nctx)
+				}
+				for c := trace.Context(0); c < nctx; c++ {
+					if !bytes.Equal(marshal(t, reps[c]), oracle[c]) {
+						t.Errorf("context %d diverged from its single-thread oracle", c)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSharedModeIgnoresContexts pins the default: shared aggregation
+// is bit-for-bit the historical context-blind engine, context tags and
+// all.
+func TestSharedModeIgnoresContexts(t *testing.T) {
+	events := ctxStream(20000, 4)
+	cfg := ctxConfig()
+	want := marshal(t, referenceReport(t, events, cfg))
+	for _, workers := range []int{1, 4} {
+		eng, err := engine.New(cfg, engine.Options{Workers: workers, Predictor: matrixPredictor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedSoA(eng, events)
+		rep, err := eng.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshal(t, rep), want) {
+			t.Errorf("workers=%d: shared-mode report diverged from the context-blind reference", workers)
+		}
+	}
+}
+
+// TestPrivateSingleContextMatchesShared: with only context 0 in the
+// stream the two aggregation modes are indistinguishable — Finish
+// works and the report matches the classic path.
+func TestPrivateSingleContextMatchesShared(t *testing.T) {
+	events := ctxStream(10000, 1) // every event context 0
+	cfg := ctxConfig()
+	want := marshal(t, referenceReport(t, events, cfg))
+	eng, err := engine.New(cfg, engine.Options{
+		Workers: 1, Predictor: matrixPredictor, Aggregation: bpred.AggPrivate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAoS(eng, events)
+	rep, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, rep), want) {
+		t.Error("private single-context report diverged from the shared path")
+	}
+}
+
+// TestMultiContextMergedAccessorsRefuse: once a private run has seen a
+// second context, the single-report accessors must refuse with
+// ErrMultiContext rather than hand back a context-0-only report.
+func TestMultiContextMergedAccessorsRefuse(t *testing.T) {
+	events := ctxStream(5000, 3)
+	eng, err := engine.New(ctxConfig(), engine.Options{
+		Workers: 1, Predictor: matrixPredictor, Aggregation: bpred.AggPrivate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAoS(eng, events)
+	if _, err := eng.Report(); !errors.Is(err, engine.ErrMultiContext) {
+		t.Errorf("Report() = %v, want ErrMultiContext", err)
+	}
+	if _, err := eng.Snapshot(); !errors.Is(err, engine.ErrMultiContext) {
+		t.Errorf("Snapshot() = %v, want ErrMultiContext", err)
+	}
+	if _, err := eng.Finish(); !errors.Is(err, engine.ErrMultiContext) {
+		t.Errorf("Finish() = %v, want ErrMultiContext", err)
+	}
+	got := eng.Contexts()
+	want := []trace.Context{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Contexts() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Contexts() = %v, want %v", got, want)
+		}
+	}
+	if _, err := eng.FinishContexts(); err != nil {
+		t.Errorf("FinishContexts() after refusals = %v", err)
+	}
+}

@@ -1,12 +1,12 @@
 // Package engine is the one true sharded 2D-profiling core. Every way
 // branch events reach a profiler in this repository — a live VM run
 // feeding a trace.Sink through vm.Hooks.OnBranch, a sequential BTR1
-// stream, a parallel BTR2 chunk decode, or the daemon's HTTP ingest —
-// terminates in the same execution structure:
+// stream, a parallel BTR2/BTR3 chunk decode, or the daemon's HTTP
+// ingest — terminates in the same execution structure:
 //
 //	event source ─→ sequential front-end ─→ PC-sharded profiler workers
-//	                (predictor + global       (per-branch Figure 9
-//	                 slice clock)              statistics, disjoint by PC)
+//	                (predictor + slice        (per-branch Figure 9
+//	                 clock, per context)       statistics, disjoint by PC)
 //
 // The front-end is the part that cannot be parallelised: predictor
 // state depends on the full interleaved branch order, and the slice
@@ -16,6 +16,17 @@
 // is reassembled with core.MergeReports, byte-identical to a single
 // sequential pass at any worker count.
 //
+// Multi-context streams (trace.Context tags from BTR3 or live
+// CtxSink producers) fold in under one of two aggregation modes
+// (DESIGN.md §3j): shared — the default — ignores the tags entirely,
+// modelling an SMT-style shared predictor, and is bit-for-bit the
+// classic single-context path; private gives every context its own
+// front-end (predictor instance, slice clock, pending buffers) and its
+// own profiler set per shard, so each context's report is exactly what
+// profiling its sub-stream alone would produce. Context 0's front-end
+// lives inline in the Engine — the single-context hot path allocates
+// nothing and touches no map.
+//
 // internal/replay, internal/serve, internal/exp and the profile2d /
 // profiled CLIs are thin adapters over this package; none of them
 // carries its own router, shard pool or slice-broadcast logic any more
@@ -23,7 +34,10 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"twodprof/internal/bpred"
@@ -44,6 +58,13 @@ const (
 	DefaultQueueDepth = 64
 )
 
+// ErrMultiContext is returned by Finish/Report/Snapshot when the
+// stream carried more than one execution context under private
+// aggregation: the per-context profiles cover overlapping PCs, so a
+// single merged report would be meaningless. Use ContextReports or
+// FinishContexts instead.
+var ErrMultiContext = errors.New("engine: stream carried multiple execution contexts under private aggregation (use ContextReports/FinishContexts)")
+
 // Options configure one engine run beyond the core profiling Config.
 type Options struct {
 	// Workers is the number of PC-sharded profiler workers. <= 0 means
@@ -60,13 +81,22 @@ type Options struct {
 	// core.MetricAccuracy; for MetricBias it is validated when non-empty
 	// and never instantiated (edge profiling consults no predictor).
 	Predictor string
+	// Aggregation selects how multi-context streams fold into predictor
+	// and profiler state: bpred.AggShared (the zero value) ignores
+	// context tags — one table set, one slice clock, one report, the
+	// historical behaviour; bpred.AggPrivate gives each context private
+	// predictor tables, history, slice clock and profilers, reported
+	// through ContextReports/FinishContexts. Single-context streams
+	// behave identically in both modes.
+	Aggregation bpred.AggMode
 	// Static optionally carries the asmcheck branch classification of
 	// the program behind the stream (asmcheck.StaticClasses); reports
 	// are annotated with the static prefilter column. nil leaves reports
 	// byte-identical to unannotated runs.
 	Static map[trace.PC]string
 	// OnSlice, when set, is invoked by the front-end once per completed
-	// global slice (the daemon counts slices in /metrics through it).
+	// slice (the daemon counts slices in /metrics through it). Under
+	// private aggregation it fires for every context's slice boundary.
 	OnSlice func()
 }
 
@@ -82,35 +112,58 @@ type buffer struct {
 }
 
 // batch is the unit of work handed to a shard: an optional buffer
-// followed by an optional slice boundary. Boundary batches go to every
-// shard — the slice clock is global, so even a shard that saw no
-// events this slice must advance it.
+// followed by an optional slice boundary, all belonging to one
+// execution context. Boundary batches go to every shard — the slice
+// clock is per-context global, so even a shard that saw none of the
+// context's events this slice must advance it.
 type batch struct {
 	buf      *buffer
+	ctx      trace.Context
 	endSlice bool
 }
 
-// shard owns one PC partition's core.Profiler. The profiler is only
-// ever touched under mu: by batch application (the worker goroutine,
-// or the front-end itself in inline mode) and by snapshot readers
-// serving live reports.
+// shard owns one PC partition's profilers: the context-0 profiler
+// inline (the only one a single-context run ever touches) plus lazily
+// created per-context profilers under private aggregation. They are
+// only ever touched under mu: by batch application (the worker
+// goroutine, or the front-end itself in inline mode) and by snapshot
+// readers serving live reports.
 type shard struct {
 	eng  *Engine
 	ch   chan batch    // nil in inline (Workers == 1) mode
 	done chan struct{} // nil in inline mode
 
-	mu   sync.Mutex
-	prof *core.Profiler
+	mu    sync.Mutex
+	prof  *core.Profiler
+	profs map[trace.Context]*core.Profiler // contexts > 0 (private aggregation)
 }
 
-// apply folds one batch into the shard's profiler.
+// profFor resolves the profiler for one context, creating it on first
+// sight. Callers hold mu.
+func (s *shard) profFor(ctx trace.Context) *core.Profiler {
+	if ctx == 0 {
+		return s.prof
+	}
+	p, ok := s.profs[ctx]
+	if !ok {
+		if s.profs == nil {
+			s.profs = make(map[trace.Context]*core.Profiler)
+		}
+		p = s.eng.mustShardProfiler()
+		s.profs[ctx] = p
+	}
+	return p
+}
+
+// apply folds one batch into the owning context's profiler.
 func (s *shard) apply(b batch) {
 	s.mu.Lock()
+	p := s.profFor(b.ctx)
 	if b.buf != nil {
-		s.prof.OutcomeBatch(b.buf.events, b.buf.correct)
+		p.OutcomeBatch(b.buf.events, b.buf.correct)
 	}
 	if b.endSlice {
-		s.prof.EndSlice()
+		p.EndSlice()
 	}
 	s.mu.Unlock()
 	if b.buf != nil {
@@ -125,19 +178,42 @@ func (s *shard) run() {
 	}
 }
 
-// snapshot takes a consistent snapshot of the shard's profiler between
-// batches; safe while the worker is still consuming.
+// snapshot takes a consistent snapshot of the shard's context-0
+// profiler between batches; safe while the worker is still consuming.
 func (s *shard) snapshot() *core.Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.prof.Snapshot()
 }
 
+// snapshotCtx is snapshot for one execution context.
+func (s *shard) snapshotCtx(ctx trace.Context) *core.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.profFor(ctx).Snapshot()
+}
+
+// ctxFE is one execution context's sequential front-end state: its
+// predictor instance, slice clock, per-shard pending buffers and
+// predictor scratch. Context 0's ctxFE is embedded in the Engine; the
+// rest are allocated lazily on first sight of their context (private
+// aggregation only — shared mode routes everything through context 0).
+type ctxFE struct {
+	ctx      trace.Context
+	pred     bpred.Predictor // nil for MetricBias
+	pending  []*buffer       // per shard
+	hits     []bool          // scratch for the batched predictor path
+	hitWords []uint64        // scratch for the SoA predictor path
+
+	sliceExec int64 // retired branches since the context's last boundary
+}
+
 // Engine is one sharded profiling run: the sequential front-end state
-// (predictor, global slice clock, per-shard pending batches) plus the
-// shard workers. It implements trace.Sink and trace.BatchSink, so any
-// event source — live VM hooks, trace readers, the BTR2 parallel
-// decode pipeline, HTTP ingest loops — can drive it directly.
+// (per-context predictor, slice clock and pending batches) plus the
+// shard workers. It implements trace.Sink, trace.BatchSink,
+// trace.SoABatchSink and trace.CtxSink, so any event source — live VM
+// hooks, trace readers, the BTR2/BTR3 parallel decode pipeline, HTTP
+// ingest loops — can drive it directly.
 //
 // The feeding goroutine owns Branch/BranchBatch/Finish/Abort; they
 // must not be called concurrently. Report and QueueDepths are safe
@@ -146,19 +222,21 @@ type Engine struct {
 	cfg  core.Config
 	opts Options
 
-	pred     bpred.Predictor // nil for MetricBias
+	cset     *bpred.ContextSet // context-keyed predictor factory (accuracy metric)
 	predName string
 
-	shards   []*shard
-	pending  []*buffer
-	hits     []bool   // scratch for the batched predictor path
-	hitWords []uint64 // scratch for the SoA predictor path (packed bitmap)
+	shards []*shard
 
-	sliceExec int64 // retired branches since the last global boundary
-	pool      sync.Pool
+	c0      ctxFE                    // context 0 — the single-context fast path
+	ctxs    map[trace.Context]*ctxFE // contexts > 0, private aggregation only
+	ctxList []trace.Context          // allocation order of ctxs' keys
 
-	drained bool
-	final   *core.Report
+	pool    sync.Pool
+	soaSpan trace.SoABatch // scratch for private-mode SoA span repacking
+
+	drained  bool
+	final    *core.Report
+	finalCtx map[trace.Context]*core.Report
 }
 
 // New validates the configuration and assembles the engine. With
@@ -166,6 +244,9 @@ type Engine struct {
 // reach Finish or Abort to stop them.
 func New(cfg core.Config, opts Options) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.Workers <= 0 {
@@ -178,22 +259,25 @@ func New(cfg core.Config, opts Options) (*Engine, error) {
 		opts.QueueDepth = DefaultQueueDepth
 	}
 	e := &Engine{
-		cfg:     cfg,
-		opts:    opts,
-		shards:  make([]*shard, opts.Workers),
-		pending: make([]*buffer, opts.Workers),
+		cfg:    cfg,
+		opts:   opts,
+		shards: make([]*shard, opts.Workers),
 	}
+	e.c0.pending = make([]*buffer, opts.Workers)
 	// The predictor name is validated in both metric modes, mirroring
 	// twodprof.Profile, so a typo fails loudly instead of silently
 	// profiling bias; MetricBias additionally accepts an empty name.
+	// Construction goes through the context-keyed front-end so private
+	// aggregation can clone per-context instances later.
 	if cfg.Metric == core.MetricAccuracy || opts.Predictor != "" {
-		p, err := bpred.New(opts.Predictor)
+		cset, err := bpred.NewContextSet(opts.Predictor, opts.Aggregation)
 		if err != nil {
 			return nil, err
 		}
 		if cfg.Metric == core.MetricAccuracy {
-			e.pred = p
-			e.predName = p.Name()
+			e.cset = cset
+			e.c0.pred = cset.For(0)
+			e.predName = e.c0.pred.Name()
 		}
 	}
 	for i := range e.shards {
@@ -211,6 +295,43 @@ func New(cfg core.Config, opts Options) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// mustShardProfiler builds one more shard profiler for a late-arriving
+// context. The config and predictor name were validated in New, so
+// failure here is an invariant violation, not an input error.
+func (e *Engine) mustShardProfiler() *core.Profiler {
+	p, err := core.NewShardProfiler(e.cfg, e.predName)
+	if err != nil {
+		panic(fmt.Sprintf("engine: shard profiler for validated config: %v", err))
+	}
+	return p
+}
+
+// private reports whether multi-context events get per-context state.
+func (e *Engine) private() bool { return e.opts.Aggregation == bpred.AggPrivate }
+
+// fe resolves the front-end for one execution context, allocating it
+// on first sight. Context 0 — the only context a classic stream ever
+// has — resolves to the inline fast-path state without touching the
+// map.
+func (e *Engine) fe(ctx trace.Context) *ctxFE {
+	if ctx == 0 {
+		return &e.c0
+	}
+	if fe, ok := e.ctxs[ctx]; ok {
+		return fe
+	}
+	fe := &ctxFE{ctx: ctx, pending: make([]*buffer, len(e.shards))}
+	if e.cset != nil {
+		fe.pred = e.cset.For(ctx)
+	}
+	if e.ctxs == nil {
+		e.ctxs = make(map[trace.Context]*ctxFE)
+	}
+	e.ctxs[ctx] = fe
+	e.ctxList = append(e.ctxList, ctx)
+	return fe
 }
 
 // shardOf maps a branch PC to its worker with a splitmix64 finaliser,
@@ -253,16 +374,35 @@ func (e *Engine) dispatch(i int, b batch) {
 }
 
 // Branch implements trace.Sink: the per-event front-end — predict
-// (accuracy metric), route to the owning shard, advance the global
-// slice clock. Blocks when the owning shard's queue is full; that is
-// the backpressure path.
+// (accuracy metric), route to the owning shard, advance the slice
+// clock. Blocks when the owning shard's queue is full; that is the
+// backpressure path. Per-event events belong to context 0; context-
+// tagged producers use BranchCtx or the batch paths.
 func (e *Engine) Branch(pc trace.PC, taken bool) {
 	hit := taken
-	if e.pred != nil {
-		hit = e.pred.Predict(pc) == taken
-		e.pred.Update(pc, taken)
+	if e.c0.pred != nil {
+		hit = e.c0.pred.Predict(pc) == taken
+		e.c0.pred.Update(pc, taken)
 	}
-	e.route(trace.Event{PC: pc, Taken: taken}, hit)
+	e.route(&e.c0, trace.Event{PC: pc, Taken: taken}, hit)
+}
+
+// BranchCtx implements trace.CtxSink: Branch observed on an execution
+// context. Under shared aggregation (and always for context 0) it is
+// exactly Branch; under private aggregation the event flows through
+// its context's own predictor and slice clock.
+func (e *Engine) BranchCtx(ctx trace.Context, pc trace.PC, taken bool) {
+	if ctx == 0 || !e.private() {
+		e.Branch(pc, taken)
+		return
+	}
+	fe := e.fe(ctx)
+	hit := taken
+	if fe.pred != nil {
+		hit = fe.pred.Predict(pc) == taken
+		fe.pred.Update(pc, taken)
+	}
+	e.route(fe, trace.Event{PC: pc, Ctx: ctx, Taken: taken}, hit)
 }
 
 // BranchBatch implements trace.BatchSink. Accuracy-metric runs thread
@@ -271,19 +411,37 @@ func (e *Engine) Branch(pc trace.PC, taken bool) {
 // dispatches per event that dominate replay. Routing then advances the
 // slice clock a span at a time — the only place a batch must split is
 // a slice boundary, so the per-event work inside a span collapses to
-// an append. The result is exactly equivalent to calling Branch for
-// each event in order.
+// an append. The result is exactly equivalent to calling Branch (or,
+// under private aggregation, BranchCtx) for each event in order;
+// private mode first splits the batch into same-context runs.
 func (e *Engine) BranchBatch(events []trace.Event) {
-	var hits []bool
-	if e.pred != nil {
-		if cap(e.hits) < len(events) {
-			e.hits = make([]bool, len(events))
+	if e.private() {
+		for i := 0; i < len(events); {
+			ctx := events[i].Ctx
+			j := i + 1
+			for j < len(events) && events[j].Ctx == ctx {
+				j++
+			}
+			e.branchBatch(e.fe(ctx), events[i:j])
+			i = j
 		}
-		hits = e.hits[:len(events)]
-		bpred.ApplyBatch(e.pred, events, hits)
+		return
+	}
+	e.branchBatch(&e.c0, events)
+}
+
+// branchBatch is BranchBatch for one context's front-end.
+func (e *Engine) branchBatch(fe *ctxFE, events []trace.Event) {
+	var hits []bool
+	if fe.pred != nil {
+		if cap(fe.hits) < len(events) {
+			fe.hits = make([]bool, len(events))
+		}
+		hits = fe.hits[:len(events)]
+		bpred.ApplyBatch(fe.pred, events, hits)
 	}
 	for len(events) > 0 {
-		n := int(e.cfg.SliceSize - e.sliceExec)
+		n := int(e.cfg.SliceSize - fe.sliceExec)
 		if n > len(events) {
 			n = len(events)
 		}
@@ -292,12 +450,12 @@ func (e *Engine) BranchBatch(events []trace.Event) {
 			h = hits[:n]
 			hits = hits[n:]
 		}
-		e.routeSpan(events[:n], h)
+		e.routeSpan(fe, events[:n], h)
 		events = events[n:]
-		e.sliceExec += int64(n)
-		if e.sliceExec >= e.cfg.SliceSize {
-			e.broadcastSliceEnd()
-			e.sliceExec = 0
+		fe.sliceExec += int64(n)
+		if fe.sliceExec >= e.cfg.SliceSize {
+			e.broadcastSliceEnd(fe)
+			fe.sliceExec = 0
 		}
 	}
 }
@@ -309,30 +467,60 @@ func (e *Engine) BranchBatch(events []trace.Event) {
 // re-packing) to the shard layer a slice-span at a time. Combined with
 // the single-shard fast path below, a 1-worker BTR2 replay runs
 // decode→predict→profile with no intermediate []Event at all.
+//
+// Under private aggregation a batch with a context lane is split into
+// same-context spans; each span is repacked word-aligned (trace.
+// SoABatch.Span) so the per-context predictor still runs its SoA
+// kernel. Batches without a context lane — every BTR1/BTR2 stream —
+// take the classic path untouched.
 func (e *Engine) BranchBatchSoA(b *trace.SoABatch) {
-	var hw []uint64
-	if e.pred != nil {
-		words := (b.Len() + 63) / 64
-		if cap(e.hitWords) < words {
-			e.hitWords = make([]uint64, words)
+	if e.private() && len(b.Ctxs) > 0 {
+		ctxs := b.Ctxs
+		for i := 0; i < len(ctxs); {
+			ctx := ctxs[i]
+			j := i + 1
+			for j < len(ctxs) && ctxs[j] == ctx {
+				j++
+			}
+			if i == 0 && j == len(ctxs) {
+				// Single-context batch: no repacking needed.
+				e.branchBatchSoA(e.fe(ctx), b)
+				return
+			}
+			b.Span(&e.soaSpan, i, j)
+			e.branchBatchSoA(e.fe(ctx), &e.soaSpan)
+			i = j
 		}
-		hw = e.hitWords[:words]
-		bpred.ApplyBatchSoA(e.pred, b.PCs, b.Taken, hw)
+		return
+	}
+	e.branchBatchSoA(&e.c0, b)
+}
+
+// branchBatchSoA is BranchBatchSoA for one context's front-end.
+func (e *Engine) branchBatchSoA(fe *ctxFE, b *trace.SoABatch) {
+	var hw []uint64
+	if fe.pred != nil {
+		words := (b.Len() + 63) / 64
+		if cap(fe.hitWords) < words {
+			fe.hitWords = make([]uint64, words)
+		}
+		hw = fe.hitWords[:words]
+		bpred.ApplyBatchSoA(fe.pred, b.PCs, b.Taken, hw)
 	}
 	pcs := b.PCs
 	bitOff := 0
 	for len(pcs) > 0 {
-		n := int(e.cfg.SliceSize - e.sliceExec)
+		n := int(e.cfg.SliceSize - fe.sliceExec)
 		if n > len(pcs) {
 			n = len(pcs)
 		}
-		e.routeSpanSoA(pcs[:n], b.Taken, hw, bitOff)
+		e.routeSpanSoA(fe, pcs[:n], b.Taken, hw, bitOff)
 		pcs = pcs[n:]
 		bitOff += n
-		e.sliceExec += int64(n)
-		if e.sliceExec >= e.cfg.SliceSize {
-			e.broadcastSliceEnd()
-			e.sliceExec = 0
+		fe.sliceExec += int64(n)
+		if fe.sliceExec >= e.cfg.SliceSize {
+			e.broadcastSliceEnd(fe)
+			fe.sliceExec = 0
 		}
 	}
 }
@@ -340,15 +528,15 @@ func (e *Engine) BranchBatchSoA(b *trace.SoABatch) {
 // singleShard returns the lone shard when the engine runs in inline
 // single-worker mode (no queues, no worker goroutines), where span
 // routing can skip the buffer machinery and apply straight to the
-// profiler. Any pending per-event buffer is flushed first so ordering
-// against the Branch path is preserved.
-func (e *Engine) singleShard() *shard {
+// profiler. Any pending per-event buffer of the same context is
+// flushed first so ordering against the Branch path is preserved.
+func (e *Engine) singleShard(fe *ctxFE) *shard {
 	if len(e.shards) != 1 || e.shards[0].ch != nil {
 		return nil
 	}
-	if b := e.pending[0]; b != nil && len(b.events) > 0 {
-		e.dispatch(0, batch{buf: b})
-		e.pending[0] = nil
+	if b := fe.pending[0]; b != nil && len(b.events) > 0 {
+		e.dispatch(0, batch{buf: b, ctx: fe.ctx})
+		fe.pending[0] = nil
 	}
 	return e.shards[0]
 }
@@ -359,28 +547,28 @@ func (e *Engine) singleShard() *shard {
 // (MetricBias). With one shard the span is applied inline with its
 // packed bitmaps; sharded runs unpack per event into the owning
 // shard's AoS buffer.
-func (e *Engine) routeSpanSoA(pcs []trace.PC, taken, correct []uint64, bitOff int) {
-	if s := e.singleShard(); s != nil {
+func (e *Engine) routeSpanSoA(fe *ctxFE, pcs []trace.PC, taken, correct []uint64, bitOff int) {
+	if s := e.singleShard(fe); s != nil {
 		s.mu.Lock()
-		s.prof.OutcomeBatchSoA(pcs, taken, correct, bitOff)
+		s.profFor(fe.ctx).OutcomeBatchSoA(pcs, taken, correct, bitOff)
 		s.mu.Unlock()
 		return
 	}
 	for i, pc := range pcs {
 		j := bitOff + i
 		s := e.shardOf(pc)
-		b := e.pending[s]
+		b := fe.pending[s]
 		if b == nil {
 			b = e.getBuf()
-			e.pending[s] = b
+			fe.pending[s] = b
 		}
-		b.events = append(b.events, trace.Event{PC: pc, Taken: taken[j>>6]>>uint(j&63)&1 != 0})
+		b.events = append(b.events, trace.Event{PC: pc, Ctx: fe.ctx, Taken: taken[j>>6]>>uint(j&63)&1 != 0})
 		if b.correct != nil {
 			b.correct = append(b.correct, correct[j>>6]>>uint(j&63)&1 != 0)
 		}
 		if len(b.events) >= e.opts.BatchSize {
-			e.dispatch(s, batch{buf: b})
-			e.pending[s] = nil
+			e.dispatch(s, batch{buf: b, ctx: fe.ctx})
+			fe.pending[s] = nil
 		}
 	}
 }
@@ -390,80 +578,81 @@ func (e *Engine) routeSpanSoA(pcs []trace.PC, taken, correct []uint64, bitOff in
 // (MetricBias). With a single shard the span is applied to the profiler
 // inline — no buffer copy, no queue; sharded runs pick a worker per
 // event, but skip the per-event clock arithmetic route pays.
-func (e *Engine) routeSpan(events []trace.Event, hits []bool) {
-	if s := e.singleShard(); s != nil {
+func (e *Engine) routeSpan(fe *ctxFE, events []trace.Event, hits []bool) {
+	if s := e.singleShard(fe); s != nil {
 		s.mu.Lock()
-		s.prof.OutcomeBatch(events, hits)
+		s.profFor(fe.ctx).OutcomeBatch(events, hits)
 		s.mu.Unlock()
 		return
 	}
 	for i, ev := range events {
 		s := e.shardOf(ev.PC)
-		b := e.pending[s]
+		b := fe.pending[s]
 		if b == nil {
 			b = e.getBuf()
-			e.pending[s] = b
+			fe.pending[s] = b
 		}
 		b.events = append(b.events, ev)
 		if b.correct != nil {
 			b.correct = append(b.correct, hits[i])
 		}
 		if len(b.events) >= e.opts.BatchSize {
-			e.dispatch(s, batch{buf: b})
-			e.pending[s] = nil
+			e.dispatch(s, batch{buf: b, ctx: fe.ctx})
+			fe.pending[s] = nil
 		}
 	}
 }
 
-func (e *Engine) route(ev trace.Event, hit bool) {
+func (e *Engine) route(fe *ctxFE, ev trace.Event, hit bool) {
 	i := e.shardOf(ev.PC)
-	b := e.pending[i]
+	b := fe.pending[i]
 	if b == nil {
 		b = e.getBuf()
-		e.pending[i] = b
+		fe.pending[i] = b
 	}
 	b.events = append(b.events, ev)
 	if b.correct != nil {
 		b.correct = append(b.correct, hit)
 	}
 	if len(b.events) >= e.opts.BatchSize {
-		e.dispatch(i, batch{buf: b})
-		e.pending[i] = nil
+		e.dispatch(i, batch{buf: b, ctx: fe.ctx})
+		fe.pending[i] = nil
 	}
-	e.sliceExec++
-	if e.sliceExec >= e.cfg.SliceSize {
-		e.broadcastSliceEnd()
-		e.sliceExec = 0
+	fe.sliceExec++
+	if fe.sliceExec >= e.cfg.SliceSize {
+		e.broadcastSliceEnd(fe)
+		fe.sliceExec = 0
 	}
 }
 
-// broadcastSliceEnd flushes every pending batch with a slice-boundary
-// marker, even to shards that saw no events this slice (the clock is
-// global). Each shard applies the boundary after exactly the events
-// that belong to the slice, because its channel preserves order;
-// shards need no cross-shard synchronisation beyond this.
-func (e *Engine) broadcastSliceEnd() {
+// broadcastSliceEnd flushes every pending batch of the context with a
+// slice-boundary marker, even to shards that saw none of its events
+// this slice (the clock is global per context). Each shard applies the
+// boundary after exactly the events that belong to the slice, because
+// its channel preserves order; shards need no cross-shard
+// synchronisation beyond this.
+func (e *Engine) broadcastSliceEnd(fe *ctxFE) {
 	for i := range e.shards {
-		e.dispatch(i, batch{buf: e.pending[i], endSlice: true})
-		e.pending[i] = nil
+		e.dispatch(i, batch{buf: fe.pending[i], ctx: fe.ctx, endSlice: true})
+		fe.pending[i] = nil
 	}
 	if e.opts.OnSlice != nil {
 		e.opts.OnSlice()
 	}
 }
 
-// drain flushes pending batches, closes the queues and waits for the
-// workers; idempotent.
+// drain flushes pending batches of every context, closes the queues
+// and waits for the workers; idempotent.
 func (e *Engine) drain() {
 	if e.drained {
 		return
 	}
 	e.drained = true
-	for i, s := range e.shards {
-		if b := e.pending[i]; b != nil && len(b.events) > 0 {
-			e.dispatch(i, batch{buf: b})
-		}
-		e.pending[i] = nil
+	e.drainFE(&e.c0)
+	for _, ctx := range e.ctxList {
+		e.drainFE(e.ctxs[ctx])
+	}
+	for _, s := range e.shards {
 		if s.ch != nil {
 			close(s.ch)
 		}
@@ -475,27 +664,70 @@ func (e *Engine) drain() {
 	}
 }
 
+func (e *Engine) drainFE(fe *ctxFE) {
+	for i := range e.shards {
+		if b := fe.pending[i]; b != nil && len(b.events) > 0 {
+			e.dispatch(i, batch{buf: b, ctx: fe.ctx})
+		}
+		fe.pending[i] = nil
+	}
+}
+
+// finishFlush applies the offline partial-slice flush rule to every
+// context's clock and drains the workers; idempotent.
+func (e *Engine) finishFlush() {
+	if e.drained {
+		return
+	}
+	e.flushPartial(&e.c0)
+	for _, ctx := range e.ctxList {
+		e.flushPartial(e.ctxs[ctx])
+	}
+	e.drain()
+}
+
+func (e *Engine) flushPartial(fe *ctxFE) {
+	if e.cfg.FlushPartialSlice && fe.sliceExec > 0 && fe.sliceExec >= e.cfg.SliceSize/2 {
+		e.broadcastSliceEnd(fe)
+		fe.sliceExec = 0
+	}
+}
+
 // Finish completes the stream: applies the offline partial-slice flush
-// rule to the global clock, drains the workers, and merges the shard
-// snapshots into the final (annotated) report. Idempotent — repeated
-// calls return the same report.
+// rule to each context's clock, drains the workers, and merges the
+// shard snapshots into the final (annotated) report. Idempotent —
+// repeated calls return the same report. A multi-context private run
+// has no single merged report; Finish still drains, then returns
+// ErrMultiContext (use FinishContexts).
 func (e *Engine) Finish() (*core.Report, error) {
 	if e.final != nil {
 		return e.final, nil
 	}
-	if !e.drained {
-		if e.cfg.FlushPartialSlice && e.sliceExec > 0 && e.sliceExec >= e.cfg.SliceSize/2 {
-			e.broadcastSliceEnd()
-			e.sliceExec = 0
-		}
-		e.drain()
-	}
+	e.finishFlush()
 	rep, err := e.Report()
 	if err != nil {
 		return nil, err
 	}
 	e.final = rep
 	return rep, nil
+}
+
+// FinishContexts completes the stream like Finish but reports per
+// execution context: each context's report is the merge of its own
+// shard profilers. A single-context run (or any shared-aggregation
+// run) yields the map {0: report} with the report byte-identical to
+// Finish's. Idempotent.
+func (e *Engine) FinishContexts() (map[trace.Context]*core.Report, error) {
+	if e.finalCtx != nil {
+		return e.finalCtx, nil
+	}
+	e.finishFlush()
+	reps, err := e.ContextReports()
+	if err != nil {
+		return nil, err
+	}
+	e.finalCtx = reps
+	return reps, nil
 }
 
 // Abort tears the workers down without the final slice flush (the
@@ -506,10 +738,14 @@ func (e *Engine) Abort() { e.drain() }
 // Report merges the current shard snapshots into an annotated report:
 // a live view while the stream is still flowing, the final report once
 // Finish has fixed it. Safe to call from other goroutines while the
-// owner keeps feeding.
+// owner keeps feeding. Returns ErrMultiContext once a private-mode
+// stream has carried more than one context.
 func (e *Engine) Report() (*core.Report, error) {
 	if e.final != nil {
 		return e.final, nil
+	}
+	if len(e.ctxs) > 0 {
+		return nil, ErrMultiContext
 	}
 	snaps := make([]*core.Snapshot, len(e.shards))
 	for i, s := range e.shards {
@@ -523,6 +759,41 @@ func (e *Engine) Report() (*core.Report, error) {
 	return rep, nil
 }
 
+// ContextReports merges the current shard snapshots per execution
+// context: a live view while the stream is flowing, the final per-
+// context reports once FinishContexts has fixed them. Context 0 is
+// always present.
+func (e *Engine) ContextReports() (map[trace.Context]*core.Report, error) {
+	if e.finalCtx != nil {
+		return e.finalCtx, nil
+	}
+	out := make(map[trace.Context]*core.Report, 1+len(e.ctxs))
+	for _, ctx := range e.Contexts() {
+		snaps := make([]*core.Snapshot, len(e.shards))
+		for i, s := range e.shards {
+			snaps[i] = s.snapshotCtx(ctx)
+		}
+		rep, err := core.MergeReports(snaps...)
+		if err != nil {
+			return nil, err
+		}
+		rep.AnnotateStatic(e.opts.Static)
+		out[ctx] = rep
+	}
+	return out, nil
+}
+
+// Contexts returns every execution context the engine holds state for,
+// sorted ascending. Context 0 is always present; contexts > 0 appear
+// only under private aggregation.
+func (e *Engine) Contexts() []trace.Context {
+	out := make([]trace.Context, 0, 1+len(e.ctxs))
+	out = append(out, 0)
+	out = append(out, e.ctxList...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Snapshot merges the current shard snapshots into one whole-run
 // core.Snapshot — the persistence hook: the daemon's WAL checkpoints a
 // finished engine's merged snapshot, and Snapshot().Report() on the
@@ -530,7 +801,12 @@ func (e *Engine) Report() (*core.Report, error) {
 // core.MergeSnapshots followed by (*core.Snapshot).Report). Safe to
 // call from other goroutines while the owner keeps feeding; for a
 // checkpoint call it after Finish or Abort so the state is frozen.
+// Returns ErrMultiContext once a private-mode stream has carried more
+// than one context.
 func (e *Engine) Snapshot() (*core.Snapshot, error) {
+	if len(e.ctxs) > 0 {
+		return nil, ErrMultiContext
+	}
 	snaps := make([]*core.Snapshot, len(e.shards))
 	for i, s := range e.shards {
 		snaps[i] = s.snapshot()
@@ -558,4 +834,5 @@ var (
 	_ trace.Sink         = (*Engine)(nil)
 	_ trace.BatchSink    = (*Engine)(nil)
 	_ trace.SoABatchSink = (*Engine)(nil)
+	_ trace.CtxSink      = (*Engine)(nil)
 )

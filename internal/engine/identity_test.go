@@ -97,6 +97,23 @@ func encodeBTR2(t testing.TB, events []trace.Event) []byte {
 	return buf.Bytes()
 }
 
+// encodeBTR3 re-encodes the stream in the context-tagged chunked
+// format; a single-context stream is valid BTR3 and must profile to
+// the same bytes as every other encoding.
+func encodeBTR3(t testing.TB, events []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewBTR3Writer(&buf, trace.BTR2Options{ChunkEvents: 4093})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BranchBatch(events)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // daemonReport ingests a trace into a freshly started daemon and
 // returns the /v1/report body.
 func daemonReport(t testing.TB, cfg core.Config, shards int, raw []byte, query string) []byte {
@@ -150,7 +167,7 @@ func daemonReport(t testing.TB, cfg core.Config, shards int, raw []byte, query s
 // front — and returns each routed /v1/report body. Each session id
 // hashes to whatever node the ring picks; the router must still serve
 // the same bytes a lone daemon would.
-func clusterReports(t testing.TB, cfg core.Config, btr1, btr2 []byte, events []trace.Event, query string) map[string][]byte {
+func clusterReports(t testing.TB, cfg core.Config, btr1, btr2, btr3 []byte, events []trace.Event, query string) map[string][]byte {
 	t.Helper()
 	members := make([]cluster.Node, 3)
 	for i := range members {
@@ -208,8 +225,8 @@ func clusterReports(t testing.TB, cfg core.Config, btr1, btr2 []byte, events []t
 		}
 		return body
 	}
-	out := make(map[string][]byte, 3)
-	for name, raw := range map[string][]byte{"btr1": btr1, "btr2": btr2} {
+	out := make(map[string][]byte, 4)
+	for name, raw := range map[string][]byte{"btr1": btr1, "btr2": btr2, "btr3": btr3} {
 		id := "cm-" + name
 		url := "http://" + rt.Addr() + "/v1/ingest?session=" + id + query
 		resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
@@ -270,6 +287,7 @@ func TestCrossPathIdentityMatrix(t *testing.T) {
 		events := rec.Events
 		btr1 := encodeBTR1(t, events)
 		btr2 := encodeBTR2(t, events)
+		btr3 := encodeBTR3(t, events)
 
 		for _, metric := range []core.Metric{core.MetricAccuracy, core.MetricBias} {
 			cfg := matrixConfig(metric)
@@ -303,26 +321,33 @@ func TestCrossPathIdentityMatrix(t *testing.T) {
 			}
 			check("btr1", marshal(t, rep))
 
-			// BTR2 replay across worker counts (parallel chunk decode).
+			// BTR2/BTR3 replay across worker counts (parallel chunk
+			// decode; BTR3 adds the context-run table to every chunk).
 			for _, workers := range []int{1, 4, 8} {
 				rep, err := replay.Profile(bytes.NewReader(btr2), cfg, matrixPredictor, replay.Options{Workers: workers})
 				if err != nil {
 					t.Fatal(err)
 				}
 				check(fmt.Sprintf("btr2/workers=%d", workers), marshal(t, rep))
+				rep, err = replay.Profile(bytes.NewReader(btr3), cfg, matrixPredictor, replay.Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(fmt.Sprintf("btr3/workers=%d", workers), marshal(t, rep))
 			}
 
-			// Daemon ingest, BTR1 and BTR2 bodies, sharded.
+			// Daemon ingest, BTR1, BTR2 and BTR3 bodies, sharded.
 			query := ""
 			if metric == core.MetricBias {
 				query = "&metric=bias"
 			}
 			check("daemon/btr1", daemonReport(t, cfg, 4, btr1, query))
 			check("daemon/btr2", daemonReport(t, cfg, 4, btr2, query))
+			check("daemon/btr3", daemonReport(t, cfg, 4, btr3, query))
 
 			// Cluster column: the same streams through a 3-node cluster
 			// behind the router, over HTTP and the binary wire protocol.
-			for name, got := range clusterReports(t, cfg, btr1, btr2, events, query) {
+			for name, got := range clusterReports(t, cfg, btr1, btr2, btr3, events, query) {
 				check("cluster/"+name, got)
 			}
 		}

@@ -28,12 +28,12 @@ func Run(src trace.Source, cfg core.Config, opts Options) (*core.Report, error) 
 	return eng.Finish()
 }
 
-// ProfileStream profiles a trace stream (BTR1, BTR2, or gzip of
-// either) through a fresh engine. BTR2 streams with more than one
-// worker decode their chunks across a parallel pool (the engine's
-// worker count) ahead of the sequential front-end; BTR1 streams always
-// decode sequentially — their delta chain admits no decode parallelism
-// — but still fan statistics across the shards.
+// ProfileStream profiles a trace stream (BTR1, BTR2, BTR3, or gzip of
+// any) through a fresh engine. Chunked streams (BTR2/BTR3) with more
+// than one worker decode their chunks across a parallel pool (the
+// engine's worker count) ahead of the sequential front-end; BTR1
+// streams always decode sequentially — their delta chain admits no
+// decode parallelism — but still fan statistics across the shards.
 func ProfileStream(r io.Reader, cfg core.Config, opts Options) (*core.Report, error) {
 	eng, err := New(cfg, opts)
 	if err != nil {
@@ -44,8 +44,8 @@ func ProfileStream(r io.Reader, cfg core.Config, opts Options) (*core.Report, er
 		eng.Abort()
 		return nil, err
 	}
-	if b2, ok := rd.(*trace.BTR2Reader); ok && eng.Workers() > 1 {
-		if _, err := b2.ParallelReplay(eng.Workers(), eng); err != nil {
+	if pr, ok := rd.(trace.ParallelReplayer); ok && eng.Workers() > 1 {
+		if _, err := pr.ParallelReplay(eng.Workers(), eng); err != nil {
 			eng.Abort()
 			return nil, err
 		}

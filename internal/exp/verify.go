@@ -197,6 +197,27 @@ func VerifyClaims(ctx *Context) ([]Claim, error) {
 		"%d profiles, %d violations, %d unclassified, COV %.2f ACC %.2f",
 		id.Matrix, id.Violations(), id.Unknown, id.Overall.COV(), id.Overall.ACC())
 
+	// Claim 11: per-context (private-table) profiling of an interleaved
+	// multithreaded stream recovers the single-thread truth exactly —
+	// every per-context report is byte-identical to its stream's solo
+	// profile, so COV = ACC = 1 — while context-blind shared tables
+	// corrupt the phase signal (spurious input-dependence flags drive
+	// accuracy down) at the widest interleaving (ext-mt).
+	mtres, err := Run(ctx, "ext-mt")
+	if err != nil {
+		return nil, err
+	}
+	mt := mtres.(*ExtMT)
+	priv4 := mt.Sweep(4, "private")
+	shared4 := mt.Sweep(4, "shared")
+	privExact := mt.PrivateIdentical &&
+		priv4 != nil && priv4.Overall.COV() == 1 && priv4.Overall.ACC() == 1
+	sharedWorse := shared4 != nil && shared4.Overall.ACC() < priv4.Overall.ACC()
+	add("private tables recover single-thread verdicts", privExact && sharedWorse,
+		"private 4-ctx COV %.2f ACC %.2f (reports byte-identical %v); shared 4-ctx COV %.2f ACC %.2f",
+		priv4.Overall.COV(), priv4.Overall.ACC(), mt.PrivateIdentical,
+		shared4.Overall.COV(), shared4.Overall.ACC())
+
 	return claims, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"twodprof/internal/asmcheck"
+	"twodprof/internal/bpred"
 	"twodprof/internal/core"
 	"twodprof/internal/engine"
 	"twodprof/internal/progs"
@@ -78,6 +79,7 @@ type ingestParams struct {
 	Predictor string // "" keeps the server default
 	SliceSize int64  // <= 0 keeps the server default
 	Shards    int    // <= 0 keeps the server default
+	Agg       string // "" means shared (the historical behaviour)
 	Kernel    string
 }
 
@@ -89,6 +91,7 @@ func paramsFromQuery(q url.Values) (ingestParams, error) {
 		Group:     q.Get("group"),
 		Metric:    q.Get("metric"),
 		Predictor: q.Get("predictor"),
+		Agg:       q.Get("agg"),
 		Kernel:    q.Get("kernel"),
 	}
 	if v := q.Get("slice"); v != "" {
@@ -198,6 +201,13 @@ func (s *Server) beginSession(p ingestParams) (*ingestRun, *ingestError) {
 		}
 		shards = p.Shards
 	}
+	var agg bpred.AggMode
+	if p.Agg != "" {
+		var err error
+		if agg, err = bpred.ParseAggMode(p.Agg); err != nil {
+			return nil, &ingestError{status: http.StatusBadRequest, msg: err.Error()}
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, &ingestError{status: http.StatusBadRequest, msg: err.Error()}
 	}
@@ -221,12 +231,13 @@ func (s *Server) beginSession(p ingestParams) (*ingestRun, *ingestError) {
 			msg: fmt.Sprintf("session id longer than %d bytes", maxSessionID)}
 	}
 	eng, err := engine.New(cfg, engine.Options{
-		Workers:    shards,
-		BatchSize:  s.cfg.BatchSize,
-		QueueDepth: s.cfg.QueueDepth,
-		Predictor:  predictor,
-		Static:     static,
-		OnSlice:    func() { s.metrics.Slices.Add(1) },
+		Workers:     shards,
+		BatchSize:   s.cfg.BatchSize,
+		QueueDepth:  s.cfg.QueueDepth,
+		Predictor:   predictor,
+		Aggregation: agg,
+		Static:      static,
+		OnSlice:     func() { s.metrics.Slices.Add(1) },
 	})
 	if err != nil {
 		return nil, &ingestError{status: http.StatusBadRequest, msg: err.Error()}
@@ -243,12 +254,13 @@ func (s *Server) beginSession(p ingestParams) (*ingestRun, *ingestError) {
 		// event flows; decoded batches are teed into it ahead of the
 		// in-memory engine.
 		plog, perr := s.store.Create(sessionMeta{
-			ID:        session.ID,
-			Group:     p.Group,
-			Profile:   cfg,
-			Predictor: predictor,
-			Shards:    shards,
-			Kernel:    p.Kernel,
+			ID:          session.ID,
+			Group:       p.Group,
+			Profile:     cfg,
+			Predictor:   predictor,
+			Shards:      shards,
+			Aggregation: agg.String(),
+			Kernel:      p.Kernel,
 		})
 		if perr != nil {
 			s.registry.Remove(session.ID)

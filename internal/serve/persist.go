@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"twodprof/internal/asmcheck"
+	"twodprof/internal/bpred"
 	"twodprof/internal/core"
 	"twodprof/internal/engine"
 	"twodprof/internal/progs"
@@ -27,7 +28,10 @@ import (
 //	recBegin   JSON sessionMeta — resolved profiling config, predictor,
 //	           shard count and (optional) kernel name. Always first.
 //	recEvents  wal.EncodeEvents batch, appended ahead of the in-memory
-//	           engine in exact stream order.
+//	           engine in exact stream order. Batches carrying execution
+//	           contexts use recEventsCtx (wal.EncodeEventsCtx) instead;
+//	           logs from before contexts existed contain only recEvents
+//	           and replay as context 0 unchanged.
 //	recDone /  JSON terminalRecord — the merged engine snapshot
 //	recFail    (core.Snapshot) plus event/byte totals (and the failure
 //	           reason for recFail). Always last; nothing follows it.
@@ -57,7 +61,10 @@ type sessionMeta struct {
 	Profile   core.Config `json:"profile"`
 	Predictor string      `json:"predictor,omitempty"`
 	Shards    int         `json:"shards"`
-	Kernel    string      `json:"kernel,omitempty"`
+	// Aggregation is the context-aggregation mode ("shared"/"private");
+	// logs written before contexts existed omit it and replay as shared.
+	Aggregation string `json:"aggregation,omitempty"`
+	Kernel      string `json:"kernel,omitempty"`
 }
 
 // terminalRecord fixes a finished session's outcome in its log.
@@ -74,6 +81,11 @@ const (
 	recEvents byte = 2
 	recDone   byte = 3
 	recFail   byte = 4
+	// recEventsCtx is an event batch carrying execution contexts
+	// (wal.EncodeEventsCtx). Written only when a batch actually has a
+	// non-zero context, so single-context sessions — and every log
+	// written before contexts existed — keep the plain recEvents bytes.
+	recEventsCtx byte = 5
 )
 
 // recoveredReason is the failure reason stamped on sessions that were
@@ -168,13 +180,25 @@ func (sl *sessionLog) append(typ byte, payload []byte) error {
 	return nil
 }
 
-// appendEvents logs one decoded batch.
+// appendEvents logs one decoded batch, picking the context-carrying
+// record type only when some event needs it.
 func (sl *sessionLog) appendEvents(events []trace.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
-	sl.encBuf = wal.EncodeEvents(sl.encBuf[:0], events)
-	return sl.append(recEvents, sl.encBuf)
+	typ := recEvents
+	for _, ev := range events {
+		if ev.Ctx != 0 {
+			typ = recEventsCtx
+			break
+		}
+	}
+	if typ == recEventsCtx {
+		sl.encBuf = wal.EncodeEventsCtx(sl.encBuf[:0], events)
+	} else {
+		sl.encBuf = wal.EncodeEvents(sl.encBuf[:0], events)
+	}
+	return sl.append(typ, sl.encBuf)
 }
 
 // finish appends the terminal record and closes the log; the terminal
@@ -221,7 +245,7 @@ func parseLog(recs []wal.Record) (meta sessionMeta, events []wal.Record, term *t
 	}
 	for _, rec := range recs[1:] {
 		switch rec.Type {
-		case recEvents:
+		case recEvents, recEventsCtx:
 			if term != nil {
 				return meta, nil, nil, 0, fmt.Errorf("event record after terminal record")
 			}
@@ -426,10 +450,18 @@ func (st *Store) recoverOne(path string) (recoveredInfo, error) {
 // replay feeds logged event records through a fresh engine and returns
 // the replayed event count plus the finished engine's merged snapshot.
 func (st *Store) replay(meta sessionMeta, events []wal.Record, static map[trace.PC]string) (int64, *core.Snapshot, error) {
+	var agg bpred.AggMode
+	if meta.Aggregation != "" {
+		var err error
+		if agg, err = bpred.ParseAggMode(meta.Aggregation); err != nil {
+			return 0, nil, fmt.Errorf("session log metadata: %w", err)
+		}
+	}
 	eng, err := engine.New(meta.Profile, engine.Options{
-		Workers:   meta.Shards,
-		Predictor: meta.Predictor,
-		Static:    static,
+		Workers:     meta.Shards,
+		Predictor:   meta.Predictor,
+		Aggregation: agg,
+		Static:      static,
 	})
 	if err != nil {
 		return 0, nil, fmt.Errorf("rebuilding engine: %w", err)
@@ -439,7 +471,11 @@ func (st *Store) replay(meta sessionMeta, events []wal.Record, static map[trace.
 		evbuf    []trace.Event
 	)
 	for _, rec := range events {
-		evbuf, err = wal.DecodeEvents(evbuf[:0], rec.Payload)
+		if rec.Type == recEventsCtx {
+			evbuf, err = wal.DecodeEventsCtx(evbuf[:0], rec.Payload)
+		} else {
+			evbuf, err = wal.DecodeEvents(evbuf[:0], rec.Payload)
+		}
 		if err != nil {
 			eng.Abort()
 			return 0, nil, fmt.Errorf("decoding event record: %w", err)

@@ -35,6 +35,7 @@ func (h wireHandler) Begin(p wire.BeginParams) (wire.SessionSink, error) {
 		Predictor: p.Predictor,
 		SliceSize: p.SliceSize,
 		Shards:    p.Shards,
+		Agg:       p.Aggregation,
 		Kernel:    p.Kernel,
 	})
 	if ierr != nil {

@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"twodprof/internal/rng"
+	"twodprof/internal/trace"
+)
+
+// Interleaved merges several single-thread branch streams into one
+// multi-context stream, modelling what a profiler attached to a
+// multithreaded process observes: each thread's branches arrive in that
+// thread's program order, but the threads' events are shuffled together
+// by the scheduler. Context i of the merged stream is exactly stream i
+// of the input — extracting one context's subsequence recovers that
+// thread's solo trace event for event, which is the invariant the
+// ext-mt experiment leans on (a private-table profile of context i must
+// match the single-thread profile of stream i).
+//
+// Two schedules are provided. "round-robin" hands out fixed quanta in
+// stream order — the pathological best case for shared-table
+// corruption, because every predictor lookup sees the maximum amount
+// of foreign history. "bursty" draws geometrically distributed burst
+// lengths (mean = quantum) from a seeded generator and picks the next
+// runnable stream at random — the realistic case, where a thread runs
+// long enough to warm the shared tables before being descheduled.
+
+// Schedule names accepted by NewInterleaved.
+const (
+	SchedRoundRobin = "round-robin"
+	SchedBursty     = "bursty"
+)
+
+// Schedules lists the known schedule names, for error messages and CLI
+// help text.
+func Schedules() []string { return []string{SchedRoundRobin, SchedBursty} }
+
+// Interleaved is a trace.Source producing the merged multi-context
+// stream. Deterministic: a fixed (streams, schedule, quantum, seed)
+// tuple replays the identical stream on every Run.
+type Interleaved struct {
+	streams []trace.Source
+	sched   string
+	quantum int
+	seed    uint64
+}
+
+// DefaultQuantum is the scheduling quantum (events per turn, or mean
+// burst length for the bursty schedule) when the caller passes a
+// non-positive one.
+const DefaultQuantum = 64
+
+// NewInterleaved builds an interleaved source over streams. quantum is
+// the events-per-turn for round-robin and the mean burst length for
+// bursty (non-positive means DefaultQuantum); seed drives the bursty
+// schedule's randomness and is ignored by round-robin.
+func NewInterleaved(streams []trace.Source, sched string, quantum int, seed uint64) (*Interleaved, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("synth: interleave needs at least one stream")
+	}
+	switch sched {
+	case SchedRoundRobin, SchedBursty:
+	default:
+		return nil, fmt.Errorf("synth: unknown schedule %q (have %s)",
+			sched, strings.Join(Schedules(), ", "))
+	}
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &Interleaved{streams: streams, sched: sched, quantum: quantum, seed: seed}, nil
+}
+
+// Run implements trace.Source. Each input stream is materialised in
+// memory first (the schedule needs random access into every stream),
+// then the merge walks all streams to exhaustion. Events are delivered
+// through the sink's CtxSink path with ctx = stream index when the sink
+// provides one; otherwise the contexts are collapsed into plain Branch
+// calls, which degrades the source to a shared-history single stream —
+// exactly what a context-blind profiler would see.
+func (iv *Interleaved) Run(sink trace.Sink) int64 {
+	recs := make([]*trace.Recorder, len(iv.streams))
+	for i, src := range iv.streams {
+		recs[i] = trace.NewRecorder(0)
+		src.Run(recs[i])
+	}
+	pos := make([]int, len(recs))
+	cs, hasCtx := sink.(trace.CtxSink)
+	var total int64
+	emit := func(stream, n int) {
+		ctx := trace.Context(stream)
+		evs := recs[stream].Events
+		for _, e := range evs[pos[stream] : pos[stream]+n] {
+			if hasCtx {
+				cs.BranchCtx(ctx, e.PC, e.Taken)
+			} else {
+				sink.Branch(e.PC, e.Taken)
+			}
+		}
+		pos[stream] += n
+		total += int64(n)
+	}
+	remaining := func(i int) int { return len(recs[i].Events) - pos[i] }
+
+	switch iv.sched {
+	case SchedRoundRobin:
+		for {
+			progressed := false
+			for i := range recs {
+				if n := min(iv.quantum, remaining(i)); n > 0 {
+					emit(i, n)
+					progressed = true
+				}
+			}
+			if !progressed {
+				return total
+			}
+		}
+	case SchedBursty:
+		r := rng.New(iv.seed)
+		// live holds the indices of streams with events left; picking
+		// uniformly among them keeps drained streams off the schedule.
+		live := make([]int, 0, len(recs))
+		for i := range recs {
+			if remaining(i) > 0 {
+				live = append(live, i)
+			}
+		}
+		for len(live) > 0 {
+			k := r.Intn(len(live))
+			i := live[k]
+			n := min(r.Geometric(1/float64(iv.quantum)), remaining(i))
+			emit(i, n)
+			if remaining(i) == 0 {
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		return total
+	}
+	return total
+}

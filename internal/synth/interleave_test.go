@@ -1,0 +1,174 @@
+package synth
+
+import (
+	"testing"
+
+	"twodprof/internal/trace"
+)
+
+// interleaveStreams builds a few distinguishable single-thread sources
+// for merge tests: the same mini workload population shape but distinct
+// seeds, so the streams differ while staying realistic.
+func interleaveStreams(t *testing.T, n int) []trace.Source {
+	t.Helper()
+	streams := make([]trace.Source, n)
+	for i := 0; i < n; i++ {
+		cfg := DefaultPopulationConfig("ilv", uint64(1000+i))
+		cfg.NumSites = 24
+		pop := NewPopulation(cfg)
+		w := pop.Workload("train")
+		w.DynTarget = 20000
+		streams[i] = w
+	}
+	return streams
+}
+
+// soloEvents records stream i on its own, as the per-context oracle.
+func soloEvents(src trace.Source) []trace.Event {
+	var r trace.Recorder
+	src.Run(&r)
+	return r.Events
+}
+
+// TestInterleavedPreservesPerContextOrder is the core invariant: for
+// both schedules, extracting context k's subsequence from the merged
+// stream recovers stream k's solo trace exactly.
+func TestInterleavedPreservesPerContextOrder(t *testing.T) {
+	streams := interleaveStreams(t, 3)
+	solos := make([][]trace.Event, len(streams))
+	for i, s := range streams {
+		solos[i] = soloEvents(s)
+	}
+	for _, sched := range Schedules() {
+		iv, err := NewInterleaved(streams, sched, 50, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec trace.Recorder
+		total := iv.Run(&rec)
+		if int(total) != len(rec.Events) {
+			t.Fatalf("%s: Run reported %d events, recorded %d", sched, total, len(rec.Events))
+		}
+		var want int64
+		for _, s := range solos {
+			want += int64(len(s))
+		}
+		if total != want {
+			t.Fatalf("%s: merged %d events, streams total %d", sched, total, want)
+		}
+		pos := make([]int, len(streams))
+		for n, e := range rec.Events {
+			k := int(e.Ctx)
+			if k >= len(streams) {
+				t.Fatalf("%s: event %d carries context %d, have %d streams", sched, n, k, len(streams))
+			}
+			solo := solos[k]
+			if pos[k] >= len(solo) {
+				t.Fatalf("%s: context %d emitted more events than its solo stream", sched, k)
+			}
+			if got, want := e, solo[pos[k]]; got.PC != want.PC || got.Taken != want.Taken {
+				t.Fatalf("%s: context %d event %d = (%#x,%v), solo has (%#x,%v)",
+					sched, k, pos[k], got.PC, got.Taken, want.PC, want.Taken)
+			}
+			pos[k]++
+		}
+		for k, p := range pos {
+			if p != len(solos[k]) {
+				t.Fatalf("%s: context %d delivered %d of %d events", sched, k, p, len(solos[k]))
+			}
+		}
+	}
+}
+
+// TestInterleavedDeterministic pins that a fixed (streams, schedule,
+// quantum, seed) tuple replays the identical merged stream.
+func TestInterleavedDeterministic(t *testing.T) {
+	streams := interleaveStreams(t, 2)
+	for _, sched := range Schedules() {
+		iv, err := NewInterleaved(streams, sched, 30, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b trace.Recorder
+		iv.Run(&a)
+		iv.Run(&b)
+		if len(a.Events) != len(b.Events) {
+			t.Fatalf("%s: runs differ in length: %d vs %d", sched, len(a.Events), len(b.Events))
+		}
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				t.Fatalf("%s: runs diverge at event %d: %+v vs %+v",
+					sched, i, a.Events[i], b.Events[i])
+			}
+		}
+	}
+}
+
+// TestInterleavedSchedulesDiffer checks bursty actually deviates from
+// round-robin (otherwise the seed plumbing is dead), and that a plain
+// Sink without the context path still receives every event.
+func TestInterleavedSchedulesDiffer(t *testing.T) {
+	streams := interleaveStreams(t, 2)
+	run := func(sched string) []trace.Event {
+		iv, err := NewInterleaved(streams, sched, 30, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec trace.Recorder
+		iv.Run(&rec)
+		return rec.Events
+	}
+	rr, bu := run(SchedRoundRobin), run(SchedBursty)
+	if len(rr) != len(bu) {
+		t.Fatalf("schedules disagree on total: %d vs %d", len(rr), len(bu))
+	}
+	same := true
+	for i := range rr {
+		if rr[i] != bu[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("bursty schedule produced the round-robin order")
+	}
+	// A context-blind sink collapses the stream but must not lose events.
+	iv, err := NewInterleaved(streams, SchedBursty, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	total := iv.Run(trace.SinkFunc(func(trace.PC, bool) { n++ }))
+	if n != total || n != int64(len(bu)) {
+		t.Fatalf("plain sink saw %d events, want %d", n, len(bu))
+	}
+}
+
+// TestNewInterleavedValidation pins the constructor's refusals.
+func TestNewInterleavedValidation(t *testing.T) {
+	streams := interleaveStreams(t, 1)
+	if _, err := NewInterleaved(nil, SchedRoundRobin, 10, 0); err == nil {
+		t.Fatal("empty stream set accepted")
+	}
+	if _, err := NewInterleaved(streams, "fifo", 10, 0); err == nil {
+		t.Fatal("unknown schedule accepted")
+	} else if got := err.Error(); !contains(got, SchedRoundRobin) || !contains(got, SchedBursty) {
+		t.Fatalf("unknown-schedule error %q does not list the schedules", got)
+	}
+	iv, err := NewInterleaved(streams, SchedBursty, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.quantum != DefaultQuantum {
+		t.Fatalf("non-positive quantum resolved to %d, want %d", iv.quantum, DefaultQuantum)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -79,12 +79,16 @@ type BTR2Options struct {
 
 // BTR2Writer streams branch events into an io.Writer in BTR2 format.
 // Close must be called to emit the trailing chunk and the footer index.
+// The same machinery, at version 3, backs BTR3Writer (btr3.go): the
+// only differences are the magics and the per-chunk context-run table.
 type BTR2Writer struct {
 	w    io.Writer
 	opts BTR2Options
+	ver  byte // 2 = BTR2, 3 = BTR3
 
-	events  []Event // current chunk under construction
-	scratch []byte  // encoded payload reuse buffer
+	events  []Event  // current chunk under construction
+	scratch []byte   // encoded payload reuse buffer
+	runs    []CtxRun // per-chunk context-run scratch (BTR3)
 	flate   *flate.Writer
 	flateB  bytes.Buffer
 
@@ -99,30 +103,58 @@ type chunkMeta struct {
 	count  int64
 }
 
+// errCtxUnsupported reports a non-zero execution context reaching a
+// writer whose format cannot encode contexts.
+var errCtxUnsupported = errors.New("trace: BTR2 cannot encode execution contexts (write BTR3 instead)")
+
 // NewBTR2Writer writes a BTR2 header and returns a writer. The
 // underlying io.Writer is never closed.
 func NewBTR2Writer(w io.Writer, opts BTR2Options) (*BTR2Writer, error) {
+	bw := new(BTR2Writer)
+	if err := initChunkWriter(bw, w, opts, 2); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+// initChunkWriter shares writer construction between BTR2 and BTR3:
+// same framing, different magic and (for BTR3) a context-run table per
+// chunk.
+func initChunkWriter(bw *BTR2Writer, w io.Writer, opts BTR2Options, ver byte) error {
 	if opts.ChunkEvents <= 0 {
 		opts.ChunkEvents = DefaultChunkEvents
 	}
-	bw := &BTR2Writer{
-		w:      w,
-		opts:   opts,
-		events: make([]Event, 0, opts.ChunkEvents),
-	}
+	bw.w = w
+	bw.opts = opts
+	bw.ver = ver
+	bw.events = make([]Event, 0, opts.ChunkEvents)
 	var hdr []byte
-	hdr = append(hdr, magic2[:]...)
+	if ver == 3 {
+		hdr = append(hdr, magic3[:]...)
+	} else {
+		hdr = append(hdr, magic2[:]...)
+	}
 	hdr = binary.AppendUvarint(hdr, 0) // flags
 	if _, err := w.Write(hdr); err != nil {
-		return nil, fmt.Errorf("trace: writing BTR2 header: %w", err)
+		return fmt.Errorf("trace: writing BTR%d header: %w", ver, err)
 	}
 	bw.offset = int64(len(hdr))
-	return bw, nil
+	return nil
 }
 
 // Branch implements Sink, buffering one event into the current chunk.
 func (b *BTR2Writer) Branch(pc PC, taken bool) {
 	b.events = append(b.events, Event{PC: pc, Taken: taken})
+	if len(b.events) >= b.opts.ChunkEvents {
+		b.flushChunk()
+	}
+}
+
+// BranchCtx implements CtxSink, buffering one context-tagged event.
+// Only a version-3 (BTR3) writer can encode a non-zero context; a BTR2
+// writer fails at the next flush.
+func (b *BTR2Writer) BranchCtx(ctx Context, pc PC, taken bool) {
+	b.events = append(b.events, Event{PC: pc, Ctx: ctx, Taken: taken})
 	if len(b.events) >= b.opts.ChunkEvents {
 		b.flushChunk()
 	}
@@ -178,6 +210,15 @@ func (b *BTR2Writer) flushChunk() {
 		b.events = b.events[:0]
 		return
 	}
+	// The context-run table covers the whole chunk; computing it also
+	// catches non-zero contexts reaching a format that cannot carry
+	// them.
+	b.runs = appendCtxRuns(b.runs[:0], b.events)
+	if b.ver < 3 && (len(b.runs) > 1 || b.runs[0].Ctx != 0) {
+		b.err = errCtxUnsupported
+		b.events = b.events[:0]
+		return
+	}
 	basePC := b.events[0].PC
 	payload := AppendEventDeltas(b.scratch[:0], basePC, b.events)
 	b.scratch = payload
@@ -203,12 +244,19 @@ func (b *BTR2Writer) flushChunk() {
 	frame = binary.AppendUvarint(frame, uint64(len(b.events)))
 	frame = binary.AppendUvarint(frame, uint64(b.total))
 	frame = binary.AppendUvarint(frame, uint64(basePC))
+	if b.ver >= 3 {
+		frame = binary.AppendUvarint(frame, uint64(len(b.runs)))
+		for _, run := range b.runs {
+			frame = binary.AppendUvarint(frame, uint64(run.Ctx))
+			frame = binary.AppendUvarint(frame, uint64(run.N))
+		}
+	}
 	frame = append(frame, codec)
 	frame = binary.AppendUvarint(frame, uint64(len(payload)))
 	frame = append(frame, payload...)
 
 	if _, err := b.w.Write(frame); err != nil {
-		b.err = fmt.Errorf("trace: writing BTR2 chunk: %w", err)
+		b.err = fmt.Errorf("trace: writing BTR%d chunk: %w", b.ver, err)
 	}
 	b.index = append(b.index, chunkMeta{offset: b.offset, count: int64(len(b.events))})
 	b.offset += int64(len(frame))
@@ -236,16 +284,20 @@ func (b *BTR2Writer) Close() error {
 	}
 	f = binary.AppendUvarint(f, uint64(b.total))
 	f = binary.LittleEndian.AppendUint64(f, uint64(footerAt))
-	f = append(f, footerMagic2[:]...)
+	if b.ver >= 3 {
+		f = append(f, footerMagic3[:]...)
+	} else {
+		f = append(f, footerMagic2[:]...)
+	}
 	if _, err := b.w.Write(f); err != nil {
-		return fmt.Errorf("trace: writing BTR2 footer: %w", err)
+		return fmt.Errorf("trace: writing BTR%d footer: %w", b.ver, err)
 	}
 	return nil
 }
 
-// Chunk is one self-contained BTR2 chunk frame: metadata plus the still
-// encoded (and possibly compressed) payload. Decoding a chunk needs no
-// state from any other chunk.
+// Chunk is one self-contained BTR2/BTR3 chunk frame: metadata plus the
+// still encoded (and possibly compressed) payload. Decoding a chunk
+// needs no state from any other chunk.
 type Chunk struct {
 	Index      int64 // chunk ordinal within the stream (0-based)
 	StartIndex int64 // global index of the chunk's first event
@@ -253,6 +305,46 @@ type Chunk struct {
 	BasePC     PC    // absolute PC the deltas start from
 	Codec      byte  // CodecRaw or CodecFlate
 	Payload    []byte
+
+	// CtxRuns is the chunk's execution-context run table (BTR3 only;
+	// empty for BTR2/BTR1-sourced chunks, meaning the whole chunk is
+	// context 0). The runs cover the chunk exactly: their lengths sum
+	// to Count, and event i belongs to the run containing index i. The
+	// table lives outside the delta payload so the 8-wide varint kernel
+	// decodes BTR3 payloads unchanged.
+	CtxRuns []CtxRun
+}
+
+// CtxRun tags a run of N consecutive chunk events with one execution
+// context.
+type CtxRun struct {
+	Ctx Context
+	N   int
+}
+
+// appendCtxRuns appends the run-length encoding of the events' context
+// lane to dst. Every event slice yields at least one run.
+func appendCtxRuns(dst []CtxRun, events []Event) []CtxRun {
+	for i := 0; i < len(events); {
+		ctx := events[i].Ctx
+		j := i + 1
+		for j < len(events) && events[j].Ctx == ctx {
+			j++
+		}
+		dst = append(dst, CtxRun{Ctx: ctx, N: j - i})
+		i = j
+	}
+	return dst
+}
+
+// plainCtx reports whether the chunk's events are all context 0.
+func (c *Chunk) plainCtx() bool {
+	for _, run := range c.CtxRuns {
+		if run.Ctx != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // inflated returns the raw event varint stream behind the payload,
@@ -290,6 +382,7 @@ func (c *Chunk) eventErr(i, pos, sz int) error {
 // slice. The chunk's payload is not modified; Decode is safe to call
 // from any goroutine as long as each call has its own dst.
 func (c *Chunk) Decode(dst []Event) ([]Event, error) {
+	base := len(dst)
 	payload, err := c.inflated()
 	if err != nil {
 		return dst, err
@@ -311,6 +404,17 @@ func (c *Chunk) Decode(dst []Event) ([]Event, error) {
 	}
 	if pos != len(payload) {
 		return dst, fmt.Errorf("%w: %d trailing payload bytes", errCorruptChunk, len(payload)-pos)
+	}
+	// Apply the context-run table (BTR3). Runs were validated against
+	// Count at frame-read time, so this is a straight fill.
+	i := base
+	for _, run := range c.CtxRuns {
+		if run.Ctx != 0 {
+			for k := i; k < i+run.N; k++ {
+				dst[k].Ctx = run.Ctx
+			}
+		}
+		i += run.N
 	}
 	return dst, nil
 }
@@ -396,14 +500,33 @@ func (c *Chunk) DecodeSoA(b *SoABatch) error {
 	if pos != len(payload) {
 		return fmt.Errorf("%w: %d trailing payload bytes", errCorruptChunk, len(payload)-pos)
 	}
+	// Context lane: materialised only when the chunk actually carries a
+	// non-zero context (BTR3), so single-context decoding stays on the
+	// two-lane fast shape.
+	if !c.plainCtx() {
+		b.GrowCtxs()
+		ctxs := b.Ctxs
+		i = 0
+		for _, run := range c.CtxRuns {
+			if run.Ctx != 0 {
+				for k := i; k < i+run.N; k++ {
+					ctxs[k] = run.Ctx
+				}
+			}
+			i += run.N
+		}
+	}
 	return nil
 }
 
 // BTR2Reader decodes a BTR2 stream sequentially. It implements
 // EventReader; ParallelReplay (btr2_parallel.go) is its concurrent
-// counterpart.
+// counterpart. At version 3 the same machinery decodes BTR3 streams
+// (see BTR3Reader in btr3.go): the chunk frames additionally carry a
+// context-run table between the base PC and the codec byte.
 type BTR2Reader struct {
-	br *bufio.Reader
+	br  *bufio.Reader
+	ver byte // 2 = BTR2, 3 = BTR3 (zero value behaves as 2)
 
 	cur []Event // decoded events of the current chunk
 	pos int
@@ -424,31 +547,46 @@ type BTR2Reader struct {
 // NewBTR2Reader validates the header and returns a sequential reader.
 // The same ErrEmpty/ErrTruncated taxonomy as NewReader applies.
 func NewBTR2Reader(r io.Reader) (*BTR2Reader, error) {
+	br := new(BTR2Reader)
+	if err := initChunkReader(br, r, 2); err != nil {
+		return nil, err
+	}
+	return br, nil
+}
+
+// initChunkReader shares header validation between BTR2 and BTR3.
+func initChunkReader(cr *BTR2Reader, r io.Reader, ver byte) error {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReader(r)
+	}
+	want, badMagic := magic2, ErrBadMagic2
+	if ver == 3 {
+		want, badMagic = magic3, ErrBadMagic3
 	}
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		switch err {
 		case io.EOF:
-			return nil, ErrEmpty
+			return ErrEmpty
 		case io.ErrUnexpectedEOF:
-			return nil, ErrTruncated
+			return ErrTruncated
 		default:
-			return nil, fmt.Errorf("trace: reading BTR2 header: %w", err)
+			return fmt.Errorf("trace: reading BTR%d header: %w", ver, err)
 		}
 	}
-	if m != magic2 {
-		return nil, ErrBadMagic2
+	if m != want {
+		return badMagic
 	}
 	if _, err := binary.ReadUvarint(br); err != nil { // flags
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
-		return nil, fmt.Errorf("trace: reading BTR2 header flags: %w", err)
+		return fmt.Errorf("trace: reading BTR%d header flags: %w", ver, err)
 	}
-	return &BTR2Reader{br: br}, nil
+	cr.br = br
+	cr.ver = ver
+	return nil
 }
 
 // Chunks returns the number of data chunks consumed so far.
@@ -506,6 +644,41 @@ func (r *BTR2Reader) ReadChunkInto(c *Chunk) error {
 	basePC, err := binary.ReadUvarint(r.br)
 	if err != nil {
 		return fmt.Errorf("trace: reading BTR2 chunk base PC: %w", eofToCorrupt(err))
+	}
+	c.CtxRuns = c.CtxRuns[:0]
+	if r.ver >= 3 {
+		// Context-run table: nRuns pairs of (ctx, runLen); the runs must
+		// tile the chunk exactly. Each run covers at least one event, so
+		// nRuns > count is structurally impossible.
+		nRuns, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: reading BTR3 chunk context runs: %w", eofToCorrupt(err))
+		}
+		if nRuns == 0 || nRuns > count {
+			return fmt.Errorf("%w: %d context runs for %d events", errCorruptChunk, nRuns, count)
+		}
+		covered := uint64(0)
+		for i := uint64(0); i < nRuns; i++ {
+			ctx, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return fmt.Errorf("trace: reading BTR3 context run: %w", eofToCorrupt(err))
+			}
+			if ctx > uint64(^Context(0)) {
+				return fmt.Errorf("%w: context id %d overflows uint32", errCorruptChunk, ctx)
+			}
+			n, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return fmt.Errorf("trace: reading BTR3 context run: %w", eofToCorrupt(err))
+			}
+			if n == 0 || n > count-covered {
+				return fmt.Errorf("%w: context run of %d events overflows chunk of %d", errCorruptChunk, n, count)
+			}
+			covered += n
+			c.CtxRuns = append(c.CtxRuns, CtxRun{Ctx: Context(ctx), N: int(n)})
+		}
+		if covered != count {
+			return fmt.Errorf("%w: context runs cover %d of %d events", errCorruptChunk, covered, count)
+		}
 	}
 	codec, err := r.br.ReadByte()
 	if err != nil {
@@ -579,7 +752,11 @@ func (r *BTR2Reader) readFooter() error {
 		}
 		return fmt.Errorf("trace: reading BTR2 footer tail: %w", err)
 	}
-	if [4]byte(tail[8:12]) != footerMagic2 {
+	want := footerMagic2
+	if r.ver >= 3 {
+		want = footerMagic3
+	}
+	if [4]byte(tail[8:12]) != want {
 		return fmt.Errorf("%w: bad footer magic", errCorruptChunk)
 	}
 	if int64(total) != r.nextIndex {
@@ -698,11 +875,12 @@ func (r *BTR2Reader) replaySoA(sink SoABatchSink) (int64, error) {
 	}
 }
 
-// BTR2Index is the decoded footer index of a seekable BTR2 file: the
-// frame offset and event range of every chunk.
+// BTR2Index is the decoded footer index of a seekable BTR2 (or BTR3)
+// file: the frame offset and event range of every chunk.
 type BTR2Index struct {
 	Chunks []BTR2ChunkInfo
 	Total  int64 // total events in the file
+	ver    byte  // frame version the chunks decode at
 }
 
 // BTR2ChunkInfo locates one chunk inside a BTR2 file.
@@ -715,6 +893,14 @@ type BTR2ChunkInfo struct {
 // ReadBTR2Index reads the footer index of a seekable BTR2 file of the
 // given size, enabling random chunk access without scanning the stream.
 func ReadBTR2Index(r io.ReaderAt, size int64) (*BTR2Index, error) {
+	return readChunkIndex(r, size, 2)
+}
+
+func readChunkIndex(r io.ReaderAt, size int64, ver byte) (*BTR2Index, error) {
+	fmagic := footerMagic2
+	if ver == 3 {
+		fmagic = footerMagic3
+	}
 	if size < int64(len(magic2))+1+12 {
 		return nil, ErrTruncated
 	}
@@ -722,7 +908,7 @@ func ReadBTR2Index(r io.ReaderAt, size int64) (*BTR2Index, error) {
 	if _, err := r.ReadAt(tail[:], size-12); err != nil {
 		return nil, fmt.Errorf("trace: reading BTR2 footer tail: %w", err)
 	}
-	if [4]byte(tail[8:12]) != footerMagic2 {
+	if [4]byte(tail[8:12]) != fmagic {
 		return nil, fmt.Errorf("%w: missing footer magic (unfinished stream?)", errCorruptChunk)
 	}
 	footerAt := int64(binary.LittleEndian.Uint64(tail[:8]))
@@ -755,7 +941,7 @@ func ReadBTR2Index(r io.ReaderAt, size int64) (*BTR2Index, error) {
 	if n > uint64(size) { // each chunk frame is at least several bytes
 		return nil, fmt.Errorf("%w: implausible footer chunk count %d", errCorruptChunk, n)
 	}
-	ix := &BTR2Index{Chunks: make([]BTR2ChunkInfo, 0, n)}
+	ix := &BTR2Index{Chunks: make([]BTR2ChunkInfo, 0, n), ver: ver}
 	var off, start int64
 	for i := uint64(0); i < n; i++ {
 		d, err := next()
@@ -788,6 +974,6 @@ func (ix *BTR2Index) ReadChunk(r io.ReaderAt, i int) (*Chunk, error) {
 	}
 	info := ix.Chunks[i]
 	sr := bufio.NewReader(io.NewSectionReader(r, info.Offset, 1<<62-info.Offset))
-	br := &BTR2Reader{br: sr, nextIndex: info.StartIndex, chunks: int64(i)}
+	br := &BTR2Reader{br: sr, ver: ix.ver, nextIndex: info.StartIndex, chunks: int64(i)}
 	return br.NextChunk()
 }

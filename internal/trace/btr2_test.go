@@ -386,8 +386,8 @@ func TestNewRecorderPrealloc(t *testing.T) {
 		t.Fatalf("NewRecorder(1024): len=%d cap=%d", len(r.Events), cap(r.Events))
 	}
 	r.Branch(1, true)
-	r.BranchBatch([]Event{{2, false}, {3, true}})
-	if len(r.Events) != 3 || r.Events[2] != (Event{3, true}) {
+	r.BranchBatch([]Event{{PC: 2}, {PC: 3, Taken: true}})
+	if len(r.Events) != 3 || r.Events[2] != (Event{PC: 3, Taken: true}) {
 		t.Fatalf("recorded %v", r.Events)
 	}
 	r.Reset()

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// Context-tagged chunked binary trace format ("BTR3").
+//
+// BTR3 is BTR2 plus execution contexts: every chunk additionally
+// carries a run-length context table tagging its events with the
+// Context they were observed on. The delta payload is byte-identical
+// to BTR2's — the context table lives in the frame header, outside the
+// payload — so the 8-wide varint kernel (Chunk.DecodeSoA) and the
+// per-chunk DEFLATE option apply unchanged, and a single-context BTR3
+// stream costs three extra bytes per chunk over BTR2.
+//
+//	header:  magic "BTR3" | uvarint flags (reserved, 0)
+//	chunk:   uvarint count (> 0)     events in this chunk
+//	         uvarint startIndex      global index of the chunk's first event
+//	         uvarint basePC          absolute PC the chunk's deltas start from
+//	         uvarint nRuns (> 0)     context runs in this chunk
+//	         nRuns × (uvarint ctx | uvarint runLen)
+//	                                 run-length context table; the run
+//	                                 lengths sum to count
+//	         byte    codec           0 = raw, 1 = DEFLATE
+//	         uvarint payloadLen      payload bytes that follow
+//	         payload                 exactly a BTR2 chunk payload
+//	footer:  as BTR2, with magic "3RTB"
+//
+// Interleaving granularity is the producer's choice: per-event
+// round-robin degenerates to count runs of one event each, while
+// coarse quanta cost a couple of bytes per context switch. Chunks stay
+// self-contained either way, so parallel replay (ParallelReplay) works
+// exactly as for BTR2. BTR1 and BTR2 streams decode with every event
+// in context 0, so every existing trace remains valid; OpenReader
+// autodetects all three formats.
+
+var (
+	magic3       = [4]byte{'B', 'T', 'R', '3'}
+	footerMagic3 = [4]byte{'3', 'R', 'T', 'B'}
+)
+
+// ErrBadMagic3 is returned when a stream does not start with the BTR3
+// magic number.
+var ErrBadMagic3 = errors.New("trace: bad magic (not a BTR3 trace stream)")
+
+// BTR3Writer streams context-tagged branch events into an io.Writer in
+// BTR3 format. It shares BTR2Writer's machinery (chunking, optional
+// per-chunk DEFLATE, footer index); the event buffer's Ctx fields —
+// fed through BranchCtx or BranchBatch events — become each chunk's
+// context-run table. Close must be called to emit the trailing chunk
+// and the footer.
+type BTR3Writer struct {
+	BTR2Writer
+}
+
+// NewBTR3Writer writes a BTR3 header and returns a writer. The
+// underlying io.Writer is never closed.
+func NewBTR3Writer(w io.Writer, opts BTR2Options) (*BTR3Writer, error) {
+	bw := new(BTR3Writer)
+	if err := initChunkWriter(&bw.BTR2Writer, w, opts, 3); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+// BTR3Reader decodes a BTR3 stream sequentially, sharing BTR2Reader's
+// machinery — including ParallelReplay — with the chunk frames parsed
+// at version 3. Decoded events carry their recorded Context; SoA
+// batches materialise their context lane only for chunks that actually
+// contain a non-zero context.
+type BTR3Reader struct {
+	BTR2Reader
+}
+
+// NewBTR3Reader validates the header and returns a sequential reader.
+// The same ErrEmpty/ErrTruncated taxonomy as NewReader applies.
+func NewBTR3Reader(r io.Reader) (*BTR3Reader, error) {
+	br := new(BTR3Reader)
+	if err := initChunkReader(&br.BTR2Reader, r, 3); err != nil {
+		return nil, err
+	}
+	return br, nil
+}
+
+// ReadBTR3Index reads the footer index of a seekable BTR3 file of the
+// given size, enabling random chunk access without scanning the
+// stream. Chunks fetched through the returned index decode with their
+// context-run tables.
+func ReadBTR3Index(r io.ReaderAt, size int64) (*BTR2Index, error) {
+	return readChunkIndex(r, size, 3)
+}

@@ -38,8 +38,8 @@ func (c *CompressedWriter) Close() error {
 	return c.gz.Close()
 }
 
-// OpenReader returns an EventReader for a BTR1 or BTR2 stream, plain or
-// gzip-compressed, detected from the stream's leading bytes. Empty
+// OpenReader returns an EventReader for a BTR1, BTR2 or BTR3 stream,
+// plain or gzip-compressed, detected from the stream's leading bytes. Empty
 // input yields ErrEmpty and input shorter than the sniff window yields
 // ErrTruncated (an input that short cannot hold a trace header in any
 // encoding).
@@ -79,6 +79,9 @@ func openPlain(br *bufio.Reader) (EventReader, error) {
 	}
 	if [4]byte(head) == magic2 {
 		return NewBTR2Reader(br)
+	}
+	if [4]byte(head) == magic3 {
+		return NewBTR3Reader(br)
 	}
 	return NewReader(br)
 }

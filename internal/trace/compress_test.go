@@ -7,7 +7,7 @@ import (
 
 func TestCompressedRoundTrip(t *testing.T) {
 	events := []Event{
-		{0x400000, true}, {0x400004, false}, {0x400000, true}, {7, false},
+		{PC: 0x400000, Taken: true}, {PC: 0x400004}, {PC: 0x400000, Taken: true}, {PC: 7},
 	}
 	var buf bytes.Buffer
 	w, err := NewCompressedWriter(&buf)

@@ -110,8 +110,9 @@ func (w *Writer) Close() error {
 }
 
 // EventReader is the decoding side of a trace stream, independent of
-// the on-disk format. *Reader (BTR1) and *BTR2Reader both implement it;
-// OpenReader returns whichever matches the stream's magic.
+// the on-disk format. *Reader (BTR1), *BTR2Reader and *BTR3Reader all
+// implement it; OpenReader returns whichever matches the stream's
+// magic.
 type EventReader interface {
 	// Next returns the next event, or io.EOF at end of stream.
 	Next() (Event, error)
@@ -121,6 +122,16 @@ type EventReader interface {
 	// Replay feeds all remaining events into sink and returns how many
 	// were delivered.
 	Replay(sink Sink) (int64, error)
+}
+
+// ParallelReplayer is the subset of readers whose streams decode
+// chunk-parallel: BTR2 and BTR3. Callers with a worker budget assert
+// this interface instead of the concrete reader types.
+type ParallelReplayer interface {
+	EventReader
+	// ParallelReplay is Replay across a bounded decode pool — same
+	// events, same order, same count.
+	ParallelReplay(workers int, sink Sink) (int64, error)
 }
 
 // Reader decodes a BTR1 stream.

@@ -35,6 +35,19 @@ func FuzzReader(f *testing.F) {
 	f.Add([]byte("BTR2"))
 	f.Add([]byte("BTR2\x00"))
 	f.Add([]byte("BTR2\x00\x05\x00\x00\x00\xff"))
+	// BTR3 seeds: the context-run table adds a third varint region to
+	// every chunk frame for the fuzzer to mangle.
+	var b3 bytes.Buffer
+	bw3, _ := NewBTR3Writer(&b3, BTR2Options{ChunkEvents: 2})
+	bw3.BranchCtx(0, 0x400000, true)
+	bw3.BranchCtx(2, 0x400004, false)
+	bw3.BranchCtx(2, 0x400000, true)
+	bw3.Close()
+	f.Add(b3.Bytes())
+	f.Add(b3.Bytes()[:len(b3.Bytes())/2])
+	f.Add([]byte("BTR3"))
+	f.Add([]byte("BTR3\x00"))
+	f.Add([]byte("BTR3\x00\x02\x00\x80\x01\x01\x00\x02\x00\x02\x04\x04"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := OpenReader(bytes.NewReader(data))
@@ -129,6 +142,100 @@ func FuzzBTR2RoundTrip(f *testing.F) {
 				if soa.PCs[j] != e.PC || soa.TakenBit(j) != e.Taken {
 					t.Fatalf("chunk %d event %d: SoA {%#x %v}, scalar {%#x %v}",
 						i, j, soa.PCs[j], soa.TakenBit(j), e.PC, e.Taken)
+				}
+			}
+			got += int64(len(evs))
+		}
+		if got != int64(len(events)) {
+			t.Fatalf("index chunks decode to %d events, wrote %d", got, len(events))
+		}
+	})
+}
+
+// FuzzBTR3RoundTrip checks the context-tagged format's write→read
+// symmetry: any event sequence — contexts included — plus any chunk
+// size and compression choice must decode back to exactly the events
+// written, sequentially and through the footer index.
+func FuzzBTR3RoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint16(0), false)
+	f.Add([]byte{0x01, 0x02, 0x00, 0x04, 0x05, 0x01, 0x07, 0x08, 0x02}, uint16(2), false)
+	f.Add([]byte{0xff, 0x00, 0x03, 0xff, 0x00, 0x03, 0x80, 0x7f, 0x00}, uint16(1), true)
+	f.Add([]byte("context-tagged branchy payload to mutate"), uint16(3), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint16, compress bool) {
+		// 3 bytes per event: PC delta, taken bit, context id. Small ids
+		// dominate so runs form, but any byte is a valid context.
+		events := make([]Event, 0, len(data)/3)
+		pc := int64(0x400000)
+		for i := 0; i+2 < len(data); i += 3 {
+			pc += int64(int8(data[i])) * 4
+			events = append(events, Event{
+				PC:    PC(pc),
+				Ctx:   Context(data[i+2] & 0x0f),
+				Taken: data[i+1]&1 == 1,
+			})
+		}
+		var buf bytes.Buffer
+		w, err := NewBTR3Writer(&buf, BTR2Options{ChunkEvents: int(chunk), Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.BranchBatch(events)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		rd, err := OpenReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := rd.(*BTR3Reader); !ok {
+			t.Fatalf("OpenReader returned %T, want *BTR3Reader", rd)
+		}
+		rec := NewRecorder(len(events))
+		n, err := rd.Replay(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(len(events)) {
+			t.Fatalf("replayed %d events, wrote %d", n, len(events))
+		}
+		for i, e := range events {
+			if rec.Events[i] != e {
+				t.Fatalf("event %d: got %+v want %+v", i, rec.Events[i], e)
+			}
+		}
+
+		// The footer index must agree with the stream, and each chunk's
+		// SoA decode must match the scalar one — context lane included.
+		ix, err := ReadBTR3Index(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Total != int64(len(events)) {
+			t.Fatalf("index says %d events, wrote %d", ix.Total, len(events))
+		}
+		var got int64
+		for i := range ix.Chunks {
+			c, err := ix.ReadChunk(bytes.NewReader(buf.Bytes()), i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evs, err := c.Decode(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var soa SoABatch
+			if err := c.DecodeSoA(&soa); err != nil {
+				t.Fatal(err)
+			}
+			if soa.Len() != len(evs) {
+				t.Fatalf("chunk %d: DecodeSoA produced %d events, Decode %d", i, soa.Len(), len(evs))
+			}
+			for j, e := range evs {
+				if soa.PCs[j] != e.PC || soa.TakenBit(j) != e.Taken || soa.Ctx(j) != e.Ctx {
+					t.Fatalf("chunk %d event %d: SoA {%#x %v ctx %d}, scalar {%#x %v ctx %d}",
+						i, j, soa.PCs[j], soa.TakenBit(j), soa.Ctx(j), e.PC, e.Taken, e.Ctx)
 				}
 			}
 			got += int64(len(evs))

@@ -18,23 +18,41 @@ import "fmt"
 // is event i's branch site and bit i (bit i%64 of word i/64) of Taken
 // is its direction. Taken always holds exactly (len(PCs)+63)/64 words
 // when the batch is built through Append/Grow.
+//
+// Ctxs is the optional execution-context lane: empty means every event
+// belongs to context 0 (the overwhelmingly common single-stream case
+// pays nothing for the field); otherwise it holds exactly len(PCs)
+// entries, Ctxs[i] tagging event i. Only BTR3 decode populates it.
 type SoABatch struct {
 	PCs   []PC
 	Taken []uint64
+	Ctxs  []Context
 }
 
 // Len returns the number of events in the batch.
 func (b *SoABatch) Len() int { return len(b.PCs) }
 
-// Reset empties the batch, keeping both backing arrays.
+// Ctx reports event i's execution context (0 when the batch carries no
+// context lane).
+func (b *SoABatch) Ctx(i int) Context {
+	if len(b.Ctxs) == 0 {
+		return 0
+	}
+	return b.Ctxs[i]
+}
+
+// Reset empties the batch, keeping the backing arrays.
 func (b *SoABatch) Reset() {
 	b.PCs = b.PCs[:0]
 	b.Taken = b.Taken[:0]
+	b.Ctxs = b.Ctxs[:0]
 }
 
 // Grow resizes the batch to exactly n events with a zeroed outcome
-// bitmap, reusing the backing arrays when they are large enough. The
-// caller then fills PCs by index and ORs bits into Taken.
+// bitmap and no context lane (all events context 0), reusing the
+// backing arrays when they are large enough. The caller then fills PCs
+// by index and ORs bits into Taken; GrowCtxs materialises the context
+// lane when the producer has per-event contexts to record.
 func (b *SoABatch) Grow(n int) {
 	if cap(b.PCs) < n {
 		b.PCs = make([]PC, n)
@@ -49,6 +67,49 @@ func (b *SoABatch) Grow(n int) {
 		for i := range b.Taken {
 			b.Taken[i] = 0
 		}
+	}
+	b.Ctxs = b.Ctxs[:0]
+}
+
+// GrowCtxs materialises the context lane as len(PCs) zeroed entries
+// (reusing the backing array) so the caller can tag events by index.
+func (b *SoABatch) GrowCtxs() {
+	n := len(b.PCs)
+	if cap(b.Ctxs) < n {
+		b.Ctxs = make([]Context, n)
+		return
+	}
+	b.Ctxs = b.Ctxs[:n]
+	for i := range b.Ctxs {
+		b.Ctxs[i] = 0
+	}
+}
+
+// Span extracts events [i, j) into dst as a word-aligned batch: PCs
+// are copied and the outcome bits are repacked so dst's bit 0 is event
+// i. The context lane is not copied — callers split at context
+// boundaries first, so a span is single-context by construction. This
+// is what lets a per-context consumer keep running packed-bitmap SoA
+// kernels over sub-ranges that start mid-word.
+func (b *SoABatch) Span(dst *SoABatch, i, j int) {
+	n := j - i
+	dst.Grow(n)
+	copy(dst.PCs, b.PCs[i:j])
+	w, r := i>>6, uint(i&63)
+	if r == 0 {
+		copy(dst.Taken, b.Taken[w:w+len(dst.Taken)])
+	} else {
+		for k := range dst.Taken {
+			v := b.Taken[w+k] >> r
+			if w+k+1 < len(b.Taken) {
+				v |= b.Taken[w+k+1] << (64 - r)
+			}
+			dst.Taken[k] = v
+		}
+	}
+	// Mask stray bits above n in the last word so spans compare clean.
+	if n&63 != 0 && len(dst.Taken) > 0 {
+		dst.Taken[len(dst.Taken)-1] &= 1<<uint(n&63) - 1
 	}
 }
 
@@ -74,19 +135,26 @@ func (b *SoABatch) TakenBit(i int) bool {
 // without an SoA path; hot paths never call it.
 func (b *SoABatch) AppendEvents(dst []Event) []Event {
 	for i, pc := range b.PCs {
-		dst = append(dst, Event{PC: pc, Taken: b.TakenBit(i)})
+		dst = append(dst, Event{PC: pc, Ctx: b.Ctx(i), Taken: b.TakenBit(i)})
 	}
 	return dst
 }
 
 // FromEvents rebuilds the batch from an AoS event slice (test and
-// bridge helper).
+// bridge helper). The context lane is materialised only when some
+// event carries a non-zero context.
 func (b *SoABatch) FromEvents(events []Event) {
 	b.Grow(len(events))
 	for i, e := range events {
 		b.PCs[i] = e.PC
 		if e.Taken {
 			b.Taken[i>>6] |= 1 << uint(i&63)
+		}
+		if e.Ctx != 0 {
+			if len(b.Ctxs) == 0 {
+				b.GrowCtxs()
+			}
+			b.Ctxs[i] = e.Ctx
 		}
 	}
 }

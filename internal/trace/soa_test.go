@@ -1,0 +1,73 @@
+package trace
+
+import "testing"
+
+// TestSoASpanRepack drives Span across every (offset, length) shape
+// that matters — starts mid-word, ends mid-word, crosses multiple
+// words — and checks the repacked bits and PCs event for event.
+func TestSoASpanRepack(t *testing.T) {
+	const n = 300
+	var b SoABatch
+	for i := 0; i < n; i++ {
+		// An aperiodic direction pattern so shifted copies can't
+		// accidentally match.
+		b.Append(PC(0x1000+4*i), i*i%7 < 3)
+	}
+	var dst SoABatch
+	for _, span := range [][2]int{
+		{0, n}, {0, 64}, {0, 63}, {1, 64}, {1, 65}, {63, 64},
+		{63, 128}, {64, 128}, {64, 129}, {100, 101}, {17, 230}, {250, n},
+	} {
+		i, j := span[0], span[1]
+		b.Span(&dst, i, j)
+		if dst.Len() != j-i {
+			t.Fatalf("Span(%d,%d): len %d, want %d", i, j, dst.Len(), j-i)
+		}
+		for k := 0; k < j-i; k++ {
+			if dst.PCs[k] != b.PCs[i+k] || dst.TakenBit(k) != b.TakenBit(i+k) {
+				t.Fatalf("Span(%d,%d): event %d = (%#x,%v), want (%#x,%v)",
+					i, j, k, dst.PCs[k], dst.TakenBit(k), b.PCs[i+k], b.TakenBit(i+k))
+			}
+		}
+		// Stray bits above the span length must be masked off.
+		if rem := dst.Len() & 63; rem != 0 && len(dst.Taken) > 0 {
+			if hi := dst.Taken[len(dst.Taken)-1] >> uint(rem); hi != 0 {
+				t.Fatalf("Span(%d,%d): stray bits %#x above event %d", i, j, hi, dst.Len())
+			}
+		}
+	}
+}
+
+// TestSoACtxLane pins the context lane's lazy materialisation: absent
+// until some event carries a non-zero context, then exactly len(PCs)
+// entries.
+func TestSoACtxLane(t *testing.T) {
+	var b SoABatch
+	b.FromEvents([]Event{{PC: 1}, {PC: 2, Taken: true}})
+	if len(b.Ctxs) != 0 {
+		t.Fatalf("context-0 batch materialised a context lane: %v", b.Ctxs)
+	}
+	if b.Ctx(0) != 0 || b.Ctx(1) != 0 {
+		t.Fatal("Ctx() on a lane-less batch must report 0")
+	}
+	b.FromEvents([]Event{{PC: 1}, {PC: 2, Ctx: 3, Taken: true}, {PC: 4}})
+	if len(b.Ctxs) != 3 {
+		t.Fatalf("tagged batch lane length %d, want 3", len(b.Ctxs))
+	}
+	if b.Ctx(0) != 0 || b.Ctx(1) != 3 || b.Ctx(2) != 0 {
+		t.Fatalf("lane = %v, want [0 3 0]", b.Ctxs)
+	}
+	ev := b.AppendEvents(nil)
+	if ev[1].Ctx != 3 || ev[0].Ctx != 0 {
+		t.Fatalf("AppendEvents dropped contexts: %v", ev)
+	}
+	// Grow drops the lane (all context 0 again).
+	b.Grow(5)
+	if len(b.Ctxs) != 0 {
+		t.Fatal("Grow must reset the context lane")
+	}
+	b.GrowCtxs()
+	if len(b.Ctxs) != 5 || b.Ctxs[0] != 0 {
+		t.Fatalf("GrowCtxs lane = %v, want five zeros", b.Ctxs)
+	}
+}

@@ -13,15 +13,33 @@ package trace
 // id.
 type PC uint64
 
+// Context identifies the execution context (thread, stream, hardware
+// context) a branch event was observed on. Context 0 is the default:
+// every single-threaded producer, every BTR1/BTR2 trace and every
+// pre-context consumer lives entirely in context 0, so the zero value
+// keeps the historical single-stream semantics everywhere.
+type Context uint32
+
 // Event is one dynamic execution of a conditional branch.
 type Event struct {
 	PC    PC
+	Ctx   Context
 	Taken bool
 }
 
 // Sink consumes branch events in program order.
 type Sink interface {
 	Branch(pc PC, taken bool)
+}
+
+// CtxSink is an optional per-event path for sinks that distinguish
+// execution contexts: BranchCtx(ctx, pc, taken) is Branch(pc, taken)
+// observed on context ctx. Producers fall back to Branch (collapsing
+// the stream into context 0) when the sink does not provide it; batch
+// paths do not need it because Event carries the context.
+type CtxSink interface {
+	Sink
+	BranchCtx(ctx Context, pc PC, taken bool)
 }
 
 // Source produces a branch event stream into a Sink. Implementations
@@ -89,6 +107,11 @@ func NewRecorder(capacityHint int) *Recorder {
 // Branch implements Sink.
 func (r *Recorder) Branch(pc PC, taken bool) {
 	r.Events = append(r.Events, Event{PC: pc, Taken: taken})
+}
+
+// BranchCtx implements CtxSink.
+func (r *Recorder) BranchCtx(ctx Context, pc PC, taken bool) {
+	r.Events = append(r.Events, Event{PC: pc, Ctx: ctx, Taken: taken})
 }
 
 // BranchBatch implements BatchSink.

@@ -58,9 +58,9 @@ func TestFilterLimitTee(t *testing.T) {
 
 func TestSinkFunc(t *testing.T) {
 	var got []Event
-	s := SinkFunc(func(pc PC, taken bool) { got = append(got, Event{pc, taken}) })
+	s := SinkFunc(func(pc PC, taken bool) { got = append(got, Event{PC: pc, Taken: taken}) })
 	s.Branch(7, true)
-	if len(got) != 1 || got[0] != (Event{7, true}) {
+	if len(got) != 1 || got[0] != (Event{PC: 7, Taken: true}) {
 		t.Fatalf("SinkFunc got %v", got)
 	}
 }
@@ -98,11 +98,11 @@ func roundTrip(t *testing.T, events []Event) []Event {
 
 func TestFileRoundTrip(t *testing.T) {
 	events := []Event{
-		{0x400000, true},
-		{0x400004, false},
-		{0x400000, true},   // backward delta
-		{0xffffffff, true}, // big jump
-		{0, false},         // back to zero
+		{PC: 0x400000, Taken: true},
+		{PC: 0x400004},
+		{PC: 0x400000, Taken: true},   // backward delta
+		{PC: 0xffffffff, Taken: true}, // big jump
+		{PC: 0},                       // back to zero
 	}
 	got := roundTrip(t, events)
 	for i := range events {
@@ -117,7 +117,7 @@ func TestFileRoundTripQuick(t *testing.T) {
 		var events []Event
 		for i, pc := range pcs {
 			taken := i < len(dirs) && dirs[i]
-			events = append(events, Event{PC(pc), taken})
+			events = append(events, Event{PC: PC(pc), Taken: taken})
 		}
 		got := roundTrip(t, events)
 		if len(got) != len(events) {

@@ -15,6 +15,16 @@ import (
 // byte-aligned, and PCs are stored as full absolute uvarints so every
 // 64-bit PC round-trips losslessly (no shift-packing of the taken bit,
 // which would drop the top PC bit).
+//
+// The context-carrying variant (EncodeEventsCtx/DecodeEventsCtx)
+// appends a run-length context table after the PCs:
+//
+//	uvarint(nRuns) nRuns × (uvarint(ctx) uvarint(runLen))
+//
+// with the run lengths summing to count. It is a distinct codec — the
+// record type, not a sniff, says which one a payload is — so batches
+// without contexts keep the exact historical bytes and old logs stay
+// byte-identical.
 
 // MaxEventsPerRecord bounds the decoded event count of one payload, so
 // a corrupt count varint cannot demand an absurd allocation. Ingest
@@ -39,28 +49,55 @@ func EncodeEvents(dst []byte, events []trace.Event) []byte {
 	return dst
 }
 
-// DecodeEvents parses one event payload, appending to dst. Every byte
-// of the payload must be consumed — trailing garbage means the record
-// is not an event record of this version.
-func DecodeEvents(dst []trace.Event, payload []byte) ([]trace.Event, error) {
+// EncodeEventsCtx appends the context-carrying codec form of events to
+// dst: the plain layout plus the run-length context table. Callers use
+// it only when some event carries a non-zero context; an all-zero
+// batch belongs in the plain codec.
+func EncodeEventsCtx(dst []byte, events []trace.Event) []byte {
+	dst = EncodeEvents(dst, events)
+	var nRuns uint64
+	for i := 0; i < len(events); {
+		j := i + 1
+		for j < len(events) && events[j].Ctx == events[i].Ctx {
+			j++
+		}
+		nRuns++
+		i = j
+	}
+	dst = binary.AppendUvarint(dst, nRuns)
+	for i := 0; i < len(events); {
+		j := i + 1
+		for j < len(events) && events[j].Ctx == events[i].Ctx {
+			j++
+		}
+		dst = binary.AppendUvarint(dst, uint64(events[i].Ctx))
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		i = j
+	}
+	return dst
+}
+
+// decodeEvents parses the plain event layout, returning the unparsed
+// tail for the context-table variant to continue from.
+func decodeEvents(dst []trace.Event, payload []byte) ([]trace.Event, []byte, error) {
 	count, n := binary.Uvarint(payload)
 	if n <= 0 {
-		return nil, fmt.Errorf("wal: event record: bad count varint")
+		return nil, nil, fmt.Errorf("wal: event record: bad count varint")
 	}
 	if count > MaxEventsPerRecord {
-		return nil, fmt.Errorf("wal: event record claims %d events (max %d)", count, MaxEventsPerRecord)
+		return nil, nil, fmt.Errorf("wal: event record claims %d events (max %d)", count, MaxEventsPerRecord)
 	}
 	payload = payload[n:]
 	nbitmap := (int(count) + 7) / 8
 	if len(payload) < nbitmap {
-		return nil, fmt.Errorf("wal: event record: short taken bitmap")
+		return nil, nil, fmt.Errorf("wal: event record: short taken bitmap")
 	}
 	bitmap := payload[:nbitmap]
 	payload = payload[nbitmap:]
 	for i := 0; i < int(count); i++ {
 		pc, n := binary.Uvarint(payload)
 		if n <= 0 {
-			return nil, fmt.Errorf("wal: event record: bad pc varint at event %d", i)
+			return nil, nil, fmt.Errorf("wal: event record: bad pc varint at event %d", i)
 		}
 		payload = payload[n:]
 		dst = append(dst, trace.Event{
@@ -68,8 +105,62 @@ func DecodeEvents(dst []trace.Event, payload []byte) ([]trace.Event, error) {
 			Taken: bitmap[i/8]&(1<<(i%8)) != 0,
 		})
 	}
-	if len(payload) != 0 {
-		return nil, fmt.Errorf("wal: event record: %d trailing bytes", len(payload))
+	return dst, payload, nil
+}
+
+// DecodeEvents parses one plain event payload, appending to dst. Every
+// byte of the payload must be consumed — trailing garbage means the
+// record is not an event record of this version.
+func DecodeEvents(dst []trace.Event, payload []byte) ([]trace.Event, error) {
+	out, rest, err := decodeEvents(dst, payload)
+	if err != nil {
+		return nil, err
 	}
-	return dst, nil
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wal: event record: %d trailing bytes", len(rest))
+	}
+	return out, nil
+}
+
+// DecodeEventsCtx parses one context-carrying event payload, appending
+// to dst with the decoded events tagged by the run table.
+func DecodeEventsCtx(dst []trace.Event, payload []byte) ([]trace.Event, error) {
+	base := len(dst)
+	out, rest, err := decodeEvents(dst, payload)
+	if err != nil {
+		return nil, err
+	}
+	count := len(out) - base
+	nRuns, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("wal: event record: bad context run count")
+	}
+	rest = rest[n:]
+	if nRuns == 0 || nRuns > uint64(count) {
+		return nil, fmt.Errorf("wal: event record: %d context runs for %d events", nRuns, count)
+	}
+	covered := 0
+	for r := uint64(0); r < nRuns; r++ {
+		ctx, n := binary.Uvarint(rest)
+		if n <= 0 || ctx > 1<<32-1 {
+			return nil, fmt.Errorf("wal: event record: bad context in run %d", r)
+		}
+		rest = rest[n:]
+		runLen, m := binary.Uvarint(rest)
+		if m <= 0 || runLen == 0 || runLen > uint64(count-covered) {
+			return nil, fmt.Errorf("wal: event record: bad run length in run %d", r)
+		}
+		rest = rest[m:]
+		for i := 0; i < int(runLen); i++ {
+			out[base+covered+i].Ctx = trace.Context(ctx)
+		}
+		covered += int(runLen)
+	}
+	if covered != count {
+		return nil, fmt.Errorf("wal: event record: context runs cover %d of %d events", covered, count)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wal: event record: %d trailing bytes", len(rest))
+	}
+	return out, nil
 }

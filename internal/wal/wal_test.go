@@ -357,3 +357,64 @@ func TestDecodeEventsRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+func TestEventsCtxCodecRoundtrip(t *testing.T) {
+	// Interleaved contexts with varied run lengths, plus a big batch
+	// whose runs cross bitmap-byte boundaries.
+	cases := [][]trace.Event{
+		{{PC: 1, Ctx: 3, Taken: true}},
+		{{PC: 1, Ctx: 0}, {PC: 2, Ctx: 1, Taken: true}, {PC: 3, Ctx: 1}, {PC: 4, Ctx: 0, Taken: true}},
+	}
+	var big []trace.Event
+	for i := 0; i < 500; i++ {
+		big = append(big, trace.Event{
+			PC:    trace.PC(i * 5),
+			Ctx:   trace.Context(i / 37 % 4),
+			Taken: i%3 == 0,
+		})
+	}
+	cases = append(cases, big)
+	for i, events := range cases {
+		payload := EncodeEventsCtx(nil, events)
+		got, err := DecodeEventsCtx(nil, payload)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("case %d: %d events, want %d", i, len(got), len(events))
+		}
+		for j := range events {
+			if got[j] != events[j] {
+				t.Fatalf("case %d event %d: %+v, want %+v", i, j, got[j], events[j])
+			}
+		}
+	}
+}
+
+func TestDecodeEventsCtxRejectsGarbage(t *testing.T) {
+	good := EncodeEventsCtx(nil, []trace.Event{
+		{PC: 1, Ctx: 2, Taken: true}, {PC: 2, Ctx: 2}, {PC: 3, Ctx: 1},
+	})
+	cases := [][]byte{
+		good[:len(good)-1],                        // truncated run table
+		append(good[:len(good):len(good)], 0x00),  // trailing byte
+		EncodeEvents(nil, []trace.Event{{PC: 1}}), // plain payload: no run table
+	}
+	// Run table claiming more runs than events.
+	bad := EncodeEvents(nil, []trace.Event{{PC: 1}})
+	bad = append(bad, 0x05)
+	cases = append(cases, bad)
+	// Runs under-covering the events (1 run of length 1 for 2 events).
+	under := EncodeEvents(nil, []trace.Event{{PC: 1}, {PC: 2}})
+	under = append(under, 0x01, 0x00, 0x01)
+	cases = append(cases, under)
+	for i, payload := range cases {
+		if _, err := DecodeEventsCtx(nil, payload); err == nil {
+			t.Errorf("case %d: DecodeEventsCtx accepted garbage %x", i, payload)
+		}
+	}
+	// And the plain decoder must refuse a ctx payload (trailing bytes).
+	if _, err := DecodeEvents(nil, good); err == nil {
+		t.Error("DecodeEvents accepted a context-carrying payload")
+	}
+}

@@ -166,11 +166,11 @@ func (c *Client) writeFrame(typ byte, stream uint64, body []byte) error {
 }
 
 // writeChunk encodes and writes one chunk frame, reusing the shared
-// scratch buffers under the write lock.
-func (c *Client) writeChunk(stream uint64, events []trace.Event) error {
+// scratch buffers under the write lock. All events must belong to ctx.
+func (c *Client) writeChunk(stream uint64, ctx trace.Context, events []trace.Event) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	c.body = appendChunk(c.body[:0], events)
+	c.body = appendChunk(c.body[:0], ctx, events)
 	c.wbuf = appendFrame(c.wbuf[:0], msgChunk, stream, c.body)
 	_, err := c.c.Write(c.wbuf)
 	return err
@@ -267,18 +267,22 @@ func (s *Session) handle(m recvMsg) error {
 	}
 }
 
-// Send streams a batch of events, chunking as needed. It blocks when
-// the credit window is exhausted — that is how the owning node's engine
-// backpressure reaches the producer. A non-nil error means the session
-// is dead (*Error for a server-reported failure).
+// Send streams a batch of events, chunking as needed. A chunk frame
+// carries exactly one execution context, so besides the size cap Send
+// splits at context boundaries; single-context streams (every event
+// Ctx 0) chunk exactly as before. It blocks when the credit window is
+// exhausted — that is how the owning node's engine backpressure
+// reaches the producer. A non-nil error means the session is dead
+// (*Error for a server-reported failure).
 func (s *Session) Send(events []trace.Event) error {
 	if s.dead != nil {
 		return s.dead
 	}
 	for len(events) > 0 {
-		n := len(events)
-		if n > clientChunkEvents {
-			n = clientChunkEvents
+		ctx := events[0].Ctx
+		n := 1
+		for n < len(events) && n < clientChunkEvents && events[n].Ctx == ctx {
+			n++
 		}
 		// Refill credits from any acks already delivered, then block
 		// until at least one credit is free.
@@ -305,7 +309,7 @@ func (s *Session) Send(events []trace.Event) error {
 				return s.fail(err)
 			}
 		}
-		if err := s.c.writeChunk(s.id, events[:n]); err != nil {
+		if err := s.c.writeChunk(s.id, ctx, events[:n]); err != nil {
 			return s.fail(fmt.Errorf("wire: sending chunk: %w", err))
 		}
 		s.credits--

@@ -20,8 +20,11 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(appendFrame(nil, msgHello, 0, appendHello(nil)))
 	f.Add(appendFrame(nil, msgHelloAck, 0, appendHelloAck(nil, DefaultWindow)))
 	f.Add(appendFrame(nil, msgBegin, 1, marshalJSON(BeginParams{ID: "s", Metric: "bias"})))
-	f.Add(appendFrame(nil, msgChunk, 1, appendChunk(nil, []trace.Event{
+	f.Add(appendFrame(nil, msgChunk, 1, appendChunk(nil, 0, []trace.Event{
 		{PC: 4, Taken: true}, {PC: 100}, {PC: 3, Taken: true},
+	})))
+	f.Add(appendFrame(nil, msgChunk, 1, appendChunk(nil, 5, []trace.Event{
+		{PC: 4, Ctx: 5, Taken: true}, {PC: 100, Ctx: 5},
 	})))
 	f.Add(appendFrame(nil, msgAck, 1, appendAck(nil, 1)))
 	f.Add(appendFrame(nil, msgError, 1, appendError(nil, &Error{
@@ -74,8 +77,9 @@ func FuzzWireFrame(f *testing.F) {
 				if events, err := decodeChunk(nil, fr.Body); err == nil {
 					// A chunk that decodes must round-trip through the
 					// encoder losslessly (the base PC may re-anchor, so
-					// compare events, not bytes).
-					again, err := decodeChunk(nil, appendChunk(nil, events))
+					// compare events, not bytes). Every event of a chunk
+					// shares the frame's context.
+					again, err := decodeChunk(nil, appendChunk(nil, events[0].Ctx, events))
 					if err != nil {
 						t.Fatalf("re-encoded chunk failed to decode: %v", err)
 					}

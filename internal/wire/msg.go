@@ -32,8 +32,10 @@ const handshakeMagic = "2DWP"
 
 // Version is the protocol version exchanged in the handshake. Peers
 // refuse a mismatch outright — with a single implementation on both
-// ends there is nothing to negotiate yet.
-const Version = 1
+// ends there is nothing to negotiate yet. Version 2 added the
+// execution-context field to chunk frames and the aggregation begin
+// parameter.
+const Version = 2
 
 // DefaultWindow is the per-stream credit window in chunks: a client may
 // have this many chunks unacknowledged before it must wait. The window
@@ -88,19 +90,23 @@ func parseHelloAck(body []byte) (int, error) {
 	return int(w), nil
 }
 
-// appendChunk encodes a msgChunk body: `uvarint count | uvarint basePC
-// | deltas`, where deltas is the shared BTR-family per-event varint
-// stream (trace.AppendEventDeltas — byte-identical to a raw BTR2 chunk
-// payload).
-func appendChunk(dst []byte, events []trace.Event) []byte {
+// appendChunk encodes a msgChunk body: `uvarint count | uvarint ctx |
+// uvarint basePC | deltas`, where deltas is the shared BTR-family
+// per-event varint stream (trace.AppendEventDeltas — byte-identical to
+// a raw BTR2 chunk payload). A chunk belongs to exactly one execution
+// context — Send splits at context boundaries — so the tag is one
+// varint per frame, not per event.
+func appendChunk(dst []byte, ctx trace.Context, events []trace.Event) []byte {
 	basePC := events[0].PC
 	dst = binary.AppendUvarint(dst, uint64(len(events)))
+	dst = binary.AppendUvarint(dst, uint64(ctx))
 	dst = binary.AppendUvarint(dst, uint64(basePC))
 	return trace.AppendEventDeltas(dst, basePC, events)
 }
 
-// decodeChunk appends a msgChunk body's events to dst. Decoding rides
-// trace.Chunk.Decode, the same code path BTR2 replay uses.
+// decodeChunk appends a msgChunk body's events to dst, tagged with the
+// chunk's execution context. Decoding rides trace.Chunk.Decode, the
+// same code path BTR2 replay uses.
 func decodeChunk(dst []trace.Event, body []byte) ([]trace.Event, error) {
 	count, n := binary.Uvarint(body)
 	if n <= 0 {
@@ -109,6 +115,11 @@ func decodeChunk(dst []trace.Event, body []byte) ([]trace.Event, error) {
 	if count == 0 || count > MaxChunkEvents {
 		return dst, fmt.Errorf("%w: chunk count %d out of range", ErrBadFrame, count)
 	}
+	ctx, cn := binary.Uvarint(body[n:])
+	if cn <= 0 || ctx > 1<<32-1 {
+		return dst, fmt.Errorf("%w: bad chunk context", ErrBadFrame)
+	}
+	n += cn
 	basePC, m := binary.Uvarint(body[n:])
 	if m <= 0 {
 		return dst, fmt.Errorf("%w: bad chunk base PC", ErrBadFrame)
@@ -119,9 +130,15 @@ func decodeChunk(dst []trace.Event, body []byte) ([]trace.Event, error) {
 		Codec:   trace.CodecRaw,
 		Payload: body[n+m:],
 	}
+	base := len(dst)
 	out, err := c.Decode(dst)
 	if err != nil {
 		return dst, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if ctx != 0 {
+		for i := base; i < len(out); i++ {
+			out[i].Ctx = trace.Context(ctx)
+		}
 	}
 	return out, nil
 }
@@ -250,6 +267,9 @@ type BeginParams struct {
 	SliceSize int64 `json:"sliceSize,omitempty"`
 	// Shards overrides the per-session engine worker count.
 	Shards int `json:"shards,omitempty"`
+	// Aggregation selects the multi-context aggregation mode ("shared"
+	// or "private"; "" means shared).
+	Aggregation string `json:"aggregation,omitempty"`
 	// Kernel names the bundled program behind the stream for the static
 	// prefilter column.
 	Kernel string `json:"kernel,omitempty"`

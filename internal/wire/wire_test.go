@@ -150,18 +150,23 @@ func TestFrameCorruption(t *testing.T) {
 }
 
 func TestChunkRoundTrip(t *testing.T) {
-	events := testEvents(1000)
-	body := appendChunk(nil, events)
-	got, err := decodeChunk(nil, body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != len(events) {
-		t.Fatalf("decoded %d events, want %d", len(got), len(events))
-	}
-	for i := range got {
-		if got[i] != events[i] {
-			t.Fatalf("event %d: got %+v want %+v", i, got[i], events[i])
+	for _, ctx := range []trace.Context{0, 7} {
+		events := testEvents(1000)
+		for i := range events {
+			events[i].Ctx = ctx
+		}
+		body := appendChunk(nil, ctx, events)
+		got, err := decodeChunk(nil, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("ctx %d: decoded %d events, want %d", ctx, len(got), len(events))
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				t.Fatalf("ctx %d, event %d: got %+v want %+v", ctx, i, got[i], events[i])
+			}
 		}
 	}
 }
